@@ -1,0 +1,24 @@
+//! Scenario-level benchmarks: one profit iteration batch and one mutuality
+//! run.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use siot_graph::generate::social::SocialNetKind;
+use siot_sim::scenario::mutuality::{self, MutualityConfig};
+use siot_sim::scenario::profit::{self, ProfitConfig, Strategy};
+
+fn bench_scenarios(c: &mut Criterion) {
+    let g = SocialNetKind::Twitter.generate(42);
+
+    c.bench_function("profit_100_iterations", |b| {
+        let cfg = ProfitConfig { iterations: 100, ..Default::default() };
+        b.iter(|| profit::run(std::hint::black_box(&g), Strategy::NetProfit, &cfg))
+    });
+
+    c.bench_function("mutuality_run", |b| {
+        let cfg = MutualityConfig { theta: 0.3, requests_per_trustor: 3, ..Default::default() };
+        b.iter(|| mutuality::run(std::hint::black_box(&g), &cfg))
+    });
+}
+
+criterion_group!(benches, bench_scenarios);
+criterion_main!(benches);

@@ -1,0 +1,31 @@
+//! Microbenchmarks for the graph substrate: the Table 1 statistics.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use siot_graph::community::louvain::Louvain;
+use siot_graph::community::label_propagation;
+use siot_graph::generate::social::SocialNetKind;
+use siot_graph::metrics::{average_clustering_coefficient, DistanceSummary};
+
+fn bench_metrics(c: &mut Criterion) {
+    let g = SocialNetKind::Twitter.generate(42);
+
+    c.bench_function("generate_twitter_network", |b| {
+        b.iter(|| SocialNetKind::Twitter.generate(std::hint::black_box(42)))
+    });
+    c.bench_function("all_pairs_bfs_distance_summary", |b| {
+        b.iter(|| DistanceSummary::compute(std::hint::black_box(&g)))
+    });
+    c.bench_function("average_clustering_coefficient", |b| {
+        b.iter(|| average_clustering_coefficient(std::hint::black_box(&g)))
+    });
+    c.bench_function("louvain_communities", |b| {
+        b.iter(|| Louvain::new(42).run(std::hint::black_box(&g)))
+    });
+    // ablation: Louvain vs label propagation for the Table 1 community row
+    c.bench_function("ablation_label_propagation", |b| {
+        b.iter(|| label_propagation(std::hint::black_box(&g), 42, 50))
+    });
+}
+
+criterion_group!(benches, bench_metrics);
+criterion_main!(benches);

@@ -1,0 +1,19 @@
+//! Discrete-event engine throughput: a full small testbed experiment.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use siot_iot::experiment::fragments::{run, FragmentsConfig};
+use siot_iot::experiment::inference::{run as run_inf, InferenceConfig};
+
+fn bench_iot(c: &mut Criterion) {
+    c.bench_function("testbed_fragments_10_rounds", |b| {
+        let cfg = FragmentsConfig { rounds: 10, ..Default::default() };
+        b.iter(|| run(std::hint::black_box(&cfg)))
+    });
+    c.bench_function("testbed_inference_5_runs", |b| {
+        let cfg = InferenceConfig { runs: 5, seed: 42 };
+        b.iter(|| run_inf(std::hint::black_box(&cfg)))
+    });
+}
+
+criterion_group!(benches, bench_iot);
+criterion_main!(benches);

@@ -1,0 +1,45 @@
+//! Microbenchmarks for the core trust arithmetic.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use siot_core::prelude::*;
+
+fn bench_trust_math(c: &mut Criterion) {
+    let tasks: Vec<Task> = (0..16)
+        .map(|i| {
+            Task::uniform(TaskId(i), [CharacteristicId(i % 5), CharacteristicId((i + 1) % 5)])
+                .expect("non-empty")
+        })
+        .collect();
+    let experiences: Vec<Experience> =
+        tasks.iter().enumerate().map(|(i, t)| Experience::new(t, 0.5 + 0.03 * i as f64)).collect();
+    let new_task =
+        Task::uniform(TaskId(99), [CharacteristicId(0), CharacteristicId(1), CharacteristicId(2)])
+            .expect("non-empty");
+
+    c.bench_function("infer_task_16_experiences", |b| {
+        b.iter(|| infer_task(std::hint::black_box(&new_task), std::hint::black_box(&experiences)))
+    });
+
+    let tws = [0.9, 0.8, 0.7, 0.85, 0.6];
+    c.bench_function("eq7_chain_5_hops", |b| {
+        b.iter(|| chain(std::hint::black_box(&tws)))
+    });
+    // ablation: the traditional product rule on the same chain
+    c.bench_function("ablation_traditional_chain_5_hops", |b| {
+        b.iter(|| traditional_chain(std::hint::black_box(&tws)))
+    });
+
+    let betas = ForgettingFactors::figures();
+    let obs = Observation { success_rate: 0.8, gain: 0.7, damage: 0.2, cost: 0.1 };
+    c.bench_function("record_update", |b| {
+        let mut rec = TrustRecord::neutral();
+        b.iter(|| rec.update(std::hint::black_box(&obs), &betas))
+    });
+    c.bench_function("trustworthiness_eq18", |b| {
+        let rec = TrustRecord::with_priors(0.8, 0.7, 0.2, 0.1);
+        b.iter(|| std::hint::black_box(&rec).trustworthiness(Normalizer::UNIT))
+    });
+}
+
+criterion_group!(benches, bench_trust_math);
+criterion_main!(benches);

@@ -1,0 +1,36 @@
+//! Trustee-discovery benchmarks: the three §5.5 methods over the Facebook
+//! sub-network.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use siot_graph::generate::social::SocialNetKind;
+use siot_sim::tasks::TaskPool;
+use siot_sim::{Knowledge, SearchMethod, TrusteeSearch};
+
+fn bench_search(c: &mut Criterion) {
+    let g = SocialNetKind::Facebook.generate(42);
+    let mut rng = SmallRng::seed_from_u64(42);
+    let pool = TaskPool::generate(5, 10, &mut rng);
+    let knowledge = Knowledge::seed(&g, &pool, 2, 0.05, &mut rng);
+    let search = TrusteeSearch::new(&g, &knowledge, &pool);
+    let task = pool.tasks().iter().find(|t| t.len() == 2).expect("pairs exist").id();
+    let trustor = siot_sim::AgentId::from(0u32);
+    let everyone = |_: siot_sim::AgentId| true;
+
+    for method in SearchMethod::ALL {
+        c.bench_function(&format!("search_{}", method.name().to_lowercase()), |b| {
+            b.iter(|| {
+                search.find(
+                    std::hint::black_box(method),
+                    std::hint::black_box(trustor),
+                    task,
+                    &everyone,
+                )
+            })
+        });
+    }
+}
+
+criterion_group!(benches, bench_search);
+criterion_main!(benches);

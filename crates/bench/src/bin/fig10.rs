@@ -1,0 +1,29 @@
+//! Fig. 10 — unavailable rate vs number of characteristics.
+
+use siot_bench::fmt::{pct, Table};
+use siot_bench::paper::CHARACTERISTIC_SWEEP;
+use siot_bench::runner::{seed_from_env, transitivity_sweep};
+use siot_graph::generate::social::SocialNetKind;
+use siot_sim::SearchMethod;
+
+fn main() {
+    let cells = transitivity_sweep(seed_from_env());
+    let mut t = Table::new(
+        "Fig. 10: unavailable rate (paper shape: aggr ≤ cons < trad, increasing in #chars)",
+        &["series", "4", "5", "6", "7"],
+    );
+    for kind in SocialNetKind::ALL {
+        for method in SearchMethod::ALL {
+            let mut row = vec![format!("{} {}", kind.name(), method.name())];
+            for &n in &CHARACTERISTIC_SWEEP {
+                let cell = cells
+                    .iter()
+                    .find(|c| c.kind == kind && c.method == method && c.n_characteristics == n)
+                    .expect("full sweep");
+                row.push(pct(cell.outcome.unavailable_rate));
+            }
+            t.row(&row);
+        }
+    }
+    t.print();
+}

@@ -1,0 +1,39 @@
+//! Fig. 12 — number of inquired nodes per (sorted) trustor on the
+//! Facebook sub-network, per transfer method.
+
+use siot_bench::fmt::{sparkline, Table};
+use siot_bench::runner::{feature_transitivity, seed_from_env};
+use siot_graph::generate::social::SocialNetKind;
+use siot_sim::SearchMethod;
+
+fn main() {
+    let results = feature_transitivity(seed_from_env());
+    let mut series: Vec<(SearchMethod, Vec<f64>)> = Vec::new();
+    for method in SearchMethod::ALL {
+        let (_, _, outcome) = results
+            .iter()
+            .find(|(k, m, _)| *k == SocialNetKind::Facebook && *m == method)
+            .expect("facebook run present");
+        let mut xs: Vec<f64> =
+            outcome.inquired_per_trustor.iter().map(|&x| x as f64).collect();
+        xs.sort_by(|a, b| a.partial_cmp(b).expect("counts are finite"));
+        series.push((method, xs));
+    }
+
+    let mut t = Table::new(
+        "Fig. 12: inquired nodes per sorted trustor, Facebook (paper shape: aggr ≫ cons > trad)",
+        &["method", "min", "median", "max", "mean", "profile"],
+    );
+    for (method, xs) in &series {
+        let mean = xs.iter().sum::<f64>() / xs.len() as f64;
+        t.row(&[
+            method.name().to_string(),
+            format!("{:.0}", xs.first().copied().unwrap_or(0.0)),
+            format!("{:.0}", xs[xs.len() / 2]),
+            format!("{:.0}", xs.last().copied().unwrap_or(0.0)),
+            format!("{mean:.1}"),
+            sparkline(xs),
+        ]);
+    }
+    t.print();
+}

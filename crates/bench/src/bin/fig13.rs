@@ -1,0 +1,35 @@
+//! Fig. 13 — net profit over delegation iterations, success-rate-only vs
+//! expected-net-profit selection, three networks.
+
+use siot_bench::fmt::{sparkline, Table};
+use siot_bench::paper::FIG13_ITERATIONS;
+use siot_bench::runner::{network, seed_from_env};
+use siot_graph::generate::social::SocialNetKind;
+use siot_sim::scenario::profit::{run, ProfitConfig, Strategy};
+
+fn main() {
+    let seed = seed_from_env();
+    let cfg = ProfitConfig { iterations: FIG13_ITERATIONS, seed, ..Default::default() };
+    let mut t = Table::new(
+        "Fig. 13: net profit vs iterations (paper shape: second strategy converges higher; first can go negative)",
+        &["series", "start", "mid", "converged", "profile"],
+    );
+    for kind in SocialNetKind::ALL {
+        let g = network(kind, seed);
+        for strategy in [Strategy::SuccessRateOnly, Strategy::NetProfit] {
+            let series = run(&g, strategy, &cfg);
+            let window = |lo: usize, hi: usize| {
+                series[lo..hi].iter().sum::<f64>() / (hi - lo) as f64
+            };
+            let coarse: Vec<f64> = series.chunks(100).map(|c| c.iter().sum::<f64>() / c.len() as f64).collect();
+            t.row(&[
+                format!("{} ({})", kind.name(), strategy.name()),
+                format!("{:+.3}", window(0, 100)),
+                format!("{:+.3}", window(1400, 1600)),
+                format!("{:+.3}", window(FIG13_ITERATIONS - 200, FIG13_ITERATIONS)),
+                sparkline(&coarse),
+            ]);
+        }
+    }
+    t.print();
+}

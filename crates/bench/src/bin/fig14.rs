@@ -1,0 +1,25 @@
+//! Fig. 14 — average trustor active time under the fragment attack, with
+//! (gain+cost) vs without (gain-only) the proposed model.
+
+use siot_bench::fmt::{sparkline, Table};
+use siot_bench::paper::TESTBED_RUNS;
+use siot_bench::runner::seed_from_env;
+use siot_iot::experiment::fragments::{run, FragmentsConfig};
+
+fn main() {
+    let out = run(&FragmentsConfig { rounds: TESTBED_RUNS, seed: seed_from_env(), ..Default::default() });
+    let mut t = Table::new(
+        "Fig. 14: avg active time (ms) per experiment (paper shape: proposed model detects the attackers and drops; baseline stays high)",
+        &["run", "with model", "without model"],
+    );
+    for i in 0..out.with_model.len() {
+        t.row(&[
+            (i + 1).to_string(),
+            format!("{:.0}", out.with_model[i]),
+            format!("{:.0}", out.without_model[i]),
+        ]);
+    }
+    t.print();
+    println!("with:    {}", sparkline(&out.with_model));
+    println!("without: {}", sparkline(&out.without_model));
+}

@@ -1,0 +1,26 @@
+//! Fig. 16 — network net profit under the light → dark → light schedule,
+//! with vs without the environment-removal model.
+
+use siot_bench::fmt::{sparkline, Table};
+use siot_bench::paper::TESTBED_RUNS;
+use siot_bench::runner::seed_from_env;
+use siot_iot::experiment::light::{run, LightConfig};
+
+fn main() {
+    let out = run(&LightConfig { rounds: TESTBED_RUNS, seed: seed_from_env(), ..Default::default() });
+    let mut t = Table::new(
+        "Fig. 16: net profit per experiment (paper shape: proposed model recovers after the dark period; baseline stays low)",
+        &["run", "light", "with model", "without model"],
+    );
+    for i in 0..out.with_model.len() {
+        t.row(&[
+            (i + 1).to_string(),
+            format!("{:.2}", out.light[i]),
+            format!("{:.0}", out.with_model[i]),
+            format!("{:.0}", out.without_model[i]),
+        ]);
+    }
+    t.print();
+    println!("with:    {}", sparkline(&out.with_model));
+    println!("without: {}", sparkline(&out.without_model));
+}

@@ -1,0 +1,23 @@
+//! Fig. 7 — success / unavailable / abuse rates of task delegations under
+//! reverse-evaluation thresholds θ ∈ {0, 0.3, 0.6}.
+
+use siot_bench::fmt::{pct, Table};
+use siot_bench::runner::{fig7, seed_from_env};
+
+fn main() {
+    let results = fig7(seed_from_env());
+    let mut t = Table::new(
+        "Fig. 7: mutual evaluation (paper shape: θ=0 ⇒ abuse > 0.4; θ↑ ⇒ unavailable↑, abuse↓)",
+        &["network", "theta", "success", "unavailable", "abuse"],
+    );
+    for (kind, theta, out) in results {
+        t.row(&[
+            kind.name().to_string(),
+            format!("{theta:.1}"),
+            pct(out.success_rate),
+            pct(out.unavailable_rate),
+            pct(out.abuse_rate),
+        ]);
+    }
+    t.print();
+}

@@ -1,0 +1,31 @@
+//! Fig. 8 — percentage of trustors selecting honest devices, with vs
+//! without the characteristic-based inference model (IoT testbed).
+
+use siot_bench::fmt::{sparkline, Table};
+use siot_bench::paper::TESTBED_RUNS;
+use siot_bench::runner::seed_from_env;
+use siot_iot::experiment::inference::{run, InferenceConfig};
+
+fn main() {
+    let out = run(&InferenceConfig { runs: TESTBED_RUNS, seed: seed_from_env() });
+    let mut t = Table::new(
+        "Fig. 8: honest-device selection % per experiment (paper: with ≫ without ≈ 50%)",
+        &["run", "with model", "without model"],
+    );
+    for i in 0..out.with_model.len() {
+        t.row(&[
+            (i + 1).to_string(),
+            format!("{:.0}%", out.with_model[i]),
+            format!("{:.0}%", out.without_model[i]),
+        ]);
+    }
+    t.print();
+    println!("with:    {}", sparkline(&out.with_model));
+    println!("without: {}", sparkline(&out.without_model));
+    let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
+    println!(
+        "means: with {:.1}%  without {:.1}%",
+        mean(&out.with_model),
+        mean(&out.without_model)
+    );
+}

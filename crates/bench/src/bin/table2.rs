@@ -1,0 +1,37 @@
+//! Table 2 — transitivity with real-world node properties as task
+//! characteristics, measured vs paper.
+
+use siot_bench::fmt::{f2, pct, Table};
+use siot_bench::paper::TABLE2;
+use siot_bench::runner::{feature_transitivity, seed_from_env};
+use siot_sim::SearchMethod;
+
+fn main() {
+    let results = feature_transitivity(seed_from_env());
+    let mut t = Table::new(
+        "Table 2: node-property characteristics (measured | paper)",
+        &["method", "metric", "Facebook", "Google+", "Twitter"],
+    );
+    for (mi, method) in SearchMethod::ALL.iter().enumerate() {
+        let rows: Vec<_> = results.iter().filter(|(_, m, _)| m == method).collect();
+        let metric = |name: &str, get: &dyn Fn(usize) -> String| {
+            vec![
+                TABLE2[mi].method.to_string(),
+                name.to_string(),
+                get(0),
+                get(1),
+                get(2),
+            ]
+        };
+        t.row(&metric("Success rate", &|i| {
+            format!("{} | {}", pct(rows[i].2.success_rate), pct(TABLE2[mi].success[i]))
+        }));
+        t.row(&metric("Unavailable rate", &|i| {
+            format!("{} | {}", pct(rows[i].2.unavailable_rate), pct(TABLE2[mi].unavailable[i]))
+        }));
+        t.row(&metric("Num. potential trustees", &|i| {
+            format!("{} | {}", f2(rows[i].2.avg_potential_trustees), f2(TABLE2[mi].trustees[i]))
+        }));
+    }
+    t.print();
+}

@@ -1,0 +1,192 @@
+//! Plain-text table and CSV output.
+
+use std::fs;
+use std::io::Write;
+use std::path::Path;
+
+/// A simple aligned text table.
+#[derive(Debug, Clone)]
+pub struct Table {
+    title: String,
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with a title and column headers.
+    pub fn new(title: &str, headers: &[&str]) -> Self {
+        Table {
+            title: title.to_string(),
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends one row (must match the header count).
+    pub fn row(&mut self, cells: &[String]) -> &mut Self {
+        assert_eq!(cells.len(), self.headers.len(), "row width must match headers");
+        self.rows.push(cells.to_vec());
+        self
+    }
+
+    /// Renders the table to a string.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (w, cell) in widths.iter_mut().zip(row) {
+                *w = (*w).max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        out.push_str(&format!("== {} ==\n", self.title));
+        let fmt_row = |cells: &[String], widths: &[usize]| {
+            cells
+                .iter()
+                .zip(widths)
+                .map(|(c, w)| format!("{c:>w$}"))
+                .collect::<Vec<_>>()
+                .join("  ")
+        };
+        out.push_str(&fmt_row(&self.headers, &widths));
+        out.push('\n');
+        out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (widths.len() - 1)));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row, &widths));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Prints the table to stdout.
+    pub fn print(&self) {
+        print!("{}", self.render());
+    }
+
+    /// Writes the table as CSV.
+    pub fn write_csv(&self, path: &Path) -> std::io::Result<()> {
+        if let Some(parent) = path.parent() {
+            fs::create_dir_all(parent)?;
+        }
+        let mut f = fs::File::create(path)?;
+        writeln!(f, "{}", self.headers.join(","))?;
+        for row in &self.rows {
+            writeln!(f, "{}", row.join(","))?;
+        }
+        Ok(())
+    }
+}
+
+/// Writes an xy-series CSV: one `x` column plus one column per series.
+pub fn write_series_csv(
+    path: &Path,
+    x_name: &str,
+    xs: &[f64],
+    series: &[(&str, &[f64])],
+) -> std::io::Result<()> {
+    if let Some(parent) = path.parent() {
+        fs::create_dir_all(parent)?;
+    }
+    let mut f = fs::File::create(path)?;
+    let headers: Vec<&str> =
+        std::iter::once(x_name).chain(series.iter().map(|&(n, _)| n)).collect();
+    writeln!(f, "{}", headers.join(","))?;
+    for (i, &x) in xs.iter().enumerate() {
+        let mut cells = vec![format!("{x}")];
+        for &(_, ys) in series {
+            cells.push(ys.get(i).map_or(String::new(), |y| format!("{y}")));
+        }
+        writeln!(f, "{}", cells.join(","))?;
+    }
+    Ok(())
+}
+
+/// Renders a crude ASCII sparkline of a series (reports at a glance).
+pub fn sparkline(ys: &[f64]) -> String {
+    const LEVELS: [char; 8] = ['▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
+    if ys.is_empty() {
+        return String::new();
+    }
+    let lo = ys.iter().copied().fold(f64::INFINITY, f64::min);
+    let hi = ys.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    ys.iter()
+        .map(|&y| {
+            if hi <= lo {
+                LEVELS[0]
+            } else {
+                let t = ((y - lo) / (hi - lo) * 7.0).round() as usize;
+                LEVELS[t.min(7)]
+            }
+        })
+        .collect()
+}
+
+/// Formats a float with 2 decimals (table cell convenience).
+pub fn f2(x: f64) -> String {
+    format!("{x:.2}")
+}
+
+/// Formats a percentage with 2 decimals.
+pub fn pct(x: f64) -> String {
+    format!("{:.2}%", x * 100.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_renders_aligned() {
+        let mut t = Table::new("Demo", &["name", "value"]);
+        t.row(&["alpha".into(), "1".into()]);
+        t.row(&["b".into(), "22".into()]);
+        let s = t.render();
+        assert!(s.contains("== Demo =="));
+        assert!(s.contains("alpha"));
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn row_width_checked() {
+        let mut t = Table::new("x", &["a", "b"]);
+        t.row(&["only-one".into()]);
+    }
+
+    #[test]
+    fn csv_roundtrip() {
+        let dir = std::env::temp_dir().join("siot_bench_test");
+        let path = dir.join("t.csv");
+        let mut t = Table::new("x", &["a", "b"]);
+        t.row(&["1".into(), "2".into()]);
+        t.write_csv(&path).unwrap();
+        let body = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(body, "a,b\n1,2\n");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn series_csv() {
+        let dir = std::env::temp_dir().join("siot_bench_test2");
+        let path = dir.join("s.csv");
+        write_series_csv(&path, "x", &[1.0, 2.0], &[("y", &[0.5, 0.7][..])]).unwrap();
+        let body = std::fs::read_to_string(&path).unwrap();
+        assert!(body.starts_with("x,y\n1,0.5\n"));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn sparkline_shape() {
+        assert_eq!(sparkline(&[]), "");
+        let s = sparkline(&[0.0, 1.0, 0.5]);
+        assert_eq!(s.chars().count(), 3);
+        assert_eq!(sparkline(&[1.0, 1.0]), "▁▁");
+    }
+
+    #[test]
+    fn formatters() {
+        assert_eq!(f2(1.234), "1.23");
+        assert_eq!(pct(0.5), "50.00%");
+    }
+}

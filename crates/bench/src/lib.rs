@@ -1,0 +1,29 @@
+//! # siot-bench — regenerates every table and figure of the paper
+//!
+//! One binary per evaluation artifact:
+//!
+//! | Binary | Artifact |
+//! |---|---|
+//! | `table1` | Table 1 — connectivity characteristics |
+//! | `fig7` | Fig. 7 — mutuality rates vs θ |
+//! | `fig8` | Fig. 8 — honest-device selection (testbed) |
+//! | `fig9`, `fig10`, `fig11` | Figs. 9–11 — transitivity sweeps |
+//! | `table2` | Table 2 — transitivity with node properties |
+//! | `fig12` | Fig. 12 — inquiry overhead |
+//! | `fig13` | Fig. 13 — net profit vs iterations |
+//! | `fig14` | Fig. 14 — fragment attack (testbed) |
+//! | `fig15` | Fig. 15 — dynamic environment tracking |
+//! | `fig16` | Fig. 16 — light schedule (testbed) |
+//! | `all` | everything above, plus CSV dumps into `bench_out/` |
+//!
+//! Absolute numbers differ from the paper (the substrate is a simulator,
+//! not the authors' testbed); the *shapes* — who wins, by roughly what
+//! factor, where the crossovers fall — are asserted in
+//! `tests/experiments_shape.rs`.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod fmt;
+pub mod paper;
+pub mod runner;

@@ -1,0 +1,141 @@
+//! Reference values transcribed from the paper, for side-by-side reports
+//! and shape checks.
+
+/// One Table 1 row.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Table1Row {
+    /// Network name.
+    pub name: &'static str,
+    /// Number of nodes.
+    pub nodes: usize,
+    /// Number of edges.
+    pub edges: usize,
+    /// Average degree.
+    pub average_degree: f64,
+    /// Diameter.
+    pub diameter: u32,
+    /// Average path length.
+    pub average_path_length: f64,
+    /// Average clustering coefficient.
+    pub average_clustering: f64,
+    /// Modularity.
+    pub modularity: f64,
+    /// Number of communities.
+    pub communities: usize,
+}
+
+/// Table 1 as printed in the paper.
+pub const TABLE1: [Table1Row; 3] = [
+    Table1Row {
+        name: "Facebook",
+        nodes: 347,
+        edges: 5038,
+        average_degree: 29.04,
+        diameter: 11,
+        average_path_length: 3.75,
+        average_clustering: 0.49,
+        modularity: 0.46,
+        communities: 29,
+    },
+    Table1Row {
+        name: "Google+",
+        nodes: 358,
+        edges: 4178,
+        average_degree: 23.34,
+        diameter: 12,
+        average_path_length: 3.9,
+        average_clustering: 0.39,
+        modularity: 0.45,
+        communities: 22,
+    },
+    Table1Row {
+        name: "Twitter",
+        nodes: 244,
+        edges: 2478,
+        average_degree: 20.31,
+        diameter: 8,
+        average_path_length: 2.96,
+        average_clustering: 0.27,
+        modularity: 0.38,
+        communities: 16,
+    },
+];
+
+/// One Table 2 cell block (per network, per method).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Table2Row {
+    /// Method name (Trad. / Cons. / Aggr.).
+    pub method: &'static str,
+    /// Success rates for Facebook, Google+, Twitter.
+    pub success: [f64; 3],
+    /// Unavailable rates for Facebook, Google+, Twitter.
+    pub unavailable: [f64; 3],
+    /// Average number of potential trustees for Facebook, Google+, Twitter.
+    pub trustees: [f64; 3],
+}
+
+/// Table 2 as printed in the paper (rates as fractions).
+pub const TABLE2: [Table2Row; 3] = [
+    Table2Row {
+        method: "Trad.",
+        success: [0.2763, 0.2839, 0.2286],
+        unavailable: [0.6645, 0.6000, 0.7333],
+        trustees: [4.19, 2.37, 2.88],
+    },
+    Table2Row {
+        method: "Cons.",
+        success: [0.5789, 0.5355, 0.4857],
+        unavailable: [0.3750, 0.3290, 0.4571],
+        trustees: [10.63, 5.92, 5.99],
+    },
+    Table2Row {
+        method: "Aggr.",
+        success: [0.6711, 0.5935, 0.5238],
+        unavailable: [0.2697, 0.2645, 0.3524],
+        trustees: [11.60, 6.53, 6.35],
+    },
+];
+
+/// The reverse-evaluation thresholds swept in Fig. 7.
+pub const FIG7_THETAS: [f64; 3] = [0.0, 0.3, 0.6];
+
+/// Fig. 9/10/11 sweep range: total characteristics in the network.
+pub const CHARACTERISTIC_SWEEP: [usize; 4] = [4, 5, 6, 7];
+
+/// Fig. 13 iteration count and forgetting factor.
+pub const FIG13_ITERATIONS: usize = 3000;
+/// Fig. 13/15 forgetting factor β.
+pub const BETA: f64 = 0.1;
+
+/// Fig. 15 phases: (iterations, environment indicator).
+pub const FIG15_PHASES: [(usize, f64); 3] = [(100, 1.0), (100, 0.4), (100, 0.7)];
+/// Fig. 15 trustee competence.
+pub const FIG15_COMPETENCE: f64 = 0.8;
+
+/// Fig. 8/14/16 experiment run counts.
+pub const TESTBED_RUNS: usize = 50;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_matches_known_counts() {
+        assert_eq!(TABLE1[0].nodes, 347);
+        assert_eq!(TABLE1[1].edges, 4178);
+        assert_eq!(TABLE1[2].diameter, 8);
+    }
+
+    #[test]
+    fn table2_ordering_holds_in_reference() {
+        // the paper's own numbers satisfy the claimed ordering
+        for net in 0..3 {
+            assert!(TABLE2[0].success[net] < TABLE2[1].success[net]);
+            assert!(TABLE2[1].success[net] < TABLE2[2].success[net]);
+            assert!(TABLE2[0].unavailable[net] > TABLE2[1].unavailable[net]);
+            assert!(TABLE2[1].unavailable[net] > TABLE2[2].unavailable[net]);
+            assert!(TABLE2[0].trustees[net] < TABLE2[1].trustees[net]);
+            assert!(TABLE2[1].trustees[net] < TABLE2[2].trustees[net]);
+        }
+    }
+}

@@ -1,0 +1,240 @@
+//! Baseline reputation models from the literature the paper positions
+//! itself against (§2), used as comparators in tests and ablations.
+//!
+//! * [`BetaReputation`] — the classic a/b-counter reputation (success and
+//!   failure tallies; the basis of many P2P systems, cf. Dewan & Dasgupta
+//!   \[19\]).
+//! * [`SingleValueEwma`] — one scalar trust value updated exponentially
+//!   (the "narrow aspect" model of e.g. He et al. \[11\]: no gain, damage or
+//!   cost distinction, no task context).
+//! * [`CredibilityWeightedFeedback`] — PeerTrust-flavoured aggregation
+//!   (Xiong & Liu \[18\]): feedback weighted by the credibility of its
+//!   source.
+//!
+//! The clarified model's advantage is *what these cannot express*: a
+//! trustee that succeeds often but costs more than it gains looks perfect
+//! to all three and unprofitable to Eq. 18.
+
+use crate::tw::Trustworthiness;
+
+/// A minimal reputation interface shared by the baselines.
+pub trait ReputationModel {
+    /// Folds one interaction outcome (success flag only — that is the
+    /// point of these baselines).
+    fn record(&mut self, success: bool);
+    /// The current reputation score in `[0, 1]`.
+    fn score(&self) -> f64;
+    /// Model name for reports.
+    fn name(&self) -> &'static str;
+}
+
+/// Beta-reputation: `(s + 1) / (s + f + 2)`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct BetaReputation {
+    /// Successful interactions.
+    pub successes: u64,
+    /// Failed interactions.
+    pub failures: u64,
+}
+
+impl BetaReputation {
+    /// An empty reputation.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// As a [`Trustworthiness`] value.
+    pub fn trustworthiness(&self) -> Trustworthiness {
+        Trustworthiness::new(self.score())
+    }
+}
+
+impl ReputationModel for BetaReputation {
+    fn record(&mut self, success: bool) {
+        if success {
+            self.successes += 1;
+        } else {
+            self.failures += 1;
+        }
+    }
+
+    fn score(&self) -> f64 {
+        (self.successes as f64 + 1.0) / ((self.successes + self.failures) as f64 + 2.0)
+    }
+
+    fn name(&self) -> &'static str {
+        "beta-reputation"
+    }
+}
+
+/// One scalar, exponentially updated: `t ← α·t + (1−α)·outcome`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SingleValueEwma {
+    /// Memory factor α ∈ [0, 1].
+    pub alpha: f64,
+    value: f64,
+}
+
+impl SingleValueEwma {
+    /// Starts from the neutral 0.5.
+    pub fn new(alpha: f64) -> Self {
+        SingleValueEwma { alpha: alpha.clamp(0.0, 1.0), value: 0.5 }
+    }
+}
+
+impl ReputationModel for SingleValueEwma {
+    fn record(&mut self, success: bool) {
+        let outcome = if success { 1.0 } else { 0.0 };
+        self.value = self.alpha * self.value + (1.0 - self.alpha) * outcome;
+    }
+
+    fn score(&self) -> f64 {
+        self.value
+    }
+
+    fn name(&self) -> &'static str {
+        "single-value-ewma"
+    }
+}
+
+/// A feedback report about a peer, with the reporter's credibility.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Feedback {
+    /// The reported satisfaction in `[0, 1]`.
+    pub satisfaction: f64,
+    /// The credibility of the reporter in `[0, 1]`.
+    pub credibility: f64,
+}
+
+/// PeerTrust-style credibility-weighted aggregation:
+/// `Σ credᵢ·satᵢ / Σ credᵢ`.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct CredibilityWeightedFeedback {
+    reports: Vec<Feedback>,
+}
+
+impl CredibilityWeightedFeedback {
+    /// An empty aggregator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds one feedback report.
+    pub fn add(&mut self, feedback: Feedback) {
+        self.reports.push(feedback);
+    }
+
+    /// The aggregated score; 0.5 (ignorance) without reports or when all
+    /// credibilities are zero.
+    pub fn score(&self) -> f64 {
+        let num: f64 = self.reports.iter().map(|f| f.credibility * f.satisfaction).sum();
+        let den: f64 = self.reports.iter().map(|f| f.credibility).sum();
+        if den <= 0.0 {
+            0.5
+        } else {
+            (num / den).clamp(0.0, 1.0)
+        }
+    }
+
+    /// Number of reports held.
+    pub fn len(&self) -> usize {
+        self.reports.len()
+    }
+
+    /// Whether no reports have been added.
+    pub fn is_empty(&self) -> bool {
+        self.reports.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::{ForgettingFactors, Observation, TrustRecord};
+
+    #[test]
+    fn beta_reputation_counts() {
+        let mut r = BetaReputation::new();
+        assert_eq!(r.score(), 0.5, "Laplace prior");
+        for _ in 0..8 {
+            r.record(true);
+        }
+        assert!((r.score() - 0.9).abs() < 1e-12);
+        r.record(false);
+        assert!(r.score() < 0.9);
+        assert!(r.trustworthiness().value() > 0.7);
+    }
+
+    #[test]
+    fn single_value_ewma_tracks() {
+        let mut m = SingleValueEwma::new(0.9);
+        for _ in 0..200 {
+            m.record(true);
+        }
+        assert!(m.score() > 0.99);
+        for _ in 0..200 {
+            m.record(false);
+        }
+        assert!(m.score() < 0.01);
+        assert_eq!(m.name(), "single-value-ewma");
+    }
+
+    #[test]
+    fn credibility_weighting() {
+        let mut agg = CredibilityWeightedFeedback::new();
+        assert!(agg.is_empty());
+        assert_eq!(agg.score(), 0.5);
+        // a credible 0.9 and a non-credible smear at 0.0
+        agg.add(Feedback { satisfaction: 0.9, credibility: 0.9 });
+        agg.add(Feedback { satisfaction: 0.0, credibility: 0.05 });
+        assert!(agg.score() > 0.8, "{}", agg.score());
+        assert_eq!(agg.len(), 2);
+    }
+
+    #[test]
+    fn zero_credibility_is_ignored() {
+        let mut agg = CredibilityWeightedFeedback::new();
+        agg.add(Feedback { satisfaction: 1.0, credibility: 0.0 });
+        assert_eq!(agg.score(), 0.5);
+    }
+
+    #[test]
+    fn baselines_blind_to_cost_the_clarified_model_sees() {
+        // a trustee that always succeeds but costs more than it gains
+        let mut beta = BetaReputation::new();
+        let mut ewma = SingleValueEwma::new(0.9);
+        let mut record = TrustRecord::from_first_observation(&Observation {
+            success_rate: 1.0,
+            gain: 0.2,
+            damage: 0.0,
+            cost: 0.9,
+        });
+        let betas = ForgettingFactors::figures();
+        for _ in 0..100 {
+            beta.record(true);
+            ewma.record(true);
+            record.update(
+                &Observation { success_rate: 1.0, gain: 0.2, damage: 0.0, cost: 0.9 },
+                &betas,
+            );
+        }
+        assert!(beta.score() > 0.95, "the baseline adores it");
+        assert!(ewma.score() > 0.95, "so does the EWMA");
+        assert!(
+            record.expected_net_profit() < -0.5,
+            "Eq. 18 sees the loss: {}",
+            record.expected_net_profit()
+        );
+    }
+
+    #[test]
+    fn models_usable_via_trait_objects() {
+        let mut models: Vec<Box<dyn ReputationModel>> =
+            vec![Box::new(BetaReputation::new()), Box::new(SingleValueEwma::new(0.5))];
+        for m in models.iter_mut() {
+            m.record(true);
+            assert!(m.score() > 0.5);
+            assert!(!m.name().is_empty());
+        }
+    }
+}

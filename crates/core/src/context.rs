@@ -1,0 +1,53 @@
+//! The context ingredient (§3.5): task type plus environment.
+
+use crate::environment::EnvIndicator;
+use crate::task::TaskId;
+
+/// Trust is situated: the same trustee may be trustworthy for one task in
+/// one environment and not otherwise. A `Context` names that situation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Context {
+    /// The task type this trust relation is about.
+    pub task: TaskId,
+    /// The instantaneous environment.
+    pub environment: EnvIndicator,
+}
+
+impl Context {
+    /// Context for `task` under a perfectly amicable environment.
+    pub fn amicable(task: TaskId) -> Self {
+        Context { task, environment: EnvIndicator::AMICABLE }
+    }
+
+    /// Context for `task` under the given environment.
+    pub fn new(task: TaskId, environment: EnvIndicator) -> Self {
+        Context { task, environment }
+    }
+
+    /// Whether two contexts concern the same task type (environment may
+    /// differ — environments change, tasks define the trust scope).
+    pub fn same_task(&self, other: &Context) -> bool {
+        self.task == other.task
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn amicable_constructor() {
+        let c = Context::amicable(TaskId(3));
+        assert_eq!(c.task, TaskId(3));
+        assert_eq!(c.environment.value(), 1.0);
+    }
+
+    #[test]
+    fn same_task_ignores_environment() {
+        let a = Context::new(TaskId(1), EnvIndicator::saturating(0.2));
+        let b = Context::amicable(TaskId(1));
+        let c = Context::amicable(TaskId(2));
+        assert!(a.same_task(&b));
+        assert!(!a.same_task(&c));
+    }
+}

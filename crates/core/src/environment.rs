@@ -1,0 +1,172 @@
+//! Trustworthiness in dynamic environments (§4.5, Eqs. 25–29).
+//!
+//! The same agent performs differently in hostile and amicable conditions.
+//! To keep trustworthiness tracking the agent's *competence* rather than
+//! the weather, the observed outcome is passed through the removal function
+//! `r(·)` before the EWMA update: Eq. 29 divides by the **worst**
+//! environment indicator along the interaction (Cannikin / wooden-bucket
+//! law), so succeeding in a hostile environment earns extra credit.
+
+use crate::error::TrustError;
+use crate::record::{ForgettingFactors, Observation, TrustRecord};
+
+/// An instantaneous environment indicator in `(0, 1]`:
+/// 1 = perfectly amicable, →0 = hostile.
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd)]
+pub struct EnvIndicator(f64);
+
+impl EnvIndicator {
+    /// The perfectly amicable environment.
+    pub const AMICABLE: EnvIndicator = EnvIndicator(1.0);
+
+    /// Validates `e ∈ (0, 1]`.
+    pub fn new(e: f64) -> Result<Self, TrustError> {
+        if e > 0.0 && e <= 1.0 {
+            Ok(EnvIndicator(e))
+        } else {
+            Err(TrustError::BadEnvironment(e))
+        }
+    }
+
+    /// Clamps into `(0, 1]` with a small positive floor.
+    pub fn saturating(e: f64) -> Self {
+        EnvIndicator(e.clamp(1e-6, 1.0))
+    }
+
+    /// The inner value.
+    pub fn value(self) -> f64 {
+        self.0
+    }
+}
+
+/// The Cannikin aggregation of Eq. 29: the *smallest* indicator among the
+/// trustor's, the trustee's, and every intermediate node's environments
+/// dominates.
+pub fn cannikin(envs: &[EnvIndicator]) -> EnvIndicator {
+    envs.iter()
+        .copied()
+        .min_by(|a, b| a.partial_cmp(b).expect("indicators are never NaN"))
+        .unwrap_or(EnvIndicator::AMICABLE)
+}
+
+/// Alternative aggregation (mean) — the ablation bench compares it against
+/// the paper's Cannikin choice.
+pub fn mean_env(envs: &[EnvIndicator]) -> EnvIndicator {
+    if envs.is_empty() {
+        return EnvIndicator::AMICABLE;
+    }
+    let m = envs.iter().map(|e| e.value()).sum::<f64>() / envs.len() as f64;
+    EnvIndicator::saturating(m)
+}
+
+/// Eq. 29: `r(E_X, E_Y, {E_i}, x) = x / min[E_X, E_Y, {E_i}]`, clamped to
+/// `[0, 1]` so a success in a hostile environment maxes out credit instead
+/// of exceeding the valid range.
+pub fn remove_influence(observed: f64, envs: &[EnvIndicator]) -> f64 {
+    (observed / cannikin(envs).value()).clamp(0.0, 1.0)
+}
+
+/// Eqs. 25–28: environment-aware EWMA update. Each observed component is
+/// passed through [`remove_influence`] before blending.
+pub fn update_with_environment(
+    record: &mut TrustRecord,
+    obs: &Observation,
+    envs: &[EnvIndicator],
+    betas: &ForgettingFactors,
+) {
+    let adjusted = Observation {
+        success_rate: remove_influence(obs.success_rate, envs),
+        gain: remove_influence(obs.gain, envs),
+        damage: remove_influence(obs.damage, envs),
+        cost: remove_influence(obs.cost, envs),
+    };
+    record.update(&adjusted, betas);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn e(v: f64) -> EnvIndicator {
+        EnvIndicator::new(v).unwrap()
+    }
+
+    #[test]
+    fn indicator_validation() {
+        assert!(EnvIndicator::new(0.0).is_err());
+        assert!(EnvIndicator::new(-0.5).is_err());
+        assert!(EnvIndicator::new(1.1).is_err());
+        assert!(EnvIndicator::new(f64::NAN).is_err());
+        assert_eq!(EnvIndicator::new(1.0).unwrap().value(), 1.0);
+        assert_eq!(EnvIndicator::saturating(-3.0).value(), 1e-6);
+        assert_eq!(EnvIndicator::saturating(2.0).value(), 1.0);
+    }
+
+    #[test]
+    fn cannikin_takes_the_minimum() {
+        assert_eq!(cannikin(&[e(0.9), e(0.4), e(0.7)]).value(), 0.4);
+        assert_eq!(cannikin(&[]).value(), 1.0, "no information means amicable");
+    }
+
+    #[test]
+    fn mean_env_averages() {
+        assert!((mean_env(&[e(0.4), e(0.8)]).value() - 0.6).abs() < 1e-12);
+        assert_eq!(mean_env(&[]).value(), 1.0);
+    }
+
+    #[test]
+    fn paper_fig15_arithmetic() {
+        // S = 0.8 observed under E = 0.4: the *perceived* success rate is
+        // 0.8·0.4 = 0.32; removal reconstructs 0.32/0.4 = 0.8.
+        let perceived = 0.8 * 0.4;
+        let corrected = remove_influence(perceived, &[e(0.4), e(0.4)]);
+        assert!((corrected - 0.8).abs() < 1e-12);
+    }
+
+    #[test]
+    fn removal_clamps_at_one() {
+        // succeeding fully in a hostile environment cannot exceed 1
+        assert_eq!(remove_influence(0.9, &[e(0.3)]), 1.0);
+    }
+
+    #[test]
+    fn amicable_environment_is_identity() {
+        for x in [0.0, 0.3, 0.7, 1.0] {
+            assert_eq!(remove_influence(x, &[EnvIndicator::AMICABLE]), x);
+        }
+    }
+
+    #[test]
+    fn env_aware_update_tracks_competence_not_weather() {
+        let betas = ForgettingFactors::paper();
+        let competence = 0.8;
+        let hostile = [e(0.4), e(0.4)];
+
+        // Proposed: env-aware updates converge to the competence 0.8 even
+        // though observations are degraded to 0.32.
+        let mut proposed = TrustRecord::optimistic();
+        // Traditional: plain updates converge to the degraded 0.32.
+        let mut traditional = TrustRecord::optimistic();
+
+        for _ in 0..200 {
+            let observed = Observation {
+                success_rate: competence * 0.4,
+                gain: 0.5,
+                damage: 0.0,
+                cost: 0.0,
+            };
+            update_with_environment(&mut proposed, &observed, &hostile, &betas);
+            traditional.update(&observed, &betas);
+        }
+        assert!((proposed.s_hat - 0.8).abs() < 1e-3, "proposed: {}", proposed.s_hat);
+        assert!((traditional.s_hat - 0.32).abs() < 1e-3, "traditional: {}", traditional.s_hat);
+    }
+
+    #[test]
+    fn intermediates_participate_in_cannikin() {
+        // trustor and trustee fine, but one relay in a hostile spot
+        let envs = [e(1.0), e(1.0), e(0.25)];
+        assert_eq!(cannikin(&envs).value(), 0.25);
+        assert_eq!(remove_influence(0.2, &envs), 0.8);
+    }
+}

@@ -1,0 +1,64 @@
+//! Error type for the trust model.
+
+use std::fmt;
+
+/// Errors surfaced by trust-model operations.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TrustError {
+    /// A value that must lie in `[0, 1]` (rates, probabilities,
+    /// trustworthiness inputs) was outside it.
+    OutOfUnitRange {
+        /// Name of the offending quantity.
+        what: &'static str,
+        /// The offending value.
+        value: f64,
+    },
+    /// An environment indicator outside `(0, 1]` (Eq. 29 divides by it).
+    BadEnvironment(f64),
+    /// A task was built without characteristics.
+    EmptyTask,
+    /// Characteristic weights must be positive.
+    NonPositiveWeight(f64),
+    /// Inference failed: the new task has characteristics never experienced.
+    UncoveredCharacteristics {
+        /// How many characteristics had no covering experience.
+        missing: usize,
+    },
+}
+
+impl fmt::Display for TrustError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TrustError::OutOfUnitRange { what, value } => {
+                write!(f, "{what} = {value} outside [0, 1]")
+            }
+            TrustError::BadEnvironment(e) => {
+                write!(f, "environment indicator {e} outside (0, 1]")
+            }
+            TrustError::EmptyTask => write!(f, "a task needs at least one characteristic"),
+            TrustError::NonPositiveWeight(w) => {
+                write!(f, "characteristic weight {w} must be positive")
+            }
+            TrustError::UncoveredCharacteristics { missing } => {
+                write!(f, "{missing} characteristic(s) not covered by any experienced task")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TrustError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_are_informative() {
+        let e = TrustError::OutOfUnitRange { what: "success_rate", value: 1.5 };
+        assert!(e.to_string().contains("success_rate"));
+        assert!(TrustError::BadEnvironment(0.0).to_string().contains("(0, 1]"));
+        assert!(TrustError::EmptyTask.to_string().contains("characteristic"));
+        assert!(TrustError::NonPositiveWeight(-1.0).to_string().contains("-1"));
+        assert!(TrustError::UncoveredCharacteristics { missing: 2 }.to_string().contains('2'));
+    }
+}

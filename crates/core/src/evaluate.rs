@@ -1,0 +1,123 @@
+//! Decision arithmetic of §4.4: candidate scoring (Eq. 23) and the
+//! delegate-or-do-it-yourself comparison (Eq. 24).
+
+use crate::record::TrustRecord;
+
+/// Eq. 23 objective for one candidate: expected net profit
+/// `Ŝ·Ĝ − (1−Ŝ)·D̂ − Ĉ`.
+pub fn net_profit(record: &TrustRecord) -> f64 {
+    record.expected_net_profit()
+}
+
+/// Picks the candidate with the largest expected net profit (Eq. 23).
+///
+/// Returns the index of the winner, or `None` for an empty slate. Ties go
+/// to the earliest candidate, which keeps selection deterministic.
+pub fn select_best<'a, I>(candidates: I) -> Option<usize>
+where
+    I: IntoIterator<Item = &'a TrustRecord>,
+{
+    let mut best: Option<(usize, f64)> = None;
+    for (i, rec) in candidates.into_iter().enumerate() {
+        let p = rec.expected_net_profit();
+        match best {
+            Some((_, bp)) if bp >= p => {}
+            _ => best = Some((i, p)),
+        }
+    }
+    best.map(|(i, _)| i)
+}
+
+/// Eq. 24: the trustor delegates to the trustee rather than doing the task
+/// itself iff the trustee's expected net profit strictly exceeds its own.
+pub fn prefers_delegation(to_trustee: &TrustRecord, to_self: &TrustRecord) -> bool {
+    to_trustee.expected_net_profit() > to_self.expected_net_profit()
+}
+
+/// What an entrusted agent decides to do with a request (§4.4: *"he can
+/// either complete the task or recommend and delegate to other agents"*).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TrusteeDecision {
+    /// Execute the task itself.
+    Execute,
+    /// Sub-delegate to the candidate at this index.
+    Redelegate(usize),
+}
+
+/// The entrusted agent's own decision: execute, or pass the task on to
+/// whichever sub-contractor nets it more profit (the Eq. 24 comparison
+/// applied from the trustee's seat).
+pub fn trustee_decision(
+    own_execution: &TrustRecord,
+    subcontractors: &[TrustRecord],
+) -> TrusteeDecision {
+    match select_best(subcontractors) {
+        Some(i) if prefers_delegation(&subcontractors[i], own_execution) => {
+            TrusteeDecision::Redelegate(i)
+        }
+        _ => TrusteeDecision::Execute,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(s: f64, g: f64, d: f64, c: f64) -> TrustRecord {
+        TrustRecord::with_priors(s, g, d, c)
+    }
+
+    #[test]
+    fn net_profit_formula() {
+        let r = rec(0.8, 0.9, 0.4, 0.1);
+        let expected = 0.8 * 0.9 - 0.2 * 0.4 - 0.1;
+        assert!((net_profit(&r) - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn select_best_prefers_profit_not_success_rate() {
+        // Candidate 0 always succeeds but costs more than it gains;
+        // candidate 1 sometimes fails but nets positive.
+        let c0 = rec(1.0, 0.2, 0.0, 0.5);
+        let c1 = rec(0.7, 0.9, 0.2, 0.1);
+        assert_eq!(select_best([&c0, &c1]), Some(1));
+    }
+
+    #[test]
+    fn select_best_empty_and_ties() {
+        assert_eq!(select_best([]), None);
+        let a = rec(0.5, 0.5, 0.5, 0.5);
+        let b = rec(0.5, 0.5, 0.5, 0.5);
+        assert_eq!(select_best([&a, &b]), Some(0), "ties break to the first");
+    }
+
+    #[test]
+    fn delegation_preference_is_strict() {
+        let better = rec(0.9, 0.9, 0.1, 0.1);
+        let worse = rec(0.5, 0.5, 0.5, 0.5);
+        assert!(prefers_delegation(&better, &worse));
+        assert!(!prefers_delegation(&worse, &better));
+        assert!(!prefers_delegation(&worse, &worse), "equal profit means do it yourself");
+    }
+
+    #[test]
+    fn trustee_redelegates_when_profitable() {
+        let own = rec(0.6, 0.5, 0.3, 0.2); // profit 0.6·0.5−0.4·0.3−0.2 = −0.02
+        let subs = [rec(0.9, 0.8, 0.1, 0.1), rec(0.2, 0.2, 0.8, 0.5)];
+        assert_eq!(trustee_decision(&own, &subs), TrusteeDecision::Redelegate(0));
+        // no subcontractor: execute
+        assert_eq!(trustee_decision(&own, &[]), TrusteeDecision::Execute);
+        // subcontractors all worse: execute
+        let strong_self = rec(1.0, 1.0, 0.0, 0.0);
+        assert_eq!(trustee_decision(&strong_self, &subs), TrusteeDecision::Execute);
+    }
+
+    #[test]
+    fn capable_self_can_still_delegate() {
+        // Paper §4.4: even an agent able to do the job delegates when the
+        // trustee nets more profit.
+        let to_self = rec(1.0, 0.6, 0.0, 0.4); // profit 0.2
+        let to_trustee = rec(0.9, 0.8, 0.1, 0.2); // profit 0.9*0.8-0.1*0.1-0.2 = 0.51
+        assert!(prefers_delegation(&to_trustee, &to_self));
+    }
+}

@@ -1,0 +1,104 @@
+//! The goal ingredient (§3.2/§3.4).
+//!
+//! The trustor delegates because it pursues a goal; §3.4 formalizes the
+//! decision as *"if the expected result is aligned with the goal, e.g.
+//! R̂_{X←Y}(τ) ⊆ Goal_X, trustor X delegates trustee Y"*. A goal here is a
+//! box of acceptable outcomes in (gain, damage, cost, success) space; a
+//! record's expectations are aligned when they fall inside the box.
+
+use crate::record::TrustRecord;
+
+/// The trustor's goal: bounds the outcomes it is willing to accept.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Goal {
+    /// Minimum acceptable expected success rate.
+    pub min_success: f64,
+    /// Minimum acceptable expected gain.
+    pub min_gain: f64,
+    /// Maximum tolerable expected damage.
+    pub max_damage: f64,
+    /// Maximum tolerable expected cost.
+    pub max_cost: f64,
+}
+
+impl Goal {
+    /// A permissive goal: anything goes (useful as a default).
+    pub const ANY: Goal =
+        Goal { min_success: 0.0, min_gain: 0.0, max_damage: 1.0, max_cost: 1.0 };
+
+    /// A goal that just requires positive expected net profit.
+    pub fn profitable() -> Self {
+        // encoded via alignment + the net-profit check in `permits`
+        Goal::ANY
+    }
+
+    /// §3.4 alignment test: is the expected result inside the goal?
+    pub fn aligned(&self, expectation: &TrustRecord) -> bool {
+        expectation.s_hat >= self.min_success
+            && expectation.g_hat >= self.min_gain
+            && expectation.d_hat <= self.max_damage
+            && expectation.c_hat <= self.max_cost
+    }
+
+    /// Full delegation permit: aligned *and* profitable in expectation.
+    pub fn permits(&self, expectation: &TrustRecord) -> bool {
+        self.aligned(expectation) && expectation.expected_net_profit() > 0.0
+    }
+
+    /// Whether an **actual** outcome fulfilled the goal
+    /// (`R ⊆ Goal`; §3.4 notes the actual result may deviate —
+    /// `R ⊄ Goal` — and the expectations must then be revised).
+    pub fn fulfilled_by(&self, success: bool, gain: f64, damage: f64, cost: f64) -> bool {
+        success && gain >= self.min_gain && damage <= self.max_damage && cost <= self.max_cost
+    }
+}
+
+impl Default for Goal {
+    fn default() -> Self {
+        Goal::ANY
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(s: f64, g: f64, d: f64, c: f64) -> TrustRecord {
+        TrustRecord::with_priors(s, g, d, c)
+    }
+
+    #[test]
+    fn any_goal_aligns_with_everything() {
+        assert!(Goal::ANY.aligned(&rec(0.0, 0.0, 1.0, 1.0)));
+        assert!(Goal::default().aligned(&rec(1.0, 1.0, 0.0, 0.0)));
+    }
+
+    #[test]
+    fn alignment_checks_each_bound() {
+        let goal = Goal { min_success: 0.7, min_gain: 0.5, max_damage: 0.3, max_cost: 0.4 };
+        assert!(goal.aligned(&rec(0.8, 0.6, 0.2, 0.3)));
+        assert!(!goal.aligned(&rec(0.6, 0.6, 0.2, 0.3)), "success too low");
+        assert!(!goal.aligned(&rec(0.8, 0.4, 0.2, 0.3)), "gain too low");
+        assert!(!goal.aligned(&rec(0.8, 0.6, 0.4, 0.3)), "damage too high");
+        assert!(!goal.aligned(&rec(0.8, 0.6, 0.2, 0.5)), "cost too high");
+    }
+
+    #[test]
+    fn permits_requires_profit_too() {
+        let goal = Goal::profitable();
+        // aligned but unprofitable: succeed always, gain < cost
+        let aligned_unprofitable = rec(1.0, 0.2, 0.0, 0.9);
+        assert!(goal.aligned(&aligned_unprofitable));
+        assert!(!goal.permits(&aligned_unprofitable));
+        assert!(goal.permits(&rec(0.9, 0.8, 0.1, 0.1)));
+    }
+
+    #[test]
+    fn actual_results_may_fall_outside_the_goal() {
+        let goal = Goal { min_success: 0.0, min_gain: 0.5, max_damage: 0.2, max_cost: 0.3 };
+        assert!(goal.fulfilled_by(true, 0.7, 0.1, 0.2));
+        assert!(!goal.fulfilled_by(false, 0.7, 0.1, 0.2), "failure never fulfills");
+        assert!(!goal.fulfilled_by(true, 0.4, 0.1, 0.2), "side effects: low gain");
+        assert!(!goal.fulfilled_by(true, 0.7, 0.3, 0.2), "side effects: damage");
+    }
+}

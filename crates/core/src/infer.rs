@@ -1,0 +1,170 @@
+//! Inferential transfer of trust with analogous tasks (§4.2, Eqs. 2–4).
+//!
+//! Trustworthiness is not locked to one task type. If every characteristic
+//! of a new task `τ′` appears in previously experienced tasks, the trustor
+//! infers `TW(τ′)` as a weight-combined estimate (Eq. 4):
+//!
+//! ```text
+//! TW(τ′) = Σ_i w_i(τ′) · [ Σ_k w_j(τ_k)·TW(τ_k) / Σ_k w_j(τ_k) ]
+//!          where a_j(τ_k) = a_i(τ′)
+//! ```
+//!
+//! The inner bracket is the per-characteristic estimate — exposed as
+//! [`infer_characteristic`] because the aggressive transitivity scheme
+//! (§4.3) assesses characteristics along *different* paths.
+
+use crate::error::TrustError;
+use crate::task::{CharacteristicId, Task};
+
+/// One piece of experience: a task the trustee performed before and the
+/// trustworthiness the trustor holds for it.
+#[derive(Debug, Clone, Copy)]
+pub struct Experience<'a> {
+    /// The experienced task `τ_k`.
+    pub task: &'a Task,
+    /// `TW_{X←Y}(τ_k)` in `[0, 1]`.
+    pub trustworthiness: f64,
+}
+
+impl<'a> Experience<'a> {
+    /// Convenience constructor.
+    pub fn new(task: &'a Task, trustworthiness: f64) -> Self {
+        Experience { task, trustworthiness }
+    }
+}
+
+/// The inner bracket of Eq. 4: weighted average of the trustworthiness of
+/// every experienced task containing characteristic `c`, weights being the
+/// characteristic's weight inside each task.
+///
+/// Returns `None` when no experienced task contains `c`.
+pub fn infer_characteristic(c: CharacteristicId, experiences: &[Experience<'_>]) -> Option<f64> {
+    let mut num = 0.0;
+    let mut den = 0.0;
+    for e in experiences {
+        if let Some(w) = e.task.weight_of(c) {
+            num += w * e.trustworthiness;
+            den += w;
+        }
+    }
+    (den > 0.0).then(|| num / den)
+}
+
+/// Eq. 4 in full: infers `TW(τ′)` from experienced tasks.
+///
+/// Fails with [`TrustError::UncoveredCharacteristics`] when the coverage
+/// condition of Eq. 2/3 (`∀i ∃j: a_i(τ′) = a_j(τ_k)`) does not hold — in
+/// that case the task is genuinely new and no inference is possible.
+pub fn infer_task(new_task: &Task, experiences: &[Experience<'_>]) -> Result<f64, TrustError> {
+    let mut tw = 0.0;
+    let mut missing = 0usize;
+    for &(c, w) in new_task.characteristics() {
+        match infer_characteristic(c, experiences) {
+            Some(est) => tw += w * est,
+            None => missing += 1,
+        }
+    }
+    if missing > 0 {
+        return Err(TrustError::UncoveredCharacteristics { missing });
+    }
+    Ok(tw)
+}
+
+/// Like [`infer_task`] but tolerates gaps: uncovered characteristics
+/// contribute the pessimistic default `fallback`. Used when a partial
+/// estimate is preferable to refusing (e.g. exploratory delegation).
+pub fn infer_task_with_fallback(
+    new_task: &Task,
+    experiences: &[Experience<'_>],
+    fallback: f64,
+) -> f64 {
+    new_task
+        .characteristics()
+        .iter()
+        .map(|&(c, w)| w * infer_characteristic(c, experiences).unwrap_or(fallback))
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::task::TaskId;
+
+    fn c(i: u32) -> CharacteristicId {
+        CharacteristicId(i)
+    }
+
+    fn task(id: u32, cs: &[(u32, f64)]) -> Task {
+        Task::new(TaskId(id), cs.iter().map(|&(i, w)| (c(i), w))).unwrap()
+    }
+
+    #[test]
+    fn paper_traffic_example() {
+        // GPS task and image task experienced; traffic monitoring = GPS+image.
+        let gps = task(0, &[(0, 1.0)]);
+        let image = task(1, &[(1, 1.0)]);
+        let exp = [Experience::new(&gps, 0.9), Experience::new(&image, 0.7)];
+        let traffic = task(2, &[(0, 1.0), (1, 1.0)]);
+        let tw = infer_task(&traffic, &exp).unwrap();
+        assert!((tw - 0.8).abs() < 1e-12, "equal weights average: {tw}");
+    }
+
+    #[test]
+    fn single_characteristic_weighted_average() {
+        // characteristic 0 appears with different weights in two tasks
+        let t1 = task(0, &[(0, 1.0), (1, 1.0)]); // weight of a0 = 0.5
+        let t2 = task(1, &[(0, 3.0), (2, 1.0)]); // weight of a0 = 0.75
+        let exp = [Experience::new(&t1, 0.4), Experience::new(&t2, 0.8)];
+        let est = infer_characteristic(c(0), &exp).unwrap();
+        let expected = (0.5 * 0.4 + 0.75 * 0.8) / (0.5 + 0.75);
+        assert!((est - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn uncovered_characteristic_errors() {
+        let gps = task(0, &[(0, 1.0)]);
+        let exp = [Experience::new(&gps, 0.9)];
+        let traffic = task(2, &[(0, 1.0), (1, 1.0), (2, 1.0)]);
+        assert_eq!(
+            infer_task(&traffic, &exp),
+            Err(TrustError::UncoveredCharacteristics { missing: 2 })
+        );
+    }
+
+    #[test]
+    fn no_experience_at_all() {
+        let t = task(0, &[(0, 1.0)]);
+        assert!(infer_characteristic(c(0), &[]).is_none());
+        assert!(infer_task(&t, &[]).is_err());
+    }
+
+    #[test]
+    fn fallback_fills_gaps() {
+        let gps = task(0, &[(0, 1.0)]);
+        let exp = [Experience::new(&gps, 1.0)];
+        let two = task(1, &[(0, 1.0), (1, 1.0)]);
+        let tw = infer_task_with_fallback(&two, &exp, 0.0);
+        assert!((tw - 0.5).abs() < 1e-12, "half known-perfect, half fallback-zero");
+    }
+
+    #[test]
+    fn inference_stays_within_input_range() {
+        let t1 = task(0, &[(0, 1.0), (1, 2.0)]);
+        let t2 = task(1, &[(0, 2.0), (1, 1.0)]);
+        let exp = [Experience::new(&t1, 0.3), Experience::new(&t2, 0.6)];
+        let new = task(2, &[(0, 1.0), (1, 1.0)]);
+        let tw = infer_task(&new, &exp).unwrap();
+        assert!((0.3..=0.6).contains(&tw), "convex combination: {tw}");
+    }
+
+    #[test]
+    fn bad_experience_poisons_analogous_tasks() {
+        // §5.4: once a trustee behaves badly on a characteristic, every
+        // task containing that characteristic inherits the distrust.
+        let sensing = task(0, &[(0, 1.0), (1, 1.0)]);
+        let exp = [Experience::new(&sensing, 0.05)];
+        let other = task(1, &[(1, 1.0)]);
+        let tw = infer_task(&other, &exp).unwrap();
+        assert!(tw < 0.1);
+    }
+}

@@ -1,0 +1,67 @@
+//! # siot-core — a comprehensive trust model for the Social IoT
+//!
+//! Implementation of the trust model of *Lin & Dong, "Clarifying Trust in
+//! Social Internet of Things"*. Trust is modelled as a **process** with six
+//! ingredients — trustor, trustee, goal, trustworthiness evaluation,
+//! decision/action/result, and context — rather than a single scalar.
+//!
+//! The crate is organized around the paper's five clarifications:
+//!
+//! | Paper section | Module |
+//! |---|---|
+//! | §4.1 mutuality of trustor and trustee (Eq. 1) | [`mutuality`] |
+//! | §4.2 inferential transfer with analogous tasks (Eqs. 2–4) | [`infer`], [`task`] |
+//! | §4.3 transitivity of trust (Eqs. 5–17) | [`transitivity`] |
+//! | §4.4 trustworthiness updated with delegation results (Eqs. 18–24) | [`record`], [`evaluate`], [`policy`] |
+//! | §4.5 trustworthiness in dynamic environments (Eqs. 25–29) | [`environment`] |
+//!
+//! The model is deliberately **pure**: no RNG, no I/O, no graph — those live
+//! in `siot-sim` and `siot-iot`. Everything here is deterministic arithmetic
+//! on explicit state, which makes the invariants easy to property-test.
+//!
+//! ```
+//! use siot_core::prelude::*;
+//!
+//! // A trustor's view of one trustee on one task:
+//! let mut rec = TrustRecord::optimistic();
+//! let betas = ForgettingFactors::uniform(0.1);
+//! // the trustee succeeds, yielding high gain at moderate cost
+//! rec.update(&Observation { success_rate: 1.0, gain: 0.9, damage: 0.1, cost: 0.2 }, &betas);
+//! let tw = rec.trustworthiness(Normalizer::UNIT);
+//! assert!(tw.value() > 0.5);
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod baselines;
+pub mod context;
+pub mod environment;
+pub mod error;
+pub mod evaluate;
+pub mod goal;
+pub mod infer;
+pub mod mutuality;
+pub mod policy;
+pub mod record;
+pub mod store;
+pub mod task;
+pub mod transitivity;
+pub mod tw;
+
+/// One-stop import for the common types.
+pub mod prelude {
+    pub use crate::context::Context;
+    pub use crate::environment::EnvIndicator;
+    pub use crate::error::TrustError;
+    pub use crate::evaluate::{net_profit, prefers_delegation, trustee_decision, TrusteeDecision};
+    pub use crate::goal::Goal;
+    pub use crate::infer::{infer_characteristic, infer_task, Experience};
+    pub use crate::mutuality::{ReverseEvaluator, UsageLog};
+    pub use crate::policy::{GainOnly, HighestSuccessRate, MaxNetProfit, SelectionPolicy};
+    pub use crate::record::{ForgettingFactors, Observation, TrustRecord};
+    pub use crate::store::TrustStore;
+    pub use crate::task::{CharacteristicId, Task, TaskId};
+    pub use crate::transitivity::{chain, traditional_chain, two_hop, TransitivityGates};
+    pub use crate::tw::{Normalizer, Trustworthiness};
+}

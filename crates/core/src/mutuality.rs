@@ -1,0 +1,146 @@
+//! Mutuality of trustor and trustee (§4.1, Eq. 1).
+//!
+//! Before accepting a delegation, the trustee reverse-evaluates the trustor
+//! — *"to evaluate the trustor, the trustee can use its log files or usage
+//! pattern records to recognize how the trustor has used its resources"* —
+//! and only serves trustors whose reverse trustworthiness clears a
+//! threshold `θ_y(τ)`.
+
+use crate::tw::Trustworthiness;
+
+/// The trustee's usage log about one trustor: counts of responsive
+/// (legitimate) and abusive uses of the trustee's resources.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct UsageLog {
+    /// Legitimate, responsive uses.
+    pub responsive: u64,
+    /// Abusive uses (resource misuse, malicious exploitation).
+    pub abusive: u64,
+}
+
+impl UsageLog {
+    /// An empty log (no history with this trustor).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one legitimate use.
+    pub fn record_responsive(&mut self) {
+        self.responsive += 1;
+    }
+
+    /// Records one abusive use.
+    pub fn record_abusive(&mut self) {
+        self.abusive += 1;
+    }
+
+    /// Total observed uses.
+    pub fn total(&self) -> u64 {
+        self.responsive + self.abusive
+    }
+
+    /// Reverse trustworthiness `T̃W_{y←X}(τ)` from the usage statistics,
+    /// with Laplace smoothing so an empty log yields the neutral prior 0.5
+    /// (an unknown trustor is neither trusted nor distrusted).
+    pub fn reverse_trustworthiness(&self) -> Trustworthiness {
+        let tw = (self.responsive as f64 + 1.0) / (self.total() as f64 + 2.0);
+        Trustworthiness::new(tw)
+    }
+}
+
+/// The trustee-side acceptance test of Eq. 1:
+/// `T̃W_{y←X}(τ) ≥ θ_y(τ)`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ReverseEvaluator {
+    /// The acceptance threshold `θ_y(τ)`.
+    pub theta: f64,
+}
+
+impl ReverseEvaluator {
+    /// A trustee with threshold `theta`. `θ = 0` accepts every trustor —
+    /// the unilateral-evaluation baseline of Fig. 7.
+    pub fn new(theta: f64) -> Self {
+        ReverseEvaluator { theta }
+    }
+
+    /// Whether the trustee accepts a trustor with this usage history.
+    pub fn accepts(&self, log: &UsageLog) -> bool {
+        log.reverse_trustworthiness().clears(self.theta)
+    }
+
+    /// Whether the trustee accepts a trustor with a precomputed reverse
+    /// trustworthiness.
+    pub fn accepts_tw(&self, tw: Trustworthiness) -> bool {
+        tw.clears(self.theta)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_log_is_neutral() {
+        let log = UsageLog::new();
+        assert_eq!(log.reverse_trustworthiness().value(), 0.5);
+        assert_eq!(log.total(), 0);
+    }
+
+    #[test]
+    fn responsive_history_builds_trust() {
+        let mut log = UsageLog::new();
+        for _ in 0..18 {
+            log.record_responsive();
+        }
+        // (18+1)/(18+2) = 0.95
+        assert!((log.reverse_trustworthiness().value() - 0.95).abs() < 1e-12);
+    }
+
+    #[test]
+    fn abusive_history_destroys_trust() {
+        let mut log = UsageLog::new();
+        for _ in 0..8 {
+            log.record_abusive();
+        }
+        // (0+1)/(8+2) = 0.1
+        assert!((log.reverse_trustworthiness().value() - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mixed_history() {
+        let log = UsageLog { responsive: 3, abusive: 1 };
+        // (3+1)/(4+2) = 2/3
+        assert!((log.reverse_trustworthiness().value() - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn theta_zero_accepts_everyone() {
+        let eval = ReverseEvaluator::new(0.0);
+        let hostile = UsageLog { responsive: 0, abusive: 100 };
+        assert!(eval.accepts(&hostile), "θ=0 is the unilateral baseline");
+    }
+
+    #[test]
+    fn theta_blocks_abusers() {
+        let eval = ReverseEvaluator::new(0.3);
+        let abuser = UsageLog { responsive: 0, abusive: 10 };
+        let citizen = UsageLog { responsive: 10, abusive: 0 };
+        assert!(!eval.accepts(&abuser));
+        assert!(eval.accepts(&citizen));
+    }
+
+    #[test]
+    fn theta_point_six_blocks_unknowns() {
+        // with θ = 0.6 even a fresh trustor (0.5) is refused — matching the
+        // rising unavailable rate in Fig. 7.
+        let eval = ReverseEvaluator::new(0.6);
+        assert!(!eval.accepts(&UsageLog::new()));
+    }
+
+    #[test]
+    fn accepts_tw_direct() {
+        let eval = ReverseEvaluator::new(0.5);
+        assert!(eval.accepts_tw(Trustworthiness::new(0.5)));
+        assert!(!eval.accepts_tw(Trustworthiness::new(0.49)));
+    }
+}

@@ -1,0 +1,131 @@
+//! Candidate-selection policies.
+//!
+//! The proposed model scores candidates by expected net profit (Eq. 23);
+//! the evaluation compares it against two degenerate policies that existing
+//! systems use: success-rate-only (Fig. 13 "first strategy") and gain-only
+//! (Fig. 14 baseline, which fragment-attack trustees exploit).
+
+use crate::record::TrustRecord;
+
+/// A scoring rule over trust records; the candidate with the highest score
+/// wins the delegation.
+pub trait SelectionPolicy {
+    /// Score of one candidate.
+    fn score(&self, record: &TrustRecord) -> f64;
+
+    /// Name for reports.
+    fn name(&self) -> &'static str;
+
+    /// Index of the best-scoring candidate (ties to the first).
+    fn select(&self, candidates: &[TrustRecord]) -> Option<usize> {
+        let mut best: Option<(usize, f64)> = None;
+        for (i, rec) in candidates.iter().enumerate() {
+            let s = self.score(rec);
+            match best {
+                Some((_, bs)) if bs >= s => {}
+                _ => best = Some((i, s)),
+            }
+        }
+        best.map(|(i, _)| i)
+    }
+}
+
+/// The proposed policy: Eq. 23, expected net profit
+/// `Ŝ·Ĝ − (1−Ŝ)·D̂ − Ĉ`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MaxNetProfit;
+
+impl SelectionPolicy for MaxNetProfit {
+    fn score(&self, record: &TrustRecord) -> f64 {
+        record.expected_net_profit()
+    }
+
+    fn name(&self) -> &'static str {
+        "max-net-profit"
+    }
+}
+
+/// Fig. 13 "first strategy": consider only the success rate.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct HighestSuccessRate;
+
+impl SelectionPolicy for HighestSuccessRate {
+    fn score(&self, record: &TrustRecord) -> f64 {
+        record.s_hat
+    }
+
+    fn name(&self) -> &'static str {
+        "highest-success-rate"
+    }
+}
+
+/// Fig. 14 baseline: consider only the gain (ignores cost, so
+/// fragment-package attackers that inflate interaction cost go unnoticed).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct GainOnly;
+
+impl SelectionPolicy for GainOnly {
+    fn score(&self, record: &TrustRecord) -> f64 {
+        record.s_hat * record.g_hat
+    }
+
+    fn name(&self) -> &'static str {
+        "gain-only"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(s: f64, g: f64, d: f64, c: f64) -> TrustRecord {
+        TrustRecord::with_priors(s, g, d, c)
+    }
+
+    #[test]
+    fn policies_disagree_on_expensive_reliable_candidate() {
+        // candidate 0: always succeeds, tiny gain, huge cost
+        // candidate 1: 70% success, good gain, small cost
+        let slate = [rec(1.0, 0.3, 0.0, 0.9), rec(0.7, 0.9, 0.1, 0.1)];
+        assert_eq!(HighestSuccessRate.select(&slate), Some(0));
+        assert_eq!(MaxNetProfit.select(&slate), Some(1));
+    }
+
+    #[test]
+    fn gain_only_ignores_cost() {
+        // candidate 0 gains slightly more but costs everything
+        let slate = [rec(1.0, 0.9, 0.0, 1.0), rec(1.0, 0.8, 0.0, 0.0)];
+        assert_eq!(GainOnly.select(&slate), Some(0), "blind to the cost");
+        assert_eq!(MaxNetProfit.select(&slate), Some(1));
+    }
+
+    #[test]
+    fn empty_slate() {
+        assert_eq!(MaxNetProfit.select(&[]), None);
+        assert_eq!(HighestSuccessRate.select(&[]), None);
+        assert_eq!(GainOnly.select(&[]), None);
+    }
+
+    #[test]
+    fn names_are_stable() {
+        assert_eq!(MaxNetProfit.name(), "max-net-profit");
+        assert_eq!(HighestSuccessRate.name(), "highest-success-rate");
+        assert_eq!(GainOnly.name(), "gain-only");
+    }
+
+    #[test]
+    fn select_is_deterministic_on_ties() {
+        let slate = [rec(0.5, 0.5, 0.5, 0.5); 3];
+        assert_eq!(MaxNetProfit.select(&slate), Some(0));
+    }
+
+    #[test]
+    fn policy_objects_are_usable_via_trait_objects() {
+        let policies: Vec<Box<dyn SelectionPolicy>> =
+            vec![Box::new(MaxNetProfit), Box::new(HighestSuccessRate), Box::new(GainOnly)];
+        let slate = [rec(0.9, 0.9, 0.1, 0.1)];
+        for p in &policies {
+            assert_eq!(p.select(&slate), Some(0));
+        }
+    }
+}

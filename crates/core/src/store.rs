@@ -1,0 +1,279 @@
+//! Per-trustor trust state: records, task registry, usage logs.
+//!
+//! A `TrustStore<P>` is everything one agent remembers about its peers:
+//! per-`(peer, task)` trust records (§4.4), the task definitions needed for
+//! characteristic-level inference (§4.2), and the usage logs that back
+//! reverse evaluation (§4.1). Keys are `BTreeMap`s so iteration order — and
+//! therefore every simulation built on top — is deterministic.
+
+use crate::environment::{remove_influence, update_with_environment, EnvIndicator};
+use crate::error::TrustError;
+use crate::infer::{infer_task, Experience};
+use crate::mutuality::UsageLog;
+use crate::record::{ForgettingFactors, Observation, TrustRecord};
+use crate::task::{Task, TaskId};
+use crate::tw::{Normalizer, Trustworthiness};
+use std::collections::BTreeMap;
+
+/// Trust state owned by a single agent, keyed by peer id `P`.
+#[derive(Debug, Clone)]
+pub struct TrustStore<P> {
+    records: BTreeMap<(P, TaskId), TrustRecord>,
+    tasks: BTreeMap<TaskId, Task>,
+    logs: BTreeMap<P, UsageLog>,
+    normalizer: Normalizer,
+}
+
+impl<P: Copy + Ord> Default for TrustStore<P> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<P: Copy + Ord> TrustStore<P> {
+    /// An empty store with the unit normalizer.
+    pub fn new() -> Self {
+        TrustStore {
+            records: BTreeMap::new(),
+            tasks: BTreeMap::new(),
+            logs: BTreeMap::new(),
+            normalizer: Normalizer::UNIT,
+        }
+    }
+
+    /// Registers (or replaces) a task definition. Inference needs the
+    /// characteristic weights, so tasks must be registered before
+    /// observations referencing them.
+    pub fn register_task(&mut self, task: Task) {
+        self.tasks.insert(task.id(), task);
+    }
+
+    /// Looks up a task definition.
+    pub fn task(&self, id: TaskId) -> Option<&Task> {
+        self.tasks.get(&id)
+    }
+
+    /// All registered task definitions.
+    pub fn tasks(&self) -> impl Iterator<Item = &Task> {
+        self.tasks.values()
+    }
+
+    /// The record for `(peer, task)`, if any interaction happened.
+    pub fn record(&self, peer: P, task: TaskId) -> Option<&TrustRecord> {
+        self.records.get(&(peer, task))
+    }
+
+    /// Mutable record, created from `prior` on first access.
+    pub fn record_mut(&mut self, peer: P, task: TaskId, prior: TrustRecord) -> &mut TrustRecord {
+        self.records.entry((peer, task)).or_insert(prior)
+    }
+
+    /// Folds a delegation outcome into the `(peer, task)` record
+    /// (Eqs. 19–22). On first contact the observation *initializes* the
+    /// record (Eq. 19 has no historical value to blend with yet).
+    pub fn observe(&mut self, peer: P, task: TaskId, obs: &Observation, betas: &ForgettingFactors) {
+        match self.records.get_mut(&(peer, task)) {
+            Some(rec) => rec.update(obs, betas),
+            None => {
+                self.records.insert((peer, task), TrustRecord::from_first_observation(obs));
+            }
+        }
+    }
+
+    /// Environment-aware variant (Eqs. 25–28): the observation is passed
+    /// through the removal function r(·) before blending (or before
+    /// initializing, on first contact).
+    pub fn observe_with_environment(
+        &mut self,
+        peer: P,
+        task: TaskId,
+        obs: &Observation,
+        envs: &[EnvIndicator],
+        betas: &ForgettingFactors,
+    ) {
+        match self.records.get_mut(&(peer, task)) {
+            Some(rec) => update_with_environment(rec, obs, envs, betas),
+            None => {
+                let adjusted = Observation {
+                    success_rate: remove_influence(obs.success_rate, envs),
+                    gain: remove_influence(obs.gain, envs),
+                    damage: remove_influence(obs.damage, envs),
+                    cost: remove_influence(obs.cost, envs),
+                };
+                self.records
+                    .insert((peer, task), TrustRecord::from_first_observation(&adjusted));
+            }
+        }
+    }
+
+    /// Eq. 18 trustworthiness toward `peer` on `task`, `None` without
+    /// direct experience.
+    pub fn trustworthiness(&self, peer: P, task: TaskId) -> Option<Trustworthiness> {
+        self.record(peer, task).map(|r| r.trustworthiness(self.normalizer))
+    }
+
+    /// Every `(task, trustworthiness)` experience with `peer`, for use with
+    /// the inference machinery. Tasks lacking a registered definition are
+    /// skipped.
+    pub fn experiences_with(&self, peer: P) -> Vec<Experience<'_>> {
+        self.records
+            .range((peer, TaskId(0))..=(peer, TaskId(u32::MAX)))
+            .filter_map(|(&(_, tid), rec)| {
+                self.tasks.get(&tid).map(|task| {
+                    Experience::new(task, rec.trustworthiness(self.normalizer).value())
+                })
+            })
+            .collect()
+    }
+
+    /// Eq. 4 inference toward `peer` for a task it never performed.
+    pub fn infer(&self, peer: P, new_task: &Task) -> Result<f64, TrustError> {
+        infer_task(new_task, &self.experiences_with(peer))
+    }
+
+    /// Direct trustworthiness when available, inferred otherwise.
+    pub fn trustworthiness_or_inferred(&self, peer: P, task: &Task) -> Option<Trustworthiness> {
+        if let Some(tw) = self.trustworthiness(peer, task.id()) {
+            return Some(tw);
+        }
+        self.infer(peer, task).ok().map(Trustworthiness::new)
+    }
+
+    /// The usage log about `peer` (for reverse evaluation).
+    pub fn usage_log(&self, peer: P) -> UsageLog {
+        self.logs.get(&peer).copied().unwrap_or_default()
+    }
+
+    /// Mutable usage log about `peer`.
+    pub fn usage_log_mut(&mut self, peer: P) -> &mut UsageLog {
+        self.logs.entry(peer).or_default()
+    }
+
+    /// Peers with at least one record, in key order.
+    pub fn known_peers(&self) -> Vec<P> {
+        let mut peers: Vec<P> = self.records.keys().map(|&(p, _)| p).collect();
+        peers.dedup();
+        peers
+    }
+
+    /// Number of `(peer, task)` records held.
+    pub fn record_count(&self) -> usize {
+        self.records.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::task::CharacteristicId;
+
+    fn task(id: u32, cs: &[u32]) -> Task {
+        Task::uniform(TaskId(id), cs.iter().map(|&i| CharacteristicId(i))).unwrap()
+    }
+
+    #[test]
+    fn observe_creates_and_updates() {
+        let mut store: TrustStore<u32> = TrustStore::new();
+        let betas = ForgettingFactors::uniform(0.5);
+        store.observe(7, TaskId(0), &Observation::success(1.0, 0.0), &betas);
+        let rec = store.record(7, TaskId(0)).unwrap();
+        assert_eq!(rec.interactions, 1);
+        assert!(rec.s_hat > 0.5);
+        assert!(store.record(7, TaskId(1)).is_none());
+        assert!(store.record(8, TaskId(0)).is_none());
+    }
+
+    #[test]
+    fn trustworthiness_requires_experience() {
+        let store: TrustStore<u32> = TrustStore::new();
+        assert!(store.trustworthiness(1, TaskId(0)).is_none());
+    }
+
+    #[test]
+    fn inference_via_store() {
+        let mut store: TrustStore<u32> = TrustStore::new();
+        let gps = task(0, &[0]);
+        let image = task(1, &[1]);
+        let traffic = task(2, &[0, 1]);
+        store.register_task(gps);
+        store.register_task(image);
+        let betas = ForgettingFactors::uniform(0.0); // jump to observation
+        // strong experience on both component tasks
+        for tid in [TaskId(0), TaskId(1)] {
+            store.observe(5, tid, &Observation::success(1.0, 0.0), &betas);
+        }
+        let inferred = store.infer(5, &traffic).unwrap();
+        assert!(inferred > 0.8, "inferred = {inferred}");
+        // no record for τ2 itself
+        assert!(store.trustworthiness(5, TaskId(2)).is_none());
+        assert!(store.trustworthiness_or_inferred(5, &traffic).unwrap().value() > 0.8);
+    }
+
+    #[test]
+    fn inference_fails_without_coverage() {
+        let mut store: TrustStore<u32> = TrustStore::new();
+        let gps = task(0, &[0]);
+        store.register_task(gps);
+        store.observe(5, TaskId(0), &Observation::success(1.0, 0.0), &ForgettingFactors::paper());
+        let exotic = task(9, &[7]);
+        assert!(store.infer(5, &exotic).is_err());
+        assert!(store.trustworthiness_or_inferred(5, &exotic).is_none());
+    }
+
+    #[test]
+    fn experiences_scoped_per_peer() {
+        let mut store: TrustStore<u32> = TrustStore::new();
+        store.register_task(task(0, &[0]));
+        let betas = ForgettingFactors::paper();
+        store.observe(1, TaskId(0), &Observation::success(1.0, 0.0), &betas);
+        store.observe(2, TaskId(0), &Observation::failure(1.0, 1.0), &betas);
+        assert_eq!(store.experiences_with(1).len(), 1);
+        assert_eq!(store.experiences_with(2).len(), 1);
+        assert_eq!(store.experiences_with(3).len(), 0);
+        assert_eq!(store.known_peers(), vec![1, 2]);
+        assert_eq!(store.record_count(), 2);
+    }
+
+    #[test]
+    fn environment_aware_observe() {
+        let mut store: TrustStore<u32> = TrustStore::new();
+        let betas = ForgettingFactors::uniform(0.0);
+        let hostile = [EnvIndicator::saturating(0.4)];
+        store.observe_with_environment(
+            1,
+            TaskId(0),
+            &Observation { success_rate: 0.32, gain: 0.0, damage: 0.0, cost: 0.0 },
+            &hostile,
+            &betas,
+        );
+        assert!((store.record(1, TaskId(0)).unwrap().s_hat - 0.8).abs() < 1e-12);
+    }
+
+    #[test]
+    fn usage_logs() {
+        let mut store: TrustStore<u32> = TrustStore::new();
+        store.usage_log_mut(9).record_abusive();
+        store.usage_log_mut(9).record_abusive();
+        store.usage_log_mut(9).record_responsive();
+        let log = store.usage_log(9);
+        assert_eq!(log.total(), 3);
+        assert_eq!(log.abusive, 2);
+        assert_eq!(store.usage_log(1), UsageLog::default());
+    }
+
+    #[test]
+    fn records_with_tendril_task_ids_stay_separate() {
+        let mut store: TrustStore<u32> = TrustStore::new();
+        let betas = ForgettingFactors::paper();
+        store.observe(1, TaskId(0), &Observation::success(1.0, 0.0), &betas);
+        store.observe(1, TaskId(u32::MAX), &Observation::failure(1.0, 1.0), &betas);
+        assert_eq!(store.experiences_with(1).len(), 0, "unregistered tasks are skipped");
+        assert_eq!(store.record_count(), 2);
+    }
+
+    #[test]
+    fn default_impl() {
+        let store: TrustStore<u8> = TrustStore::default();
+        assert_eq!(store.record_count(), 0);
+    }
+}

@@ -1,0 +1,215 @@
+//! Tasks and their characteristics (§4.2 of the paper).
+//!
+//! A task `τ` is not an opaque label: it carries a bag of weighted
+//! characteristics `{a_j(τ)}` (Eq. of §4.2). The real-time-traffic example
+//! of the paper is a task with characteristics {GPS, image, velocity}; an
+//! agent that proved itself on GPS and imaging tasks can be trusted for
+//! traffic monitoring even though the task type is new (Eqs. 2–4).
+
+use crate::error::TrustError;
+use std::fmt;
+
+/// Identifier of a task *type* (the paper's τ).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct TaskId(pub u32);
+
+impl fmt::Display for TaskId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "τ{}", self.0)
+    }
+}
+
+/// Identifier of a task characteristic (the paper's `a_j`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct CharacteristicId(pub u32);
+
+impl fmt::Display for CharacteristicId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "a{}", self.0)
+    }
+}
+
+/// A task: an id plus a non-empty bag of positively-weighted
+/// characteristics. Weights are normalized to sum to 1 on construction, so
+/// `w_i(τ)` of Eq. 4 can be read off directly.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Task {
+    id: TaskId,
+    /// `(characteristic, normalized weight)`, sorted by characteristic id.
+    characteristics: Vec<(CharacteristicId, f64)>,
+}
+
+impl Task {
+    /// Builds a task from `(characteristic, weight)` pairs.
+    ///
+    /// Duplicated characteristics have their weights merged. Weights are
+    /// normalized to sum to 1.
+    pub fn new(
+        id: TaskId,
+        characteristics: impl IntoIterator<Item = (CharacteristicId, f64)>,
+    ) -> Result<Self, TrustError> {
+        let mut cs: Vec<(CharacteristicId, f64)> = Vec::new();
+        for (c, w) in characteristics {
+            if w <= 0.0 || !w.is_finite() {
+                return Err(TrustError::NonPositiveWeight(w));
+            }
+            match cs.binary_search_by_key(&c, |&(cc, _)| cc) {
+                Ok(i) => cs[i].1 += w,
+                Err(i) => cs.insert(i, (c, w)),
+            }
+        }
+        if cs.is_empty() {
+            return Err(TrustError::EmptyTask);
+        }
+        let total: f64 = cs.iter().map(|&(_, w)| w).sum();
+        for (_, w) in cs.iter_mut() {
+            *w /= total;
+        }
+        Ok(Task { id, characteristics: cs })
+    }
+
+    /// Builds a task whose characteristics all carry equal weight.
+    pub fn uniform(
+        id: TaskId,
+        characteristics: impl IntoIterator<Item = CharacteristicId>,
+    ) -> Result<Self, TrustError> {
+        Task::new(id, characteristics.into_iter().map(|c| (c, 1.0)))
+    }
+
+    /// The task type id.
+    pub fn id(&self) -> TaskId {
+        self.id
+    }
+
+    /// `(characteristic, normalized weight)` pairs, sorted by id.
+    pub fn characteristics(&self) -> &[(CharacteristicId, f64)] {
+        &self.characteristics
+    }
+
+    /// Just the characteristic ids, sorted.
+    pub fn characteristic_ids(&self) -> impl Iterator<Item = CharacteristicId> + '_ {
+        self.characteristics.iter().map(|&(c, _)| c)
+    }
+
+    /// Number of characteristics.
+    pub fn len(&self) -> usize {
+        self.characteristics.len()
+    }
+
+    /// Tasks always have at least one characteristic; kept for API symmetry.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Normalized weight of `c` in this task, if present.
+    pub fn weight_of(&self, c: CharacteristicId) -> Option<f64> {
+        self.characteristics
+            .binary_search_by_key(&c, |&(cc, _)| cc)
+            .ok()
+            .map(|i| self.characteristics[i].1)
+    }
+
+    /// Whether this task includes characteristic `c`.
+    pub fn has_characteristic(&self, c: CharacteristicId) -> bool {
+        self.weight_of(c).is_some()
+    }
+
+    /// Whether every characteristic of `self` appears in `other`
+    /// (`{a(self)} ⊆ {a(other)}`, the conservative-transitivity condition
+    /// of Eq. 8).
+    pub fn covered_by(&self, other: &Task) -> bool {
+        self.characteristic_ids().all(|c| other.has_characteristic(c))
+    }
+
+    /// Whether every characteristic of `self` appears in at least one task
+    /// of `others` (`{a(self)} ⊆ ∪{a(τk)}`, the aggressive condition of
+    /// Eq. 12).
+    pub fn covered_by_union<'a>(&self, others: impl IntoIterator<Item = &'a Task> + Clone) -> bool {
+        self.characteristic_ids()
+            .all(|c| others.clone().into_iter().any(|t| t.has_characteristic(c)))
+    }
+
+    /// Characteristics shared with `other`.
+    pub fn shared_characteristics(&self, other: &Task) -> Vec<CharacteristicId> {
+        self.characteristic_ids().filter(|&c| other.has_characteristic(c)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn c(i: u32) -> CharacteristicId {
+        CharacteristicId(i)
+    }
+
+    #[test]
+    fn weights_normalize() {
+        let t = Task::new(TaskId(0), [(c(1), 2.0), (c(2), 6.0)]).unwrap();
+        assert!((t.weight_of(c(1)).unwrap() - 0.25).abs() < 1e-12);
+        assert!((t.weight_of(c(2)).unwrap() - 0.75).abs() < 1e-12);
+        let sum: f64 = t.characteristics().iter().map(|&(_, w)| w).sum();
+        assert!((sum - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn duplicate_characteristics_merge() {
+        let t = Task::new(TaskId(0), [(c(1), 1.0), (c(1), 3.0)]).unwrap();
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.weight_of(c(1)), Some(1.0));
+    }
+
+    #[test]
+    fn empty_task_rejected() {
+        assert_eq!(Task::uniform(TaskId(0), []), Err(TrustError::EmptyTask));
+    }
+
+    #[test]
+    fn bad_weights_rejected() {
+        assert!(Task::new(TaskId(0), [(c(1), 0.0)]).is_err());
+        assert!(Task::new(TaskId(0), [(c(1), -2.0)]).is_err());
+        assert!(Task::new(TaskId(0), [(c(1), f64::NAN)]).is_err());
+    }
+
+    #[test]
+    fn uniform_distributes_equally() {
+        let t = Task::uniform(TaskId(3), [c(0), c(1), c(2), c(3)]).unwrap();
+        for i in 0..4 {
+            assert!((t.weight_of(c(i)).unwrap() - 0.25).abs() < 1e-12);
+        }
+        assert_eq!(t.id(), TaskId(3));
+    }
+
+    #[test]
+    fn coverage_checks() {
+        let gps_img = Task::uniform(TaskId(0), [c(0), c(1)]).unwrap();
+        let gps = Task::uniform(TaskId(1), [c(0)]).unwrap();
+        let vel = Task::uniform(TaskId(2), [c(2)]).unwrap();
+        let traffic = Task::uniform(TaskId(3), [c(0), c(1), c(2)]).unwrap();
+
+        assert!(gps.covered_by(&gps_img));
+        assert!(!traffic.covered_by(&gps_img));
+        assert!(traffic.covered_by_union([&gps_img, &vel]));
+        assert!(!traffic.covered_by_union([&gps_img, &gps]));
+        assert_eq!(traffic.shared_characteristics(&gps_img), vec![c(0), c(1)]);
+    }
+
+    #[test]
+    fn characteristics_sorted_by_id() {
+        let t = Task::new(TaskId(0), [(c(9), 1.0), (c(2), 1.0), (c(5), 1.0)]).unwrap();
+        let ids: Vec<_> = t.characteristic_ids().collect();
+        assert_eq!(ids, vec![c(2), c(5), c(9)]);
+    }
+
+    #[test]
+    fn display_impls() {
+        assert_eq!(TaskId(4).to_string(), "τ4");
+        assert_eq!(CharacteristicId(2).to_string(), "a2");
+    }
+
+    #[test]
+    fn is_empty_always_false() {
+        let t = Task::uniform(TaskId(0), [c(1)]).unwrap();
+        assert!(!t.is_empty());
+    }
+}

@@ -1,0 +1,292 @@
+//! Transitivity of trust (§4.3, Eqs. 5–17).
+//!
+//! The traditional model (Eq. 5) multiplies trustworthiness along a path
+//! and transits trust without restriction. The clarified model:
+//!
+//! * distinguishes *recommendation* trust (toward intermediate nodes, gated
+//!   by ω₁) from *execution* trust (toward the trustee, gated by ω₂);
+//! * combines two hops with Eq. 7, which keeps the
+//!   `(1−TW_AB)(1−TW_BC)` term — mistrusting a recommender who misjudges
+//!   their successor still yields usable information;
+//! * restricts transfer to compatible task contexts, with two schemes:
+//!   **conservative** (Eqs. 8–11: every characteristic of the new task must
+//!   travel a single path) and **aggressive** (Eqs. 12–17: characteristics
+//!   may be assessed along different paths and are recombined by weight).
+
+use crate::error::TrustError;
+use crate::infer::{infer_characteristic, infer_task, Experience};
+use crate::task::{CharacteristicId, Task};
+
+/// Eq. 5 — the traditional unrestricted product along a path.
+pub fn traditional_chain(tws: &[f64]) -> f64 {
+    tws.iter().product()
+}
+
+/// Eq. 7 — the two-hop combination rule:
+/// `TW_AC = TW_AB·TW_BC + (1 − TW_AB)(1 − TW_BC)`.
+pub fn two_hop(tw_ab: f64, tw_bc: f64) -> f64 {
+    tw_ab * tw_bc + (1.0 - tw_ab) * (1.0 - tw_bc)
+}
+
+/// Folds Eq. 7 left-to-right along a path of trust values.
+///
+/// A single-element path is that element; the empty path is full trust
+/// (the degenerate "no hops" case).
+pub fn chain(tws: &[f64]) -> f64 {
+    match tws.split_first() {
+        None => 1.0,
+        Some((&first, rest)) => rest.iter().fold(first, |acc, &t| two_hop(acc, t)),
+    }
+}
+
+/// The ω₁ (recommendation) and ω₂ (execution) gates of Eqs. 7/11.
+///
+/// Trust only transits when every intermediate recommendation clears ω₁
+/// and the final execution link clears ω₂. The paper describes both as
+/// "preset trustworthiness with relatively high values".
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TransitivityGates {
+    /// Minimum recommendation trustworthiness for intermediates.
+    pub omega1: f64,
+    /// Minimum execution trustworthiness for the final trustee link.
+    pub omega2: f64,
+}
+
+impl TransitivityGates {
+    /// The permissive gate (everything passes) — used by the traditional
+    /// baseline, which transits trust without restriction.
+    pub const OPEN: TransitivityGates = TransitivityGates { omega1: 0.0, omega2: 0.0 };
+
+    /// A reasonable default: both gates at 0.5.
+    pub fn default_gates() -> Self {
+        TransitivityGates { omega1: 0.5, omega2: 0.5 }
+    }
+
+    /// Checks a path: `recommendations` are the intermediate links, and
+    /// `execution` the final link toward the trustee.
+    pub fn pass(&self, recommendations: &[f64], execution: f64) -> bool {
+        recommendations.iter().all(|&r| r >= self.omega1) && execution >= self.omega2
+    }
+}
+
+/// Conservative transitivity (Eqs. 8–11) along one path.
+///
+/// `links[i]` holds the experiences available at hop `i` (the first links
+/// are recommendations, the last is the executing trustee). Every hop must
+/// cover *all* characteristics of `new_task` (Eq. 8's intersection
+/// condition); per-hop trustworthiness toward the new task is inferred with
+/// Eq. 4 (Eqs. 9–10), gated, and combined with the Eq. 7 chain (Eq. 11).
+///
+/// Returns `None` when coverage or gates fail.
+pub fn conservative_path(
+    new_task: &Task,
+    links: &[Vec<Experience<'_>>],
+    gates: &TransitivityGates,
+) -> Option<f64> {
+    if links.is_empty() {
+        return None;
+    }
+    let mut tws = Vec::with_capacity(links.len());
+    for link in links {
+        tws.push(infer_task(new_task, link).ok()?);
+    }
+    let (&execution, recommendations) = tws.split_last().expect("links is non-empty");
+    if !gates.pass(recommendations, execution) {
+        return None;
+    }
+    Some(chain(&tws))
+}
+
+/// One characteristic assessed along one path (the building block of
+/// aggressive transitivity, Eqs. 13–16).
+///
+/// Infers the characteristic estimate at every hop and chains them with
+/// Eq. 7. `None` if any hop lacks experience with the characteristic or a
+/// gate fails.
+pub fn characteristic_along_path(
+    c: CharacteristicId,
+    links: &[Vec<Experience<'_>>],
+    gates: &TransitivityGates,
+) -> Option<f64> {
+    if links.is_empty() {
+        return None;
+    }
+    let mut tws = Vec::with_capacity(links.len());
+    for link in links {
+        tws.push(infer_characteristic(c, link)?);
+    }
+    let (&execution, recommendations) = tws.split_last().expect("links is non-empty");
+    if !gates.pass(recommendations, execution) {
+        return None;
+    }
+    Some(chain(&tws))
+}
+
+/// Eq. 17 — recombines per-characteristic estimates into the
+/// trustworthiness of the new task: `TW(τ″) = Σ w_i·TW(a_i(τ″))`.
+///
+/// Every characteristic of the task must have an estimate (Eq. 12's union
+/// condition); otherwise [`TrustError::UncoveredCharacteristics`].
+pub fn aggressive_combine(
+    new_task: &Task,
+    per_characteristic: &[(CharacteristicId, f64)],
+) -> Result<f64, TrustError> {
+    let mut tw = 0.0;
+    let mut missing = 0usize;
+    for &(c, w) in new_task.characteristics() {
+        match per_characteristic.iter().find(|&&(cc, _)| cc == c) {
+            Some(&(_, est)) => tw += w * est,
+            None => missing += 1,
+        }
+    }
+    if missing > 0 {
+        return Err(TrustError::UncoveredCharacteristics { missing });
+    }
+    Ok(tw)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::task::TaskId;
+
+    fn c(i: u32) -> CharacteristicId {
+        CharacteristicId(i)
+    }
+
+    fn task(id: u32, cs: &[u32]) -> Task {
+        Task::uniform(TaskId(id), cs.iter().map(|&i| c(i))).unwrap()
+    }
+
+    #[test]
+    fn traditional_is_a_product() {
+        assert!((traditional_chain(&[0.9, 0.8, 0.5]) - 0.36).abs() < 1e-12);
+        assert_eq!(traditional_chain(&[]), 1.0);
+    }
+
+    #[test]
+    fn two_hop_matches_eq7() {
+        // 0.9·0.8 + 0.1·0.2 = 0.74
+        assert!((two_hop(0.9, 0.8) - 0.74).abs() < 1e-12);
+        // symmetric
+        assert_eq!(two_hop(0.3, 0.7), two_hop(0.7, 0.3));
+    }
+
+    #[test]
+    fn two_hop_keeps_the_mistrust_term() {
+        // Both links distrusted: the traditional product says 0.04, but
+        // Eq. 7 says agreement-of-mistrust is informative (0.04 + 0.72).
+        let t = two_hop(0.2, 0.2);
+        assert!((t - (0.04 + 0.64)).abs() < 1e-12);
+        assert!(t > traditional_chain(&[0.2, 0.2]));
+    }
+
+    #[test]
+    fn two_hop_stays_in_unit_interval() {
+        for a in [0.0, 0.1, 0.5, 0.9, 1.0] {
+            for b in [0.0, 0.3, 0.6, 1.0] {
+                let t = two_hop(a, b);
+                assert!((0.0..=1.0).contains(&t), "two_hop({a},{b}) = {t}");
+            }
+        }
+    }
+
+    #[test]
+    fn chain_folds_left() {
+        let manual = two_hop(two_hop(0.9, 0.8), 0.7);
+        assert!((chain(&[0.9, 0.8, 0.7]) - manual).abs() < 1e-12);
+        assert_eq!(chain(&[0.42]), 0.42);
+        assert_eq!(chain(&[]), 1.0);
+    }
+
+    #[test]
+    fn perfect_links_chain_to_one() {
+        assert_eq!(chain(&[1.0, 1.0, 1.0, 1.0]), 1.0);
+    }
+
+    #[test]
+    fn gates_block_low_links() {
+        let gates = TransitivityGates { omega1: 0.7, omega2: 0.6 };
+        assert!(gates.pass(&[0.8, 0.75], 0.65));
+        assert!(!gates.pass(&[0.8, 0.65], 0.9), "ω₁ violated");
+        assert!(!gates.pass(&[0.9], 0.5), "ω₂ violated");
+        assert!(TransitivityGates::OPEN.pass(&[0.0], 0.0));
+    }
+
+    #[test]
+    fn conservative_path_happy_case() {
+        // B trusts C with task {0,1}; C trusts D with task {0,1,2};
+        // new task {0} is covered by both.
+        let t_bc = task(0, &[0, 1]);
+        let t_cd = task(1, &[0, 1, 2]);
+        let links = vec![
+            vec![Experience::new(&t_bc, 0.9)],
+            vec![Experience::new(&t_cd, 0.8)],
+        ];
+        let new = task(9, &[0]);
+        let tw = conservative_path(&new, &links, &TransitivityGates::default_gates()).unwrap();
+        assert!((tw - two_hop(0.9, 0.8)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn conservative_path_blocks_uncovered() {
+        let t_bc = task(0, &[0]);
+        let t_cd = task(1, &[0, 1]);
+        let links =
+            vec![vec![Experience::new(&t_bc, 0.9)], vec![Experience::new(&t_cd, 0.9)]];
+        // characteristic 1 missing from the first hop
+        let new = task(9, &[0, 1]);
+        assert!(conservative_path(&new, &links, &TransitivityGates::OPEN).is_none());
+    }
+
+    #[test]
+    fn conservative_path_respects_gates() {
+        let t = task(0, &[0]);
+        let links = vec![vec![Experience::new(&t, 0.4)], vec![Experience::new(&t, 0.9)]];
+        let new = task(9, &[0]);
+        let gates = TransitivityGates { omega1: 0.5, omega2: 0.5 };
+        assert!(conservative_path(&new, &links, &gates).is_none(), "recommendation too low");
+        assert!(conservative_path(&new, &links, &TransitivityGates::OPEN).is_some());
+    }
+
+    #[test]
+    fn conservative_path_empty_links() {
+        let new = task(9, &[0]);
+        assert!(conservative_path(&new, &[], &TransitivityGates::OPEN).is_none());
+    }
+
+    #[test]
+    fn aggressive_paper_figure5b() {
+        // {a1} along B←C←E with 0.9/0.8, {a2} along B←D←E with 0.7/0.9;
+        // τ″ weighs both characteristics equally.
+        let gates = TransitivityGates::OPEN;
+        let t_a1 = task(0, &[1]);
+        let t_a2 = task(1, &[2]);
+        let path1 = vec![vec![Experience::new(&t_a1, 0.9)], vec![Experience::new(&t_a1, 0.8)]];
+        let path2 = vec![vec![Experience::new(&t_a2, 0.7)], vec![Experience::new(&t_a2, 0.9)]];
+        let tw_a1 = characteristic_along_path(c(1), &path1, &gates).unwrap();
+        let tw_a2 = characteristic_along_path(c(2), &path2, &gates).unwrap();
+        let new = task(9, &[1, 2]);
+        let tw = aggressive_combine(&new, &[(c(1), tw_a1), (c(2), tw_a2)]).unwrap();
+        let expected = 0.5 * two_hop(0.9, 0.8) + 0.5 * two_hop(0.7, 0.9);
+        assert!((tw - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn aggressive_combine_requires_full_coverage() {
+        let new = task(9, &[1, 2]);
+        assert_eq!(
+            aggressive_combine(&new, &[(c(1), 0.9)]),
+            Err(TrustError::UncoveredCharacteristics { missing: 1 })
+        );
+    }
+
+    #[test]
+    fn characteristic_path_requires_every_hop() {
+        let t_a1 = task(0, &[1]);
+        let t_other = task(1, &[5]);
+        let links =
+            vec![vec![Experience::new(&t_a1, 0.9)], vec![Experience::new(&t_other, 0.9)]];
+        assert!(characteristic_along_path(c(1), &links, &TransitivityGates::OPEN).is_none());
+    }
+}

@@ -1,0 +1,161 @@
+//! Trustworthiness values and the normalization operator `N[·]` (Eq. 18).
+
+use std::fmt;
+
+/// A trustworthiness value clamped to `[0, 1]`.
+///
+/// The paper allows either `[0, 1]` or `[−1, 1]` as the canonical range; we
+/// standardize storage on `[0, 1]` (the range used throughout the
+/// evaluation) and let [`Normalizer`] map raw net-profit values into it.
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd)]
+pub struct Trustworthiness(f64);
+
+impl Trustworthiness {
+    /// Complete distrust.
+    pub const ZERO: Trustworthiness = Trustworthiness(0.0);
+    /// Complete trust.
+    pub const ONE: Trustworthiness = Trustworthiness(1.0);
+    /// The indifferent midpoint.
+    pub const HALF: Trustworthiness = Trustworthiness(0.5);
+
+    /// Clamps `v` into `[0, 1]` (NaN becomes 0).
+    pub fn new(v: f64) -> Self {
+        if v.is_nan() {
+            Trustworthiness(0.0)
+        } else {
+            Trustworthiness(v.clamp(0.0, 1.0))
+        }
+    }
+
+    /// The inner value.
+    #[inline]
+    pub fn value(self) -> f64 {
+        self.0
+    }
+
+    /// Whether this value clears threshold `theta` (Eq. 1's
+    /// `TW ≥ θ_y(τ)` test).
+    pub fn clears(self, theta: f64) -> bool {
+        self.0 >= theta
+    }
+}
+
+impl fmt::Display for Trustworthiness {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.3}", self.0)
+    }
+}
+
+impl From<f64> for Trustworthiness {
+    fn from(v: f64) -> Self {
+        Trustworthiness::new(v)
+    }
+}
+
+/// The normalization operator `N[·]` of Eq. 18: an affine map from the raw
+/// net-profit range onto a target range, then clamped.
+///
+/// With `Ŝ, Ĝ, D̂, Ĉ ∈ [0, 1]` the raw net profit
+/// `Ŝ·Ĝ − (1−Ŝ)·D̂ − Ĉ` lies in `[−2, 1]`, which is the default source
+/// interval.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Normalizer {
+    /// Smallest possible raw value.
+    pub raw_min: f64,
+    /// Largest possible raw value.
+    pub raw_max: f64,
+    /// Lower bound of the target range.
+    pub out_min: f64,
+    /// Upper bound of the target range.
+    pub out_max: f64,
+}
+
+impl Normalizer {
+    /// Maps raw net profit in `[−2, 1]` onto `[0, 1]`.
+    pub const UNIT: Normalizer =
+        Normalizer { raw_min: -2.0, raw_max: 1.0, out_min: 0.0, out_max: 1.0 };
+
+    /// Maps raw net profit in `[−2, 1]` onto `[−1, 1]` (the paper's
+    /// alternative range).
+    pub const SIGNED: Normalizer =
+        Normalizer { raw_min: -2.0, raw_max: 1.0, out_min: -1.0, out_max: 1.0 };
+
+    /// Applies the affine map and clamps to the target range.
+    pub fn apply(&self, raw: f64) -> f64 {
+        if self.raw_max <= self.raw_min {
+            return self.out_min;
+        }
+        let t = (raw - self.raw_min) / (self.raw_max - self.raw_min);
+        (self.out_min + t * (self.out_max - self.out_min)).clamp(
+            self.out_min.min(self.out_max),
+            self.out_max.max(self.out_min),
+        )
+    }
+
+    /// Applies the map and wraps the result as [`Trustworthiness`]
+    /// (meaningful for unit-range normalizers).
+    pub fn trustworthiness(&self, raw: f64) -> Trustworthiness {
+        Trustworthiness::new(self.apply(raw))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clamping() {
+        assert_eq!(Trustworthiness::new(1.5).value(), 1.0);
+        assert_eq!(Trustworthiness::new(-0.2).value(), 0.0);
+        assert_eq!(Trustworthiness::new(f64::NAN).value(), 0.0);
+        assert_eq!(Trustworthiness::new(0.42).value(), 0.42);
+    }
+
+    #[test]
+    fn threshold_check() {
+        assert!(Trustworthiness::new(0.6).clears(0.6));
+        assert!(!Trustworthiness::new(0.59).clears(0.6));
+        assert!(Trustworthiness::ONE.clears(1.0));
+        assert!(Trustworthiness::ZERO.clears(0.0));
+    }
+
+    #[test]
+    fn unit_normalizer_endpoints() {
+        assert_eq!(Normalizer::UNIT.apply(-2.0), 0.0);
+        assert_eq!(Normalizer::UNIT.apply(1.0), 1.0);
+        assert!((Normalizer::UNIT.apply(-0.5) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn signed_normalizer_endpoints() {
+        assert_eq!(Normalizer::SIGNED.apply(-2.0), -1.0);
+        assert_eq!(Normalizer::SIGNED.apply(1.0), 1.0);
+        assert!((Normalizer::SIGNED.apply(-0.5)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn out_of_range_raw_clamps() {
+        assert_eq!(Normalizer::UNIT.apply(5.0), 1.0);
+        assert_eq!(Normalizer::UNIT.apply(-9.0), 0.0);
+    }
+
+    #[test]
+    fn degenerate_normalizer_returns_min() {
+        let n = Normalizer { raw_min: 1.0, raw_max: 1.0, out_min: 0.0, out_max: 1.0 };
+        assert_eq!(n.apply(3.0), 0.0);
+    }
+
+    #[test]
+    fn display_and_from() {
+        assert_eq!(Trustworthiness::new(0.5).to_string(), "0.500");
+        let t: Trustworthiness = 0.25f64.into();
+        assert_eq!(t.value(), 0.25);
+    }
+
+    #[test]
+    fn constants() {
+        assert_eq!(Trustworthiness::ZERO.value(), 0.0);
+        assert_eq!(Trustworthiness::ONE.value(), 1.0);
+        assert_eq!(Trustworthiness::HALF.value(), 0.5);
+    }
+}

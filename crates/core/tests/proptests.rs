@@ -1,0 +1,186 @@
+//! Property-based tests on the trust-model invariants.
+
+use proptest::prelude::*;
+use siot_core::prelude::*;
+use siot_core::environment::{cannikin, remove_influence, EnvIndicator};
+use siot_core::record::TrustRecord;
+
+fn unit() -> impl Strategy<Value = f64> {
+    0.0..=1.0f64
+}
+
+fn observation() -> impl Strategy<Value = Observation> {
+    (unit(), unit(), unit(), unit()).prop_map(|(s, g, d, c)| Observation {
+        success_rate: s,
+        gain: g,
+        damage: d,
+        cost: c,
+    })
+}
+
+proptest! {
+    // ---- Eq. 7 two-hop combiner -------------------------------------
+
+    #[test]
+    fn two_hop_closed_on_unit_interval(a in unit(), b in unit()) {
+        let t = two_hop(a, b);
+        prop_assert!((0.0..=1.0).contains(&t));
+    }
+
+    #[test]
+    fn two_hop_symmetric(a in unit(), b in unit()) {
+        prop_assert!((two_hop(a, b) - two_hop(b, a)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn two_hop_perfect_link_is_identity(a in unit()) {
+        prop_assert!((two_hop(1.0, a) - a).abs() < 1e-12);
+    }
+
+    #[test]
+    fn two_hop_broken_link_inverts(a in unit()) {
+        prop_assert!((two_hop(0.0, a) - (1.0 - a)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn chain_closed_on_unit_interval(tws in prop::collection::vec(unit(), 0..8)) {
+        let t = chain(&tws);
+        prop_assert!((0.0..=1.0).contains(&t));
+    }
+
+    #[test]
+    fn traditional_chain_never_exceeds_eq7_on_distrust(
+        a in 0.0..=0.5f64, b in 0.0..=0.5f64
+    ) {
+        // the mistrust-agreement term only adds information
+        prop_assert!(two_hop(a, b) >= traditional_chain(&[a, b]) - 1e-12);
+    }
+
+    // ---- EWMA updates (Eqs. 19–22) -----------------------------------
+
+    #[test]
+    fn record_components_stay_in_unit_range(
+        obs_seq in prop::collection::vec(observation(), 1..30),
+        beta in unit(),
+    ) {
+        let mut rec = TrustRecord::neutral();
+        let betas = ForgettingFactors::uniform(beta);
+        for obs in &obs_seq {
+            rec.update(obs, &betas);
+            for v in [rec.s_hat, rec.g_hat, rec.d_hat, rec.c_hat] {
+                prop_assert!((0.0..=1.0).contains(&v));
+            }
+        }
+        prop_assert_eq!(rec.interactions, obs_seq.len() as u64);
+    }
+
+    #[test]
+    fn update_moves_toward_observation(obs in observation(), beta in 0.0..0.999f64) {
+        let mut rec = TrustRecord::neutral();
+        let before = rec.s_hat;
+        rec.update(&obs, &ForgettingFactors::uniform(beta));
+        // the new estimate lies between the prior and the observation
+        let lo = before.min(obs.success_rate) - 1e-12;
+        let hi = before.max(obs.success_rate) + 1e-12;
+        prop_assert!(rec.s_hat >= lo && rec.s_hat <= hi);
+    }
+
+    #[test]
+    fn net_profit_bounded(obs in observation()) {
+        let mut rec = TrustRecord::neutral();
+        rec.update(&obs, &ForgettingFactors::paper());
+        let p = rec.expected_net_profit();
+        prop_assert!((-2.0..=1.0).contains(&p));
+    }
+
+    // ---- Normalizer (Eq. 18) ------------------------------------------
+
+    #[test]
+    fn normalizer_output_in_target_range(raw in -5.0..5.0f64) {
+        let u = Normalizer::UNIT.apply(raw);
+        prop_assert!((0.0..=1.0).contains(&u));
+        let s = Normalizer::SIGNED.apply(raw);
+        prop_assert!((-1.0..=1.0).contains(&s));
+    }
+
+    #[test]
+    fn normalizer_monotone(a in -2.0..=1.0f64, b in -2.0..=1.0f64) {
+        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+        prop_assert!(Normalizer::UNIT.apply(lo) <= Normalizer::UNIT.apply(hi) + 1e-12);
+    }
+
+    // ---- Inference (Eq. 4) --------------------------------------------
+
+    #[test]
+    fn inference_is_convex_combination(
+        tws in prop::collection::vec(unit(), 1..6),
+    ) {
+        // experienced tasks each with one shared characteristic
+        let tasks: Vec<Task> = (0..tws.len())
+            .map(|i| {
+                Task::uniform(TaskId(i as u32), [CharacteristicId(0), CharacteristicId(i as u32 + 1)])
+                    .unwrap()
+            })
+            .collect();
+        let experiences: Vec<Experience> = tasks
+            .iter()
+            .zip(&tws)
+            .map(|(t, &tw)| Experience::new(t, tw))
+            .collect();
+        let new_task = Task::uniform(TaskId(99), [CharacteristicId(0)]).unwrap();
+        let inferred = infer_task(&new_task, &experiences).unwrap();
+        let lo = tws.iter().copied().fold(f64::INFINITY, f64::min);
+        let hi = tws.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        prop_assert!(inferred >= lo - 1e-9 && inferred <= hi + 1e-9);
+    }
+
+    #[test]
+    fn task_weights_always_sum_to_one(
+        weights in prop::collection::vec(0.01..10.0f64, 1..10)
+    ) {
+        let task = Task::new(
+            TaskId(0),
+            weights.iter().enumerate().map(|(i, &w)| (CharacteristicId(i as u32), w)),
+        )
+        .unwrap();
+        let sum: f64 = task.characteristics().iter().map(|&(_, w)| w).sum();
+        prop_assert!((sum - 1.0).abs() < 1e-9);
+    }
+
+    // ---- Environment removal (Eq. 29) ---------------------------------
+
+    #[test]
+    fn removal_closed_and_amplifying(x in unit(), e in 0.05..=1.0f64) {
+        let env = [EnvIndicator::new(e).unwrap()];
+        let r = remove_influence(x, &env);
+        prop_assert!((0.0..=1.0).contains(&r));
+        prop_assert!(r >= x - 1e-12, "removal can only credit, not punish");
+    }
+
+    #[test]
+    fn cannikin_is_min(es in prop::collection::vec(0.05..=1.0f64, 1..6)) {
+        let envs: Vec<EnvIndicator> =
+            es.iter().map(|&e| EnvIndicator::new(e).unwrap()).collect();
+        let m = cannikin(&envs).value();
+        let lo = es.iter().copied().fold(f64::INFINITY, f64::min);
+        prop_assert!((m - lo).abs() < 1e-12);
+    }
+
+    // ---- Mutuality ------------------------------------------------------
+
+    #[test]
+    fn reverse_tw_strictly_inside_unit(r in 0u64..500, a in 0u64..500) {
+        let log = UsageLog { responsive: r, abusive: a };
+        let tw = log.reverse_trustworthiness().value();
+        prop_assert!(tw > 0.0 && tw < 1.0, "Laplace smoothing keeps it open");
+    }
+
+    #[test]
+    fn more_abuse_never_raises_reverse_tw(r in 0u64..100, a in 0u64..100) {
+        let base = UsageLog { responsive: r, abusive: a };
+        let worse = UsageLog { responsive: r, abusive: a + 1 };
+        prop_assert!(
+            worse.reverse_trustworthiness().value() <= base.reverse_trustworthiness().value()
+        );
+    }
+}

@@ -1,0 +1,19 @@
+use siot_graph::generate::social::SocialNetKind;
+use siot_graph::metrics::ConnectivityStats;
+
+fn main() {
+    let paper = [
+        ("Facebook", 29.04, 11, 3.75, 0.49, 0.46, 29),
+        ("Google+", 23.34, 12, 3.9, 0.39, 0.45, 22),
+        ("Twitter", 20.31, 8, 2.96, 0.27, 0.38, 16),
+    ];
+    for (kind, p) in SocialNetKind::ALL.iter().zip(paper) {
+        let g = kind.generate(42);
+        let s = ConnectivityStats::compute(&g, 42);
+        println!(
+            "{:<9} deg {:.2}/{:.2}  diam {}/{}  apl {:.2}/{:.2}  cc {:.2}/{:.2}  Q {:.2}/{:.2}  comm {}/{}",
+            kind.name(), s.average_degree, p.1, s.diameter, p.2, s.average_path_length, p.3,
+            s.average_clustering, p.4, s.modularity, p.5, s.communities, p.6
+        );
+    }
+}

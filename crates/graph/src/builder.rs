@@ -1,0 +1,102 @@
+//! Convenience builder for assembling graphs from edge lists.
+
+use crate::error::GraphError;
+use crate::graph::{NodeId, SocialGraph};
+
+/// Accumulates edges (given as raw `u32` pairs) and produces a
+/// [`SocialGraph`] sized to the largest endpoint seen.
+///
+/// ```
+/// use siot_graph::GraphBuilder;
+/// let g = GraphBuilder::new()
+///     .edge(0, 1)
+///     .edge(1, 2)
+///     .build()
+///     .unwrap();
+/// assert_eq!(g.node_count(), 3);
+/// assert_eq!(g.edge_count(), 2);
+/// ```
+#[derive(Debug, Default, Clone)]
+pub struct GraphBuilder {
+    edges: Vec<(u32, u32)>,
+    min_nodes: usize,
+}
+
+impl GraphBuilder {
+    /// Creates an empty builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Guarantees the built graph has at least `n` nodes even if fewer are
+    /// referenced by edges.
+    pub fn nodes(mut self, n: usize) -> Self {
+        self.min_nodes = self.min_nodes.max(n);
+        self
+    }
+
+    /// Records the undirected edge `(a, b)`.
+    pub fn edge(mut self, a: u32, b: u32) -> Self {
+        self.edges.push((a, b));
+        self
+    }
+
+    /// Records every edge in `it`.
+    pub fn edges<I: IntoIterator<Item = (u32, u32)>>(mut self, it: I) -> Self {
+        self.edges.extend(it);
+        self
+    }
+
+    /// Builds the graph; duplicate edges coalesce, self-loops error.
+    pub fn build(self) -> Result<SocialGraph, GraphError> {
+        let max_node = self
+            .edges
+            .iter()
+            .map(|&(a, b)| a.max(b) as usize + 1)
+            .max()
+            .unwrap_or(0);
+        let mut g = SocialGraph::with_nodes(max_node.max(self.min_nodes));
+        for (a, b) in self.edges {
+            g.add_edge(NodeId(a), NodeId(b))?;
+        }
+        Ok(g)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builds_from_edge_list() {
+        let g = GraphBuilder::new()
+            .edges([(0, 1), (1, 2), (2, 3)])
+            .build()
+            .unwrap();
+        assert_eq!(g.node_count(), 4);
+        assert_eq!(g.edge_count(), 3);
+    }
+
+    #[test]
+    fn min_nodes_respected() {
+        let g = GraphBuilder::new().nodes(10).edge(0, 1).build().unwrap();
+        assert_eq!(g.node_count(), 10);
+    }
+
+    #[test]
+    fn empty_builder_gives_empty_graph() {
+        let g = GraphBuilder::new().build().unwrap();
+        assert_eq!(g.node_count(), 0);
+    }
+
+    #[test]
+    fn self_loop_propagates_error() {
+        assert!(GraphBuilder::new().edge(1, 1).build().is_err());
+    }
+
+    #[test]
+    fn duplicates_coalesce() {
+        let g = GraphBuilder::new().edge(0, 1).edge(1, 0).build().unwrap();
+        assert_eq!(g.edge_count(), 1);
+    }
+}

@@ -1,0 +1,127 @@
+//! Asynchronous label propagation, used as a cross-check for Louvain in the
+//! Table 1 ablation bench.
+
+use crate::graph::SocialGraph;
+use rand::rngs::SmallRng;
+use rand::seq::SliceRandom;
+use rand::Rng;
+use rand::SeedableRng;
+
+/// Runs asynchronous label propagation until stable or `max_sweeps`.
+///
+/// Returns contiguous community labels. Ties between equally-frequent
+/// neighbour labels are broken uniformly at random with the seeded RNG.
+pub fn label_propagation(g: &SocialGraph, seed: u64, max_sweeps: usize) -> Vec<u32> {
+    let n = g.node_count();
+    let mut labels: Vec<u32> = (0..n as u32).collect();
+    if n == 0 {
+        return labels;
+    }
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut order: Vec<usize> = (0..n).collect();
+    let mut counts: Vec<u32> = vec![0; n];
+    let mut seen: Vec<u32> = Vec::new();
+    let mut best: Vec<u32> = Vec::new();
+
+    for _ in 0..max_sweeps {
+        order.shuffle(&mut rng);
+        let mut changed = false;
+        for &v in &order {
+            let nbrs = g.neighbors(crate::graph::NodeId(v as u32));
+            if nbrs.is_empty() {
+                continue;
+            }
+            seen.clear();
+            let mut best_count = 0;
+            best.clear();
+            for &u in nbrs {
+                let l = labels[u.index()];
+                if counts[l as usize] == 0 {
+                    seen.push(l);
+                }
+                counts[l as usize] += 1;
+                let c = counts[l as usize];
+                match c.cmp(&best_count) {
+                    std::cmp::Ordering::Greater => {
+                        best_count = c;
+                        best.clear();
+                        best.push(l);
+                    }
+                    std::cmp::Ordering::Equal => best.push(l),
+                    std::cmp::Ordering::Less => {}
+                }
+            }
+            let new = best[rng.gen_range(0..best.len())];
+            for &l in &seen {
+                counts[l as usize] = 0;
+            }
+            if new != labels[v] {
+                labels[v] = new;
+                changed = true;
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    compact(&labels)
+}
+
+fn compact(labels: &[u32]) -> Vec<u32> {
+    let max = labels.iter().copied().max().map_or(0, |m| m as usize + 1);
+    let mut map = vec![u32::MAX; max];
+    let mut next = 0u32;
+    labels
+        .iter()
+        .map(|&l| {
+            if map[l as usize] == u32::MAX {
+                map[l as usize] = next;
+                next += 1;
+            }
+            map[l as usize]
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::GraphBuilder;
+
+    #[test]
+    fn two_cliques_get_two_labels() {
+        let mut b = GraphBuilder::new();
+        for base in [0u32, 5] {
+            for i in 0..5 {
+                for j in i + 1..5 {
+                    b = b.edge(base + i, base + j);
+                }
+            }
+        }
+        let g = b.edge(4, 5).build().unwrap();
+        let labels = label_propagation(&g, 42, 100);
+        // Every node in clique A shares a label; likewise clique B.
+        assert!(labels[..5].iter().all(|&l| l == labels[0]));
+        assert!(labels[5..].iter().all(|&l| l == labels[5]));
+    }
+
+    #[test]
+    fn isolated_nodes_keep_their_label() {
+        let g = SocialGraph::with_nodes(3);
+        let labels = label_propagation(&g, 1, 10);
+        assert_eq!(labels, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let g = GraphBuilder::new().edges([(0, 1), (1, 2), (2, 3), (3, 0)]).build().unwrap();
+        assert_eq!(label_propagation(&g, 9, 50), label_propagation(&g, 9, 50));
+    }
+
+    use crate::graph::SocialGraph;
+
+    #[test]
+    fn empty_graph() {
+        assert!(label_propagation(&SocialGraph::with_nodes(0), 0, 10).is_empty());
+    }
+}

@@ -1,0 +1,336 @@
+//! Louvain community detection (Blondel et al. 2008, the paper's \[35\]).
+//!
+//! Standard two-phase algorithm on a weighted multigraph: (1) greedy local
+//! moves maximizing the modularity gain, (2) aggregation of communities into
+//! super-nodes, repeated until no gain. Tie-breaking order is seeded so runs
+//! are reproducible.
+
+use crate::graph::SocialGraph;
+use crate::metrics::modularity::modularity;
+use rand::rngs::SmallRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// Result of a community detection run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Partition {
+    /// `community[node] = community id` with contiguous ids starting at 0.
+    pub community: Vec<u32>,
+    /// Newman modularity of this partition on the original graph.
+    pub modularity: f64,
+}
+
+impl Partition {
+    /// Number of distinct communities.
+    pub fn community_count(&self) -> usize {
+        self.community.iter().copied().max().map_or(0, |m| m as usize + 1)
+    }
+
+    /// Members of community `c`.
+    pub fn members(&self, c: u32) -> Vec<u32> {
+        self.community
+            .iter()
+            .enumerate()
+            .filter(|&(_, &cc)| cc == c)
+            .map(|(i, _)| i as u32)
+            .collect()
+    }
+}
+
+/// Internal weighted graph for the aggregation phase.
+struct WeightedGraph {
+    /// adjacency: for each node, (neighbor, weight) pairs.
+    adj: Vec<Vec<(usize, f64)>>,
+    /// self-loop weight per node (intra-community weight after aggregation).
+    self_loops: Vec<f64>,
+    /// total edge weight `m` (undirected sum, self-loops counted once).
+    total_weight: f64,
+}
+
+impl WeightedGraph {
+    fn from_social(g: &SocialGraph) -> Self {
+        let mut adj = vec![Vec::new(); g.node_count()];
+        for (a, b) in g.edges() {
+            adj[a.index()].push((b.index(), 1.0));
+            adj[b.index()].push((a.index(), 1.0));
+        }
+        WeightedGraph {
+            adj,
+            self_loops: vec![0.0; g.node_count()],
+            total_weight: g.edge_count() as f64,
+        }
+    }
+
+    fn node_count(&self) -> usize {
+        self.adj.len()
+    }
+
+    /// Weighted degree including 2× self-loop weight.
+    fn weighted_degree(&self, v: usize) -> f64 {
+        self.adj[v].iter().map(|&(_, w)| w).sum::<f64>() + 2.0 * self.self_loops[v]
+    }
+}
+
+/// Louvain runner; `seed` fixes the node visiting order.
+#[derive(Debug, Clone, Copy)]
+pub struct Louvain {
+    seed: u64,
+    /// Minimum modularity gain to keep iterating a level.
+    min_gain: f64,
+}
+
+impl Louvain {
+    /// Creates a runner with the default gain threshold (1e-7).
+    pub fn new(seed: u64) -> Self {
+        Louvain { seed, min_gain: 1e-7 }
+    }
+
+    /// Runs the full multi-level algorithm on `g`.
+    pub fn run(&self, g: &SocialGraph) -> Partition {
+        let n = g.node_count();
+        if n == 0 {
+            return Partition { community: Vec::new(), modularity: 0.0 };
+        }
+        let mut rng = SmallRng::seed_from_u64(self.seed);
+        let mut wg = WeightedGraph::from_social(g);
+        // node -> community on the *original* graph
+        let mut assignment: Vec<u32> = (0..n as u32).collect();
+
+        loop {
+            let local = self.one_level(&wg, &mut rng);
+            let moved = local.moved;
+            let compact = compact_labels(&local.community);
+            // project onto original nodes
+            for a in assignment.iter_mut() {
+                *a = compact.labels[*a as usize];
+            }
+            if !moved || compact.count == wg.node_count() {
+                break;
+            }
+            wg = aggregate(&wg, &compact.labels, compact.count);
+        }
+
+        let compact = compact_labels(&assignment);
+        let q = modularity(g, &compact.labels);
+        Partition { community: compact.labels, modularity: q }
+    }
+
+    /// Phase 1: greedy local moves. Returns per-node community and whether
+    /// any node moved.
+    fn one_level(&self, wg: &WeightedGraph, rng: &mut SmallRng) -> LocalResult {
+        let n = wg.node_count();
+        let m2 = 2.0 * wg.total_weight;
+        let mut community: Vec<u32> = (0..n as u32).collect();
+        // sum of weighted degrees per community
+        let mut sigma_tot: Vec<f64> = (0..n).map(|v| wg.weighted_degree(v)).collect();
+        let mut order: Vec<usize> = (0..n).collect();
+        order.shuffle(rng);
+        let mut moved_any = false;
+        if m2 == 0.0 {
+            return LocalResult { community, moved: false };
+        }
+
+        // weights from the current node to each neighbouring community
+        let mut neigh_weight: Vec<f64> = vec![0.0; n];
+        let mut neigh_comms: Vec<u32> = Vec::new();
+
+        loop {
+            let mut moved_this_pass = 0usize;
+            for &v in &order {
+                let v_comm = community[v];
+                let k_v = wg.weighted_degree(v);
+
+                neigh_comms.clear();
+                for &(u, w) in &wg.adj[v] {
+                    let c = community[u];
+                    if neigh_weight[c as usize] == 0.0 {
+                        neigh_comms.push(c);
+                    }
+                    neigh_weight[c as usize] += w;
+                }
+
+                // remove v from its community
+                sigma_tot[v_comm as usize] -= k_v;
+                let w_own = neigh_weight[v_comm as usize];
+
+                // best gain: ΔQ ∝ w_{v,c} − k_v·Σ_tot(c)/2m
+                let mut best_comm = v_comm;
+                let mut best_gain = w_own - k_v * sigma_tot[v_comm as usize] / m2;
+                for &c in &neigh_comms {
+                    if c == v_comm {
+                        continue;
+                    }
+                    let gain = neigh_weight[c as usize] - k_v * sigma_tot[c as usize] / m2;
+                    if gain > best_gain + self.min_gain {
+                        best_gain = gain;
+                        best_comm = c;
+                    }
+                }
+
+                sigma_tot[best_comm as usize] += k_v;
+                community[v] = best_comm;
+                if best_comm != v_comm {
+                    moved_this_pass += 1;
+                    moved_any = true;
+                }
+
+                for &c in &neigh_comms {
+                    neigh_weight[c as usize] = 0.0;
+                }
+            }
+            if moved_this_pass == 0 {
+                break;
+            }
+        }
+        LocalResult { community, moved: moved_any }
+    }
+}
+
+struct LocalResult {
+    community: Vec<u32>,
+    moved: bool,
+}
+
+struct CompactLabels {
+    labels: Vec<u32>,
+    count: usize,
+}
+
+/// Renumbers arbitrary labels to contiguous `0..count`.
+fn compact_labels(labels: &[u32]) -> CompactLabels {
+    let max = labels.iter().copied().max().map_or(0, |m| m as usize + 1);
+    let mut map = vec![u32::MAX; max];
+    let mut next = 0u32;
+    let mut out = Vec::with_capacity(labels.len());
+    for &l in labels {
+        if map[l as usize] == u32::MAX {
+            map[l as usize] = next;
+            next += 1;
+        }
+        out.push(map[l as usize]);
+    }
+    CompactLabels { labels: out, count: next as usize }
+}
+
+/// Phase 2: aggregates communities into super-nodes.
+fn aggregate(wg: &WeightedGraph, labels: &[u32], count: usize) -> WeightedGraph {
+    let mut self_loops = vec![0.0; count];
+    let mut edge_maps: Vec<std::collections::BTreeMap<usize, f64>> =
+        vec![std::collections::BTreeMap::new(); count];
+    for v in 0..wg.node_count() {
+        let cv = labels[v] as usize;
+        self_loops[cv] += wg.self_loops[v];
+        for &(u, w) in &wg.adj[v] {
+            let cu = labels[u] as usize;
+            if cu == cv {
+                // each intra edge seen twice (v->u and u->v)
+                self_loops[cv] += w / 2.0;
+            } else {
+                *edge_maps[cv].entry(cu).or_insert(0.0) += w;
+            }
+        }
+    }
+    let total_weight = wg.total_weight;
+    let adj = edge_maps
+        .into_iter()
+        .map(|m| m.into_iter().collect())
+        .collect();
+    WeightedGraph { adj, self_loops, total_weight }
+}
+
+impl Partition {
+    /// Derives the partition's community count (alias used by stats code).
+    pub fn len(&self) -> usize {
+        self.community.len()
+    }
+
+    /// True when the partition covers no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.community.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generate::erdos_renyi::erdos_renyi;
+    use crate::GraphBuilder;
+
+    fn two_triangles() -> SocialGraph {
+        GraphBuilder::new()
+            .edges([(0, 1), (1, 2), (2, 0), (3, 4), (4, 5), (5, 3), (2, 3)])
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn finds_two_triangles() {
+        let p = Louvain::new(7).run(&two_triangles());
+        assert_eq!(p.community_count(), 2);
+        assert_eq!(p.community[0], p.community[1]);
+        assert_eq!(p.community[0], p.community[2]);
+        assert_eq!(p.community[3], p.community[4]);
+        assert_ne!(p.community[0], p.community[3]);
+        assert!(p.modularity > 0.3);
+    }
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let g = two_triangles();
+        let a = Louvain::new(3).run(&g);
+        let b = Louvain::new(3).run(&g);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn empty_graph() {
+        let p = Louvain::new(1).run(&SocialGraph::with_nodes(0));
+        assert!(p.is_empty());
+        assert_eq!(p.community_count(), 0);
+    }
+
+    #[test]
+    fn edgeless_graph_all_singletons() {
+        let p = Louvain::new(1).run(&SocialGraph::with_nodes(4));
+        assert_eq!(p.len(), 4);
+        assert_eq!(p.modularity, 0.0);
+    }
+
+    #[test]
+    fn ring_of_cliques() {
+        // 4 cliques of 5 nodes, ring-connected: Louvain should find 4 (or
+        // occasionally merged) communities with high modularity.
+        let mut b = GraphBuilder::new();
+        for c in 0..4u32 {
+            let base = c * 5;
+            for i in 0..5 {
+                for j in i + 1..5 {
+                    b = b.edge(base + i, base + j);
+                }
+            }
+            b = b.edge(base + 4, (base + 5) % 20);
+        }
+        let g = b.build().unwrap();
+        let p = Louvain::new(11).run(&g);
+        assert_eq!(p.community_count(), 4);
+        assert!(p.modularity > 0.5, "Q = {}", p.modularity);
+    }
+
+    #[test]
+    fn members_returns_each_node_once() {
+        let p = Louvain::new(5).run(&two_triangles());
+        let mut all: Vec<u32> = (0..p.community_count() as u32)
+            .flat_map(|c| p.members(c))
+            .collect();
+        all.sort_unstable();
+        assert_eq!(all, vec![0, 1, 2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn random_graph_runs_and_modularity_matches_partition() {
+        let g = erdos_renyi(60, 0.08, 99).unwrap();
+        let p = Louvain::new(2).run(&g);
+        let q = crate::metrics::modularity(&g, &p.community);
+        assert!((q - p.modularity).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,7 @@
+//! Community detection (paper reference \[35\], Blondel et al. Louvain).
+
+pub mod label_prop;
+pub mod louvain;
+
+pub use label_prop::label_propagation;
+pub use louvain::{Louvain, Partition};

@@ -1,0 +1,52 @@
+//! Error type for graph construction and queries.
+
+use std::fmt;
+
+/// Errors returned by graph construction and algorithms.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GraphError {
+    /// A node id referenced a node that does not exist.
+    NodeOutOfBounds {
+        /// The offending node index.
+        node: u32,
+        /// Number of nodes in the graph.
+        len: u32,
+    },
+    /// A self-loop was requested, which social graphs here do not allow.
+    SelfLoop(u32),
+    /// A generator was asked for an impossible configuration.
+    InvalidGenerator(String),
+}
+
+impl fmt::Display for GraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphError::NodeOutOfBounds { node, len } => {
+                write!(f, "node {node} out of bounds (graph has {len} nodes)")
+            }
+            GraphError::SelfLoop(n) => write!(f, "self-loop on node {n} not allowed"),
+            GraphError::InvalidGenerator(msg) => write!(f, "invalid generator config: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for GraphError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        let e = GraphError::NodeOutOfBounds { node: 7, len: 3 };
+        assert_eq!(e.to_string(), "node 7 out of bounds (graph has 3 nodes)");
+        assert_eq!(GraphError::SelfLoop(2).to_string(), "self-loop on node 2 not allowed");
+        assert!(GraphError::InvalidGenerator("p>1".into()).to_string().contains("p>1"));
+    }
+
+    #[test]
+    fn error_is_std_error() {
+        fn takes_err<E: std::error::Error>(_: E) {}
+        takes_err(GraphError::SelfLoop(0));
+    }
+}

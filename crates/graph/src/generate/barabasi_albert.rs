@@ -1,0 +1,103 @@
+//! Barabási–Albert preferential-attachment generator.
+
+use crate::error::GraphError;
+use crate::graph::{NodeId, SocialGraph};
+use rand::rngs::SmallRng;
+use rand::Rng;
+use rand::SeedableRng;
+
+/// Generates a BA scale-free graph: starts from an `m`-clique, then each new
+/// node attaches to `m` existing nodes chosen proportionally to degree.
+pub fn barabasi_albert(n: usize, m: usize, seed: u64) -> Result<SocialGraph, GraphError> {
+    if m == 0 || n < m + 1 {
+        return Err(GraphError::InvalidGenerator(format!(
+            "need n > m >= 1, got n = {n}, m = {m}"
+        )));
+    }
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut g = SocialGraph::with_nodes(n);
+    // Endpoint bag: node appears once per incident edge, so sampling from
+    // the bag is degree-proportional sampling.
+    let mut bag: Vec<u32> = Vec::with_capacity(2 * n * m);
+
+    // seed clique on the first m+1 nodes
+    for a in 0..=m {
+        for b in a + 1..=m {
+            g.add_edge(NodeId(a as u32), NodeId(b as u32)).expect("clique edge");
+            bag.push(a as u32);
+            bag.push(b as u32);
+        }
+    }
+
+    let mut targets = Vec::with_capacity(m);
+    for v in m + 1..n {
+        targets.clear();
+        // sample m distinct degree-proportional targets
+        let mut guard = 0usize;
+        while targets.len() < m {
+            let t = bag[rng.gen_range(0..bag.len())];
+            if !targets.contains(&t) {
+                targets.push(t);
+            }
+            guard += 1;
+            if guard > 50 * m {
+                // fall back to uniform among remaining (degenerate small graphs)
+                for u in 0..v as u32 {
+                    if targets.len() < m && !targets.contains(&u) {
+                        targets.push(u);
+                    }
+                }
+            }
+        }
+        for &t in &targets {
+            g.add_edge(NodeId(v as u32), NodeId(t)).expect("new node edge");
+            bag.push(v as u32);
+            bag.push(t);
+        }
+    }
+    Ok(g)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::{degree_histogram, max_degree};
+
+    #[test]
+    fn edge_count_formula() {
+        let n = 50;
+        let m = 3;
+        let g = barabasi_albert(n, m, 5).unwrap();
+        // clique: m(m+1)/2 edges; each of the other n-m-1 nodes adds m.
+        assert_eq!(g.edge_count(), m * (m + 1) / 2 + (n - m - 1) * m);
+    }
+
+    #[test]
+    fn produces_hubs() {
+        let g = barabasi_albert(300, 2, 9).unwrap();
+        // A scale-free graph of this size reliably has a hub well above the mean degree (~4).
+        assert!(max_degree(&g) > 15, "max degree {}", max_degree(&g));
+    }
+
+    #[test]
+    fn minimum_degree_is_m() {
+        let g = barabasi_albert(100, 3, 2).unwrap();
+        let h = degree_histogram(&g);
+        assert_eq!(h[0], 0);
+        assert_eq!(h[1], 0);
+        assert_eq!(h[2], 0);
+    }
+
+    #[test]
+    fn invalid_params_rejected() {
+        assert!(barabasi_albert(3, 0, 0).is_err());
+        assert!(barabasi_albert(3, 3, 0).is_err());
+    }
+
+    #[test]
+    fn connected() {
+        let g = barabasi_albert(80, 2, 3).unwrap();
+        let (_, comps) = crate::traversal::connected_components(&g);
+        assert_eq!(comps, 1);
+    }
+}

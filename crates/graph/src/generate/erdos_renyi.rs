@@ -1,0 +1,67 @@
+//! Erdős–Rényi G(n, p) generator.
+
+use crate::error::GraphError;
+use crate::graph::{NodeId, SocialGraph};
+use rand::rngs::SmallRng;
+use rand::Rng;
+use rand::SeedableRng;
+
+/// Generates G(n, p): each of the `n·(n−1)/2` possible edges exists
+/// independently with probability `p`.
+pub fn erdos_renyi(n: usize, p: f64, seed: u64) -> Result<SocialGraph, GraphError> {
+    if !(0.0..=1.0).contains(&p) {
+        return Err(GraphError::InvalidGenerator(format!("p = {p} outside [0, 1]")));
+    }
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut g = SocialGraph::with_nodes(n);
+    for a in 0..n {
+        for b in a + 1..n {
+            if rng.gen_bool(p) {
+                g.add_edge(NodeId(a as u32), NodeId(b as u32))
+                    .expect("a < b < n, no self-loop possible");
+            }
+        }
+    }
+    Ok(g)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn p_zero_gives_no_edges() {
+        let g = erdos_renyi(10, 0.0, 1).unwrap();
+        assert_eq!(g.edge_count(), 0);
+    }
+
+    #[test]
+    fn p_one_gives_complete_graph() {
+        let g = erdos_renyi(6, 1.0, 1).unwrap();
+        assert_eq!(g.edge_count(), 15);
+    }
+
+    #[test]
+    fn expected_edge_count_roughly_matches() {
+        let n = 100;
+        let p = 0.1;
+        let g = erdos_renyi(n, p, 42).unwrap();
+        let expected = p * (n * (n - 1) / 2) as f64;
+        let got = g.edge_count() as f64;
+        assert!((got - expected).abs() < expected * 0.3, "got {got}, expected ~{expected}");
+    }
+
+    #[test]
+    fn invalid_p_rejected() {
+        assert!(erdos_renyi(5, 1.5, 0).is_err());
+        assert!(erdos_renyi(5, -0.1, 0).is_err());
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = erdos_renyi(30, 0.2, 7).unwrap();
+        let b = erdos_renyi(30, 0.2, 7).unwrap();
+        assert_eq!(a.edge_count(), b.edge_count());
+        assert!(a.edges().zip(b.edges()).all(|(x, y)| x == y));
+    }
+}

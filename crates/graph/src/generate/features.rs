@@ -1,0 +1,156 @@
+//! Synthetic node profile attributes ("real-world node properties").
+//!
+//! Table 2 of the paper reruns the transitivity experiment with node
+//! properties from the SNAP profiles as task characteristics. We synthesize
+//! an equivalent: binary attributes whose prevalence is correlated with
+//! community membership (members of one circle share interests), which is
+//! the property the experiment actually exercises — characteristics are
+//! unevenly distributed and neighbourhood-correlated.
+
+use rand::rngs::SmallRng;
+use rand::Rng;
+use rand::SeedableRng;
+
+/// Dense node × attribute boolean matrix.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FeatureMatrix {
+    n_nodes: usize,
+    n_features: usize,
+    bits: Vec<bool>,
+}
+
+impl FeatureMatrix {
+    /// Whether `node` has attribute `feature`.
+    pub fn has(&self, node: usize, feature: usize) -> bool {
+        assert!(node < self.n_nodes && feature < self.n_features);
+        self.bits[node * self.n_features + feature]
+    }
+
+    /// All attributes of `node` as indices.
+    pub fn features_of(&self, node: usize) -> Vec<usize> {
+        (0..self.n_features).filter(|&f| self.has(node, f)).collect()
+    }
+
+    /// Number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.n_nodes
+    }
+
+    /// Number of attributes.
+    pub fn feature_count(&self) -> usize {
+        self.n_features
+    }
+
+    /// Fraction of nodes having attribute `feature`.
+    pub fn prevalence(&self, feature: usize) -> f64 {
+        if self.n_nodes == 0 {
+            return 0.0;
+        }
+        (0..self.n_nodes).filter(|&n| self.has(n, feature)).count() as f64 / self.n_nodes as f64
+    }
+}
+
+/// Synthesizes community-correlated attributes.
+///
+/// Each community draws, per attribute, a prevalence that is either high
+/// (community trait, probability `trait_prob`) or low (background). Nodes
+/// then sample attributes independently with their community's prevalence.
+pub fn synthesize_features(
+    community: &[u32],
+    n_features: usize,
+    trait_prob: f64,
+    seed: u64,
+) -> FeatureMatrix {
+    let n_nodes = community.len();
+    let n_comms = community.iter().copied().max().map_or(0, |m| m as usize + 1);
+    let mut rng = SmallRng::seed_from_u64(seed);
+
+    // per (community, feature) prevalence
+    let mut prevalence = vec![0.0f64; n_comms * n_features];
+    for c in 0..n_comms {
+        for f in 0..n_features {
+            prevalence[c * n_features + f] = if rng.gen_bool(trait_prob) {
+                rng.gen_range(0.6..0.95)
+            } else {
+                rng.gen_range(0.02..0.15)
+            };
+        }
+    }
+
+    let mut bits = vec![false; n_nodes * n_features];
+    for (node, &c) in community.iter().enumerate() {
+        for f in 0..n_features {
+            let p = prevalence[c as usize * n_features + f];
+            bits[node * n_features + f] = rng.gen_bool(p);
+        }
+    }
+    FeatureMatrix { n_nodes, n_features, bits }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dimensions_and_access() {
+        let community = vec![0, 0, 1, 1];
+        let m = synthesize_features(&community, 5, 0.3, 1);
+        assert_eq!(m.node_count(), 4);
+        assert_eq!(m.feature_count(), 5);
+        for n in 0..4 {
+            for f in 0..5 {
+                let _ = m.has(n, f);
+            }
+        }
+    }
+
+    #[test]
+    fn features_of_lists_only_present() {
+        let community = vec![0; 10];
+        let m = synthesize_features(&community, 4, 0.5, 2);
+        for n in 0..10 {
+            for f in m.features_of(n) {
+                assert!(m.has(n, f));
+            }
+        }
+    }
+
+    #[test]
+    fn community_correlation_exists() {
+        // Two large communities; at least one feature should differ strongly
+        // in prevalence between them.
+        let mut community = vec![0u32; 200];
+        community[100..].fill(1);
+        let m = synthesize_features(&community, 8, 0.4, 3);
+        let mut max_gap = 0.0f64;
+        for f in 0..8 {
+            let p0 = (0..100).filter(|&n| m.has(n, f)).count() as f64 / 100.0;
+            let p1 = (100..200).filter(|&n| m.has(n, f)).count() as f64 / 100.0;
+            max_gap = max_gap.max((p0 - p1).abs());
+        }
+        assert!(max_gap > 0.3, "expected a community-trait gap, max was {max_gap}");
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let community = vec![0, 1, 2, 0, 1, 2];
+        assert_eq!(
+            synthesize_features(&community, 6, 0.3, 9),
+            synthesize_features(&community, 6, 0.3, 9)
+        );
+    }
+
+    #[test]
+    fn empty_inputs() {
+        let m = synthesize_features(&[], 3, 0.3, 0);
+        assert_eq!(m.node_count(), 0);
+        assert_eq!(m.prevalence(0), 0.0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn out_of_bounds_access_panics() {
+        let m = synthesize_features(&[0, 0], 2, 0.3, 0);
+        m.has(5, 0);
+    }
+}

@@ -1,0 +1,89 @@
+//! Watts–Strogatz small-world generator.
+
+use crate::error::GraphError;
+use crate::graph::{NodeId, SocialGraph};
+use rand::rngs::SmallRng;
+use rand::Rng;
+use rand::SeedableRng;
+
+/// Generates a WS small-world graph: a ring lattice where every node links
+/// to its `k/2` nearest neighbours on each side, then each edge is rewired
+/// with probability `beta`.
+pub fn watts_strogatz(n: usize, k: usize, beta: f64, seed: u64) -> Result<SocialGraph, GraphError> {
+    if !k.is_multiple_of(2) || k == 0 || k >= n {
+        return Err(GraphError::InvalidGenerator(format!(
+            "need even 0 < k < n, got n = {n}, k = {k}"
+        )));
+    }
+    if !(0.0..=1.0).contains(&beta) {
+        return Err(GraphError::InvalidGenerator(format!("beta = {beta} outside [0, 1]")));
+    }
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut g = SocialGraph::with_nodes(n);
+    for v in 0..n {
+        for offset in 1..=k / 2 {
+            let mut target = ((v + offset) % n) as u32;
+            if rng.gen_bool(beta) {
+                // rewire to a uniform non-self, non-duplicate target
+                for _ in 0..32 {
+                    let cand = rng.gen_range(0..n as u32);
+                    if cand != v as u32 && !g.has_edge(NodeId(v as u32), NodeId(cand)) {
+                        target = cand;
+                        break;
+                    }
+                }
+            }
+            // the lattice edge may already exist after rewiring collisions; ignore dups
+            if target != v as u32 {
+                let _ = g.add_edge(NodeId(v as u32), NodeId(target));
+            }
+        }
+    }
+    Ok(g)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::average_clustering_coefficient;
+    use crate::traversal::connected_components;
+
+    #[test]
+    fn beta_zero_is_ring_lattice() {
+        let g = watts_strogatz(20, 4, 0.0, 1).unwrap();
+        assert_eq!(g.edge_count(), 20 * 2);
+        for v in g.nodes() {
+            assert_eq!(g.degree(v), 4);
+        }
+    }
+
+    #[test]
+    fn lattice_is_clustered() {
+        let g = watts_strogatz(100, 6, 0.0, 1).unwrap();
+        assert!(average_clustering_coefficient(&g) > 0.5);
+    }
+
+    #[test]
+    fn rewiring_reduces_clustering() {
+        let low = watts_strogatz(200, 6, 0.0, 2).unwrap();
+        let high = watts_strogatz(200, 6, 0.9, 2).unwrap();
+        assert!(
+            average_clustering_coefficient(&high) < average_clustering_coefficient(&low)
+        );
+    }
+
+    #[test]
+    fn stays_connected_for_moderate_beta() {
+        let g = watts_strogatz(100, 6, 0.2, 3).unwrap();
+        let (_, comps) = connected_components(&g);
+        assert_eq!(comps, 1);
+    }
+
+    #[test]
+    fn invalid_params_rejected() {
+        assert!(watts_strogatz(10, 3, 0.1, 0).is_err(), "odd k");
+        assert!(watts_strogatz(10, 0, 0.1, 0).is_err(), "zero k");
+        assert!(watts_strogatz(4, 4, 0.1, 0).is_err(), "k >= n");
+        assert!(watts_strogatz(10, 2, 1.5, 0).is_err(), "beta > 1");
+    }
+}

@@ -1,0 +1,250 @@
+//! The undirected social graph used by every simulation.
+//!
+//! Nodes are dense indices (`NodeId`), adjacency lists are kept sorted so
+//! membership checks are `O(log deg)` and neighbour iteration is cache
+//! friendly. Self-loops are rejected; parallel edges are coalesced.
+
+use crate::error::GraphError;
+use std::fmt;
+
+/// Dense node identifier. The graph owns nodes `0..node_count()`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct NodeId(pub u32);
+
+impl NodeId {
+    /// The node index as a `usize`, for direct slice indexing.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+impl From<u32> for NodeId {
+    fn from(v: u32) -> Self {
+        NodeId(v)
+    }
+}
+
+/// An undirected, simple (no self-loops, no parallel edges) social graph.
+#[derive(Debug, Clone, Default)]
+pub struct SocialGraph {
+    adj: Vec<Vec<NodeId>>,
+    edge_count: usize,
+}
+
+impl SocialGraph {
+    /// Creates an empty graph with `n` isolated nodes.
+    pub fn with_nodes(n: usize) -> Self {
+        SocialGraph { adj: vec![Vec::new(); n], edge_count: 0 }
+    }
+
+    /// Number of nodes.
+    #[inline]
+    pub fn node_count(&self) -> usize {
+        self.adj.len()
+    }
+
+    /// Number of undirected edges.
+    #[inline]
+    pub fn edge_count(&self) -> usize {
+        self.edge_count
+    }
+
+    /// Iterator over all node ids.
+    pub fn nodes(&self) -> impl Iterator<Item = NodeId> + '_ {
+        (0..self.adj.len() as u32).map(NodeId)
+    }
+
+    /// Adds a node and returns its id.
+    pub fn add_node(&mut self) -> NodeId {
+        self.adj.push(Vec::new());
+        NodeId(self.adj.len() as u32 - 1)
+    }
+
+    fn check(&self, n: NodeId) -> Result<(), GraphError> {
+        if n.index() >= self.adj.len() {
+            return Err(GraphError::NodeOutOfBounds { node: n.0, len: self.adj.len() as u32 });
+        }
+        Ok(())
+    }
+
+    /// Adds the undirected edge `(a, b)`. Returns `true` if the edge is new.
+    ///
+    /// Self-loops are rejected with [`GraphError::SelfLoop`].
+    pub fn add_edge(&mut self, a: NodeId, b: NodeId) -> Result<bool, GraphError> {
+        self.check(a)?;
+        self.check(b)?;
+        if a == b {
+            return Err(GraphError::SelfLoop(a.0));
+        }
+        let pos = match self.adj[a.index()].binary_search(&b) {
+            Ok(_) => return Ok(false),
+            Err(pos) => pos,
+        };
+        self.adj[a.index()].insert(pos, b);
+        let pos_b = self.adj[b.index()]
+            .binary_search(&a)
+            .expect_err("edge must be symmetric: a->b was absent");
+        self.adj[b.index()].insert(pos_b, a);
+        self.edge_count += 1;
+        Ok(true)
+    }
+
+    /// Whether the undirected edge `(a, b)` exists.
+    pub fn has_edge(&self, a: NodeId, b: NodeId) -> bool {
+        self.adj
+            .get(a.index())
+            .is_some_and(|nb| nb.binary_search(&b).is_ok())
+    }
+
+    /// Sorted neighbour slice of `n`. Panics if `n` is out of bounds.
+    #[inline]
+    pub fn neighbors(&self, n: NodeId) -> &[NodeId] {
+        &self.adj[n.index()]
+    }
+
+    /// Degree of `n`.
+    #[inline]
+    pub fn degree(&self, n: NodeId) -> usize {
+        self.adj[n.index()].len()
+    }
+
+    /// Iterator over all undirected edges, each reported once with `a < b`.
+    pub fn edges(&self) -> impl Iterator<Item = (NodeId, NodeId)> + '_ {
+        self.adj.iter().enumerate().flat_map(|(a, nbrs)| {
+            let a = NodeId(a as u32);
+            nbrs.iter().copied().filter(move |&b| a < b).map(move |b| (a, b))
+        })
+    }
+
+    /// Builds the induced subgraph on `keep` (order preserved, deduplicated).
+    ///
+    /// Returns the subgraph and the mapping `new index -> old NodeId`.
+    pub fn induced_subgraph(&self, keep: &[NodeId]) -> (SocialGraph, Vec<NodeId>) {
+        let mut old_to_new = vec![u32::MAX; self.node_count()];
+        let mut mapping = Vec::with_capacity(keep.len());
+        for &old in keep {
+            if old.index() < self.node_count() && old_to_new[old.index()] == u32::MAX {
+                old_to_new[old.index()] = mapping.len() as u32;
+                mapping.push(old);
+            }
+        }
+        let mut sub = SocialGraph::with_nodes(mapping.len());
+        for (new_a, &old_a) in mapping.iter().enumerate() {
+            for &old_b in self.neighbors(old_a) {
+                let new_b = old_to_new[old_b.index()];
+                if new_b != u32::MAX && (new_a as u32) < new_b {
+                    sub.add_edge(NodeId(new_a as u32), NodeId(new_b))
+                        .expect("induced edges are valid by construction");
+                }
+            }
+        }
+        (sub, mapping)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn triangle() -> SocialGraph {
+        let mut g = SocialGraph::with_nodes(3);
+        g.add_edge(NodeId(0), NodeId(1)).unwrap();
+        g.add_edge(NodeId(1), NodeId(2)).unwrap();
+        g.add_edge(NodeId(2), NodeId(0)).unwrap();
+        g
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = SocialGraph::with_nodes(0);
+        assert_eq!(g.node_count(), 0);
+        assert_eq!(g.edge_count(), 0);
+        assert_eq!(g.nodes().count(), 0);
+    }
+
+    #[test]
+    fn add_nodes_and_edges() {
+        let mut g = SocialGraph::with_nodes(2);
+        let c = g.add_node();
+        assert_eq!(c, NodeId(2));
+        assert!(g.add_edge(NodeId(0), c).unwrap());
+        assert!(g.has_edge(c, NodeId(0)), "edges are symmetric");
+        assert_eq!(g.edge_count(), 1);
+    }
+
+    #[test]
+    fn parallel_edges_coalesce() {
+        let mut g = SocialGraph::with_nodes(2);
+        assert!(g.add_edge(NodeId(0), NodeId(1)).unwrap());
+        assert!(!g.add_edge(NodeId(1), NodeId(0)).unwrap());
+        assert_eq!(g.edge_count(), 1);
+        assert_eq!(g.degree(NodeId(0)), 1);
+    }
+
+    #[test]
+    fn self_loop_rejected() {
+        let mut g = SocialGraph::with_nodes(1);
+        assert_eq!(g.add_edge(NodeId(0), NodeId(0)), Err(GraphError::SelfLoop(0)));
+    }
+
+    #[test]
+    fn out_of_bounds_rejected() {
+        let mut g = SocialGraph::with_nodes(1);
+        assert!(matches!(
+            g.add_edge(NodeId(0), NodeId(5)),
+            Err(GraphError::NodeOutOfBounds { node: 5, len: 1 })
+        ));
+    }
+
+    #[test]
+    fn neighbors_sorted() {
+        let mut g = SocialGraph::with_nodes(4);
+        g.add_edge(NodeId(0), NodeId(3)).unwrap();
+        g.add_edge(NodeId(0), NodeId(1)).unwrap();
+        g.add_edge(NodeId(0), NodeId(2)).unwrap();
+        assert_eq!(g.neighbors(NodeId(0)), &[NodeId(1), NodeId(2), NodeId(3)]);
+    }
+
+    #[test]
+    fn edges_reported_once() {
+        let g = triangle();
+        let edges: Vec<_> = g.edges().collect();
+        assert_eq!(edges.len(), 3);
+        for (a, b) in edges {
+            assert!(a < b);
+        }
+    }
+
+    #[test]
+    fn induced_subgraph_keeps_internal_edges() {
+        let g = triangle();
+        let (sub, map) = g.induced_subgraph(&[NodeId(0), NodeId(2)]);
+        assert_eq!(sub.node_count(), 2);
+        assert_eq!(sub.edge_count(), 1);
+        assert_eq!(map, vec![NodeId(0), NodeId(2)]);
+        assert!(sub.has_edge(NodeId(0), NodeId(1)));
+    }
+
+    #[test]
+    fn induced_subgraph_dedups_and_ignores_oob() {
+        let g = triangle();
+        let (sub, map) = g.induced_subgraph(&[NodeId(1), NodeId(1), NodeId(9)]);
+        assert_eq!(sub.node_count(), 1);
+        assert_eq!(map, vec![NodeId(1)]);
+        assert_eq!(sub.edge_count(), 0);
+    }
+
+    #[test]
+    fn display_node_id() {
+        assert_eq!(NodeId(7).to_string(), "n7");
+        assert_eq!(NodeId::from(3u32), NodeId(3));
+        assert_eq!(NodeId(3).index(), 3);
+    }
+}

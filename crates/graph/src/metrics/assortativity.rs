@@ -1,0 +1,93 @@
+//! Degree assortativity (Pearson correlation of degrees across edges) and
+//! graph density — supplementary connectivity descriptors for comparing
+//! synthesized networks against real extracts.
+
+use crate::graph::SocialGraph;
+
+/// Newman's degree assortativity coefficient in `[-1, 1]`.
+///
+/// Positive: hubs attach to hubs (social networks typically ≥ 0);
+/// negative: hubs attach to leaves. Returns 0 for graphs with fewer than
+/// two edges or zero degree variance.
+pub fn degree_assortativity(g: &SocialGraph) -> f64 {
+    let m = g.edge_count();
+    if m < 2 {
+        return 0.0;
+    }
+    // accumulate over edge endpoints (each edge contributes (j, k))
+    let mut sum_jk = 0.0;
+    let mut sum_j = 0.0;
+    let mut sum_j2 = 0.0;
+    for (a, b) in g.edges() {
+        let j = g.degree(a) as f64;
+        let k = g.degree(b) as f64;
+        sum_jk += j * k;
+        sum_j += 0.5 * (j + k);
+        sum_j2 += 0.5 * (j * j + k * k);
+    }
+    let m = m as f64;
+    let num = sum_jk / m - (sum_j / m).powi(2);
+    let den = sum_j2 / m - (sum_j / m).powi(2);
+    if den.abs() < 1e-12 {
+        0.0
+    } else {
+        (num / den).clamp(-1.0, 1.0)
+    }
+}
+
+/// Graph density: `2m / (n(n−1))`, 0 for graphs with fewer than 2 nodes.
+pub fn density(g: &SocialGraph) -> f64 {
+    let n = g.node_count();
+    if n < 2 {
+        return 0.0;
+    }
+    2.0 * g.edge_count() as f64 / (n * (n - 1)) as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generate::barabasi_albert::barabasi_albert;
+    use crate::GraphBuilder;
+
+    #[test]
+    fn regular_graph_has_zero_variance() {
+        // a cycle: every degree is 2, variance 0 → coefficient 0
+        let g = GraphBuilder::new().edges([(0, 1), (1, 2), (2, 3), (3, 0)]).build().unwrap();
+        assert_eq!(degree_assortativity(&g), 0.0);
+    }
+
+    #[test]
+    fn star_is_disassortative() {
+        let mut b = GraphBuilder::new();
+        for i in 1..8u32 {
+            b = b.edge(0, i);
+        }
+        // add one peripheral edge so degree variance exists off the hub
+        let g = b.edge(1, 2).build().unwrap();
+        assert!(degree_assortativity(&g) < 0.0, "{}", degree_assortativity(&g));
+    }
+
+    #[test]
+    fn ba_graphs_lean_disassortative() {
+        let g = barabasi_albert(200, 2, 5).unwrap();
+        let r = degree_assortativity(&g);
+        assert!((-1.0..=0.2).contains(&r), "BA networks are not assortative: {r}");
+    }
+
+    #[test]
+    fn tiny_graphs_return_zero() {
+        let g = GraphBuilder::new().edge(0, 1).build().unwrap();
+        assert_eq!(degree_assortativity(&g), 0.0);
+        assert_eq!(degree_assortativity(&crate::SocialGraph::with_nodes(0)), 0.0);
+    }
+
+    #[test]
+    fn density_values() {
+        let complete = GraphBuilder::new().edges([(0, 1), (0, 2), (1, 2)]).build().unwrap();
+        assert!((density(&complete) - 1.0).abs() < 1e-12);
+        let sparse = GraphBuilder::new().nodes(4).edge(0, 1).build().unwrap();
+        assert!((density(&sparse) - 1.0 / 6.0).abs() < 1e-12);
+        assert_eq!(density(&crate::SocialGraph::with_nodes(1)), 0.0);
+    }
+}

@@ -1,0 +1,102 @@
+//! Local and average clustering coefficients.
+//!
+//! The local coefficient of node `v` is the number of edges among `v`'s
+//! neighbours divided by `deg(v)·(deg(v)−1)/2`. Nodes of degree < 2 have
+//! coefficient 0, matching the convention of the paper's reference tool
+//! (Gephi, reference \[33\]).
+
+use crate::graph::{NodeId, SocialGraph};
+
+/// Clustering coefficient of a single node.
+pub fn local_clustering_coefficient(g: &SocialGraph, v: NodeId) -> f64 {
+    let nbrs = g.neighbors(v);
+    let k = nbrs.len();
+    if k < 2 {
+        return 0.0;
+    }
+    let mut links = 0usize;
+    for (i, &a) in nbrs.iter().enumerate() {
+        for &b in &nbrs[i + 1..] {
+            if g.has_edge(a, b) {
+                links += 1;
+            }
+        }
+    }
+    2.0 * links as f64 / (k * (k - 1)) as f64
+}
+
+/// Mean of local clustering coefficients over all nodes.
+pub fn average_clustering_coefficient(g: &SocialGraph) -> f64 {
+    if g.node_count() == 0 {
+        return 0.0;
+    }
+    let sum: f64 = g.nodes().map(|v| local_clustering_coefficient(g, v)).sum();
+    sum / g.node_count() as f64
+}
+
+/// Number of triangles in the graph (each counted once).
+pub fn triangle_count(g: &SocialGraph) -> usize {
+    let mut count = 0usize;
+    for v in g.nodes() {
+        let nbrs = g.neighbors(v);
+        for (i, &a) in nbrs.iter().enumerate() {
+            if a <= v {
+                continue;
+            }
+            for &b in &nbrs[i + 1..] {
+                if b > a && g.has_edge(a, b) {
+                    count += 1;
+                }
+            }
+        }
+    }
+    count
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::GraphBuilder;
+
+    #[test]
+    fn triangle_is_fully_clustered() {
+        let g = GraphBuilder::new().edges([(0, 1), (1, 2), (2, 0)]).build().unwrap();
+        assert_eq!(local_clustering_coefficient(&g, NodeId(0)), 1.0);
+        assert_eq!(average_clustering_coefficient(&g), 1.0);
+        assert_eq!(triangle_count(&g), 1);
+    }
+
+    #[test]
+    fn path_has_zero_clustering() {
+        let g = GraphBuilder::new().edges([(0, 1), (1, 2)]).build().unwrap();
+        assert_eq!(average_clustering_coefficient(&g), 0.0);
+        assert_eq!(triangle_count(&g), 0);
+    }
+
+    #[test]
+    fn degree_one_nodes_are_zero() {
+        let g = GraphBuilder::new().edges([(0, 1)]).build().unwrap();
+        assert_eq!(local_clustering_coefficient(&g, NodeId(0)), 0.0);
+    }
+
+    #[test]
+    fn square_with_diagonal() {
+        // 0-1-2-3-0 plus diagonal 0-2: two triangles.
+        let g = GraphBuilder::new()
+            .edges([(0, 1), (1, 2), (2, 3), (3, 0), (0, 2)])
+            .build()
+            .unwrap();
+        assert_eq!(triangle_count(&g), 2);
+        // node 1 has neighbours {0,2} which are connected: coefficient 1.
+        assert_eq!(local_clustering_coefficient(&g, NodeId(1)), 1.0);
+        // node 0 has neighbours {1,2,3}, edges among them: (1,2),(2,3) => 2/3.
+        assert!((local_clustering_coefficient(&g, NodeId(0)) - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    use crate::graph::SocialGraph;
+
+    #[test]
+    fn empty_graph_clustering() {
+        assert_eq!(average_clustering_coefficient(&SocialGraph::with_nodes(0)), 0.0);
+    }
+}

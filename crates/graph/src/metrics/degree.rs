@@ -1,0 +1,58 @@
+//! Degree statistics.
+
+use crate::graph::SocialGraph;
+
+/// Mean degree `2|E| / |V|`. Zero for the empty graph.
+pub fn average_degree(g: &SocialGraph) -> f64 {
+    if g.node_count() == 0 {
+        return 0.0;
+    }
+    2.0 * g.edge_count() as f64 / g.node_count() as f64
+}
+
+/// Largest degree in the graph, 0 if empty.
+pub fn max_degree(g: &SocialGraph) -> usize {
+    g.nodes().map(|n| g.degree(n)).max().unwrap_or(0)
+}
+
+/// Histogram `h[d] = number of nodes of degree d`.
+pub fn degree_histogram(g: &SocialGraph) -> Vec<usize> {
+    let mut h = vec![0usize; max_degree(g) + 1];
+    for n in g.nodes() {
+        h[g.degree(n)] += 1;
+    }
+    if g.node_count() == 0 {
+        h.clear();
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::GraphBuilder;
+
+    #[test]
+    fn star_graph_degrees() {
+        let g = GraphBuilder::new().edges([(0, 1), (0, 2), (0, 3)]).build().unwrap();
+        assert!((average_degree(&g) - 1.5).abs() < 1e-12);
+        assert_eq!(max_degree(&g), 3);
+        assert_eq!(degree_histogram(&g), vec![0, 3, 0, 1]);
+    }
+
+    #[test]
+    fn empty_graph_degrees() {
+        let g = SocialGraph::with_nodes(0);
+        assert_eq!(average_degree(&g), 0.0);
+        assert_eq!(max_degree(&g), 0);
+        assert!(degree_histogram(&g).is_empty());
+    }
+
+    use crate::graph::SocialGraph;
+
+    #[test]
+    fn isolated_nodes_count_in_average() {
+        let g = GraphBuilder::new().nodes(4).edge(0, 1).build().unwrap();
+        assert!((average_degree(&g) - 0.5).abs() < 1e-12);
+    }
+}

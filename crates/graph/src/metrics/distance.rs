@@ -1,0 +1,99 @@
+//! Exact diameter and average path length via all-pairs BFS.
+//!
+//! The paper reports both metrics for sub-networks of 244–358 nodes, where
+//! `O(V·E)` all-pairs BFS is instantaneous. Unreachable pairs are excluded
+//! from the average (the convention used by Gephi, which the paper cites
+//! \[33\] for these statistics).
+
+use crate::graph::SocialGraph;
+use crate::traversal::{bfs_distances, UNREACHABLE};
+
+/// Diameter and average path length computed together (one BFS sweep).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DistanceSummary {
+    /// Largest finite shortest-path length.
+    pub diameter: u32,
+    /// Mean shortest-path length over ordered reachable pairs.
+    pub average_path_length: f64,
+    /// Number of ordered reachable pairs (excluding self-pairs).
+    pub reachable_pairs: u64,
+}
+
+impl DistanceSummary {
+    /// Runs BFS from every node and aggregates.
+    pub fn compute(g: &SocialGraph) -> Self {
+        let mut diameter = 0u32;
+        let mut total = 0u128;
+        let mut pairs = 0u64;
+        for src in g.nodes() {
+            let dist = bfs_distances(g, src);
+            for (i, &d) in dist.iter().enumerate() {
+                if d != UNREACHABLE && i != src.index() {
+                    diameter = diameter.max(d);
+                    total += d as u128;
+                    pairs += 1;
+                }
+            }
+        }
+        let apl = if pairs == 0 { 0.0 } else { total as f64 / pairs as f64 };
+        DistanceSummary { diameter, average_path_length: apl, reachable_pairs: pairs }
+    }
+}
+
+/// Convenience wrapper returning just the diameter.
+pub fn diameter(g: &SocialGraph) -> u32 {
+    DistanceSummary::compute(g).diameter
+}
+
+/// Convenience wrapper returning just the average path length.
+pub fn average_path_length(g: &SocialGraph) -> f64 {
+    DistanceSummary::compute(g).average_path_length
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::GraphBuilder;
+
+    #[test]
+    fn path_graph_distances() {
+        let g = GraphBuilder::new().edges([(0, 1), (1, 2), (2, 3)]).build().unwrap();
+        let s = DistanceSummary::compute(&g);
+        assert_eq!(s.diameter, 3);
+        // ordered pairs distances: 1,2,3 each twice + 1,2 twice + 1 twice = (1+2+3+1+2+1)*2 = 20 over 12 pairs
+        assert!((s.average_path_length - 20.0 / 12.0).abs() < 1e-12);
+        assert_eq!(s.reachable_pairs, 12);
+    }
+
+    #[test]
+    fn disconnected_pairs_excluded() {
+        let g = GraphBuilder::new().nodes(3).edge(0, 1).build().unwrap();
+        let s = DistanceSummary::compute(&g);
+        assert_eq!(s.diameter, 1);
+        assert_eq!(s.reachable_pairs, 2);
+        assert!((s.average_path_length - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn singleton_graph() {
+        let g = SocialGraph::with_nodes(1);
+        let s = DistanceSummary::compute(&g);
+        assert_eq!(s.diameter, 0);
+        assert_eq!(s.average_path_length, 0.0);
+    }
+
+    use crate::graph::SocialGraph;
+
+    #[test]
+    fn complete_graph_diameter_one() {
+        let mut b = GraphBuilder::new();
+        for a in 0..5u32 {
+            for c in a + 1..5 {
+                b = b.edge(a, c);
+            }
+        }
+        let g = b.build().unwrap();
+        assert_eq!(diameter(&g), 1);
+        assert!((average_path_length(&g) - 1.0).abs() < 1e-12);
+    }
+}

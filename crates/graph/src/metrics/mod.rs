@@ -1,0 +1,84 @@
+//! Connectivity metrics reported in Table 1 of the paper.
+//!
+//! All metrics are exact (all-pairs BFS for distances), which is affordable
+//! at the paper's network scale (a few hundred nodes).
+
+pub mod assortativity;
+pub mod clustering;
+pub mod degree;
+pub mod distance;
+pub mod modularity;
+
+pub use assortativity::{degree_assortativity, density};
+pub use clustering::{average_clustering_coefficient, local_clustering_coefficient};
+pub use degree::{average_degree, degree_histogram, max_degree};
+pub use distance::{average_path_length, diameter, DistanceSummary};
+pub use modularity::modularity;
+
+use crate::community::louvain::Louvain;
+use crate::graph::SocialGraph;
+
+/// The full row of Table 1 for one network.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ConnectivityStats {
+    /// Number of nodes.
+    pub nodes: usize,
+    /// Number of undirected edges.
+    pub edges: usize,
+    /// Mean degree over all nodes.
+    pub average_degree: f64,
+    /// Largest shortest-path length (largest component).
+    pub diameter: u32,
+    /// Mean shortest-path length over connected pairs.
+    pub average_path_length: f64,
+    /// Mean local clustering coefficient.
+    pub average_clustering: f64,
+    /// Newman modularity of the Louvain partition.
+    pub modularity: f64,
+    /// Number of communities found by Louvain.
+    pub communities: usize,
+}
+
+impl ConnectivityStats {
+    /// Computes every Table 1 statistic for `g`.
+    ///
+    /// `seed` controls the Louvain tie-breaking order so results are
+    /// reproducible.
+    pub fn compute(g: &SocialGraph, seed: u64) -> Self {
+        let dist = DistanceSummary::compute(g);
+        let louvain = Louvain::new(seed).run(g);
+        ConnectivityStats {
+            nodes: g.node_count(),
+            edges: g.edge_count(),
+            average_degree: average_degree(g),
+            diameter: dist.diameter,
+            average_path_length: dist.average_path_length,
+            average_clustering: average_clustering_coefficient(g),
+            modularity: louvain.modularity,
+            communities: louvain.community_count(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::GraphBuilder;
+
+    #[test]
+    fn stats_on_two_triangles_with_bridge() {
+        // Two triangles joined by one bridge edge: classic two-community graph.
+        let g = GraphBuilder::new()
+            .edges([(0, 1), (1, 2), (2, 0), (3, 4), (4, 5), (5, 3), (2, 3)])
+            .build()
+            .unwrap();
+        let s = ConnectivityStats::compute(&g, 1);
+        assert_eq!(s.nodes, 6);
+        assert_eq!(s.edges, 7);
+        assert!((s.average_degree - 7.0 * 2.0 / 6.0).abs() < 1e-12);
+        assert_eq!(s.diameter, 3);
+        assert_eq!(s.communities, 2);
+        assert!(s.modularity > 0.2, "two triangles are modular: {}", s.modularity);
+        assert!(s.average_clustering > 0.5);
+    }
+}

@@ -1,0 +1,100 @@
+//! Newman modularity of a node partition (paper reference \[34\]).
+//!
+//! `Q = Σ_c (e_c / m − (d_c / 2m)²)` where `e_c` is the number of edges
+//! inside community `c`, `d_c` the total degree of its nodes, and `m` the
+//! total edge count.
+
+use crate::graph::SocialGraph;
+
+/// Modularity of the partition `community[node] = community id`.
+///
+/// Community ids need not be contiguous. Returns 0 for edgeless graphs.
+///
+/// # Panics
+/// Panics if `community.len() != g.node_count()`.
+pub fn modularity(g: &SocialGraph, community: &[u32]) -> f64 {
+    assert_eq!(
+        community.len(),
+        g.node_count(),
+        "partition must label every node"
+    );
+    let m = g.edge_count() as f64;
+    if m == 0.0 {
+        return 0.0;
+    }
+    let max_c = community.iter().copied().max().unwrap_or(0) as usize;
+    let mut internal = vec![0u64; max_c + 1];
+    let mut degree_sum = vec![0u64; max_c + 1];
+    for (a, b) in g.edges() {
+        if community[a.index()] == community[b.index()] {
+            internal[community[a.index()] as usize] += 1;
+        }
+    }
+    for n in g.nodes() {
+        degree_sum[community[n.index()] as usize] += g.degree(n) as u64;
+    }
+    internal
+        .iter()
+        .zip(&degree_sum)
+        .map(|(&e_c, &d_c)| {
+            let frac = e_c as f64 / m;
+            let deg = d_c as f64 / (2.0 * m);
+            frac - deg * deg
+        })
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::GraphBuilder;
+
+    fn two_triangles() -> SocialGraph {
+        GraphBuilder::new()
+            .edges([(0, 1), (1, 2), (2, 0), (3, 4), (4, 5), (5, 3), (2, 3)])
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn natural_partition_beats_trivial() {
+        let g = two_triangles();
+        let good = modularity(&g, &[0, 0, 0, 1, 1, 1]);
+        let all_one = modularity(&g, &[0, 0, 0, 0, 0, 0]);
+        let singletons = modularity(&g, &[0, 1, 2, 3, 4, 5]);
+        assert!(good > all_one);
+        assert!(good > singletons);
+        assert!(good > 0.3);
+    }
+
+    #[test]
+    fn single_community_modularity_is_zero() {
+        let g = two_triangles();
+        let q = modularity(&g, &[0; 6]);
+        assert!(q.abs() < 1e-12, "all-in-one partition has Q=0, got {q}");
+    }
+
+    #[test]
+    fn edgeless_graph_is_zero() {
+        let g = SocialGraph::with_nodes(3);
+        assert_eq!(modularity(&g, &[0, 1, 2]), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "partition must label every node")]
+    fn wrong_partition_length_panics() {
+        let g = two_triangles();
+        modularity(&g, &[0, 0]);
+    }
+
+    #[test]
+    fn known_value_two_cliques() {
+        // Two disconnected edges, each its own community:
+        // m=2; each community: e_c=1, d_c=2 -> Q = 2*(1/2 - (2/4)^2) = 2*(0.5-0.25)=0.5
+        let g = GraphBuilder::new().edges([(0, 1), (2, 3)]).build().unwrap();
+        let q = modularity(&g, &[0, 0, 1, 1]);
+        assert!((q - 0.5).abs() < 1e-12);
+    }
+
+    use crate::graph::SocialGraph;
+}

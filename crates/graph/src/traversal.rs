@@ -1,0 +1,211 @@
+//! Breadth-first traversal primitives: distances, components, k-hop rings.
+//!
+//! Everything downstream (diameter, average path length, trustee search in
+//! `siot-sim`) is built on these routines, so they are written allocation-
+//! consciously: a single `Vec<u32>` distance array and a reusable queue.
+
+use crate::graph::{NodeId, SocialGraph};
+use std::collections::VecDeque;
+
+/// Distance value meaning "unreachable".
+pub const UNREACHABLE: u32 = u32::MAX;
+
+/// Single-source BFS distances from `src`.
+///
+/// Returns a vector of hop counts, [`UNREACHABLE`] for nodes in other
+/// components.
+pub fn bfs_distances(g: &SocialGraph, src: NodeId) -> Vec<u32> {
+    let mut dist = vec![UNREACHABLE; g.node_count()];
+    let mut queue = VecDeque::new();
+    dist[src.index()] = 0;
+    queue.push_back(src);
+    while let Some(u) = queue.pop_front() {
+        let du = dist[u.index()];
+        for &v in g.neighbors(u) {
+            if dist[v.index()] == UNREACHABLE {
+                dist[v.index()] = du + 1;
+                queue.push_back(v);
+            }
+        }
+    }
+    dist
+}
+
+/// BFS limited to `max_hops`; unreached nodes get [`UNREACHABLE`].
+pub fn bfs_distances_bounded(g: &SocialGraph, src: NodeId, max_hops: u32) -> Vec<u32> {
+    let mut dist = vec![UNREACHABLE; g.node_count()];
+    let mut queue = VecDeque::new();
+    dist[src.index()] = 0;
+    queue.push_back(src);
+    while let Some(u) = queue.pop_front() {
+        let du = dist[u.index()];
+        if du >= max_hops {
+            continue;
+        }
+        for &v in g.neighbors(u) {
+            if dist[v.index()] == UNREACHABLE {
+                dist[v.index()] = du + 1;
+                queue.push_back(v);
+            }
+        }
+    }
+    dist
+}
+
+/// Shortest path from `src` to `dst` as a node sequence (inclusive), or
+/// `None` if disconnected.
+pub fn shortest_path(g: &SocialGraph, src: NodeId, dst: NodeId) -> Option<Vec<NodeId>> {
+    if src == dst {
+        return Some(vec![src]);
+    }
+    let mut parent: Vec<u32> = vec![u32::MAX; g.node_count()];
+    let mut seen = vec![false; g.node_count()];
+    let mut queue = VecDeque::new();
+    seen[src.index()] = true;
+    queue.push_back(src);
+    'outer: while let Some(u) = queue.pop_front() {
+        for &v in g.neighbors(u) {
+            if !seen[v.index()] {
+                seen[v.index()] = true;
+                parent[v.index()] = u.0;
+                if v == dst {
+                    break 'outer;
+                }
+                queue.push_back(v);
+            }
+        }
+    }
+    if !seen[dst.index()] {
+        return None;
+    }
+    let mut path = vec![dst];
+    let mut cur = dst;
+    while cur != src {
+        cur = NodeId(parent[cur.index()]);
+        path.push(cur);
+    }
+    path.reverse();
+    Some(path)
+}
+
+/// Connected components; returns `(component id per node, component count)`.
+pub fn connected_components(g: &SocialGraph) -> (Vec<u32>, usize) {
+    let mut comp = vec![u32::MAX; g.node_count()];
+    let mut next = 0u32;
+    let mut queue = VecDeque::new();
+    for s in g.nodes() {
+        if comp[s.index()] != u32::MAX {
+            continue;
+        }
+        comp[s.index()] = next;
+        queue.push_back(s);
+        while let Some(u) = queue.pop_front() {
+            for &v in g.neighbors(u) {
+                if comp[v.index()] == u32::MAX {
+                    comp[v.index()] = next;
+                    queue.push_back(v);
+                }
+            }
+        }
+        next += 1;
+    }
+    (comp, next as usize)
+}
+
+/// Node ids of the largest connected component.
+pub fn largest_component(g: &SocialGraph) -> Vec<NodeId> {
+    let (comp, count) = connected_components(g);
+    if count == 0 {
+        return Vec::new();
+    }
+    let mut sizes = vec![0usize; count];
+    for &c in &comp {
+        sizes[c as usize] += 1;
+    }
+    let best = sizes
+        .iter()
+        .enumerate()
+        .max_by_key(|&(_, s)| *s)
+        .map(|(i, _)| i as u32)
+        .expect("count > 0");
+    g.nodes().filter(|n| comp[n.index()] == best).collect()
+}
+
+/// All nodes at exactly `hops` hops from `src`.
+pub fn ring(g: &SocialGraph, src: NodeId, hops: u32) -> Vec<NodeId> {
+    let dist = bfs_distances_bounded(g, src, hops);
+    g.nodes().filter(|n| dist[n.index()] == hops).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::GraphBuilder;
+
+    fn path4() -> SocialGraph {
+        // 0 - 1 - 2 - 3, plus isolated 4
+        GraphBuilder::new().nodes(5).edges([(0, 1), (1, 2), (2, 3)]).build().unwrap()
+    }
+
+    #[test]
+    fn bfs_distances_on_path() {
+        let g = path4();
+        let d = bfs_distances(&g, NodeId(0));
+        assert_eq!(&d[..4], &[0, 1, 2, 3]);
+        assert_eq!(d[4], UNREACHABLE);
+    }
+
+    #[test]
+    fn bounded_bfs_stops() {
+        let g = path4();
+        let d = bfs_distances_bounded(&g, NodeId(0), 2);
+        assert_eq!(&d[..4], &[0, 1, 2, UNREACHABLE]);
+    }
+
+    #[test]
+    fn shortest_path_found() {
+        let g = path4();
+        let p = shortest_path(&g, NodeId(0), NodeId(3)).unwrap();
+        assert_eq!(p, vec![NodeId(0), NodeId(1), NodeId(2), NodeId(3)]);
+    }
+
+    #[test]
+    fn shortest_path_trivial_and_missing() {
+        let g = path4();
+        assert_eq!(shortest_path(&g, NodeId(2), NodeId(2)), Some(vec![NodeId(2)]));
+        assert_eq!(shortest_path(&g, NodeId(0), NodeId(4)), None);
+    }
+
+    #[test]
+    fn components_counted() {
+        let g = path4();
+        let (comp, n) = connected_components(&g);
+        assert_eq!(n, 2);
+        assert_eq!(comp[0], comp[3]);
+        assert_ne!(comp[0], comp[4]);
+    }
+
+    #[test]
+    fn largest_component_is_the_path() {
+        let g = path4();
+        let lc = largest_component(&g);
+        assert_eq!(lc, vec![NodeId(0), NodeId(1), NodeId(2), NodeId(3)]);
+    }
+
+    #[test]
+    fn ring_exact_hops() {
+        let g = path4();
+        assert_eq!(ring(&g, NodeId(0), 2), vec![NodeId(2)]);
+        assert_eq!(ring(&g, NodeId(0), 0), vec![NodeId(0)]);
+        assert!(ring(&g, NodeId(0), 9).is_empty());
+    }
+
+    #[test]
+    fn empty_graph_components() {
+        let g = SocialGraph::with_nodes(0);
+        let (comp, n) = connected_components(&g);
+        assert!(comp.is_empty());
+        assert_eq!(n, 0);
+        assert!(largest_component(&g).is_empty());
+    }
+}

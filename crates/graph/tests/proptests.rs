@@ -1,0 +1,123 @@
+//! Property-based tests for the graph substrate.
+
+use proptest::prelude::*;
+use siot_graph::community::louvain::Louvain;
+use siot_graph::generate::{barabasi_albert, erdos_renyi, watts_strogatz};
+use siot_graph::metrics::{degree_assortativity, density, modularity};
+use siot_graph::traversal::{bfs_distances, connected_components, UNREACHABLE};
+use siot_graph::{GraphBuilder, NodeId};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    // ---- construction invariants --------------------------------------
+
+    #[test]
+    fn builder_graph_is_simple_and_symmetric(
+        edges in prop::collection::vec((0u32..30, 0u32..30), 0..120)
+    ) {
+        let clean: Vec<(u32, u32)> = edges.into_iter().filter(|&(a, b)| a != b).collect();
+        let g = GraphBuilder::new().edges(clean.clone()).build().unwrap();
+        // handshake lemma
+        let degree_sum: usize = g.nodes().map(|n| g.degree(n)).sum();
+        prop_assert_eq!(degree_sum, 2 * g.edge_count());
+        // symmetry and no self loops
+        for (a, b) in g.edges() {
+            prop_assert!(a != b);
+            prop_assert!(g.has_edge(b, a));
+        }
+        // every input edge is present
+        for (a, b) in clean {
+            prop_assert!(g.has_edge(NodeId(a), NodeId(b)));
+        }
+    }
+
+    // ---- traversal invariants ------------------------------------------
+
+    #[test]
+    fn bfs_distance_triangle_inequality_on_edges(
+        edges in prop::collection::vec((0u32..20, 0u32..20), 1..60)
+    ) {
+        let clean: Vec<(u32, u32)> = edges.into_iter().filter(|&(a, b)| a != b).collect();
+        prop_assume!(!clean.is_empty());
+        let g = GraphBuilder::new().edges(clean).build().unwrap();
+        let d = bfs_distances(&g, NodeId(0));
+        for (a, b) in g.edges() {
+            let (da, db) = (d[a.index()], d[b.index()]);
+            if da != UNREACHABLE && db != UNREACHABLE {
+                prop_assert!(da.abs_diff(db) <= 1, "adjacent distances differ by ≤ 1");
+            } else {
+                prop_assert_eq!(da, db, "components agree on unreachability");
+            }
+        }
+    }
+
+    #[test]
+    fn components_partition_nodes(
+        edges in prop::collection::vec((0u32..25, 0u32..25), 0..60)
+    ) {
+        let clean: Vec<(u32, u32)> = edges.into_iter().filter(|&(a, b)| a != b).collect();
+        let g = GraphBuilder::new().nodes(25).edges(clean).build().unwrap();
+        let (comp, count) = connected_components(&g);
+        prop_assert_eq!(comp.len(), g.node_count());
+        for &c in &comp {
+            prop_assert!((c as usize) < count);
+        }
+        // adjacent nodes share a component
+        for (a, b) in g.edges() {
+            prop_assert_eq!(comp[a.index()], comp[b.index()]);
+        }
+    }
+
+    // ---- generator invariants -------------------------------------------
+
+    #[test]
+    fn erdos_renyi_is_valid(n in 2usize..40, p in 0.0..1.0f64, seed in 0u64..50) {
+        let g = erdos_renyi(n, p, seed).unwrap();
+        prop_assert_eq!(g.node_count(), n);
+        prop_assert!(g.edge_count() <= n * (n - 1) / 2);
+        prop_assert!((0.0..=1.0).contains(&density(&g)));
+    }
+
+    #[test]
+    fn barabasi_albert_minimum_degree(n in 6usize..60, m in 1usize..4, seed in 0u64..50) {
+        prop_assume!(n > m + 1);
+        let g = barabasi_albert(n, m, seed).unwrap();
+        for v in g.nodes() {
+            prop_assert!(g.degree(v) >= m, "node {} degree {}", v, g.degree(v));
+        }
+        let (_, comps) = connected_components(&g);
+        prop_assert_eq!(comps, 1);
+    }
+
+    #[test]
+    fn watts_strogatz_preserves_edge_budget(
+        n in 6usize..50, half_k in 1usize..3, beta in 0.0..1.0f64, seed in 0u64..50
+    ) {
+        let k = 2 * half_k;
+        prop_assume!(k < n);
+        let g = watts_strogatz(n, k, beta, seed).unwrap();
+        // rewiring may merge edges but never create new ones
+        prop_assert!(g.edge_count() <= n * k / 2);
+        prop_assert!(g.edge_count() >= n * k / 2 - n, "few collisions expected");
+    }
+
+    // ---- metric ranges ----------------------------------------------------
+
+    #[test]
+    fn metric_ranges_hold(n in 4usize..30, p in 0.05..0.6f64, seed in 0u64..30) {
+        let g = erdos_renyi(n, p, seed).unwrap();
+        prop_assert!((-1.0..=1.0).contains(&degree_assortativity(&g)));
+        let partition = Louvain::new(seed).run(&g);
+        prop_assert!((-0.5..=1.0).contains(&partition.modularity));
+        prop_assert_eq!(partition.community.len(), n);
+        // labels are contiguous 0..count
+        let count = partition.community_count();
+        for &c in &partition.community {
+            prop_assert!((c as usize) < count);
+        }
+        // modularity function agrees with the partition's cached value
+        let q = modularity(&g, &partition.community);
+        prop_assert!((q - partition.modularity).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,261 @@
+//! Trustee devices: honest servers and the dishonest variants the paper's
+//! testbed experiments use.
+//!
+//! * Fig. 8 — *dishonest on a characteristic*: performed maliciously on a
+//!   characteristic in past tasks and still performs badly on any task
+//!   containing it.
+//! * Fig. 14 — *fragment sender*: answers with many small fragments to
+//!   prolong the interaction and drain the trustor.
+//! * Fig. 16 — *light opportunist*: serves only when there is light (and
+//!   only after the dark period), misbehaving from time to time, while
+//!   normal trustees serve the whole time with light-dependent quality.
+
+use crate::device::DeviceId;
+use crate::frame::{Frame, Payload};
+use crate::network::{Application, Ctx};
+use crate::time::SimTime;
+use rand::Rng;
+use siot_core::task::{CharacteristicId, Task, TaskId};
+use std::any::Any;
+use std::collections::BTreeMap;
+
+/// Static behaviour of a trustee device.
+#[derive(Debug, Clone)]
+pub struct TrusteeBehavior {
+    /// Base result quality in `[0, 1]`.
+    pub quality: f64,
+    /// Number of fragments per result (≥ 1).
+    pub fragments: u16,
+    /// Pacing between fragments.
+    pub fragment_gap: SimTime,
+    /// Processing delay before the first fragment.
+    pub processing_delay: SimTime,
+    /// Characteristics this trustee performs maliciously on.
+    pub dishonest_chars: Vec<CharacteristicId>,
+    /// Whether result quality scales with ambient light (optical sensor).
+    pub light_dependent: bool,
+    /// Only offers service when the light is at least this bright.
+    pub serve_min_light: f64,
+    /// Refuses service before this time (Fig. 16's late joiners).
+    pub serve_after: SimTime,
+    /// Probability of a randomly bad result (opportunistic misbehaviour).
+    pub misbehave_prob: f64,
+    /// Energy budget in microjoules; once the device has spent this much,
+    /// it stops offering service (§4.4: *"the energy consumption of
+    /// previous tasks greatly impacts the willingness of this node to
+    /// undertake any more similar tasks"*). `f64::INFINITY` = mains power.
+    pub energy_budget_uj: f64,
+}
+
+impl TrusteeBehavior {
+    /// An honest trustee with the given quality.
+    pub fn honest(quality: f64) -> Self {
+        TrusteeBehavior {
+            quality,
+            fragments: 2,
+            fragment_gap: SimTime::millis(20),
+            processing_delay: SimTime::millis(50),
+            dishonest_chars: Vec::new(),
+            light_dependent: false,
+            serve_min_light: 0.0,
+            serve_after: SimTime::ZERO,
+            misbehave_prob: 0.0,
+            energy_budget_uj: f64::INFINITY,
+        }
+    }
+
+    /// A battery-powered honest trustee that withdraws once it has spent
+    /// `budget_uj` microjoules.
+    pub fn battery_powered(quality: f64, budget_uj: f64) -> Self {
+        TrusteeBehavior { energy_budget_uj: budget_uj, ..TrusteeBehavior::honest(quality) }
+    }
+
+    /// Fig. 14's attacker: good-looking results delivered as a long
+    /// fragment stream.
+    pub fn fragment_attacker(quality: f64, fragments: u16) -> Self {
+        TrusteeBehavior {
+            fragments,
+            fragment_gap: SimTime::millis(25),
+            ..TrusteeBehavior::honest(quality)
+        }
+    }
+
+    /// Fig. 8's attacker: bad on specific characteristics.
+    pub fn dishonest_on(chars: Vec<CharacteristicId>, quality: f64) -> Self {
+        TrusteeBehavior { dishonest_chars: chars, ..TrusteeBehavior::honest(quality) }
+    }
+
+    /// Fig. 16's normal sensor node: serves always, quality follows light.
+    pub fn light_dependent(quality: f64) -> Self {
+        TrusteeBehavior { light_dependent: true, ..TrusteeBehavior::honest(quality) }
+    }
+
+    /// Fig. 16's opportunist: appears after `serve_after`, serves only in
+    /// light, misbehaves sometimes.
+    pub fn light_opportunist(quality: f64, serve_after: SimTime, misbehave_prob: f64) -> Self {
+        TrusteeBehavior {
+            serve_min_light: 0.6,
+            serve_after,
+            misbehave_prob,
+            ..TrusteeBehavior::honest(quality)
+        }
+    }
+}
+
+/// Trustee application.
+pub struct TrusteeApp {
+    behavior: TrusteeBehavior,
+    /// Task definitions (needed to detect dishonest characteristics).
+    tasks: BTreeMap<TaskId, Task>,
+    /// In-flight results: task -> (quality, next fragment index).
+    pending: BTreeMap<(DeviceId, TaskId), (f64, u16)>,
+    /// Count of delegations served.
+    pub served: usize,
+    /// Count of requests declined (not serving).
+    pub declined: usize,
+}
+
+/// Timer key space: (task, requester, fragment) packed into u64.
+fn timer_key(task: TaskId, requester: DeviceId) -> u64 {
+    ((task.0 as u64) << 32) | requester.0 as u64
+}
+
+fn unpack_key(key: u64) -> (TaskId, DeviceId) {
+    (TaskId((key >> 32) as u32), DeviceId(key as u32))
+}
+
+impl TrusteeApp {
+    /// Creates a trustee with `behavior`, knowing the given task types.
+    pub fn new(behavior: TrusteeBehavior, tasks: impl IntoIterator<Item = Task>) -> Self {
+        TrusteeApp {
+            behavior,
+            tasks: tasks.into_iter().map(|t| (t.id(), t)).collect(),
+            pending: BTreeMap::new(),
+            served: 0,
+            declined: 0,
+        }
+    }
+
+    fn serving(&self, ctx: &Ctx<'_>) -> bool {
+        ctx.now >= self.behavior.serve_after
+            && ctx.light() >= self.behavior.serve_min_light
+            && ctx.device(ctx.self_id).stats.energy_uj < self.behavior.energy_budget_uj
+    }
+
+    /// The actual quality this trustee produces right now for `task`.
+    fn result_quality(&self, ctx: &mut Ctx<'_>, task: TaskId) -> f64 {
+        let mut q = self.behavior.quality;
+        if let Some(def) = self.tasks.get(&task) {
+            let dishonest = self
+                .behavior
+                .dishonest_chars
+                .iter()
+                .any(|&c| def.has_characteristic(c));
+            if dishonest {
+                q = 0.1;
+            }
+        }
+        if self.behavior.light_dependent {
+            q *= ctx.light();
+        }
+        if self.behavior.misbehave_prob > 0.0 && ctx.rng().gen_bool(self.behavior.misbehave_prob) {
+            q = 0.1;
+        }
+        q.clamp(0.0, 1.0)
+    }
+}
+
+impl Application for TrusteeApp {
+    fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+        // join the coordinator's network
+        ctx.send(DeviceId(0), Payload::AssocRequest);
+    }
+
+    fn on_frame(&mut self, ctx: &mut Ctx<'_>, frame: &Frame) {
+        match frame.payload {
+            Payload::TaskRequest { task } => {
+                if self.serving(ctx) {
+                    ctx.send(
+                        frame.src,
+                        Payload::Offer { task, advertised_gain: self.behavior.quality },
+                    );
+                } else {
+                    self.declined += 1;
+                }
+            }
+            Payload::Delegate { task } => {
+                if !self.serving(ctx) {
+                    self.declined += 1;
+                    return;
+                }
+                self.served += 1;
+                let quality = self.result_quality(ctx, task);
+                self.pending.insert((frame.src, task), (quality, 0));
+                ctx.set_timer(self.behavior.processing_delay, timer_key(task, frame.src));
+            }
+            _ => {}
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut Ctx<'_>, key: u64) {
+        let (task, requester) = unpack_key(key);
+        let Some(&(quality, index)) = self.pending.get(&(requester, task)) else {
+            return;
+        };
+        let total = self.behavior.fragments.max(1);
+        ctx.send(
+            requester,
+            Payload::ResultFragment { task, index, total, quality },
+        );
+        if index + 1 < total {
+            self.pending.insert((requester, task), (quality, index + 1));
+            ctx.set_timer(self.behavior.fragment_gap, key);
+        } else {
+            self.pending.remove(&(requester, task));
+        }
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn behavior_constructors() {
+        let h = TrusteeBehavior::honest(0.8);
+        assert_eq!(h.fragments, 2);
+        assert!(h.dishonest_chars.is_empty());
+
+        let f = TrusteeBehavior::fragment_attacker(0.95, 25);
+        assert_eq!(f.fragments, 25);
+
+        let d = TrusteeBehavior::dishonest_on(vec![CharacteristicId(1)], 0.8);
+        assert_eq!(d.dishonest_chars, vec![CharacteristicId(1)]);
+
+        let l = TrusteeBehavior::light_dependent(0.8);
+        assert!(l.light_dependent);
+
+        let o = TrusteeBehavior::light_opportunist(0.85, SimTime::secs(100), 0.3);
+        assert_eq!(o.serve_after, SimTime::secs(100));
+        assert_eq!(o.serve_min_light, 0.6);
+    }
+
+    #[test]
+    fn battery_constructor() {
+        let b = TrusteeBehavior::battery_powered(0.8, 5_000.0);
+        assert_eq!(b.energy_budget_uj, 5_000.0);
+        assert!(TrusteeBehavior::honest(0.8).energy_budget_uj.is_infinite());
+    }
+
+    #[test]
+    fn timer_key_roundtrip() {
+        let k = timer_key(TaskId(7), DeviceId(11));
+        assert_eq!(unpack_key(k), (TaskId(7), DeviceId(11)));
+        let k = timer_key(TaskId(u32::MAX), DeviceId(0));
+        assert_eq!(unpack_key(k), (TaskId(u32::MAX), DeviceId(0)));
+    }
+}

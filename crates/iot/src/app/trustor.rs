@@ -1,0 +1,345 @@
+//! The trustor application: runs the delegation protocol round by round.
+//!
+//! Each round: broadcast a `TaskRequest` to the group's trustees, collect
+//! `Offer`s for a window, score the offerers with the configured trust
+//! model, `Delegate` to the best, reassemble the `ResultFragment`s, then
+//! post-evaluate (Eqs. 18–22, optionally environment-aware per Eqs. 25–28)
+//! and report to the coordinator.
+
+use crate::device::DeviceId;
+use crate::frame::{Frame, Payload};
+use crate::network::{Application, Ctx};
+use crate::stack::aps::Reassembly;
+use crate::time::SimTime;
+use rand::Rng;
+use siot_core::environment::EnvIndicator;
+use siot_core::record::{ForgettingFactors, Observation, TrustRecord};
+use siot_core::store::TrustStore;
+use siot_core::task::Task;
+use siot_core::tw::Normalizer;
+use std::any::Any;
+
+/// How candidates are scored (§5.6's strategies).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scoring {
+    /// Eq. 18 trustworthiness of the record.
+    TrustTw,
+    /// Gain-only (`Ŝ·Ĝ`) — the Fig. 14 baseline blind to cost.
+    GainOnly,
+    /// Expected net profit (Eq. 23) — the proposed rule.
+    NetProfit,
+}
+
+/// Trustor configuration.
+#[derive(Debug, Clone)]
+pub struct TrustorConfig {
+    /// Trustees this trustor may query (its group).
+    pub trustees: Vec<DeviceId>,
+    /// Where to send end-of-round reports.
+    pub coordinator: DeviceId,
+    /// One task per round (the round count is `tasks.len()`).
+    pub tasks: Vec<Task>,
+    /// Task definitions known from past experience (for inference).
+    pub known_tasks: Vec<Task>,
+    /// Seeded records from previous interactions: `(peer, task id, record)`.
+    pub seed_records: Vec<(DeviceId, siot_core::task::TaskId, TrustRecord)>,
+    /// Whether unexperienced tasks are scored by Eq. 4 inference.
+    pub use_inference: bool,
+    /// Candidate scoring rule.
+    pub scoring: Scoring,
+    /// Whether post-evaluation removes the environment (Eqs. 25–28).
+    pub env_aware: bool,
+    /// Forgetting factors (paper: β = 0.1).
+    pub betas: ForgettingFactors,
+    /// How long offers are collected.
+    pub offer_window: SimTime,
+    /// How long to wait for the full result after delegating.
+    pub result_timeout: SimTime,
+    /// Cadence of rounds.
+    pub round_interval: SimTime,
+    /// Interaction time that normalizes to cost 1.0, in µs.
+    pub cost_norm_us: f64,
+}
+
+impl TrustorConfig {
+    /// Sensible defaults; callers fill in the task schedule and trustees.
+    pub fn new(trustees: Vec<DeviceId>, coordinator: DeviceId) -> Self {
+        TrustorConfig {
+            trustees,
+            coordinator,
+            tasks: Vec::new(),
+            known_tasks: Vec::new(),
+            seed_records: Vec::new(),
+            use_inference: true,
+            scoring: Scoring::NetProfit,
+            env_aware: false,
+            betas: ForgettingFactors::figures(),
+            offer_window: SimTime::millis(200),
+            result_timeout: SimTime::secs(3),
+            round_interval: SimTime::secs(5),
+            cost_norm_us: 1_000_000.0,
+        }
+    }
+}
+
+/// Everything measured in one round.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RoundLog {
+    /// Round index.
+    pub round: usize,
+    /// The trustee chosen, if any offer arrived.
+    pub selected: Option<DeviceId>,
+    /// Result quality, if the result completed before the timeout.
+    pub quality: Option<f64>,
+    /// Time from delegation to complete result (or timeout).
+    pub interaction: SimTime,
+    /// Realized profit `quality − cost` (0 when unavailable).
+    pub profit: f64,
+}
+
+const PHASE_START: u64 = 0;
+const PHASE_SELECT: u64 = 1;
+const PHASE_TIMEOUT: u64 = 2;
+
+/// Trustor application state.
+pub struct TrustorApp {
+    cfg: TrustorConfig,
+    /// The trust store (public so experiments can inspect it).
+    pub store: TrustStore<DeviceId>,
+    reassembly: Reassembly,
+    round: usize,
+    offers: Vec<DeviceId>,
+    delegated_to: Option<DeviceId>,
+    delegate_sent: SimTime,
+    round_done: bool,
+    /// Per-round measurements.
+    pub logs: Vec<RoundLog>,
+}
+
+impl TrustorApp {
+    /// Creates a trustor; the round schedule is `cfg.tasks`.
+    pub fn new(cfg: TrustorConfig) -> Self {
+        let mut store = TrustStore::new();
+        for t in cfg.tasks.iter().chain(cfg.known_tasks.iter()) {
+            store.register_task(t.clone());
+        }
+        for (peer, tid, rec) in &cfg.seed_records {
+            *store.record_mut(*peer, *tid, TrustRecord::neutral()) = *rec;
+        }
+        TrustorApp {
+            cfg,
+            store,
+            reassembly: Reassembly::new(),
+            round: 0,
+            offers: Vec::new(),
+            delegated_to: None,
+            delegate_sent: SimTime::ZERO,
+            round_done: false,
+            logs: Vec::new(),
+        }
+    }
+
+    fn score(&self, peer: DeviceId, task: &Task, ctx: &mut Ctx<'_>) -> f64 {
+        if let Some(rec) = self.store.record(peer, task.id()) {
+            return match self.cfg.scoring {
+                Scoring::TrustTw => rec.trustworthiness(Normalizer::UNIT).value(),
+                Scoring::GainOnly => rec.s_hat * rec.g_hat,
+                Scoring::NetProfit => Normalizer::UNIT.apply(rec.expected_net_profit()),
+            };
+        }
+        if self.cfg.use_inference {
+            if let Ok(tw) = self.store.infer(peer, task) {
+                return tw;
+            }
+        }
+        // Unknown candidate: optimistic prior (the paper initializes
+        // expectations at their maximum, §5.7), so every offerer gets tried
+        // before the trustor settles — with noise for random tie-breaking.
+        0.85 + ctx.rng().gen_range(-0.05..0.05)
+    }
+
+    fn finish_round(&mut self, ctx: &mut Ctx<'_>, quality: Option<f64>) {
+        if self.round_done {
+            return;
+        }
+        self.round_done = true;
+        let task = &self.cfg.tasks[self.round];
+        let interaction = if self.delegated_to.is_some() {
+            ctx.now - self.delegate_sent
+        } else {
+            SimTime::ZERO
+        };
+        let cost = (interaction.as_micros() as f64 / self.cfg.cost_norm_us).clamp(0.0, 1.0);
+        let (profit, selected) = match (self.delegated_to, quality) {
+            (Some(peer), Some(q)) => {
+                let obs = Observation {
+                    success_rate: q,
+                    gain: q,
+                    damage: 1.0 - q,
+                    cost,
+                };
+                if self.cfg.env_aware {
+                    let envs = [EnvIndicator::saturating(ctx.light())];
+                    self.store.observe_with_environment(
+                        peer,
+                        task.id(),
+                        &obs,
+                        &envs,
+                        &self.cfg.betas,
+                    );
+                } else {
+                    self.store.observe(peer, task.id(), &obs, &self.cfg.betas);
+                }
+                (q - cost, Some(peer))
+            }
+            (Some(peer), None) => {
+                // delegated but the result never completed
+                let obs = Observation { success_rate: 0.0, gain: 0.0, damage: 0.5, cost };
+                self.store.observe(peer, task.id(), &obs, &self.cfg.betas);
+                (-cost, Some(peer))
+            }
+            _ => (0.0, None),
+        };
+        self.logs.push(RoundLog {
+            round: self.round,
+            selected,
+            quality,
+            interaction,
+            profit,
+        });
+        if let Some(peer) = selected {
+            ctx.send(self.cfg.coordinator, Payload::Report { selected: peer, net_profit: profit });
+        }
+    }
+}
+
+impl Application for TrustorApp {
+    fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+        ctx.send(DeviceId(0), Payload::AssocRequest);
+        // schedule every round upfront: deterministic cadence that the
+        // light schedule can align with; small per-device stagger avoids
+        // synchronized floods
+        let stagger = SimTime::millis(100 + 37 * ctx.self_id.0 as u64);
+        for round in 0..self.cfg.tasks.len() {
+            let at = SimTime::micros(round as u64 * self.cfg.round_interval.as_micros())
+                + stagger;
+            ctx.set_timer(at, (round as u64) << 2 | PHASE_START);
+        }
+    }
+
+    fn on_frame(&mut self, ctx: &mut Ctx<'_>, frame: &Frame) {
+        match frame.payload {
+            Payload::Offer { task, .. }
+                if !self.round_done
+                    && self.delegated_to.is_none()
+                    && self.round < self.cfg.tasks.len()
+                    && task == self.cfg.tasks[self.round].id()
+                    && !self.offers.contains(&frame.src) =>
+            {
+                self.offers.push(frame.src);
+            }
+            Payload::ResultFragment { task, index, total, quality }
+                if self.delegated_to == Some(frame.src) && !self.round_done =>
+            {
+                if let Some(q) = self.reassembly.accept(frame.src.0, task, index, total, quality)
+                {
+                    self.finish_round(ctx, Some(q));
+                }
+            }
+            _ => {}
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut Ctx<'_>, key: u64) {
+        let round = (key >> 2) as usize;
+        match key & 3 {
+            PHASE_START => {
+                // close out a round that never finished (e.g. no offers and
+                // no timeout yet)
+                if round > 0 && !self.round_done && self.logs.len() < round {
+                    self.finish_round(ctx, None);
+                }
+                self.round = round;
+                self.round_done = false;
+                self.offers.clear();
+                self.delegated_to = None;
+                let task = self.cfg.tasks[round].id();
+                for &t in &self.cfg.trustees.clone() {
+                    ctx.send(t, Payload::TaskRequest { task });
+                }
+                ctx.set_timer(self.cfg.offer_window, (round as u64) << 2 | PHASE_SELECT);
+            }
+            PHASE_SELECT => {
+                if self.round != round || self.round_done {
+                    return;
+                }
+                if self.offers.is_empty() {
+                    self.finish_round(ctx, None);
+                    return;
+                }
+                let task = self.cfg.tasks[round].clone();
+                let mut best = self.offers[0];
+                let mut best_score = f64::NEG_INFINITY;
+                for &peer in &self.offers.clone() {
+                    let s = self.score(peer, &task, ctx);
+                    if s > best_score {
+                        best_score = s;
+                        best = peer;
+                    }
+                }
+                self.delegated_to = Some(best);
+                self.delegate_sent = ctx.now;
+                ctx.send(best, Payload::Delegate { task: task.id() });
+                ctx.set_timer(self.cfg.result_timeout, (round as u64) << 2 | PHASE_TIMEOUT);
+            }
+            PHASE_TIMEOUT => {
+                if self.round == round && !self.round_done {
+                    if let Some(peer) = self.delegated_to {
+                        self.reassembly.reset(peer.0, self.cfg.tasks[round].id());
+                    }
+                    self.finish_round(ctx, None);
+                }
+            }
+            _ => unreachable!("two-bit phase"),
+        }
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use siot_core::task::{CharacteristicId, TaskId};
+
+    fn task(id: u32) -> Task {
+        Task::uniform(TaskId(id), [CharacteristicId(0)]).unwrap()
+    }
+
+    #[test]
+    fn config_defaults() {
+        let cfg = TrustorConfig::new(vec![DeviceId(1)], DeviceId(0));
+        assert!(cfg.use_inference);
+        assert_eq!(cfg.scoring, Scoring::NetProfit);
+        assert!(!cfg.env_aware);
+    }
+
+    #[test]
+    fn app_registers_tasks_and_seeds() {
+        let mut cfg = TrustorConfig::new(vec![DeviceId(1)], DeviceId(0));
+        cfg.tasks = vec![task(0)];
+        cfg.known_tasks = vec![task(1)];
+        cfg.seed_records.push((
+            DeviceId(1),
+            TaskId(1),
+            TrustRecord::with_priors(0.9, 0.9, 0.1, 0.1),
+        ));
+        let app = TrustorApp::new(cfg);
+        assert!(app.store.task(TaskId(0)).is_some());
+        assert!(app.store.task(TaskId(1)).is_some());
+        assert!(app.store.record(DeviceId(1), TaskId(1)).is_some());
+        assert!(app.logs.is_empty());
+    }
+}

@@ -1,0 +1,132 @@
+//! The discrete-event queue.
+
+use crate::device::DeviceId;
+use crate::frame::Frame;
+use crate::time::SimTime;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// Events processed by the simulator.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Event {
+    /// A transmission attempt completes and the frame may arrive.
+    Deliver {
+        /// The frame in flight.
+        frame: Frame,
+        /// Which MAC attempt this is (0-based).
+        attempt: u8,
+    },
+    /// An application timer fires.
+    Timer {
+        /// The device whose timer fires.
+        device: DeviceId,
+        /// Application-chosen key.
+        key: u64,
+    },
+}
+
+#[derive(Debug)]
+struct Scheduled {
+    at: SimTime,
+    seq: u64,
+    event: Event,
+}
+
+impl PartialEq for Scheduled {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl Eq for Scheduled {}
+impl PartialOrd for Scheduled {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Scheduled {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // reversed: BinaryHeap is a max-heap, we need earliest-first;
+        // ties break by insertion sequence for determinism
+        other.at.cmp(&self.at).then(other.seq.cmp(&self.seq))
+    }
+}
+
+/// Deterministic earliest-first event queue.
+#[derive(Debug, Default)]
+pub struct EventQueue {
+    heap: BinaryHeap<Scheduled>,
+    seq: u64,
+}
+
+impl EventQueue {
+    /// An empty queue.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Schedules `event` at absolute time `at`.
+    pub fn schedule(&mut self, at: SimTime, event: Event) {
+        self.heap.push(Scheduled { at, seq: self.seq, event });
+        self.seq += 1;
+    }
+
+    /// Pops the earliest event.
+    pub fn pop(&mut self) -> Option<(SimTime, Event)> {
+        self.heap.pop().map(|s| (s.at, s.event))
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn earliest_first() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::millis(5), Event::Timer { device: DeviceId(0), key: 5 });
+        q.schedule(SimTime::millis(1), Event::Timer { device: DeviceId(0), key: 1 });
+        q.schedule(SimTime::millis(3), Event::Timer { device: DeviceId(0), key: 3 });
+        let order: Vec<u64> = std::iter::from_fn(|| q.pop())
+            .map(|(_, e)| match e {
+                Event::Timer { key, .. } => key,
+                _ => unreachable!(),
+            })
+            .collect();
+        assert_eq!(order, vec![1, 3, 5]);
+    }
+
+    #[test]
+    fn fifo_for_simultaneous_events() {
+        let mut q = EventQueue::new();
+        for key in 0..5 {
+            q.schedule(SimTime::millis(1), Event::Timer { device: DeviceId(0), key });
+        }
+        let order: Vec<u64> = std::iter::from_fn(|| q.pop())
+            .map(|(_, e)| match e {
+                Event::Timer { key, .. } => key,
+                _ => unreachable!(),
+            })
+            .collect();
+        assert_eq!(order, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn len_and_empty() {
+        let mut q = EventQueue::new();
+        assert!(q.is_empty());
+        q.schedule(SimTime::ZERO, Event::Timer { device: DeviceId(0), key: 0 });
+        assert_eq!(q.len(), 1);
+        q.pop();
+        assert!(q.is_empty());
+    }
+}

@@ -1,0 +1,133 @@
+//! Fig. 14 — detecting fragment-flooding trustees via the cost factor
+//! (§5.6).
+//!
+//! Dishonest trustees deliver attractive results (higher advertised and
+//! realized quality) but split them into a long stream of fragment
+//! packages, prolonging the trustor's radio-active time. A gain-only model
+//! keeps choosing them; the proposed four-factor model notices the cost
+//! and drops them after a few interactions, so the average active time
+//! falls to the honest level.
+
+use crate::app::{Scoring, TrusteeBehavior, TrustorApp, TrustorConfig};
+use crate::device::DeviceId;
+use crate::experiment::groups::{build, GroupSetup};
+use crate::time::SimTime;
+use siot_core::task::{CharacteristicId, Task, TaskId};
+
+/// Experiment parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FragmentsConfig {
+    /// Tasks each trustor requests (paper: 50).
+    pub rounds: usize,
+    /// Fragments per dishonest result (honest trustees send 2).
+    pub attack_fragments: u16,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for FragmentsConfig {
+    fn default() -> Self {
+        FragmentsConfig { rounds: 50, attack_fragments: 24, seed: 42 }
+    }
+}
+
+/// Average trustor active time (ms) per experiment index.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FragmentsOutcome {
+    /// Proposed model (gain **and** cost, Eq. 23).
+    pub with_model: Vec<f64>,
+    /// Baseline (gain only).
+    pub without_model: Vec<f64>,
+}
+
+/// Runs both arms.
+pub fn run(cfg: &FragmentsConfig) -> FragmentsOutcome {
+    FragmentsOutcome {
+        with_model: run_arm(cfg, Scoring::NetProfit),
+        without_model: run_arm(cfg, Scoring::GainOnly),
+    }
+}
+
+fn run_arm(cfg: &FragmentsConfig, scoring: Scoring) -> Vec<f64> {
+    // one task type repeated every round: records accumulate
+    let task = Task::uniform(TaskId(0), [CharacteristicId(0)]).expect("non-empty");
+    let tasks: Vec<Task> = vec![task.clone(); cfg.rounds];
+
+    let built = build(
+        cfg.seed,
+        GroupSetup::default(),
+        &TrusteeBehavior::honest(0.8),
+        &TrusteeBehavior::fragment_attacker(0.95, cfg.attack_fragments),
+        &[task],
+        |trustees| {
+            let mut c = TrustorConfig::new(trustees, DeviceId(0));
+            c.tasks = tasks.clone();
+            c.use_inference = false;
+            c.scoring = scoring;
+            c.round_interval = SimTime::secs(3);
+            c.result_timeout = SimTime::secs(2);
+            c
+        },
+    );
+
+    let mut net = built.net;
+    net.start();
+    net.run_to_idle();
+
+    // average interaction (active) time per round over all trustors
+    let mut sums = vec![(0.0f64, 0usize); cfg.rounds];
+    for &t in &built.trustors {
+        let app: &TrustorApp = net.app_as(t).expect("trustor app");
+        for log in &app.logs {
+            if log.round < cfg.rounds && log.selected.is_some() {
+                sums[log.round].0 += log.interaction.as_millis_f64();
+                sums[log.round].1 += 1;
+            }
+        }
+    }
+    sums.into_iter().map(|(s, n)| if n == 0 { 0.0 } else { s / n as f64 }).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mean(xs: &[f64]) -> f64 {
+        xs.iter().sum::<f64>() / xs.len() as f64
+    }
+
+    #[test]
+    fn proposed_model_drives_active_time_down() {
+        let out = run(&FragmentsConfig { rounds: 24, ..Default::default() });
+        let early = mean(&out.with_model[..4]);
+        let late = mean(&out.with_model[16..]);
+        assert!(
+            late < early * 0.7,
+            "active time must fall once attackers are identified: early {early:.0}ms late {late:.0}ms"
+        );
+    }
+
+    #[test]
+    fn gain_only_stays_expensive() {
+        let out = run(&FragmentsConfig { rounds: 24, ..Default::default() });
+        let with_late = mean(&out.with_model[16..]);
+        let without_late = mean(&out.without_model[16..]);
+        assert!(
+            without_late > with_late * 2.0,
+            "gain-only keeps paying the attackers: with {with_late:.0}ms without {without_late:.0}ms"
+        );
+    }
+
+    #[test]
+    fn attack_inflates_interaction_time() {
+        let out = run(&FragmentsConfig { rounds: 10, ..Default::default() });
+        // early rounds explore, so some trustors hit attackers in both arms
+        assert!(mean(&out.without_model) > 200.0, "{:?}", out.without_model);
+    }
+
+    #[test]
+    fn deterministic() {
+        let cfg = FragmentsConfig { rounds: 6, ..Default::default() };
+        assert_eq!(run(&cfg), run(&cfg));
+    }
+}

@@ -1,0 +1,174 @@
+//! The paper's experimental topology (§5.2): five node groups, each with
+//! two trustors, two honest trustees and two dishonest trustees, plus the
+//! coordinator that starts the network.
+
+use crate::app::{CoordinatorApp, TrusteeApp, TrusteeBehavior, TrustorApp, TrustorConfig};
+use crate::device::{DeviceId, DeviceKind};
+use crate::network::IotNetwork;
+use crate::radio::RadioModel;
+use siot_core::task::Task;
+
+/// Shape of the experimental network.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GroupSetup {
+    /// Number of groups (paper: 5).
+    pub groups: usize,
+    /// Trustors per group (paper: 2).
+    pub trustors_per_group: usize,
+    /// Honest trustees per group (paper: 2).
+    pub honest_per_group: usize,
+    /// Dishonest trustees per group (paper: 2).
+    pub dishonest_per_group: usize,
+}
+
+impl Default for GroupSetup {
+    fn default() -> Self {
+        GroupSetup { groups: 5, trustors_per_group: 2, honest_per_group: 2, dishonest_per_group: 2 }
+    }
+}
+
+/// The assembled network plus the device roles.
+pub struct BuiltNetwork {
+    /// The simulator, started and ready to run.
+    pub net: IotNetwork,
+    /// The coordinator device.
+    pub coordinator: DeviceId,
+    /// All trustor devices.
+    pub trustors: Vec<DeviceId>,
+    /// All honest trustee devices.
+    pub honest: Vec<DeviceId>,
+    /// All dishonest trustee devices.
+    pub dishonest: Vec<DeviceId>,
+}
+
+/// Builds the five-group network.
+///
+/// `trustor_cfg` receives the trustee ids of the trustor's own group and
+/// produces that trustor's configuration; behaviours are cloned per
+/// trustee. All task definitions the trustees might execute are passed in
+/// `task_defs`.
+pub fn build(
+    seed: u64,
+    setup: GroupSetup,
+    honest_behavior: &TrusteeBehavior,
+    dishonest_behavior: &TrusteeBehavior,
+    task_defs: &[Task],
+    mut trustor_cfg: impl FnMut(Vec<DeviceId>) -> TrustorConfig,
+) -> BuiltNetwork {
+    let mut net = IotNetwork::new(seed);
+    // testbed radios are close together and reliable; losses are retried
+    net.set_radio(RadioModel { loss: 0.02, ..RadioModel::default() });
+
+    let coordinator = net.add_device(
+        DeviceKind::Coordinator,
+        (0.0, 0.0),
+        Box::new(CoordinatorApp::new()),
+    );
+
+    let mut trustors = Vec::new();
+    let mut honest = Vec::new();
+    let mut dishonest = Vec::new();
+
+    let per_group = setup.trustors_per_group + setup.honest_per_group + setup.dishonest_per_group;
+    for gi in 0..setup.groups {
+        let angle = gi as f64 / setup.groups as f64 * std::f64::consts::TAU;
+        let center = (80.0 * angle.cos(), 80.0 * angle.sin());
+
+        // ids are assigned in add order: trustors, honest, dishonest
+        let base = 1 + gi as u32 * per_group as u32;
+        let trustee_ids: Vec<DeviceId> = (0..(setup.honest_per_group + setup.dishonest_per_group))
+            .map(|k| DeviceId(base + setup.trustors_per_group as u32 + k as u32))
+            .collect();
+
+        for k in 0..setup.trustors_per_group {
+            let pos = (center.0 + 3.0 * k as f64, center.1 - 5.0);
+            let cfg = trustor_cfg(trustee_ids.clone());
+            let id = net.add_device(DeviceKind::Trustor, pos, Box::new(TrustorApp::new(cfg)));
+            trustors.push(id);
+        }
+        for k in 0..setup.honest_per_group {
+            let pos = (center.0 + 3.0 * k as f64, center.1 + 5.0);
+            let app = TrusteeApp::new(honest_behavior.clone(), task_defs.iter().cloned());
+            let id = net.add_device(DeviceKind::Trustee, pos, Box::new(app));
+            honest.push(id);
+        }
+        for k in 0..setup.dishonest_per_group {
+            let pos = (center.0 + 3.0 * k as f64, center.1 + 10.0);
+            let app = TrusteeApp::new(dishonest_behavior.clone(), task_defs.iter().cloned());
+            let id = net.add_device(DeviceKind::Trustee, pos, Box::new(app));
+            dishonest.push(id);
+        }
+    }
+
+    BuiltNetwork { net, coordinator, trustors, honest, dishonest }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use siot_core::task::{CharacteristicId, TaskId};
+
+    fn a_task() -> Task {
+        Task::uniform(TaskId(0), [CharacteristicId(0)]).unwrap()
+    }
+
+    #[test]
+    fn builds_paper_topology() {
+        let setup = GroupSetup::default();
+        let built = build(
+            1,
+            setup,
+            &TrusteeBehavior::honest(0.8),
+            &TrusteeBehavior::honest(0.5),
+            &[a_task()],
+            |trustees| {
+                assert_eq!(trustees.len(), 4, "2 honest + 2 dishonest per group");
+                TrustorConfig::new(trustees, DeviceId(0))
+            },
+        );
+        assert_eq!(built.trustors.len(), 10);
+        assert_eq!(built.honest.len(), 10);
+        assert_eq!(built.dishonest.len(), 10);
+        assert_eq!(built.coordinator, DeviceId(0));
+        assert_eq!(built.net.devices().len(), 31);
+    }
+
+    #[test]
+    fn trustee_ids_point_at_trustees() {
+        let built = build(
+            2,
+            GroupSetup::default(),
+            &TrusteeBehavior::honest(0.8),
+            &TrusteeBehavior::honest(0.5),
+            &[a_task()],
+            |trustees| TrustorConfig::new(trustees, DeviceId(0)),
+        );
+        for &t in built.honest.iter().chain(&built.dishonest) {
+            assert_eq!(built.net.device(t).kind, DeviceKind::Trustee);
+        }
+        for &t in &built.trustors {
+            assert_eq!(built.net.device(t).kind, DeviceKind::Trustor);
+        }
+    }
+
+    #[test]
+    fn groups_are_radio_reachable() {
+        let built = build(
+            3,
+            GroupSetup::default(),
+            &TrusteeBehavior::honest(0.8),
+            &TrusteeBehavior::honest(0.5),
+            &[a_task()],
+            |trustees| TrustorConfig::new(trustees, DeviceId(0)),
+        );
+        let radio = RadioModel::default();
+        let coord = built.net.device(built.coordinator);
+        for d in built.net.devices() {
+            assert!(
+                radio.in_range(coord.position, d.position),
+                "{} out of coordinator range",
+                d.id
+            );
+        }
+    }
+}

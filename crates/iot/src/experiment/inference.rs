@@ -1,0 +1,172 @@
+//! Fig. 8 — inferential transfer of trust on the testbed (§5.4).
+//!
+//! Each trustor requests, in every experiment run, a task with two
+//! characteristics that appeared in different previous tasks. Dishonest
+//! trustees performed maliciously on one of those characteristics before.
+//! With the proposed characteristic-based model the trustors infer the
+//! distrust and pick honest devices; without it, the task looks brand new
+//! and selection is a coin flip.
+
+use crate::app::{RoundLog, Scoring, TrusteeBehavior, TrustorApp, TrustorConfig};
+use crate::device::DeviceId;
+use crate::experiment::groups::{build, GroupSetup};
+use crate::time::SimTime;
+use siot_core::record::TrustRecord;
+use siot_core::task::{CharacteristicId, Task, TaskId};
+
+/// Experiment parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct InferenceConfig {
+    /// Number of experiment runs (paper: 50).
+    pub runs: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for InferenceConfig {
+    fn default() -> Self {
+        InferenceConfig { runs: 50, seed: 42 }
+    }
+}
+
+/// Percentage of trustors selecting honest devices, per experiment run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct InferenceOutcome {
+    /// With the proposed characteristic-based inference.
+    pub with_model: Vec<f64>,
+    /// Treating every task as brand new.
+    pub without_model: Vec<f64>,
+}
+
+const GOOD_CHAR: CharacteristicId = CharacteristicId(0);
+const BAD_CHAR: CharacteristicId = CharacteristicId(1);
+/// Previous task containing the characteristic the dishonest trustees
+/// botched.
+const PREV_BAD: TaskId = TaskId(100);
+/// Previous task everyone did fine.
+const PREV_GOOD: TaskId = TaskId(101);
+
+/// Runs both arms and reports the per-run honest-selection percentages.
+pub fn run(cfg: &InferenceConfig) -> InferenceOutcome {
+    InferenceOutcome {
+        with_model: run_arm(cfg, true),
+        without_model: run_arm(cfg, false),
+    }
+}
+
+fn run_arm(cfg: &InferenceConfig, use_inference: bool) -> Vec<f64> {
+    let prev_bad = Task::uniform(PREV_BAD, [BAD_CHAR]).expect("non-empty");
+    let prev_good = Task::uniform(PREV_GOOD, [GOOD_CHAR]).expect("non-empty");
+    // fresh 2-characteristic task type per run: ids 200, 201, ...
+    let round_tasks: Vec<Task> = (0..cfg.runs)
+        .map(|r| {
+            Task::uniform(TaskId(200 + r as u32), [GOOD_CHAR, BAD_CHAR]).expect("non-empty")
+        })
+        .collect();
+    let mut all_defs = round_tasks.clone();
+    all_defs.push(prev_bad.clone());
+    all_defs.push(prev_good.clone());
+
+    let setup = GroupSetup::default();
+    let honest_rec = TrustRecord::with_priors(0.85, 0.8, 0.1, 0.1);
+    let bad_rec = TrustRecord::with_priors(0.12, 0.1, 0.8, 0.1);
+
+    let built = build(
+        cfg.seed,
+        setup,
+        &TrusteeBehavior::honest(0.8),
+        &TrusteeBehavior::dishonest_on(vec![BAD_CHAR], 0.8),
+        &all_defs,
+        |trustees| {
+            let mut c = TrustorConfig::new(trustees.clone(), DeviceId(0));
+            c.tasks = round_tasks.clone();
+            c.known_tasks = vec![prev_bad.clone(), prev_good.clone()];
+            c.use_inference = use_inference;
+            c.scoring = Scoring::TrustTw;
+            c.round_interval = SimTime::secs(2);
+            // seeded experience: the first half of each group's trustees
+            // are honest (good records on both previous tasks), the second
+            // half performed maliciously on PREV_BAD
+            for (i, &t) in trustees.iter().enumerate() {
+                let honest = i < setup.honest_per_group;
+                c.seed_records.push((t, PREV_GOOD, honest_rec));
+                c.seed_records.push((t, PREV_BAD, if honest { honest_rec } else { bad_rec }));
+            }
+            c
+        },
+    );
+
+    let mut net = built.net;
+    net.start();
+    net.run_to_idle();
+
+    // per-run honest-selection percentage over all trustors
+    let honest: std::collections::BTreeSet<DeviceId> = built.honest.iter().copied().collect();
+    let mut per_run = vec![(0usize, 0usize); cfg.runs];
+    for &t in &built.trustors {
+        let app: &TrustorApp = net.app_as(t).expect("trustor app");
+        for log in &app.logs {
+            record_selection(&mut per_run, log, &honest);
+        }
+    }
+    per_run
+        .into_iter()
+        .map(|(h, total)| if total == 0 { 0.0 } else { 100.0 * h as f64 / total as f64 })
+        .collect()
+}
+
+fn record_selection(
+    per_run: &mut [(usize, usize)],
+    log: &RoundLog,
+    honest: &std::collections::BTreeSet<DeviceId>,
+) {
+    if log.round >= per_run.len() {
+        return;
+    }
+    if let Some(sel) = log.selected {
+        per_run[log.round].1 += 1;
+        if honest.contains(&sel) {
+            per_run[log.round].0 += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mean(xs: &[f64]) -> f64 {
+        xs.iter().sum::<f64>() / xs.len() as f64
+    }
+
+    #[test]
+    fn with_model_selects_honest_overwhelmingly() {
+        let out = run(&InferenceConfig { runs: 12, seed: 7 });
+        assert_eq!(out.with_model.len(), 12);
+        let m = mean(&out.with_model);
+        assert!(m > 85.0, "with-model honest selection {m}%");
+    }
+
+    #[test]
+    fn without_model_is_a_coin_flip() {
+        let out = run(&InferenceConfig { runs: 12, seed: 7 });
+        let m = mean(&out.without_model);
+        assert!((25.0..=75.0).contains(&m), "without-model honest selection {m}%");
+    }
+
+    #[test]
+    fn gap_matches_paper_shape() {
+        let out = run(&InferenceConfig { runs: 10, seed: 3 });
+        assert!(
+            mean(&out.with_model) > mean(&out.without_model) + 20.0,
+            "the proposed model must clearly dominate: {:?}",
+            out
+        );
+    }
+
+    #[test]
+    fn deterministic() {
+        let cfg = InferenceConfig { runs: 5, seed: 1 };
+        assert_eq!(run(&cfg), run(&cfg));
+    }
+}

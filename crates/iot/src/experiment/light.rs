@@ -1,0 +1,181 @@
+//! Fig. 16 — dynamic environment on the testbed: optical sensors under a
+//! light → dark → light schedule (§5.7).
+//!
+//! Normal trustees serve the whole time but their sensing quality follows
+//! the light. Malicious trustees appear only in the last light period and
+//! misbehave now and then. With the environment-removal model (Eqs. 25–29)
+//! the trustors keep crediting the normal trustees for the dark period, so
+//! once light returns the normal trustees are re-selected and the network
+//! profit recovers; without it, the normal trustees' trust is ruined and
+//! the malicious ones take over.
+
+use crate::app::{Scoring, TrusteeBehavior, TrustorApp, TrustorConfig};
+use crate::device::DeviceId;
+use crate::experiment::groups::{build, GroupSetup};
+use crate::time::SimTime;
+use siot_core::task::{CharacteristicId, Task, TaskId};
+
+/// Experiment parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LightConfig {
+    /// Experiment runs (paper: 50).
+    pub rounds: usize,
+    /// Last round (exclusive) of the first light period.
+    pub dark_from: usize,
+    /// First round of the final light period.
+    pub light_again_from: usize,
+    /// Light level during the dark period.
+    pub dark_level: f64,
+    /// Probability the opportunists misbehave on a served task.
+    pub misbehave_prob: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for LightConfig {
+    fn default() -> Self {
+        LightConfig {
+            rounds: 50,
+            dark_from: 17,
+            light_again_from: 34,
+            dark_level: 0.15,
+            misbehave_prob: 0.4,
+            seed: 42,
+        }
+    }
+}
+
+/// Network net profit (summed over trustors, ×100) per experiment index.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LightOutcome {
+    /// With the environment-removal model.
+    pub with_model: Vec<f64>,
+    /// Plain updates (environment bakes into trust).
+    pub without_model: Vec<f64>,
+    /// The light level active during each round.
+    pub light: Vec<f64>,
+}
+
+const ROUND_INTERVAL: SimTime = SimTime::secs(5);
+
+/// Runs both arms.
+pub fn run(cfg: &LightConfig) -> LightOutcome {
+    let light: Vec<f64> = (0..cfg.rounds)
+        .map(|r| {
+            if r >= cfg.dark_from && r < cfg.light_again_from {
+                cfg.dark_level
+            } else {
+                1.0
+            }
+        })
+        .collect();
+    LightOutcome {
+        with_model: run_arm(cfg, true),
+        without_model: run_arm(cfg, false),
+        light,
+    }
+}
+
+fn run_arm(cfg: &LightConfig, env_aware: bool) -> Vec<f64> {
+    let task = Task::uniform(TaskId(0), [CharacteristicId(0)]).expect("non-empty");
+    let tasks: Vec<Task> = vec![task.clone(); cfg.rounds];
+
+    // the light schedule in wall time; rounds fire at r·interval + stagger
+    let dark_start = SimTime::micros(cfg.dark_from as u64 * ROUND_INTERVAL.as_micros());
+    let light_return =
+        SimTime::micros(cfg.light_again_from as u64 * ROUND_INTERVAL.as_micros());
+
+    let built = build(
+        cfg.seed,
+        GroupSetup::default(),
+        &TrusteeBehavior::light_dependent(0.85),
+        // opportunists look fine when they serve but misbehave often and
+        // deliver slightly worse results than the normal sensors
+        &TrusteeBehavior::light_opportunist(0.8, light_return, cfg.misbehave_prob),
+        &[task],
+        |trustees| {
+            let mut c = TrustorConfig::new(trustees, DeviceId(0));
+            c.tasks = tasks.clone();
+            c.use_inference = false;
+            c.scoring = Scoring::TrustTw;
+            c.env_aware = env_aware;
+            c.round_interval = ROUND_INTERVAL;
+            c.result_timeout = SimTime::secs(2);
+            c
+        },
+    );
+
+    let mut net = built.net;
+    net.set_light_schedule(vec![
+        (SimTime::ZERO, 1.0),
+        (dark_start, cfg.dark_level),
+        (light_return, 1.0),
+    ]);
+    net.start();
+    net.run_to_idle();
+
+    let mut profit = vec![0.0f64; cfg.rounds];
+    for &t in &built.trustors {
+        let app: &TrustorApp = net.app_as(t).expect("trustor app");
+        for log in &app.logs {
+            if log.round < cfg.rounds {
+                profit[log.round] += log.profit * 100.0;
+            }
+        }
+    }
+    profit
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mean(xs: &[f64]) -> f64 {
+        xs.iter().sum::<f64>() / xs.len() as f64
+    }
+
+    fn outcome() -> LightOutcome {
+        run(&LightConfig { rounds: 30, dark_from: 10, light_again_from: 20, ..Default::default() })
+    }
+
+    #[test]
+    fn first_light_period_profitable_in_both_arms() {
+        let out = outcome();
+        assert!(mean(&out.with_model[2..10]) > 400.0, "{:?}", &out.with_model[..10]);
+        assert!(mean(&out.without_model[2..10]) > 400.0);
+    }
+
+    #[test]
+    fn dark_period_hurts_everyone() {
+        let out = outcome();
+        assert!(mean(&out.with_model[12..20]) < 300.0);
+        assert!(mean(&out.without_model[12..20]) < 300.0);
+    }
+
+    #[test]
+    fn proposed_model_recovers_after_dark() {
+        let out = outcome();
+        let with_recovery = mean(&out.with_model[24..]);
+        let without_recovery = mean(&out.without_model[24..]);
+        assert!(with_recovery > 400.0, "proposed model must recover: {with_recovery}");
+        assert!(
+            with_recovery > without_recovery + 50.0,
+            "with {with_recovery} vs without {without_recovery}"
+        );
+    }
+
+    #[test]
+    fn light_series_reflects_schedule() {
+        let out = outcome();
+        assert_eq!(out.light.len(), 30);
+        assert_eq!(out.light[0], 1.0);
+        assert_eq!(out.light[15], 0.15);
+        assert_eq!(out.light[25], 1.0);
+    }
+
+    #[test]
+    fn deterministic() {
+        let cfg = LightConfig { rounds: 8, dark_from: 3, light_again_from: 6, ..Default::default() };
+        assert_eq!(run(&cfg), run(&cfg));
+    }
+}

@@ -1,0 +1,8 @@
+//! Testbed experiments, one per hardware figure of the paper.
+
+pub mod fragments;
+pub mod groups;
+pub mod inference;
+pub mod light;
+
+pub use groups::{build, BuiltNetwork, GroupSetup};

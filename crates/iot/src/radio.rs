@@ -1,0 +1,65 @@
+//! Radio channel model: airtime, range, loss.
+//!
+//! 250 kbit/s IEEE 802.15.4 radio: 32 µs per byte, 160 µs preamble+SFD.
+//! Delivery succeeds within range with probability `1 − loss`; the MAC
+//! retries lost unicasts (see [`crate::stack::mac`]).
+
+use crate::frame::Frame;
+use crate::time::SimTime;
+
+/// Channel parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RadioModel {
+    /// Reliable transmission range in meters (the paper's devices: 250 m).
+    pub range_m: f64,
+    /// Per-attempt loss probability inside the range.
+    pub loss: f64,
+    /// Microseconds per payload byte (250 kbit/s → 32 µs).
+    pub us_per_byte: u64,
+    /// Fixed per-frame preamble time in µs.
+    pub preamble_us: u64,
+}
+
+impl Default for RadioModel {
+    fn default() -> Self {
+        RadioModel { range_m: 250.0, loss: 0.05, us_per_byte: 32, preamble_us: 160 }
+    }
+}
+
+impl RadioModel {
+    /// Time on air for one frame.
+    pub fn airtime(&self, frame: &Frame) -> SimTime {
+        SimTime::micros(self.preamble_us + frame.wire_bytes() as u64 * self.us_per_byte)
+    }
+
+    /// Whether two positions are within radio range.
+    pub fn in_range(&self, a: (f64, f64), b: (f64, f64)) -> bool {
+        let dx = a.0 - b.0;
+        let dy = a.1 - b.1;
+        (dx * dx + dy * dy).sqrt() <= self.range_m
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::device::DeviceId;
+    use crate::frame::Payload;
+
+    #[test]
+    fn airtime_scales_with_size() {
+        let radio = RadioModel::default();
+        let small = Frame { src: DeviceId(0), dst: DeviceId(1), payload: Payload::Raw(10), seq: 0 };
+        let large = Frame { src: DeviceId(0), dst: DeviceId(1), payload: Payload::Raw(90), seq: 1 };
+        assert!(radio.airtime(&large) > radio.airtime(&small));
+        // 10+17 bytes at 32 µs + 160 µs preamble
+        assert_eq!(radio.airtime(&small), SimTime::micros(160 + 27 * 32));
+    }
+
+    #[test]
+    fn range_check() {
+        let radio = RadioModel::default();
+        assert!(radio.in_range((0.0, 0.0), (100.0, 0.0)));
+        assert!(!radio.in_range((0.0, 0.0), (300.0, 0.0)));
+    }
+}

@@ -1,0 +1,131 @@
+//! APS-layer fragmentation and reassembly.
+//!
+//! Results larger than one frame are split into `ResultFragment`s; the
+//! receiver reassembles and surfaces the result only when every index has
+//! arrived. Fig. 14's dishonest trustees exploit exactly this: they split
+//! their results into many fragments to inflate the trustor's radio time.
+
+use siot_core::task::TaskId;
+use std::collections::BTreeMap;
+
+/// Reassembly buffer for fragmented results, keyed by (peer, task).
+#[derive(Debug, Clone, Default)]
+pub struct Reassembly {
+    buffers: BTreeMap<(u32, TaskId), FragBuffer>,
+}
+
+#[derive(Debug, Clone)]
+struct FragBuffer {
+    total: u16,
+    seen: Vec<bool>,
+    quality: f64,
+}
+
+impl Reassembly {
+    /// An empty reassembler.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Accepts one fragment; returns `Some(quality)` when the result is
+    /// complete (and forgets the buffer).
+    pub fn accept(
+        &mut self,
+        peer: u32,
+        task: TaskId,
+        index: u16,
+        total: u16,
+        quality: f64,
+    ) -> Option<f64> {
+        if total == 0 || index >= total {
+            return None;
+        }
+        let buf = self.buffers.entry((peer, task)).or_insert_with(|| FragBuffer {
+            total,
+            seen: vec![false; total as usize],
+            quality: 0.0,
+        });
+        if buf.total != total {
+            // inconsistent sender: restart the buffer
+            *buf = FragBuffer { total, seen: vec![false; total as usize], quality: 0.0 };
+        }
+        buf.seen[index as usize] = true;
+        if index == total - 1 {
+            buf.quality = quality;
+        }
+        if buf.seen.iter().all(|&s| s) {
+            let q = buf.quality;
+            self.buffers.remove(&(peer, task));
+            Some(q)
+        } else {
+            None
+        }
+    }
+
+    /// Drops any partial state for a peer/task (e.g. on timeout).
+    pub fn reset(&mut self, peer: u32, task: TaskId) {
+        self.buffers.remove(&(peer, task));
+    }
+
+    /// Number of in-progress reassemblies.
+    pub fn pending(&self) -> usize {
+        self.buffers.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_fragment_completes_immediately() {
+        let mut r = Reassembly::new();
+        assert_eq!(r.accept(1, TaskId(0), 0, 1, 0.9), Some(0.9));
+        assert_eq!(r.pending(), 0);
+    }
+
+    #[test]
+    fn multi_fragment_requires_all() {
+        let mut r = Reassembly::new();
+        assert_eq!(r.accept(1, TaskId(0), 0, 3, 0.0), None);
+        assert_eq!(r.accept(1, TaskId(0), 2, 3, 0.7), None);
+        assert_eq!(r.pending(), 1);
+        assert_eq!(r.accept(1, TaskId(0), 1, 3, 0.0), Some(0.7));
+        assert_eq!(r.pending(), 0);
+    }
+
+    #[test]
+    fn duplicate_fragments_are_idempotent() {
+        let mut r = Reassembly::new();
+        assert_eq!(r.accept(1, TaskId(0), 0, 2, 0.0), None);
+        assert_eq!(r.accept(1, TaskId(0), 0, 2, 0.0), None);
+        assert_eq!(r.accept(1, TaskId(0), 1, 2, 0.5), Some(0.5));
+    }
+
+    #[test]
+    fn invalid_fragments_rejected() {
+        let mut r = Reassembly::new();
+        assert_eq!(r.accept(1, TaskId(0), 5, 3, 0.5), None, "index out of range");
+        assert_eq!(r.accept(1, TaskId(0), 0, 0, 0.5), None, "zero total");
+        assert_eq!(r.pending(), 0);
+    }
+
+    #[test]
+    fn separate_peers_do_not_mix() {
+        let mut r = Reassembly::new();
+        assert_eq!(r.accept(1, TaskId(0), 0, 2, 0.0), None);
+        assert_eq!(r.accept(2, TaskId(0), 1, 2, 0.9), None);
+        assert_eq!(r.pending(), 2);
+        r.reset(1, TaskId(0));
+        assert_eq!(r.pending(), 1);
+    }
+
+    #[test]
+    fn total_change_restarts() {
+        let mut r = Reassembly::new();
+        assert_eq!(r.accept(1, TaskId(0), 0, 3, 0.0), None);
+        // sender switches to 2 fragments: buffer restarts
+        assert_eq!(r.accept(1, TaskId(0), 0, 2, 0.0), None);
+        assert_eq!(r.accept(1, TaskId(0), 1, 2, 0.4), Some(0.4));
+    }
+}

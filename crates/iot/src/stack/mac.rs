@@ -1,0 +1,63 @@
+//! MAC-layer policy: CSMA-flavoured backoff and unicast retries.
+
+use crate::time::SimTime;
+use rand::rngs::SmallRng;
+use rand::Rng;
+
+/// MAC parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MacPolicy {
+    /// Maximum transmission attempts per unicast (1 initial + retries).
+    pub max_attempts: u8,
+    /// Backoff unit in µs (802.15.4: 320 µs).
+    pub backoff_unit_us: u64,
+}
+
+impl Default for MacPolicy {
+    fn default() -> Self {
+        MacPolicy { max_attempts: 4, backoff_unit_us: 320 }
+    }
+}
+
+impl MacPolicy {
+    /// Random backoff before attempt `attempt` (binary exponential:
+    /// `U[0, 2^min(attempt+1, 5)) × unit`).
+    pub fn backoff(&self, attempt: u8, rng: &mut SmallRng) -> SimTime {
+        let exp = (attempt + 1).min(5);
+        let slots = 1u64 << exp;
+        SimTime::micros(rng.gen_range(0..slots) * self.backoff_unit_us)
+    }
+
+    /// Whether another attempt is allowed after `attempt` failed.
+    pub fn may_retry(&self, attempt: u8) -> bool {
+        attempt + 1 < self.max_attempts
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn backoff_bounded_and_growing() {
+        let mac = MacPolicy::default();
+        let mut rng = SmallRng::seed_from_u64(1);
+        for attempt in 0..4u8 {
+            let exp = (attempt + 1).min(5);
+            let max = (1u64 << exp) * mac.backoff_unit_us;
+            for _ in 0..50 {
+                let b = mac.backoff(attempt, &mut rng).as_micros();
+                assert!(b < max, "attempt {attempt}: {b} < {max}");
+            }
+        }
+    }
+
+    #[test]
+    fn retry_budget() {
+        let mac = MacPolicy::default();
+        assert!(mac.may_retry(0));
+        assert!(mac.may_retry(2));
+        assert!(!mac.may_retry(3));
+    }
+}

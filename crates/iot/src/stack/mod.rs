@@ -1,0 +1,4 @@
+//! Protocol-stack helpers (MAC retry/backoff policy, APS fragmentation).
+
+pub mod aps;
+pub mod mac;

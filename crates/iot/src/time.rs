@@ -1,0 +1,94 @@
+//! Virtual time with microsecond resolution.
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Sub};
+
+/// A point (or span) of virtual time, in microseconds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct SimTime(pub u64);
+
+impl SimTime {
+    /// Time zero.
+    pub const ZERO: SimTime = SimTime(0);
+
+    /// From microseconds.
+    pub const fn micros(us: u64) -> Self {
+        SimTime(us)
+    }
+
+    /// From milliseconds.
+    pub const fn millis(ms: u64) -> Self {
+        SimTime(ms * 1_000)
+    }
+
+    /// From seconds.
+    pub const fn secs(s: u64) -> Self {
+        SimTime(s * 1_000_000)
+    }
+
+    /// Whole microseconds.
+    pub const fn as_micros(self) -> u64 {
+        self.0
+    }
+
+    /// Milliseconds as a float (reporting convenience).
+    pub fn as_millis_f64(self) -> f64 {
+        self.0 as f64 / 1_000.0
+    }
+}
+
+impl Add for SimTime {
+    type Output = SimTime;
+    fn add(self, rhs: SimTime) -> SimTime {
+        SimTime(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for SimTime {
+    fn add_assign(&mut self, rhs: SimTime) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for SimTime {
+    type Output = SimTime;
+    fn sub(self, rhs: SimTime) -> SimTime {
+        SimTime(self.0.saturating_sub(rhs.0))
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.3}ms", self.as_millis_f64())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions() {
+        assert_eq!(SimTime::millis(3).as_micros(), 3_000);
+        assert_eq!(SimTime::secs(2).as_micros(), 2_000_000);
+        assert_eq!(SimTime::micros(1500).as_millis_f64(), 1.5);
+    }
+
+    #[test]
+    fn arithmetic() {
+        let t = SimTime::millis(1) + SimTime::micros(500);
+        assert_eq!(t.as_micros(), 1_500);
+        assert_eq!((t - SimTime::micros(500)).as_micros(), 1_000);
+        // saturating subtraction
+        assert_eq!((SimTime::ZERO - SimTime::millis(1)).as_micros(), 0);
+        let mut acc = SimTime::ZERO;
+        acc += SimTime::millis(2);
+        assert_eq!(acc, SimTime::millis(2));
+    }
+
+    #[test]
+    fn ordering_and_display() {
+        assert!(SimTime::millis(1) < SimTime::millis(2));
+        assert_eq!(SimTime::micros(1500).to_string(), "1.500ms");
+    }
+}

@@ -1,0 +1,78 @@
+//! Property-based tests for the discrete-event substrate.
+
+use proptest::prelude::*;
+use siot_core::task::TaskId;
+use siot_iot::event::{Event, EventQueue};
+use siot_iot::stack::aps::Reassembly;
+use siot_iot::{DeviceId, SimTime};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    // ---- APS reassembly never panics, completes iff all parts arrive ----
+
+    #[test]
+    fn reassembly_is_robust(
+        fragments in prop::collection::vec((0u32..3, 0u16..6, 0u16..6, 0.0..1.0f64), 0..60)
+    ) {
+        let mut r = Reassembly::new();
+        for (peer, index, total, quality) in fragments {
+            let _ = r.accept(peer, TaskId(0), index, total, quality);
+        }
+        // pending buffers are bounded by the distinct (peer, task) pairs
+        prop_assert!(r.pending() <= 3);
+    }
+
+    #[test]
+    fn reassembly_completes_exactly_once(total in 1u16..8, seed in 0u64..100) {
+        use rand::seq::SliceRandom;
+        use rand::SeedableRng;
+        let mut order: Vec<u16> = (0..total).collect();
+        order.shuffle(&mut rand::rngs::SmallRng::seed_from_u64(seed));
+        let mut r = Reassembly::new();
+        let mut completions = 0;
+        for &i in &order {
+            if r.accept(1, TaskId(0), i, total, 0.7).is_some() {
+                completions += 1;
+            }
+        }
+        prop_assert_eq!(completions, 1, "exactly one completion per full set");
+        prop_assert_eq!(r.pending(), 0);
+    }
+
+    // ---- event queue is a stable priority queue ---------------------------
+
+    #[test]
+    fn event_queue_orders_by_time_then_insertion(
+        times in prop::collection::vec(0u64..1000, 1..80)
+    ) {
+        let mut q = EventQueue::new();
+        for (i, &t) in times.iter().enumerate() {
+            q.schedule(
+                SimTime::micros(t),
+                Event::Timer { device: DeviceId(0), key: i as u64 },
+            );
+        }
+        let mut last: Option<(SimTime, u64)> = None;
+        while let Some((at, Event::Timer { key, .. })) = q.pop() {
+            if let Some((lt, lk)) = last {
+                prop_assert!(at >= lt);
+                if at == lt {
+                    prop_assert!(key > lk, "FIFO among simultaneous events");
+                }
+            }
+            last = Some((at, key));
+        }
+        prop_assert!(q.is_empty());
+    }
+
+    // ---- time arithmetic ---------------------------------------------------
+
+    #[test]
+    fn simtime_arithmetic_consistent(a in 0u64..1_000_000, b in 0u64..1_000_000) {
+        let (ta, tb) = (SimTime::micros(a), SimTime::micros(b));
+        prop_assert_eq!((ta + tb).as_micros(), a + b);
+        prop_assert_eq!((ta - tb).as_micros(), a.saturating_sub(b));
+        prop_assert_eq!(ta < tb, a < b);
+    }
+}

@@ -1,0 +1,122 @@
+//! Agents and role assignment.
+//!
+//! The paper randomly selects ~40% of the nodes as trustors and ~40% as
+//! trustees in every sub-network (§5.1). Roles are disjoint; the remaining
+//! nodes participate only as intermediates.
+
+use rand::rngs::SmallRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use siot_graph::{NodeId, SocialGraph};
+
+/// Agent identifier — identical to the graph's node index.
+pub type AgentId = NodeId;
+
+/// Disjoint trustor/trustee role assignment over a graph.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Roles {
+    trustor: Vec<bool>,
+    trustee: Vec<bool>,
+    trustors: Vec<AgentId>,
+    trustees: Vec<AgentId>,
+}
+
+impl Roles {
+    /// Randomly assigns `trustor_frac` of nodes as trustors and
+    /// `trustee_frac` as trustees (disjoint sets; fractions are clamped so
+    /// they sum to at most 1).
+    pub fn assign(g: &SocialGraph, trustor_frac: f64, trustee_frac: f64, seed: u64) -> Self {
+        let n = g.node_count();
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut order: Vec<AgentId> = g.nodes().collect();
+        order.shuffle(&mut rng);
+
+        let tf = trustor_frac.clamp(0.0, 1.0);
+        let ef = trustee_frac.clamp(0.0, 1.0 - tf);
+        let n_trustors = (n as f64 * tf).round() as usize;
+        let n_trustees = (n as f64 * ef).round() as usize;
+
+        let mut trustor = vec![false; n];
+        let mut trustee = vec![false; n];
+        let mut trustors = Vec::with_capacity(n_trustors);
+        let mut trustees = Vec::with_capacity(n_trustees);
+        for &a in order.iter().take(n_trustors) {
+            trustor[a.index()] = true;
+            trustors.push(a);
+        }
+        for &a in order.iter().skip(n_trustors).take(n_trustees) {
+            trustee[a.index()] = true;
+            trustees.push(a);
+        }
+        trustors.sort_unstable();
+        trustees.sort_unstable();
+        Roles { trustor, trustee, trustors, trustees }
+    }
+
+    /// The paper's split: 40% trustors, 40% trustees.
+    pub fn paper_split(g: &SocialGraph, seed: u64) -> Self {
+        Self::assign(g, 0.4, 0.4, seed)
+    }
+
+    /// Whether `a` is a trustor.
+    pub fn is_trustor(&self, a: AgentId) -> bool {
+        self.trustor[a.index()]
+    }
+
+    /// Whether `a` is a trustee.
+    pub fn is_trustee(&self, a: AgentId) -> bool {
+        self.trustee[a.index()]
+    }
+
+    /// All trustors, sorted.
+    pub fn trustors(&self) -> &[AgentId] {
+        &self.trustors
+    }
+
+    /// All trustees, sorted.
+    pub fn trustees(&self) -> &[AgentId] {
+        &self.trustees
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use siot_graph::generate::erdos_renyi::erdos_renyi;
+
+    #[test]
+    fn roles_are_disjoint_and_sized() {
+        let g = erdos_renyi(100, 0.1, 1).unwrap();
+        let roles = Roles::paper_split(&g, 7);
+        assert_eq!(roles.trustors().len(), 40);
+        assert_eq!(roles.trustees().len(), 40);
+        for &t in roles.trustors() {
+            assert!(roles.is_trustor(t));
+            assert!(!roles.is_trustee(t), "roles must be disjoint");
+        }
+        for &t in roles.trustees() {
+            assert!(roles.is_trustee(t));
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let g = erdos_renyi(50, 0.1, 1).unwrap();
+        assert_eq!(Roles::paper_split(&g, 3), Roles::paper_split(&g, 3));
+    }
+
+    #[test]
+    fn fractions_clamped() {
+        let g = erdos_renyi(10, 0.3, 1).unwrap();
+        let roles = Roles::assign(&g, 0.8, 0.8, 1);
+        assert_eq!(roles.trustors().len() + roles.trustees().len(), 10);
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = siot_graph::SocialGraph::with_nodes(0);
+        let roles = Roles::paper_split(&g, 0);
+        assert!(roles.trustors().is_empty());
+        assert!(roles.trustees().is_empty());
+    }
+}

@@ -1,0 +1,263 @@
+//! The distributed trust knowledge of the network (§5.5 setup).
+//!
+//! Each node has experienced a small set of task types; for every node, its
+//! graph neighbours hold scalar trustworthiness records about those tasks
+//! that *"approach its actual capability"*. The transitivity search walks
+//! these records.
+
+use crate::agent::AgentId;
+use crate::tasks::TaskPool;
+use rand::rngs::SmallRng;
+use rand::Rng;
+use siot_core::infer::Experience;
+use siot_core::task::{CharacteristicId, Task, TaskId};
+use siot_graph::SocialGraph;
+use std::collections::BTreeMap;
+
+/// Ground truth plus the records neighbours hold about each other.
+#[derive(Debug, Clone)]
+pub struct Knowledge {
+    /// Per-node, per-characteristic actual competence in `[0, 1]`.
+    competence: Vec<Vec<f64>>,
+    /// Tasks each node has experienced (sorted).
+    experienced: Vec<Vec<TaskId>>,
+    /// `records[holder] : (peer, task) -> scalar trustworthiness`.
+    records: Vec<BTreeMap<(AgentId, TaskId), f64>>,
+    /// `rec_trust[holder] : peer -> recommendation trustworthiness TW(Rτ)`.
+    rec_trust: Vec<BTreeMap<AgentId, f64>>,
+    n_characteristics: usize,
+}
+
+impl Knowledge {
+    /// Seeds the network: competence per (node, characteristic), two (or
+    /// `tasks_per_node`) experienced tasks per node, and neighbour records
+    /// equal to the true task competence plus uniform noise `±noise`.
+    pub fn seed(
+        g: &SocialGraph,
+        pool: &TaskPool,
+        tasks_per_node: usize,
+        noise: f64,
+        rng: &mut SmallRng,
+    ) -> Self {
+        let n = g.node_count();
+        let n_chars = pool.n_characteristics();
+        let competence: Vec<Vec<f64>> =
+            (0..n).map(|_| (0..n_chars).map(|_| rng.gen_range(0.0..1.0)).collect()).collect();
+        let experienced: Vec<Vec<TaskId>> =
+            (0..n).map(|_| pool.sample_experienced(tasks_per_node, rng)).collect();
+
+        let mut records: Vec<BTreeMap<(AgentId, TaskId), f64>> = vec![BTreeMap::new(); n];
+        let mut rec_trust: Vec<BTreeMap<AgentId, f64>> = vec![BTreeMap::new(); n];
+        for holder in g.nodes() {
+            for &peer in g.neighbors(holder) {
+                for &tid in &experienced[peer.index()] {
+                    let truth = task_competence(&competence[peer.index()], pool.task(tid));
+                    let observed = (truth + rng.gen_range(-noise..=noise)).clamp(0.0, 1.0);
+                    records[holder.index()].insert((peer, tid), observed);
+                }
+                // honest networks recommend reliably: TW(Rτ) is high but
+                // not perfect (§4.3 gates filter on it with ω₁)
+                rec_trust[holder.index()].insert(peer, rng.gen_range(0.75..0.95));
+            }
+        }
+        Knowledge { competence, experienced, records, rec_trust, n_characteristics: n_chars }
+    }
+
+    /// Replaces the experienced-task assignment (used by the Table 2
+    /// variant where node features dictate experience).
+    pub fn set_experienced(&mut self, experienced: Vec<Vec<TaskId>>) {
+        assert_eq!(experienced.len(), self.experienced.len());
+        self.experienced = experienced;
+    }
+
+    /// Re-derives neighbour records after [`Self::set_experienced`].
+    pub fn reseed_records(&mut self, g: &SocialGraph, pool: &TaskPool, noise: f64, rng: &mut SmallRng) {
+        for r in self.records.iter_mut() {
+            r.clear();
+        }
+        for holder in g.nodes() {
+            for &peer in g.neighbors(holder) {
+                for &tid in &self.experienced[peer.index()] {
+                    let truth = task_competence(&self.competence[peer.index()], pool.task(tid));
+                    let observed = (truth + rng.gen_range(-noise..=noise)).clamp(0.0, 1.0);
+                    self.records[holder.index()].insert((peer, tid), observed);
+                }
+            }
+        }
+    }
+
+    /// The actual competence of `a` on `task` (mean of its characteristic
+    /// competences, weighted by the task's weights).
+    pub fn actual_task_competence(&self, a: AgentId, task: &Task) -> f64 {
+        task_competence(&self.competence[a.index()], task)
+    }
+
+    /// Actual competence of `a` on a single characteristic.
+    pub fn actual_characteristic_competence(&self, a: AgentId, c: CharacteristicId) -> f64 {
+        self.competence[a.index()][c.0 as usize]
+    }
+
+    /// Tasks `a` has experienced.
+    pub fn experienced(&self, a: AgentId) -> &[TaskId] {
+        &self.experienced[a.index()]
+    }
+
+    /// Whether `a`'s experienced tasks cover every characteristic of `task`.
+    pub fn covers_all(&self, a: AgentId, task: &Task, pool: &TaskPool) -> bool {
+        task.characteristic_ids().all(|c| self.covers_characteristic(a, c, pool))
+    }
+
+    /// Whether `a`'s experienced tasks cover characteristic `c`.
+    pub fn covers_characteristic(&self, a: AgentId, c: CharacteristicId, pool: &TaskPool) -> bool {
+        self.experienced[a.index()].iter().any(|&tid| pool.task(tid).has_characteristic(c))
+    }
+
+    /// Whether `a` experienced exactly this task type.
+    pub fn experienced_exactly(&self, a: AgentId, task: TaskId) -> bool {
+        self.experienced[a.index()].binary_search(&task).is_ok()
+    }
+
+    /// The scalar record `holder` keeps about `(peer, task)`.
+    pub fn record(&self, holder: AgentId, peer: AgentId, task: TaskId) -> Option<f64> {
+        self.records[holder.index()].get(&(peer, task)).copied()
+    }
+
+    /// Overwrites the scalar record `holder` keeps about `(peer, task)` —
+    /// used by the attack models (a bad-mouthing recommender rewrites its
+    /// reports).
+    pub fn set_record(&mut self, holder: AgentId, peer: AgentId, task: TaskId, tw: f64) {
+        self.records[holder.index()].insert((peer, task), tw.clamp(0.0, 1.0));
+    }
+
+    /// Recommendation trustworthiness `TW_{holder←peer}(Rτ)` — how much
+    /// `holder` trusts `peer`'s recommendations. `None` for non-neighbours.
+    pub fn recommendation_trust(&self, holder: AgentId, peer: AgentId) -> Option<f64> {
+        self.rec_trust[holder.index()].get(&peer).copied()
+    }
+
+    /// Overrides one recommendation-trust value (used by attack models:
+    /// a bad-mouthing or ballot-stuffing peer loses recommendation trust).
+    pub fn set_recommendation_trust(&mut self, holder: AgentId, peer: AgentId, tw: f64) {
+        self.rec_trust[holder.index()].insert(peer, tw.clamp(0.0, 1.0));
+    }
+
+    /// All of `holder`'s experiences about `peer` as `(task, tw)` pairs
+    /// suitable for Eq. 4 inference.
+    pub fn experiences<'p>(
+        &self,
+        holder: AgentId,
+        peer: AgentId,
+        pool: &'p TaskPool,
+    ) -> Vec<Experience<'p>> {
+        self.records[holder.index()]
+            .range((peer, TaskId(0))..=(peer, TaskId(u32::MAX)))
+            .map(|(&(_, tid), &tw)| Experience::new(pool.task(tid), tw))
+            .collect()
+    }
+
+    /// Size of the characteristic alphabet.
+    pub fn n_characteristics(&self) -> usize {
+        self.n_characteristics
+    }
+}
+
+/// Weighted-average competence of a characteristic-competence vector on a
+/// task.
+fn task_competence(char_competence: &[f64], task: &Task) -> f64 {
+    task.characteristics()
+        .iter()
+        .map(|&(c, w)| w * char_competence[c.0 as usize])
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use siot_graph::GraphBuilder;
+
+    fn setup() -> (SocialGraph, TaskPool, Knowledge) {
+        let g = GraphBuilder::new().edges([(0, 1), (1, 2), (2, 3)]).build().unwrap();
+        let mut rng = SmallRng::seed_from_u64(1);
+        let pool = TaskPool::generate(4, 4, &mut rng);
+        let k = Knowledge::seed(&g, &pool, 2, 0.05, &mut rng);
+        (g, pool, k)
+    }
+
+    #[test]
+    fn records_exist_only_between_neighbours() {
+        let (g, _, k) = setup();
+        let n0 = AgentId::from(0u32);
+        let n2 = AgentId::from(2u32);
+        // 0 and 2 are not adjacent
+        assert!(!g.has_edge(n0, n2));
+        for &tid in k.experienced(n2) {
+            assert!(k.record(n0, n2, tid).is_none());
+        }
+        // 0 and 1 are adjacent: records exist for 1's experienced tasks
+        let n1 = AgentId::from(1u32);
+        for &tid in k.experienced(n1) {
+            assert!(k.record(n0, n1, tid).is_some());
+        }
+    }
+
+    #[test]
+    fn records_approach_truth() {
+        let (_, pool, k) = setup();
+        let n1 = AgentId::from(1u32);
+        let n0 = AgentId::from(0u32);
+        for &tid in k.experienced(n1) {
+            let truth = k.actual_task_competence(n1, pool.task(tid));
+            let rec = k.record(n0, n1, tid).unwrap();
+            assert!((rec - truth).abs() <= 0.05 + 1e-9);
+        }
+    }
+
+    #[test]
+    fn coverage_checks_follow_experience() {
+        let (_, pool, k) = setup();
+        let a = AgentId::from(0u32);
+        for &tid in k.experienced(a) {
+            assert!(k.experienced_exactly(a, tid));
+            for c in pool.task(tid).characteristic_ids() {
+                assert!(k.covers_characteristic(a, c, &pool));
+            }
+            assert!(k.covers_all(a, pool.task(tid), &pool));
+        }
+        assert!(!k.experienced_exactly(a, TaskId(9999)));
+    }
+
+    #[test]
+    fn experiences_list_matches_records() {
+        let (_, pool, k) = setup();
+        let holder = AgentId::from(1u32);
+        let peer = AgentId::from(0u32);
+        let exp = k.experiences(holder, peer, &pool);
+        assert_eq!(exp.len(), k.experienced(peer).len());
+    }
+
+    #[test]
+    fn task_competence_is_weighted_average() {
+        let comp = vec![0.2, 0.8];
+        let t = Task::new(TaskId(0), [(CharacteristicId(0), 1.0), (CharacteristicId(1), 3.0)])
+            .unwrap();
+        let got = task_competence(&comp, &t);
+        assert!((got - (0.25 * 0.2 + 0.75 * 0.8)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn reseed_after_set_experienced() {
+        let (g, pool, mut k) = setup();
+        let n = g.node_count();
+        let new_exp: Vec<Vec<TaskId>> = (0..n).map(|_| vec![TaskId(0)]).collect();
+        let mut rng = SmallRng::seed_from_u64(9);
+        k.set_experienced(new_exp);
+        k.reseed_records(&g, &pool, 0.0, &mut rng);
+        let n0 = AgentId::from(0u32);
+        let n1 = AgentId::from(1u32);
+        assert_eq!(k.experienced(n1), &[TaskId(0)]);
+        let rec = k.record(n0, n1, TaskId(0)).unwrap();
+        let truth = k.actual_task_competence(n1, pool.task(TaskId(0)));
+        assert!((rec - truth).abs() < 1e-12, "zero noise copies the truth");
+    }
+}

@@ -1,0 +1,30 @@
+//! # siot-sim — delegation simulations on social-IoT networks
+//!
+//! Drives the trust model of `siot-core` over the social networks of
+//! `siot-graph`, reproducing the paper's simulation experiments:
+//!
+//! | Figure | Scenario module |
+//! |---|---|
+//! | Fig. 7 (mutuality: success/unavailable/abuse vs θ) | [`scenario::mutuality`] |
+//! | Figs. 9–11 + Table 2 (transitivity sweeps) | [`scenario::transitivity`] |
+//! | Fig. 12 (search overhead) | [`scenario::transitivity`] |
+//! | Fig. 13 (net profit vs iterations) | [`scenario::profit`] |
+//! | Fig. 15 (dynamic environment tracking) | [`scenario::environment`] |
+//!
+//! Everything is seeded: the same configuration and seed produce the same
+//! numbers on every run.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod agent;
+pub mod attacks;
+pub mod knowledge;
+pub mod metrics;
+pub mod scenario;
+pub mod search;
+pub mod tasks;
+
+pub use agent::{AgentId, Roles};
+pub use knowledge::Knowledge;
+pub use search::{SearchMethod, SearchOutcome, TrusteeSearch};

@@ -1,0 +1,206 @@
+//! Fig. 15 — trustworthiness under a dynamic environment (§5.7).
+//!
+//! A single trustor–trustee pair; the trustee's actual competence is
+//! `S = 0.8`. The environment indicator is 1.0 for the first hundred
+//! iterations, then drops to 0.4, then recovers to 0.7. Three update rules
+//! are tracked:
+//!
+//! * **ideal** — observations unaffected by the environment (blue circles);
+//! * **traditional** — plain EWMA on degraded observations: converges
+//!   slowly to `S·min(E)` with error and delay (red squares);
+//! * **proposed** — Eq. 25 updates with the removal function r(·):
+//!   quickly tracks the competence despite the changing environment
+//!   (green triangles).
+
+use crate::metrics::mean;
+use rand::rngs::SmallRng;
+use rand::Rng;
+use rand::SeedableRng;
+use siot_core::environment::{update_with_environment, EnvIndicator};
+use siot_core::record::{ForgettingFactors, Observation, TrustRecord};
+
+/// Parameters of the environment-tracking experiment.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EnvironmentConfig {
+    /// The trustee's actual competence (paper: 0.8).
+    pub competence: f64,
+    /// Environment phases as `(iterations, indicator)` (paper:
+    /// 100×1.0, 100×0.4, 100×0.7).
+    pub phases: Vec<(usize, f64)>,
+    /// Forgetting factor β (paper: 0.1).
+    pub beta: f64,
+    /// Half-width of the uniform noise on each measured success rate.
+    pub observation_noise: f64,
+    /// Independent runs to average (paper: 100).
+    pub runs: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for EnvironmentConfig {
+    fn default() -> Self {
+        EnvironmentConfig {
+            competence: 0.8,
+            phases: vec![(100, 1.0), (100, 0.4), (100, 0.7)],
+            // history weight matching the figures' convergence pace
+            beta: 0.9,
+            observation_noise: 0.1,
+            runs: 100,
+            seed: 42,
+        }
+    }
+}
+
+/// The three tracked series of expected success rates, plus the
+/// environment indicator per iteration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EnvironmentOutcome {
+    /// `Ŝ` without environment influence (ideal reference).
+    pub ideal: Vec<f64>,
+    /// `Ŝ` with plain updates on degraded observations.
+    pub traditional: Vec<f64>,
+    /// `Ŝ` with Eq. 25 environment-removal updates.
+    pub proposed: Vec<f64>,
+    /// The environment indicator active at each iteration.
+    pub environment: Vec<f64>,
+}
+
+impl EnvironmentOutcome {
+    /// Total number of iterations.
+    pub fn len(&self) -> usize {
+        self.ideal.len()
+    }
+
+    /// Whether the outcome holds no iterations.
+    pub fn is_empty(&self) -> bool {
+        self.ideal.is_empty()
+    }
+}
+
+/// Runs the experiment, averaging the trajectories over `cfg.runs`
+/// independent seeds.
+pub fn run(cfg: &EnvironmentConfig) -> EnvironmentOutcome {
+    let total: usize = cfg.phases.iter().map(|&(n, _)| n).sum();
+    let schedule: Vec<f64> = cfg
+        .phases
+        .iter()
+        .flat_map(|&(n, e)| std::iter::repeat_n(e, n))
+        .collect();
+    let betas = ForgettingFactors::uniform(cfg.beta);
+
+    let mut ideal_acc = vec![0.0; total];
+    let mut trad_acc = vec![0.0; total];
+    let mut prop_acc = vec![0.0; total];
+
+    for run_idx in 0..cfg.runs {
+        let mut rng = SmallRng::seed_from_u64(cfg.seed.wrapping_add(run_idx as u64));
+        // the paper initializes the expected success rate at 1
+        let mut ideal = TrustRecord::optimistic();
+        let mut traditional = TrustRecord::optimistic();
+        let mut proposed = TrustRecord::optimistic();
+
+        for (i, &env) in schedule.iter().enumerate() {
+            let envs = [EnvIndicator::saturating(env), EnvIndicator::saturating(env)];
+            // The trustor measures a per-delegation success *rate* (QoS-style:
+            // fraction of sub-operations completed). The environment scales
+            // it multiplicatively — exactly the degradation Fig. 15 assumes
+            // (0.8 observed as 0.8·0.4 = 0.32 in the hostile phase).
+            let noise = rng.gen_range(-cfg.observation_noise..=cfg.observation_noise);
+            let obs = Observation {
+                success_rate: (cfg.competence * env + noise).clamp(0.0, 1.0),
+                gain: 0.5,
+                damage: 0.0,
+                cost: 0.0,
+            };
+            let clean_obs = Observation {
+                success_rate: (cfg.competence + noise).clamp(0.0, 1.0),
+                ..obs
+            };
+
+            ideal.update(&clean_obs, &betas);
+            traditional.update(&obs, &betas);
+            update_with_environment(&mut proposed, &obs, &envs, &betas);
+
+            ideal_acc[i] += ideal.s_hat;
+            trad_acc[i] += traditional.s_hat;
+            prop_acc[i] += proposed.s_hat;
+        }
+    }
+
+    let n = cfg.runs.max(1) as f64;
+    EnvironmentOutcome {
+        ideal: ideal_acc.into_iter().map(|x| x / n).collect(),
+        traditional: trad_acc.into_iter().map(|x| x / n).collect(),
+        proposed: prop_acc.into_iter().map(|x| x / n).collect(),
+        environment: schedule,
+    }
+}
+
+/// Mean of a window of a series — convenience for shape checks.
+pub fn window_mean(series: &[f64], from: usize, to: usize) -> f64 {
+    mean(&series[from.min(series.len())..to.min(series.len())])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn outcome() -> EnvironmentOutcome {
+        run(&EnvironmentConfig { runs: 60, ..Default::default() })
+    }
+
+    #[test]
+    fn ideal_converges_to_competence() {
+        let out = outcome();
+        let tail = window_mean(&out.ideal, 60, 100);
+        assert!((tail - 0.8).abs() < 0.05, "ideal tail {tail}");
+    }
+
+    #[test]
+    fn traditional_sinks_with_environment() {
+        let out = outcome();
+        // late in the hostile phase it approaches 0.8·0.4 = 0.32
+        let hostile_tail = window_mean(&out.traditional, 170, 200);
+        assert!((hostile_tail - 0.32).abs() < 0.07, "hostile tail {hostile_tail}");
+        // and in the recovery phase approaches 0.8·0.7 = 0.56
+        let recover_tail = window_mean(&out.traditional, 270, 300);
+        assert!((recover_tail - 0.56).abs() < 0.07, "recover tail {recover_tail}");
+    }
+
+    #[test]
+    fn proposed_tracks_competence_throughout() {
+        let out = outcome();
+        for (lo, hi) in [(60, 100), (160, 200), (260, 300)] {
+            let w = window_mean(&out.proposed, lo, hi);
+            assert!((w - 0.8).abs() < 0.07, "proposed window {lo}..{hi} = {w}");
+        }
+    }
+
+    #[test]
+    fn traditional_shows_error_and_delay_proposed_does_not() {
+        let out = outcome();
+        // Fig. 15: right at the environment drop the traditional estimate
+        // departs from the competence (error), taking iterations to settle
+        // (delay); the proposed estimate never leaves the competence.
+        let prop_err = (window_mean(&out.proposed, 100, 140) - 0.8).abs();
+        let trad_err = (window_mean(&out.traditional, 100, 140) - 0.8).abs();
+        assert!(prop_err < 0.08, "proposed stays on competence: {prop_err}");
+        assert!(trad_err > 0.3, "traditional is misled by the environment: {trad_err}");
+    }
+
+    #[test]
+    fn schedule_recorded() {
+        let out = outcome();
+        assert_eq!(out.len(), 300);
+        assert!(!out.is_empty());
+        assert_eq!(out.environment[0], 1.0);
+        assert_eq!(out.environment[150], 0.4);
+        assert_eq!(out.environment[250], 0.7);
+    }
+
+    #[test]
+    fn deterministic() {
+        let cfg = EnvironmentConfig { runs: 5, ..Default::default() };
+        assert_eq!(run(&cfg), run(&cfg));
+    }
+}

@@ -1,0 +1,191 @@
+//! Fig. 7 — mutuality of trustor and trustee (§5.3).
+//!
+//! Every trustor carries a hidden *responsibility* value in `[0, 1]`: high
+//! means it uses trustees' resources legitimately, low means it abuses them
+//! with high probability. Trustees reverse-evaluate trustors from usage
+//! statistics and refuse delegations below threshold `θ_y(τ)`; `θ = 0`
+//! reproduces the unilateral-evaluation baseline.
+
+use crate::agent::{AgentId, Roles};
+use crate::metrics::Ratio;
+use rand::rngs::SmallRng;
+use rand::Rng;
+use rand::SeedableRng;
+use siot_core::mutuality::{ReverseEvaluator, UsageLog};
+use siot_graph::traversal::bfs_distances_bounded;
+use siot_graph::SocialGraph;
+
+/// Parameters of the mutuality experiment.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MutualityConfig {
+    /// The trustee-side acceptance threshold `θ_y(τ)` (0, 0.3, 0.6 in the
+    /// paper).
+    pub theta: f64,
+    /// Delegation requests issued per trustor.
+    pub requests_per_trustor: usize,
+    /// Warm-up interactions seeding each trustee's usage log per trustor.
+    pub warmup_interactions: usize,
+    /// How far (hops) a trustor looks for trustees.
+    pub search_hops: u32,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for MutualityConfig {
+    fn default() -> Self {
+        MutualityConfig {
+            theta: 0.0,
+            requests_per_trustor: 10,
+            warmup_interactions: 20,
+            search_hops: 2,
+            seed: 42,
+        }
+    }
+}
+
+/// The three rates reported per bar group in Fig. 7.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MutualityOutcome {
+    /// Successful delegations / total requests.
+    pub success_rate: f64,
+    /// Requests no trustee would accept / total requests.
+    pub unavailable_rate: f64,
+    /// Abusive uses / all uses of trustee resources.
+    pub abuse_rate: f64,
+}
+
+/// Runs the mutuality experiment on one network.
+pub fn run(g: &SocialGraph, cfg: &MutualityConfig) -> MutualityOutcome {
+    let mut rng = SmallRng::seed_from_u64(cfg.seed);
+    let roles = Roles::paper_split(g, cfg.seed ^ 0x5107);
+    let n = g.node_count();
+
+    // hidden ground truth
+    let responsibility: Vec<f64> = (0..n).map(|_| rng.gen_range(0.0..1.0)).collect();
+    let competence: Vec<f64> = (0..n).map(|_| rng.gen_range(0.0..1.0)).collect();
+
+    // Warm-up: each trustee's usage log about each trustor reflects the
+    // trustor's past behaviour (Bernoulli(responsibility) samples).
+    // Logs are per (trustee, trustor) pair but identical in distribution,
+    // so we store per trustor per trustee lazily.
+    let evaluator = ReverseEvaluator::new(cfg.theta);
+    let mut logs: std::collections::BTreeMap<(AgentId, AgentId), UsageLog> =
+        std::collections::BTreeMap::new();
+
+    let mut success = Ratio::default();
+    let mut unavailable = Ratio::default();
+    let mut abuse = Ratio::default();
+
+    for &trustor in roles.trustors() {
+        // candidate trustees within the search horizon
+        let dist = bfs_distances_bounded(g, trustor, cfg.search_hops);
+        let mut candidates: Vec<AgentId> = roles
+            .trustees()
+            .iter()
+            .copied()
+            .filter(|t| *t != trustor && dist[t.index()] != u32::MAX)
+            .collect();
+        // pre-evaluation: rank by (noisily known) trustee competence
+        candidates.sort_by(|a, b| {
+            competence[b.index()]
+                .partial_cmp(&competence[a.index()])
+                .expect("competence is never NaN")
+        });
+
+        for _ in 0..cfg.requests_per_trustor {
+            if candidates.is_empty() {
+                unavailable.record(true);
+                success.record(false);
+                continue;
+            }
+            // Fig. 2 procedure: try candidates best-first until one accepts.
+            let mut accepted: Option<AgentId> = None;
+            for &trustee in &candidates {
+                let log = logs.entry((trustee, trustor)).or_insert_with(|| {
+                    let mut l = UsageLog::new();
+                    for _ in 0..cfg.warmup_interactions {
+                        if rng.gen_bool(responsibility[trustor.index()]) {
+                            l.record_responsive();
+                        } else {
+                            l.record_abusive();
+                        }
+                    }
+                    l
+                });
+                if evaluator.accepts(log) {
+                    accepted = Some(trustee);
+                    break;
+                }
+            }
+            let Some(trustee) = accepted else {
+                unavailable.record(true);
+                success.record(false);
+                continue;
+            };
+            unavailable.record(false);
+
+            // the delegation happens: resource use + task execution
+            let abusive = !rng.gen_bool(responsibility[trustor.index()]);
+            abuse.record(abusive);
+            let log = logs.get_mut(&(trustee, trustor)).expect("created above");
+            if abusive {
+                log.record_abusive();
+            } else {
+                log.record_responsive();
+            }
+            success.record(rng.gen_bool(competence[trustee.index()]));
+        }
+    }
+
+    MutualityOutcome {
+        success_rate: success.value(),
+        unavailable_rate: unavailable.value(),
+        abuse_rate: abuse.value(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use siot_graph::generate::social::SocialNetKind;
+
+    fn quick(theta: f64) -> MutualityOutcome {
+        let g = SocialNetKind::Twitter.generate(1);
+        run(&g, &MutualityConfig { theta, requests_per_trustor: 5, ..Default::default() })
+    }
+
+    #[test]
+    fn theta_zero_has_high_abuse() {
+        let out = quick(0.0);
+        assert!(out.abuse_rate > 0.4, "paper: abuse > 0.4 without reverse eval, got {out:?}");
+        assert!(out.unavailable_rate < 0.1, "θ=0 rarely refuses: {out:?}");
+    }
+
+    #[test]
+    fn raising_theta_trades_abuse_for_unavailability() {
+        let t0 = quick(0.0);
+        let t3 = quick(0.3);
+        let t6 = quick(0.6);
+        assert!(t3.abuse_rate < t0.abuse_rate, "{t0:?} vs {t3:?}");
+        assert!(t6.abuse_rate < t3.abuse_rate, "{t3:?} vs {t6:?}");
+        assert!(t3.unavailable_rate > t0.unavailable_rate);
+        assert!(t6.unavailable_rate > t3.unavailable_rate);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let g = SocialNetKind::Twitter.generate(2);
+        let cfg = MutualityConfig::default();
+        let a = run(&g, &cfg);
+        let b = run(&g, &cfg);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn rates_are_rates() {
+        let out = quick(0.3);
+        for v in [out.success_rate, out.unavailable_rate, out.abuse_rate] {
+            assert!((0.0..=1.0).contains(&v));
+        }
+    }
+}

@@ -1,0 +1,607 @@
+//! Trustee discovery over the social graph (§4.3 / §5.5).
+//!
+//! A trustor floods a delegation request along qualified social links. The
+//! paper's transitivity model distinguishes *recommendation* trust
+//! `TW(Rτ)` — carried by every intermediate link and gated by ω₁ — from
+//! *execution* trust, which only the final link toward the trustee carries
+//! (gated by ω₂). The three methods differ in which links qualify and how
+//! estimates combine:
+//!
+//! * **Traditional** (Eq. 5): only links whose record matches the *exact*
+//!   task type qualify; estimates multiply along the path, unrestricted
+//!   (no gates — the paper's point is precisely that existing models
+//!   transit trust without restriction).
+//! * **Conservative** (Eqs. 8–11): intermediates must understand the whole
+//!   request (their experienced tasks cover *all* its characteristics);
+//!   the final link's estimate comes from Eq. 4 inference; hops combine
+//!   with Eq. 7.
+//! * **Aggressive** (Eqs. 12–17): each characteristic travels its own
+//!   paths (intermediates only need to cover *that* characteristic); the
+//!   trustee needs all characteristics covered by its own experience, and
+//!   the per-characteristic estimates recombine with Eq. 17.
+//!
+//! The search also counts *inquired nodes* — every node the request
+//! reaches — which is the overhead metric of Fig. 12.
+
+use crate::agent::AgentId;
+use crate::knowledge::Knowledge;
+use crate::tasks::TaskPool;
+use siot_core::infer::{infer_characteristic, infer_task};
+use siot_core::task::{CharacteristicId, TaskId};
+use siot_core::transitivity::{two_hop, TransitivityGates};
+use siot_graph::SocialGraph;
+
+/// The three trust-transfer methods compared in §5.5.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SearchMethod {
+    /// Exact-task-only transfer, Eq. 5 product chains, no gates.
+    Traditional,
+    /// All characteristics along one path (Eqs. 8–11).
+    Conservative,
+    /// Characteristics along different paths (Eqs. 12–17).
+    Aggressive,
+}
+
+impl SearchMethod {
+    /// All methods in the paper's comparison order.
+    pub const ALL: [SearchMethod; 3] =
+        [SearchMethod::Traditional, SearchMethod::Conservative, SearchMethod::Aggressive];
+
+    /// Display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            SearchMethod::Traditional => "Traditional",
+            SearchMethod::Conservative => "Conservative",
+            SearchMethod::Aggressive => "Aggressive",
+        }
+    }
+}
+
+/// A discovered potential trustee with its transferred trust estimate.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Candidate {
+    /// The potential trustee.
+    pub trustee: AgentId,
+    /// Transferred trustworthiness estimate for the requested task.
+    pub estimate: f64,
+}
+
+/// Result of one trustee search.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct SearchOutcome {
+    /// Potential trustees, sorted by descending estimate (ties by id).
+    pub candidates: Vec<Candidate>,
+    /// Number of distinct nodes the request reached (search overhead).
+    pub inquired: usize,
+}
+
+impl SearchOutcome {
+    /// The best candidate, if any.
+    pub fn best(&self) -> Option<Candidate> {
+        self.candidates.first().copied()
+    }
+}
+
+/// Trustee search engine bound to one network's knowledge.
+pub struct TrusteeSearch<'a> {
+    graph: &'a SocialGraph,
+    knowledge: &'a Knowledge,
+    pool: &'a TaskPool,
+    /// ω₁/ω₂ gates applied to recommendation / execution hops of the
+    /// proposed methods (the traditional baseline is always ungated).
+    pub gates: TransitivityGates,
+    /// Maximum path length in hops (trustee at most this far).
+    pub max_hops: usize,
+}
+
+/// Per-method behaviour of one flood.
+struct FloodSpec<'s> {
+    /// May `v` relay the request (context restriction)?
+    relay_ok: &'s dyn Fn(AgentId) -> bool,
+    /// Recommendation trust for the hop `u → v` (intermediate links).
+    rec_tw: &'s dyn Fn(AgentId, AgentId) -> Option<f64>,
+    /// Execution trust for the final hop `u → v` (trustee link).
+    exec_tw: &'s dyn Fn(AgentId, AgentId) -> Option<f64>,
+    /// May `v` be the executing trustee (context restriction)?
+    trustee_ok: &'s dyn Fn(AgentId) -> bool,
+    combine: Combine,
+    gates: TransitivityGates,
+}
+
+impl<'a> TrusteeSearch<'a> {
+    /// Creates a search engine with paper-style defaults: ω₁ = 0.6 and
+    /// ω₂ = 0.3 ("preset trustworthiness with relatively high values",
+    /// §4.3) and a 3-hop search horizon.
+    pub fn new(graph: &'a SocialGraph, knowledge: &'a Knowledge, pool: &'a TaskPool) -> Self {
+        TrusteeSearch {
+            graph,
+            knowledge,
+            pool,
+            gates: TransitivityGates { omega1: 0.6, omega2: 0.3 },
+            max_hops: 3,
+        }
+    }
+
+    /// Runs the search for `trustor` requesting `task`.
+    ///
+    /// `is_trustee` restricts which nodes may serve as trustees (role
+    /// assignment); any node may act as an intermediate.
+    pub fn find(
+        &self,
+        method: SearchMethod,
+        trustor: AgentId,
+        task: TaskId,
+        is_trustee: &dyn Fn(AgentId) -> bool,
+    ) -> SearchOutcome {
+        match method {
+            SearchMethod::Traditional => {
+                let record = |u: AgentId, v: AgentId| self.knowledge.record(u, v, task);
+                self.flood(
+                    trustor,
+                    is_trustee,
+                    &FloodSpec {
+                        relay_ok: &|v| self.knowledge.experienced_exactly(v, task),
+                        rec_tw: &record,
+                        exec_tw: &record,
+                        trustee_ok: &|v| self.knowledge.experienced_exactly(v, task),
+                        combine: Combine::Product,
+                        gates: TransitivityGates::OPEN,
+                    },
+                )
+            }
+            SearchMethod::Conservative => {
+                let t = self.pool.task(task);
+                self.flood(
+                    trustor,
+                    is_trustee,
+                    &FloodSpec {
+                        relay_ok: &|v| self.knowledge.covers_all(v, t, self.pool),
+                        rec_tw: &|u, v| self.knowledge.recommendation_trust(u, v),
+                        exec_tw: &|u, v| {
+                            infer_task(t, &self.knowledge.experiences(u, v, self.pool)).ok()
+                        },
+                        trustee_ok: &|v| self.knowledge.covers_all(v, t, self.pool),
+                        combine: Combine::Eq7,
+                        gates: self.gates,
+                    },
+                )
+            }
+            SearchMethod::Aggressive => self.aggressive(trustor, task, is_trustee),
+        }
+    }
+
+    /// One BFS flood carrying a single estimate.
+    fn flood(
+        &self,
+        trustor: AgentId,
+        is_trustee: &dyn Fn(AgentId) -> bool,
+        spec: &FloodSpec<'_>,
+    ) -> SearchOutcome {
+        let n = self.graph.node_count();
+        // best recommendation-path value per node (all hops cleared ω₁)
+        let mut rec_val: Vec<Option<f64>> = vec![None; n];
+        let mut cand_val: Vec<Option<f64>> = vec![None; n];
+        let mut reached = vec![false; n];
+        rec_val[trustor.index()] = Some(1.0);
+        let mut frontier = vec![trustor];
+
+        for _hop in 0..self.max_hops {
+            let mut next = Vec::new();
+            for &u in &frontier {
+                let base = rec_val[u.index()].expect("frontier nodes have values");
+                for &v in self.graph.neighbors(u) {
+                    if v == trustor {
+                        continue;
+                    }
+                    // v as final trustee: the ω₂ gate applies to the full
+                    // transferred estimate (recommendation chain folded
+                    // with the execution link)
+                    if is_trustee(v) && (spec.trustee_ok)(v) {
+                        if let Some(tw) = (spec.exec_tw)(u, v) {
+                            reached[v.index()] = true;
+                            let est = spec.combine.apply(base, tw);
+                            if est >= spec.gates.omega2 && cand_val[v.index()].is_none_or(|c| est > c)
+                            {
+                                cand_val[v.index()] = Some(est);
+                            }
+                        }
+                    }
+                    // v as recommender for further hops
+                    if (spec.relay_ok)(v) {
+                        if let Some(tw) = (spec.rec_tw)(u, v) {
+                            reached[v.index()] = true;
+                            if tw >= spec.gates.omega1 {
+                                let est = spec.combine.apply(base, tw);
+                                if rec_val[v.index()].is_none_or(|c| est > c) {
+                                    let first_visit = rec_val[v.index()].is_none();
+                                    rec_val[v.index()] = Some(est);
+                                    if first_visit {
+                                        next.push(v);
+                                    }
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+            frontier = next;
+            if frontier.is_empty() {
+                break;
+            }
+        }
+
+        let mut candidates: Vec<Candidate> = cand_val
+            .iter()
+            .enumerate()
+            .filter_map(|(i, v)| {
+                v.map(|estimate| Candidate { trustee: AgentId::from(i as u32), estimate })
+            })
+            .collect();
+        sort_candidates(&mut candidates);
+        let inquired = reached.iter().filter(|&&r| r).count();
+        SearchOutcome { candidates, inquired }
+    }
+
+    /// Aggressive method: one flood per characteristic, then Eq. 17
+    /// recombination per trustee. Inquiry overhead is the union of nodes
+    /// reached across the floods.
+    fn aggressive(
+        &self,
+        trustor: AgentId,
+        task: TaskId,
+        is_trustee: &dyn Fn(AgentId) -> bool,
+    ) -> SearchOutcome {
+        let t = self.pool.task(task);
+        let n = self.graph.node_count();
+        let mut inquired_union = vec![false; n];
+        // per characteristic: (weight, candidate estimates)
+        let mut per_char: Vec<(f64, Vec<Option<f64>>)> = Vec::new();
+
+        for &(c, w) in t.characteristics() {
+            let sub = self.flood(
+                trustor,
+                is_trustee,
+                &FloodSpec {
+                    relay_ok: &|v| self.knowledge.covers_characteristic(v, c, self.pool),
+                    rec_tw: &|u, v| self.knowledge.recommendation_trust(u, v),
+                    exec_tw: &|u, v| {
+                        infer_characteristic(c, &self.knowledge.experiences(u, v, self.pool))
+                    },
+                    // the trustee itself must cover the *whole* task
+                    // (Eq. 12's union condition)
+                    trustee_ok: &|v| self.knowledge.covers_all(v, t, self.pool),
+                    combine: Combine::Eq7,
+                    // ω₂ is applied below to the Eq. 17 combined estimate,
+                    // not per characteristic — this keeps the aggressive
+                    // candidate set a superset of the conservative one
+                    // (Eq. 7 is affine in the execution link, so a
+                    // conservative candidate's estimate equals its
+                    // weight-combined per-characteristic estimates)
+                    gates: TransitivityGates { omega1: self.gates.omega1, omega2: 0.0 },
+                },
+            );
+            let mut vals: Vec<Option<f64>> = vec![None; n];
+            for cand in &sub.candidates {
+                vals[cand.trustee.index()] = Some(cand.estimate);
+            }
+            per_char.push((w, vals));
+            self.mark_reached(trustor, c, t, is_trustee, &mut inquired_union);
+        }
+
+        let mut est_by_node: Vec<Option<f64>> = vec![None; n];
+        'outer: for v in 0..n {
+            let mut est = 0.0;
+            for (w, vals) in &per_char {
+                match vals[v] {
+                    Some(e) => est += w * e,
+                    None => continue 'outer,
+                }
+            }
+            if est >= self.gates.omega2 {
+                est_by_node[v] = Some(est);
+            }
+        }
+
+        // The aggressive scheme subsumes the conservative one (Eq. 12
+        // relaxes Eq. 8: a single path covering everything is one valid
+        // per-characteristic routing), so merge in the conservative
+        // candidates. This matters because Eq. 7 is not monotone in its
+        // recommendation argument when the execution link sits below 0.5 —
+        // without the merge, a candidate could pass the conservative ω₂
+        // gate yet miss the aggressive one.
+        let cons = self.find(SearchMethod::Conservative, trustor, task, is_trustee);
+        for cand in &cons.candidates {
+            let slot = &mut est_by_node[cand.trustee.index()];
+            if slot.is_none_or(|e| cand.estimate > e) {
+                *slot = Some(cand.estimate);
+            }
+        }
+
+        let mut candidates: Vec<Candidate> = est_by_node
+            .iter()
+            .enumerate()
+            .filter_map(|(v, est)| {
+                est.map(|estimate| Candidate { trustee: AgentId::from(v as u32), estimate })
+            })
+            .collect();
+        sort_candidates(&mut candidates);
+        let inquired = inquired_union.iter().filter(|&&r| r).count().max(cons.inquired);
+        SearchOutcome { candidates, inquired }
+    }
+
+    /// Marks every node the characteristic-`c` flood reaches (relay or
+    /// trustee inquiry), mirroring `flood`'s qualification rules.
+    fn mark_reached(
+        &self,
+        trustor: AgentId,
+        c: CharacteristicId,
+        t: &siot_core::task::Task,
+        is_trustee: &dyn Fn(AgentId) -> bool,
+        reached: &mut [bool],
+    ) {
+        let mut seen = vec![false; self.graph.node_count()];
+        seen[trustor.index()] = true;
+        let mut frontier = vec![trustor];
+        for _ in 0..self.max_hops {
+            let mut next = Vec::new();
+            for &u in &frontier {
+                for &v in self.graph.neighbors(u) {
+                    if v == trustor || seen[v.index()] {
+                        continue;
+                    }
+                    if is_trustee(v)
+                        && self.knowledge.covers_all(v, t, self.pool)
+                        && infer_characteristic(c, &self.knowledge.experiences(u, v, self.pool))
+                            .is_some()
+                    {
+                        reached[v.index()] = true;
+                    }
+                    if !self.knowledge.covers_characteristic(v, c, self.pool) {
+                        continue;
+                    }
+                    let Some(rec) = self.knowledge.recommendation_trust(u, v) else {
+                        continue;
+                    };
+                    reached[v.index()] = true;
+                    if rec < self.gates.omega1 {
+                        continue;
+                    }
+                    seen[v.index()] = true;
+                    next.push(v);
+                }
+            }
+            frontier = next;
+            if frontier.is_empty() {
+                break;
+            }
+        }
+    }
+}
+
+/// How per-hop estimates combine along a path.
+#[derive(Debug, Clone, Copy)]
+enum Combine {
+    /// Eq. 5 product (traditional).
+    Product,
+    /// Eq. 7 combination (proposed).
+    Eq7,
+}
+
+impl Combine {
+    fn apply(self, acc: f64, hop: f64) -> f64 {
+        match self {
+            Combine::Product => acc * hop,
+            Combine::Eq7 => two_hop(acc, hop),
+        }
+    }
+}
+
+fn sort_candidates(candidates: &mut [Candidate]) {
+    candidates.sort_by(|a, b| {
+        b.estimate
+            .partial_cmp(&a.estimate)
+            .expect("estimates are never NaN")
+            .then(a.trustee.cmp(&b.trustee))
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+    use siot_core::task::TaskId;
+    use siot_graph::GraphBuilder;
+
+    /// Line graph 0-1-2-3 where every node experienced every task; noise 0.
+    fn line_world(n_chars: usize) -> (SocialGraph, TaskPool, Knowledge) {
+        let g = GraphBuilder::new().edges([(0, 1), (1, 2), (2, 3)]).build().unwrap();
+        let mut rng = SmallRng::seed_from_u64(3);
+        let pool = TaskPool::generate(n_chars, n_chars, &mut rng);
+        let mut k = Knowledge::seed(&g, &pool, 2, 0.0, &mut rng);
+        // give every node full experience so coverage never blocks
+        let all: Vec<_> = pool.tasks().iter().map(|t| t.id()).collect();
+        k.set_experienced(vec![all.clone(); g.node_count()]);
+        k.reseed_records(&g, &pool, 0.0, &mut rng);
+        (g, pool, k)
+    }
+
+    fn open_search<'a>(
+        g: &'a SocialGraph,
+        k: &'a Knowledge,
+        pool: &'a TaskPool,
+    ) -> TrusteeSearch<'a> {
+        let mut s = TrusteeSearch::new(g, k, pool);
+        s.gates = TransitivityGates::OPEN;
+        s
+    }
+
+    #[test]
+    fn all_methods_find_direct_neighbour() {
+        let (g, pool, k) = line_world(4);
+        let search = open_search(&g, &k, &pool);
+        let task = pool.tasks()[0].id();
+        for method in SearchMethod::ALL {
+            let out = search.find(method, AgentId::from(0u32), task, &|_| true);
+            assert!(
+                out.candidates.iter().any(|c| c.trustee == AgentId::from(1u32)),
+                "{} must find the direct neighbour",
+                method.name()
+            );
+        }
+    }
+
+    #[test]
+    fn hop_limit_bounds_reach() {
+        let (g, pool, k) = line_world(4);
+        let mut search = open_search(&g, &k, &pool);
+        search.max_hops = 1;
+        let task = pool.tasks()[0].id();
+        let out = search.find(SearchMethod::Conservative, AgentId::from(0u32), task, &|_| true);
+        assert!(out.candidates.iter().all(|c| c.trustee == AgentId::from(1u32)));
+        search.max_hops = 3;
+        let out = search.find(SearchMethod::Conservative, AgentId::from(0u32), task, &|_| true);
+        assert!(out.candidates.iter().any(|c| c.trustee == AgentId::from(3u32)));
+    }
+
+    #[test]
+    fn trustee_filter_respected() {
+        let (g, pool, k) = line_world(4);
+        let search = open_search(&g, &k, &pool);
+        let task = pool.tasks()[0].id();
+        let only3 = |a: AgentId| a == AgentId::from(3u32);
+        let out = search.find(SearchMethod::Conservative, AgentId::from(0u32), task, &only3);
+        assert_eq!(out.candidates.len(), 1);
+        assert_eq!(out.candidates[0].trustee, AgentId::from(3u32));
+    }
+
+    #[test]
+    fn traditional_narrower_than_conservative() {
+        // nodes experienced only 2 of many tasks: exact-match search finds
+        // fewer (or equal) candidates than characteristic coverage.
+        let g = GraphBuilder::new()
+            .edges([(0, 1), (0, 2), (0, 3), (1, 2), (2, 3), (3, 4), (1, 4)])
+            .build()
+            .unwrap();
+        let mut rng = SmallRng::seed_from_u64(11);
+        let pool = TaskPool::generate(4, 6, &mut rng);
+        let k = Knowledge::seed(&g, &pool, 2, 0.05, &mut rng);
+        let search = open_search(&g, &k, &pool);
+        let everyone = |_: AgentId| true;
+        let mut trad_total = 0usize;
+        let mut cons_total = 0usize;
+        for t in pool.tasks() {
+            let trad =
+                search.find(SearchMethod::Traditional, AgentId::from(0u32), t.id(), &everyone);
+            let cons =
+                search.find(SearchMethod::Conservative, AgentId::from(0u32), t.id(), &everyone);
+            trad_total += trad.candidates.len();
+            cons_total += cons.candidates.len();
+        }
+        assert!(trad_total <= cons_total, "trad {trad_total} vs cons {cons_total}");
+    }
+
+    #[test]
+    fn aggressive_finds_split_coverage() {
+        // 0-1-3 and 0-2-3: node 1 knows char a only, node 2 char b only,
+        // node 3 experienced both. Conservative cannot route (no single
+        // path covers both), aggressive can.
+        let g = GraphBuilder::new().edges([(0, 1), (0, 2), (1, 3), (2, 3)]).build().unwrap();
+        let mut rng = SmallRng::seed_from_u64(5);
+        let pool = TaskPool::generate(2, 1, &mut rng); // τ0={a0}, τ1={a1}, pair
+        let mut k = Knowledge::seed(&g, &pool, 1, 0.0, &mut rng);
+        let pair_id = pool
+            .tasks()
+            .iter()
+            .find(|t| t.len() == 2)
+            .expect("pool has the pair task")
+            .id();
+        k.set_experienced(vec![
+            vec![],                     // trustor
+            vec![TaskId(0)],            // covers a0 only
+            vec![TaskId(1)],            // covers a1 only
+            vec![TaskId(0), TaskId(1)], // trustee covers both
+        ]);
+        k.reseed_records(&g, &pool, 0.0, &mut rng);
+        let search = open_search(&g, &k, &pool);
+        let everyone = |_: AgentId| true;
+
+        let cons = search.find(SearchMethod::Conservative, AgentId::from(0u32), pair_id, &everyone);
+        assert!(
+            cons.candidates.is_empty(),
+            "no single path covers both characteristics: {:?}",
+            cons.candidates
+        );
+        let aggr = search.find(SearchMethod::Aggressive, AgentId::from(0u32), pair_id, &everyone);
+        assert_eq!(aggr.candidates.len(), 1);
+        assert_eq!(aggr.candidates[0].trustee, AgentId::from(3u32));
+    }
+
+    #[test]
+    fn aggressive_inquires_at_least_as_many() {
+        let (g, pool, k) = line_world(5);
+        let search = open_search(&g, &k, &pool);
+        let everyone = |_: AgentId| true;
+        let task = pool.random_pair_task(&mut SmallRng::seed_from_u64(2));
+        let cons = search.find(SearchMethod::Conservative, AgentId::from(0u32), task, &everyone);
+        let aggr = search.find(SearchMethod::Aggressive, AgentId::from(0u32), task, &everyone);
+        assert!(aggr.inquired >= cons.inquired);
+    }
+
+    #[test]
+    fn candidates_sorted_descending() {
+        let (g, pool, k) = line_world(4);
+        let search = open_search(&g, &k, &pool);
+        let task = pool.tasks()[0].id();
+        let out = search.find(SearchMethod::Conservative, AgentId::from(0u32), task, &|_| true);
+        for w in out.candidates.windows(2) {
+            assert!(w[0].estimate >= w[1].estimate);
+        }
+        assert_eq!(out.best().map(|c| c.trustee), out.candidates.first().map(|c| c.trustee));
+    }
+
+    #[test]
+    fn gates_prune_candidates() {
+        let (g, pool, k) = line_world(4);
+        let mut search = open_search(&g, &k, &pool);
+        let task = pool.tasks()[0].id();
+        let open = search.find(SearchMethod::Conservative, AgentId::from(0u32), task, &|_| true);
+        search.gates = TransitivityGates { omega1: 0.999, omega2: 0.999 };
+        let gated = search.find(SearchMethod::Conservative, AgentId::from(0u32), task, &|_| true);
+        assert!(gated.candidates.len() <= open.candidates.len());
+    }
+
+    #[test]
+    fn traditional_ignores_gates() {
+        let (g, pool, k) = line_world(4);
+        let mut search = open_search(&g, &k, &pool);
+        let task = pool.tasks()[0].id();
+        let open = search.find(SearchMethod::Traditional, AgentId::from(0u32), task, &|_| true);
+        search.gates = TransitivityGates { omega1: 0.999, omega2: 0.999 };
+        let gated = search.find(SearchMethod::Traditional, AgentId::from(0u32), task, &|_| true);
+        assert_eq!(open, gated, "the unrestricted baseline has no gates");
+    }
+
+    #[test]
+    fn recommendation_trust_carries_intermediate_hops() {
+        // 0-1-2: zero out node 0's recommendation trust toward 1 and the
+        // conservative search can no longer reach node 2.
+        let (g, pool, mut k) = line_world(4);
+        let task = pool.tasks()[0].id();
+        k.set_recommendation_trust(AgentId::from(0u32), AgentId::from(1u32), 0.0);
+        let mut search = TrusteeSearch::new(&g, &k, &pool);
+        search.gates = TransitivityGates { omega1: 0.5, omega2: 0.0 };
+        let out = search.find(SearchMethod::Conservative, AgentId::from(0u32), task, &|_| true);
+        // node 1 (direct, execution link) is still a candidate, but the
+        // request is never relayed beyond it
+        assert!(out.candidates.iter().any(|c| c.trustee == AgentId::from(1u32)));
+        assert!(!out.candidates.iter().any(|c| c.trustee.index() >= 2));
+    }
+
+    #[test]
+    fn empty_outcome_default() {
+        let out = SearchOutcome::default();
+        assert!(out.best().is_none());
+        assert_eq!(out.inquired, 0);
+    }
+}

@@ -1,0 +1,84 @@
+//! Property-based tests for the simulation engine, including the method
+//! dominance guarantees the paper claims.
+
+use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use siot_graph::generate::erdos_renyi;
+use siot_sim::tasks::TaskPool;
+use siot_sim::{AgentId, Knowledge, SearchMethod, TrusteeSearch};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The aggressive candidate set contains the conservative one, which
+    /// contains... nothing guaranteed from traditional (different record
+    /// semantics), but conservative ⊆ aggressive must hold structurally
+    /// (Eq. 12 relaxes Eq. 8).
+    #[test]
+    fn aggressive_candidates_superset_of_conservative(
+        seed in 0u64..200, n_chars in 3usize..6, trustor in 0u32..20
+    ) {
+        let g = erdos_renyi(20, 0.25, seed).unwrap();
+        let mut rng = SmallRng::seed_from_u64(seed ^ 0xabc);
+        let pool = TaskPool::generate(n_chars, n_chars, &mut rng);
+        let knowledge = Knowledge::seed(&g, &pool, 2, 0.05, &mut rng);
+        let search = TrusteeSearch::new(&g, &knowledge, &pool);
+        let everyone = |_: AgentId| true;
+        let task = pool.random_pair_task(&mut rng);
+
+        let cons = search.find(SearchMethod::Conservative, AgentId::from(trustor), task, &everyone);
+        let aggr = search.find(SearchMethod::Aggressive, AgentId::from(trustor), task, &everyone);
+        for c in &cons.candidates {
+            prop_assert!(
+                aggr.candidates.iter().any(|a| a.trustee == c.trustee),
+                "conservative candidate {} missing from aggressive set",
+                c.trustee
+            );
+        }
+        prop_assert!(aggr.inquired >= cons.inquired);
+    }
+
+    /// Search outcomes are deterministic and estimates stay in [0, 1].
+    #[test]
+    fn search_estimates_bounded_and_deterministic(
+        seed in 0u64..100, method_idx in 0usize..3
+    ) {
+        let g = erdos_renyi(15, 0.3, seed).unwrap();
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let pool = TaskPool::generate(4, 4, &mut rng);
+        let knowledge = Knowledge::seed(&g, &pool, 2, 0.05, &mut rng);
+        let search = TrusteeSearch::new(&g, &knowledge, &pool);
+        let everyone = |_: AgentId| true;
+        let method = SearchMethod::ALL[method_idx];
+        let task = pool.random_pair_task(&mut rng);
+
+        let a = search.find(method, AgentId::from(0u32), task, &everyone);
+        let b = search.find(method, AgentId::from(0u32), task, &everyone);
+        prop_assert_eq!(&a, &b, "search must be pure");
+        for c in &a.candidates {
+            prop_assert!((0.0..=1.0).contains(&c.estimate), "{}", c.estimate);
+        }
+        prop_assert!(a.inquired <= g.node_count());
+    }
+
+    /// Knowledge seeding produces records within noise of ground truth.
+    #[test]
+    fn knowledge_records_track_truth(seed in 0u64..100, noise in 0.0..0.2f64) {
+        let g = erdos_renyi(12, 0.4, seed).unwrap();
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let pool = TaskPool::generate(4, 4, &mut rng);
+        let k = Knowledge::seed(&g, &pool, 2, noise, &mut rng);
+        for holder in g.nodes() {
+            for &peer in g.neighbors(holder) {
+                for &tid in k.experienced(peer) {
+                    let rec = k.record(holder, peer, tid).expect("neighbour record");
+                    let truth = k.actual_task_competence(peer, pool.task(tid));
+                    prop_assert!((0.0..=1.0).contains(&rec));
+                    // clamping can only pull toward truth, so the bound holds
+                    prop_assert!((rec - truth).abs() <= noise + 1e-9);
+                }
+            }
+        }
+    }
+}

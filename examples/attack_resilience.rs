@@ -1,0 +1,39 @@
+//! Attack resilience of the clarified trust model: self-promotion,
+//! opportunistic service, and recommendation poisoning (bad-mouthing /
+//! ballot-stuffing), measured against a naive baseline.
+//!
+//! Run with: `cargo run --example attack_resilience`
+
+use siot::sim::attacks::{
+    execution_attack_resilience, recommendation_attack_impact, Attack,
+};
+
+fn main() {
+    println!("== execution attacks (200 interactions, honest alternative at 0.8) ==\n");
+    let attacks = [
+        Attack::SelfPromotion { claimed: 0.99, actual: 0.2 },
+        Attack::OpportunisticService { good: 0.95, bad: 0.1, honeymoon: 10 },
+    ];
+    println!(
+        "{:<22} {:>18} {:>14} {:>22} {:>18}",
+        "attack", "proposed quality", "naive quality", "attacker share (prop)", "share (naive)"
+    );
+    for attack in attacks {
+        let out = execution_attack_resilience(attack, 0.8, 200, 42);
+        println!(
+            "{:<22} {:>18.2} {:>14.2} {:>21.0}% {:>17.0}%",
+            attack.name(),
+            out.proposed_quality,
+            out.naive_quality,
+            out.attacker_share_proposed * 100.0,
+            out.attacker_share_naive * 100.0,
+        );
+    }
+
+    println!("\n== recommendation poisoning (true quality 0.9, reported 0.05) ==\n");
+    let (poisoned, _) = recommendation_attack_impact(0.9, 0.05, 0.9, 0.6);
+    let (_, gated) = recommendation_attack_impact(0.9, 0.05, 0.3, 0.6);
+    println!("estimate while the bad-mouther is still trusted:   {poisoned:.2}");
+    println!("estimate after ω₁ downgrades the recommender:      {gated:.2} (ignorance, not poison)");
+    println!("\nthe ω₁ gate turns slander into a no-op instead of a verdict.");
+}

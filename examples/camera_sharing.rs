@@ -1,0 +1,60 @@
+//! The paper's Alice-and-Bob camera scenario (§4.1): mutuality of trustor
+//! and trustee.
+//!
+//! Alice wants to use Bob's camera. Bob reverse-evaluates Alice from his
+//! usage logs before accepting — protecting the *trustee*, which unilateral
+//! trust models cannot do.
+//!
+//! Run with: `cargo run --example camera_sharing`
+
+use siot::core::prelude::*;
+
+fn main() {
+    let camera_task = Task::uniform(TaskId(1), [CharacteristicId(0)]).expect("non-empty");
+
+    // Bob's trustee-side policy: only serve trustors whose reverse
+    // trustworthiness clears θ (Eq. 1)
+    let bob = ReverseEvaluator::new(0.5);
+
+    // Two candidate trustors with different histories at Bob's place.
+    let mut alice_log = UsageLog::new(); // responsible neighbour
+    for _ in 0..14 {
+        alice_log.record_responsive();
+    }
+    alice_log.record_abusive(); // one slip
+
+    let mut mallory_log = UsageLog::new(); // resold the camera feed before
+    for _ in 0..6 {
+        mallory_log.record_abusive();
+    }
+    mallory_log.record_responsive();
+
+    println!("Bob's threshold θ = {}", bob.theta);
+    for (name, log) in [("Alice", &alice_log), ("Mallory", &mallory_log)] {
+        let tw = log.reverse_trustworthiness();
+        println!(
+            "{name}: reverse trustworthiness {tw} -> {}",
+            if bob.accepts(log) { "Bob ACCEPTS the delegation" } else { "Bob REFUSES" }
+        );
+    }
+
+    // Meanwhile Alice pre-evaluates Bob's camera service the usual way
+    // (Eq. 18) from past delegations:
+    let mut alice_store: TrustStore<u32> = TrustStore::new();
+    alice_store.register_task(camera_task.clone());
+    let betas = ForgettingFactors::figures();
+    let bob_id = 7u32;
+    for _ in 0..10 {
+        alice_store.observe(
+            bob_id,
+            camera_task.id(),
+            &Observation { success_rate: 0.92, gain: 0.85, damage: 0.05, cost: 0.2 },
+            &betas,
+        );
+    }
+    let tw = alice_store
+        .trustworthiness(bob_id, camera_task.id())
+        .expect("alice has history with bob");
+    println!("\nAlice's trustworthiness toward Bob's camera: {tw}");
+    println!("Both sides evaluated each other — that is the mutuality of §4.1.");
+}

@@ -1,0 +1,33 @@
+//! Environment-compensated trust updates (§4.5 / Fig. 15).
+//!
+//! A trustee with competence 0.8 operates through an amicable → hostile →
+//! partially-recovered environment. Plain updates confuse the weather with
+//! the agent; the removal function r(·) (Eq. 29) does not.
+//!
+//! Run with: `cargo run --example dynamic_environment`
+
+use siot::sim::scenario::environment::{run, EnvironmentConfig};
+
+fn main() {
+    let cfg = EnvironmentConfig {
+        competence: 0.8,
+        phases: vec![(60, 1.0), (60, 0.4), (60, 0.7)],
+        runs: 50,
+        ..Default::default()
+    };
+    let out = run(&cfg);
+
+    println!("iter   env   ideal  traditional  proposed");
+    for i in (0..out.len()).step_by(12) {
+        println!(
+            "{i:>4}  {:>4.2}  {:>6.3}  {:>11.3}  {:>8.3}",
+            out.environment[i], out.ideal[i], out.traditional[i], out.proposed[i]
+        );
+    }
+    println!(
+        "\nhostile-phase averages: traditional {:.2} (thinks the trustee got worse), \
+         proposed {:.2} (knows it is the environment)",
+        out.traditional[70..120].iter().sum::<f64>() / 50.0,
+        out.proposed[70..120].iter().sum::<f64>() / 50.0,
+    );
+}

@@ -1,0 +1,87 @@
+//! Quickstart: the six ingredients of trust in one small social IoT.
+//!
+//! Builds a synthetic social network, assigns trustor/trustee roles, and
+//! runs a few delegation rounds with the full trust process: evaluation
+//! (Eq. 18), decision (Eq. 23), action, result, and post-evaluation
+//! updates (Eqs. 19–22).
+//!
+//! Run with: `cargo run --example quickstart`
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use siot::core::prelude::*;
+use siot::graph::generate::watts_strogatz;
+use siot::sim::Roles;
+
+fn main() {
+    // 1. a small-world social network of 40 objects
+    let g = watts_strogatz(40, 6, 0.2, 7).expect("valid generator parameters");
+    let roles = Roles::assign(&g, 0.3, 0.4, 7);
+    println!(
+        "network: {} nodes, {} edges; {} trustors, {} trustees",
+        g.node_count(),
+        g.edge_count(),
+        roles.trustors().len(),
+        roles.trustees().len()
+    );
+
+    // 2. one trustor's view of the world
+    let trustor = roles.trustors()[0];
+    let mut store: TrustStore<siot::sim::AgentId> = TrustStore::new();
+    let task = Task::uniform(TaskId(0), [CharacteristicId(0), CharacteristicId(1)])
+        .expect("non-empty task");
+    store.register_task(task.clone());
+
+    // hidden ground truth: how good each trustee actually is
+    let mut rng = SmallRng::seed_from_u64(42);
+    let competence: Vec<f64> = (0..g.node_count()).map(|_| rng.gen_range(0.2..1.0)).collect();
+
+    let betas = ForgettingFactors::figures();
+    println!("\nround  chosen  expected-profit  outcome");
+    for round in 0..12 {
+        // 3. pre-evaluation + decision: Eq. 23 over the neighbours
+        let candidates: Vec<_> = g
+            .neighbors(trustor)
+            .iter()
+            .copied()
+            .filter(|&n| roles.is_trustee(n))
+            .collect();
+        let best = candidates
+            .iter()
+            .copied()
+            .max_by(|&a, &b| {
+                let score = |p| {
+                    store
+                        .record(p, task.id())
+                        .map(net_profit)
+                        .unwrap_or(0.8) // optimistic for strangers
+                };
+                score(a).partial_cmp(&score(b)).expect("scores are finite")
+            })
+            .expect("trustor has trustee neighbours");
+
+        // 4. action + result
+        let succeeded = rng.gen_bool(competence[best.index()]);
+        let obs = if succeeded {
+            Observation::success(0.9, 0.15)
+        } else {
+            Observation::failure(0.7, 0.15)
+        };
+
+        // 5. post-evaluation (Eqs. 19–22)
+        store.observe(best, task.id(), &obs, &betas);
+        let rec = store.record(best, task.id()).expect("just observed");
+        println!(
+            "{round:>5}  {best:>6}  {profit:>15.3}  {outcome}",
+            profit = rec.expected_net_profit(),
+            outcome = if succeeded { "success" } else { "failure" },
+        );
+    }
+
+    // 6. the trust that came out of the process
+    println!("\nfinal trustworthiness toward interacted trustees:");
+    for peer in store.known_peers() {
+        let tw = store.trustworthiness(peer, task.id()).expect("known peer");
+        println!("  {peer}: {tw}  (actual competence {:.2})", competence[peer.index()]);
+    }
+}

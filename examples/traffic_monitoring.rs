@@ -1,0 +1,95 @@
+//! The paper's real-time-traffic scenario (§4.2–§4.3): inferential
+//! transfer and transitivity of trust.
+//!
+//! Bob's smartphone provided GPS and image data before. Can Alice trust it
+//! for real-time traffic monitoring — a task type she never delegated to
+//! Bob? With characteristic-based inference (Eq. 4): yes. And when Alice
+//! only knows Bob through intermediaries, trust transits with the Eq. 7
+//! combination — conservatively or aggressively.
+//!
+//! Run with: `cargo run --example traffic_monitoring`
+
+use siot::core::prelude::*;
+use siot::core::transitivity::{aggressive_combine, characteristic_along_path, conservative_path};
+
+const GPS: CharacteristicId = CharacteristicId(0);
+const IMAGE: CharacteristicId = CharacteristicId(1);
+const VELOCITY: CharacteristicId = CharacteristicId(2);
+
+fn main() {
+    // previously experienced tasks
+    let gps_task = Task::uniform(TaskId(0), [GPS]).expect("non-empty");
+    let imaging = Task::uniform(TaskId(1), [IMAGE]).expect("non-empty");
+    let dashcam = Task::new(TaskId(2), [(GPS, 1.0), (VELOCITY, 2.0)]).expect("valid weights");
+
+    // the new task: traffic monitoring = GPS + image + velocity
+    let traffic =
+        Task::uniform(TaskId(9), [GPS, IMAGE, VELOCITY]).expect("non-empty");
+
+    // ----- inference from Alice's own history with Bob (Eq. 4) ----------
+    let experiences = [
+        Experience::new(&gps_task, 0.92),
+        Experience::new(&imaging, 0.78),
+        Experience::new(&dashcam, 0.85),
+    ];
+    let tw = infer_task(&traffic, &experiences).expect("all characteristics covered");
+    println!("Alice's inferred trust toward Bob for traffic monitoring: {tw:.3}");
+    println!("(GPS from τ0/τ2, imaging from τ1, velocity from τ2 — no new delegation needed)\n");
+
+    // a task with an uncovered characteristic stays un-inferable:
+    let audio = Task::uniform(TaskId(10), [CharacteristicId(7)]).expect("non-empty");
+    println!("audio sensing inference: {:?}\n", infer_task(&audio, &experiences));
+
+    // ----- transitivity: Alice — Carol — Bob (Eqs. 7–17) ----------------
+    let gates = TransitivityGates { omega1: 0.6, omega2: 0.4 };
+
+    // conservative: every hop must cover ALL characteristics
+    let alice_carol = vec![
+        Experience::new(&gps_task, 0.9),
+        Experience::new(&imaging, 0.88),
+        Experience::new(&dashcam, 0.91),
+    ];
+    let carol_bob = vec![
+        Experience::new(&gps_task, 0.8),
+        Experience::new(&imaging, 0.75),
+        Experience::new(&dashcam, 0.82),
+    ];
+    let links = vec![alice_carol, carol_bob];
+    match conservative_path(&traffic, &links, &gates) {
+        Some(tw) => println!("conservative transitivity (single path): {tw:.3}"),
+        None => println!("conservative transitivity blocked"),
+    }
+
+    // aggressive: characteristics may travel different paths
+    let via_carol = vec![
+        vec![Experience::new(&gps_task, 0.9)],
+        vec![Experience::new(&gps_task, 0.8)],
+    ];
+    let via_dave = vec![
+        vec![Experience::new(&imaging, 0.95), Experience::new(&dashcam, 0.9)],
+        vec![Experience::new(&imaging, 0.7), Experience::new(&dashcam, 0.85)],
+    ];
+    let per_char = [
+        (GPS, characteristic_along_path(GPS, &via_carol, &gates)),
+        (IMAGE, characteristic_along_path(IMAGE, &via_dave, &gates)),
+        (VELOCITY, characteristic_along_path(VELOCITY, &via_dave, &gates)),
+    ];
+    let estimates: Vec<(CharacteristicId, f64)> = per_char
+        .iter()
+        .filter_map(|&(c, est)| est.map(|e| (c, e)))
+        .collect();
+    for (c, e) in &estimates {
+        println!("  characteristic {c} assessed along its own path: {e:.3}");
+    }
+    match aggressive_combine(&traffic, &estimates) {
+        Ok(tw) => println!("aggressive transitivity (Eq. 17 recombination): {tw:.3}"),
+        Err(e) => println!("aggressive transitivity failed: {e}"),
+    }
+
+    // the Eq. 7 point: agreeing mistrust is still information
+    println!(
+        "\nEq. 7 vs the traditional product on two distrusted links (0.2, 0.2): {:.3} vs {:.3}",
+        two_hop(0.2, 0.2),
+        traditional_chain(&[0.2, 0.2])
+    );
+}

@@ -1,0 +1,37 @@
+//! # siot — Clarified trust for the Social Internet of Things
+//!
+//! Facade crate re-exporting the whole workspace: the trust model
+//! ([`core`]), the social-network substrate ([`graph`]), the delegation
+//! simulation engine ([`sim`]) and the discrete-event IoT testbed
+//! ([`iot`]).
+//!
+//! This workspace reproduces *Lin & Dong, "Clarifying Trust in Social
+//! Internet of Things"* (TKDE / ICDE'18). Start with
+//! `examples/quickstart.rs`, or regenerate the paper's evaluation with
+//! `cargo run -p siot-bench --bin all`.
+//!
+//! ```
+//! use siot::core::prelude::*;
+//! use siot::graph::generate::social::SocialNetKind;
+//!
+//! // one of the paper's evaluation networks…
+//! let g = SocialNetKind::Twitter.generate(42);
+//! assert_eq!(g.node_count(), 244);
+//!
+//! // …and the trust process running over it
+//! let mut store: TrustStore<siot::sim::AgentId> = TrustStore::new();
+//! let task = Task::uniform(TaskId(0), [CharacteristicId(0)]).unwrap();
+//! store.register_task(task.clone());
+//! let peer = siot::sim::AgentId::from(7u32);
+//! store.observe(peer, task.id(), &Observation::success(0.9, 0.1),
+//!               &ForgettingFactors::figures());
+//! assert!(store.trustworthiness(peer, task.id()).unwrap().value() > 0.6);
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub use siot_core as core;
+pub use siot_graph as graph;
+pub use siot_iot as iot;
+pub use siot_sim as sim;

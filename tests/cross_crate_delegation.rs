@@ -1,0 +1,59 @@
+//! Integration across siot-graph, siot-core and siot-sim: delegation on a
+//! generated social network.
+
+use siot::graph::generate::social::SocialNetKind;
+use siot::graph::traversal::connected_components;
+use siot::sim::scenario::transitivity::{run, TransitivityConfig};
+use siot::sim::SearchMethod;
+use siot::sim::Roles;
+
+#[test]
+fn evaluation_networks_support_delegation() {
+    for kind in SocialNetKind::ALL {
+        let g = kind.generate(11);
+        let (_, comps) = connected_components(&g);
+        assert_eq!(comps, 1, "{} connected", kind.name());
+
+        let roles = Roles::paper_split(&g, 11);
+        assert!(roles.trustors().len() >= g.node_count() * 38 / 100);
+        assert!(roles.trustees().len() >= g.node_count() * 38 / 100);
+
+        let cfg = TransitivityConfig {
+            n_characteristics: 5,
+            requests_per_trustor: 2,
+            seed: 11,
+            ..Default::default()
+        };
+        let out = run(&g, SearchMethod::Aggressive, &cfg);
+        assert!(out.success_rate > 0.3, "{}: {out:?}", kind.name());
+        assert!(out.unavailable_rate < 0.6, "{}: {out:?}", kind.name());
+        assert_eq!(out.inquired_per_trustor.len(), roles.trustors().len());
+    }
+}
+
+#[test]
+fn methods_rank_consistently_across_networks() {
+    for kind in SocialNetKind::ALL {
+        let g = kind.generate(23);
+        let cfg = TransitivityConfig {
+            n_characteristics: 5,
+            requests_per_trustor: 3,
+            seed: 23,
+            ..Default::default()
+        };
+        let trad = run(&g, SearchMethod::Traditional, &cfg);
+        let aggr = run(&g, SearchMethod::Aggressive, &cfg);
+        assert!(
+            aggr.success_rate > trad.success_rate,
+            "{}: aggressive must beat traditional ({} vs {})",
+            kind.name(),
+            aggr.success_rate,
+            trad.success_rate
+        );
+        assert!(
+            aggr.avg_potential_trustees > trad.avg_potential_trustees,
+            "{}: more trustees under aggressive",
+            kind.name()
+        );
+    }
+}

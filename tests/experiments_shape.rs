@@ -1,0 +1,242 @@
+//! Shape checks for every reproduced table and figure: the paper's
+//! qualitative claims must hold (who wins, in which direction, roughly by
+//! how much). Reduced sizes keep the suite fast; the full-size runs live
+//! in `cargo run -p siot-bench --bin all`.
+
+use siot::graph::generate::social::SocialNetKind;
+use siot::graph::metrics::ConnectivityStats;
+use siot::iot::experiment::{fragments, inference, light};
+use siot::sim::scenario::{environment, mutuality, profit};
+use siot_bench::paper::{TABLE1, TABLE2};
+use siot_bench::runner;
+
+fn mean(xs: &[f64]) -> f64 {
+    xs.iter().sum::<f64>() / xs.len() as f64
+}
+
+// ---- Table 1 ---------------------------------------------------------
+
+#[test]
+fn table1_statistics_close_to_paper() {
+    for (kind, paper) in SocialNetKind::ALL.iter().zip(&TABLE1) {
+        let g = kind.generate(42);
+        let s = ConnectivityStats::compute(&g, 42);
+        assert_eq!(s.nodes, paper.nodes, "{}", paper.name);
+        assert_eq!(s.edges, paper.edges, "{}", paper.name);
+        assert!((s.average_degree - paper.average_degree).abs() < 0.01);
+        assert!(
+            (s.diameter as i64 - paper.diameter as i64).abs() <= 3,
+            "{}: diameter {} vs {}",
+            paper.name,
+            s.diameter,
+            paper.diameter
+        );
+        assert!(
+            (s.average_path_length - paper.average_path_length).abs() < 1.0,
+            "{}: apl {} vs {}",
+            paper.name,
+            s.average_path_length,
+            paper.average_path_length
+        );
+        assert!(
+            (s.average_clustering - paper.average_clustering).abs() < 0.08,
+            "{}: cc {} vs {}",
+            paper.name,
+            s.average_clustering,
+            paper.average_clustering
+        );
+        assert!(
+            (s.modularity - paper.modularity).abs() < 0.1,
+            "{}: Q {} vs {}",
+            paper.name,
+            s.modularity,
+            paper.modularity
+        );
+        assert!(
+            (s.communities as i64 - paper.communities as i64).abs() <= 4,
+            "{}: communities {} vs {}",
+            paper.name,
+            s.communities,
+            paper.communities
+        );
+    }
+}
+
+// ---- Fig. 7 ----------------------------------------------------------
+
+#[test]
+fn fig7_theta_tradeoff() {
+    for kind in SocialNetKind::ALL {
+        let g = kind.generate(42);
+        let run = |theta| {
+            mutuality::run(
+                &g,
+                &mutuality::MutualityConfig { theta, requests_per_trustor: 5, ..Default::default() },
+            )
+        };
+        let t0 = run(0.0);
+        let t3 = run(0.3);
+        let t6 = run(0.6);
+        assert!(t0.abuse_rate > 0.4, "{}: unilateral abuse > 0.4: {t0:?}", kind.name());
+        assert!(t3.abuse_rate < t0.abuse_rate, "{}", kind.name());
+        assert!(t6.abuse_rate < t3.abuse_rate, "{}", kind.name());
+        assert!(t3.unavailable_rate > t0.unavailable_rate, "{}", kind.name());
+        assert!(t6.unavailable_rate > t3.unavailable_rate, "{}", kind.name());
+    }
+}
+
+// ---- Fig. 8 ----------------------------------------------------------
+
+#[test]
+fn fig8_inference_dominates() {
+    let out = inference::run(&inference::InferenceConfig { runs: 15, seed: 42 });
+    assert!(mean(&out.with_model) > 85.0, "with: {:?}", out.with_model);
+    let wo = mean(&out.without_model);
+    assert!((25.0..=75.0).contains(&wo), "without ≈ coin flip: {wo}");
+}
+
+// ---- Figs. 9–11 ------------------------------------------------------
+
+#[test]
+fn figs9_to_11_method_ordering_and_trend() {
+    let cells = runner::transitivity_sweep(42);
+    use siot::sim::SearchMethod::*;
+    for kind in SocialNetKind::ALL {
+        let get = |method, n| {
+            &cells
+                .iter()
+                .find(|c| c.kind == kind && c.method == method && c.n_characteristics == n)
+                .expect("cell present")
+                .outcome
+        };
+        for n in [4, 5, 6, 7] {
+            let (t, c, a) = (get(Traditional, n), get(Conservative, n), get(Aggressive, n));
+            assert!(c.success_rate > t.success_rate, "{} n={n}", kind.name());
+            assert!(a.success_rate >= c.success_rate - 0.05, "{} n={n}", kind.name());
+            assert!(c.unavailable_rate < t.unavailable_rate, "{} n={n}", kind.name());
+            assert!(a.unavailable_rate <= c.unavailable_rate + 0.02, "{} n={n}", kind.name());
+            assert!(a.avg_potential_trustees >= c.avg_potential_trustees, "{} n={n}", kind.name());
+            assert!(c.avg_potential_trustees > t.avg_potential_trustees, "{} n={n}", kind.name());
+        }
+        // the paper's headline gaps (>0.2 success / >0.3 unavailable for
+        // aggressive vs traditional) come out smaller here because the
+        // satellite-heavy synthetic networks starve every method on
+        // peripheral trustors (see EXPERIMENTS.md); direction and growth
+        // with the alphabet still hold clearly
+        let (t4, a4) = (get(Traditional, 4), get(Aggressive, 4));
+        assert!(a4.success_rate - t4.success_rate > 0.1, "{}", kind.name());
+        assert!(t4.unavailable_rate - a4.unavailable_rate > 0.05, "{}", kind.name());
+        let (t7x, a7x) = (get(Traditional, 7), get(Aggressive, 7));
+        assert!(
+            t7x.unavailable_rate - a7x.unavailable_rate > 0.07,
+            "{}: gap must widen with more characteristics",
+            kind.name()
+        );
+        // trends across the sweep: harder with more characteristics
+        let (t7, a7) = (get(Traditional, 7), get(Aggressive, 7));
+        assert!(t7.success_rate < t4.success_rate + 0.03, "{}", kind.name());
+        assert!(a7.success_rate < a4.success_rate + 0.03, "{}", kind.name());
+        assert!(t7.unavailable_rate > t4.unavailable_rate - 0.03, "{}", kind.name());
+    }
+}
+
+// ---- Table 2 / Fig. 12 -----------------------------------------------
+
+#[test]
+fn table2_and_fig12_orderings() {
+    let results = runner::feature_transitivity(42);
+    use siot::sim::SearchMethod::*;
+    for kind in SocialNetKind::ALL {
+        let get = |m| {
+            results
+                .iter()
+                .find(|(k, mm, _)| *k == kind && *mm == m)
+                .map(|(_, _, o)| o)
+                .expect("present")
+        };
+        let (t, c, a) = (get(Traditional), get(Conservative), get(Aggressive));
+        assert!(t.success_rate < c.success_rate, "{}", kind.name());
+        assert!(c.success_rate < a.success_rate + 0.02, "{}", kind.name());
+        assert!(t.unavailable_rate > c.unavailable_rate, "{}", kind.name());
+        assert!(c.unavailable_rate > a.unavailable_rate - 0.02, "{}", kind.name());
+        assert!(t.avg_potential_trustees < a.avg_potential_trustees, "{}", kind.name());
+        // paper's reference values satisfy the same ordering
+        assert!(TABLE2[0].success[0] < TABLE2[2].success[0]);
+    }
+    // Fig. 12: inquiry overhead ordering on Facebook
+    let inquired = |m| {
+        let (_, _, o) = results
+            .iter()
+            .find(|(k, mm, _)| *k == SocialNetKind::Facebook && *mm == m)
+            .expect("present");
+        mean(&o.inquired_per_trustor.iter().map(|&x| x as f64).collect::<Vec<_>>())
+    };
+    let (ti, ci, ai) = (inquired(Traditional), inquired(Conservative), inquired(Aggressive));
+    assert!(ai > ci * 1.5, "aggressive pays a clear overhead: {ai} vs {ci}");
+    assert!(ci >= ti * 0.8, "conservative comparable or above traditional: {ci} vs {ti}");
+}
+
+// ---- Fig. 13 ----------------------------------------------------------
+
+#[test]
+fn fig13_second_strategy_wins() {
+    for kind in SocialNetKind::ALL {
+        let g = kind.generate(42);
+        let cfg = profit::ProfitConfig { iterations: 1500, ..Default::default() };
+        let s1 = profit::run(&g, profit::Strategy::SuccessRateOnly, &cfg);
+        let s2 = profit::run(&g, profit::Strategy::NetProfit, &cfg);
+        let tail = |v: &[f64]| mean(&v[v.len() - 200..]);
+        assert!(
+            tail(&s2) > tail(&s1) + 0.3,
+            "{}: {} vs {}",
+            kind.name(),
+            tail(&s2),
+            tail(&s1)
+        );
+        assert!(tail(&s2) > 0.2, "{}: second strategy profitable", kind.name());
+        // convergence: profit improves from the start
+        assert!(tail(&s2) > mean(&s2[..50]), "{}", kind.name());
+    }
+}
+
+// ---- Fig. 14 ----------------------------------------------------------
+
+#[test]
+fn fig14_cost_factor_detects_fragment_attack() {
+    let out = fragments::run(&fragments::FragmentsConfig { rounds: 30, ..Default::default() });
+    let late = |v: &[f64]| mean(&v[20..]);
+    assert!(late(&out.with_model) < 250.0, "attackers dropped: {:?}", &out.with_model[20..]);
+    assert!(late(&out.without_model) > 450.0, "gain-only keeps paying");
+}
+
+// ---- Fig. 15 ----------------------------------------------------------
+
+#[test]
+fn fig15_tracking_under_dynamic_environment() {
+    let out = environment::run(&environment::EnvironmentConfig { runs: 50, ..Default::default() });
+    use siot::sim::scenario::environment::window_mean;
+    assert!((window_mean(&out.ideal, 60, 100) - 0.8).abs() < 0.05);
+    assert!((window_mean(&out.traditional, 170, 200) - 0.32).abs() < 0.07);
+    assert!((window_mean(&out.traditional, 270, 300) - 0.56).abs() < 0.07);
+    for (lo, hi) in [(60, 100), (160, 200), (260, 300)] {
+        assert!((window_mean(&out.proposed, lo, hi) - 0.8).abs() < 0.07);
+    }
+}
+
+// ---- Fig. 16 ----------------------------------------------------------
+
+#[test]
+fn fig16_environment_model_recovers_after_dark() {
+    let out = light::run(&light::LightConfig {
+        rounds: 30,
+        dark_from: 10,
+        light_again_from: 20,
+        ..Default::default()
+    });
+    assert!(mean(&out.with_model[2..10]) > 400.0, "first light period profitable");
+    assert!(mean(&out.with_model[12..20]) < 300.0, "dark hurts");
+    let with_rec = mean(&out.with_model[24..]);
+    let without_rec = mean(&out.without_model[24..]);
+    assert!(with_rec > 400.0, "proposed recovers: {with_rec}");
+    assert!(with_rec > without_rec + 50.0, "{with_rec} vs {without_rec}");
+}

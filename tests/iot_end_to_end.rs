@@ -1,0 +1,147 @@
+//! Integration of the discrete-event testbed: association, the delegation
+//! protocol over real frames, and radio/energy accounting.
+
+use siot::iot::app::{CoordinatorApp, TrusteeBehavior, TrustorApp, TrustorConfig};
+use siot::iot::experiment::{build, GroupSetup};
+use siot::iot::{DeviceId, SimTime};
+use siot::core::prelude::*;
+
+fn one_task() -> Task {
+    Task::uniform(TaskId(0), [CharacteristicId(0)]).unwrap()
+}
+
+#[test]
+fn network_forms_and_runs_delegations() {
+    let task = one_task();
+    let tasks = vec![task.clone(); 5];
+    let built = build(
+        3,
+        GroupSetup::default(),
+        &TrusteeBehavior::honest(0.8),
+        &TrusteeBehavior::honest(0.6),
+        &[task],
+        |trustees| {
+            let mut c = TrustorConfig::new(trustees, DeviceId(0));
+            c.tasks = tasks.clone();
+            c.round_interval = SimTime::secs(2);
+            c
+        },
+    );
+    let mut net = built.net;
+    net.start();
+    net.run_to_idle();
+
+    // every device associated with the coordinator
+    let coord: &CoordinatorApp = net.app_as(built.coordinator).unwrap();
+    assert_eq!(coord.joined.len(), 30, "all 30 node devices joined");
+
+    // every trustor completed its 5 rounds, mostly successfully
+    for &t in &built.trustors {
+        let app: &TrustorApp = net.app_as(t).unwrap();
+        assert_eq!(app.logs.len(), 5, "all rounds logged for {t}");
+        let completed = app.logs.iter().filter(|l| l.quality.is_some()).count();
+        assert!(completed >= 4, "{t} completed {completed}/5");
+    }
+
+    // reports reached the coordinator over the air
+    assert!(coord.reports.len() >= 40, "got {} reports", coord.reports.len());
+
+    // radio accounting is consistent: time moved, energy was spent
+    assert!(net.now() > SimTime::secs(8));
+    for d in net.devices() {
+        if d.id != built.coordinator {
+            assert!(d.stats.frames_sent > 0, "{} sent nothing", d.id);
+            assert!(d.stats.energy_uj > 0.0);
+        }
+    }
+}
+
+#[test]
+fn trust_records_form_from_over_the_air_outcomes() {
+    let task = one_task();
+    let tasks = vec![task.clone(); 8];
+    let built = build(
+        9,
+        GroupSetup { groups: 2, ..GroupSetup::default() },
+        &TrusteeBehavior::honest(0.9),
+        &TrusteeBehavior::honest(0.2),
+        std::slice::from_ref(&task),
+        |trustees| {
+            let mut c = TrustorConfig::new(trustees, DeviceId(0));
+            c.tasks = tasks.clone();
+            c.round_interval = SimTime::secs(2);
+            c
+        },
+    );
+    let mut net = built.net;
+    net.start();
+    net.run_to_idle();
+
+    // after 8 rounds, each trustor holds records whose quality ordering
+    // matches the trustees' actual behaviour
+    for &t in &built.trustors {
+        let app: &TrustorApp = net.app_as(t).unwrap();
+        let best_good = built
+            .honest
+            .iter()
+            .filter_map(|&h| app.store.record(h, task.id()))
+            .map(|r| r.s_hat)
+            .fold(f64::NEG_INFINITY, f64::max);
+        if best_good.is_finite() {
+            assert!(best_good > 0.6, "honest trustees look good: {best_good}");
+        }
+    }
+}
+
+#[test]
+fn battery_powered_trustees_withdraw_when_depleted() {
+    use siot::iot::app::TrusteeApp;
+    let task = one_task();
+    let tasks = vec![task.clone(); 12];
+    // a tiny budget: a few frames' worth of energy
+    let built = build(
+        5,
+        GroupSetup { groups: 1, ..GroupSetup::default() },
+        &TrusteeBehavior::battery_powered(0.9, 800.0),
+        &TrusteeBehavior::honest(0.3),
+        std::slice::from_ref(&task),
+        |trustees| {
+            let mut c = TrustorConfig::new(trustees, DeviceId(0));
+            c.tasks = tasks.clone();
+            c.round_interval = SimTime::secs(2);
+            c
+        },
+    );
+    let mut net = built.net;
+    net.start();
+    net.run_to_idle();
+
+    // the battery trustees served early rounds, then declined
+    let mut total_declined = 0;
+    for &h in &built.honest {
+        let app: &TrusteeApp = net.app_as(h).unwrap();
+        total_declined += app.declined;
+        // withdrawal caps *serving* spend; passive listening (task
+        // requests keep arriving every round) still costs rx energy
+        assert!(
+            net.device(h).stats.energy_uj < 4_000.0,
+            "withdrawal caps energy spend: {}",
+            net.device(h).stats.energy_uj
+        );
+    }
+    assert!(total_declined > 0, "depleted trustees must decline requests");
+
+    // delegations continued: the mains-powered (low-quality) trustees
+    // picked up the load in later rounds
+    for &t in &built.trustors {
+        let app: &TrustorApp = net.app_as(t).unwrap();
+        let late_selected = app
+            .logs
+            .iter()
+            .filter(|l| l.round >= 8)
+            .filter_map(|l| l.selected)
+            .filter(|s| built.dishonest.contains(s))
+            .count();
+        assert!(late_selected > 0, "{t} must fall back to the remaining trustees");
+    }
+}

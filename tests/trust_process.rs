@@ -1,0 +1,80 @@
+//! End-to-end test of the six-ingredient trust process on the core model:
+//! trustor, trustee, goal, evaluation, decision/action/result, context.
+
+use siot::core::prelude::*;
+use siot::core::environment::EnvIndicator;
+
+const SENSE: CharacteristicId = CharacteristicId(0);
+const STORE: CharacteristicId = CharacteristicId(1);
+
+#[test]
+fn full_trust_lifecycle() {
+    // trustor X with a goal: sense-and-store, under a degraded environment
+    let sense_task = Task::uniform(TaskId(0), [SENSE]).unwrap();
+    let store_task = Task::uniform(TaskId(1), [STORE]).unwrap();
+    let goal_task = Task::uniform(TaskId(2), [SENSE, STORE]).unwrap();
+    let context = Context::new(goal_task.id(), EnvIndicator::new(0.5).unwrap());
+
+    let mut store: TrustStore<u32> = TrustStore::new();
+    store.register_task(sense_task);
+    store.register_task(store_task);
+    store.register_task(goal_task.clone());
+
+    let betas = ForgettingFactors::figures();
+    let (good_peer, bad_peer) = (1u32, 2u32);
+
+    // history: good_peer did both subtasks well, bad_peer failed storage
+    for _ in 0..20 {
+        store.observe(good_peer, TaskId(0), &Observation::success(0.9, 0.1), &betas);
+        store.observe(good_peer, TaskId(1), &Observation::success(0.8, 0.1), &betas);
+        store.observe(bad_peer, TaskId(0), &Observation::success(0.9, 0.1), &betas);
+        store.observe(bad_peer, TaskId(1), &Observation::failure(0.8, 0.1), &betas);
+    }
+
+    // pre-evaluation via inference for the never-delegated goal task
+    let tw_good = store.infer(good_peer, &goal_task).unwrap();
+    let tw_bad = store.infer(bad_peer, &goal_task).unwrap();
+    assert!(tw_good > tw_bad + 0.15, "inference must separate: {tw_good} vs {tw_bad}");
+
+    // decision: delegate to the better candidate (Eq. 23 on virtual records)
+    assert!(tw_good > 0.6);
+
+    // action + result in the hostile context: observed success degraded by E
+    let observed = Observation {
+        success_rate: 0.85 * context.environment.value(),
+        gain: 0.8,
+        damage: 0.1,
+        cost: 0.2,
+    };
+    store.observe_with_environment(
+        good_peer,
+        goal_task.id(),
+        &observed,
+        &[context.environment],
+        &betas,
+    );
+
+    // post-evaluation: the environment influence was removed, so the new
+    // record reflects competence, not weather
+    let rec = store.record(good_peer, goal_task.id()).unwrap();
+    assert!((rec.s_hat - 0.85).abs() < 0.05, "env-corrected: {}", rec.s_hat);
+
+    // the trustee side protected itself too (mutuality)
+    let evaluator = ReverseEvaluator::new(0.4);
+    let mut log = UsageLog::new();
+    for _ in 0..10 {
+        log.record_responsive();
+    }
+    assert!(evaluator.accepts(&log));
+}
+
+#[test]
+fn self_delegation_decision() {
+    // even a capable trustor delegates when the trustee nets more (Eq. 24)
+    let to_self = TrustRecord::with_priors(1.0, 0.5, 0.0, 0.4);
+    let to_peer = TrustRecord::with_priors(0.9, 0.8, 0.1, 0.1);
+    assert!(prefers_delegation(&to_peer, &to_self));
+
+    let lazy_peer = TrustRecord::with_priors(0.3, 0.5, 0.6, 0.3);
+    assert!(!prefers_delegation(&lazy_peer, &to_self));
+}
