@@ -1,8 +1,8 @@
 //! Microbenchmarks for the graph substrate: the Table 1 statistics.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use siot_graph::community::louvain::Louvain;
 use siot_graph::community::label_propagation;
+use siot_graph::community::louvain::Louvain;
 use siot_graph::generate::social::SocialNetKind;
 use siot_graph::metrics::{average_clustering_coefficient, DistanceSummary};
 

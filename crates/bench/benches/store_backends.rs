@@ -1,0 +1,80 @@
+//! Storage-backend shootout: the `TrustEngine` hot path (batched
+//! `observe`) on a 100k+-record workload, per backend.
+//!
+//! Three cases:
+//! * `btree/*` — the deterministic ordered-map default;
+//! * `sharded/*` — the lock-sharded hash backend, single writer;
+//! * `sharded/concurrent_*` — the sharded backend with four writer threads
+//!   folding disjoint slices of the workload through `&TrustEngine`.
+//!
+//! A read-side case (`known_peers` + per-peer iteration) rides along since
+//! trustee search hammers exactly that path.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use siot_bench::runner::{backend_workload, replay_workload};
+use siot_core::backend::{BTreeBackend, ShardedBackend};
+use siot_core::record::ForgettingFactors;
+use siot_core::store::TrustEngine;
+
+/// 100_000 observations over 25_000 peers × 4 tasks: every observation
+/// lands on a distinct `(peer, task)` key, so the replay creates exactly
+/// 100_000 records — the insert-heavy regime of a cold store.
+const N_OBS: usize = 100_000;
+const N_PEERS: u32 = 25_000;
+const N_TASKS: u32 = 4;
+const BATCH: usize = 1_024;
+
+fn bench_store_backends(c: &mut Criterion) {
+    let workload = backend_workload(N_OBS, N_PEERS, N_TASKS, 42);
+
+    c.bench_function("store_backends/btree/batched_observe_100k", |b| {
+        b.iter(|| {
+            let engine = replay_workload::<BTreeBackend<u32>>(black_box(&workload), BATCH);
+            assert_eq!(engine.record_count(), N_OBS);
+            black_box(engine)
+        })
+    });
+
+    c.bench_function("store_backends/sharded/batched_observe_100k", |b| {
+        b.iter(|| {
+            let engine = replay_workload::<ShardedBackend<u32>>(black_box(&workload), BATCH);
+            assert_eq!(engine.record_count(), N_OBS);
+            black_box(engine)
+        })
+    });
+
+    c.bench_function("store_backends/sharded/concurrent_observe_100k_x4", |b| {
+        let betas = ForgettingFactors::figures();
+        b.iter(|| {
+            let engine: TrustEngine<u32, ShardedBackend<u32>> = TrustEngine::new();
+            std::thread::scope(|scope| {
+                for slice in workload.chunks(N_OBS / 4) {
+                    let e = &engine;
+                    let betas = &betas;
+                    scope.spawn(move || {
+                        for batch in slice.chunks(BATCH) {
+                            e.observe_batch_shared(batch, betas);
+                        }
+                    });
+                }
+            });
+            assert_eq!(engine.record_count(), N_OBS);
+            black_box(engine)
+        })
+    });
+
+    // read path: warmed engines, full peer scan
+    let warm_btree = replay_workload::<BTreeBackend<u32>>(&workload, BATCH);
+    let warm_sharded = replay_workload::<ShardedBackend<u32>>(&workload, BATCH);
+
+    c.bench_function("store_backends/btree/scan_known_peers_25k", |b| {
+        b.iter(|| black_box(warm_btree.known_peers().len()))
+    });
+
+    c.bench_function("store_backends/sharded/scan_known_peers_25k", |b| {
+        b.iter(|| black_box(warm_sharded.known_peers().len()))
+    });
+}
+
+criterion_group!(benches, bench_store_backends);
+criterion_main!(benches);

@@ -21,9 +21,7 @@ fn bench_trust_math(c: &mut Criterion) {
     });
 
     let tws = [0.9, 0.8, 0.7, 0.85, 0.6];
-    c.bench_function("eq7_chain_5_hops", |b| {
-        b.iter(|| chain(std::hint::black_box(&tws)))
-    });
+    c.bench_function("eq7_chain_5_hops", |b| b.iter(|| chain(std::hint::black_box(&tws))));
     // ablation: the traditional product rule on the same chain
     c.bench_function("ablation_traditional_chain_5_hops", |b| {
         b.iter(|| traditional_chain(std::hint::black_box(&tws)))

@@ -116,12 +116,7 @@ fn theta_sweep(seed: u64) {
             &g,
             &MutualityConfig { theta, seed, requests_per_trustor: 5, ..Default::default() },
         );
-        t.row(&[
-            f2(theta),
-            pct(out.success_rate),
-            pct(out.unavailable_rate),
-            pct(out.abuse_rate),
-        ]);
+        t.row(&[f2(theta), pct(out.success_rate), pct(out.unavailable_rate), pct(out.abuse_rate)]);
     }
     t.print();
     println!("the operating point is a policy choice: θ≈0.3 halves abuse at ~12% unavailability\n");

@@ -8,9 +8,7 @@ use siot_bench::paper::{
     CHARACTERISTIC_SWEEP, FIG13_ITERATIONS, FIG15_COMPETENCE, FIG15_PHASES, TABLE1, TABLE2,
     TESTBED_RUNS,
 };
-use siot_bench::runner::{
-    feature_transitivity, fig7, network, seed_from_env, transitivity_sweep,
-};
+use siot_bench::runner::{feature_transitivity, fig7, network, seed_from_env, transitivity_sweep};
 use siot_graph::generate::social::SocialNetKind;
 use siot_graph::metrics::ConnectivityStats;
 use siot_iot::experiment::{fragments, inference, light};
@@ -39,7 +37,8 @@ type MeasuredFmt = fn(&ConnectivityStats) -> String;
 type PaperFmt = fn(&siot_bench::paper::Table1Row) -> String;
 
 fn table1(seed: u64, dir: &Path) {
-    let mut t = Table::new("Table 1 (measured | paper)", &["metric", "Facebook", "Google+", "Twitter"]);
+    let mut t =
+        Table::new("Table 1 (measured | paper)", &["metric", "Facebook", "Google+", "Twitter"]);
     let stats: Vec<ConnectivityStats> = SocialNetKind::ALL
         .iter()
         .map(|&k| ConnectivityStats::compute(&network(k, seed), seed))
@@ -105,7 +104,12 @@ fn fig8(seed: u64, dir: &Path) {
 fn sweep(seed: u64, dir: &Path) {
     let cells = transitivity_sweep(seed);
     for (fig, metric, get) in [
-        ("fig9", "success rate", (|o: &siot_sim::scenario::transitivity::TransitivityOutcome| o.success_rate) as fn(_) -> f64),
+        (
+            "fig9",
+            "success rate",
+            (|o: &siot_sim::scenario::transitivity::TransitivityOutcome| o.success_rate)
+                as fn(_) -> f64,
+        ),
         ("fig10", "unavailable rate", |o| o.unavailable_rate),
         ("fig11", "avg potential trustees", |o| o.avg_potential_trustees),
     ] {
@@ -131,7 +135,10 @@ fn sweep(seed: u64, dir: &Path) {
 
 fn table2(seed: u64, dir: &Path) {
     let results = feature_transitivity(seed);
-    let mut t = Table::new("Table 2 (measured | paper)", &["method", "metric", "Facebook", "Google+", "Twitter"]);
+    let mut t = Table::new(
+        "Table 2 (measured | paper)",
+        &["method", "metric", "Facebook", "Google+", "Twitter"],
+    );
     for (mi, method) in SearchMethod::ALL.iter().enumerate() {
         let rows: Vec<_> = results.iter().filter(|(_, m, _)| m == method).collect();
         t.row(&[
@@ -185,7 +192,10 @@ fn table2(seed: u64, dir: &Path) {
 
 fn fig13(seed: u64, dir: &Path) {
     let cfg = profit::ProfitConfig { iterations: FIG13_ITERATIONS, seed, ..Default::default() };
-    let mut t = Table::new("Fig. 13: converged net profit", &["network", "first strategy", "second strategy"]);
+    let mut t = Table::new(
+        "Fig. 13: converged net profit",
+        &["network", "first strategy", "second strategy"],
+    );
     for kind in SocialNetKind::ALL {
         let g = network(kind, seed);
         let s1 = profit::run(&g, profit::Strategy::SuccessRateOnly, &cfg);
@@ -206,7 +216,11 @@ fn fig13(seed: u64, dir: &Path) {
 }
 
 fn fig14(seed: u64, dir: &Path) {
-    let out = fragments::run(&fragments::FragmentsConfig { rounds: TESTBED_RUNS, seed, ..Default::default() });
+    let out = fragments::run(&fragments::FragmentsConfig {
+        rounds: TESTBED_RUNS,
+        seed,
+        ..Default::default()
+    });
     let xs: Vec<f64> = (1..=out.with_model.len()).map(|i| i as f64).collect();
     write_series_csv(
         &dir.join("fig14.csv"),

@@ -14,8 +14,7 @@ fn main() {
             .iter()
             .find(|(k, m, _)| *k == SocialNetKind::Facebook && *m == method)
             .expect("facebook run present");
-        let mut xs: Vec<f64> =
-            outcome.inquired_per_trustor.iter().map(|&x| x as f64).collect();
+        let mut xs: Vec<f64> = outcome.inquired_per_trustor.iter().map(|&x| x as f64).collect();
         xs.sort_by(|a, b| a.partial_cmp(b).expect("counts are finite"));
         series.push((method, xs));
     }

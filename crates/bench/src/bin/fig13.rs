@@ -18,10 +18,10 @@ fn main() {
         let g = network(kind, seed);
         for strategy in [Strategy::SuccessRateOnly, Strategy::NetProfit] {
             let series = run(&g, strategy, &cfg);
-            let window = |lo: usize, hi: usize| {
-                series[lo..hi].iter().sum::<f64>() / (hi - lo) as f64
-            };
-            let coarse: Vec<f64> = series.chunks(100).map(|c| c.iter().sum::<f64>() / c.len() as f64).collect();
+            let window =
+                |lo: usize, hi: usize| series[lo..hi].iter().sum::<f64>() / (hi - lo) as f64;
+            let coarse: Vec<f64> =
+                series.chunks(100).map(|c| c.iter().sum::<f64>() / c.len() as f64).collect();
             t.row(&[
                 format!("{} ({})", kind.name(), strategy.name()),
                 format!("{:+.3}", window(0, 100)),

@@ -7,7 +7,8 @@ use siot_bench::runner::seed_from_env;
 use siot_iot::experiment::fragments::{run, FragmentsConfig};
 
 fn main() {
-    let out = run(&FragmentsConfig { rounds: TESTBED_RUNS, seed: seed_from_env(), ..Default::default() });
+    let out =
+        run(&FragmentsConfig { rounds: TESTBED_RUNS, seed: seed_from_env(), ..Default::default() });
     let mut t = Table::new(
         "Fig. 14: avg active time (ms) per experiment (paper shape: proposed model detects the attackers and drops; baseline stays high)",
         &["run", "with model", "without model"],

@@ -7,7 +7,8 @@ use siot_bench::runner::seed_from_env;
 use siot_iot::experiment::light::{run, LightConfig};
 
 fn main() {
-    let out = run(&LightConfig { rounds: TESTBED_RUNS, seed: seed_from_env(), ..Default::default() });
+    let out =
+        run(&LightConfig { rounds: TESTBED_RUNS, seed: seed_from_env(), ..Default::default() });
     let mut t = Table::new(
         "Fig. 16: net profit per experiment (paper shape: proposed model recovers after the dark period; baseline stays low)",
         &["run", "light", "with model", "without model"],

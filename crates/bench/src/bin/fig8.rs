@@ -23,9 +23,5 @@ fn main() {
     println!("with:    {}", sparkline(&out.with_model));
     println!("without: {}", sparkline(&out.without_model));
     let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
-    println!(
-        "means: with {:.1}%  without {:.1}%",
-        mean(&out.with_model),
-        mean(&out.without_model)
-    );
+    println!("means: with {:.1}%  without {:.1}%", mean(&out.with_model), mean(&out.without_model));
 }

@@ -21,14 +21,35 @@ fn main() {
     let cell = |m: String, p: String| format!("{m} | {p}");
     type RowFmt<'a> = Box<dyn Fn(usize) -> String + 'a>;
     let rows: Vec<(&str, RowFmt<'_>)> = vec![
-        ("Number of Nodes", Box::new(|i: usize| cell(stats[i].nodes.to_string(), TABLE1[i].nodes.to_string()))),
-        ("Number of Edges", Box::new(|i| cell(stats[i].edges.to_string(), TABLE1[i].edges.to_string()))),
-        ("Average Degree", Box::new(|i| cell(f2(stats[i].average_degree), f2(TABLE1[i].average_degree)))),
-        ("Diameter", Box::new(|i| cell(stats[i].diameter.to_string(), TABLE1[i].diameter.to_string()))),
-        ("Average Path Length", Box::new(|i| cell(f2(stats[i].average_path_length), f2(TABLE1[i].average_path_length)))),
-        ("Avg Clustering Coefficient", Box::new(|i| cell(f2(stats[i].average_clustering), f2(TABLE1[i].average_clustering)))),
+        (
+            "Number of Nodes",
+            Box::new(|i: usize| cell(stats[i].nodes.to_string(), TABLE1[i].nodes.to_string())),
+        ),
+        (
+            "Number of Edges",
+            Box::new(|i| cell(stats[i].edges.to_string(), TABLE1[i].edges.to_string())),
+        ),
+        (
+            "Average Degree",
+            Box::new(|i| cell(f2(stats[i].average_degree), f2(TABLE1[i].average_degree))),
+        ),
+        (
+            "Diameter",
+            Box::new(|i| cell(stats[i].diameter.to_string(), TABLE1[i].diameter.to_string())),
+        ),
+        (
+            "Average Path Length",
+            Box::new(|i| cell(f2(stats[i].average_path_length), f2(TABLE1[i].average_path_length))),
+        ),
+        (
+            "Avg Clustering Coefficient",
+            Box::new(|i| cell(f2(stats[i].average_clustering), f2(TABLE1[i].average_clustering))),
+        ),
         ("Modularity", Box::new(|i| cell(f2(stats[i].modularity), f2(TABLE1[i].modularity)))),
-        ("Number of Communities", Box::new(|i| cell(stats[i].communities.to_string(), TABLE1[i].communities.to_string()))),
+        (
+            "Number of Communities",
+            Box::new(|i| cell(stats[i].communities.to_string(), TABLE1[i].communities.to_string())),
+        ),
     ];
     for (name, f) in rows {
         t.row(&[name.to_string(), f(0), f(1), f(2)]);

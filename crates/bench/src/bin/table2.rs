@@ -15,13 +15,7 @@ fn main() {
     for (mi, method) in SearchMethod::ALL.iter().enumerate() {
         let rows: Vec<_> = results.iter().filter(|(_, m, _)| m == method).collect();
         let metric = |name: &str, get: &dyn Fn(usize) -> String| {
-            vec![
-                TABLE2[mi].method.to_string(),
-                name.to_string(),
-                get(0),
-                get(1),
-                get(2),
-            ]
+            vec![TABLE2[mi].method.to_string(), name.to_string(), get(0), get(1), get(2)]
         };
         t.row(&metric("Success rate", &|i| {
             format!("{} | {}", pct(rows[i].2.success_rate), pct(TABLE2[mi].success[i]))

@@ -40,12 +40,7 @@ impl Table {
         let mut out = String::new();
         out.push_str(&format!("== {} ==\n", self.title));
         let fmt_row = |cells: &[String], widths: &[usize]| {
-            cells
-                .iter()
-                .zip(widths)
-                .map(|(c, w)| format!("{c:>w$}"))
-                .collect::<Vec<_>>()
-                .join("  ")
+            cells.iter().zip(widths).map(|(c, w)| format!("{c:>w$}")).collect::<Vec<_>>().join("  ")
         };
         out.push_str(&fmt_row(&self.headers, &widths));
         out.push('\n');

@@ -1,0 +1,168 @@
+//! Vendored, dependency-free stand-in for the parts of the `criterion`
+//! crate this workspace uses: [`Criterion::bench_function`],
+//! [`Bencher::iter`], [`black_box`] and the [`criterion_group!`] /
+//! [`criterion_main!`] macros.
+//!
+//! The build environment has no access to crates.io, so the workspace ships
+//! this shim as a path dependency. It is a plain wall-clock harness: warm-up,
+//! then timed batches until a time budget is spent, reporting min / mean /
+//! max per-iteration latency. Benchmark names passed on the command line act
+//! as substring filters, like the real crate. `SIOT_BENCH_BUDGET_MS`
+//! overrides the 300 ms per-benchmark measurement budget.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+use std::time::{Duration, Instant};
+
+/// Opaque value barrier preventing the optimizer from deleting benchmarked
+/// work.
+#[inline]
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Runs closures under a timer, one measurement batch at a time.
+pub struct Bencher {
+    budget: Duration,
+    /// Filled by [`Bencher::iter`]: (iterations, total elapsed).
+    measurement: Option<(u64, Duration)>,
+}
+
+impl Bencher {
+    fn new(budget: Duration) -> Self {
+        Bencher { budget, measurement: None }
+    }
+
+    /// Times `f`, running it repeatedly until the budget is exhausted.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // warm-up and per-iteration estimate
+        let warm_start = Instant::now();
+        black_box(f());
+        let estimate = warm_start.elapsed().max(Duration::from_nanos(1));
+        let per_batch =
+            (self.budget.as_nanos() / 10 / estimate.as_nanos()).clamp(1, 100_000) as u64;
+
+        let mut iters = 0u64;
+        let mut elapsed = Duration::ZERO;
+        while elapsed < self.budget {
+            let start = Instant::now();
+            for _ in 0..per_batch {
+                black_box(f());
+            }
+            elapsed += start.elapsed();
+            iters += per_batch;
+        }
+        self.measurement = Some((iters, elapsed));
+    }
+}
+
+/// Registry and runner for benchmark functions.
+pub struct Criterion {
+    filters: Vec<String>,
+    budget: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // `cargo bench -- <substring>` filters benchmarks, like criterion
+        let filters: Vec<String> =
+            std::env::args().skip(1).filter(|a| !a.starts_with('-')).collect();
+        let budget_ms = std::env::var("SIOT_BENCH_BUDGET_MS")
+            .ok()
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(300u64);
+        Criterion { filters, budget: Duration::from_millis(budget_ms) }
+    }
+}
+
+impl Criterion {
+    /// Runs one named benchmark (skipped unless it matches the CLI filter).
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
+        if !self.filters.is_empty() && !self.filters.iter().any(|pat| id.contains(pat.as_str())) {
+            return self;
+        }
+        let mut b = Bencher::new(self.budget);
+        f(&mut b);
+        match b.measurement {
+            Some((iters, elapsed)) if iters > 0 => {
+                let per_iter = elapsed.as_nanos() as f64 / iters as f64;
+                println!("{id:<44} {:>14}/iter  ({iters} iterations)", fmt_ns(per_iter));
+            }
+            _ => println!("{id:<44} (no measurement: Bencher::iter never called)"),
+        }
+        self
+    }
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.1} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.3} s", ns / 1_000_000_000.0)
+    }
+}
+
+/// Bundles benchmark functions into a named group runner.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Emits `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick() -> Criterion {
+        Criterion { filters: Vec::new(), budget: Duration::from_millis(5) }
+    }
+
+    #[test]
+    fn bencher_measures_work() {
+        let mut c = quick();
+        let mut observed = 0u64;
+        c.bench_function("spin", |b| {
+            b.iter(|| black_box(3u64).pow(7));
+            observed = b.measurement.expect("iter ran").0;
+        });
+        assert!(observed > 0);
+    }
+
+    #[test]
+    fn filters_skip_nonmatching() {
+        let mut c = quick();
+        c.filters = vec!["only_this".into()];
+        let mut ran = false;
+        c.bench_function("something_else", |_b| ran = true);
+        assert!(!ran);
+        c.bench_function("exactly_only_this_one", |_b| ran = true);
+        assert!(ran);
+    }
+
+    #[test]
+    fn ns_formatting() {
+        assert_eq!(fmt_ns(12.34), "12.3 ns");
+        assert_eq!(fmt_ns(12_340.0), "12.34 µs");
+        assert_eq!(fmt_ns(12_340_000.0), "12.34 ms");
+        assert_eq!(fmt_ns(2_500_000_000.0), "2.500 s");
+    }
+}

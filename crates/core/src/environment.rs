@@ -149,12 +149,8 @@ mod tests {
         let mut traditional = TrustRecord::optimistic();
 
         for _ in 0..200 {
-            let observed = Observation {
-                success_rate: competence * 0.4,
-                gain: 0.5,
-                damage: 0.0,
-                cost: 0.0,
-            };
+            let observed =
+                Observation { success_rate: competence * 0.4, gain: 0.5, damage: 0.0, cost: 0.0 };
             update_with_environment(&mut proposed, &observed, &hostile, &betas);
             traditional.update(&observed, &betas);
         }

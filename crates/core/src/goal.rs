@@ -23,8 +23,7 @@ pub struct Goal {
 
 impl Goal {
     /// A permissive goal: anything goes (useful as a default).
-    pub const ANY: Goal =
-        Goal { min_success: 0.0, min_gain: 0.0, max_damage: 1.0, max_cost: 1.0 };
+    pub const ANY: Goal = Goal { min_success: 0.0, min_gain: 0.0, max_damage: 1.0, max_cost: 1.0 };
 
     /// A goal that just requires positive expected net profit.
     pub fn profitable() -> Self {

@@ -15,6 +15,11 @@
 //! | §4.4 trustworthiness updated with delegation results (Eqs. 18–24) | [`record`], [`evaluate`], [`policy`] |
 //! | §4.5 trustworthiness in dynamic environments (Eqs. 25–29) | [`environment`] |
 //!
+//! Trust *state* lives behind the [`store::TrustEngine`] facade, whose
+//! storage is pluggable via [`backend::TrustBackend`]: the deterministic
+//! [`backend::BTreeBackend`] (the `TrustStore` default) or the lock-sharded
+//! [`backend::ShardedBackend`] for high-peer-count workloads.
+//!
 //! The model is deliberately **pure**: no RNG, no I/O, no graph — those live
 //! in `siot-sim` and `siot-iot`. Everything here is deterministic arithmetic
 //! on explicit state, which makes the invariants easy to property-test.
@@ -34,6 +39,7 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod backend;
 pub mod baselines;
 pub mod context;
 pub mod environment;
@@ -51,6 +57,7 @@ pub mod tw;
 
 /// One-stop import for the common types.
 pub mod prelude {
+    pub use crate::backend::{BTreeBackend, ConcurrentTrustBackend, ShardedBackend, TrustBackend};
     pub use crate::context::Context;
     pub use crate::environment::EnvIndicator;
     pub use crate::error::TrustError;
@@ -60,7 +67,7 @@ pub mod prelude {
     pub use crate::mutuality::{ReverseEvaluator, UsageLog};
     pub use crate::policy::{GainOnly, HighestSuccessRate, MaxNetProfit, SelectionPolicy};
     pub use crate::record::{ForgettingFactors, Observation, TrustRecord};
-    pub use crate::store::TrustStore;
+    pub use crate::store::{TrustEngine, TrustStore};
     pub use crate::task::{CharacteristicId, Task, TaskId};
     pub use crate::transitivity::{chain, traditional_chain, two_hop, TransitivityGates};
     pub use crate::tw::{Normalizer, Trustworthiness};

@@ -253,10 +253,7 @@ mod tests {
     fn per_component_betas_are_independent() {
         let betas = ForgettingFactors { success: 1.0, gain: 0.0, damage: 0.5, cost: 0.9 };
         let mut rec = TrustRecord::neutral();
-        rec.update(
-            &Observation { success_rate: 0.0, gain: 1.0, damage: 1.0, cost: 1.0 },
-            &betas,
-        );
+        rec.update(&Observation { success_rate: 0.0, gain: 1.0, damage: 1.0, cost: 1.0 }, &betas);
         assert_eq!(rec.s_hat, 0.5, "β=1 freezes");
         assert_eq!(rec.g_hat, 1.0, "β=0 jumps");
         assert!((rec.d_hat - 0.75).abs() < 1e-12);

@@ -1,11 +1,18 @@
-//! Per-trustor trust state: records, task registry, usage logs.
+//! Per-trustor trust state behind a pluggable storage engine.
 //!
-//! A `TrustStore<P>` is everything one agent remembers about its peers:
+//! A [`TrustEngine`] is everything one agent remembers about its peers:
 //! per-`(peer, task)` trust records (§4.4), the task definitions needed for
 //! characteristic-level inference (§4.2), and the usage logs that back
-//! reverse evaluation (§4.1). Keys are `BTreeMap`s so iteration order — and
-//! therefore every simulation built on top — is deterministic.
+//! reverse evaluation (§4.1). Record storage is delegated to a
+//! [`TrustBackend`] — the deterministic [`BTreeBackend`] by default, or the
+//! lock-sharded [`ShardedBackend`](crate::backend::ShardedBackend) for
+//! high-peer-count workloads — while task registry and usage logs stay in
+//! the engine.
+//!
+//! [`TrustStore<P>`] is the engine over the B-tree backend, which is both
+//! the historical name and the right default for deterministic simulation.
 
+use crate::backend::{BTreeBackend, ConcurrentTrustBackend, TrustBackend};
 use crate::environment::{remove_influence, update_with_environment, EnvIndicator};
 use crate::error::TrustError;
 use crate::infer::{infer_task, Experience};
@@ -15,30 +22,44 @@ use crate::task::{Task, TaskId};
 use crate::tw::{Normalizer, Trustworthiness};
 use std::collections::BTreeMap;
 
-/// Trust state owned by a single agent, keyed by peer id `P`.
+/// Trust state owned by a single agent, keyed by peer id `P`, with record
+/// storage pluggable via the backend parameter `B`.
 #[derive(Debug, Clone)]
-pub struct TrustStore<P> {
-    records: BTreeMap<(P, TaskId), TrustRecord>,
+pub struct TrustEngine<P, B = BTreeBackend<P>> {
+    backend: B,
     tasks: BTreeMap<TaskId, Task>,
     logs: BTreeMap<P, UsageLog>,
     normalizer: Normalizer,
 }
 
-impl<P: Copy + Ord> Default for TrustStore<P> {
+/// The deterministic default engine (ordered-map storage).
+pub type TrustStore<P> = TrustEngine<P, BTreeBackend<P>>;
+
+impl<P: Copy + Ord, B: TrustBackend<P>> Default for TrustEngine<P, B> {
     fn default() -> Self {
         Self::new()
     }
 }
 
-impl<P: Copy + Ord> TrustStore<P> {
-    /// An empty store with the unit normalizer.
+impl<P: Copy + Ord, B: TrustBackend<P>> TrustEngine<P, B> {
+    /// An empty engine with the unit normalizer.
     pub fn new() -> Self {
-        TrustStore {
-            records: BTreeMap::new(),
+        Self::with_backend(B::new())
+    }
+
+    /// An engine over an existing (possibly pre-warmed) backend.
+    pub fn with_backend(backend: B) -> Self {
+        TrustEngine {
+            backend,
             tasks: BTreeMap::new(),
             logs: BTreeMap::new(),
             normalizer: Normalizer::UNIT,
         }
+    }
+
+    /// Read access to the storage backend.
+    pub fn backend(&self) -> &B {
+        &self.backend
     }
 
     /// Registers (or replaces) a task definition. Inference needs the
@@ -59,25 +80,21 @@ impl<P: Copy + Ord> TrustStore<P> {
     }
 
     /// The record for `(peer, task)`, if any interaction happened.
-    pub fn record(&self, peer: P, task: TaskId) -> Option<&TrustRecord> {
-        self.records.get(&(peer, task))
+    pub fn record(&self, peer: P, task: TaskId) -> Option<TrustRecord> {
+        self.backend.get(peer, task)
     }
 
-    /// Mutable record, created from `prior` on first access.
-    pub fn record_mut(&mut self, peer: P, task: TaskId, prior: TrustRecord) -> &mut TrustRecord {
-        self.records.entry((peer, task)).or_insert(prior)
+    /// Inserts or replaces the record for `(peer, task)` — seeding records
+    /// from prior interactions or another agent's exported state.
+    pub fn insert_record(&mut self, peer: P, task: TaskId, rec: TrustRecord) {
+        self.backend.insert(peer, task, rec);
     }
 
     /// Folds a delegation outcome into the `(peer, task)` record
     /// (Eqs. 19–22). On first contact the observation *initializes* the
     /// record (Eq. 19 has no historical value to blend with yet).
     pub fn observe(&mut self, peer: P, task: TaskId, obs: &Observation, betas: &ForgettingFactors) {
-        match self.records.get_mut(&(peer, task)) {
-            Some(rec) => rec.update(obs, betas),
-            None => {
-                self.records.insert((peer, task), TrustRecord::from_first_observation(obs));
-            }
-        }
+        self.backend.update(peer, task, &mut |prior| folded(prior, obs, betas));
     }
 
     /// Environment-aware variant (Eqs. 25–28): the observation is passed
@@ -91,19 +108,16 @@ impl<P: Copy + Ord> TrustStore<P> {
         envs: &[EnvIndicator],
         betas: &ForgettingFactors,
     ) {
-        match self.records.get_mut(&(peer, task)) {
-            Some(rec) => update_with_environment(rec, obs, envs, betas),
-            None => {
-                let adjusted = Observation {
-                    success_rate: remove_influence(obs.success_rate, envs),
-                    gain: remove_influence(obs.gain, envs),
-                    damage: remove_influence(obs.damage, envs),
-                    cost: remove_influence(obs.cost, envs),
-                };
-                self.records
-                    .insert((peer, task), TrustRecord::from_first_observation(&adjusted));
-            }
-        }
+        self.backend.update(peer, task, &mut |prior| folded_env(prior, obs, envs, betas));
+    }
+
+    /// Batched [`Self::observe`]: one backend pass for a whole slate of
+    /// outcomes, letting the storage layer amortize lookup costs (shard
+    /// routing, locking, cache locality). Equivalent to observing each
+    /// element in order.
+    pub fn observe_batch(&mut self, batch: &[(P, TaskId, Observation)], betas: &ForgettingFactors) {
+        let keys: Vec<(P, TaskId)> = batch.iter().map(|&(p, t, _)| (p, t)).collect();
+        self.backend.update_batch(&keys, &mut |i, prior| folded(prior, &batch[i].2, betas));
     }
 
     /// Eq. 18 trustworthiness toward `peer` on `task`, `None` without
@@ -116,14 +130,22 @@ impl<P: Copy + Ord> TrustStore<P> {
     /// the inference machinery. Tasks lacking a registered definition are
     /// skipped.
     pub fn experiences_with(&self, peer: P) -> Vec<Experience<'_>> {
-        self.records
-            .range((peer, TaskId(0))..=(peer, TaskId(u32::MAX)))
-            .filter_map(|(&(_, tid), rec)| {
-                self.tasks.get(&tid).map(|task| {
-                    Experience::new(task, rec.trustworthiness(self.normalizer).value())
-                })
-            })
-            .collect()
+        let mut out = Vec::new();
+        let tasks = &self.tasks;
+        let normalizer = self.normalizer;
+        self.backend.for_each_experience(peer, &mut |tid, rec| {
+            if let Some(task) = tasks.get(&tid) {
+                out.push(Experience::new(task, rec.trustworthiness(normalizer).value()));
+            }
+        });
+        out
+    }
+
+    /// Visits every record held about `peer` in ascending task order —
+    /// for consumers that interpret records with their own task registry
+    /// (e.g. a shared task pool) instead of the engine's.
+    pub fn for_each_record(&self, peer: P, mut f: impl FnMut(TaskId, TrustRecord)) {
+        self.backend.for_each_experience(peer, &mut f);
     }
 
     /// Eq. 4 inference toward `peer` for a task it never performed.
@@ -149,22 +171,113 @@ impl<P: Copy + Ord> TrustStore<P> {
         self.logs.entry(peer).or_default()
     }
 
-    /// Peers with at least one record, in key order.
+    /// Mutable usage log about `peer`, seeded by `seed` on first access —
+    /// for warm-starting reverse evaluation from historical interactions.
+    pub fn usage_log_mut_or_seed(
+        &mut self,
+        peer: P,
+        seed: impl FnOnce() -> UsageLog,
+    ) -> &mut UsageLog {
+        self.logs.entry(peer).or_insert_with(seed)
+    }
+
+    /// Peers with at least one record — each exactly once, ascending.
+    ///
+    /// The engine re-sorts and dedups defensively: backends *should* uphold
+    /// the iterator contract, but a peer's records being non-adjacent in the
+    /// underlying map (as in any hash layout) must never surface duplicates
+    /// here.
     pub fn known_peers(&self) -> Vec<P> {
-        let mut peers: Vec<P> = self.records.keys().map(|&(p, _)| p).collect();
+        let mut peers = self.backend.known_peers();
+        peers.sort_unstable();
         peers.dedup();
         peers
     }
 
     /// Number of `(peer, task)` records held.
     pub fn record_count(&self) -> usize {
-        self.records.len()
+        self.backend.len()
+    }
+
+    /// Drops all records, keeping registered tasks and usage logs.
+    pub fn clear_records(&mut self) {
+        self.backend.clear();
+    }
+}
+
+impl<P: Copy + Ord, B: ConcurrentTrustBackend<P>> TrustEngine<P, B> {
+    /// Shared-handle [`Self::observe`] for concurrent backends: multiple
+    /// threads may fold outcomes through `&TrustEngine` simultaneously;
+    /// writes to different peers proceed in parallel.
+    pub fn observe_shared(
+        &self,
+        peer: P,
+        task: TaskId,
+        obs: &Observation,
+        betas: &ForgettingFactors,
+    ) {
+        self.backend.update_shared(peer, task, &mut |prior| folded(prior, obs, betas));
+    }
+
+    /// Shared-handle [`Self::observe_batch`]: locks each shard once per
+    /// batch slice instead of once per record.
+    pub fn observe_batch_shared(
+        &self,
+        batch: &[(P, TaskId, Observation)],
+        betas: &ForgettingFactors,
+    ) {
+        let keys: Vec<(P, TaskId)> = batch.iter().map(|&(p, t, _)| (p, t)).collect();
+        self.backend.update_batch_shared(&keys, &mut |i, prior| folded(prior, &batch[i].2, betas));
+    }
+
+    /// Shared-handle record snapshot.
+    pub fn record_shared(&self, peer: P, task: TaskId) -> Option<TrustRecord> {
+        self.backend.get_shared(peer, task)
+    }
+}
+
+/// One Eq. 19–22 fold: blend into the prior, or initialize from the first
+/// observation.
+#[inline]
+fn folded(prior: Option<TrustRecord>, obs: &Observation, betas: &ForgettingFactors) -> TrustRecord {
+    match prior {
+        Some(mut rec) => {
+            rec.update(obs, betas);
+            rec
+        }
+        None => TrustRecord::from_first_observation(obs),
+    }
+}
+
+/// One Eq. 25–28 fold: remove the environment's influence, then blend.
+#[inline]
+fn folded_env(
+    prior: Option<TrustRecord>,
+    obs: &Observation,
+    envs: &[EnvIndicator],
+    betas: &ForgettingFactors,
+) -> TrustRecord {
+    match prior {
+        Some(mut rec) => {
+            update_with_environment(&mut rec, obs, envs, betas);
+            rec
+        }
+        None => {
+            let adjusted = Observation {
+                success_rate: remove_influence(obs.success_rate, envs),
+                gain: remove_influence(obs.gain, envs),
+                damage: remove_influence(obs.damage, envs),
+                cost: remove_influence(obs.cost, envs),
+            };
+            TrustRecord::from_first_observation(&adjusted)
+        }
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::backend::ShardedBackend;
     use crate::task::CharacteristicId;
 
     fn task(id: u32, cs: &[u32]) -> Task {
@@ -198,7 +311,7 @@ mod tests {
         store.register_task(gps);
         store.register_task(image);
         let betas = ForgettingFactors::uniform(0.0); // jump to observation
-        // strong experience on both component tasks
+                                                     // strong experience on both component tasks
         for tid in [TaskId(0), TaskId(1)] {
             store.observe(5, tid, &Observation::success(1.0, 0.0), &betas);
         }
@@ -262,6 +375,22 @@ mod tests {
     }
 
     #[test]
+    fn usage_log_seeding_runs_once() {
+        let mut store: TrustStore<u32> = TrustStore::new();
+        let seeded = store.usage_log_mut_or_seed(4, || {
+            let mut l = UsageLog::new();
+            l.record_abusive();
+            l
+        });
+        assert_eq!(seeded.total(), 1);
+        // second access must keep the existing log, not reseed
+        let again = store.usage_log_mut_or_seed(4, UsageLog::new);
+        again.record_responsive();
+        assert_eq!(store.usage_log(4).total(), 2);
+        assert_eq!(store.usage_log(4).abusive, 1);
+    }
+
+    #[test]
     fn records_with_tendril_task_ids_stay_separate() {
         let mut store: TrustStore<u32> = TrustStore::new();
         let betas = ForgettingFactors::paper();
@@ -274,6 +403,115 @@ mod tests {
     #[test]
     fn default_impl() {
         let store: TrustStore<u8> = TrustStore::default();
+        assert_eq!(store.record_count(), 0);
+    }
+
+    #[test]
+    fn sharded_engine_matches_btree_engine() {
+        let mut a: TrustEngine<u32> = TrustEngine::new();
+        let mut b: TrustEngine<u32, ShardedBackend<u32>> = TrustEngine::new();
+        let betas = ForgettingFactors::figures();
+        for i in 0..200u32 {
+            let peer = i % 17;
+            let tid = TaskId(i % 5);
+            let obs = Observation {
+                success_rate: (i % 11) as f64 / 10.0,
+                gain: (i % 7) as f64 / 6.0,
+                damage: (i % 3) as f64 / 2.0,
+                cost: (i % 13) as f64 / 12.0,
+            };
+            a.observe(peer, tid, &obs, &betas);
+            b.observe(peer, tid, &obs, &betas);
+        }
+        assert_eq!(a.record_count(), b.record_count());
+        assert_eq!(a.known_peers(), b.known_peers());
+        for peer in a.known_peers() {
+            for t in 0..5 {
+                assert_eq!(a.record(peer, TaskId(t)), b.record(peer, TaskId(t)));
+            }
+        }
+    }
+
+    #[test]
+    fn known_peers_unique_under_hash_layout() {
+        // Regression: `known_peers` once deduped only *adjacent* entries,
+        // which silently assumed the B-tree layout. A sharded backend
+        // interleaves peers arbitrarily; every peer must still appear
+        // exactly once, ascending.
+        let mut e: TrustEngine<u32, ShardedBackend<u32>> = TrustEngine::new();
+        let betas = ForgettingFactors::figures();
+        // many tasks per peer, inserted round-robin so one peer's records
+        // never arrive adjacently
+        for t in 0..7u32 {
+            for peer in (0..50u32).rev() {
+                e.observe(peer, TaskId(t), &Observation::success(0.5, 0.1), &betas);
+            }
+        }
+        let peers = e.known_peers();
+        assert_eq!(peers, (0..50).collect::<Vec<_>>());
+        assert_eq!(e.record_count(), 350);
+    }
+
+    #[test]
+    fn observe_batch_equals_sequential_observes() {
+        let betas = ForgettingFactors::figures();
+        let batch: Vec<(u32, TaskId, Observation)> = (0..500u32)
+            .map(|i| {
+                (
+                    i % 23,
+                    TaskId(i % 3),
+                    Observation {
+                        success_rate: (i % 10) as f64 / 9.0,
+                        gain: 0.4,
+                        damage: 0.2,
+                        cost: 0.1,
+                    },
+                )
+            })
+            .collect();
+
+        let mut seq: TrustEngine<u32, ShardedBackend<u32>> = TrustEngine::new();
+        for (p, t, obs) in &batch {
+            seq.observe(*p, *t, obs, &betas);
+        }
+        let mut batched: TrustEngine<u32, ShardedBackend<u32>> = TrustEngine::new();
+        batched.observe_batch(&batch, &betas);
+
+        assert_eq!(seq.record_count(), batched.record_count());
+        for &(p, t, _) in &batch {
+            assert_eq!(seq.record(p, t), batched.record(p, t));
+        }
+    }
+
+    #[test]
+    fn shared_observe_from_threads() {
+        let engine: TrustEngine<u32, ShardedBackend<u32>> = TrustEngine::new();
+        let betas = ForgettingFactors::figures();
+        std::thread::scope(|scope| {
+            for t in 0..4u32 {
+                let e = &engine;
+                let betas = &betas;
+                scope.spawn(move || {
+                    let batch: Vec<(u32, TaskId, Observation)> = (0..100u32)
+                        .map(|i| (t * 1000 + i, TaskId(0), Observation::success(0.8, 0.1)))
+                        .collect();
+                    e.observe_batch_shared(&batch, betas);
+                    e.observe_shared(t * 1000, TaskId(1), &Observation::failure(0.5, 0.2), betas);
+                });
+            }
+        });
+        assert_eq!(engine.record_count(), 404);
+        assert_eq!(engine.known_peers().len(), 400);
+        assert_eq!(engine.record_shared(2000, TaskId(0)).unwrap().interactions, 1);
+    }
+
+    #[test]
+    fn insert_record_seeds_state() {
+        let mut store: TrustStore<u32> = TrustStore::new();
+        store.insert_record(3, TaskId(2), TrustRecord::with_priors(0.9, 0.8, 0.1, 0.2));
+        let rec = store.record(3, TaskId(2)).unwrap();
+        assert!((rec.s_hat - 0.9).abs() < 1e-12);
+        store.clear_records();
         assert_eq!(store.record_count(), 0);
     }
 }

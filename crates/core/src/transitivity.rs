@@ -219,10 +219,7 @@ mod tests {
         // new task {0} is covered by both.
         let t_bc = task(0, &[0, 1]);
         let t_cd = task(1, &[0, 1, 2]);
-        let links = vec![
-            vec![Experience::new(&t_bc, 0.9)],
-            vec![Experience::new(&t_cd, 0.8)],
-        ];
+        let links = vec![vec![Experience::new(&t_bc, 0.9)], vec![Experience::new(&t_cd, 0.8)]];
         let new = task(9, &[0]);
         let tw = conservative_path(&new, &links, &TransitivityGates::default_gates()).unwrap();
         assert!((tw - two_hop(0.9, 0.8)).abs() < 1e-12);
@@ -232,8 +229,7 @@ mod tests {
     fn conservative_path_blocks_uncovered() {
         let t_bc = task(0, &[0]);
         let t_cd = task(1, &[0, 1]);
-        let links =
-            vec![vec![Experience::new(&t_bc, 0.9)], vec![Experience::new(&t_cd, 0.9)]];
+        let links = vec![vec![Experience::new(&t_bc, 0.9)], vec![Experience::new(&t_cd, 0.9)]];
         // characteristic 1 missing from the first hop
         let new = task(9, &[0, 1]);
         assert!(conservative_path(&new, &links, &TransitivityGates::OPEN).is_none());
@@ -285,8 +281,7 @@ mod tests {
     fn characteristic_path_requires_every_hop() {
         let t_a1 = task(0, &[1]);
         let t_other = task(1, &[5]);
-        let links =
-            vec![vec![Experience::new(&t_a1, 0.9)], vec![Experience::new(&t_other, 0.9)]];
+        let links = vec![vec![Experience::new(&t_a1, 0.9)], vec![Experience::new(&t_other, 0.9)]];
         assert!(characteristic_along_path(c(1), &links, &TransitivityGates::OPEN).is_none());
     }
 }

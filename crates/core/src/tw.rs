@@ -86,10 +86,8 @@ impl Normalizer {
             return self.out_min;
         }
         let t = (raw - self.raw_min) / (self.raw_max - self.raw_min);
-        (self.out_min + t * (self.out_max - self.out_min)).clamp(
-            self.out_min.min(self.out_max),
-            self.out_max.max(self.out_min),
-        )
+        (self.out_min + t * (self.out_max - self.out_min))
+            .clamp(self.out_min.min(self.out_max), self.out_max.max(self.out_min))
     }
 
     /// Applies the map and wraps the result as [`Trustworthiness`]

@@ -1,8 +1,8 @@
 //! Property-based tests on the trust-model invariants.
 
 use proptest::prelude::*;
-use siot_core::prelude::*;
 use siot_core::environment::{cannikin, remove_influence, EnvIndicator};
+use siot_core::prelude::*;
 use siot_core::record::TrustRecord;
 
 fn unit() -> impl Strategy<Value = f64> {
@@ -182,5 +182,75 @@ proptest! {
         prop_assert!(
             worse.reverse_trustworthiness().value() <= base.reverse_trustworthiness().value()
         );
+    }
+
+    // ---- Storage backends ----------------------------------------------
+
+    #[test]
+    fn backends_produce_bit_identical_trustworthiness(
+        steps in prop::collection::vec(
+            (0u32..12, 0u32..4, observation(), 0.0..=1.0f64, 0u32..2),
+            1..60,
+        ),
+        beta in unit(),
+    ) {
+        // Any identical sequence of observe / observe_with_environment
+        // calls must leave the BTree- and sharded-backed engines with
+        // bit-identical state: storage must never touch the arithmetic.
+        let mut bt: TrustEngine<u32, BTreeBackend<u32>> = TrustEngine::new();
+        let mut sh: TrustEngine<u32, ShardedBackend<u32>> = TrustEngine::new();
+        let betas = ForgettingFactors::uniform(beta);
+        for &(peer, task, ref obs, env, env_aware) in &steps {
+            let tid = TaskId(task);
+            if env_aware == 1 {
+                let envs = [EnvIndicator::saturating(env)];
+                bt.observe_with_environment(peer, tid, obs, &envs, &betas);
+                sh.observe_with_environment(peer, tid, obs, &envs, &betas);
+            } else {
+                bt.observe(peer, tid, obs, &betas);
+                sh.observe(peer, tid, obs, &betas);
+            }
+        }
+        prop_assert_eq!(bt.record_count(), sh.record_count());
+        prop_assert_eq!(bt.known_peers(), sh.known_peers());
+        for peer in bt.known_peers() {
+            for task in 0..4 {
+                let tid = TaskId(task);
+                let (a, b) = (bt.record(peer, tid), sh.record(peer, tid));
+                prop_assert_eq!(a.is_some(), b.is_some());
+                if let (Some(ra), Some(rb)) = (a, b) {
+                    // bit-level equality of every component…
+                    prop_assert_eq!(ra.s_hat.to_bits(), rb.s_hat.to_bits());
+                    prop_assert_eq!(ra.g_hat.to_bits(), rb.g_hat.to_bits());
+                    prop_assert_eq!(ra.d_hat.to_bits(), rb.d_hat.to_bits());
+                    prop_assert_eq!(ra.c_hat.to_bits(), rb.c_hat.to_bits());
+                    prop_assert_eq!(ra.interactions, rb.interactions);
+                    // …and of the derived Eq. 18 value
+                    let ta = bt.trustworthiness(peer, tid).unwrap().value();
+                    let tb = sh.trustworthiness(peer, tid).unwrap().value();
+                    prop_assert_eq!(ta.to_bits(), tb.to_bits());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn batched_observe_equals_sequential(
+        steps in prop::collection::vec((0u32..8, 0u32..3, observation()), 1..40),
+        beta in unit(),
+    ) {
+        let betas = ForgettingFactors::uniform(beta);
+        let batch: Vec<(u32, TaskId, Observation)> =
+            steps.iter().map(|&(p, t, ref o)| (p, TaskId(t), *o)).collect();
+        let mut seq: TrustEngine<u32, ShardedBackend<u32>> = TrustEngine::new();
+        for &(p, t, ref o) in &batch {
+            seq.observe(p, t, o, &betas);
+        }
+        let mut fused: TrustEngine<u32, ShardedBackend<u32>> = TrustEngine::new();
+        fused.observe_batch(&batch, &betas);
+        prop_assert_eq!(seq.record_count(), fused.record_count());
+        for &(p, t, _) in &batch {
+            prop_assert_eq!(seq.record(p, t), fused.record(p, t));
+        }
     }
 }

@@ -49,12 +49,7 @@ impl GraphBuilder {
 
     /// Builds the graph; duplicate edges coalesce, self-loops error.
     pub fn build(self) -> Result<SocialGraph, GraphError> {
-        let max_node = self
-            .edges
-            .iter()
-            .map(|&(a, b)| a.max(b) as usize + 1)
-            .max()
-            .unwrap_or(0);
+        let max_node = self.edges.iter().map(|&(a, b)| a.max(b) as usize + 1).max().unwrap_or(0);
         let mut g = SocialGraph::with_nodes(max_node.max(self.min_nodes));
         for (a, b) in self.edges {
             g.add_edge(NodeId(a), NodeId(b))?;
@@ -69,10 +64,7 @@ mod tests {
 
     #[test]
     fn builds_from_edge_list() {
-        let g = GraphBuilder::new()
-            .edges([(0, 1), (1, 2), (2, 3)])
-            .build()
-            .unwrap();
+        let g = GraphBuilder::new().edges([(0, 1), (1, 2), (2, 3)]).build().unwrap();
         assert_eq!(g.node_count(), 4);
         assert_eq!(g.edge_count(), 3);
     }

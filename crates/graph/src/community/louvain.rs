@@ -231,10 +231,7 @@ fn aggregate(wg: &WeightedGraph, labels: &[u32], count: usize) -> WeightedGraph 
         }
     }
     let total_weight = wg.total_weight;
-    let adj = edge_maps
-        .into_iter()
-        .map(|m| m.into_iter().collect())
-        .collect();
+    let adj = edge_maps.into_iter().map(|m| m.into_iter().collect()).collect();
     WeightedGraph { adj, self_loops, total_weight }
 }
 
@@ -319,9 +316,8 @@ mod tests {
     #[test]
     fn members_returns_each_node_once() {
         let p = Louvain::new(5).run(&two_triangles());
-        let mut all: Vec<u32> = (0..p.community_count() as u32)
-            .flat_map(|c| p.members(c))
-            .collect();
+        let mut all: Vec<u32> =
+            (0..p.community_count() as u32).flat_map(|c| p.members(c)).collect();
         all.sort_unstable();
         assert_eq!(all, vec![0, 1, 2, 3, 4, 5]);
     }

@@ -10,9 +10,7 @@ use rand::SeedableRng;
 /// node attaches to `m` existing nodes chosen proportionally to degree.
 pub fn barabasi_albert(n: usize, m: usize, seed: u64) -> Result<SocialGraph, GraphError> {
     if m == 0 || n < m + 1 {
-        return Err(GraphError::InvalidGenerator(format!(
-            "need n > m >= 1, got n = {n}, m = {m}"
-        )));
+        return Err(GraphError::InvalidGenerator(format!("need n > m >= 1, got n = {n}, m = {m}")));
     }
     let mut rng = SmallRng::seed_from_u64(seed);
     let mut g = SocialGraph::with_nodes(n);

@@ -116,16 +116,12 @@ impl SocialNetKind {
 
     /// Generates the network with this kind's preset.
     pub fn generate(self, seed: u64) -> SocialGraph {
-        self.config()
-            .generate(seed)
-            .expect("presets are valid configurations")
+        self.config().generate(seed).expect("presets are valid configurations")
     }
 
     /// Generates the network plus planted community labels.
     pub fn generate_with_communities(self, seed: u64) -> (SocialGraph, Vec<u32>) {
-        self.config()
-            .generate_with_communities(seed)
-            .expect("presets are valid configurations")
+        self.config().generate_with_communities(seed).expect("presets are valid configurations")
     }
 }
 
@@ -253,8 +249,7 @@ impl SocialNetConfig {
             // anchor the chains at ring-opposite communities so the two
             // tendril tips realize the worst-case path (diameter)
             let attach_comm = if half == 0 { 0 } else { self.core_communities / 2 };
-            let attach =
-                members[attach_comm][rng.gen_range(0..members[attach_comm].len())];
+            let attach = members[attach_comm][rng.gen_range(0..members[attach_comm].len())];
             let mut prev = attach;
             for _ in 0..len {
                 community[tendril_next as usize] = community[attach as usize];
@@ -268,10 +263,8 @@ impl SocialNetConfig {
 
         // --- 5. fill the remaining budget inside the core ------------------
         let intra_total = (self.intra_fraction * self.edges as f64).round() as usize;
-        let intra_so_far = g
-            .edges()
-            .filter(|&(a, b)| community[a.index()] == community[b.index()])
-            .count();
+        let intra_so_far =
+            g.edges().filter(|&(a, b)| community[a.index()] == community[b.index()]).count();
         let mut intra_left = intra_total.saturating_sub(intra_so_far).min(budget);
         let mut inter_left = budget - intra_left;
 

@@ -67,9 +67,7 @@ mod tests {
     fn rewiring_reduces_clustering() {
         let low = watts_strogatz(200, 6, 0.0, 2).unwrap();
         let high = watts_strogatz(200, 6, 0.9, 2).unwrap();
-        assert!(
-            average_clustering_coefficient(&high) < average_clustering_coefficient(&low)
-        );
+        assert!(average_clustering_coefficient(&high) < average_clustering_coefficient(&low));
     }
 
     #[test]

@@ -98,9 +98,7 @@ impl SocialGraph {
 
     /// Whether the undirected edge `(a, b)` exists.
     pub fn has_edge(&self, a: NodeId, b: NodeId) -> bool {
-        self.adj
-            .get(a.index())
-            .is_some_and(|nb| nb.binary_search(&b).is_ok())
+        self.adj.get(a.index()).is_some_and(|nb| nb.binary_search(&b).is_ok())
     }
 
     /// Sorted neighbour slice of `n`. Panics if `n` is out of bounds.

@@ -37,10 +37,7 @@ pub fn read_edge_list<R: BufRead>(reader: R) -> Result<SocialGraph, GraphError> 
         };
         let parse = |s: &str| {
             s.parse::<u64>().map_err(|_| {
-                GraphError::InvalidGenerator(format!(
-                    "line {}: invalid node id {s:?}",
-                    lineno + 1
-                ))
+                GraphError::InvalidGenerator(format!("line {}: invalid node id {s:?}", lineno + 1))
             })
         };
         let (a, b) = (parse(a)?, parse(b)?);
@@ -85,8 +82,7 @@ mod tests {
         // node ids may be remapped (isolated nodes are dropped), but the
         // degree multiset of non-isolated nodes survives
         let degrees = |g: &SocialGraph| {
-            let mut d: Vec<usize> =
-                g.nodes().map(|n| g.degree(n)).filter(|&d| d > 0).collect();
+            let mut d: Vec<usize> = g.nodes().map(|n| g.degree(n)).filter(|&d| d > 0).collect();
             d.sort_unstable();
             d
         };

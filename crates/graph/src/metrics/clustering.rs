@@ -82,10 +82,8 @@ mod tests {
     #[test]
     fn square_with_diagonal() {
         // 0-1-2-3-0 plus diagonal 0-2: two triangles.
-        let g = GraphBuilder::new()
-            .edges([(0, 1), (1, 2), (2, 3), (3, 0), (0, 2)])
-            .build()
-            .unwrap();
+        let g =
+            GraphBuilder::new().edges([(0, 1), (1, 2), (2, 3), (3, 0), (0, 2)]).build().unwrap();
         assert_eq!(triangle_count(&g), 2);
         // node 1 has neighbours {0,2} which are connected: coefficient 1.
         assert_eq!(local_clustering_coefficient(&g, NodeId(1)), 1.0);

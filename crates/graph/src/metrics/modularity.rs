@@ -13,11 +13,7 @@ use crate::graph::SocialGraph;
 /// # Panics
 /// Panics if `community.len() != g.node_count()`.
 pub fn modularity(g: &SocialGraph, community: &[u32]) -> f64 {
-    assert_eq!(
-        community.len(),
-        g.node_count(),
-        "partition must label every node"
-    );
+    assert_eq!(community.len(), g.node_count(), "partition must label every node");
     let m = g.edge_count() as f64;
     if m == 0.0 {
         return 0.0;

@@ -1,12 +1,27 @@
 //! The coordinator: first device on the network, answers association
 //! requests and collects end-of-run reports over the serial-port
 //! equivalent (§5.2).
+//!
+//! Besides the raw report log, the coordinator folds every report into a
+//! fleet-wide [`TrustEngine`] over the sharded backend — the coordinator
+//! hears from *every* trustor about *every* selected trustee, so its peer
+//! count scales with the whole network, which is exactly the workload the
+//! sharded storage is for. The resulting ledger ranks trustees by their
+//! network-wide reported profitability.
 
 use crate::device::DeviceId;
 use crate::frame::{Frame, Payload};
 use crate::network::{Application, Ctx};
 use crate::time::SimTime;
+use siot_core::backend::ShardedBackend;
+use siot_core::record::{ForgettingFactors, Observation};
+use siot_core::store::TrustEngine;
+use siot_core::task::TaskId;
 use std::any::Any;
+
+/// Reports do not carry a task id, so the fleet ledger files everything
+/// under one synthetic task.
+const LEDGER_TASK: TaskId = TaskId(0);
 
 /// One collected report.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -28,12 +43,49 @@ pub struct CoordinatorApp {
     pub joined: Vec<DeviceId>,
     /// Reports collected from trustors.
     pub reports: Vec<CollectedReport>,
+    /// Fleet-wide trustee ledger: every report folded as an observation.
+    pub ledger: TrustEngine<DeviceId, ShardedBackend<DeviceId>>,
 }
 
 impl CoordinatorApp {
     /// A fresh coordinator.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Folds one reported net profit into the ledger. Realized profit lies
+    /// in `[-1, 1]`; it maps onto the unit-range observation as pure gain
+    /// (profit > 0) or pure damage (profit < 0). Non-finite reports (a
+    /// buggy or malicious device) are dropped — NaN must never enter the
+    /// ledger, whose ranking comparator assumes finite profits.
+    fn fold_report(&mut self, selected: DeviceId, net_profit: f64) {
+        if !net_profit.is_finite() {
+            return;
+        }
+        let obs = Observation {
+            success_rate: if net_profit > 0.0 { 1.0 } else { 0.0 },
+            gain: net_profit.clamp(0.0, 1.0),
+            damage: (-net_profit).clamp(0.0, 1.0),
+            cost: 0.0,
+        };
+        self.ledger.observe(selected, LEDGER_TASK, &obs, &ForgettingFactors::figures());
+    }
+
+    /// Trustees ranked by fleet-wide expected net profit, best first
+    /// (ties broken by id, so the ranking is deterministic).
+    pub fn trustee_ranking(&self) -> Vec<(DeviceId, f64)> {
+        let mut ranked: Vec<(DeviceId, f64)> = self
+            .ledger
+            .known_peers()
+            .into_iter()
+            .filter_map(|peer| {
+                self.ledger.record(peer, LEDGER_TASK).map(|r| (peer, r.expected_net_profit()))
+            })
+            .collect();
+        ranked.sort_by(|a, b| {
+            b.1.partial_cmp(&a.1).expect("profits are never NaN").then(a.0.cmp(&b.0))
+        });
+        ranked
     }
 }
 
@@ -51,6 +103,7 @@ impl Application for CoordinatorApp {
                     selected,
                     net_profit,
                 });
+                self.fold_report(selected, net_profit);
             }
             _ => {}
         }
@@ -78,10 +131,7 @@ mod tests {
             ctx.set_timer(SimTime::millis(50), 0);
         }
         fn on_timer(&mut self, ctx: &mut Ctx<'_>, _key: u64) {
-            ctx.send(
-                DeviceId(0),
-                Payload::Report { selected: DeviceId(9), net_profit: 0.42 },
-            );
+            ctx.send(DeviceId(0), Payload::Report { selected: DeviceId(9), net_profit: 0.42 });
         }
         fn as_any(&self) -> &dyn Any {
             self
@@ -92,11 +142,8 @@ mod tests {
     fn coordinator_collects_joins_and_reports() {
         let mut net = IotNetwork::new(3);
         net.set_radio(RadioModel { loss: 0.0, ..RadioModel::default() });
-        let coord = net.add_device(
-            DeviceKind::Coordinator,
-            (0.0, 0.0),
-            Box::new(CoordinatorApp::new()),
-        );
+        let coord =
+            net.add_device(DeviceKind::Coordinator, (0.0, 0.0), Box::new(CoordinatorApp::new()));
         for i in 0..3 {
             net.add_device(DeviceKind::Trustor, (5.0 * i as f64, 5.0), Box::new(Reporter));
         }
@@ -110,6 +157,34 @@ mod tests {
             assert!((r.net_profit - 0.42).abs() < 1e-12);
             assert!(r.at > SimTime::ZERO);
         }
+        // the ledger folded all three reports about the one trustee
+        let rec = app.ledger.record(DeviceId(9), super::LEDGER_TASK).unwrap();
+        assert_eq!(rec.interactions, 3);
+        assert!(rec.g_hat > 0.0);
+        let ranking = app.trustee_ranking();
+        assert_eq!(ranking.len(), 1);
+        assert_eq!(ranking[0].0, DeviceId(9));
+        assert!(ranking[0].1 > 0.0);
+    }
+
+    #[test]
+    fn ranking_orders_by_reported_profit() {
+        let mut app = CoordinatorApp::new();
+        for _ in 0..5 {
+            app.fold_report(DeviceId(3), 0.8);
+            app.fold_report(DeviceId(5), -0.4);
+            app.fold_report(DeviceId(4), 0.2);
+        }
+        // hostile reports must neither enter the ledger nor panic the sort
+        app.fold_report(DeviceId(7), f64::NAN);
+        app.fold_report(DeviceId(8), f64::INFINITY);
+        assert!(app.ledger.record(DeviceId(7), super::LEDGER_TASK).is_none());
+        let ranking = app.trustee_ranking();
+        assert_eq!(
+            ranking.iter().map(|&(d, _)| d).collect::<Vec<_>>(),
+            vec![DeviceId(3), DeviceId(4), DeviceId(5)]
+        );
+        assert!(ranking[0].1 > ranking[1].1 && ranking[1].1 > ranking[2].1);
     }
 
     #[test]
@@ -126,11 +201,8 @@ mod tests {
                 self
             }
         }
-        let coord = net.add_device(
-            DeviceKind::Coordinator,
-            (0.0, 0.0),
-            Box::new(CoordinatorApp::new()),
-        );
+        let coord =
+            net.add_device(DeviceKind::Coordinator, (0.0, 0.0), Box::new(CoordinatorApp::new()));
         net.add_device(DeviceKind::Trustor, (5.0, 0.0), Box::new(Noise));
         net.start();
         net.run_to_idle();

@@ -146,11 +146,8 @@ impl TrusteeApp {
     fn result_quality(&self, ctx: &mut Ctx<'_>, task: TaskId) -> f64 {
         let mut q = self.behavior.quality;
         if let Some(def) = self.tasks.get(&task) {
-            let dishonest = self
-                .behavior
-                .dishonest_chars
-                .iter()
-                .any(|&c| def.has_characteristic(c));
+            let dishonest =
+                self.behavior.dishonest_chars.iter().any(|&c| def.has_characteristic(c));
             if dishonest {
                 q = 0.1;
             }
@@ -203,10 +200,7 @@ impl Application for TrusteeApp {
             return;
         };
         let total = self.behavior.fragments.max(1);
-        ctx.send(
-            requester,
-            Payload::ResultFragment { task, index, total, quality },
-        );
+        ctx.send(requester, Payload::ResultFragment { task, index, total, quality });
         if index + 1 < total {
             self.pending.insert((requester, task), (quality, index + 1));
             ctx.set_timer(self.behavior.fragment_gap, key);

@@ -14,7 +14,7 @@ use crate::time::SimTime;
 use rand::Rng;
 use siot_core::environment::EnvIndicator;
 use siot_core::record::{ForgettingFactors, Observation, TrustRecord};
-use siot_core::store::TrustStore;
+use siot_core::store::TrustEngine;
 use siot_core::task::Task;
 use siot_core::tw::Normalizer;
 use std::any::Any;
@@ -104,8 +104,8 @@ const PHASE_TIMEOUT: u64 = 2;
 /// Trustor application state.
 pub struct TrustorApp {
     cfg: TrustorConfig,
-    /// The trust store (public so experiments can inspect it).
-    pub store: TrustStore<DeviceId>,
+    /// The trust engine (public so experiments can inspect it).
+    pub engine: TrustEngine<DeviceId>,
     reassembly: Reassembly,
     round: usize,
     offers: Vec<DeviceId>,
@@ -119,16 +119,16 @@ pub struct TrustorApp {
 impl TrustorApp {
     /// Creates a trustor; the round schedule is `cfg.tasks`.
     pub fn new(cfg: TrustorConfig) -> Self {
-        let mut store = TrustStore::new();
+        let mut engine = TrustEngine::new();
         for t in cfg.tasks.iter().chain(cfg.known_tasks.iter()) {
-            store.register_task(t.clone());
+            engine.register_task(t.clone());
         }
         for (peer, tid, rec) in &cfg.seed_records {
-            *store.record_mut(*peer, *tid, TrustRecord::neutral()) = *rec;
+            engine.insert_record(*peer, *tid, *rec);
         }
         TrustorApp {
             cfg,
-            store,
+            engine,
             reassembly: Reassembly::new(),
             round: 0,
             offers: Vec::new(),
@@ -140,7 +140,7 @@ impl TrustorApp {
     }
 
     fn score(&self, peer: DeviceId, task: &Task, ctx: &mut Ctx<'_>) -> f64 {
-        if let Some(rec) = self.store.record(peer, task.id()) {
+        if let Some(rec) = self.engine.record(peer, task.id()) {
             return match self.cfg.scoring {
                 Scoring::TrustTw => rec.trustworthiness(Normalizer::UNIT).value(),
                 Scoring::GainOnly => rec.s_hat * rec.g_hat,
@@ -148,7 +148,7 @@ impl TrustorApp {
             };
         }
         if self.cfg.use_inference {
-            if let Ok(tw) = self.store.infer(peer, task) {
+            if let Ok(tw) = self.engine.infer(peer, task) {
                 return tw;
             }
         }
@@ -164,23 +164,15 @@ impl TrustorApp {
         }
         self.round_done = true;
         let task = &self.cfg.tasks[self.round];
-        let interaction = if self.delegated_to.is_some() {
-            ctx.now - self.delegate_sent
-        } else {
-            SimTime::ZERO
-        };
+        let interaction =
+            if self.delegated_to.is_some() { ctx.now - self.delegate_sent } else { SimTime::ZERO };
         let cost = (interaction.as_micros() as f64 / self.cfg.cost_norm_us).clamp(0.0, 1.0);
         let (profit, selected) = match (self.delegated_to, quality) {
             (Some(peer), Some(q)) => {
-                let obs = Observation {
-                    success_rate: q,
-                    gain: q,
-                    damage: 1.0 - q,
-                    cost,
-                };
+                let obs = Observation { success_rate: q, gain: q, damage: 1.0 - q, cost };
                 if self.cfg.env_aware {
                     let envs = [EnvIndicator::saturating(ctx.light())];
-                    self.store.observe_with_environment(
+                    self.engine.observe_with_environment(
                         peer,
                         task.id(),
                         &obs,
@@ -188,25 +180,19 @@ impl TrustorApp {
                         &self.cfg.betas,
                     );
                 } else {
-                    self.store.observe(peer, task.id(), &obs, &self.cfg.betas);
+                    self.engine.observe(peer, task.id(), &obs, &self.cfg.betas);
                 }
                 (q - cost, Some(peer))
             }
             (Some(peer), None) => {
                 // delegated but the result never completed
                 let obs = Observation { success_rate: 0.0, gain: 0.0, damage: 0.5, cost };
-                self.store.observe(peer, task.id(), &obs, &self.cfg.betas);
+                self.engine.observe(peer, task.id(), &obs, &self.cfg.betas);
                 (-cost, Some(peer))
             }
             _ => (0.0, None),
         };
-        self.logs.push(RoundLog {
-            round: self.round,
-            selected,
-            quality,
-            interaction,
-            profit,
-        });
+        self.logs.push(RoundLog { round: self.round, selected, quality, interaction, profit });
         if let Some(peer) = selected {
             ctx.send(self.cfg.coordinator, Payload::Report { selected: peer, net_profit: profit });
         }
@@ -221,8 +207,7 @@ impl Application for TrustorApp {
         // synchronized floods
         let stagger = SimTime::millis(100 + 37 * ctx.self_id.0 as u64);
         for round in 0..self.cfg.tasks.len() {
-            let at = SimTime::micros(round as u64 * self.cfg.round_interval.as_micros())
-                + stagger;
+            let at = SimTime::micros(round as u64 * self.cfg.round_interval.as_micros()) + stagger;
             ctx.set_timer(at, (round as u64) << 2 | PHASE_START);
         }
     }
@@ -241,8 +226,7 @@ impl Application for TrustorApp {
             Payload::ResultFragment { task, index, total, quality }
                 if self.delegated_to == Some(frame.src) && !self.round_done =>
             {
-                if let Some(q) = self.reassembly.accept(frame.src.0, task, index, total, quality)
-                {
+                if let Some(q) = self.reassembly.accept(frame.src.0, task, index, total, quality) {
                     self.finish_round(ctx, Some(q));
                 }
             }
@@ -337,9 +321,9 @@ mod tests {
             TrustRecord::with_priors(0.9, 0.9, 0.1, 0.1),
         ));
         let app = TrustorApp::new(cfg);
-        assert!(app.store.task(TaskId(0)).is_some());
-        assert!(app.store.task(TaskId(1)).is_some());
-        assert!(app.store.record(DeviceId(1), TaskId(1)).is_some());
+        assert!(app.engine.task(TaskId(0)).is_some());
+        assert!(app.engine.task(TaskId(1)).is_some());
+        assert!(app.engine.record(DeviceId(1), TaskId(1)).is_some());
         assert!(app.logs.is_empty());
     }
 }

@@ -59,11 +59,8 @@ pub fn build(
     // testbed radios are close together and reliable; losses are retried
     net.set_radio(RadioModel { loss: 0.02, ..RadioModel::default() });
 
-    let coordinator = net.add_device(
-        DeviceKind::Coordinator,
-        (0.0, 0.0),
-        Box::new(CoordinatorApp::new()),
-    );
+    let coordinator =
+        net.add_device(DeviceKind::Coordinator, (0.0, 0.0), Box::new(CoordinatorApp::new()));
 
     let mut trustors = Vec::new();
     let mut honest = Vec::new();

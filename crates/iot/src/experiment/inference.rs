@@ -48,10 +48,7 @@ const PREV_GOOD: TaskId = TaskId(101);
 
 /// Runs both arms and reports the per-run honest-selection percentages.
 pub fn run(cfg: &InferenceConfig) -> InferenceOutcome {
-    InferenceOutcome {
-        with_model: run_arm(cfg, true),
-        without_model: run_arm(cfg, false),
-    }
+    InferenceOutcome { with_model: run_arm(cfg, true), without_model: run_arm(cfg, false) }
 }
 
 fn run_arm(cfg: &InferenceConfig, use_inference: bool) -> Vec<f64> {
@@ -59,9 +56,7 @@ fn run_arm(cfg: &InferenceConfig, use_inference: bool) -> Vec<f64> {
     let prev_good = Task::uniform(PREV_GOOD, [GOOD_CHAR]).expect("non-empty");
     // fresh 2-characteristic task type per run: ids 200, 201, ...
     let round_tasks: Vec<Task> = (0..cfg.runs)
-        .map(|r| {
-            Task::uniform(TaskId(200 + r as u32), [GOOD_CHAR, BAD_CHAR]).expect("non-empty")
-        })
+        .map(|r| Task::uniform(TaskId(200 + r as u32), [GOOD_CHAR, BAD_CHAR]).expect("non-empty"))
         .collect();
     let mut all_defs = round_tasks.clone();
     all_defs.push(prev_bad.clone());

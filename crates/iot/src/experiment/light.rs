@@ -61,19 +61,9 @@ const ROUND_INTERVAL: SimTime = SimTime::secs(5);
 /// Runs both arms.
 pub fn run(cfg: &LightConfig) -> LightOutcome {
     let light: Vec<f64> = (0..cfg.rounds)
-        .map(|r| {
-            if r >= cfg.dark_from && r < cfg.light_again_from {
-                cfg.dark_level
-            } else {
-                1.0
-            }
-        })
+        .map(|r| if r >= cfg.dark_from && r < cfg.light_again_from { cfg.dark_level } else { 1.0 })
         .collect();
-    LightOutcome {
-        with_model: run_arm(cfg, true),
-        without_model: run_arm(cfg, false),
-        light,
-    }
+    LightOutcome { with_model: run_arm(cfg, true), without_model: run_arm(cfg, false), light }
 }
 
 fn run_arm(cfg: &LightConfig, env_aware: bool) -> Vec<f64> {
@@ -82,8 +72,7 @@ fn run_arm(cfg: &LightConfig, env_aware: bool) -> Vec<f64> {
 
     // the light schedule in wall time; rounds fire at r·interval + stagger
     let dark_start = SimTime::micros(cfg.dark_from as u64 * ROUND_INTERVAL.as_micros());
-    let light_return =
-        SimTime::micros(cfg.light_again_from as u64 * ROUND_INTERVAL.as_micros());
+    let light_return = SimTime::micros(cfg.light_again_from as u64 * ROUND_INTERVAL.as_micros());
 
     let built = build(
         cfg.seed,
@@ -175,7 +164,8 @@ mod tests {
 
     #[test]
     fn deterministic() {
-        let cfg = LightConfig { rounds: 8, dark_from: 3, light_again_from: 6, ..Default::default() };
+        let cfg =
+            LightConfig { rounds: 8, dark_from: 3, light_again_from: 6, ..Default::default() };
         assert_eq!(run(&cfg), run(&cfg));
     }
 }

@@ -114,12 +114,7 @@ mod tests {
 
     #[test]
     fn wire_bytes_add_overhead() {
-        let f = Frame {
-            src: DeviceId(0),
-            dst: DeviceId(1),
-            payload: Payload::Raw(10),
-            seq: 1,
-        };
+        let f = Frame { src: DeviceId(0), dst: DeviceId(1), payload: Payload::Raw(10), seq: 1 };
         assert_eq!(f.wire_bytes(), 27);
     }
 }

@@ -57,8 +57,7 @@ impl Ctx<'_> {
         stats.tx_time += airtime;
         stats.energy_uj += energy::tx_energy(airtime);
         stats.frames_sent += 1;
-        self.queue
-            .schedule(self.now + backoff + airtime, Event::Deliver { frame, attempt: 0 });
+        self.queue.schedule(self.now + backoff + airtime, Event::Deliver { frame, attempt: 0 });
     }
 
     /// Arms a timer that fires `delay` from now with the given key.
@@ -258,9 +257,7 @@ impl IotNetwork {
 
     /// Downcasts a device's application to a concrete type.
     pub fn app_as<T: 'static>(&self, id: DeviceId) -> Option<&T> {
-        self.apps[id.index()]
-            .as_ref()
-            .and_then(|a| a.as_any().downcast_ref::<T>())
+        self.apps[id.index()].as_ref().and_then(|a| a.as_any().downcast_ref::<T>())
     }
 }
 

@@ -134,9 +134,7 @@ pub fn execution_attack_resilience(
     for i in 0..interactions {
         // --- proposed: optimistic first trials, then Eq. 23 scores -----
         let score = |r: &Option<TrustRecord>| {
-            r.map_or(0.85, |rec| {
-                siot_core::tw::Normalizer::UNIT.apply(rec.expected_net_profit())
-            })
+            r.map_or(0.85, |rec| siot_core::tw::Normalizer::UNIT.apply(rec.expected_net_profit()))
         };
         let pick_attacker = score(&rec_attacker) > score(&rec_honest);
         let q = if pick_attacker {
@@ -173,12 +171,8 @@ pub fn execution_attack_resilience(
 }
 
 fn update(slot: &mut Option<TrustRecord>, quality: f64, betas: &ForgettingFactors) {
-    let obs = Observation {
-        success_rate: quality,
-        gain: quality,
-        damage: 1.0 - quality,
-        cost: 0.1,
-    };
+    let obs =
+        Observation { success_rate: quality, gain: quality, damage: 1.0 - quality, cost: 0.1 };
     match slot {
         Some(rec) => rec.update(&obs, betas),
         None => *slot = Some(TrustRecord::from_first_observation(&obs)),

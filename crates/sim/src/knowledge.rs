@@ -4,35 +4,64 @@
 //! graph neighbours hold scalar trustworthiness records about those tasks
 //! that *"approach its actual capability"*. The transitivity search walks
 //! these records.
+//!
+//! Every holder's records live in its own [`TrustEngine`], so the storage
+//! layer is pluggable: [`Knowledge::seed`] uses the deterministic B-tree
+//! backend, [`Knowledge::seed_in`] accepts any
+//! [`TrustBackend`](siot_core::backend::TrustBackend) — the sharded backend
+//! for high-peer-count networks, or whatever a later PR plugs in.
 
 use crate::agent::AgentId;
 use crate::tasks::TaskPool;
 use rand::rngs::SmallRng;
 use rand::Rng;
+use siot_core::backend::{BTreeBackend, TrustBackend};
 use siot_core::infer::Experience;
+use siot_core::record::TrustRecord;
+use siot_core::store::TrustEngine;
 use siot_core::task::{CharacteristicId, Task, TaskId};
 use siot_graph::SocialGraph;
 use std::collections::BTreeMap;
 
+/// The scalar records of §5.5 ride in a full [`TrustRecord`]: the scalar
+/// trustworthiness goes to `Ŝ` (read back via [`TrustRecord::s_hat`]), the
+/// remaining components sit at their neutral extremes.
+fn scalar_record(tw: f64) -> TrustRecord {
+    TrustRecord::with_priors(tw.clamp(0.0, 1.0), 1.0, 0.0, 0.0)
+}
+
 /// Ground truth plus the records neighbours hold about each other.
 #[derive(Debug, Clone)]
-pub struct Knowledge {
+pub struct Knowledge<B: TrustBackend<AgentId> = BTreeBackend<AgentId>> {
     /// Per-node, per-characteristic actual competence in `[0, 1]`.
     competence: Vec<Vec<f64>>,
     /// Tasks each node has experienced (sorted).
     experienced: Vec<Vec<TaskId>>,
-    /// `records[holder] : (peer, task) -> scalar trustworthiness`.
-    records: Vec<BTreeMap<(AgentId, TaskId), f64>>,
+    /// `records[holder]`: the holder's trust engine over its peers.
+    records: Vec<TrustEngine<AgentId, B>>,
     /// `rec_trust[holder] : peer -> recommendation trustworthiness TW(Rτ)`.
     rec_trust: Vec<BTreeMap<AgentId, f64>>,
     n_characteristics: usize,
 }
 
-impl Knowledge {
+impl Knowledge<BTreeBackend<AgentId>> {
+    /// [`Knowledge::seed_in`] with the deterministic default backend.
+    pub fn seed(
+        g: &SocialGraph,
+        pool: &TaskPool,
+        tasks_per_node: usize,
+        noise: f64,
+        rng: &mut SmallRng,
+    ) -> Self {
+        Self::seed_in(g, pool, tasks_per_node, noise, rng)
+    }
+}
+
+impl<B: TrustBackend<AgentId>> Knowledge<B> {
     /// Seeds the network: competence per (node, characteristic), two (or
     /// `tasks_per_node`) experienced tasks per node, and neighbour records
     /// equal to the true task competence plus uniform noise `±noise`.
-    pub fn seed(
+    pub fn seed_in(
         g: &SocialGraph,
         pool: &TaskPool,
         tasks_per_node: usize,
@@ -46,14 +75,15 @@ impl Knowledge {
         let experienced: Vec<Vec<TaskId>> =
             (0..n).map(|_| pool.sample_experienced(tasks_per_node, rng)).collect();
 
-        let mut records: Vec<BTreeMap<(AgentId, TaskId), f64>> = vec![BTreeMap::new(); n];
+        let mut records: Vec<TrustEngine<AgentId, B>> =
+            (0..n).map(|_| TrustEngine::new()).collect();
         let mut rec_trust: Vec<BTreeMap<AgentId, f64>> = vec![BTreeMap::new(); n];
         for holder in g.nodes() {
             for &peer in g.neighbors(holder) {
                 for &tid in &experienced[peer.index()] {
                     let truth = task_competence(&competence[peer.index()], pool.task(tid));
                     let observed = (truth + rng.gen_range(-noise..=noise)).clamp(0.0, 1.0);
-                    records[holder.index()].insert((peer, tid), observed);
+                    records[holder.index()].insert_record(peer, tid, scalar_record(observed));
                 }
                 // honest networks recommend reliably: TW(Rτ) is high but
                 // not perfect (§4.3 gates filter on it with ω₁)
@@ -71,16 +101,22 @@ impl Knowledge {
     }
 
     /// Re-derives neighbour records after [`Self::set_experienced`].
-    pub fn reseed_records(&mut self, g: &SocialGraph, pool: &TaskPool, noise: f64, rng: &mut SmallRng) {
-        for r in self.records.iter_mut() {
-            r.clear();
+    pub fn reseed_records(
+        &mut self,
+        g: &SocialGraph,
+        pool: &TaskPool,
+        noise: f64,
+        rng: &mut SmallRng,
+    ) {
+        for e in self.records.iter_mut() {
+            e.clear_records();
         }
         for holder in g.nodes() {
             for &peer in g.neighbors(holder) {
                 for &tid in &self.experienced[peer.index()] {
                     let truth = task_competence(&self.competence[peer.index()], pool.task(tid));
                     let observed = (truth + rng.gen_range(-noise..=noise)).clamp(0.0, 1.0);
-                    self.records[holder.index()].insert((peer, tid), observed);
+                    self.records[holder.index()].insert_record(peer, tid, scalar_record(observed));
                 }
             }
         }
@@ -117,16 +153,21 @@ impl Knowledge {
         self.experienced[a.index()].binary_search(&task).is_ok()
     }
 
+    /// The holder's trust engine — every record `holder` keeps lives here.
+    pub fn engine(&self, holder: AgentId) -> &TrustEngine<AgentId, B> {
+        &self.records[holder.index()]
+    }
+
     /// The scalar record `holder` keeps about `(peer, task)`.
     pub fn record(&self, holder: AgentId, peer: AgentId, task: TaskId) -> Option<f64> {
-        self.records[holder.index()].get(&(peer, task)).copied()
+        self.records[holder.index()].record(peer, task).map(|r| r.s_hat)
     }
 
     /// Overwrites the scalar record `holder` keeps about `(peer, task)` —
     /// used by the attack models (a bad-mouthing recommender rewrites its
     /// reports).
     pub fn set_record(&mut self, holder: AgentId, peer: AgentId, task: TaskId, tw: f64) {
-        self.records[holder.index()].insert((peer, task), tw.clamp(0.0, 1.0));
+        self.records[holder.index()].insert_record(peer, task, scalar_record(tw));
     }
 
     /// Recommendation trustworthiness `TW_{holder←peer}(Rτ)` — how much
@@ -149,10 +190,10 @@ impl Knowledge {
         peer: AgentId,
         pool: &'p TaskPool,
     ) -> Vec<Experience<'p>> {
+        let mut out = Vec::new();
         self.records[holder.index()]
-            .range((peer, TaskId(0))..=(peer, TaskId(u32::MAX)))
-            .map(|(&(_, tid), &tw)| Experience::new(pool.task(tid), tw))
-            .collect()
+            .for_each_record(peer, |tid, rec| out.push(Experience::new(pool.task(tid), rec.s_hat)));
+        out
     }
 
     /// Size of the characteristic alphabet.
@@ -164,16 +205,14 @@ impl Knowledge {
 /// Weighted-average competence of a characteristic-competence vector on a
 /// task.
 fn task_competence(char_competence: &[f64], task: &Task) -> f64 {
-    task.characteristics()
-        .iter()
-        .map(|&(c, w)| w * char_competence[c.0 as usize])
-        .sum()
+    task.characteristics().iter().map(|&(c, w)| w * char_competence[c.0 as usize]).sum()
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use rand::SeedableRng;
+    use siot_core::backend::ShardedBackend;
     use siot_graph::GraphBuilder;
 
     fn setup() -> (SocialGraph, TaskPool, Knowledge) {
@@ -239,8 +278,8 @@ mod tests {
     #[test]
     fn task_competence_is_weighted_average() {
         let comp = vec![0.2, 0.8];
-        let t = Task::new(TaskId(0), [(CharacteristicId(0), 1.0), (CharacteristicId(1), 3.0)])
-            .unwrap();
+        let t =
+            Task::new(TaskId(0), [(CharacteristicId(0), 1.0), (CharacteristicId(1), 3.0)]).unwrap();
         let got = task_competence(&comp, &t);
         assert!((got - (0.25 * 0.2 + 0.75 * 0.8)).abs() < 1e-12);
     }
@@ -259,5 +298,28 @@ mod tests {
         let rec = k.record(n0, n1, TaskId(0)).unwrap();
         let truth = k.actual_task_competence(n1, pool.task(TaskId(0)));
         assert!((rec - truth).abs() < 1e-12, "zero noise copies the truth");
+    }
+
+    #[test]
+    fn sharded_backend_sees_identical_records() {
+        // the same seed sequence through either backend yields the same
+        // knowledge base — storage must not leak into the semantics
+        let g = GraphBuilder::new().edges([(0, 1), (1, 2), (2, 3), (0, 3)]).build().unwrap();
+        let pool = TaskPool::generate(4, 4, &mut SmallRng::seed_from_u64(2));
+        let kb: Knowledge = Knowledge::seed(&g, &pool, 2, 0.05, &mut SmallRng::seed_from_u64(7));
+        let ks: Knowledge<ShardedBackend<AgentId>> =
+            Knowledge::seed_in(&g, &pool, 2, 0.05, &mut SmallRng::seed_from_u64(7));
+        for holder in g.nodes() {
+            for peer in g.nodes() {
+                for &tid in ks.experienced(peer) {
+                    assert_eq!(kb.record(holder, peer, tid), ks.record(holder, peer, tid));
+                }
+                assert_eq!(
+                    kb.recommendation_trust(holder, peer),
+                    ks.recommendation_trust(holder, peer)
+                );
+            }
+            assert_eq!(kb.engine(holder).record_count(), ks.engine(holder).record_count());
+        }
     }
 }

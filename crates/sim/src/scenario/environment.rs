@@ -16,8 +16,17 @@ use crate::metrics::mean;
 use rand::rngs::SmallRng;
 use rand::Rng;
 use rand::SeedableRng;
-use siot_core::environment::{update_with_environment, EnvIndicator};
+use siot_core::environment::EnvIndicator;
 use siot_core::record::{ForgettingFactors, Observation, TrustRecord};
+use siot_core::store::TrustEngine;
+use siot_core::task::TaskId;
+
+/// The single tracked task.
+const TRACK_TASK: TaskId = TaskId(0);
+/// Engine peer ids for the three tracked update rules.
+const IDEAL: u8 = 0;
+const TRADITIONAL: u8 = 1;
+const PROPOSED: u8 = 2;
 
 /// Parameters of the environment-tracking experiment.
 #[derive(Debug, Clone, PartialEq)]
@@ -81,11 +90,8 @@ impl EnvironmentOutcome {
 /// independent seeds.
 pub fn run(cfg: &EnvironmentConfig) -> EnvironmentOutcome {
     let total: usize = cfg.phases.iter().map(|&(n, _)| n).sum();
-    let schedule: Vec<f64> = cfg
-        .phases
-        .iter()
-        .flat_map(|&(n, e)| std::iter::repeat_n(e, n))
-        .collect();
+    let schedule: Vec<f64> =
+        cfg.phases.iter().flat_map(|&(n, e)| std::iter::repeat_n(e, n)).collect();
     let betas = ForgettingFactors::uniform(cfg.beta);
 
     let mut ideal_acc = vec![0.0; total];
@@ -94,10 +100,13 @@ pub fn run(cfg: &EnvironmentConfig) -> EnvironmentOutcome {
 
     for run_idx in 0..cfg.runs {
         let mut rng = SmallRng::seed_from_u64(cfg.seed.wrapping_add(run_idx as u64));
-        // the paper initializes the expected success rate at 1
-        let mut ideal = TrustRecord::optimistic();
-        let mut traditional = TrustRecord::optimistic();
-        let mut proposed = TrustRecord::optimistic();
+        // One engine tracks the same trustee under the three update rules
+        // (modelled as three peers). The paper initializes the expected
+        // success rate at 1.
+        let mut engine: TrustEngine<u8> = TrustEngine::new();
+        for peer in [IDEAL, TRADITIONAL, PROPOSED] {
+            engine.insert_record(peer, TRACK_TASK, TrustRecord::optimistic());
+        }
 
         for (i, &env) in schedule.iter().enumerate() {
             let envs = [EnvIndicator::saturating(env), EnvIndicator::saturating(env)];
@@ -112,18 +121,17 @@ pub fn run(cfg: &EnvironmentConfig) -> EnvironmentOutcome {
                 damage: 0.0,
                 cost: 0.0,
             };
-            let clean_obs = Observation {
-                success_rate: (cfg.competence + noise).clamp(0.0, 1.0),
-                ..obs
-            };
+            let clean_obs =
+                Observation { success_rate: (cfg.competence + noise).clamp(0.0, 1.0), ..obs };
 
-            ideal.update(&clean_obs, &betas);
-            traditional.update(&obs, &betas);
-            update_with_environment(&mut proposed, &obs, &envs, &betas);
+            engine.observe(IDEAL, TRACK_TASK, &clean_obs, &betas);
+            engine.observe(TRADITIONAL, TRACK_TASK, &obs, &betas);
+            engine.observe_with_environment(PROPOSED, TRACK_TASK, &obs, &envs, &betas);
 
-            ideal_acc[i] += ideal.s_hat;
-            trad_acc[i] += traditional.s_hat;
-            prop_acc[i] += proposed.s_hat;
+            let s_hat = |peer| engine.record(peer, TRACK_TASK).expect("seeded").s_hat;
+            ideal_acc[i] += s_hat(IDEAL);
+            trad_acc[i] += s_hat(TRADITIONAL);
+            prop_acc[i] += s_hat(PROPOSED);
         }
     }
 

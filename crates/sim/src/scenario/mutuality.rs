@@ -12,6 +12,7 @@ use rand::rngs::SmallRng;
 use rand::Rng;
 use rand::SeedableRng;
 use siot_core::mutuality::{ReverseEvaluator, UsageLog};
+use siot_core::store::TrustEngine;
 use siot_graph::traversal::bfs_distances_bounded;
 use siot_graph::SocialGraph;
 
@@ -67,10 +68,10 @@ pub fn run(g: &SocialGraph, cfg: &MutualityConfig) -> MutualityOutcome {
     // Warm-up: each trustee's usage log about each trustor reflects the
     // trustor's past behaviour (Bernoulli(responsibility) samples).
     // Logs are per (trustee, trustor) pair but identical in distribution,
-    // so we store per trustor per trustee lazily.
+    // so they are seeded lazily — in the network-wide trust engine, which
+    // owns all reverse-evaluation state.
     let evaluator = ReverseEvaluator::new(cfg.theta);
-    let mut logs: std::collections::BTreeMap<(AgentId, AgentId), UsageLog> =
-        std::collections::BTreeMap::new();
+    let mut engine: TrustEngine<(AgentId, AgentId)> = TrustEngine::new();
 
     let mut success = Ratio::default();
     let mut unavailable = Ratio::default();
@@ -101,7 +102,7 @@ pub fn run(g: &SocialGraph, cfg: &MutualityConfig) -> MutualityOutcome {
             // Fig. 2 procedure: try candidates best-first until one accepts.
             let mut accepted: Option<AgentId> = None;
             for &trustee in &candidates {
-                let log = logs.entry((trustee, trustor)).or_insert_with(|| {
+                let log = engine.usage_log_mut_or_seed((trustee, trustor), || {
                     let mut l = UsageLog::new();
                     for _ in 0..cfg.warmup_interactions {
                         if rng.gen_bool(responsibility[trustor.index()]) {
@@ -127,7 +128,7 @@ pub fn run(g: &SocialGraph, cfg: &MutualityConfig) -> MutualityOutcome {
             // the delegation happens: resource use + task execution
             let abusive = !rng.gen_bool(responsibility[trustor.index()]);
             abuse.record(abusive);
-            let log = logs.get_mut(&(trustee, trustor)).expect("created above");
+            let log = engine.usage_log_mut((trustee, trustor));
             if abusive {
                 log.record_abusive();
             } else {

@@ -14,9 +14,14 @@ use rand::Rng;
 use rand::SeedableRng;
 use siot_core::policy::{HighestSuccessRate, MaxNetProfit, SelectionPolicy};
 use siot_core::record::{ForgettingFactors, Observation, TrustRecord};
+use siot_core::store::TrustEngine;
+use siot_core::task::TaskId;
 use siot_graph::traversal::bfs_distances_bounded;
 use siot_graph::SocialGraph;
-use std::collections::BTreeMap;
+
+/// The experiment has one implicit task type; records are keyed by the
+/// `(trustor, trustee)` pair.
+const PROFIT_TASK: TaskId = TaskId(0);
 
 /// Candidate-selection strategy for Fig. 13.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -98,7 +103,9 @@ pub fn run(g: &SocialGraph, strategy: Strategy, cfg: &ProfitConfig) -> Vec<f64> 
             slates.push((trustor, cands));
         }
     }
-    let mut records: BTreeMap<(AgentId, AgentId), TrustRecord> = BTreeMap::new();
+    // One engine holds every trustor's view, keyed by the (trustor,
+    // trustee) pair — the shape a coordinator-side deployment would use.
+    let mut engine: TrustEngine<(AgentId, AgentId)> = TrustEngine::new();
     for (trustor, cands) in &slates {
         for &c in cands {
             // Initial expectations are optimistic (the paper initializes
@@ -106,18 +113,31 @@ pub fn run(g: &SocialGraph, strategy: Strategy, cfg: &ProfitConfig) -> Vec<f64> 
             // explored before the trustor settles, so the profit series
             // rises over the first several hundred iterations as records
             // converge to the trustees' actual behaviour (Eqs. 19-22).
-            records.insert((*trustor, c), TrustRecord::with_priors(1.0, 1.0, 0.0, 0.0));
+            engine.insert_record(
+                (*trustor, c),
+                PROFIT_TASK,
+                TrustRecord::with_priors(1.0, 1.0, 0.0, 0.0),
+            );
         }
     }
 
     let mut series = Vec::with_capacity(cfg.iterations);
     let mut profits = Vec::with_capacity(slates.len());
+    let mut outcomes: Vec<((AgentId, AgentId), TaskId, Observation)> =
+        Vec::with_capacity(slates.len());
     for _ in 0..cfg.iterations {
         profits.clear();
+        outcomes.clear();
         for (trustor, cands) in &slates {
             // score candidates under the strategy
-            let recs: Vec<TrustRecord> =
-                cands.iter().map(|&c| records[&(*trustor, c)]).collect();
+            let recs: Vec<TrustRecord> = cands
+                .iter()
+                .map(|&c| {
+                    engine
+                        .record((*trustor, c), PROFIT_TASK)
+                        .expect("record seeded for every slate member")
+                })
+                .collect();
             let pick = match strategy {
                 Strategy::SuccessRateOnly => HighestSuccessRate.select(&recs),
                 Strategy::NetProfit => MaxNetProfit.select(&recs),
@@ -128,31 +148,28 @@ pub fn run(g: &SocialGraph, strategy: Strategy, cfg: &ProfitConfig) -> Vec<f64> 
 
             // realize the outcome
             let succeeded = rng.gen_bool(actual.success_rate);
-            let profit = if succeeded {
-                actual.gain - actual.cost
-            } else {
-                -actual.damage - actual.cost
-            };
+            let profit =
+                if succeeded { actual.gain - actual.cost } else { -actual.damage - actual.cost };
             profits.push(profit);
 
-            // Post-evaluation update (Eqs. 19–22). The trustor measures
-            // QoS-style rates (continuous, lightly noisy), not a single
-            // success bit — a delegation exposes throughput/latency/cost
-            // figures whose long-run means are the trustee's actuals.
-            let jitter = |x: f64, rng: &mut SmallRng| {
-                (x + rng.gen_range(-0.05..0.05)).clamp(0.0, 1.0)
-            };
+            // Post-evaluation observation (Eqs. 19–22). The trustor
+            // measures QoS-style rates (continuous, lightly noisy), not a
+            // single success bit — a delegation exposes throughput/latency/
+            // cost figures whose long-run means are the trustee's actuals.
+            let jitter =
+                |x: f64, rng: &mut SmallRng| (x + rng.gen_range(-0.05..0.05)).clamp(0.0, 1.0);
             let obs = Observation {
                 success_rate: jitter(actual.success_rate, &mut rng),
                 gain: jitter(actual.gain, &mut rng),
                 damage: jitter(actual.damage, &mut rng),
                 cost: jitter(actual.cost, &mut rng),
             };
-            records
-                .get_mut(&(*trustor, trustee))
-                .expect("record seeded for every slate member")
-                .update(&obs, &betas);
+            outcomes.push(((*trustor, trustee), PROFIT_TASK, obs));
         }
+        // one batched storage pass per iteration: each (trustor, trustee)
+        // record is unique, so deferring the folds preserves the semantics
+        // while the engine amortizes the lookups
+        engine.observe_batch(&outcomes, &betas);
         series.push(mean(&profits));
     }
     series

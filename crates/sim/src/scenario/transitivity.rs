@@ -154,9 +154,8 @@ fn run_with_knowledge(
             // three methods face *identical* request sequences — comparisons
             // are paired, and the aggressive ⊇ conservative candidate-set
             // guarantee shows up in the rates exactly.
-            let mut req_rng = SmallRng::seed_from_u64(
-                cfg.seed ^ ((trustor.0 as u64) << 20) ^ (req as u64) << 8,
-            );
+            let mut req_rng =
+                SmallRng::seed_from_u64(cfg.seed ^ ((trustor.0 as u64) << 20) ^ (req as u64) << 8);
             let task = pool.random_pair_task(&mut req_rng);
             let out = search.find(method, trustor, task, &is_trustee);
             inquired_total += out.inquired;

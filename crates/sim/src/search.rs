@@ -26,6 +26,7 @@
 use crate::agent::AgentId;
 use crate::knowledge::Knowledge;
 use crate::tasks::TaskPool;
+use siot_core::backend::{BTreeBackend, TrustBackend};
 use siot_core::infer::{infer_characteristic, infer_task};
 use siot_core::task::{CharacteristicId, TaskId};
 use siot_core::transitivity::{two_hop, TransitivityGates};
@@ -83,9 +84,9 @@ impl SearchOutcome {
 }
 
 /// Trustee search engine bound to one network's knowledge.
-pub struct TrusteeSearch<'a> {
+pub struct TrusteeSearch<'a, B: TrustBackend<AgentId> = BTreeBackend<AgentId>> {
     graph: &'a SocialGraph,
-    knowledge: &'a Knowledge,
+    knowledge: &'a Knowledge<B>,
     pool: &'a TaskPool,
     /// ω₁/ω₂ gates applied to recommendation / execution hops of the
     /// proposed methods (the traditional baseline is always ungated).
@@ -108,11 +109,11 @@ struct FloodSpec<'s> {
     gates: TransitivityGates,
 }
 
-impl<'a> TrusteeSearch<'a> {
+impl<'a, B: TrustBackend<AgentId>> TrusteeSearch<'a, B> {
     /// Creates a search engine with paper-style defaults: ω₁ = 0.6 and
     /// ω₂ = 0.3 ("preset trustworthiness with relatively high values",
     /// §4.3) and a 3-hop search horizon.
-    pub fn new(graph: &'a SocialGraph, knowledge: &'a Knowledge, pool: &'a TaskPool) -> Self {
+    pub fn new(graph: &'a SocialGraph, knowledge: &'a Knowledge<B>, pool: &'a TaskPool) -> Self {
         TrusteeSearch {
             graph,
             knowledge,
@@ -200,7 +201,8 @@ impl<'a> TrusteeSearch<'a> {
                         if let Some(tw) = (spec.exec_tw)(u, v) {
                             reached[v.index()] = true;
                             let est = spec.combine.apply(base, tw);
-                            if est >= spec.gates.omega2 && cand_val[v.index()].is_none_or(|c| est > c)
+                            if est >= spec.gates.omega2
+                                && cand_val[v.index()].is_none_or(|c| est > c)
                             {
                                 cand_val[v.index()] = Some(est);
                             }
@@ -510,12 +512,8 @@ mod tests {
         let mut rng = SmallRng::seed_from_u64(5);
         let pool = TaskPool::generate(2, 1, &mut rng); // τ0={a0}, τ1={a1}, pair
         let mut k = Knowledge::seed(&g, &pool, 1, 0.0, &mut rng);
-        let pair_id = pool
-            .tasks()
-            .iter()
-            .find(|t| t.len() == 2)
-            .expect("pool has the pair task")
-            .id();
+        let pair_id =
+            pool.tasks().iter().find(|t| t.len() == 2).expect("pool has the pair task").id();
         k.set_experienced(vec![
             vec![],                     // trustor
             vec![TaskId(0)],            // covers a0 only

@@ -4,9 +4,7 @@
 //!
 //! Run with: `cargo run --example attack_resilience`
 
-use siot::sim::attacks::{
-    execution_attack_resilience, recommendation_attack_impact, Attack,
-};
+use siot::sim::attacks::{execution_attack_resilience, recommendation_attack_impact, Attack};
 
 fn main() {
     println!("== execution attacks (200 interactions, honest alternative at 0.8) ==\n");
@@ -34,6 +32,8 @@ fn main() {
     let (poisoned, _) = recommendation_attack_impact(0.9, 0.05, 0.9, 0.6);
     let (_, gated) = recommendation_attack_impact(0.9, 0.05, 0.3, 0.6);
     println!("estimate while the bad-mouther is still trusted:   {poisoned:.2}");
-    println!("estimate after ω₁ downgrades the recommender:      {gated:.2} (ignorance, not poison)");
+    println!(
+        "estimate after ω₁ downgrades the recommender:      {gated:.2} (ignorance, not poison)"
+    );
     println!("\nthe ω₁ gate turns slander into a no-op instead of a verdict.");
 }

@@ -52,9 +52,8 @@ fn main() {
             &betas,
         );
     }
-    let tw = alice_store
-        .trustworthiness(bob_id, camera_task.id())
-        .expect("alice has history with bob");
+    let tw =
+        alice_store.trustworthiness(bob_id, camera_task.id()).expect("alice has history with bob");
     println!("\nAlice's trustworthiness toward Bob's camera: {tw}");
     println!("Both sides evaluated each other — that is the mutuality of §4.1.");
 }

@@ -40,21 +40,15 @@ fn main() {
     println!("\nround  chosen  expected-profit  outcome");
     for round in 0..12 {
         // 3. pre-evaluation + decision: Eq. 23 over the neighbours
-        let candidates: Vec<_> = g
-            .neighbors(trustor)
-            .iter()
-            .copied()
-            .filter(|&n| roles.is_trustee(n))
-            .collect();
+        let candidates: Vec<_> =
+            g.neighbors(trustor).iter().copied().filter(|&n| roles.is_trustee(n)).collect();
         let best = candidates
             .iter()
             .copied()
             .max_by(|&a, &b| {
                 let score = |p| {
-                    store
-                        .record(p, task.id())
-                        .map(net_profit)
-                        .unwrap_or(0.8) // optimistic for strangers
+                    store.record(p, task.id()).map(|r| net_profit(&r)).unwrap_or(0.8)
+                    // optimistic for strangers
                 };
                 score(a).partial_cmp(&score(b)).expect("scores are finite")
             })

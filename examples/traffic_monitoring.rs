@@ -23,8 +23,7 @@ fn main() {
     let dashcam = Task::new(TaskId(2), [(GPS, 1.0), (VELOCITY, 2.0)]).expect("valid weights");
 
     // the new task: traffic monitoring = GPS + image + velocity
-    let traffic =
-        Task::uniform(TaskId(9), [GPS, IMAGE, VELOCITY]).expect("non-empty");
+    let traffic = Task::uniform(TaskId(9), [GPS, IMAGE, VELOCITY]).expect("non-empty");
 
     // ----- inference from Alice's own history with Bob (Eq. 4) ----------
     let experiences = [
@@ -61,10 +60,8 @@ fn main() {
     }
 
     // aggressive: characteristics may travel different paths
-    let via_carol = vec![
-        vec![Experience::new(&gps_task, 0.9)],
-        vec![Experience::new(&gps_task, 0.8)],
-    ];
+    let via_carol =
+        vec![vec![Experience::new(&gps_task, 0.9)], vec![Experience::new(&gps_task, 0.8)]];
     let via_dave = vec![
         vec![Experience::new(&imaging, 0.95), Experience::new(&dashcam, 0.9)],
         vec![Experience::new(&imaging, 0.7), Experience::new(&dashcam, 0.85)],
@@ -74,10 +71,8 @@ fn main() {
         (IMAGE, characteristic_along_path(IMAGE, &via_dave, &gates)),
         (VELOCITY, characteristic_along_path(VELOCITY, &via_dave, &gates)),
     ];
-    let estimates: Vec<(CharacteristicId, f64)> = per_char
-        .iter()
-        .filter_map(|&(c, est)| est.map(|e| (c, e)))
-        .collect();
+    let estimates: Vec<(CharacteristicId, f64)> =
+        per_char.iter().filter_map(|&(c, est)| est.map(|e| (c, e))).collect();
     for (c, e) in &estimates {
         println!("  characteristic {c} assessed along its own path: {e:.3}");
     }

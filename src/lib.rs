@@ -28,6 +28,16 @@
 //! assert!(store.trustworthiness(peer, task.id()).unwrap().value() > 0.6);
 //! ```
 
+//! # Quickstart
+//!
+//! The walkthrough below is [`examples/quickstart.rs`] verbatim — run it
+//! with `cargo run --example quickstart`. It exercises all six ingredients
+//! of the trust process on a small-world network.
+//!
+//! [`examples/quickstart.rs`]: https://example.invalid/siot/examples/quickstart.rs
+#![doc = "```no_run"]
+#![doc = include_str!("../examples/quickstart.rs")]
+#![doc = "```"]
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 

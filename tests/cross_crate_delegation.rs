@@ -4,8 +4,8 @@
 use siot::graph::generate::social::SocialNetKind;
 use siot::graph::traversal::connected_components;
 use siot::sim::scenario::transitivity::{run, TransitivityConfig};
-use siot::sim::SearchMethod;
 use siot::sim::Roles;
+use siot::sim::SearchMethod;
 
 #[test]
 fn evaluation_networks_support_delegation() {

@@ -1,10 +1,10 @@
 //! Integration of the discrete-event testbed: association, the delegation
 //! protocol over real frames, and radio/energy accounting.
 
+use siot::core::prelude::*;
 use siot::iot::app::{CoordinatorApp, TrusteeBehavior, TrustorApp, TrustorConfig};
 use siot::iot::experiment::{build, GroupSetup};
 use siot::iot::{DeviceId, SimTime};
-use siot::core::prelude::*;
 
 fn one_task() -> Task {
     Task::uniform(TaskId(0), [CharacteristicId(0)]).unwrap()
@@ -84,7 +84,7 @@ fn trust_records_form_from_over_the_air_outcomes() {
         let best_good = built
             .honest
             .iter()
-            .filter_map(|&h| app.store.record(h, task.id()))
+            .filter_map(|&h| app.engine.record(h, task.id()))
             .map(|r| r.s_hat)
             .fold(f64::NEG_INFINITY, f64::max);
         if best_good.is_finite() {

@@ -1,8 +1,8 @@
 //! End-to-end test of the six-ingredient trust process on the core model:
 //! trustor, trustee, goal, evaluation, decision/action/result, context.
 
-use siot::core::prelude::*;
 use siot::core::environment::EnvIndicator;
+use siot::core::prelude::*;
 
 const SENSE: CharacteristicId = CharacteristicId(0);
 const STORE: CharacteristicId = CharacteristicId(1);
