@@ -1,20 +1,27 @@
 //! Storage-backend shootout: the `TrustEngine` hot path (batched
-//! `observe`) on a 100k+-record workload, per backend.
+//! `observe`) on 100k- and 1M-record workloads, per backend.
 //!
-//! Three cases:
+//! Cases:
 //! * `btree/*` — the deterministic ordered-map default;
 //! * `sharded/*` — the lock-sharded hash backend, single writer;
 //! * `sharded/concurrent_*` — the sharded backend with four writer threads
-//!   folding disjoint slices of the workload through `&TrustEngine`.
+//!   **spawned per batch** folding disjoint slices through `&TrustEngine`
+//!   (the naive baseline the ROADMAP flagged: spawn/join dominates);
+//! * `sharded/pool_*` — the same four-way fan-out through a persistent
+//!   [`ObserverPool`], workers parked between batches.
 //!
 //! A read-side case (`known_peers` + per-peer iteration) rides along since
-//! trustee search hammers exactly that path.
+//! trustee search hammers exactly that path. The 1M-record configuration
+//! answers the ROADMAP's "measure at 1M+ records" item; the shim's
+//! `SIOT_BENCH_BUDGET_MS` budget keeps it cheap in CI.
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use siot_bench::runner::{backend_workload, replay_workload};
 use siot_core::backend::{BTreeBackend, ShardedBackend};
+use siot_core::pool::ObserverPool;
 use siot_core::record::ForgettingFactors;
 use siot_core::store::TrustEngine;
+use std::sync::Arc;
 
 /// 100_000 observations over 25_000 peers × 4 tasks: every observation
 /// lands on a distinct `(peer, task)` key, so the replay creates exactly
@@ -23,47 +30,79 @@ const N_OBS: usize = 100_000;
 const N_PEERS: u32 = 25_000;
 const N_TASKS: u32 = 4;
 const BATCH: usize = 1_024;
+const WRITERS: usize = 4;
 
-fn bench_store_backends(c: &mut Criterion) {
-    let workload = backend_workload(N_OBS, N_PEERS, N_TASKS, 42);
+/// The 1M-record configuration (250_000 peers × 4 tasks, distinct keys).
+const N_OBS_1M: usize = 1_000_000;
+const N_PEERS_1M: u32 = 250_000;
 
-    c.bench_function("store_backends/btree/batched_observe_100k", |b| {
+fn bench_workload(c: &mut Criterion, label: &str, n_obs: usize, n_peers: u32) {
+    let workload = backend_workload(n_obs, n_peers, N_TASKS, 42);
+
+    c.bench_function(&format!("store_backends/btree/batched_observe_{label}"), |b| {
         b.iter(|| {
             let engine = replay_workload::<BTreeBackend<u32>>(black_box(&workload), BATCH);
-            assert_eq!(engine.record_count(), N_OBS);
+            assert_eq!(engine.record_count(), n_obs);
             black_box(engine)
         })
     });
 
-    c.bench_function("store_backends/sharded/batched_observe_100k", |b| {
+    c.bench_function(&format!("store_backends/sharded/batched_observe_{label}"), |b| {
         b.iter(|| {
             let engine = replay_workload::<ShardedBackend<u32>>(black_box(&workload), BATCH);
-            assert_eq!(engine.record_count(), N_OBS);
+            assert_eq!(engine.record_count(), n_obs);
             black_box(engine)
         })
     });
 
-    c.bench_function("store_backends/sharded/concurrent_observe_100k_x4", |b| {
+    c.bench_function(
+        &format!("store_backends/sharded/concurrent_observe_{label}_x{WRITERS}"),
+        |b| {
+            let betas = ForgettingFactors::figures();
+            b.iter(|| {
+                let engine: TrustEngine<u32, ShardedBackend<u32>> = TrustEngine::new();
+                std::thread::scope(|scope| {
+                    for slice in workload.chunks(n_obs / WRITERS) {
+                        let e = &engine;
+                        let betas = &betas;
+                        scope.spawn(move || {
+                            for batch in slice.chunks(BATCH) {
+                                e.observe_batch_shared(batch, betas)
+                                    .expect("workload observations are unit-range");
+                            }
+                        });
+                    }
+                });
+                assert_eq!(engine.record_count(), n_obs);
+                black_box(engine)
+            })
+        },
+    );
+
+    c.bench_function(&format!("store_backends/sharded/pool_observe_{label}_x{WRITERS}"), |b| {
+        // the pool persists across iterations — that is the point
+        let pool: ObserverPool<u32> = ObserverPool::new(WRITERS);
         let betas = ForgettingFactors::figures();
         b.iter(|| {
-            let engine: TrustEngine<u32, ShardedBackend<u32>> = TrustEngine::new();
-            std::thread::scope(|scope| {
-                for slice in workload.chunks(N_OBS / 4) {
-                    let e = &engine;
-                    let betas = &betas;
-                    scope.spawn(move || {
-                        for batch in slice.chunks(BATCH) {
-                            e.observe_batch_shared(batch, betas);
-                        }
-                    });
-                }
-            });
-            assert_eq!(engine.record_count(), N_OBS);
-            black_box(engine)
+            let engine = Arc::new(TrustEngine::<u32, ShardedBackend<u32>>::new());
+            // each dispatch splits WRITERS ways, so hand the pool
+            // WRITERS batches' worth at a time
+            for batch in workload.chunks(BATCH * WRITERS) {
+                pool.observe_batch(&engine, batch, &betas)
+                    .expect("workload observations are unit-range");
+            }
+            assert_eq!(engine.record_count(), n_obs);
+            black_box(Arc::clone(&engine))
         })
     });
+}
+
+fn bench_store_backends(c: &mut Criterion) {
+    bench_workload(c, "100k", N_OBS, N_PEERS);
+    bench_workload(c, "1m", N_OBS_1M, N_PEERS_1M);
 
     // read path: warmed engines, full peer scan
+    let workload = backend_workload(N_OBS, N_PEERS, N_TASKS, 42);
     let warm_btree = replay_workload::<BTreeBackend<u32>>(&workload, BATCH);
     let warm_sharded = replay_workload::<ShardedBackend<u32>>(&workload, BATCH);
 

@@ -133,7 +133,7 @@ pub fn replay_workload<B: TrustBackend<u32>>(
     let mut engine: TrustEngine<u32, B> = TrustEngine::new();
     let betas = ForgettingFactors::figures();
     for batch in workload.chunks(chunk.max(1)) {
-        engine.observe_batch(batch, &betas);
+        engine.observe_batch(batch, &betas).expect("workload observations are unit-range");
     }
     engine
 }

@@ -5,10 +5,12 @@
 //! ingredients — trustor, trustee, goal, trustworthiness evaluation,
 //! decision/action/result, and context — rather than a single scalar.
 //!
-//! The crate is organized around the paper's five clarifications:
+//! The crate is organized around the paper's five clarifications, plus the
+//! process itself:
 //!
 //! | Paper section | Module |
 //! |---|---|
+//! | §3.2–§3.4 the six-ingredient trust *process* as a delegation lifecycle | [`delegation`], [`goal`], [`context`] |
 //! | §4.1 mutuality of trustor and trustee (Eq. 1) | [`mutuality`] |
 //! | §4.2 inferential transfer with analogous tasks (Eqs. 2–4) | [`infer`], [`task`] |
 //! | §4.3 transitivity of trust (Eqs. 5–17) | [`transitivity`] |
@@ -18,7 +20,12 @@
 //! Trust *state* lives behind the [`store::TrustEngine`] facade, whose
 //! storage is pluggable via [`backend::TrustBackend`]: the deterministic
 //! [`backend::BTreeBackend`] (the `TrustStore` default) or the lock-sharded
-//! [`backend::ShardedBackend`] for high-peer-count workloads.
+//! [`backend::ShardedBackend`] for high-peer-count workloads (with
+//! [`pool::ObserverPool`] keeping persistent worker threads over the
+//! shared-handle write path). Live interactions flow through the
+//! [`delegation`] session — `delegate → evaluate → decide → execute` — so
+//! feedback is validated, environment-corrected and counted exactly once;
+//! the engine's free-form mutators remain as a documented raw escape hatch.
 //!
 //! The model is deliberately **pure**: no RNG, no I/O, no graph — those live
 //! in `siot-sim` and `siot-iot`. Everything here is deterministic arithmetic
@@ -27,13 +34,25 @@
 //! ```
 //! use siot_core::prelude::*;
 //!
-//! // A trustor's view of one trustee on one task:
-//! let mut rec = TrustRecord::optimistic();
-//! let betas = ForgettingFactors::uniform(0.1);
-//! // the trustee succeeds, yielding high gain at moderate cost
-//! rec.update(&Observation { success_rate: 1.0, gain: 0.9, damage: 0.1, cost: 0.2 }, &betas);
-//! let tw = rec.trustworthiness(Normalizer::UNIT);
-//! assert!(tw.value() > 0.5);
+//! // One delegation, end to end. The trustor's engine:
+//! let mut engine: TrustStore<u32> = TrustStore::new();
+//! let task = Task::uniform(TaskId(0), [CharacteristicId(0)]).unwrap();
+//! let goal = Goal::profitable();
+//!
+//! // evaluate → decide: a stranger is explored under a best-case prior
+//! // (the paper initializes expectations at their optimum, §5.7)
+//! let session = engine
+//!     .delegate(7, &task, goal, Context::amicable(task.id()))
+//!     .with_prior(TrustRecord::with_priors(1.0, 1.0, 0.0, 0.0))
+//!     .evaluate(&engine);
+//! let Decision::Delegate(active) = session.into_decision() else { unreachable!() };
+//!
+//! // act + result → post-evaluation feedback, folded exactly once
+//! let receipt = active
+//!     .execute(&mut engine, DelegationOutcome::succeeded(0.9, 0.2), &ForgettingFactors::figures())
+//!     .unwrap();
+//! assert!(receipt.fulfilled);
+//! assert!(engine.trustworthiness(7, task.id()).unwrap().value() > 0.5);
 //! ```
 
 #![warn(missing_docs)]
@@ -42,6 +61,7 @@
 pub mod backend;
 pub mod baselines;
 pub mod context;
+pub mod delegation;
 pub mod environment;
 pub mod error;
 pub mod evaluate;
@@ -49,6 +69,7 @@ pub mod goal;
 pub mod infer;
 pub mod mutuality;
 pub mod policy;
+pub mod pool;
 pub mod record;
 pub mod store;
 pub mod task;
@@ -59,6 +80,11 @@ pub mod tw;
 pub mod prelude {
     pub use crate::backend::{BTreeBackend, ConcurrentTrustBackend, ShardedBackend, TrustBackend};
     pub use crate::context::Context;
+    pub use crate::delegation::{
+        ActiveDelegation, CompletedDelegation, Decision, DeclineReason, DelegationOutcome,
+        DelegationReceipt, DelegationRequest, EvaluatedDelegation, EvaluationBasis, Referral,
+        ResourceUse,
+    };
     pub use crate::environment::EnvIndicator;
     pub use crate::error::TrustError;
     pub use crate::evaluate::{net_profit, prefers_delegation, trustee_decision, TrusteeDecision};
@@ -66,6 +92,7 @@ pub mod prelude {
     pub use crate::infer::{infer_characteristic, infer_task, Experience};
     pub use crate::mutuality::{ReverseEvaluator, UsageLog};
     pub use crate::policy::{GainOnly, HighestSuccessRate, MaxNetProfit, SelectionPolicy};
+    pub use crate::pool::ObserverPool;
     pub use crate::record::{ForgettingFactors, Observation, TrustRecord};
     pub use crate::store::{TrustEngine, TrustStore};
     pub use crate::task::{CharacteristicId, Task, TaskId};

@@ -11,10 +11,28 @@
 //!
 //! [`TrustStore<P>`] is the engine over the B-tree backend, which is both
 //! the historical name and the right default for deterministic simulation.
+//!
+//! ## Two API layers
+//!
+//! The caller-facing surface for *live interactions* is the delegation
+//! session ([`TrustEngine::delegate`] →
+//! [`delegation::DelegationRequest`](crate::delegation::DelegationRequest)),
+//! which makes the paper's evaluate → decide → act → feed-back order the
+//! only expressible one and validates every observation at the boundary.
+//! Underneath it sits the **raw layer** — [`TrustEngine::observe`],
+//! [`TrustEngine::insert_record`], [`TrustEngine::usage_log_mut`] — kept as
+//! a documented escape hatch for storage benches and for replaying
+//! pre-validated streams. State that predates the process (exported
+//! records, historical usage logs) enters through the seeding APIs
+//! ([`TrustEngine::seed_record`], [`TrustEngine::seed_usage_log`]), which
+//! install state without pretending an interaction happened.
 
 use crate::backend::{BTreeBackend, ConcurrentTrustBackend, TrustBackend};
+use crate::context::Context;
+use crate::delegation::{CompletedDelegation, DelegationReceipt, DelegationRequest, ResourceUse};
 use crate::environment::{remove_influence, update_with_environment, EnvIndicator};
 use crate::error::TrustError;
+use crate::goal::Goal;
 use crate::infer::{infer_task, Experience};
 use crate::mutuality::UsageLog;
 use crate::record::{ForgettingFactors, Observation, TrustRecord};
@@ -79,13 +97,99 @@ impl<P: Copy + Ord, B: TrustBackend<P>> TrustEngine<P, B> {
         self.tasks.values()
     }
 
+    /// The normalization operator this engine derives Eq. 18
+    /// trustworthiness with.
+    pub fn normalizer(&self) -> Normalizer {
+        self.normalizer
+    }
+
     /// The record for `(peer, task)`, if any interaction happened.
     pub fn record(&self, peer: P, task: TaskId) -> Option<TrustRecord> {
         self.backend.get(peer, task)
     }
 
-    /// Inserts or replaces the record for `(peer, task)` — seeding records
-    /// from prior interactions or another agent's exported state.
+    /// Opens a delegation session toward `trustee` for `task`: the
+    /// six-ingredient trust process of §3 as a typed-state lifecycle. The
+    /// trustor is this engine's owner; the returned request is configured
+    /// with builder methods and then
+    /// [evaluated](crate::delegation::DelegationRequest::evaluate) against
+    /// the engine. See [`crate::delegation`] for the full lifecycle.
+    ///
+    /// The context's task field is re-anchored on `task`; only its
+    /// environment half is kept.
+    pub fn delegate(
+        &self,
+        trustee: P,
+        task: &Task,
+        goal: Goal,
+        context: Context,
+    ) -> DelegationRequest<P> {
+        DelegationRequest::new(trustee, task, goal, context)
+    }
+
+    /// Commits one finished session: atomically folds the validated
+    /// observation (with the context's environment removed per Eqs. 25–29)
+    /// and the §4.1 mutuality usage-log entry. Consumes the completion —
+    /// an outcome can be counted exactly once.
+    pub fn commit(
+        &mut self,
+        completed: CompletedDelegation<P>,
+        betas: &ForgettingFactors,
+    ) -> DelegationReceipt<P> {
+        let fulfilled = completed.fulfilled();
+        let envs = [completed.context.environment];
+        // capture the folded record from inside the update closure so the
+        // receipt costs one backend pass (one shard lock), not two
+        let mut folded: Option<TrustRecord> = None;
+        self.backend.update(completed.trustee, completed.task, &mut |prior| {
+            let rec = folded_env(prior, &completed.observation, &envs, betas);
+            folded = Some(rec);
+            rec
+        });
+        self.log_resource_use(completed.trustee, completed.resource_use);
+        let record = folded.expect("update invokes the fold exactly once");
+        DelegationReceipt {
+            trustee: completed.trustee,
+            task: completed.task,
+            record,
+            trustworthiness: record.trustworthiness(self.normalizer),
+            fulfilled,
+        }
+    }
+
+    /// Batched [`Self::commit`]: one backend pass for a whole slate of
+    /// finished sessions (the shape a coordinator collecting a round's
+    /// outcomes uses). Equivalent to committing each element in order.
+    pub fn commit_batch(&mut self, batch: Vec<CompletedDelegation<P>>, betas: &ForgettingFactors) {
+        let keys: Vec<(P, TaskId)> = batch.iter().map(|c| (c.trustee, c.task)).collect();
+        self.backend.update_batch(&keys, &mut |i, prior| {
+            let c = &batch[i];
+            folded_env(prior, &c.observation, &[c.context.environment], betas)
+        });
+        for c in batch {
+            self.log_resource_use(c.trustee, c.resource_use);
+        }
+    }
+
+    fn log_resource_use(&mut self, peer: P, resource_use: ResourceUse) {
+        let log = self.logs.entry(peer).or_default();
+        match resource_use {
+            ResourceUse::Responsive => log.record_responsive(),
+            ResourceUse::Abusive => log.record_abusive(),
+        }
+    }
+
+    /// Installs a record for `(peer, task)` — state that predates the
+    /// process, e.g. records exported by another agent or priors an
+    /// experiment starts from. For live interactions use a
+    /// [session](Self::delegate) instead, so feedback is validated and the
+    /// interaction count stays meaningful.
+    pub fn seed_record(&mut self, peer: P, task: TaskId, rec: TrustRecord) {
+        self.backend.insert(peer, task, rec);
+    }
+
+    /// Raw record insert — the escape hatch under [`Self::seed_record`]
+    /// (identical semantics, kept for benches and storage plumbing).
     pub fn insert_record(&mut self, peer: P, task: TaskId, rec: TrustRecord) {
         self.backend.insert(peer, task, rec);
     }
@@ -93,6 +197,9 @@ impl<P: Copy + Ord, B: TrustBackend<P>> TrustEngine<P, B> {
     /// Folds a delegation outcome into the `(peer, task)` record
     /// (Eqs. 19–22). On first contact the observation *initializes* the
     /// record (Eq. 19 has no historical value to blend with yet).
+    ///
+    /// Raw layer: no validation, no usage-log entry. Live interactions
+    /// should go through a [session](Self::delegate).
     pub fn observe(&mut self, peer: P, task: TaskId, obs: &Observation, betas: &ForgettingFactors) {
         self.backend.update(peer, task, &mut |prior| folded(prior, obs, betas));
     }
@@ -115,9 +222,22 @@ impl<P: Copy + Ord, B: TrustBackend<P>> TrustEngine<P, B> {
     /// outcomes, letting the storage layer amortize lookup costs (shard
     /// routing, locking, cache locality). Equivalent to observing each
     /// element in order.
-    pub fn observe_batch(&mut self, batch: &[(P, TaskId, Observation)], betas: &ForgettingFactors) {
+    ///
+    /// Every observation is validated before anything is folded: a NaN or
+    /// out-of-range component fails the whole batch atomically with
+    /// [`TrustError::OutOfUnitRange`] instead of silently corrupting
+    /// records.
+    pub fn observe_batch(
+        &mut self,
+        batch: &[(P, TaskId, Observation)],
+        betas: &ForgettingFactors,
+    ) -> Result<(), TrustError> {
+        for (_, _, obs) in batch {
+            obs.validate()?;
+        }
         let keys: Vec<(P, TaskId)> = batch.iter().map(|&(p, t, _)| (p, t)).collect();
         self.backend.update_batch(&keys, &mut |i, prior| folded(prior, &batch[i].2, betas));
+        Ok(())
     }
 
     /// Eq. 18 trustworthiness toward `peer` on `task`, `None` without
@@ -166,13 +286,27 @@ impl<P: Copy + Ord, B: TrustBackend<P>> TrustEngine<P, B> {
         self.logs.get(&peer).copied().unwrap_or_default()
     }
 
+    /// Installs `seed()` as the usage log about `peer` if none exists yet
+    /// and returns the (possibly pre-existing) log read-only — for
+    /// warm-starting reverse evaluation from historical interactions. The
+    /// closure only runs on first contact. Live entries are appended by
+    /// executed [sessions](Self::delegate), not by hand.
+    pub fn seed_usage_log(&mut self, peer: P, seed: impl FnOnce() -> UsageLog) -> &UsageLog {
+        self.logs.entry(peer).or_insert_with(seed)
+    }
+
     /// Mutable usage log about `peer`.
+    ///
+    /// Raw layer: sessions fold resource use automatically; reach for this
+    /// only when replaying externally-validated histories.
     pub fn usage_log_mut(&mut self, peer: P) -> &mut UsageLog {
         self.logs.entry(peer).or_default()
     }
 
-    /// Mutable usage log about `peer`, seeded by `seed` on first access —
-    /// for warm-starting reverse evaluation from historical interactions.
+    /// Mutable usage log about `peer`, seeded by `seed` on first access.
+    ///
+    /// Raw layer: prefer [`Self::seed_usage_log`], which hands back a
+    /// read-only log so live entries can only come from sessions.
     pub fn usage_log_mut_or_seed(
         &mut self,
         peer: P,
@@ -220,14 +354,19 @@ impl<P: Copy + Ord, B: ConcurrentTrustBackend<P>> TrustEngine<P, B> {
     }
 
     /// Shared-handle [`Self::observe_batch`]: locks each shard once per
-    /// batch slice instead of once per record.
+    /// batch slice instead of once per record. Validates the whole batch
+    /// before folding, like the exclusive variant.
     pub fn observe_batch_shared(
         &self,
         batch: &[(P, TaskId, Observation)],
         betas: &ForgettingFactors,
-    ) {
+    ) -> Result<(), TrustError> {
+        for (_, _, obs) in batch {
+            obs.validate()?;
+        }
         let keys: Vec<(P, TaskId)> = batch.iter().map(|&(p, t, _)| (p, t)).collect();
         self.backend.update_batch_shared(&keys, &mut |i, prior| folded(prior, &batch[i].2, betas));
+        Ok(())
     }
 
     /// Shared-handle record snapshot.
@@ -475,7 +614,7 @@ mod tests {
             seq.observe(*p, *t, obs, &betas);
         }
         let mut batched: TrustEngine<u32, ShardedBackend<u32>> = TrustEngine::new();
-        batched.observe_batch(&batch, &betas);
+        batched.observe_batch(&batch, &betas).unwrap();
 
         assert_eq!(seq.record_count(), batched.record_count());
         for &(p, t, _) in &batch {
@@ -495,7 +634,7 @@ mod tests {
                     let batch: Vec<(u32, TaskId, Observation)> = (0..100u32)
                         .map(|i| (t * 1000 + i, TaskId(0), Observation::success(0.8, 0.1)))
                         .collect();
-                    e.observe_batch_shared(&batch, betas);
+                    e.observe_batch_shared(&batch, betas).unwrap();
                     e.observe_shared(t * 1000, TaskId(1), &Observation::failure(0.5, 0.2), betas);
                 });
             }
@@ -513,5 +652,46 @@ mod tests {
         assert!((rec.s_hat - 0.9).abs() < 1e-12);
         store.clear_records();
         assert_eq!(store.record_count(), 0);
+    }
+
+    #[test]
+    fn seed_record_matches_insert_record() {
+        let mut a: TrustStore<u32> = TrustStore::new();
+        let mut b: TrustStore<u32> = TrustStore::new();
+        let rec = TrustRecord::with_priors(0.7, 0.6, 0.2, 0.1);
+        a.seed_record(5, TaskId(1), rec);
+        b.insert_record(5, TaskId(1), rec);
+        assert_eq!(a.record(5, TaskId(1)), b.record(5, TaskId(1)));
+    }
+
+    #[test]
+    fn seed_usage_log_runs_once_and_is_read_only() {
+        let mut store: TrustStore<u32> = TrustStore::new();
+        let seeded = store.seed_usage_log(4, || UsageLog { responsive: 3, abusive: 1 });
+        assert_eq!(seeded.total(), 4);
+        // second access keeps the existing log, the closure never runs
+        let again = store.seed_usage_log(4, || panic!("must not reseed"));
+        assert_eq!(again.abusive, 1);
+    }
+
+    #[test]
+    fn observe_batch_rejects_invalid_observations_atomically() {
+        let mut store: TrustStore<u32> = TrustStore::new();
+        let betas = ForgettingFactors::figures();
+        let batch = vec![
+            (1u32, TaskId(0), Observation::success(0.9, 0.1)),
+            (
+                2u32,
+                TaskId(0),
+                Observation { success_rate: f64::NAN, gain: 0.5, damage: 0.5, cost: 0.5 },
+            ),
+        ];
+        let err = store.observe_batch(&batch, &betas).unwrap_err();
+        assert!(matches!(err, TrustError::OutOfUnitRange { what: "success_rate", .. }));
+        assert_eq!(store.record_count(), 0, "nothing folded, even the valid element");
+
+        let engine: TrustEngine<u32, ShardedBackend<u32>> = TrustEngine::new();
+        assert!(engine.observe_batch_shared(&batch, &betas).is_err());
+        assert_eq!(engine.record_count(), 0);
     }
 }

@@ -1,6 +1,7 @@
 //! Property-based tests on the trust-model invariants.
 
 use proptest::prelude::*;
+use siot_core::backend::TrustBackend;
 use siot_core::environment::{cannikin, remove_influence, EnvIndicator};
 use siot_core::prelude::*;
 use siot_core::record::TrustRecord;
@@ -247,10 +248,136 @@ proptest! {
             seq.observe(p, t, o, &betas);
         }
         let mut fused: TrustEngine<u32, ShardedBackend<u32>> = TrustEngine::new();
-        fused.observe_batch(&batch, &betas);
+        fused.observe_batch(&batch, &betas).expect("unit-range observations");
         prop_assert_eq!(seq.record_count(), fused.record_count());
         for &(p, t, _) in &batch {
             prop_assert_eq!(seq.record(p, t), fused.record(p, t));
+        }
+    }
+
+    // ---- Delegation-session lifecycle ----------------------------------
+
+    #[test]
+    fn session_feedback_equals_raw_observe_on_both_backends(
+        steps in prop::collection::vec(
+            (0u32..8, 0u32..3, observation(), 0.05..=1.0f64, 0u32..2),
+            1..40,
+        ),
+        beta in unit(),
+    ) {
+        // One `delegate → evaluate → execute` session must leave the engine
+        // bit-identical to the equivalent raw `observe_with_environment` +
+        // usage-log calls — on the B-tree AND sharded backends — and fold
+        // each outcome exactly once (no double counting).
+        fn run_sessions<B: TrustBackend<u32>>(
+            steps: &[(u32, u32, Observation, f64, u32)],
+            betas: &ForgettingFactors,
+        ) -> TrustEngine<u32, B> {
+            let mut engine: TrustEngine<u32, B> = TrustEngine::new();
+            for &(peer, tasknum, ref obs, env, abusive) in steps {
+                let task = Task::uniform(TaskId(tasknum), [CharacteristicId(0)]).unwrap();
+                let context = Context::new(task.id(), EnvIndicator::new(env).unwrap());
+                let active = engine.delegate(peer, &task, Goal::ANY, context).activate(&engine);
+                let outcome = DelegationOutcome::observed(*obs);
+                let outcome = if abusive == 1 { outcome.abusive() } else { outcome };
+                active.execute(&mut engine, outcome, betas).expect("generated in-range");
+            }
+            engine
+        }
+        fn run_raw<B: TrustBackend<u32>>(
+            steps: &[(u32, u32, Observation, f64, u32)],
+            betas: &ForgettingFactors,
+        ) -> TrustEngine<u32, B> {
+            let mut engine: TrustEngine<u32, B> = TrustEngine::new();
+            for &(peer, tasknum, ref obs, env, abusive) in steps {
+                let envs = [EnvIndicator::new(env).unwrap()];
+                engine.observe_with_environment(peer, TaskId(tasknum), obs, &envs, betas);
+                let log = engine.usage_log_mut(peer);
+                if abusive == 1 { log.record_abusive() } else { log.record_responsive() }
+            }
+            engine
+        }
+
+        fn bit_identical<A: TrustBackend<u32>, B: TrustBackend<u32>>(
+            x: &TrustEngine<u32, A>,
+            y: &TrustEngine<u32, B>,
+        ) -> Result<(), TestCaseError> {
+            prop_assert_eq!(x.record_count(), y.record_count());
+            prop_assert_eq!(x.known_peers(), y.known_peers());
+            for peer in x.known_peers() {
+                prop_assert_eq!(x.usage_log(peer), y.usage_log(peer));
+                for task in 0..3 {
+                    let tid = TaskId(task);
+                    let (a, b) = (x.record(peer, tid), y.record(peer, tid));
+                    prop_assert_eq!(a.is_some(), b.is_some());
+                    if let (Some(ra), Some(rb)) = (a, b) {
+                        prop_assert_eq!(ra.s_hat.to_bits(), rb.s_hat.to_bits());
+                        prop_assert_eq!(ra.g_hat.to_bits(), rb.g_hat.to_bits());
+                        prop_assert_eq!(ra.d_hat.to_bits(), rb.d_hat.to_bits());
+                        prop_assert_eq!(ra.c_hat.to_bits(), rb.c_hat.to_bits());
+                        prop_assert_eq!(ra.interactions, rb.interactions);
+                    }
+                }
+            }
+            Ok(())
+        }
+
+        let betas = ForgettingFactors::uniform(beta);
+        let sess_bt = run_sessions::<BTreeBackend<u32>>(&steps, &betas);
+        let raw_bt = run_raw::<BTreeBackend<u32>>(&steps, &betas);
+        let sess_sh = run_sessions::<ShardedBackend<u32>>(&steps, &betas);
+        let raw_sh = run_raw::<ShardedBackend<u32>>(&steps, &betas);
+        bit_identical(&sess_bt, &raw_bt)?;
+        bit_identical(&sess_bt, &sess_sh)?;
+        bit_identical(&sess_bt, &raw_sh)?;
+
+        // double-count-free: interactions and log totals equal the number
+        // of executed sessions, exactly
+        let total_interactions: u64 = sess_bt
+            .known_peers()
+            .iter()
+            .flat_map(|&p| (0..3).map(move |t| (p, TaskId(t))))
+            .filter_map(|(p, t)| sess_bt.record(p, t))
+            .map(|r| r.interactions)
+            .sum();
+        prop_assert_eq!(total_interactions, steps.len() as u64);
+        let total_logged: u64 =
+            sess_bt.known_peers().iter().map(|&p| sess_bt.usage_log(p).total()).sum();
+        prop_assert_eq!(total_logged, steps.len() as u64);
+    }
+
+    #[test]
+    fn commit_batch_equals_sequential_execute(
+        steps in prop::collection::vec((0u32..6, 0u32..2, observation()), 1..30),
+        beta in unit(),
+    ) {
+        let betas = ForgettingFactors::uniform(beta);
+        let task_of = |t: u32| Task::uniform(TaskId(t), [CharacteristicId(0)]).unwrap();
+
+        let mut seq: TrustEngine<u32, ShardedBackend<u32>> = TrustEngine::new();
+        let mut batched: TrustEngine<u32, ShardedBackend<u32>> = TrustEngine::new();
+        let mut pending = Vec::new();
+        for &(peer, t, ref obs) in &steps {
+            let task = task_of(t);
+            let ctx = Context::amicable(task.id());
+            let open = |e: &TrustEngine<u32, ShardedBackend<u32>>| {
+                e.delegate(peer, &task, Goal::ANY, ctx).activate(e)
+            };
+            open(&seq)
+                .execute(&mut seq, DelegationOutcome::observed(*obs), &betas)
+                .expect("in-range");
+            pending.push(
+                open(&batched).finish(DelegationOutcome::observed(*obs)).expect("in-range"),
+            );
+        }
+        batched.commit_batch(pending, &betas);
+
+        prop_assert_eq!(seq.record_count(), batched.record_count());
+        for peer in seq.known_peers() {
+            prop_assert_eq!(seq.usage_log(peer), batched.usage_log(peer));
+            for t in 0..2 {
+                prop_assert_eq!(seq.record(peer, TaskId(t)), batched.record(peer, TaskId(t)));
+            }
         }
     }
 }

@@ -8,6 +8,13 @@
 //! count scales with the whole network, which is exactly the workload the
 //! sharded storage is for. The resulting ledger ranks trustees by their
 //! network-wide reported profitability.
+//!
+//! Reports are the trustors' executed delegation sessions boiled down to a
+//! net profit; the coordinator re-materializes each as an observation and
+//! **batches** them through `observe_batch` — one storage pass per
+//! `LEDGER_FLUSH`-sized slate instead of one lock/lookup per report —
+//! with any tail flushed lazily (through the sharded backend's shared
+//! handle) the moment the ledger is read.
 
 use crate::device::DeviceId;
 use crate::frame::{Frame, Payload};
@@ -18,10 +25,14 @@ use siot_core::record::{ForgettingFactors, Observation};
 use siot_core::store::TrustEngine;
 use siot_core::task::TaskId;
 use std::any::Any;
+use std::cell::RefCell;
 
 /// Reports do not carry a task id, so the fleet ledger files everything
 /// under one synthetic task.
 const LEDGER_TASK: TaskId = TaskId(0);
+
+/// Pending reports are committed in one storage pass per this many.
+const LEDGER_FLUSH: usize = 32;
 
 /// One collected report.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -44,7 +55,12 @@ pub struct CoordinatorApp {
     /// Reports collected from trustors.
     pub reports: Vec<CollectedReport>,
     /// Fleet-wide trustee ledger: every report folded as an observation.
-    pub ledger: TrustEngine<DeviceId, ShardedBackend<DeviceId>>,
+    ledger: TrustEngine<DeviceId, ShardedBackend<DeviceId>>,
+    /// Validated observations awaiting their batched commit. A `RefCell`
+    /// so the tail can be flushed from the read accessors (the app is
+    /// driven by a single-threaded event loop); the folds themselves go
+    /// through the sharded backend's shared handle.
+    pending: RefCell<Vec<(DeviceId, TaskId, Observation)>>,
 }
 
 impl CoordinatorApp {
@@ -53,10 +69,11 @@ impl CoordinatorApp {
         Self::default()
     }
 
-    /// Folds one reported net profit into the ledger. Realized profit lies
+    /// Queues one reported net profit for the ledger. Realized profit lies
     /// in `[-1, 1]`; it maps onto the unit-range observation as pure gain
     /// (profit > 0) or pure damage (profit < 0). Non-finite reports (a
-    /// buggy or malicious device) are dropped — NaN must never enter the
+    /// buggy or malicious device) are dropped — the clamped construction
+    /// plus the `observe_batch` validation guarantee NaN never enters the
     /// ledger, whose ranking comparator assumes finite profits.
     fn fold_report(&mut self, selected: DeviceId, net_profit: f64) {
         if !net_profit.is_finite() {
@@ -68,18 +85,42 @@ impl CoordinatorApp {
             damage: (-net_profit).clamp(0.0, 1.0),
             cost: 0.0,
         };
-        self.ledger.observe(selected, LEDGER_TASK, &obs, &ForgettingFactors::figures());
+        let pending = self.pending.get_mut();
+        pending.push((selected, LEDGER_TASK, obs));
+        if pending.len() >= LEDGER_FLUSH {
+            let batch = std::mem::take(pending);
+            self.ledger
+                .observe_batch(&batch, &ForgettingFactors::figures())
+                .expect("queued observations are clamped to the unit range");
+        }
+    }
+
+    /// Flushes any pending tail through the shared handle so reads see
+    /// every report received so far.
+    fn flush_pending(&self) {
+        let batch = std::mem::take(&mut *self.pending.borrow_mut());
+        if !batch.is_empty() {
+            self.ledger
+                .observe_batch_shared(&batch, &ForgettingFactors::figures())
+                .expect("queued observations are clamped to the unit range");
+        }
+    }
+
+    /// The fleet-wide ledger, with all received reports committed.
+    pub fn ledger(&self) -> &TrustEngine<DeviceId, ShardedBackend<DeviceId>> {
+        self.flush_pending();
+        &self.ledger
     }
 
     /// Trustees ranked by fleet-wide expected net profit, best first
     /// (ties broken by id, so the ranking is deterministic).
     pub fn trustee_ranking(&self) -> Vec<(DeviceId, f64)> {
-        let mut ranked: Vec<(DeviceId, f64)> = self
-            .ledger
+        let ledger = self.ledger();
+        let mut ranked: Vec<(DeviceId, f64)> = ledger
             .known_peers()
             .into_iter()
             .filter_map(|peer| {
-                self.ledger.record(peer, LEDGER_TASK).map(|r| (peer, r.expected_net_profit()))
+                ledger.record(peer, LEDGER_TASK).map(|r| (peer, r.expected_net_profit()))
             })
             .collect();
         ranked.sort_by(|a, b| {
@@ -158,7 +199,7 @@ mod tests {
             assert!(r.at > SimTime::ZERO);
         }
         // the ledger folded all three reports about the one trustee
-        let rec = app.ledger.record(DeviceId(9), super::LEDGER_TASK).unwrap();
+        let rec = app.ledger().record(DeviceId(9), super::LEDGER_TASK).unwrap();
         assert_eq!(rec.interactions, 3);
         assert!(rec.g_hat > 0.0);
         let ranking = app.trustee_ranking();
@@ -170,6 +211,8 @@ mod tests {
     #[test]
     fn ranking_orders_by_reported_profit() {
         let mut app = CoordinatorApp::new();
+        // 15 reports: one LEDGER_FLUSH-sized batch would not fill, so this
+        // also exercises the lazy tail flush on read
         for _ in 0..5 {
             app.fold_report(DeviceId(3), 0.8);
             app.fold_report(DeviceId(5), -0.4);
@@ -178,7 +221,7 @@ mod tests {
         // hostile reports must neither enter the ledger nor panic the sort
         app.fold_report(DeviceId(7), f64::NAN);
         app.fold_report(DeviceId(8), f64::INFINITY);
-        assert!(app.ledger.record(DeviceId(7), super::LEDGER_TASK).is_none());
+        assert!(app.ledger().record(DeviceId(7), super::LEDGER_TASK).is_none());
         let ranking = app.trustee_ranking();
         assert_eq!(
             ranking.iter().map(|&(d, _)| d).collect::<Vec<_>>(),

@@ -12,7 +12,10 @@ use crate::network::{Application, Ctx};
 use crate::stack::aps::Reassembly;
 use crate::time::SimTime;
 use rand::Rng;
+use siot_core::context::Context;
+use siot_core::delegation::DelegationOutcome;
 use siot_core::environment::EnvIndicator;
+use siot_core::goal::Goal;
 use siot_core::record::{ForgettingFactors, Observation, TrustRecord};
 use siot_core::store::TrustEngine;
 use siot_core::task::Task;
@@ -45,6 +48,9 @@ pub struct TrustorConfig {
     pub seed_records: Vec<(DeviceId, siot_core::task::TaskId, TrustRecord)>,
     /// Whether unexperienced tasks are scored by Eq. 4 inference.
     pub use_inference: bool,
+    /// The goal delegations are judged against (the §3.2 goal ingredient;
+    /// receipts report whether the realized result fulfilled it).
+    pub goal: Goal,
     /// Candidate scoring rule.
     pub scoring: Scoring,
     /// Whether post-evaluation removes the environment (Eqs. 25–28).
@@ -71,6 +77,7 @@ impl TrustorConfig {
             known_tasks: Vec::new(),
             seed_records: Vec::new(),
             use_inference: true,
+            goal: Goal::ANY,
             scoring: Scoring::NetProfit,
             env_aware: false,
             betas: ForgettingFactors::figures(),
@@ -124,7 +131,7 @@ impl TrustorApp {
             engine.register_task(t.clone());
         }
         for (peer, tid, rec) in &cfg.seed_records {
-            engine.insert_record(*peer, *tid, *rec);
+            engine.seed_record(*peer, *tid, *rec);
         }
         TrustorApp {
             cfg,
@@ -167,27 +174,53 @@ impl TrustorApp {
         let interaction =
             if self.delegated_to.is_some() { ctx.now - self.delegate_sent } else { SimTime::ZERO };
         let cost = (interaction.as_micros() as f64 / self.cfg.cost_norm_us).clamp(0.0, 1.0);
+        // Post-evaluation goes through a one-shot delegation session: the
+        // context carries the ambient-light environment indicator when the
+        // trustor is environment-aware (Eqs. 25–28 removal at the feedback
+        // boundary), and a timed-out delegation counts as an abusive use of
+        // the trustor's round in the usage log.
+        let feed_back = |engine: &mut TrustEngine<DeviceId>,
+                         peer: DeviceId,
+                         outcome: DelegationOutcome,
+                         env: EnvIndicator,
+                         goal: Goal,
+                         betas: &ForgettingFactors| {
+            engine
+                .delegate(peer, task, goal, Context::new(task.id(), env))
+                .activate(engine)
+                .execute(engine, outcome, betas)
+                .expect("qualities and costs are clamped");
+        };
         let (profit, selected) = match (self.delegated_to, quality) {
             (Some(peer), Some(q)) => {
                 let obs = Observation { success_rate: q, gain: q, damage: 1.0 - q, cost };
-                if self.cfg.env_aware {
-                    let envs = [EnvIndicator::saturating(ctx.light())];
-                    self.engine.observe_with_environment(
-                        peer,
-                        task.id(),
-                        &obs,
-                        &envs,
-                        &self.cfg.betas,
-                    );
+                let env = if self.cfg.env_aware {
+                    EnvIndicator::saturating(ctx.light())
                 } else {
-                    self.engine.observe(peer, task.id(), &obs, &self.cfg.betas);
-                }
+                    EnvIndicator::AMICABLE
+                };
+                feed_back(
+                    &mut self.engine,
+                    peer,
+                    DelegationOutcome::observed(obs),
+                    env,
+                    self.cfg.goal,
+                    &self.cfg.betas,
+                );
                 (q - cost, Some(peer))
             }
             (Some(peer), None) => {
-                // delegated but the result never completed
+                // delegated but the result never completed: the trustee
+                // wasted the round — an abusive use of the relationship
                 let obs = Observation { success_rate: 0.0, gain: 0.0, damage: 0.5, cost };
-                self.engine.observe(peer, task.id(), &obs, &self.cfg.betas);
+                feed_back(
+                    &mut self.engine,
+                    peer,
+                    DelegationOutcome::observed(obs).abusive(),
+                    EnvIndicator::AMICABLE,
+                    self.cfg.goal,
+                    &self.cfg.betas,
+                );
                 (-cost, Some(peer))
             }
             _ => (0.0, None),

@@ -21,9 +21,14 @@ use crate::agent::AgentId;
 use crate::knowledge::Knowledge;
 use rand::rngs::SmallRng;
 use rand::Rng;
-use siot_core::record::{ForgettingFactors, Observation, TrustRecord};
-use siot_core::task::TaskId;
+use siot_core::context::Context;
+use siot_core::delegation::DelegationOutcome;
+use siot_core::goal::Goal;
+use siot_core::record::{ForgettingFactors, Observation};
+use siot_core::store::TrustStore;
+use siot_core::task::{CharacteristicId, Task, TaskId};
 use siot_core::transitivity::two_hop;
+use siot_core::tw::Normalizer;
 
 /// Attack archetypes from the IoT trust literature.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -107,10 +112,21 @@ pub struct ResilienceOutcome {
     pub attacker_share_naive: f64,
 }
 
+/// The trustor's engine peers in the resilience duel.
+const HONEST: u8 = 0;
+/// See [`HONEST`].
+const ATTACKER: u8 = 1;
+
 /// Self-promotion / opportunistic-service resilience: one trustor, one
 /// honest trustee (quality `honest_quality`), one attacker. The proposed
 /// trustor scores by its *own* post-evaluation records; the naive trustor
 /// scores by advertised quality.
+///
+/// Every interaction of the proposed trustor is a full delegation session
+/// (`delegate → evaluate → execute`) against its [`TrustStore`], so the
+/// defence works off engine state only — including the **interaction
+/// count**, which is what lets the opportunistic attacker's phase switch
+/// be pinned to its record rather than to hidden bookkeeping.
 pub fn execution_attack_resilience(
     attack: Attack,
     honest_quality: f64,
@@ -120,34 +136,39 @@ pub fn execution_attack_resilience(
     use rand::SeedableRng;
     let betas = ForgettingFactors::figures();
     let mut rng = SmallRng::seed_from_u64(seed);
+    let task = Task::uniform(TaskId(0), [CharacteristicId(0)]).expect("non-empty");
 
     let mut proposed_sum = 0.0;
     let mut naive_sum = 0.0;
     let mut attacker_picks_proposed = 0u64;
     let mut attacker_picks_naive = 0u64;
 
-    // proposed trustor: records per candidate; attacker record n counts
-    let mut rec_honest: Option<TrustRecord> = None;
-    let mut rec_attacker: Option<TrustRecord> = None;
-    let mut attacker_interactions = 0u64;
+    // the proposed trustor's whole memory lives in its engine
+    let mut engine: TrustStore<u8> = TrustStore::new();
 
     for i in 0..interactions {
         // --- proposed: optimistic first trials, then Eq. 23 scores -----
-        let score = |r: &Option<TrustRecord>| {
-            r.map_or(0.85, |rec| siot_core::tw::Normalizer::UNIT.apply(rec.expected_net_profit()))
+        let score = |engine: &TrustStore<u8>, peer: u8| {
+            engine
+                .record(peer, task.id())
+                .map_or(0.85, |rec| Normalizer::UNIT.apply(rec.expected_net_profit()))
         };
-        let pick_attacker = score(&rec_attacker) > score(&rec_honest);
+        let pick_attacker = score(&engine, ATTACKER) > score(&engine, HONEST);
+        let peer = if pick_attacker { ATTACKER } else { HONEST };
         let q = if pick_attacker {
             attacker_picks_proposed += 1;
-            let q = attack.delivered_quality(attacker_interactions, &mut rng);
-            attacker_interactions += 1;
-            update(&mut rec_attacker, q, &betas);
-            q
+            // the attacker's phase is driven by the engine-visible count
+            let n = engine.record(ATTACKER, task.id()).map_or(0, |r| r.interactions);
+            attack.delivered_quality(n, &mut rng)
         } else {
-            let q = jitter(honest_quality, &mut rng);
-            update(&mut rec_honest, q, &betas);
-            q
+            jitter(honest_quality, &mut rng)
         };
+        let active =
+            engine.delegate(peer, &task, Goal::ANY, Context::amicable(task.id())).activate(&engine);
+        let obs = Observation { success_rate: q, gain: q, damage: 1.0 - q, cost: 0.1 };
+        active
+            .execute(&mut engine, DelegationOutcome::observed(obs), &betas)
+            .expect("qualities are clamped to the unit range");
         proposed_sum += q;
 
         // --- naive: believes advertisements forever --------------------
@@ -170,18 +191,13 @@ pub fn execution_attack_resilience(
     }
 }
 
-fn update(slot: &mut Option<TrustRecord>, quality: f64, betas: &ForgettingFactors) {
-    let obs =
-        Observation { success_rate: quality, gain: quality, damage: 1.0 - quality, cost: 0.1 };
-    match slot {
-        Some(rec) => rec.update(&obs, betas),
-        None => *slot = Some(TrustRecord::from_first_observation(&obs)),
-    }
-}
-
 /// Applies a recommendation attack to a [`Knowledge`] base: `attacker`
 /// rewrites its records about every peer (bad-mouthing lowers good peers,
 /// ballot-stuffing raises bad ones). Returns how many records changed.
+///
+/// Each rewrite is an executed delegation session inside the attacker's
+/// engine (see [`Knowledge::set_record`]), so the poisoned records carry
+/// rising interaction counts — the rewrite burst a defence can detect.
 pub fn poison_recommendations(
     knowledge: &mut Knowledge,
     attacker: AgentId,
@@ -272,6 +288,43 @@ mod tests {
         assert!(attack.delivered_quality(0, &mut rng) > 0.7);
         assert!(attack.delivered_quality(2, &mut rng) > 0.7);
         assert!(attack.delivered_quality(3, &mut rng) < 0.3);
+    }
+
+    #[test]
+    fn poison_rewrites_only_existing_records_and_leaves_a_trace() {
+        use crate::tasks::TaskPool;
+        use siot_graph::GraphBuilder;
+
+        let g = GraphBuilder::new().edges([(0, 1), (1, 2), (0, 2)]).build().unwrap();
+        let mut rng = SmallRng::seed_from_u64(3);
+        let pool = TaskPool::generate(4, 4, &mut rng);
+        let mut k = Knowledge::seed(&g, &pool, 2, 0.0, &mut rng);
+
+        let attacker = AgentId::from(0u32);
+        let victim = AgentId::from(1u32);
+        let stranger_task = TaskId(9999); // never experienced by anyone
+        let peers = vec![(victim, vec![k.experienced(victim)[0], stranger_task])];
+        let changed = poison_recommendations(
+            &mut k,
+            attacker,
+            Attack::BadMouthing { reported: 0.05 },
+            &peers,
+        );
+        assert_eq!(changed, 1, "only the existing record is rewritten");
+        let tid = k.experienced(victim)[0];
+        assert_eq!(k.record(attacker, victim, tid), Some(0.05));
+        assert!(k.record(attacker, victim, stranger_task).is_none());
+        // the rewrite went through a session: the interaction count rose
+        assert_eq!(k.engine(attacker).record(victim, tid).unwrap().interactions, 1);
+
+        // execution attacks never rewrite recommendations
+        let untouched = poison_recommendations(
+            &mut k,
+            attacker,
+            Attack::SelfPromotion { claimed: 1.0, actual: 0.0 },
+            &peers,
+        );
+        assert_eq!(untouched, 0);
     }
 
     #[test]

@@ -8,16 +8,19 @@
 //! Every holder's records live in its own [`TrustEngine`], so the storage
 //! layer is pluggable: [`Knowledge::seed`] uses the deterministic B-tree
 //! backend, [`Knowledge::seed_in`] accepts any
-//! [`TrustBackend`](siot_core::backend::TrustBackend) — the sharded backend
-//! for high-peer-count networks, or whatever a later PR plugs in.
+//! [`siot_core::backend::TrustBackend`] — the sharded backend for
+//! high-peer-count networks, or whatever a later PR plugs in.
 
 use crate::agent::AgentId;
 use crate::tasks::TaskPool;
 use rand::rngs::SmallRng;
 use rand::Rng;
 use siot_core::backend::{BTreeBackend, TrustBackend};
+use siot_core::context::Context;
+use siot_core::delegation::DelegationOutcome;
+use siot_core::goal::Goal;
 use siot_core::infer::Experience;
-use siot_core::record::TrustRecord;
+use siot_core::record::{ForgettingFactors, Observation, TrustRecord};
 use siot_core::store::TrustEngine;
 use siot_core::task::{CharacteristicId, Task, TaskId};
 use siot_graph::SocialGraph;
@@ -83,7 +86,7 @@ impl<B: TrustBackend<AgentId>> Knowledge<B> {
                 for &tid in &experienced[peer.index()] {
                     let truth = task_competence(&competence[peer.index()], pool.task(tid));
                     let observed = (truth + rng.gen_range(-noise..=noise)).clamp(0.0, 1.0);
-                    records[holder.index()].insert_record(peer, tid, scalar_record(observed));
+                    records[holder.index()].seed_record(peer, tid, scalar_record(observed));
                 }
                 // honest networks recommend reliably: TW(Rτ) is high but
                 // not perfect (§4.3 gates filter on it with ω₁)
@@ -116,7 +119,7 @@ impl<B: TrustBackend<AgentId>> Knowledge<B> {
                 for &tid in &self.experienced[peer.index()] {
                     let truth = task_competence(&self.competence[peer.index()], pool.task(tid));
                     let observed = (truth + rng.gen_range(-noise..=noise)).clamp(0.0, 1.0);
-                    self.records[holder.index()].insert_record(peer, tid, scalar_record(observed));
+                    self.records[holder.index()].seed_record(peer, tid, scalar_record(observed));
                 }
             }
         }
@@ -163,11 +166,28 @@ impl<B: TrustBackend<AgentId>> Knowledge<B> {
         self.records[holder.index()].record(peer, task).map(|r| r.s_hat)
     }
 
-    /// Overwrites the scalar record `holder` keeps about `(peer, task)` —
+    /// Rewrites the scalar report `holder` keeps about `(peer, task)` —
     /// used by the attack models (a bad-mouthing recommender rewrites its
     /// reports).
+    ///
+    /// The rewrite is routed through an executed delegation session with
+    /// β = 0 (the lie replaces the history wholesale), so the record's
+    /// **interaction count still increments**: a recommender whose reports
+    /// mutate without corresponding growth in interactions is exactly the
+    /// burst signature defenses can look for, which raw overwrites used to
+    /// erase.
     pub fn set_record(&mut self, holder: AgentId, peer: AgentId, task: TaskId, tw: f64) {
-        self.records[holder.index()].insert_record(peer, task, scalar_record(tw));
+        let engine = &mut self.records[holder.index()];
+        // the task definition only scopes the session; a forged report
+        // needs no characteristic structure
+        let forged_task = Task::uniform(task, [CharacteristicId(0)]).expect("non-empty");
+        let claimed =
+            Observation { success_rate: tw.clamp(0.0, 1.0), gain: 1.0, damage: 0.0, cost: 0.0 };
+        engine
+            .delegate(peer, &forged_task, Goal::ANY, Context::amicable(task))
+            .activate(engine)
+            .execute(engine, DelegationOutcome::observed(claimed), &ForgettingFactors::uniform(0.0))
+            .expect("forged observations are clamped to the unit range");
     }
 
     /// Recommendation trustworthiness `TW_{holder←peer}(Rτ)` — how much
@@ -298,6 +318,25 @@ mod tests {
         let rec = k.record(n0, n1, TaskId(0)).unwrap();
         let truth = k.actual_task_competence(n1, pool.task(TaskId(0)));
         assert!((rec - truth).abs() < 1e-12, "zero noise copies the truth");
+    }
+
+    #[test]
+    fn record_rewrites_are_sessions_that_raise_interaction_counts() {
+        let (g, _, mut k) = setup();
+        let holder = AgentId::from(0u32);
+        let peer = AgentId::from(1u32);
+        assert!(g.has_edge(holder, peer));
+        let tid = k.experienced(peer)[0];
+        let before = k.engine(holder).record(peer, tid).expect("seeded").interactions;
+
+        k.set_record(holder, peer, tid, 0.05);
+        assert_eq!(k.record(holder, peer, tid), Some(0.05), "the lie lands in full");
+        let after = k.engine(holder).record(peer, tid).expect("still there");
+        assert_eq!(after.interactions, before + 1, "rewrites leave an interaction trace");
+
+        // a second rewrite keeps counting — the burst is visible
+        k.set_record(holder, peer, tid, 0.9);
+        assert_eq!(k.engine(holder).record(peer, tid).unwrap().interactions, before + 2);
     }
 
     #[test]

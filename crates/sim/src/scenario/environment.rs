@@ -16,10 +16,13 @@ use crate::metrics::mean;
 use rand::rngs::SmallRng;
 use rand::Rng;
 use rand::SeedableRng;
+use siot_core::context::Context;
+use siot_core::delegation::DelegationOutcome;
 use siot_core::environment::EnvIndicator;
+use siot_core::goal::Goal;
 use siot_core::record::{ForgettingFactors, Observation, TrustRecord};
 use siot_core::store::TrustEngine;
-use siot_core::task::TaskId;
+use siot_core::task::{CharacteristicId, Task, TaskId};
 
 /// The single tracked task.
 const TRACK_TASK: TaskId = TaskId(0);
@@ -98,6 +101,24 @@ pub fn run(cfg: &EnvironmentConfig) -> EnvironmentOutcome {
     let mut trad_acc = vec![0.0; total];
     let mut prop_acc = vec![0.0; total];
 
+    let track_task = Task::uniform(TRACK_TASK, [CharacteristicId(0)]).expect("non-empty");
+    // One delegation session per (rule, iteration): the session's context
+    // carries the environment the rule perceives — amicable for the ideal
+    // and traditional trackers (no removal happens), the true indicator for
+    // the proposed one (Eq. 29 removal at the feedback boundary).
+    let fold = |engine: &mut TrustEngine<u8>,
+                task: &Task,
+                peer: u8,
+                obs: Observation,
+                env: EnvIndicator,
+                betas: &ForgettingFactors| {
+        engine
+            .delegate(peer, task, Goal::ANY, Context::new(task.id(), env))
+            .activate(engine)
+            .execute(engine, DelegationOutcome::observed(obs), betas)
+            .expect("clamped observations are unit-range");
+    };
+
     for run_idx in 0..cfg.runs {
         let mut rng = SmallRng::seed_from_u64(cfg.seed.wrapping_add(run_idx as u64));
         // One engine tracks the same trustee under the three update rules
@@ -105,11 +126,10 @@ pub fn run(cfg: &EnvironmentConfig) -> EnvironmentOutcome {
         // success rate at 1.
         let mut engine: TrustEngine<u8> = TrustEngine::new();
         for peer in [IDEAL, TRADITIONAL, PROPOSED] {
-            engine.insert_record(peer, TRACK_TASK, TrustRecord::optimistic());
+            engine.seed_record(peer, TRACK_TASK, TrustRecord::optimistic());
         }
 
         for (i, &env) in schedule.iter().enumerate() {
-            let envs = [EnvIndicator::saturating(env), EnvIndicator::saturating(env)];
             // The trustor measures a per-delegation success *rate* (QoS-style:
             // fraction of sub-operations completed). The environment scales
             // it multiplicatively — exactly the degradation Fig. 15 assumes
@@ -124,9 +144,9 @@ pub fn run(cfg: &EnvironmentConfig) -> EnvironmentOutcome {
             let clean_obs =
                 Observation { success_rate: (cfg.competence + noise).clamp(0.0, 1.0), ..obs };
 
-            engine.observe(IDEAL, TRACK_TASK, &clean_obs, &betas);
-            engine.observe(TRADITIONAL, TRACK_TASK, &obs, &betas);
-            engine.observe_with_environment(PROPOSED, TRACK_TASK, &obs, &envs, &betas);
+            fold(&mut engine, &track_task, IDEAL, clean_obs, EnvIndicator::AMICABLE, &betas);
+            fold(&mut engine, &track_task, TRADITIONAL, obs, EnvIndicator::AMICABLE, &betas);
+            fold(&mut engine, &track_task, PROPOSED, obs, EnvIndicator::saturating(env), &betas);
 
             let s_hat = |peer| engine.record(peer, TRACK_TASK).expect("seeded").s_hat;
             ideal_acc[i] += s_hat(IDEAL);

@@ -11,10 +11,18 @@ use crate::metrics::Ratio;
 use rand::rngs::SmallRng;
 use rand::Rng;
 use rand::SeedableRng;
+use siot_core::context::Context;
+use siot_core::delegation::DelegationOutcome;
+use siot_core::goal::Goal;
 use siot_core::mutuality::{ReverseEvaluator, UsageLog};
+use siot_core::record::ForgettingFactors;
 use siot_core::store::TrustEngine;
+use siot_core::task::{CharacteristicId, Task, TaskId};
 use siot_graph::traversal::bfs_distances_bounded;
 use siot_graph::SocialGraph;
+
+/// The single implicit task type delegations are filed under.
+const MUTUALITY_TASK: TaskId = TaskId(0);
 
 /// Parameters of the mutuality experiment.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -69,9 +77,12 @@ pub fn run(g: &SocialGraph, cfg: &MutualityConfig) -> MutualityOutcome {
     // trustor's past behaviour (Bernoulli(responsibility) samples).
     // Logs are per (trustee, trustor) pair but identical in distribution,
     // so they are seeded lazily — in the network-wide trust engine, which
-    // owns all reverse-evaluation state.
+    // owns all reverse-evaluation state. Live entries are appended by the
+    // executed delegation sessions, never by hand.
     let evaluator = ReverseEvaluator::new(cfg.theta);
     let mut engine: TrustEngine<(AgentId, AgentId)> = TrustEngine::new();
+    let task = Task::uniform(MUTUALITY_TASK, [CharacteristicId(0)]).expect("non-empty");
+    let betas = ForgettingFactors::figures();
 
     let mut success = Ratio::default();
     let mut unavailable = Ratio::default();
@@ -102,7 +113,7 @@ pub fn run(g: &SocialGraph, cfg: &MutualityConfig) -> MutualityOutcome {
             // Fig. 2 procedure: try candidates best-first until one accepts.
             let mut accepted: Option<AgentId> = None;
             for &trustee in &candidates {
-                let log = engine.usage_log_mut_or_seed((trustee, trustor), || {
+                let log = engine.seed_usage_log((trustee, trustor), || {
                     let mut l = UsageLog::new();
                     for _ in 0..cfg.warmup_interactions {
                         if rng.gen_bool(responsibility[trustor.index()]) {
@@ -125,16 +136,26 @@ pub fn run(g: &SocialGraph, cfg: &MutualityConfig) -> MutualityOutcome {
             };
             unavailable.record(false);
 
-            // the delegation happens: resource use + task execution
+            // the delegation happens: resource use + task execution,
+            // fed back through a one-shot session so the usage log and
+            // the (trustee, trustor) record move together
             let abusive = !rng.gen_bool(responsibility[trustor.index()]);
             abuse.record(abusive);
-            let log = engine.usage_log_mut((trustee, trustor));
-            if abusive {
-                log.record_abusive();
+            let ok = rng.gen_bool(competence[trustee.index()]);
+            success.record(ok);
+
+            let active = engine
+                .delegate((trustee, trustor), &task, Goal::ANY, Context::amicable(MUTUALITY_TASK))
+                .activate(&engine);
+            let outcome = if ok {
+                DelegationOutcome::succeeded(0.5, 0.1)
             } else {
-                log.record_responsive();
-            }
-            success.record(rng.gen_bool(competence[trustee.index()]));
+                DelegationOutcome::failed(0.5, 0.1)
+            };
+            let outcome = if abusive { outcome.abusive() } else { outcome };
+            active
+                .execute(&mut engine, outcome, &betas)
+                .expect("outcome components are unit-range constants");
         }
     }
 

@@ -12,10 +12,13 @@ use crate::metrics::mean;
 use rand::rngs::SmallRng;
 use rand::Rng;
 use rand::SeedableRng;
+use siot_core::context::Context;
+use siot_core::delegation::{CompletedDelegation, DelegationOutcome};
+use siot_core::goal::Goal;
 use siot_core::policy::{HighestSuccessRate, MaxNetProfit, SelectionPolicy};
 use siot_core::record::{ForgettingFactors, Observation, TrustRecord};
 use siot_core::store::TrustEngine;
-use siot_core::task::TaskId;
+use siot_core::task::{CharacteristicId, Task, TaskId};
 use siot_graph::traversal::bfs_distances_bounded;
 use siot_graph::SocialGraph;
 
@@ -106,6 +109,7 @@ pub fn run(g: &SocialGraph, strategy: Strategy, cfg: &ProfitConfig) -> Vec<f64> 
     // One engine holds every trustor's view, keyed by the (trustor,
     // trustee) pair — the shape a coordinator-side deployment would use.
     let mut engine: TrustEngine<(AgentId, AgentId)> = TrustEngine::new();
+    let profit_task = Task::uniform(PROFIT_TASK, [CharacteristicId(0)]).expect("non-empty");
     for (trustor, cands) in &slates {
         for &c in cands {
             // Initial expectations are optimistic (the paper initializes
@@ -113,7 +117,7 @@ pub fn run(g: &SocialGraph, strategy: Strategy, cfg: &ProfitConfig) -> Vec<f64> 
             // explored before the trustor settles, so the profit series
             // rises over the first several hundred iterations as records
             // converge to the trustees' actual behaviour (Eqs. 19-22).
-            engine.insert_record(
+            engine.seed_record(
                 (*trustor, c),
                 PROFIT_TASK,
                 TrustRecord::with_priors(1.0, 1.0, 0.0, 0.0),
@@ -123,11 +127,10 @@ pub fn run(g: &SocialGraph, strategy: Strategy, cfg: &ProfitConfig) -> Vec<f64> 
 
     let mut series = Vec::with_capacity(cfg.iterations);
     let mut profits = Vec::with_capacity(slates.len());
-    let mut outcomes: Vec<((AgentId, AgentId), TaskId, Observation)> =
+    let mut completed: Vec<CompletedDelegation<(AgentId, AgentId)>> =
         Vec::with_capacity(slates.len());
     for _ in 0..cfg.iterations {
         profits.clear();
-        outcomes.clear();
         for (trustor, cands) in &slates {
             // score candidates under the strategy
             let recs: Vec<TrustRecord> = cands
@@ -164,12 +167,28 @@ pub fn run(g: &SocialGraph, strategy: Strategy, cfg: &ProfitConfig) -> Vec<f64> 
                 damage: jitter(actual.damage, &mut rng),
                 cost: jitter(actual.cost, &mut rng),
             };
-            outcomes.push(((*trustor, trustee), PROFIT_TASK, obs));
+
+            // the strategy has already decided, so the session is
+            // committed: the experiment measures convergence, not the
+            // goal gate
+            let active = engine
+                .delegate(
+                    (*trustor, trustee),
+                    &profit_task,
+                    Goal::ANY,
+                    Context::amicable(PROFIT_TASK),
+                )
+                .activate(&engine);
+            completed.push(
+                active
+                    .finish(DelegationOutcome::observed(obs))
+                    .expect("jittered observations are clamped to the unit range"),
+            );
         }
         // one batched storage pass per iteration: each (trustor, trustee)
         // record is unique, so deferring the folds preserves the semantics
         // while the engine amortizes the lookups
-        engine.observe_batch(&outcomes, &betas);
+        engine.commit_batch(std::mem::take(&mut completed), &betas);
         series.push(mean(&profits));
     }
     series

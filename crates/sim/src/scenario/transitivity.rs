@@ -14,7 +14,13 @@ use crate::tasks::TaskPool;
 use rand::rngs::SmallRng;
 use rand::Rng;
 use rand::SeedableRng;
+use siot_core::context::Context;
+use siot_core::delegation::{DelegationOutcome, Referral};
+use siot_core::goal::Goal;
+use siot_core::record::ForgettingFactors;
+use siot_core::store::TrustEngine;
 use siot_core::task::TaskId;
+use siot_core::transitivity::TransitivityGates;
 use siot_graph::generate::features::FeatureMatrix;
 use siot_graph::SocialGraph;
 
@@ -65,6 +71,10 @@ pub struct TransitivityOutcome {
     pub avg_potential_trustees: f64,
     /// Nodes inquired per trustor, one entry per trustor (Fig. 12).
     pub inquired_per_trustor: Vec<usize>,
+    /// Delegation sessions actually executed (requests with a trustee):
+    /// every realized outcome is fed back through a referral-based session
+    /// into the trustors' post-evaluation ledger.
+    pub executed_delegations: usize,
 }
 
 /// Runs the transitivity experiment with randomly assigned characteristics.
@@ -147,6 +157,13 @@ fn run_with_knowledge(
     let mut inquired_per_trustor = Vec::with_capacity(roles.trustors().len());
     let is_trustee = |a: AgentId| roles.is_trustee(a);
 
+    // Post-evaluation ledger: every realized delegation flows back through
+    // a session whose trust basis is the search's transferred estimate (a
+    // referral), keyed by the (trustor, trustee) pair.
+    let mut ledger: TrustEngine<(AgentId, AgentId)> = TrustEngine::new();
+    let betas = ForgettingFactors::figures();
+    let mut executed_delegations = 0usize;
+
     for &trustor in roles.trustors() {
         let mut inquired_total = 0usize;
         for req in 0..cfg.requests_per_trustor {
@@ -168,7 +185,31 @@ fn run_with_knowledge(
                 Some(best) => {
                     unavailable.record(false);
                     let p = knowledge.actual_task_competence(best.trustee, pool.task(task));
-                    success.record(req_rng.gen_bool(p.clamp(0.0, 1.0)));
+                    let p = p.clamp(0.0, 1.0);
+                    let ok = req_rng.gen_bool(p);
+                    success.record(ok);
+
+                    // the search already walked and gated the paths, so
+                    // its combined estimate enters as the execution link
+                    let active = ledger
+                        .delegate(
+                            (trustor, best.trustee),
+                            pool.task(task),
+                            Goal::ANY,
+                            Context::amicable(task),
+                        )
+                        .with_referral(Referral::execution(best.estimate.clamp(0.0, 1.0)))
+                        .with_gates(TransitivityGates::OPEN)
+                        .activate(&ledger);
+                    let outcome = if ok {
+                        DelegationOutcome::succeeded(p, 0.0)
+                    } else {
+                        DelegationOutcome::failed(1.0 - p, 0.0)
+                    };
+                    active
+                        .execute(&mut ledger, outcome, &betas)
+                        .expect("competences are clamped to the unit range");
+                    executed_delegations += 1;
                 }
             }
         }
@@ -180,6 +221,7 @@ fn run_with_knowledge(
         unavailable_rate: unavailable.value(),
         avg_potential_trustees: mean(&trustee_counts),
         inquired_per_trustor,
+        executed_delegations,
     }
 }
 
@@ -209,6 +251,12 @@ mod tests {
         assert!(aggr.unavailable_rate <= cons.unavailable_rate + 0.05);
         assert!(aggr.avg_potential_trustees >= cons.avg_potential_trustees);
         assert!(cons.avg_potential_trustees > trad.avg_potential_trustees);
+        // every request with a trustee was executed through a session
+        for out in [&trad, &cons, &aggr] {
+            let requests = out.inquired_per_trustor.len() * 3;
+            let unavailable = (out.unavailable_rate * requests as f64).round() as usize;
+            assert_eq!(out.executed_delegations, requests - unavailable, "{out:?}");
+        }
     }
 
     #[test]

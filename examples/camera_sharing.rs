@@ -3,7 +3,9 @@
 //!
 //! Alice wants to use Bob's camera. Bob reverse-evaluates Alice from his
 //! usage logs before accepting — protecting the *trustee*, which unilateral
-//! trust models cannot do.
+//! trust models cannot do. Alice's side of the relationship runs through
+//! delegation sessions, so her records and her usage log about Bob grow
+//! together, one executed session at a time.
 //!
 //! Run with: `cargo run --example camera_sharing`
 
@@ -38,22 +40,37 @@ fn main() {
         );
     }
 
-    // Meanwhile Alice pre-evaluates Bob's camera service the usual way
-    // (Eq. 18) from past delegations:
-    let mut alice_store: TrustStore<u32> = TrustStore::new();
-    alice_store.register_task(camera_task.clone());
+    // Meanwhile Alice runs the full trust process toward Bob's camera:
+    // delegate → evaluate → decide → execute, ten sessions in a row.
+    let mut alice: TrustStore<u32> = TrustStore::new();
+    alice.register_task(camera_task.clone());
+    let goal = Goal { min_success: 0.5, min_gain: 0.3, max_damage: 0.3, max_cost: 0.4 };
     let betas = ForgettingFactors::figures();
     let bob_id = 7u32;
     for _ in 0..10 {
-        alice_store.observe(
-            bob_id,
-            camera_task.id(),
-            &Observation { success_rate: 0.92, gain: 0.85, damage: 0.05, cost: 0.2 },
-            &betas,
-        );
+        let session = alice
+            .delegate(bob_id, &camera_task, goal, Context::amicable(camera_task.id()))
+            // first contact: explore under an optimistic prior (§5.7)
+            .with_prior(TrustRecord::with_priors(1.0, 1.0, 0.0, 0.0))
+            .evaluate(&alice);
+        let Decision::Delegate(active) = session.into_decision() else {
+            unreachable!("Bob's camera stays within Alice's goal")
+        };
+        let outcome = DelegationOutcome::observed(Observation {
+            success_rate: 0.92,
+            gain: 0.85,
+            damage: 0.05,
+            cost: 0.2,
+        });
+        let receipt = active.execute(&mut alice, outcome, &betas).expect("unit-range");
+        assert!(receipt.fulfilled, "the camera delivered inside the goal box");
     }
-    let tw =
-        alice_store.trustworthiness(bob_id, camera_task.id()).expect("alice has history with bob");
+    let tw = alice.trustworthiness(bob_id, camera_task.id()).expect("alice has history with bob");
     println!("\nAlice's trustworthiness toward Bob's camera: {tw}");
+    println!(
+        "Alice's log about Bob: {} responsive uses out of {}",
+        alice.usage_log(bob_id).responsive,
+        alice.usage_log(bob_id).total()
+    );
     println!("Both sides evaluated each other — that is the mutuality of §4.1.");
 }

@@ -1,9 +1,10 @@
 //! Quickstart: the six ingredients of trust in one small social IoT.
 //!
 //! Builds a synthetic social network, assigns trustor/trustee roles, and
-//! runs a few delegation rounds with the full trust process: evaluation
-//! (Eq. 18), decision (Eq. 23), action, result, and post-evaluation
-//! updates (Eqs. 19–22).
+//! runs delegation rounds through the typed-state session lifecycle:
+//! `delegate` (trustor, trustee, goal, context) → `evaluate` (Eq. 18) →
+//! `Decision` (Eq. 23 / §3.4) → `execute` (action, result, and the
+//! post-evaluation updates of Eqs. 19–22, folded exactly once).
 //!
 //! Run with: `cargo run --example quickstart`
 
@@ -25,57 +26,81 @@ fn main() {
         roles.trustees().len()
     );
 
-    // 2. one trustor's view of the world
-    let trustor = roles.trustors()[0];
-    let mut store: TrustStore<siot::sim::AgentId> = TrustStore::new();
+    // 2. one trustor's engine, goal and task — three of the six
+    //    ingredients (the best-connected trustor, so there are several
+    //    candidate trustees to explore)
+    let trustor = roles
+        .trustors()
+        .iter()
+        .copied()
+        .max_by_key(|&t| g.neighbors(t).iter().filter(|&&n| roles.is_trustee(n)).count())
+        .expect("some trustor exists");
+    let mut engine: TrustStore<siot::sim::AgentId> = TrustStore::new();
     let task = Task::uniform(TaskId(0), [CharacteristicId(0), CharacteristicId(1)])
         .expect("non-empty task");
-    store.register_task(task.clone());
+    engine.register_task(task.clone());
+    let goal = Goal { min_success: 0.0, min_gain: 0.0, max_damage: 0.8, max_cost: 0.5 };
+    // strangers are explored under the paper's optimistic prior (§5.7)
+    let optimistic = TrustRecord::with_priors(1.0, 1.0, 0.0, 0.0);
 
     // hidden ground truth: how good each trustee actually is
     let mut rng = SmallRng::seed_from_u64(42);
     let competence: Vec<f64> = (0..g.node_count()).map(|_| rng.gen_range(0.2..1.0)).collect();
 
     let betas = ForgettingFactors::figures();
-    println!("\nround  chosen  expected-profit  outcome");
+    println!("\nround  chosen  tw      decision   outcome");
     for round in 0..12 {
-        // 3. pre-evaluation + decision: Eq. 23 over the neighbours
+        // 3. pre-evaluation across the neighbours: the best candidate by
+        //    expected net profit (Eq. 23), scored from engine records
         let candidates: Vec<_> =
             g.neighbors(trustor).iter().copied().filter(|&n| roles.is_trustee(n)).collect();
         let best = candidates
             .iter()
             .copied()
             .max_by(|&a, &b| {
-                let score = |p| {
-                    store.record(p, task.id()).map(|r| net_profit(&r)).unwrap_or(0.8)
-                    // optimistic for strangers
-                };
+                let score = |p| engine.record(p, task.id()).map_or(0.99, |r| net_profit(&r));
                 score(a).partial_cmp(&score(b)).expect("scores are finite")
             })
             .expect("trustor has trustee neighbours");
 
-        // 4. action + result
-        let succeeded = rng.gen_bool(competence[best.index()]);
-        let obs = if succeeded {
-            Observation::success(0.9, 0.15)
-        } else {
-            Observation::failure(0.7, 0.15)
-        };
-
-        // 5. post-evaluation (Eqs. 19–22)
-        store.observe(best, task.id(), &obs, &betas);
-        let rec = store.record(best, task.id()).expect("just observed");
-        println!(
-            "{round:>5}  {best:>6}  {profit:>15.3}  {outcome}",
-            profit = rec.expected_net_profit(),
-            outcome = if succeeded { "success" } else { "failure" },
-        );
+        // 4. the session: evaluate the chosen trustee against the goal
+        let session = engine
+            .delegate(best, &task, goal, Context::amicable(task.id()))
+            .with_prior(optimistic)
+            .evaluate(&engine);
+        let tw = session.trustworthiness();
+        match session.into_decision() {
+            Decision::Decline { reason, .. } => {
+                // the goal gate refused — no action, no feedback
+                println!("{round:>5}  {best:>6}  {tw}  decline    ({reason:?})");
+            }
+            Decision::Delegate(active) => {
+                // 5. action + result + post-evaluation, folded exactly once
+                let succeeded = rng.gen_bool(competence[best.index()]);
+                let outcome = if succeeded {
+                    DelegationOutcome::succeeded(0.9, 0.15)
+                } else {
+                    DelegationOutcome::failed(0.7, 0.15)
+                };
+                let receipt =
+                    active.execute(&mut engine, outcome, &betas).expect("outcome is unit-range");
+                println!(
+                    "{round:>5}  {best:>6}  {tw}  delegate   {}",
+                    if receipt.fulfilled { "fulfilled" } else { "fell short" },
+                );
+            }
+        }
     }
 
-    // 6. the trust that came out of the process
+    // 6. the trust that came out of the process — including the §4.1
+    //    usage logs the sessions maintained along the way
     println!("\nfinal trustworthiness toward interacted trustees:");
-    for peer in store.known_peers() {
-        let tw = store.trustworthiness(peer, task.id()).expect("known peer");
-        println!("  {peer}: {tw}  (actual competence {:.2})", competence[peer.index()]);
+    for peer in engine.known_peers() {
+        let tw = engine.trustworthiness(peer, task.id()).expect("known peer");
+        println!(
+            "  {peer}: {tw} after {} interactions  (actual competence {:.2})",
+            engine.usage_log(peer).total(),
+            competence[peer.index()]
+        );
     }
 }

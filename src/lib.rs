@@ -18,14 +18,22 @@
 //! let g = SocialNetKind::Twitter.generate(42);
 //! assert_eq!(g.node_count(), 244);
 //!
-//! // …and the trust process running over it
-//! let mut store: TrustStore<siot::sim::AgentId> = TrustStore::new();
+//! // …and the trust *process* running over it: one delegation session,
+//! // evaluate → decide → execute, feedback folded exactly once
+//! let mut engine: TrustStore<siot::sim::AgentId> = TrustStore::new();
 //! let task = Task::uniform(TaskId(0), [CharacteristicId(0)]).unwrap();
-//! store.register_task(task.clone());
+//! engine.register_task(task.clone());
 //! let peer = siot::sim::AgentId::from(7u32);
-//! store.observe(peer, task.id(), &Observation::success(0.9, 0.1),
-//!               &ForgettingFactors::figures());
-//! assert!(store.trustworthiness(peer, task.id()).unwrap().value() > 0.6);
+//! let session = engine
+//!     .delegate(peer, &task, Goal::profitable(), Context::amicable(task.id()))
+//!     .with_prior(TrustRecord::with_priors(1.0, 1.0, 0.0, 0.0))
+//!     .evaluate(&engine);
+//! let Decision::Delegate(active) = session.into_decision() else { unreachable!() };
+//! active
+//!     .execute(&mut engine, DelegationOutcome::succeeded(0.9, 0.1),
+//!              &ForgettingFactors::figures())
+//!     .unwrap();
+//! assert!(engine.trustworthiness(peer, task.id()).unwrap().value() > 0.6);
 //! ```
 
 //! # Quickstart

@@ -1,5 +1,6 @@
 //! End-to-end test of the six-ingredient trust process on the core model:
-//! trustor, trustee, goal, evaluation, decision/action/result, context.
+//! trustor, trustee, goal, evaluation, decision/action/result, context —
+//! expressed through the typed-state delegation session.
 
 use siot::core::environment::EnvIndicator;
 use siot::core::prelude::*;
@@ -13,51 +14,75 @@ fn full_trust_lifecycle() {
     let sense_task = Task::uniform(TaskId(0), [SENSE]).unwrap();
     let store_task = Task::uniform(TaskId(1), [STORE]).unwrap();
     let goal_task = Task::uniform(TaskId(2), [SENSE, STORE]).unwrap();
+    // the success bar sits between the two candidates' inferred
+    // trustworthiness (~0.92 vs ~0.65), so the decision separates them
+    let goal = Goal { min_success: 0.8, min_gain: 0.3, max_damage: 0.5, max_cost: 0.5 };
     let context = Context::new(goal_task.id(), EnvIndicator::new(0.5).unwrap());
 
-    let mut store: TrustStore<u32> = TrustStore::new();
-    store.register_task(sense_task);
-    store.register_task(store_task);
-    store.register_task(goal_task.clone());
+    let mut engine: TrustStore<u32> = TrustStore::new();
+    engine.register_task(sense_task.clone());
+    engine.register_task(store_task.clone());
+    engine.register_task(goal_task.clone());
 
     let betas = ForgettingFactors::figures();
     let (good_peer, bad_peer) = (1u32, 2u32);
 
-    // history: good_peer did both subtasks well, bad_peer failed storage
+    // history built through executed sessions: good_peer did both subtasks
+    // well, bad_peer failed storage
     for _ in 0..20 {
-        store.observe(good_peer, TaskId(0), &Observation::success(0.9, 0.1), &betas);
-        store.observe(good_peer, TaskId(1), &Observation::success(0.8, 0.1), &betas);
-        store.observe(bad_peer, TaskId(0), &Observation::success(0.9, 0.1), &betas);
-        store.observe(bad_peer, TaskId(1), &Observation::failure(0.8, 0.1), &betas);
+        for (peer, sub, outcome) in [
+            (good_peer, &sense_task, DelegationOutcome::succeeded(0.9, 0.1)),
+            (good_peer, &store_task, DelegationOutcome::succeeded(0.8, 0.1)),
+            (bad_peer, &sense_task, DelegationOutcome::succeeded(0.9, 0.1)),
+            (bad_peer, &store_task, DelegationOutcome::failed(0.8, 0.1)),
+        ] {
+            engine
+                .delegate(peer, sub, Goal::ANY, Context::amicable(sub.id()))
+                .activate(&engine)
+                .execute(&mut engine, outcome, &betas)
+                .unwrap();
+        }
     }
+    // the sessions kept the mutuality ledger: every interaction counted once
+    assert_eq!(engine.usage_log(good_peer).total(), 40);
+    assert_eq!(engine.usage_log(bad_peer).total(), 40);
 
-    // pre-evaluation via inference for the never-delegated goal task
-    let tw_good = store.infer(good_peer, &goal_task).unwrap();
-    let tw_bad = store.infer(bad_peer, &goal_task).unwrap();
+    // pre-evaluation for the never-delegated goal task resolves through
+    // Eq. 4 inference inside the session
+    let eval_good = engine.delegate(good_peer, &goal_task, goal, context).evaluate(&engine);
+    assert_eq!(eval_good.basis(), EvaluationBasis::Inferred);
+    let tw_good = eval_good.trustworthiness().value();
+    let eval_bad = engine.delegate(bad_peer, &goal_task, goal, context).evaluate(&engine);
+    let tw_bad = eval_bad.trustworthiness().value();
     assert!(tw_good > tw_bad + 0.15, "inference must separate: {tw_good} vs {tw_bad}");
-
-    // decision: delegate to the better candidate (Eq. 23 on virtual records)
     assert!(tw_good > 0.6);
 
-    // action + result in the hostile context: observed success degraded by E
+    // decision: the good candidate clears the goal, the bad one is refused
+    assert!(eval_good.would_delegate());
+    let Decision::Delegate(active) = eval_good.into_decision() else { unreachable!() };
+    match eval_bad.into_decision() {
+        Decision::Decline { reason, .. } => assert_eq!(reason, DeclineReason::GoalMisaligned),
+        Decision::Delegate(_) => panic!("the failing candidate must be declined"),
+    }
+
+    // action + result in the hostile context: observed success degraded by
+    // E = 0.5; executing the session removes the influence (Eqs. 25–29)
+    // before the post-evaluation fold
     let observed = Observation {
         success_rate: 0.85 * context.environment.value(),
         gain: 0.8,
         damage: 0.1,
         cost: 0.2,
     };
-    store.observe_with_environment(
-        good_peer,
-        goal_task.id(),
-        &observed,
-        &[context.environment],
-        &betas,
-    );
+    let receipt =
+        active.execute(&mut engine, DelegationOutcome::observed(observed), &betas).unwrap();
 
     // post-evaluation: the environment influence was removed, so the new
     // record reflects competence, not weather
-    let rec = store.record(good_peer, goal_task.id()).unwrap();
+    let rec = engine.record(good_peer, goal_task.id()).unwrap();
     assert!((rec.s_hat - 0.85).abs() < 0.05, "env-corrected: {}", rec.s_hat);
+    assert_eq!(receipt.record, rec);
+    assert_eq!(engine.usage_log(good_peer).total(), 41, "the goal delegation counted once");
 
     // the trustee side protected itself too (mutuality)
     let evaluator = ReverseEvaluator::new(0.4);
@@ -66,6 +91,25 @@ fn full_trust_lifecycle() {
         log.record_responsive();
     }
     assert!(evaluator.accepts(&log));
+}
+
+#[test]
+fn declined_sessions_leave_no_trace() {
+    let engine: TrustStore<u32> = TrustStore::new();
+    let task = Task::uniform(TaskId(0), [SENSE]).unwrap();
+    // a stranger with no prior: the process stops at the decision — there
+    // is no handle to feed an outcome through, so no state can move
+    let session = engine
+        .delegate(9, &task, Goal::profitable(), Context::amicable(task.id()))
+        .evaluate(&engine);
+    match session.into_decision() {
+        Decision::Decline { reason, .. } => {
+            assert_eq!(reason, DeclineReason::NoTrustInformation);
+        }
+        Decision::Delegate(_) => panic!("strangers without priors are declined"),
+    }
+    assert_eq!(engine.record_count(), 0);
+    assert_eq!(engine.usage_log(9).total(), 0);
 }
 
 #[test]
