@@ -5,22 +5,32 @@
 //! * `btree/*` — the deterministic ordered-map default;
 //! * `sharded/*` — the lock-sharded hash backend, single writer;
 //! * `sharded/concurrent_*` — the sharded backend with four writer threads
-//!   **spawned per batch** folding disjoint slices through `&TrustEngine`
-//!   (the naive baseline the ROADMAP flagged: spawn/join dominates);
-//! * `sharded/pool_*` — the same four-way fan-out through a persistent
-//!   [`ObserverPool`], workers parked between batches.
+//!   **spawned per batch** folding disjoint contiguous slices through
+//!   `&TrustEngine` (the naive baseline the ROADMAP flagged: spawn/join and
+//!   shard-lock contention dominate);
+//! * `sharded/pool_affine_*_w{W}_s{S}` — the writer-count × shard-count
+//!   sweep of the shard-affine [`ObserverPool`] under its default adaptive
+//!   dispatch: `W` persistent workers each owning a disjoint set of the
+//!   engine's `S` lanes, the whole slate dispatched zero-copy as one `Arc`
+//!   batch. No lock contention, no per-slice copies, and bit-identical to
+//!   the single-threaded fold;
+//! * `sharded/pool_threads_*` — the same pool with worker-thread dispatch
+//!   forced, so the trajectory records what `Dispatch::Auto` saves (or
+//!   costs) on this host's core count.
 //!
 //! A read-side case (`known_peers` + per-peer iteration) rides along since
 //! trustee search hammers exactly that path. The 1M-record configuration
 //! answers the ROADMAP's "measure at 1M+ records" item; the shim's
-//! `SIOT_BENCH_BUDGET_MS` budget keeps it cheap in CI.
+//! `SIOT_BENCH_BUDGET_MS` budget keeps it cheap in CI, and `SIOT_BENCH_JSON`
+//! records the machine-readable trajectory (`BENCH_store_backends.json`).
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use siot_bench::runner::{backend_workload, replay_workload};
 use siot_core::backend::{BTreeBackend, ShardedBackend};
-use siot_core::pool::ObserverPool;
-use siot_core::record::ForgettingFactors;
+use siot_core::pool::{Dispatch, ObserverPool};
+use siot_core::record::{ForgettingFactors, Observation};
 use siot_core::store::TrustEngine;
+use siot_core::task::TaskId;
 use std::sync::Arc;
 
 /// 100_000 observations over 25_000 peers × 4 tasks: every observation
@@ -36,8 +46,14 @@ const WRITERS: usize = 4;
 const N_OBS_1M: usize = 1_000_000;
 const N_PEERS_1M: u32 = 250_000;
 
+/// The pool sweep: (writers, shards) — lanes matched to the owner count
+/// via `with_shards_for_writers` (4·W), plus an over-sharded 64-lane point.
+const POOL_SWEEP: [(usize, usize); 3] = [(2, 8), (4, 16), (4, 64)];
+
+type Workload = Arc<[(u32, TaskId, Observation)]>;
+
 fn bench_workload(c: &mut Criterion, label: &str, n_obs: usize, n_peers: u32) {
-    let workload = backend_workload(n_obs, n_peers, N_TASKS, 42);
+    let workload: Workload = backend_workload(n_obs, n_peers, N_TASKS, 42).into();
 
     c.bench_function(&format!("store_backends/btree/batched_observe_{label}"), |b| {
         b.iter(|| {
@@ -79,20 +95,40 @@ fn bench_workload(c: &mut Criterion, label: &str, n_obs: usize, n_peers: u32) {
         },
     );
 
-    c.bench_function(&format!("store_backends/sharded/pool_observe_{label}_x{WRITERS}"), |b| {
-        // the pool persists across iterations — that is the point
-        let pool: ObserverPool<u32> = ObserverPool::new(WRITERS);
+    for (writers, shards) in POOL_SWEEP {
+        // the pool persists across iterations — that is the point; each
+        // iteration dispatches the whole slate as one shared Arc batch
+        let pool: ObserverPool<u32> = ObserverPool::new(writers);
         let betas = ForgettingFactors::figures();
+        c.bench_function(
+            &format!("store_backends/sharded/pool_affine_{label}_w{writers}_s{shards}"),
+            |b| {
+                b.iter(|| {
+                    let engine = Arc::new(TrustEngine::with_backend(
+                        ShardedBackend::<u32>::with_shards(shards),
+                    ));
+                    pool.observe_batch_arc(&engine, Arc::clone(&workload), &betas)
+                        .expect("workload observations are unit-range");
+                    assert_eq!(engine.record_count(), n_obs);
+                    black_box(engine)
+                })
+            },
+        );
+    }
+
+    // forced worker-thread dispatch, recorded so the trajectory shows what
+    // Auto saves (or costs) on this host's core count
+    let pool: ObserverPool<u32> = ObserverPool::with_dispatch(WRITERS, Dispatch::Workers);
+    let betas = ForgettingFactors::figures();
+    c.bench_function(&format!("store_backends/sharded/pool_threads_{label}_w{WRITERS}_s16"), |b| {
         b.iter(|| {
-            let engine = Arc::new(TrustEngine::<u32, ShardedBackend<u32>>::new());
-            // each dispatch splits WRITERS ways, so hand the pool
-            // WRITERS batches' worth at a time
-            for batch in workload.chunks(BATCH * WRITERS) {
-                pool.observe_batch(&engine, batch, &betas)
-                    .expect("workload observations are unit-range");
-            }
+            let engine = Arc::new(TrustEngine::with_backend(
+                ShardedBackend::<u32>::with_shards_for_writers(WRITERS),
+            ));
+            pool.observe_batch_arc(&engine, Arc::clone(&workload), &betas)
+                .expect("workload observations are unit-range");
             assert_eq!(engine.record_count(), n_obs);
-            black_box(Arc::clone(&engine))
+            black_box(engine)
         })
     });
 }

@@ -9,11 +9,37 @@
 //! max per-iteration latency. Benchmark names passed on the command line act
 //! as substring filters, like the real crate. `SIOT_BENCH_BUDGET_MS`
 //! overrides the 300 ms per-benchmark measurement budget.
+//!
+//! When `SIOT_BENCH_JSON` names a file, every measurement is additionally
+//! written there as machine-readable JSON (one object with a `results`
+//! array), so CI can record a perf trajectory across commits instead of
+//! scraping stdout. Each group overwrites the file; the workspace's bench
+//! binaries each register a single group.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
 use std::time::{Duration, Instant};
+
+/// One recorded measurement, kept for the JSON trajectory.
+struct BenchResult {
+    id: String,
+    ns_per_iter: f64,
+    min_ns_per_iter: f64,
+    iters: u64,
+}
+
+/// What one [`Bencher::iter`] run measured.
+pub struct Measurement {
+    /// Total iterations timed (excluding warm-up).
+    pub iters: u64,
+    /// Total elapsed time across those iterations.
+    pub elapsed: Duration,
+    /// Fastest observed per-iteration time, in nanoseconds — the
+    /// noise-floor statistic, robust to CPU steal on shared hosts (the
+    /// mean drifts with whatever the neighbors are doing).
+    pub min_ns_per_iter: f64,
+}
 
 /// Opaque value barrier preventing the optimizer from deleting benchmarked
 /// work.
@@ -25,8 +51,8 @@ pub fn black_box<T>(x: T) -> T {
 /// Runs closures under a timer, one measurement batch at a time.
 pub struct Bencher {
     budget: Duration,
-    /// Filled by [`Bencher::iter`]: (iterations, total elapsed).
-    measurement: Option<(u64, Duration)>,
+    /// Filled by [`Bencher::iter`].
+    measurement: Option<Measurement>,
 }
 
 impl Bencher {
@@ -45,15 +71,18 @@ impl Bencher {
 
         let mut iters = 0u64;
         let mut elapsed = Duration::ZERO;
+        let mut min_ns = f64::INFINITY;
         while elapsed < self.budget {
             let start = Instant::now();
             for _ in 0..per_batch {
                 black_box(f());
             }
-            elapsed += start.elapsed();
+            let batch = start.elapsed();
+            min_ns = min_ns.min(batch.as_nanos() as f64 / per_batch as f64);
+            elapsed += batch;
             iters += per_batch;
         }
-        self.measurement = Some((iters, elapsed));
+        self.measurement = Some(Measurement { iters, elapsed, min_ns_per_iter: min_ns });
     }
 }
 
@@ -61,6 +90,8 @@ impl Bencher {
 pub struct Criterion {
     filters: Vec<String>,
     budget: Duration,
+    results: Vec<BenchResult>,
+    json_path: Option<std::path::PathBuf>,
 }
 
 impl Default for Criterion {
@@ -72,7 +103,13 @@ impl Default for Criterion {
             .ok()
             .and_then(|s| s.parse().ok())
             .unwrap_or(300u64);
-        Criterion { filters, budget: Duration::from_millis(budget_ms) }
+        let json_path = std::env::var_os("SIOT_BENCH_JSON").map(std::path::PathBuf::from);
+        Criterion {
+            filters,
+            budget: Duration::from_millis(budget_ms),
+            results: Vec::new(),
+            json_path,
+        }
     }
 }
 
@@ -85,14 +122,56 @@ impl Criterion {
         let mut b = Bencher::new(self.budget);
         f(&mut b);
         match b.measurement {
-            Some((iters, elapsed)) if iters > 0 => {
-                let per_iter = elapsed.as_nanos() as f64 / iters as f64;
-                println!("{id:<44} {:>14}/iter  ({iters} iterations)", fmt_ns(per_iter));
+            Some(m) if m.iters > 0 => {
+                let per_iter = m.elapsed.as_nanos() as f64 / m.iters as f64;
+                println!(
+                    "{id:<44} min {:>12}/iter  mean {:>12}/iter  ({} iterations)",
+                    fmt_ns(m.min_ns_per_iter),
+                    fmt_ns(per_iter),
+                    m.iters
+                );
+                self.results.push(BenchResult {
+                    id: id.to_string(),
+                    ns_per_iter: per_iter,
+                    min_ns_per_iter: m.min_ns_per_iter,
+                    iters: m.iters,
+                });
             }
             _ => println!("{id:<44} (no measurement: Bencher::iter never called)"),
         }
         self
     }
+
+    /// Writes the recorded measurements to the `SIOT_BENCH_JSON` file, if
+    /// set. Called by [`criterion_group!`] after the group's targets run; a
+    /// write failure warns on stderr instead of failing the bench run.
+    pub fn final_summary(&self) {
+        let Some(path) = &self.json_path else {
+            return;
+        };
+        let mut out = String::from("{\n");
+        out.push_str(&format!("  \"budget_ms\": {},\n", self.budget.as_millis()));
+        out.push_str("  \"results\": [\n");
+        for (i, r) in self.results.iter().enumerate() {
+            let comma = if i + 1 < self.results.len() { "," } else { "" };
+            out.push_str(&format!(
+                "    {{\"id\": \"{}\", \"min_ns_per_iter\": {:.1}, \"ns_per_iter\": {:.1}, \"iters\": {}}}{comma}\n",
+                json_escape(&r.id),
+                r.min_ns_per_iter,
+                r.ns_per_iter,
+                r.iters
+            ));
+        }
+        out.push_str("  ]\n}\n");
+        if let Err(e) = std::fs::write(path, out) {
+            eprintln!("warning: could not write {}: {e}", path.display());
+        }
+    }
+}
+
+/// Escapes the two JSON-significant characters bench ids could contain.
+fn json_escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
 }
 
 fn fmt_ns(ns: f64) -> String {
@@ -114,6 +193,7 @@ macro_rules! criterion_group {
         pub fn $group() {
             let mut criterion = $crate::Criterion::default();
             $($target(&mut criterion);)+
+            criterion.final_summary();
         }
     };
 }
@@ -133,7 +213,12 @@ mod tests {
     use super::*;
 
     fn quick() -> Criterion {
-        Criterion { filters: Vec::new(), budget: Duration::from_millis(5) }
+        Criterion {
+            filters: Vec::new(),
+            budget: Duration::from_millis(5),
+            results: Vec::new(),
+            json_path: None,
+        }
     }
 
     #[test]
@@ -142,7 +227,10 @@ mod tests {
         let mut observed = 0u64;
         c.bench_function("spin", |b| {
             b.iter(|| black_box(3u64).pow(7));
-            observed = b.measurement.expect("iter ran").0;
+            let m = b.measurement.as_ref().expect("iter ran");
+            assert!(m.min_ns_per_iter.is_finite());
+            assert!(m.min_ns_per_iter <= m.elapsed.as_nanos() as f64 / m.iters as f64 + 1e-9);
+            observed = m.iters;
         });
         assert!(observed > 0);
     }
@@ -156,6 +244,23 @@ mod tests {
         assert!(!ran);
         c.bench_function("exactly_only_this_one", |_b| ran = true);
         assert!(ran);
+    }
+
+    #[test]
+    fn final_summary_writes_json_trajectory() {
+        let mut c = quick();
+        let path =
+            std::env::temp_dir().join(format!("siot_bench_trajectory_{}.json", std::process::id()));
+        c.json_path = Some(path.clone());
+        c.bench_function("group/case_\"quoted\"", |b| b.iter(|| black_box(1u64 + 1)));
+        c.final_summary();
+        let json = std::fs::read_to_string(&path).expect("summary written");
+        let _ = std::fs::remove_file(&path);
+        assert!(json.contains("\"budget_ms\": 5"));
+        assert!(json.contains("group/case_\\\"quoted\\\""));
+        assert!(json.contains("\"min_ns_per_iter\""));
+        assert!(json.contains("\"ns_per_iter\""));
+        assert!(json.contains("\"iters\""));
     }
 
     #[test]

@@ -95,6 +95,20 @@ pub trait TrustBackend<P: Copy + Ord>: Default + Clone + fmt::Debug {
 /// Implementations must be safe to call from multiple threads at once;
 /// writes to the same `(peer, task)` serialize, writes to different peers
 /// may proceed in parallel.
+///
+/// ## Write lanes
+///
+/// Concurrent backends additionally expose their internal write topology as
+/// **lanes**: [`write_lanes`](Self::write_lanes) independently lockable
+/// partitions, with [`lane_of`](Self::lane_of) mapping every peer to the one
+/// lane its records live in — stable for the backend's lifetime. A caller
+/// that partitions lanes across writer threads (the
+/// [`ObserverPool`](crate::pool::ObserverPool)) gets contention-free writes
+/// *and* a deterministic fold order: all observations of one peer pass
+/// through one lane, and [`update_lane_run_shared`](Self::update_lane_run_shared)
+/// applies a pre-routed run in the caller's order under a single lock
+/// acquisition. Backends without internal partitioning report one lane, which
+/// degrades a lane-affine caller to sequential folding — slower, never wrong.
 pub trait ConcurrentTrustBackend<P: Copy + Ord>: TrustBackend<P> + Sync {
     /// Shared-handle snapshot of the record for `(peer, task)`.
     fn get_shared(&self, peer: P, task: TaskId) -> Option<TrustRecord>;
@@ -115,6 +129,40 @@ pub trait ConcurrentTrustBackend<P: Copy + Ord>: TrustBackend<P> + Sync {
         f: &mut dyn FnMut(usize, Option<TrustRecord>) -> TrustRecord,
     ) {
         for (i, &(peer, task)) in items.iter().enumerate() {
+            self.update_shared(peer, task, &mut |prior| f(i, prior));
+        }
+    }
+
+    /// Number of independently writable lanes (≥ 1). Writes routed to
+    /// different lanes never contend.
+    fn write_lanes(&self) -> usize {
+        1
+    }
+
+    /// The lane `peer`'s records live in (`< write_lanes()`), stable for
+    /// the backend's lifetime.
+    fn lane_of(&self, peer: P) -> usize {
+        let _ = peer;
+        0
+    }
+
+    /// Shared-handle read-modify-write over one lane's pre-routed run:
+    /// every `i` in `indices` selects a batch element whose key is
+    /// `key_of(i)` and whose peer routes to `lane` (callers route with
+    /// [`lane_of`](Self::lane_of), hashing each peer exactly once).
+    /// Elements are applied in `indices` order; implementations hold the
+    /// lane's lock once for the whole run. The default falls back to
+    /// per-item [`update_shared`](Self::update_shared).
+    fn update_lane_run_shared(
+        &self,
+        lane: usize,
+        indices: &[usize],
+        key_of: &dyn Fn(usize) -> (P, TaskId),
+        f: &mut dyn FnMut(usize, Option<TrustRecord>) -> TrustRecord,
+    ) {
+        let _ = lane;
+        for &i in indices {
+            let (peer, task) = key_of(i);
             self.update_shared(peer, task, &mut |prior| f(i, prior));
         }
     }
@@ -215,6 +263,16 @@ impl<P> ShardedBackend<P> {
             shards: (0..n).map(|_| RwLock::new(Shard::default())).collect(),
             count: AtomicUsize::new(0),
         }
+    }
+
+    /// A backend sized for `writers` lane-owning worker threads: four lanes
+    /// per writer (rounded up to a power of two), so hash skew across peers
+    /// averages out inside each owner's lane set while every writer still
+    /// owns at least one lane. This is the shard count the shard-affine
+    /// [`ObserverPool`](crate::pool::ObserverPool) expects its engines to be
+    /// built with.
+    pub fn with_shards_for_writers(writers: usize) -> Self {
+        Self::with_shards(writers.max(1).saturating_mul(4))
     }
 
     /// Number of shard lanes.
@@ -351,9 +409,14 @@ where
     }
 
     fn known_peers(&self) -> Vec<P> {
-        let mut peers = Vec::new();
+        // `count` tallies (peer, task) records, an upper bound on distinct
+        // peers: one up-front allocation instead of amortized growth from
+        // empty (trustee search hammers this read path)
+        let mut peers = Vec::with_capacity(self.count.load(Ordering::Relaxed));
         for idx in 0..self.shards.len() {
-            peers.extend(self.read(idx).keys().copied());
+            let shard = self.read(idx);
+            peers.reserve(shard.len());
+            peers.extend(shard.keys().copied());
         }
         // a peer lives in exactly one shard, so sorting alone restores the
         // "each peer once, ascending" contract
@@ -407,6 +470,32 @@ impl<P: Copy + Ord + Hash + Send + Sync + fmt::Debug> ConcurrentTrustBackend<P>
                 let (peer, task) = items[i];
                 Self::upsert_in(&mut shard, &self.count, peer, task, &mut |prior| f(i, prior));
             }
+        }
+    }
+
+    fn write_lanes(&self) -> usize {
+        self.shards.len()
+    }
+
+    fn lane_of(&self, peer: P) -> usize {
+        self.shard_index(peer)
+    }
+
+    fn update_lane_run_shared(
+        &self,
+        lane: usize,
+        indices: &[usize],
+        key_of: &dyn Fn(usize) -> (P, TaskId),
+        f: &mut dyn FnMut(usize, Option<TrustRecord>) -> TrustRecord,
+    ) {
+        if indices.is_empty() {
+            return;
+        }
+        let mut shard = self.write(lane);
+        for &i in indices {
+            let (peer, task) = key_of(i);
+            debug_assert_eq!(self.shard_index(peer), lane, "mis-routed lane run");
+            Self::upsert_in(&mut shard, &self.count, peer, task, &mut |prior| f(i, prior));
         }
     }
 }
@@ -501,6 +590,48 @@ mod tests {
         assert_eq!(a.len(), b.len());
         for &(p, t) in &items {
             assert_eq!(a.get(p, t), b.get(p, t));
+        }
+    }
+
+    #[test]
+    fn writer_sizing_gives_each_writer_lanes() {
+        let b = ShardedBackend::<u32>::with_shards_for_writers(4);
+        assert_eq!(b.shard_count(), 16);
+        assert_eq!(b.write_lanes(), 16);
+        assert_eq!(ShardedBackend::<u32>::with_shards_for_writers(0).shard_count(), 4);
+        assert_eq!(ShardedBackend::<u32>::with_shards_for_writers(3).shard_count(), 16);
+    }
+
+    #[test]
+    fn lane_runs_match_per_item_updates() {
+        let items: Vec<(u32, TaskId)> = (0..200).map(|i| (i % 31, TaskId(i / 31))).collect();
+        let bump = |prior: Option<TrustRecord>| match prior {
+            Some(mut r) => {
+                r.interactions += 1;
+                r
+            }
+            None => rec(0.5),
+        };
+
+        let reference = ShardedBackend::<u32>::with_shards_for_writers(2);
+        for &(p, t) in &items {
+            reference.update_shared(p, t, &mut |prior| bump(prior));
+        }
+
+        let routed = ShardedBackend::<u32>::with_shards_for_writers(2);
+        let mut runs: Vec<Vec<usize>> = vec![Vec::new(); routed.write_lanes()];
+        for (i, &(p, _)) in items.iter().enumerate() {
+            assert!(routed.lane_of(p) < routed.write_lanes());
+            runs[routed.lane_of(p)].push(i);
+        }
+        for (lane, indices) in runs.iter().enumerate() {
+            routed
+                .update_lane_run_shared(lane, indices, &|i| items[i], &mut |_, prior| bump(prior));
+        }
+
+        assert_eq!(reference.len(), routed.len());
+        for &(p, t) in &items {
+            assert_eq!(reference.get(p, t), routed.get(p, t));
         }
     }
 

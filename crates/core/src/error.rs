@@ -24,6 +24,11 @@ pub enum TrustError {
         /// How many characteristics had no covering experience.
         missing: usize,
     },
+    /// An [`ObserverPool`](crate::pool::ObserverPool) worker panicked while
+    /// folding a dispatched batch. Validation happens before dispatch, so
+    /// this signals a bug in the fold path (or a panicking backend), not bad
+    /// input; the batch may be partially folded.
+    WorkerPanicked,
 }
 
 impl fmt::Display for TrustError {
@@ -41,6 +46,12 @@ impl fmt::Display for TrustError {
             }
             TrustError::UncoveredCharacteristics { missing } => {
                 write!(f, "{missing} characteristic(s) not covered by any experienced task")
+            }
+            TrustError::WorkerPanicked => {
+                write!(
+                    f,
+                    "an observer-pool worker panicked mid-batch (batch may be partially folded)"
+                )
             }
         }
     }
@@ -60,5 +71,6 @@ mod tests {
         assert!(TrustError::EmptyTask.to_string().contains("characteristic"));
         assert!(TrustError::NonPositiveWeight(-1.0).to_string().contains("-1"));
         assert!(TrustError::UncoveredCharacteristics { missing: 2 }.to_string().contains('2'));
+        assert!(TrustError::WorkerPanicked.to_string().contains("panicked"));
     }
 }

@@ -20,9 +20,10 @@
 //! Trust *state* lives behind the [`store::TrustEngine`] facade, whose
 //! storage is pluggable via [`backend::TrustBackend`]: the deterministic
 //! [`backend::BTreeBackend`] (the `TrustStore` default) or the lock-sharded
-//! [`backend::ShardedBackend`] for high-peer-count workloads (with
-//! [`pool::ObserverPool`] keeping persistent worker threads over the
-//! shared-handle write path). Live interactions flow through the
+//! [`backend::ShardedBackend`] for high-peer-count workloads (with the
+//! shard-affine [`pool::ObserverPool`] folding batches through persistent
+//! lane-owning workers, bit-identically to sequential folding). Live
+//! interactions flow through the
 //! [`delegation`] session — `delegate → evaluate → decide → execute` — so
 //! feedback is validated, environment-corrected and counted exactly once;
 //! the engine's free-form mutators remain as a documented raw escape hatch.
@@ -92,7 +93,7 @@ pub mod prelude {
     pub use crate::infer::{infer_characteristic, infer_task, Experience};
     pub use crate::mutuality::{ReverseEvaluator, UsageLog};
     pub use crate::policy::{GainOnly, HighestSuccessRate, MaxNetProfit, SelectionPolicy};
-    pub use crate::pool::ObserverPool;
+    pub use crate::pool::{Dispatch, ObserverPool};
     pub use crate::record::{ForgettingFactors, Observation, TrustRecord};
     pub use crate::store::{TrustEngine, TrustStore};
     pub use crate::task::{CharacteristicId, Task, TaskId};

@@ -373,6 +373,38 @@ impl<P: Copy + Ord, B: ConcurrentTrustBackend<P>> TrustEngine<P, B> {
     pub fn record_shared(&self, peer: P, task: TaskId) -> Option<TrustRecord> {
         self.backend.get_shared(peer, task)
     }
+
+    /// Number of independently writable backend lanes (see
+    /// [`ConcurrentTrustBackend::write_lanes`]).
+    pub fn write_lanes(&self) -> usize {
+        self.backend.write_lanes()
+    }
+
+    /// The backend lane `peer`'s records live in (see
+    /// [`ConcurrentTrustBackend::lane_of`]).
+    pub fn lane_of(&self, peer: P) -> usize {
+        self.backend.lane_of(peer)
+    }
+
+    /// Folds one lane's pre-routed run of `batch` without re-validating —
+    /// the [`ObserverPool`](crate::pool::ObserverPool) dispatch seam.
+    /// Callers must have validated every referenced observation and routed
+    /// every index in `indices` to `lane` via [`Self::lane_of`]; elements
+    /// fold in `indices` order under one lane-lock acquisition.
+    pub(crate) fn observe_lane_run_prevalidated(
+        &self,
+        lane: usize,
+        indices: &[usize],
+        batch: &[(P, TaskId, Observation)],
+        betas: &ForgettingFactors,
+    ) {
+        self.backend.update_lane_run_shared(
+            lane,
+            indices,
+            &|i| (batch[i].0, batch[i].1),
+            &mut |i, prior| folded(prior, &batch[i].2, betas),
+        );
+    }
 }
 
 /// One Eq. 19–22 fold: blend into the prior, or initialize from the first

@@ -11,28 +11,41 @@
 //!
 //! Reports are the trustors' executed delegation sessions boiled down to a
 //! net profit; the coordinator re-materializes each as an observation and
-//! **batches** them through `observe_batch` — one storage pass per
-//! `LEDGER_FLUSH`-sized slate instead of one lock/lookup per report —
-//! with any tail flushed lazily (through the sharded backend's shared
-//! handle) the moment the ledger is read.
+//! **batches** them through a shard-affine [`ObserverPool`] — each
+//! `LEDGER_FLUSH`-sized slate is routed by shard and folded by the lane's
+//! owning worker, so flushes stay one storage pass per lane and never
+//! contend — with any (sub-slate-sized) tail folded inline through the
+//! backend's shared handle the moment the ledger is read.
+//! Shard-affine pooled folding is bit-identical to sequential folding, so
+//! routing the fleet ledger through worker threads changes nothing about
+//! its (deterministic) contents.
 
 use crate::device::DeviceId;
 use crate::frame::{Frame, Payload};
 use crate::network::{Application, Ctx};
 use crate::time::SimTime;
 use siot_core::backend::ShardedBackend;
+use siot_core::pool::ObserverPool;
 use siot_core::record::{ForgettingFactors, Observation};
 use siot_core::store::TrustEngine;
 use siot_core::task::TaskId;
 use std::any::Any;
 use std::cell::RefCell;
+use std::sync::Arc;
 
 /// Reports do not carry a task id, so the fleet ledger files everything
 /// under one synthetic task.
 const LEDGER_TASK: TaskId = TaskId(0);
 
-/// Pending reports are committed in one storage pass per this many.
-const LEDGER_FLUSH: usize = 32;
+/// Pending reports are committed in one storage pass per this many. Sized
+/// so a slate is worth a pool dispatch: on a multicore host each flush
+/// costs one worker handoff + barrier, which a 32-record slate would not
+/// amortize (reads still see every report — the tail flushes lazily).
+const LEDGER_FLUSH: usize = 1024;
+
+/// Lane-owning workers folding ledger flushes; the ledger's backend is
+/// sized to match via [`ShardedBackend::with_shards_for_writers`].
+const LEDGER_WRITERS: usize = 2;
 
 /// One collected report.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -48,25 +61,42 @@ pub struct CollectedReport {
 }
 
 /// Coordinator application state.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct CoordinatorApp {
     /// Devices that completed association.
     pub joined: Vec<DeviceId>,
     /// Reports collected from trustors.
     pub reports: Vec<CollectedReport>,
     /// Fleet-wide trustee ledger: every report folded as an observation.
-    ledger: TrustEngine<DeviceId, ShardedBackend<DeviceId>>,
+    /// Shared (`Arc`) with the pool's lane-owning workers.
+    ledger: Arc<TrustEngine<DeviceId, ShardedBackend<DeviceId>>>,
+    /// Shard-affine workers the flushes fold through.
+    pool: ObserverPool<DeviceId, ShardedBackend<DeviceId>>,
     /// Validated observations awaiting their batched commit. A `RefCell`
     /// so the tail can be flushed from the read accessors (the app is
     /// driven by a single-threaded event loop); the folds themselves go
-    /// through the sharded backend's shared handle.
+    /// through the pool.
     pending: RefCell<Vec<(DeviceId, TaskId, Observation)>>,
+}
+
+impl Default for CoordinatorApp {
+    fn default() -> Self {
+        Self::new()
+    }
 }
 
 impl CoordinatorApp {
     /// A fresh coordinator.
     pub fn new() -> Self {
-        Self::default()
+        CoordinatorApp {
+            joined: Vec::new(),
+            reports: Vec::new(),
+            ledger: Arc::new(TrustEngine::with_backend(ShardedBackend::with_shards_for_writers(
+                LEDGER_WRITERS,
+            ))),
+            pool: ObserverPool::new(LEDGER_WRITERS),
+            pending: RefCell::new(Vec::new()),
+        }
     }
 
     /// Queues one reported net profit for the ledger. Realized profit lies
@@ -89,14 +119,18 @@ impl CoordinatorApp {
         pending.push((selected, LEDGER_TASK, obs));
         if pending.len() >= LEDGER_FLUSH {
             let batch = std::mem::take(pending);
-            self.ledger
-                .observe_batch(&batch, &ForgettingFactors::figures())
-                .expect("queued observations are clamped to the unit range");
+            // observations are pre-clamped, so the only reachable error
+            // is a fold panic inside the pool
+            self.pool
+                .observe_batch(&self.ledger, &batch, &ForgettingFactors::figures())
+                .unwrap_or_else(|e| panic!("ledger flush failed: {e}"));
         }
     }
 
-    /// Flushes any pending tail through the shared handle so reads see
-    /// every report received so far.
+    /// Flushes any pending tail so reads see every report received so far.
+    /// Tails are (by construction) smaller than `LEDGER_FLUSH` — too small
+    /// to amortize a pool dispatch — so they fold inline through the
+    /// backend's shared handle instead.
     fn flush_pending(&self) {
         let batch = std::mem::take(&mut *self.pending.borrow_mut());
         if !batch.is_empty() {
@@ -228,6 +262,25 @@ mod tests {
             vec![DeviceId(3), DeviceId(4), DeviceId(5)]
         );
         assert!(ranking[0].1 > ranking[1].1 && ranking[1].1 > ranking[2].1);
+    }
+
+    #[test]
+    fn full_slates_flush_through_the_pool() {
+        // enough reports to cross LEDGER_FLUSH, so the pool dispatch path
+        // (not just the inline tail flush) folds most of the ledger
+        let mut app = CoordinatorApp::new();
+        for i in 0..(super::LEDGER_FLUSH + 100) {
+            app.fold_report(DeviceId((i % 7) as u32), 0.5);
+        }
+        let total: u64 = app
+            .ledger()
+            .known_peers()
+            .into_iter()
+            .filter_map(|d| app.ledger().record(d, super::LEDGER_TASK))
+            .map(|r| r.interactions)
+            .sum();
+        assert_eq!(total, (super::LEDGER_FLUSH + 100) as u64);
+        assert_eq!(app.trustee_ranking().len(), 7);
     }
 
     #[test]
