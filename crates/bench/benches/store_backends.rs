@@ -16,7 +16,14 @@
 //!   the single-threaded fold;
 //! * `sharded/pool_threads_*` — the same pool with worker-thread dispatch
 //!   forced, so the trajectory records what `Dispatch::Auto` saves (or
-//!   costs) on this host's core count.
+//!   costs) on this host's core count;
+//! * `log/batched_observe_*` — the durable [`LogBackend`]: every fold
+//!   journaled to an append-only file (fsync off, so the row prices the
+//!   frame encode + buffered write, not the disk's sync latency);
+//! * `log_writebehind/batched_observe_*` — the [`WriteBehind`] combination:
+//!   sharded front absorbing the folds, journal trailing behind;
+//! * `log/reopen_100k` — recovery cost: replaying a 100k-record log back
+//!   into memory on open (the restart path the persistence suite pins).
 //!
 //! A read-side case (`known_peers` + per-peer iteration) rides along since
 //! trustee search hammers exactly that path. The 1M-record configuration
@@ -26,11 +33,13 @@
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use siot_bench::runner::{backend_workload, replay_workload};
-use siot_core::backend::{BTreeBackend, ShardedBackend};
+use siot_core::backend::{BTreeBackend, ShardedBackend, TrustBackend};
+use siot_core::log_backend::{FsyncPolicy, LogBackend, LogOptions, WriteBehind};
 use siot_core::pool::{Dispatch, ObserverPool};
 use siot_core::record::{ForgettingFactors, Observation};
 use siot_core::store::TrustEngine;
 use siot_core::task::TaskId;
+use std::path::PathBuf;
 use std::sync::Arc;
 
 /// 100_000 observations over 25_000 peers × 4 tasks: every observation
@@ -51,6 +60,25 @@ const N_PEERS_1M: u32 = 250_000;
 const POOL_SWEEP: [(usize, usize); 3] = [(2, 8), (4, 16), (4, 64)];
 
 type Workload = Arc<[(u32, TaskId, Observation)]>;
+
+/// Scratch directory for the durable-backend rows (fresh per iteration —
+/// the cost of a cold store filling up, like the in-memory rows).
+fn bench_dir(tag: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("siot-bench-{tag}-{}", std::process::id()))
+}
+
+/// The persistence price without the disk's sync latency: benches measure
+/// the journaling hot path (frame encode + buffered write), not fsync.
+const NO_FSYNC: LogOptions = LogOptions { fsync: FsyncPolicy::Never, compact_every: 0 };
+
+fn replay_into<B: TrustBackend<u32>>(backend: B, workload: &Workload) -> usize {
+    let mut engine = TrustEngine::with_backend(backend);
+    let betas = ForgettingFactors::figures();
+    for batch in workload.chunks(BATCH) {
+        engine.observe_batch(batch, &betas).expect("workload observations are unit-range");
+    }
+    engine.record_count()
+}
 
 fn bench_workload(c: &mut Criterion, label: &str, n_obs: usize, n_peers: u32) {
     let workload: Workload = backend_workload(n_obs, n_peers, N_TASKS, 42).into();
@@ -116,6 +144,34 @@ fn bench_workload(c: &mut Criterion, label: &str, n_obs: usize, n_peers: u32) {
         );
     }
 
+    // durable backends: same workload, every fold journaled to disk
+    let log_dir = bench_dir(&format!("log-{label}"));
+    c.bench_function(&format!("store_backends/log/batched_observe_{label}"), |b| {
+        b.iter(|| {
+            let _ = std::fs::remove_dir_all(&log_dir);
+            let backend =
+                LogBackend::<u32>::open_with(&log_dir, NO_FSYNC).expect("bench dir opens");
+            let count = replay_into(backend, black_box(&workload));
+            assert_eq!(count, n_obs);
+            black_box(count)
+        })
+    });
+    let _ = std::fs::remove_dir_all(&log_dir);
+
+    let wb_dir = bench_dir(&format!("wb-{label}"));
+    c.bench_function(&format!("store_backends/log_writebehind/batched_observe_{label}"), |b| {
+        b.iter(|| {
+            let _ = std::fs::remove_dir_all(&wb_dir);
+            let backend =
+                WriteBehind::<u32>::open_with(&wb_dir, NO_FSYNC, ShardedBackend::default())
+                    .expect("bench dir opens");
+            let count = replay_into(backend, black_box(&workload));
+            assert_eq!(count, n_obs);
+            black_box(count)
+        })
+    });
+    let _ = std::fs::remove_dir_all(&wb_dir);
+
     // forced worker-thread dispatch, recorded so the trajectory shows what
     // Auto saves (or costs) on this host's core count
     let pool: ObserverPool<u32> = ObserverPool::with_dispatch(WRITERS, Dispatch::Workers);
@@ -149,6 +205,23 @@ fn bench_store_backends(c: &mut Criterion) {
     c.bench_function("store_backends/sharded/scan_known_peers_25k", |b| {
         b.iter(|| black_box(warm_sharded.known_peers().len()))
     });
+
+    // recovery cost: replay a 100k-record log back into memory on open
+    let reopen_dir = bench_dir("reopen");
+    let _ = std::fs::remove_dir_all(&reopen_dir);
+    {
+        let backend = LogBackend::<u32>::open_with(&reopen_dir, NO_FSYNC).expect("bench dir opens");
+        let workload: Workload = workload.clone().into();
+        assert_eq!(replay_into(backend, &workload), N_OBS);
+    }
+    c.bench_function("store_backends/log/reopen_100k", |b| {
+        b.iter(|| {
+            let backend = LogBackend::<u32>::open(&reopen_dir).expect("warm log reopens");
+            assert_eq!(backend.len(), N_OBS);
+            black_box(backend.len())
+        })
+    });
+    let _ = std::fs::remove_dir_all(&reopen_dir);
 }
 
 criterion_group!(benches, bench_store_backends);

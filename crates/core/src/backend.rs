@@ -25,6 +25,8 @@
 //! records of one peer are adjacent, which only the B-tree layout
 //! guarantees.
 
+use crate::error::TrustError;
+use crate::mutuality::UsageLog;
 use crate::record::TrustRecord;
 use crate::task::TaskId;
 use std::collections::hash_map::DefaultHasher;
@@ -88,6 +90,38 @@ pub trait TrustBackend<P: Copy + Ord>: Default + Clone + fmt::Debug {
 
     /// Drops every record.
     fn clear(&mut self);
+
+    // ---- Durability hooks -------------------------------------------------
+    //
+    // Usage logs live in the engine, not the backend — but a *durable*
+    // backend must still see them, or a restart would erase the §4.1
+    // mutuality history. The engine calls these hooks on its log-mutating
+    // paths; in-memory backends keep the no-op defaults.
+
+    /// Durability hook: called by the engine after `peer`'s usage log
+    /// changes, with the post-change state. Absolute state (not a delta),
+    /// so journaling it twice is harmless and replay cannot double-count.
+    /// In-memory backends ignore it.
+    fn note_usage_log(&mut self, peer: P, log: UsageLog) {
+        let _ = (peer, log);
+    }
+
+    /// Durability hook: usage logs recovered from persistent storage,
+    /// replayed into the engine by [`TrustEngine::with_backend`]
+    /// (each peer at most once, ascending). In-memory backends have none.
+    ///
+    /// [`TrustEngine::with_backend`]: crate::store::TrustEngine::with_backend
+    fn recovered_usage_logs(&self) -> Vec<(P, UsageLog)> {
+        Vec::new()
+    }
+
+    /// Durability hook: pushes buffered writes down to stable storage
+    /// (honoring the backend's fsync policy) and surfaces any I/O failure
+    /// recorded since the last flush. A no-op `Ok(())` for in-memory
+    /// backends.
+    fn flush(&mut self) -> Result<(), TrustError> {
+        Ok(())
+    }
 }
 
 /// A backend whose shared (`&self`) handle supports concurrent writers.

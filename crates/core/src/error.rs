@@ -29,6 +29,36 @@ pub enum TrustError {
     /// this signals a bug in the fold path (or a panicking backend), not bad
     /// input; the batch may be partially folded.
     WorkerPanicked,
+    /// A persisted trust-state file failed integrity validation at a point
+    /// recovery must not skip: a *non-tail* log frame with a bad checksum,
+    /// or any damage inside a snapshot (snapshots are written atomically,
+    /// so a torn snapshot is real corruption, not a crash artifact). A torn
+    /// *tail* frame is recovered from silently — see
+    /// [`LogBackend`](crate::log_backend::LogBackend).
+    Corrupt {
+        /// What failed validation (e.g. `"log frame checksum"`).
+        what: &'static str,
+        /// Byte offset of the offending frame within its file.
+        offset: u64,
+    },
+    /// A persisted trust-state file carries a format version this build
+    /// does not read. Bump-and-migrate is deliberate: the on-disk format
+    /// is pinned by a golden-file test.
+    UnsupportedFormat {
+        /// The version byte found in the file header.
+        found: u8,
+        /// The version this build reads.
+        expected: u8,
+    },
+    /// An I/O failure underneath a durable backend (open, append, flush,
+    /// fsync, compaction). Carries the rendered `std::io::Error`.
+    Io(String),
+}
+
+impl From<std::io::Error> for TrustError {
+    fn from(e: std::io::Error) -> Self {
+        TrustError::Io(e.to_string())
+    }
 }
 
 impl fmt::Display for TrustError {
@@ -53,6 +83,13 @@ impl fmt::Display for TrustError {
                     "an observer-pool worker panicked mid-batch (batch may be partially folded)"
                 )
             }
+            TrustError::Corrupt { what, offset } => {
+                write!(f, "persisted trust state corrupt: {what} at byte offset {offset}")
+            }
+            TrustError::UnsupportedFormat { found, expected } => {
+                write!(f, "trust-state file format version {found} (this build reads {expected})")
+            }
+            TrustError::Io(msg) => write!(f, "trust-state I/O failure: {msg}"),
         }
     }
 }
@@ -72,5 +109,16 @@ mod tests {
         assert!(TrustError::NonPositiveWeight(-1.0).to_string().contains("-1"));
         assert!(TrustError::UncoveredCharacteristics { missing: 2 }.to_string().contains('2'));
         assert!(TrustError::WorkerPanicked.to_string().contains("panicked"));
+        let c = TrustError::Corrupt { what: "log frame checksum", offset: 40 };
+        assert!(c.to_string().contains("checksum") && c.to_string().contains("40"));
+        let v = TrustError::UnsupportedFormat { found: 9, expected: 1 };
+        assert!(v.to_string().contains('9') && v.to_string().contains('1'));
+        assert!(TrustError::Io("disk full".into()).to_string().contains("disk full"));
+    }
+
+    #[test]
+    fn io_errors_convert() {
+        let io = std::io::Error::new(std::io::ErrorKind::NotFound, "gone");
+        assert!(matches!(TrustError::from(io), TrustError::Io(msg) if msg.contains("gone")));
     }
 }

@@ -19,10 +19,13 @@
 //!
 //! Trust *state* lives behind the [`store::TrustEngine`] facade, whose
 //! storage is pluggable via [`backend::TrustBackend`]: the deterministic
-//! [`backend::BTreeBackend`] (the `TrustStore` default) or the lock-sharded
+//! [`backend::BTreeBackend`] (the `TrustStore` default), the lock-sharded
 //! [`backend::ShardedBackend`] for high-peer-count workloads (with the
 //! shard-affine [`pool::ObserverPool`] folding batches through persistent
-//! lane-owning workers, bit-identically to sequential folding). Live
+//! lane-owning workers, bit-identically to sequential folding), or the
+//! durable [`log_backend::LogBackend`] / [`log_backend::WriteBehind`] —
+//! an append-only checksummed record log with snapshot compaction and
+//! replay-on-open recovery, so trust state survives restarts. Live
 //! interactions flow through the
 //! [`delegation`] session — `delegate → evaluate → decide → execute` — so
 //! feedback is validated, environment-corrected and counted exactly once;
@@ -68,6 +71,7 @@ pub mod error;
 pub mod evaluate;
 pub mod goal;
 pub mod infer;
+pub mod log_backend;
 pub mod mutuality;
 pub mod policy;
 pub mod pool;
@@ -91,11 +95,12 @@ pub mod prelude {
     pub use crate::evaluate::{net_profit, prefers_delegation, trustee_decision, TrusteeDecision};
     pub use crate::goal::Goal;
     pub use crate::infer::{infer_characteristic, infer_task, Experience};
+    pub use crate::log_backend::{FsyncPolicy, LogBackend, LogKey, LogOptions, WriteBehind};
     pub use crate::mutuality::{ReverseEvaluator, UsageLog};
     pub use crate::policy::{GainOnly, HighestSuccessRate, MaxNetProfit, SelectionPolicy};
     pub use crate::pool::{Dispatch, ObserverPool};
     pub use crate::record::{ForgettingFactors, Observation, TrustRecord};
-    pub use crate::store::{TrustEngine, TrustStore};
+    pub use crate::store::{DurableTrustStore, TrustEngine, TrustStore};
     pub use crate::task::{CharacteristicId, Task, TaskId};
     pub use crate::transitivity::{chain, traditional_chain, two_hop, TransitivityGates};
     pub use crate::tw::{Normalizer, Trustworthiness};

@@ -34,11 +34,14 @@ use crate::environment::{remove_influence, update_with_environment, EnvIndicator
 use crate::error::TrustError;
 use crate::goal::Goal;
 use crate::infer::{infer_task, Experience};
+use crate::log_backend::{LogBackend, LogKey, LogOptions};
 use crate::mutuality::UsageLog;
 use crate::record::{ForgettingFactors, Observation, TrustRecord};
 use crate::task::{Task, TaskId};
 use crate::tw::{Normalizer, Trustworthiness};
 use std::collections::BTreeMap;
+use std::fmt;
+use std::path::Path;
 
 /// Trust state owned by a single agent, keyed by peer id `P`, with record
 /// storage pluggable via the backend parameter `B`.
@@ -53,6 +56,11 @@ pub struct TrustEngine<P, B = BTreeBackend<P>> {
 /// The deterministic default engine (ordered-map storage).
 pub type TrustStore<P> = TrustEngine<P, BTreeBackend<P>>;
 
+/// The durable engine: [`TrustStore`] semantics over the append-only
+/// [`LogBackend`] — open it with [`TrustEngine::open`] and state survives
+/// restarts.
+pub type DurableTrustStore<P> = TrustEngine<P, LogBackend<P>>;
+
 impl<P: Copy + Ord, B: TrustBackend<P>> Default for TrustEngine<P, B> {
     fn default() -> Self {
         Self::new()
@@ -65,19 +73,30 @@ impl<P: Copy + Ord, B: TrustBackend<P>> TrustEngine<P, B> {
         Self::with_backend(B::new())
     }
 
-    /// An engine over an existing (possibly pre-warmed) backend.
+    /// An engine over an existing (possibly pre-warmed) backend. Usage
+    /// logs a durable backend recovered from storage are replayed into the
+    /// engine here; in-memory backends recover none.
+    ///
+    /// Task definitions are *not* persisted — they are static
+    /// configuration, re-[registered](Self::register_task) by the caller
+    /// after opening.
     pub fn with_backend(backend: B) -> Self {
-        TrustEngine {
-            backend,
-            tasks: BTreeMap::new(),
-            logs: BTreeMap::new(),
-            normalizer: Normalizer::UNIT,
-        }
+        let logs = backend.recovered_usage_logs().into_iter().collect();
+        TrustEngine { backend, tasks: BTreeMap::new(), logs, normalizer: Normalizer::UNIT }
     }
 
     /// Read access to the storage backend.
     pub fn backend(&self) -> &B {
         &self.backend
+    }
+
+    /// Mutable access to the storage backend — raw layer, for storage
+    /// plumbing a generic engine cannot express (e.g. compacting a
+    /// [`WriteBehind`](crate::log_backend::WriteBehind) ledger). Mutating
+    /// records through it bypasses validation and usage-log bookkeeping;
+    /// live interactions go through [sessions](Self::delegate).
+    pub fn backend_mut(&mut self) -> &mut B {
+        &mut self.backend
     }
 
     /// Registers (or replaces) a task definition. Inference needs the
@@ -177,6 +196,10 @@ impl<P: Copy + Ord, B: TrustBackend<P>> TrustEngine<P, B> {
             ResourceUse::Responsive => log.record_responsive(),
             ResourceUse::Abusive => log.record_abusive(),
         }
+        let after = *log;
+        // durable backends journal the post-append state; in-memory
+        // backends no-op
+        self.backend.note_usage_log(peer, after);
     }
 
     /// Installs a record for `(peer, task)` — state that predates the
@@ -289,16 +312,28 @@ impl<P: Copy + Ord, B: TrustBackend<P>> TrustEngine<P, B> {
     /// Installs `seed()` as the usage log about `peer` if none exists yet
     /// and returns the (possibly pre-existing) log read-only — for
     /// warm-starting reverse evaluation from historical interactions. The
-    /// closure only runs on first contact. Live entries are appended by
+    /// closure only runs on first contact (and only a first contact is
+    /// journaled by durable backends). Live entries are appended by
     /// executed [sessions](Self::delegate), not by hand.
     pub fn seed_usage_log(&mut self, peer: P, seed: impl FnOnce() -> UsageLog) -> &UsageLog {
-        self.logs.entry(peer).or_insert_with(seed)
+        if let std::collections::btree_map::Entry::Vacant(slot) = self.logs.entry(peer) {
+            let log = seed();
+            slot.insert(log);
+            self.backend.note_usage_log(peer, log);
+        }
+        self.logs.get(&peer).expect("present: inserted above on first contact")
     }
 
     /// Mutable usage log about `peer`.
     ///
     /// Raw layer: sessions fold resource use automatically; reach for this
     /// only when replaying externally-validated histories.
+    ///
+    /// **Durability**: mutations through the returned reference bypass the
+    /// backend's journal — on a durable engine they are not persisted until
+    /// the next [`Self::flush`] (which re-journals every usage log) or the
+    /// next session commit touching the same peer. Sessions and the seeding
+    /// APIs have no such gap.
     pub fn usage_log_mut(&mut self, peer: P) -> &mut UsageLog {
         self.logs.entry(peer).or_default()
     }
@@ -306,13 +341,38 @@ impl<P: Copy + Ord, B: TrustBackend<P>> TrustEngine<P, B> {
     /// Mutable usage log about `peer`, seeded by `seed` on first access.
     ///
     /// Raw layer: prefer [`Self::seed_usage_log`], which hands back a
-    /// read-only log so live entries can only come from sessions.
+    /// read-only log so live entries can only come from sessions. The seed
+    /// itself is journaled by durable backends; later mutations through the
+    /// returned reference carry the same caveat as [`Self::usage_log_mut`].
     pub fn usage_log_mut_or_seed(
         &mut self,
         peer: P,
         seed: impl FnOnce() -> UsageLog,
     ) -> &mut UsageLog {
-        self.logs.entry(peer).or_insert_with(seed)
+        if let std::collections::btree_map::Entry::Vacant(slot) = self.logs.entry(peer) {
+            let log = seed();
+            slot.insert(log);
+            self.backend.note_usage_log(peer, log);
+        }
+        self.logs.get_mut(&peer).expect("present: inserted above on first contact")
+    }
+
+    /// Pushes engine state down to stable storage: re-journals every usage
+    /// log (absolute state — cheap when nothing changed, and the only way
+    /// raw [`Self::usage_log_mut`] edits become durable) and then flushes
+    /// the backend. A no-op `Ok(())` on in-memory backends.
+    pub fn flush(&mut self) -> Result<(), TrustError> {
+        self.rejournal_usage_logs();
+        self.backend.flush()
+    }
+
+    /// Hands every usage log to the backend's durability hook — absolute
+    /// state, so already-journaled logs are skipped cheaply. The shared
+    /// step under [`Self::flush`] and the durable engine's `compact`.
+    fn rejournal_usage_logs(&mut self) {
+        for (&peer, &log) in &self.logs {
+            self.backend.note_usage_log(peer, log);
+        }
     }
 
     /// Peers with at least one record — each exactly once, ascending.
@@ -404,6 +464,31 @@ impl<P: Copy + Ord, B: ConcurrentTrustBackend<P>> TrustEngine<P, B> {
             &|i| (batch[i].0, batch[i].1),
             &mut |i, prior| folded(prior, &batch[i].2, betas),
         );
+    }
+}
+
+impl<P: LogKey + fmt::Debug> TrustEngine<P, LogBackend<P>> {
+    /// Opens (or creates) a durable engine in `dir`: loads the snapshot,
+    /// replays the log tail (truncating a torn final frame), and recovers
+    /// records *and* usage logs to their exact pre-shutdown state.
+    /// Re-[register](Self::register_task) task definitions after opening —
+    /// they are configuration, not state.
+    pub fn open(dir: impl AsRef<Path>) -> Result<Self, TrustError> {
+        Ok(Self::with_backend(LogBackend::open(dir)?))
+    }
+
+    /// [`Self::open`] with explicit [`LogOptions`] (fsync policy,
+    /// auto-compaction threshold).
+    pub fn open_with(dir: impl AsRef<Path>, options: LogOptions) -> Result<Self, TrustError> {
+        Ok(Self::with_backend(LogBackend::open_with(dir, options)?))
+    }
+
+    /// Compacts the backing log into a fresh snapshot (see
+    /// [`LogBackend::compact`]). Usage logs raw-mutated since the last
+    /// [`Self::flush`] are re-journaled first so the snapshot is complete.
+    pub fn compact(&mut self) -> Result<(), TrustError> {
+        self.rejournal_usage_logs();
+        self.backend.compact()
     }
 }
 

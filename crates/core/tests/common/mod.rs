@@ -1,0 +1,18 @@
+//! Helpers shared by the integration test binaries.
+
+use std::path::PathBuf;
+
+/// A fresh per-call scratch directory for file-backed backends: unique per
+/// process and per call, pre-cleaned, under the OS temp dir. Callers remove
+/// it when their test passes (a failing test leaves it behind for autopsy).
+pub fn tmpdir(tag: &str) -> PathBuf {
+    use std::sync::atomic::{AtomicU64, Ordering};
+    static NEXT: AtomicU64 = AtomicU64::new(0);
+    let dir = std::env::temp_dir().join(format!(
+        "siot-test-{tag}-{}-{}",
+        std::process::id(),
+        NEXT.fetch_add(1, Ordering::Relaxed)
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}

@@ -1,0 +1,473 @@
+//! Durability test suite for the append-only [`LogBackend`]: crash
+//! recovery at every truncation point, corruption detection, the pinned
+//! golden on-disk format, and delegation-lifecycle durability.
+
+use siot_core::error::TrustError;
+use siot_core::log_backend::{FsyncPolicy, LogOptions, FORMAT_VERSION, LOG_FILE, SNAP_FILE};
+use siot_core::prelude::*;
+use std::fs;
+use std::path::{Path, PathBuf};
+
+mod common;
+use common::tmpdir;
+
+const HEADER: usize = 8;
+
+fn rec(i: u32) -> TrustRecord {
+    // dyadic components: every value is exactly representable, so equality
+    // below is bit-exact, not approximate
+    TrustRecord::with_priors(i as f64 / 8.0, 0.5, 0.25, 0.125)
+}
+
+/// A log of `n` single-record frames with no snapshot, plus the log bytes.
+fn seeded_log(n: u32) -> (PathBuf, Vec<u8>) {
+    let dir = tmpdir("seed");
+    {
+        let mut engine: DurableTrustStore<u32> = TrustEngine::open(&dir).expect("fresh dir");
+        for i in 0..n {
+            engine.seed_record(i, TaskId(0), rec(i));
+        }
+        engine.flush().expect("flush succeeds");
+    }
+    let bytes = fs::read(dir.join(LOG_FILE)).expect("log exists");
+    (dir, bytes)
+}
+
+fn write_log(dir: &Path, bytes: &[u8]) {
+    fs::create_dir_all(dir).expect("dir creatable");
+    fs::write(dir.join(LOG_FILE), bytes).expect("log writable");
+}
+
+// ---------------------------------------------------------------------------
+// Crash recovery: the truncation sweep
+// ---------------------------------------------------------------------------
+
+/// Simulates a crash at *every byte boundary* of the log — covering every
+/// byte of the final frame and mid-log positions alike. Reopen must never
+/// panic, never error, and recover exactly the frames wholly contained in
+/// the surviving prefix (the longest checksum-valid prefix).
+#[test]
+fn truncation_sweep_recovers_longest_valid_prefix() {
+    const N: u32 = 6;
+    let (dir, bytes) = seeded_log(N);
+    fs::remove_dir_all(&dir).expect("seed dir removable");
+    let frame = (bytes.len() - HEADER) / N as usize;
+    assert_eq!(HEADER + frame * N as usize, bytes.len(), "fixed-width record frames");
+
+    for cut in 0..=bytes.len() {
+        let dir = tmpdir("cut");
+        write_log(&dir, &bytes[..cut]);
+        let engine: DurableTrustStore<u32> = TrustEngine::open(&dir)
+            .unwrap_or_else(|e| panic!("cut at byte {cut} must recover, got {e}"));
+        let complete = cut.saturating_sub(HEADER) / frame;
+        assert_eq!(engine.record_count(), complete, "cut at byte {cut}");
+        for i in 0..complete as u32 {
+            assert_eq!(engine.record(i, TaskId(0)), Some(rec(i)), "cut at byte {cut}, record {i}");
+        }
+        // recovery truncated the torn tail: appends continue from a valid
+        // frame, and a second open sees the same state plus the append
+        drop(engine);
+        let mut engine: DurableTrustStore<u32> = TrustEngine::open(&dir).expect("reopen");
+        engine.seed_record(99, TaskId(7), rec(7));
+        drop(engine);
+        let engine: DurableTrustStore<u32> = TrustEngine::open(&dir).expect("third open");
+        assert_eq!(engine.record_count(), complete + 1, "cut at byte {cut}");
+        assert_eq!(engine.record(99, TaskId(7)), Some(rec(7)));
+        drop(engine);
+        fs::remove_dir_all(&dir).expect("scratch removable");
+    }
+}
+
+/// A complete final frame whose checksum fails (crash garbage at the tail)
+/// is recovered from silently — only the tail frame is dropped.
+#[test]
+fn corrupt_tail_frame_is_recovered() {
+    const N: u32 = 6;
+    let (dir, mut bytes) = seeded_log(N);
+    let frame = (bytes.len() - HEADER) / N as usize;
+    let last_payload = bytes.len() - frame + 8 + 2; // inside the last frame's payload
+    bytes[last_payload] ^= 0xFF;
+    write_log(&dir, &bytes);
+    let engine: DurableTrustStore<u32> = TrustEngine::open(&dir).expect("tail damage recovers");
+    assert_eq!(engine.record_count(), (N - 1) as usize);
+    drop(engine);
+    fs::remove_dir_all(&dir).expect("scratch removable");
+}
+
+/// A checksum failure on a frame *followed by valid frames* cannot be a
+/// torn append: it must surface as `TrustError::Corrupt` with the frame's
+/// offset, never silently drop data.
+#[test]
+fn corrupt_mid_log_frame_reports_corrupt() {
+    const N: u32 = 6;
+    let (dir, mut bytes) = seeded_log(N);
+    let frame = (bytes.len() - HEADER) / N as usize;
+    let second_frame_start = HEADER + frame;
+    bytes[second_frame_start + 8 + 3] ^= 0x55; // payload of frame #1 (non-tail)
+    write_log(&dir, &bytes);
+    let err = DurableTrustStore::<u32>::open(&dir).expect_err("mid-log corruption is fatal");
+    match err {
+        TrustError::Corrupt { what, offset } => {
+            assert_eq!(what, "log frame checksum");
+            assert_eq!(offset, second_frame_start as u64);
+        }
+        other => panic!("expected Corrupt, got {other:?}"),
+    }
+    fs::remove_dir_all(&dir).expect("scratch removable");
+}
+
+/// Corrupting a mid-log frame's *length prefix* (not just its payload)
+/// must still surface as `Corrupt`: the recovery scan looks for valid
+/// frames at every alignment, so a damaged length field cannot disguise
+/// the valid frames behind it as a torn tail.
+#[test]
+fn corrupt_mid_log_length_field_reports_corrupt() {
+    const N: u32 = 6;
+    let (dir, bytes) = seeded_log(N);
+    let frame = (bytes.len() - HEADER) / N as usize;
+    let second_frame_start = HEADER + frame;
+    for flip in [0x01u8, 0x40, 0xFF] {
+        let mut damaged = bytes.clone();
+        damaged[second_frame_start] ^= flip; // low byte of the len field
+        write_log(&dir, &damaged);
+        let err = DurableTrustStore::<u32>::open(&dir)
+            .expect_err("len-field damage before valid frames is corruption, not a tear");
+        assert!(matches!(err, TrustError::Corrupt { .. }), "flip {flip:#x}: got {err:?}");
+    }
+    fs::remove_dir_all(&dir).expect("scratch removable");
+}
+
+/// A log that predates the snapshot (crash between the snapshot rename and
+/// the log truncation) is discarded on open: its stale absolute frames
+/// must never replay over — and regress — the newer snapshot.
+#[test]
+fn stale_pre_snapshot_log_is_discarded() {
+    let dir = tmpdir("stale-log");
+    let stale_log = {
+        let mut engine: DurableTrustStore<u32> = TrustEngine::open(&dir).expect("fresh dir");
+        engine.seed_record(1, TaskId(0), rec(1)); // old state: s_hat = 1/8
+        engine.flush().expect("flush succeeds");
+        let stale = fs::read(dir.join(LOG_FILE)).expect("log exists");
+        engine.seed_record(1, TaskId(0), rec(4)); // new state: s_hat = 4/8
+        engine.compact().expect("compaction succeeds");
+        stale
+    };
+    // simulate the crash window: snapshot renamed (new state), log never
+    // truncated (still generation 0 with the stale frame)
+    fs::write(dir.join(LOG_FILE), &stale_log).expect("log writable");
+    let engine: DurableTrustStore<u32> = TrustEngine::open(&dir).expect("recovers");
+    assert_eq!(
+        engine.record(1, TaskId(0)),
+        Some(rec(4)),
+        "the snapshot wins; the stale log must not regress state"
+    );
+    drop(engine);
+    fs::remove_dir_all(&dir).expect("scratch removable");
+}
+
+/// Snapshots are written atomically, so *any* damage inside one is real
+/// corruption — no tail tolerance there.
+#[test]
+fn corrupt_snapshot_reports_corrupt() {
+    let dir = tmpdir("snapcorrupt");
+    {
+        let mut engine: DurableTrustStore<u32> = TrustEngine::open(&dir).expect("fresh dir");
+        for i in 0..5u32 {
+            engine.seed_record(i, TaskId(0), rec(i));
+        }
+        engine.compact().expect("compaction succeeds");
+    }
+    let snap = dir.join(SNAP_FILE);
+    let mut bytes = fs::read(&snap).expect("snapshot exists");
+    let mid = HEADER + 12;
+    bytes[mid] ^= 0xFF;
+    fs::write(&snap, &bytes).expect("snapshot writable");
+    let err = DurableTrustStore::<u32>::open(&dir).expect_err("snapshot damage is fatal");
+    assert!(matches!(err, TrustError::Corrupt { what: "snapshot frame", .. }), "got {err:?}");
+    fs::remove_dir_all(&dir).expect("scratch removable");
+}
+
+// ---------------------------------------------------------------------------
+// Format versioning
+// ---------------------------------------------------------------------------
+
+#[test]
+fn version_mismatch_is_a_typed_error() {
+    // a log written by a hypothetical future format version
+    let dir = tmpdir("version");
+    write_log(&dir, &[b'S', b'I', b'O', b'T', b'L', FORMAT_VERSION + 1, 0, 0]);
+    let err = DurableTrustStore::<u32>::open(&dir).expect_err("future version must not parse");
+    assert_eq!(
+        err,
+        TrustError::UnsupportedFormat { found: FORMAT_VERSION + 1, expected: FORMAT_VERSION }
+    );
+    fs::remove_dir_all(&dir).expect("scratch removable");
+
+    // same for the snapshot
+    let dir = tmpdir("snapversion");
+    fs::create_dir_all(&dir).expect("dir creatable");
+    fs::write(dir.join(SNAP_FILE), [b'S', b'I', b'O', b'T', b'S', 9, 0, 0]).expect("writable");
+    let err = DurableTrustStore::<u32>::open(&dir).expect_err("future snapshot must not parse");
+    assert_eq!(err, TrustError::UnsupportedFormat { found: 9, expected: FORMAT_VERSION });
+    fs::remove_dir_all(&dir).expect("scratch removable");
+}
+
+// ---------------------------------------------------------------------------
+// Golden file: the on-disk format is pinned
+// ---------------------------------------------------------------------------
+
+fn fixture_dir() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures/golden")
+}
+
+/// Builds the golden state. Dyadic values throughout, so the pinned
+/// assertions below are exact.
+fn write_golden_state(dir: &Path) {
+    let mut engine: DurableTrustStore<u32> = TrustEngine::open(dir).expect("dir opens");
+    let betas = ForgettingFactors::uniform(0.5);
+    engine.seed_record(1, TaskId(0), TrustRecord::with_priors(0.5, 0.25, 0.125, 0.0625));
+    engine
+        .observe_batch(
+            &[(
+                2,
+                TaskId(1),
+                Observation { success_rate: 0.75, gain: 0.5, damage: 0.25, cost: 0.0 },
+            )],
+            &betas,
+        )
+        .expect("in-range");
+    engine.seed_usage_log(3, || UsageLog { responsive: 6, abusive: 2 });
+    // the snapshot holds everything above…
+    engine.compact().expect("compaction succeeds");
+    // …and the log tail holds what follows
+    engine.observe(
+        2,
+        TaskId(1),
+        &Observation { success_rate: 0.25, gain: 0.0, damage: 0.75, cost: 1.0 },
+        &betas,
+    );
+    engine.seed_usage_log(4, || UsageLog { responsive: 1, abusive: 0 });
+    engine.flush().expect("flush succeeds");
+}
+
+fn assert_golden_state(engine: &DurableTrustStore<u32>) {
+    assert_eq!(engine.record_count(), 2);
+    assert_eq!(engine.known_peers(), vec![1, 2]);
+    let r1 = engine.record(1, TaskId(0)).expect("seeded record");
+    assert_eq!((r1.s_hat, r1.g_hat, r1.d_hat, r1.c_hat), (0.5, 0.25, 0.125, 0.0625));
+    assert_eq!(r1.interactions, 0);
+    // two β=0.5 folds: 0.75 then blend(0.75, 0.25) etc — all dyadic
+    let r2 = engine.record(2, TaskId(1)).expect("observed record");
+    assert_eq!((r2.s_hat, r2.g_hat, r2.d_hat, r2.c_hat), (0.5, 0.25, 0.5, 0.5));
+    assert_eq!(r2.interactions, 2);
+    assert_eq!(engine.usage_log(3), UsageLog { responsive: 6, abusive: 2 });
+    assert_eq!(engine.usage_log(4), UsageLog { responsive: 1, abusive: 0 });
+}
+
+/// Replays the *committed* fixture bytes and asserts the pinned state: a
+/// format change either keeps reading version-1 files exactly like this, or
+/// bumps [`FORMAT_VERSION`] (and regenerates the fixture via the ignored
+/// test below).
+#[test]
+fn golden_fixture_replays_to_pinned_state() {
+    let fixtures = fixture_dir();
+    // fixtures are committed; work on a copy so opening never touches them
+    let dir = tmpdir("golden");
+    fs::create_dir_all(&dir).expect("dir creatable");
+    for name in [LOG_FILE, SNAP_FILE] {
+        fs::copy(fixtures.join(name), dir.join(name)).unwrap_or_else(|e| {
+            panic!("fixture {name} must exist (see generate_golden_fixture): {e}")
+        });
+    }
+    let engine: DurableTrustStore<u32> = TrustEngine::open(&dir).expect("fixture opens");
+    assert_golden_state(&engine);
+    drop(engine);
+    fs::remove_dir_all(&dir).expect("scratch removable");
+}
+
+/// The fixture's generator — run `cargo test -p siot-core --test
+/// persistence -- --ignored generate_golden_fixture` after an *intentional*
+/// format-version bump to re-record the files, and commit them.
+#[test]
+#[ignore = "regenerates the committed golden fixture"]
+fn generate_golden_fixture() {
+    let dir = fixture_dir();
+    let _ = fs::remove_dir_all(&dir);
+    write_golden_state(&dir);
+    // sanity: the freshly recorded fixture replays to the pinned state
+    let engine: DurableTrustStore<u32> = TrustEngine::open(&dir).expect("fixture reopens");
+    assert_golden_state(&engine);
+}
+
+/// The generator and the pinned assertions agree on today's code, with the
+/// round trip running through a scratch dir (so this holds even when the
+/// committed fixture is stale in a working tree).
+#[test]
+fn golden_state_round_trips_today() {
+    let dir = tmpdir("golden-today");
+    write_golden_state(&dir);
+    let engine: DurableTrustStore<u32> = TrustEngine::open(&dir).expect("reopens");
+    assert_golden_state(&engine);
+    drop(engine);
+    fs::remove_dir_all(&dir).expect("scratch removable");
+}
+
+// ---------------------------------------------------------------------------
+// Delegation-lifecycle durability
+// ---------------------------------------------------------------------------
+
+/// Execute sessions, drop the engine *without* an explicit flush, reopen:
+/// interaction counts and mutuality logs must match exactly — and keep
+/// matching as more sessions run, so double-counting on replay is
+/// unrepresentable.
+#[test]
+fn executed_sessions_survive_drop_without_flush() {
+    let dir = tmpdir("lifecycle");
+    let task = Task::uniform(TaskId(0), [CharacteristicId(0)]).expect("non-empty");
+    let betas = ForgettingFactors::figures();
+    let run_sessions = |engine: &mut DurableTrustStore<u32>, n: u32, offset: u32| {
+        for i in 0..n {
+            let peer = (offset + i) % 3;
+            let active = engine
+                .delegate(peer, &task, Goal::ANY, Context::amicable(task.id()))
+                .activate(engine);
+            let outcome = if i % 4 == 0 {
+                DelegationOutcome::failed(0.5, 0.25).abusive()
+            } else {
+                DelegationOutcome::succeeded(0.75, 0.125)
+            };
+            active.execute(engine, outcome, &betas).expect("in-range outcome");
+        }
+    };
+
+    let (expected_records, expected_logs);
+    {
+        let mut engine: DurableTrustStore<u32> = TrustEngine::open(&dir).expect("fresh dir");
+        engine.register_task(task.clone());
+        run_sessions(&mut engine, 20, 0);
+        expected_records = (0..3u32).map(|p| engine.record(p, task.id())).collect::<Vec<_>>();
+        expected_logs = (0..3u32).map(|p| engine.usage_log(p)).collect::<Vec<_>>();
+        // dropped without flush
+    }
+
+    let mut engine: DurableTrustStore<u32> = TrustEngine::open(&dir).expect("reopen");
+    engine.register_task(task.clone());
+    for p in 0..3u32 {
+        assert_eq!(engine.record(p, task.id()), expected_records[p as usize], "peer {p}");
+        assert_eq!(engine.usage_log(p), expected_logs[p as usize], "peer {p}");
+    }
+    let total: u64 =
+        (0..3u32).filter_map(|p| engine.record(p, task.id())).map(|r| r.interactions).sum();
+    assert_eq!(total, 20, "one fold per executed session, nothing replayed twice");
+    let logged: u64 = (0..3u32).map(|p| engine.usage_log(p).total()).sum();
+    assert_eq!(logged, 20);
+
+    // sessions after recovery continue the same histories
+    run_sessions(&mut engine, 5, 1);
+    drop(engine);
+    let engine: DurableTrustStore<u32> = TrustEngine::open(&dir).expect("second reopen");
+    let total: u64 =
+        (0..3u32).filter_map(|p| engine.record(p, task.id())).map(|r| r.interactions).sum();
+    assert_eq!(total, 25);
+    let logged: u64 = (0..3u32).map(|p| engine.usage_log(p).total()).sum();
+    assert_eq!(logged, 25);
+    drop(engine);
+    fs::remove_dir_all(&dir).expect("scratch removable");
+}
+
+/// `commit_batch` — the coordinator's slate shape — is just as durable.
+#[test]
+fn committed_batches_survive_reopen() {
+    let dir = tmpdir("batch");
+    let task = Task::uniform(TaskId(0), [CharacteristicId(0)]).expect("non-empty");
+    let betas = ForgettingFactors::figures();
+    {
+        let mut engine: DurableTrustStore<u32> = TrustEngine::open(&dir).expect("fresh dir");
+        let mut pending = Vec::new();
+        for i in 0..12u32 {
+            let active = engine
+                .delegate(i % 4, &task, Goal::ANY, Context::amicable(task.id()))
+                .activate(&engine);
+            pending.push(active.finish(DelegationOutcome::succeeded(0.5, 0.25)).expect("in-range"));
+        }
+        engine.commit_batch(pending, &betas);
+    }
+    let engine: DurableTrustStore<u32> = TrustEngine::open(&dir).expect("reopen");
+    for p in 0..4u32 {
+        assert_eq!(engine.record(p, task.id()).expect("committed").interactions, 3);
+        assert_eq!(engine.usage_log(p).responsive, 3);
+    }
+    drop(engine);
+    fs::remove_dir_all(&dir).expect("scratch removable");
+}
+
+/// Raw `usage_log_mut` edits bypass the journal by design; `flush`
+/// re-journals them. Both halves of that contract, pinned.
+#[test]
+fn raw_usage_log_edits_need_flush() {
+    let dir = tmpdir("rawlog");
+    {
+        let mut engine: DurableTrustStore<u32> = TrustEngine::open(&dir).expect("fresh dir");
+        engine.usage_log_mut(9).record_abusive();
+        // dropped without flush: the raw edit is lost (documented)
+    }
+    {
+        let engine: DurableTrustStore<u32> = TrustEngine::open(&dir).expect("reopen");
+        assert_eq!(engine.usage_log(9), UsageLog::default());
+    }
+    {
+        let mut engine: DurableTrustStore<u32> = TrustEngine::open(&dir).expect("reopen");
+        engine.usage_log_mut(9).record_abusive();
+        engine.flush().expect("flush succeeds");
+    }
+    let engine: DurableTrustStore<u32> = TrustEngine::open(&dir).expect("final reopen");
+    assert_eq!(engine.usage_log(9).abusive, 1);
+    drop(engine);
+    fs::remove_dir_all(&dir).expect("scratch removable");
+}
+
+#[test]
+fn clear_records_is_durable_and_keeps_usage_logs() {
+    let dir = tmpdir("clear");
+    {
+        let mut engine: DurableTrustStore<u32> = TrustEngine::open(&dir).expect("fresh dir");
+        engine.seed_record(1, TaskId(0), rec(1));
+        engine.seed_usage_log(1, || UsageLog { responsive: 2, abusive: 0 });
+        engine.clear_records();
+        engine.seed_record(2, TaskId(0), rec(2));
+    }
+    let engine: DurableTrustStore<u32> = TrustEngine::open(&dir).expect("reopen");
+    assert_eq!(engine.record_count(), 1);
+    assert!(engine.record(1, TaskId(0)).is_none(), "cleared record stays cleared");
+    assert_eq!(engine.record(2, TaskId(0)), Some(rec(2)));
+    assert_eq!(engine.usage_log(1).responsive, 2, "clear_records keeps usage logs");
+    drop(engine);
+    fs::remove_dir_all(&dir).expect("scratch removable");
+}
+
+// ---------------------------------------------------------------------------
+// Reopen smoke (the CI `persistence` step's fast path)
+// ---------------------------------------------------------------------------
+
+#[test]
+fn reopen_smoke_tmpdir() {
+    let dir = tmpdir("smoke");
+    let betas = ForgettingFactors::figures();
+    {
+        let mut engine: DurableTrustStore<u32> = TrustEngine::open_with(
+            &dir,
+            LogOptions { fsync: FsyncPolicy::Always, compact_every: 64 },
+        )
+        .expect("fresh dir");
+        for i in 0..200u32 {
+            engine.observe(i % 10, TaskId((i / 10) % 2), &Observation::success(0.5, 0.25), &betas);
+        }
+    }
+    let engine: DurableTrustStore<u32> = TrustEngine::open(&dir).expect("reopen");
+    assert_eq!(engine.record_count(), 20);
+    assert_eq!(engine.known_peers().len(), 10);
+    assert_eq!(engine.record(0, TaskId(0)).expect("warm").interactions, 10);
+    assert!(engine.trustworthiness(0, TaskId(0)).expect("warm").value() > 0.5);
+    drop(engine);
+    fs::remove_dir_all(&dir).expect("scratch removable");
+}

@@ -10,6 +10,89 @@ fn unit() -> impl Strategy<Value = f64> {
     0.0..=1.0f64
 }
 
+mod common;
+use common::tmpdir;
+
+/// One step of the durable-equivalence interleavings: every mutation class
+/// the engine exposes — raw observe, env-aware observe, executed sessions
+/// (which also advance usage logs), record seeds, and usage-log seeds.
+type DurabilityStep = (u32, u32, u32, Observation, f64, u32);
+
+fn durability_steps(max_len: usize) -> impl Strategy<Value = Vec<DurabilityStep>> {
+    prop::collection::vec(
+        (0u32..5, 0u32..8, 0u32..3, observation(), 0.05..=1.0f64, 0u32..3),
+        1..max_len,
+    )
+}
+
+/// Applies one interleaving to an engine over any backend.
+fn apply_durability_steps<B: TrustBackend<u32>>(
+    engine: &mut TrustEngine<u32, B>,
+    steps: &[DurabilityStep],
+    betas: &ForgettingFactors,
+) {
+    for &(kind, peer, tasknum, ref obs, env, flag) in steps {
+        let tid = TaskId(tasknum);
+        match kind {
+            0 => engine.observe(peer, tid, obs, betas),
+            1 => {
+                let envs = [EnvIndicator::new(env).expect("generated in (0, 1]")];
+                engine.observe_with_environment(peer, tid, obs, &envs, betas);
+            }
+            2 => {
+                let task = Task::uniform(tid, [CharacteristicId(0)]).expect("non-empty");
+                let ctx = Context::new(tid, EnvIndicator::new(env).expect("in range"));
+                let active = engine.delegate(peer, &task, Goal::ANY, ctx).activate(engine);
+                let outcome = DelegationOutcome::observed(*obs);
+                let outcome = if flag == 1 { outcome.abusive() } else { outcome };
+                active.execute(engine, outcome, betas).expect("generated in-range");
+            }
+            3 => engine.seed_record(
+                peer,
+                tid,
+                TrustRecord::with_priors(obs.success_rate, obs.gain, obs.damage, obs.cost),
+            ),
+            _ => {
+                engine.seed_usage_log(peer, || UsageLog {
+                    responsive: flag as u64,
+                    abusive: (flag % 2) as u64,
+                });
+            }
+        }
+    }
+}
+
+/// Bit-level equality of two engines' records, usage logs, and derived
+/// trustworthiness.
+fn engines_bit_identical<A: TrustBackend<u32>, B: TrustBackend<u32>>(
+    x: &TrustEngine<u32, A>,
+    y: &TrustEngine<u32, B>,
+) -> Result<(), TestCaseError> {
+    prop_assert_eq!(x.record_count(), y.record_count());
+    prop_assert_eq!(x.known_peers(), y.known_peers());
+    // usage logs can exist for peers without records (seeded-only), so the
+    // sweep covers the whole generated peer space, not just known_peers
+    for peer in 0..8u32 {
+        prop_assert_eq!(x.usage_log(peer), y.usage_log(peer));
+        for task in 0..3 {
+            let tid = TaskId(task);
+            let (a, b) = (x.record(peer, tid), y.record(peer, tid));
+            prop_assert_eq!(a.is_some(), b.is_some());
+            if let (Some(ra), Some(rb)) = (a, b) {
+                prop_assert_eq!(ra.s_hat.to_bits(), rb.s_hat.to_bits());
+                prop_assert_eq!(ra.g_hat.to_bits(), rb.g_hat.to_bits());
+                prop_assert_eq!(ra.d_hat.to_bits(), rb.d_hat.to_bits());
+                prop_assert_eq!(ra.c_hat.to_bits(), rb.c_hat.to_bits());
+                prop_assert_eq!(ra.interactions, rb.interactions);
+                let ta = x.trustworthiness(peer, tid).expect("record exists").value();
+                let tb = y.trustworthiness(peer, tid).expect("record exists").value();
+                prop_assert_eq!(ta.to_bits(), tb.to_bits());
+            }
+        }
+    }
+    Ok(())
+}
+
 fn observation() -> impl Strategy<Value = Observation> {
     (unit(), unit(), unit(), unit()).prop_map(|(s, g, d, c)| Observation {
         success_rate: s,
@@ -465,5 +548,96 @@ proptest! {
                 prop_assert_eq!(seq.record(peer, TaskId(t)), batched.record(peer, TaskId(t)));
             }
         }
+    }
+
+    // ---- Durable storage -------------------------------------------------
+
+    #[test]
+    fn log_backend_bit_identical_to_btree(
+        steps in durability_steps(50),
+        beta in unit(),
+    ) {
+        // Any interleaving of observe / env-observe / session / seed /
+        // usage-log ops leaves the durable backend's engine bit-identical
+        // to the B-tree engine: journaling must never touch the arithmetic.
+        let betas = ForgettingFactors::uniform(beta);
+        let mut bt: TrustEngine<u32, BTreeBackend<u32>> = TrustEngine::new();
+        let mut lg: TrustEngine<u32, LogBackend<u32>> = TrustEngine::new();
+        apply_durability_steps(&mut bt, &steps, &betas);
+        apply_durability_steps(&mut lg, &steps, &betas);
+        engines_bit_identical(&bt, &lg)?;
+
+        let mut wb: TrustEngine<u32, WriteBehind<u32>> = TrustEngine::new();
+        apply_durability_steps(&mut wb, &steps, &betas);
+        engines_bit_identical(&bt, &wb)?;
+    }
+}
+
+proptest! {
+    // fewer cases: each runs a full create → close → reopen cycle on disk
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn log_backend_reopen_bit_identical(
+        steps in durability_steps(40),
+        beta in unit(),
+        compact_midway in 0u32..2,
+    ) {
+        // The same interleaving, but the durable engine is closed (dropped
+        // without an explicit flush) and reopened — optionally with a
+        // compaction in the middle. Recovery must land on the exact
+        // bit-identical state, usage logs included, with nothing
+        // double-counted.
+        let betas = ForgettingFactors::uniform(beta);
+        let mut reference: TrustEngine<u32, BTreeBackend<u32>> = TrustEngine::new();
+        apply_durability_steps(&mut reference, &steps, &betas);
+
+        let dir = tmpdir("reopen");
+        {
+            let mut durable: DurableTrustStore<u32> =
+                TrustEngine::open(&dir).expect("fresh dir opens");
+            let split = steps.len() / 2;
+            apply_durability_steps(&mut durable, &steps[..split], &betas);
+            if compact_midway == 1 {
+                durable.compact().expect("compaction succeeds");
+            }
+            apply_durability_steps(&mut durable, &steps[split..], &betas);
+            engines_bit_identical(&reference, &durable)?;
+            // dropped here: no explicit flush — drop-persistence is part
+            // of the contract
+        }
+        let reopened: DurableTrustStore<u32> =
+            TrustEngine::open(&dir).expect("reopen after clean drop");
+        engines_bit_identical(&reference, &reopened)?;
+
+        // …and a second cycle stays stable (replay is idempotent)
+        drop(reopened);
+        let again: DurableTrustStore<u32> = TrustEngine::open(&dir).expect("second reopen");
+        engines_bit_identical(&reference, &again)?;
+        drop(again);
+        std::fs::remove_dir_all(&dir).expect("scratch dir removable");
+    }
+
+    #[test]
+    fn write_behind_reopen_matches_btree(
+        steps in durability_steps(30),
+        beta in unit(),
+    ) {
+        let betas = ForgettingFactors::uniform(beta);
+        let mut reference: TrustEngine<u32, BTreeBackend<u32>> = TrustEngine::new();
+        apply_durability_steps(&mut reference, &steps, &betas);
+
+        let dir = tmpdir("wb-reopen");
+        {
+            let backend = WriteBehind::<u32>::open(&dir).expect("fresh dir opens");
+            let mut durable: TrustEngine<u32, WriteBehind<u32>> =
+                TrustEngine::with_backend(backend);
+            apply_durability_steps(&mut durable, &steps, &betas);
+        }
+        let reopened: TrustEngine<u32, WriteBehind<u32>> =
+            TrustEngine::with_backend(WriteBehind::open(&dir).expect("reopen"));
+        engines_bit_identical(&reference, &reopened)?;
+        drop(reopened);
+        std::fs::remove_dir_all(&dir).expect("scratch dir removable");
     }
 }

@@ -19,18 +19,27 @@
 //! Shard-affine pooled folding is bit-identical to sequential folding, so
 //! routing the fleet ledger through worker threads changes nothing about
 //! its (deterministic) contents.
+//!
+//! The ledger's backend is generic: the in-memory [`ShardedBackend`] by
+//! default, or — via [`CoordinatorApp::durable`] — the write-behind
+//! journaled store, so the fleet-wide trust ledger survives a coordinator
+//! restart ([`CoordinatorApp::sync_ledger`] forces it to disk; the journal
+//! also flushes on drop).
 
 use crate::device::DeviceId;
 use crate::frame::{Frame, Payload};
 use crate::network::{Application, Ctx};
 use crate::time::SimTime;
-use siot_core::backend::ShardedBackend;
+use siot_core::backend::{ConcurrentTrustBackend, ShardedBackend};
+use siot_core::error::TrustError;
+use siot_core::log_backend::{LogOptions, WriteBehind};
 use siot_core::pool::ObserverPool;
 use siot_core::record::{ForgettingFactors, Observation};
 use siot_core::store::TrustEngine;
 use siot_core::task::TaskId;
 use std::any::Any;
 use std::cell::RefCell;
+use std::path::Path;
 use std::sync::Arc;
 
 /// Reports do not carry a task id, so the fleet ledger files everything
@@ -60,18 +69,20 @@ pub struct CollectedReport {
     pub net_profit: f64,
 }
 
-/// Coordinator application state.
+/// Coordinator application state, generic over the ledger's storage
+/// backend: the in-memory [`ShardedBackend`] by default, or the journaled
+/// [`WriteBehind`] store via [`CoordinatorApp::durable`].
 #[derive(Debug)]
-pub struct CoordinatorApp {
+pub struct CoordinatorApp<B: ConcurrentTrustBackend<DeviceId> = ShardedBackend<DeviceId>> {
     /// Devices that completed association.
     pub joined: Vec<DeviceId>,
     /// Reports collected from trustors.
     pub reports: Vec<CollectedReport>,
     /// Fleet-wide trustee ledger: every report folded as an observation.
     /// Shared (`Arc`) with the pool's lane-owning workers.
-    ledger: Arc<TrustEngine<DeviceId, ShardedBackend<DeviceId>>>,
+    ledger: Arc<TrustEngine<DeviceId, B>>,
     /// Shard-affine workers the flushes fold through.
-    pool: ObserverPool<DeviceId, ShardedBackend<DeviceId>>,
+    pool: ObserverPool<DeviceId, B>,
     /// Validated observations awaiting their batched commit. A `RefCell`
     /// so the tail can be flushed from the read accessors (the app is
     /// driven by a single-threaded event loop); the folds themselves go
@@ -86,14 +97,63 @@ impl Default for CoordinatorApp {
 }
 
 impl CoordinatorApp {
-    /// A fresh coordinator.
+    /// A fresh coordinator with the in-memory sharded ledger.
     pub fn new() -> Self {
+        Self::with_ledger(TrustEngine::with_backend(ShardedBackend::with_shards_for_writers(
+            LEDGER_WRITERS,
+        )))
+    }
+}
+
+impl CoordinatorApp<WriteBehind<DeviceId>> {
+    /// A coordinator whose fleet ledger is **durable**: the write-behind
+    /// journaled store in `dir`, recovered on open — a restarted
+    /// coordinator starts from the fleet-wide trust it already learned
+    /// instead of re-learning the network from scratch. The report fold
+    /// path is unchanged (the sharded front serves the pool); frames
+    /// reach disk on [`Self::sync_ledger`], buffer spills, and drop.
+    pub fn durable(dir: impl AsRef<Path>) -> Result<Self, TrustError> {
+        let backend = WriteBehind::open_with(
+            dir,
+            LogOptions::default(),
+            ShardedBackend::with_shards_for_writers(LEDGER_WRITERS),
+        )?;
+        Ok(Self::with_ledger(TrustEngine::with_backend(backend)))
+    }
+
+    /// Commits every pending report to the ledger and forces the journal
+    /// to disk (fsync included). The shared-handle path — works on the
+    /// `Arc`-shared engine the pool workers also hold.
+    pub fn sync_ledger(&self) -> Result<(), TrustError> {
+        self.flush_pending();
+        self.ledger.backend().sync()
+    }
+
+    /// Compacts the ledger's log into a fresh snapshot so replay time and
+    /// disk use stay bounded over a long deployment. Compaction needs
+    /// exclusive access to the engine, which the `Arc`-shared ledger only
+    /// has between pool dispatches — returns `Ok(false)` (try again later)
+    /// if a dispatch still holds a reference.
+    pub fn compact_ledger(&mut self) -> Result<bool, TrustError> {
+        self.flush_pending();
+        match Arc::get_mut(&mut self.ledger) {
+            Some(engine) => {
+                engine.backend_mut().compact()?;
+                Ok(true)
+            }
+            None => Ok(false),
+        }
+    }
+}
+
+impl<B: ConcurrentTrustBackend<DeviceId> + Send + 'static> CoordinatorApp<B> {
+    /// A coordinator over a caller-built ledger engine (pre-warmed, sized,
+    /// or durable — [`Self::durable`] is this plus [`WriteBehind::open_with`]).
+    pub fn with_ledger(ledger: TrustEngine<DeviceId, B>) -> Self {
         CoordinatorApp {
             joined: Vec::new(),
             reports: Vec::new(),
-            ledger: Arc::new(TrustEngine::with_backend(ShardedBackend::with_shards_for_writers(
-                LEDGER_WRITERS,
-            ))),
+            ledger: Arc::new(ledger),
             pool: ObserverPool::new(LEDGER_WRITERS),
             pending: RefCell::new(Vec::new()),
         }
@@ -127,21 +187,8 @@ impl CoordinatorApp {
         }
     }
 
-    /// Flushes any pending tail so reads see every report received so far.
-    /// Tails are (by construction) smaller than `LEDGER_FLUSH` — too small
-    /// to amortize a pool dispatch — so they fold inline through the
-    /// backend's shared handle instead.
-    fn flush_pending(&self) {
-        let batch = std::mem::take(&mut *self.pending.borrow_mut());
-        if !batch.is_empty() {
-            self.ledger
-                .observe_batch_shared(&batch, &ForgettingFactors::figures())
-                .expect("queued observations are clamped to the unit range");
-        }
-    }
-
     /// The fleet-wide ledger, with all received reports committed.
-    pub fn ledger(&self) -> &TrustEngine<DeviceId, ShardedBackend<DeviceId>> {
+    pub fn ledger(&self) -> &TrustEngine<DeviceId, B> {
         self.flush_pending();
         &self.ledger
     }
@@ -164,7 +211,33 @@ impl CoordinatorApp {
     }
 }
 
-impl Application for CoordinatorApp {
+impl<B: ConcurrentTrustBackend<DeviceId>> CoordinatorApp<B> {
+    /// Flushes any pending tail so reads see every report received so far.
+    /// Tails are (by construction) smaller than `LEDGER_FLUSH` — too small
+    /// to amortize a pool dispatch — so they fold inline through the
+    /// backend's shared handle instead. Also runs on drop, so queued
+    /// reports reach the ledger (and a durable ledger's journal) even
+    /// without a final read or sync.
+    fn flush_pending(&self) {
+        let batch = std::mem::take(&mut *self.pending.borrow_mut());
+        if !batch.is_empty() {
+            self.ledger
+                .observe_batch_shared(&batch, &ForgettingFactors::figures())
+                .expect("queued observations are clamped to the unit range");
+        }
+    }
+}
+
+impl<B: ConcurrentTrustBackend<DeviceId>> Drop for CoordinatorApp<B> {
+    /// Queued reports are folded before the ledger drops: a durable
+    /// coordinator that shuts down mid-slate loses nothing (the backend's
+    /// journal flushes when the engine drops right after).
+    fn drop(&mut self) {
+        self.flush_pending();
+    }
+}
+
+impl<B: ConcurrentTrustBackend<DeviceId> + Send + 'static> Application for CoordinatorApp<B> {
     fn on_frame(&mut self, ctx: &mut Ctx<'_>, frame: &Frame) {
         match frame.payload {
             Payload::AssocRequest => {
@@ -281,6 +354,47 @@ mod tests {
             .sum();
         assert_eq!(total, (super::LEDGER_FLUSH + 100) as u64);
         assert_eq!(app.trustee_ranking().len(), 7);
+    }
+
+    #[test]
+    fn durable_ledger_survives_coordinator_restart() {
+        let dir = std::env::temp_dir().join(format!("siot-coord-ledger-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        {
+            let mut app = CoordinatorApp::durable(&dir).expect("fresh ledger dir opens");
+            for _ in 0..5 {
+                app.fold_report(DeviceId(3), 0.8);
+                app.fold_report(DeviceId(5), -0.4);
+                app.fold_report(DeviceId(4), 0.2);
+            }
+            app.sync_ledger().expect("ledger syncs to disk");
+            // a tail report queued *after* the sync — never read, never
+            // synced — still persists: drop folds the pending slate and
+            // the journal flushes when the engine drops
+            app.fold_report(DeviceId(3), 0.6);
+        }
+        // "restart": a new coordinator process over the same directory
+        let mut app = CoordinatorApp::durable(&dir).expect("recovered ledger opens");
+        let rec = app.ledger().record(DeviceId(3), super::LEDGER_TASK).expect("recovered");
+        assert_eq!(rec.interactions, 6);
+        let ranking = app.trustee_ranking();
+        assert_eq!(
+            ranking.iter().map(|&(d, _)| d).collect::<Vec<_>>(),
+            vec![DeviceId(3), DeviceId(4), DeviceId(5)],
+            "the recovered coordinator ranks from remembered trust"
+        );
+        // compaction keeps the on-disk footprint bounded and the state
+        // intact across yet another restart
+        assert!(app.compact_ledger().expect("compaction succeeds"), "no dispatch in flight");
+        drop(app);
+        let app = CoordinatorApp::durable(&dir).expect("post-compaction reopen");
+        assert_eq!(app.trustee_ranking().len(), 3);
+        assert_eq!(
+            app.ledger().record(DeviceId(3), super::LEDGER_TASK).expect("compacted").interactions,
+            6
+        );
+        drop(app);
+        std::fs::remove_dir_all(&dir).expect("scratch removable");
     }
 
     #[test]

@@ -4,12 +4,14 @@
 //! runs delegation rounds through the typed-state session lifecycle:
 //! `delegate` (trustor, trustee, goal, context) → `evaluate` (Eq. 18) →
 //! `Decision` (Eq. 23 / §3.4) → `execute` (action, result, and the
-//! post-evaluation updates of Eqs. 19–22, folded exactly once).
+//! post-evaluation updates of Eqs. 19–22, folded exactly once) — then
+//! finishes with a **durable** engine that survives a restart.
 //!
 //! Run with: `cargo run --example quickstart`
 
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
+use siot::core::log_backend::{FsyncPolicy, LogOptions};
 use siot::core::prelude::*;
 use siot::graph::generate::watts_strogatz;
 use siot::sim::Roles;
@@ -103,4 +105,39 @@ fn main() {
             competence[peer.index()]
         );
     }
+
+    // 7. durability: the same process over a restart-surviving engine.
+    //    `TrustEngine::open` is open-or-create — it replays `trust.snap`
+    //    plus the checksum-valid prefix of `trust.log`; the fsync policy
+    //    (Never / OnFlush / Always) and the compaction cadence are the two
+    //    `LogOptions` knobs.
+    // pid-unique scratch dir so concurrent runs never clobber each other
+    let dir = std::env::temp_dir().join(format!("siot-quickstart-trust-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    {
+        let mut durable: DurableTrustStore<u32> = TrustEngine::open_with(
+            &dir,
+            LogOptions { fsync: FsyncPolicy::OnFlush, compact_every: 1 << 16 },
+        )
+        .expect("durable store opens");
+        durable.register_task(task.clone());
+        for _ in 0..3 {
+            let active =
+                durable.delegate(7, &task, goal, Context::amicable(task.id())).activate(&durable);
+            active
+                .execute(&mut durable, DelegationOutcome::succeeded(0.8, 0.1), &betas)
+                .expect("outcome is unit-range");
+        }
+        // dropped without an explicit flush: the journal flushes on drop
+    }
+    let recovered: DurableTrustStore<u32> = TrustEngine::open(&dir).expect("reopen recovers");
+    println!(
+        "\nafter a simulated restart: trust toward peer 7 = {}, {} interaction(s) and {} \
+         usage-log entries remembered",
+        recovered.trustworthiness(7, task.id()).expect("recovered record"),
+        recovered.record(7, task.id()).expect("recovered record").interactions,
+        recovered.usage_log(7).total(),
+    );
+    drop(recovered);
+    let _ = std::fs::remove_dir_all(&dir);
 }
