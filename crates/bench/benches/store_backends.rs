@@ -23,7 +23,14 @@
 //! * `log_writebehind/batched_observe_*` — the [`WriteBehind`] combination:
 //!   sharded front absorbing the folds, journal trailing behind;
 //! * `log/reopen_100k` — recovery cost: replaying a 100k-record log back
-//!   into memory on open (the restart path the persistence suite pins).
+//!   into memory on open (the restart path the persistence suite pins);
+//! * `service/commit_*` — the async facade priced end to end: four client
+//!   threads build committed delegation sessions and pipeline them through
+//!   `TrustServiceHandle::submit` into the actor's bounded mailbox, which
+//!   drains adjacent commits into `commit_batch` passes. The row carries
+//!   the full wire cost — session construction, channel hops, oneshot
+//!   receipts, usage-log folds — on top of the storage fold, so comparing
+//!   it against `sharded/batched_observe_*` prices the facade itself.
 //!
 //! A read-side case (`known_peers` + per-peer iteration) rides along since
 //! trustee search hammers exactly that path. The 1M-record configuration
@@ -34,11 +41,15 @@
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use siot_bench::runner::{backend_workload, replay_workload};
 use siot_core::backend::{BTreeBackend, ShardedBackend, TrustBackend};
+use siot_core::context::Context;
+use siot_core::delegation::{DelegationOutcome, DelegationRequest};
+use siot_core::goal::Goal;
 use siot_core::log_backend::{FsyncPolicy, LogBackend, LogOptions, WriteBehind};
 use siot_core::pool::{Dispatch, ObserverPool};
 use siot_core::record::{ForgettingFactors, Observation};
-use siot_core::store::TrustEngine;
-use siot_core::task::TaskId;
+use siot_core::service::{block_on, ServiceOptions, TrustService};
+use siot_core::store::{TrustEngine, TrustStore};
+use siot_core::task::{CharacteristicId, Task, TaskId};
 use std::path::PathBuf;
 use std::sync::Arc;
 
@@ -58,6 +69,11 @@ const N_PEERS_1M: u32 = 250_000;
 /// The pool sweep: (writers, shards) — lanes matched to the owner count
 /// via `with_shards_for_writers` (4·W), plus an over-sharded 64-lane point.
 const POOL_SWEEP: [(usize, usize); 3] = [(2, 8), (4, 16), (4, 64)];
+
+/// Commits each service client keeps in flight before awaiting receipts:
+/// deep enough that the actor's drain finds real batches, small enough
+/// that receipt memory stays bounded.
+const SERVICE_PIPELINE: usize = 1_024;
 
 type Workload = Arc<[(u32, TaskId, Observation)]>;
 
@@ -171,6 +187,52 @@ fn bench_workload(c: &mut Criterion, label: &str, n_obs: usize, n_peers: u32) {
         })
     });
     let _ = std::fs::remove_dir_all(&wb_dir);
+
+    // the service facade end to end: sessions built client-side, pipelined
+    // through handles, drained into commit_batch passes by the actor
+    c.bench_function(&format!("store_backends/service/commit_{label}"), |b| {
+        let tasks: Vec<Task> = (0..N_TASKS)
+            .map(|t| Task::uniform(TaskId(t), [CharacteristicId(0)]).expect("non-empty"))
+            .collect();
+        b.iter(|| {
+            let service = TrustService::spawn(
+                TrustEngine::with_backend(ShardedBackend::<u32>::default()),
+                ServiceOptions { mailbox: 4 * SERVICE_PIPELINE, ..ServiceOptions::default() },
+            );
+            std::thread::scope(|scope| {
+                for slice in workload.chunks(n_obs / WRITERS) {
+                    let handle = service.handle();
+                    let tasks = &tasks;
+                    scope.spawn(move || {
+                        let scratch: TrustStore<u32> = TrustStore::new();
+                        let mut acks = Vec::with_capacity(SERVICE_PIPELINE);
+                        for window in slice.chunks(SERVICE_PIPELINE) {
+                            for &(peer, tid, obs) in window {
+                                let request = DelegationRequest::new(
+                                    peer,
+                                    &tasks[tid.0 as usize],
+                                    Goal::ANY,
+                                    Context::amicable(tid),
+                                )
+                                .committed();
+                                let completed = request
+                                    .activate(&scratch)
+                                    .finish(DelegationOutcome::observed(obs))
+                                    .expect("workload observations are unit-range");
+                                acks.push(handle.submit(completed));
+                            }
+                            for ack in acks.drain(..) {
+                                block_on(ack).expect("service alive for the whole batch");
+                            }
+                        }
+                    });
+                }
+            });
+            let engine = service.shutdown().expect("clean shutdown");
+            assert_eq!(engine.record_count(), n_obs);
+            black_box(engine.record_count())
+        })
+    });
 
     // forced worker-thread dispatch, recorded so the trajectory shows what
     // Auto saves (or costs) on this host's core count

@@ -141,7 +141,14 @@ pub struct DelegationRequest<P> {
 }
 
 impl<P: Copy + Ord> DelegationRequest<P> {
-    pub(crate) fn new(trustee: P, task: &Task, goal: Goal, context: Context) -> Self {
+    /// A request built without an engine in hand — the entry point for
+    /// callers that talk to a [`TrustService`](crate::service::TrustService)
+    /// handle instead of owning a `TrustEngine` (the handle's
+    /// [`evaluate`](crate::service::TrustServiceHandle::evaluate) runs the
+    /// evaluation inside the actor). Engine-owning callers keep using
+    /// [`TrustEngine::delegate`], which is this plus the engine as the
+    /// implied trustor.
+    pub fn new(trustee: P, task: &Task, goal: Goal, context: Context) -> Self {
         DelegationRequest {
             trustee,
             task: task.clone(),

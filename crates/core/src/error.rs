@@ -53,6 +53,11 @@ pub enum TrustError {
     /// An I/O failure underneath a durable backend (open, append, flush,
     /// fsync, compaction). Carries the rendered `std::io::Error`.
     Io(String),
+    /// The [`TrustService`](crate::service::TrustService) actor behind a
+    /// handle is gone: it was shut down (or its thread exited) before the
+    /// request could be served. Work acked before the shutdown is safe;
+    /// this request was not accepted.
+    ServiceStopped,
 }
 
 impl From<std::io::Error> for TrustError {
@@ -90,6 +95,9 @@ impl fmt::Display for TrustError {
                 write!(f, "trust-state file format version {found} (this build reads {expected})")
             }
             TrustError::Io(msg) => write!(f, "trust-state I/O failure: {msg}"),
+            TrustError::ServiceStopped => {
+                write!(f, "trust service stopped before the request could be served")
+            }
         }
     }
 }
@@ -114,6 +122,7 @@ mod tests {
         let v = TrustError::UnsupportedFormat { found: 9, expected: 1 };
         assert!(v.to_string().contains('9') && v.to_string().contains('1'));
         assert!(TrustError::Io("disk full".into()).to_string().contains("disk full"));
+        assert!(TrustError::ServiceStopped.to_string().contains("service stopped"));
     }
 
     #[test]

@@ -16,6 +16,7 @@
 //! | §4.3 transitivity of trust (Eqs. 5–17) | [`transitivity`] |
 //! | §4.4 trustworthiness updated with delegation results (Eqs. 18–24) | [`record`], [`evaluate`], [`policy`] |
 //! | §4.5 trustworthiness in dynamic environments (Eqs. 25–29) | [`environment`] |
+//! | the process served to concurrent requesters (async facade) | [`service`] |
 //!
 //! Trust *state* lives behind the [`store::TrustEngine`] facade, whose
 //! storage is pluggable via [`backend::TrustBackend`]: the deterministic
@@ -30,6 +31,11 @@
 //! [`delegation`] session — `delegate → evaluate → decide → execute` — so
 //! feedback is validated, environment-corrected and counted exactly once;
 //! the engine's free-form mutators remain as a documented raw escape hatch.
+//! For network-facing deployments, [`service::TrustService`] moves the
+//! engine onto an actor thread behind a cloneable async
+//! [`service::TrustServiceHandle`], so many concurrent requesters share one
+//! engine without blocking each other — commits batched per mailbox drain,
+//! shutdown draining and flushing so no acked commit is lost.
 //!
 //! The model is deliberately **pure**: no RNG, no I/O, no graph — those live
 //! in `siot-sim` and `siot-iot`. Everything here is deterministic arithmetic
@@ -76,6 +82,7 @@ pub mod mutuality;
 pub mod policy;
 pub mod pool;
 pub mod record;
+pub mod service;
 pub mod store;
 pub mod task;
 pub mod transitivity;
@@ -100,6 +107,7 @@ pub mod prelude {
     pub use crate::policy::{GainOnly, HighestSuccessRate, MaxNetProfit, SelectionPolicy};
     pub use crate::pool::{Dispatch, ObserverPool};
     pub use crate::record::{ForgettingFactors, Observation, TrustRecord};
+    pub use crate::service::{ServiceOptions, TrustService, TrustServiceHandle};
     pub use crate::store::{DurableTrustStore, TrustEngine, TrustStore};
     pub use crate::task::{CharacteristicId, Task, TaskId};
     pub use crate::transitivity::{chain, traditional_chain, two_hop, TransitivityGates};

@@ -946,10 +946,18 @@ impl<P: LogKey + fmt::Debug> TrustBackend<P> for LogBackend<P> {
 /// runs via [`Self::compact`] or the `compact_every` auto-trigger on the
 /// `&mut` write paths — purely shared writers compact whenever the owner
 /// regains `&mut` (the IoT coordinator's `compact_ledger` is the model).
-/// The shared fold paths take the journal mutex once per record (under
-/// the lane lock, preserving per-key frame order for arbitrary callers);
-/// batching those appends per lane run is future work noted in the
-/// ROADMAP.
+///
+/// Journal appends are **batched per lane run**: the shared batch paths
+/// ([`update_batch_shared`](ConcurrentTrustBackend::update_batch_shared),
+/// [`update_lane_run_shared`](ConcurrentTrustBackend::update_lane_run_shared)
+/// — the [`ObserverPool`](crate::pool::ObserverPool) dispatch seam) encode
+/// a run's frames into a local buffer while folding and take the journal
+/// mutex **once per run**, not once per record. The buffered append still
+/// happens on the run's last fold, *under the front's lane lock*, so the
+/// journal's per-key frame order always equals fold order even with
+/// concurrent writers on overlapping keys. Only the single-record
+/// [`update_shared`](ConcurrentTrustBackend::update_shared) pays the
+/// per-record mutex.
 ///
 /// [`TrustEngine::backend`]: crate::store::TrustEngine::backend
 pub struct WriteBehind<P: LogKey + Hash> {
@@ -969,6 +977,87 @@ impl<P: LogKey + Hash> Default for WriteBehind<P> {
 impl<P: LogKey + Hash> WriteBehind<P> {
     fn lock(&self) -> std::sync::MutexGuard<'_, Journal<P>> {
         self.journal.lock().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+/// Run-scoped frame buffer for [`WriteBehind`]'s batched write paths. On
+/// the normal path the run's frames are appended in one shot — from the
+/// last fold on the shared paths (under the front's lane lock), on drop
+/// at the end of the exclusive batch. If a fold closure panics mid-run,
+/// `Drop` appends whatever already folded during unwinding — the front
+/// holds those records, so losing their frames would make a later reopen
+/// silently revert them (the replay-matches-front invariant). The
+/// unwind-path append on the shared paths happens after the lane lock is
+/// gone, so its ordering guarantee is only best-effort — acceptable for
+/// what is by definition a bug in the fold path
+/// (`TrustError::WorkerPanicked`), where the batch is already documented
+/// as partially folded.
+///
+/// Holds the journal mutex (not the whole backend) so the exclusive
+/// paths can borrow it alongside `&mut front`.
+struct RunFrames<'a, P: LogKey> {
+    journal: &'a Mutex<Journal<P>>,
+    buf: Vec<u8>,
+    frames: u64,
+}
+
+impl<'a, P: LogKey> RunFrames<'a, P> {
+    fn new(journal: &'a Mutex<Journal<P>>, run_len: usize) -> Self {
+        RunFrames { journal, buf: Vec::with_capacity((run_len * 64).min(BUFFER_SPILL)), frames: 0 }
+    }
+
+    fn push(&mut self, peer: P, task: TaskId, rec: TrustRecord) {
+        encode_frame(&mut self.buf, &Frame::PutRecord { peer, task, rec });
+        self.frames += 1;
+    }
+
+    fn append_now(&mut self) {
+        if !self.buf.is_empty() {
+            self.journal
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .append_encoded(&self.buf, self.frames);
+            self.buf.clear();
+            self.frames = 0;
+        }
+    }
+}
+
+impl<P: LogKey> Drop for RunFrames<'_, P> {
+    fn drop(&mut self) {
+        self.append_now();
+    }
+}
+
+impl<P: LogKey + Hash + Send + Sync + fmt::Debug> WriteBehind<P> {
+    /// Folds one pre-routed lane run, journaling the whole run with **one**
+    /// journal-mutex acquisition: frames are encoded into a run-local
+    /// buffer as records fold, and the buffered append happens on the
+    /// run's last fold — still inside the front's lane lock, so a later
+    /// writer to this lane (and therefore to any of its keys) can only
+    /// append *after* this run. Per-key journal order = fold order, at a
+    /// per-run instead of per-record mutex cost. A panicking fold closure
+    /// still journals the records that folded before it (see
+    /// [`RunFrames`]).
+    fn journaled_lane_run(
+        &self,
+        lane: usize,
+        indices: &[usize],
+        key_of: &dyn Fn(usize) -> (P, TaskId),
+        f: &mut dyn FnMut(usize, Option<TrustRecord>) -> TrustRecord,
+    ) {
+        let mut run = RunFrames::new(&self.journal, indices.len());
+        let mut left = indices.len();
+        self.front.update_lane_run_shared(lane, indices, key_of, &mut |i, prior| {
+            let rec = f(i, prior);
+            let (peer, task) = key_of(i);
+            run.push(peer, task, rec);
+            left -= 1;
+            if left == 0 {
+                run.append_now();
+            }
+            rec
+        });
     }
 }
 
@@ -1089,13 +1178,22 @@ impl<P: LogKey + Hash + fmt::Debug> TrustBackend<P> for WriteBehind<P> {
         items: &[(P, TaskId)],
         f: &mut dyn FnMut(usize, Option<TrustRecord>) -> TrustRecord,
     ) {
-        let journal = self.journal.get_mut().unwrap_or_else(|e| e.into_inner());
+        if items.is_empty() {
+            return;
+        }
+        // encode the whole batch locally, append once (on the guard's
+        // drop): exclusive access means no concurrent writer can
+        // interleave frames, so appending after the folds preserves
+        // per-key journal order — and the drop-guard keeps a panicking
+        // fold from losing the frames of records already in the front
+        let mut run = RunFrames::new(&self.journal, items.len());
         self.front.update_batch(items, &mut |i, prior| {
             let rec = f(i, prior);
             let (peer, task) = items[i];
-            journal.append_record(peer, task, rec);
+            run.push(peer, task, rec);
             rec
         });
+        drop(run);
         self.after_write_mut();
     }
 
@@ -1156,12 +1254,17 @@ impl<P: LogKey + Hash + Send + Sync + fmt::Debug> ConcurrentTrustBackend<P> for 
         items: &[(P, TaskId)],
         f: &mut dyn FnMut(usize, Option<TrustRecord>) -> TrustRecord,
     ) {
-        self.front.update_batch_shared(items, &mut |i, prior| {
-            let rec = f(i, prior);
-            let (peer, task) = items[i];
-            self.lock().append_record(peer, task, rec);
-            rec
-        });
+        // route by lane here (one hash per element, like the front would)
+        // so each lane's slice journals as one buffered append
+        let mut runs: Vec<Vec<usize>> = vec![Vec::new(); self.front.write_lanes()];
+        for (i, &(peer, _)) in items.iter().enumerate() {
+            runs[self.front.lane_of(peer)].push(i);
+        }
+        for (lane, indices) in runs.iter().enumerate() {
+            if !indices.is_empty() {
+                self.journaled_lane_run(lane, indices, &|i| items[i], f);
+            }
+        }
     }
 
     fn write_lanes(&self) -> usize {
@@ -1179,12 +1282,7 @@ impl<P: LogKey + Hash + Send + Sync + fmt::Debug> ConcurrentTrustBackend<P> for 
         key_of: &dyn Fn(usize) -> (P, TaskId),
         f: &mut dyn FnMut(usize, Option<TrustRecord>) -> TrustRecord,
     ) {
-        self.front.update_lane_run_shared(lane, indices, key_of, &mut |i, prior| {
-            let rec = f(i, prior);
-            let (peer, task) = key_of(i);
-            self.lock().append_record(peer, task, rec);
-            rec
-        });
+        self.journaled_lane_run(lane, indices, key_of, f);
     }
 }
 
@@ -1425,6 +1523,117 @@ mod tests {
         let wb = WriteBehind::<u32>::open(&dir).unwrap();
         assert_eq!(wb.len(), 1000);
         assert_eq!(wb.known_peers().len(), 1000);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn write_behind_batched_shared_folds_recover_final_state() {
+        // Overlapping keys hammered by concurrent *batched* folds: the
+        // per-lane-run buffered journal appends must still produce a log
+        // whose per-key frame order matches fold order, so replay lands on
+        // exactly the front's final state (a regression here would show up
+        // as a reopened record older than the in-memory one).
+        let dir = tmpdir("wb-lane-batch");
+        let expected: Vec<(u32, TrustRecord)>;
+        {
+            let wb = WriteBehind::<u32>::open(&dir).unwrap();
+            std::thread::scope(|scope| {
+                for t in 0..4u64 {
+                    let b = &wb;
+                    scope.spawn(move || {
+                        let items: Vec<(u32, TaskId)> =
+                            (0..32u32).map(|p| (p, TaskId(0))).collect();
+                        for round in 0..50u64 {
+                            b.update_batch_shared(&items, &mut |i, prior| match prior {
+                                Some(mut r) => {
+                                    r.interactions += 1;
+                                    // thread- and round-dependent payload so
+                                    // a stale frame is detectable bit-wise
+                                    r.s_hat = ((t * 50 + round) as f64 + i as f64 / 32.0) / 256.0;
+                                    r
+                                }
+                                None => rec(0.5),
+                            });
+                        }
+                    });
+                }
+            });
+            expected = (0..32u32).map(|p| (p, wb.get(p, TaskId(0)).expect("folded"))).collect();
+            wb.flush().unwrap();
+        }
+        let reopened = WriteBehind::<u32>::open(&dir).unwrap();
+        assert_eq!(reopened.len(), 32);
+        for &(p, rec) in &expected {
+            assert_eq!(reopened.get(p, TaskId(0)), Some(rec), "peer {p}");
+        }
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn panicking_fold_mid_run_still_journals_earlier_folds() {
+        // A fold closure that panics mid-run (TrustError::WorkerPanicked
+        // territory) must not leave records that *did* fold — and are in
+        // the front — without journal frames, or reopen would silently
+        // revert them.
+        let dir = tmpdir("wb-panic");
+        {
+            let wb = WriteBehind::<u32>::open(&dir).unwrap();
+            // three peers sharing one lane, so they form a single run
+            let lane = wb.lane_of(0);
+            let peers: Vec<u32> = (0..1000u32).filter(|&p| wb.lane_of(p) == lane).take(3).collect();
+            assert_eq!(peers.len(), 3);
+            let items: Vec<(u32, TaskId)> = peers.iter().map(|&p| (p, TaskId(0))).collect();
+            let unwound = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                wb.update_lane_run_shared(lane, &[0, 1, 2], &|i| items[i], &mut |i, _| {
+                    if i == 2 {
+                        panic!("injected fold bug");
+                    }
+                    rec(0.25)
+                });
+            }));
+            assert!(unwound.is_err());
+            // the front holds exactly the two completed folds…
+            assert_eq!(wb.len(), 2);
+            wb.flush().unwrap();
+        }
+        // …and so does the reopened journal: replay matches the front
+        let reopened = WriteBehind::<u32>::open(&dir).unwrap();
+        assert_eq!(reopened.len(), 2);
+        let lane = reopened.lane_of(0);
+        let peers: Vec<u32> =
+            (0..1000u32).filter(|&p| reopened.lane_of(p) == lane).take(3).collect();
+        assert_eq!(reopened.get(peers[0], TaskId(0)), Some(rec(0.25)));
+        assert_eq!(reopened.get(peers[1], TaskId(0)), Some(rec(0.25)));
+        assert_eq!(reopened.get(peers[2], TaskId(0)), None, "the panicking fold stored nothing");
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn panicking_fold_mid_exclusive_batch_still_journals_earlier_folds() {
+        // same invariant as the shared-path test, for `&mut update_batch`:
+        // whatever the front holds after the unwind must replay on reopen
+        let dir = tmpdir("wb-panic-mut");
+        let items: Vec<(u32, TaskId)> = (0..4u32).map(|p| (p, TaskId(0))).collect();
+        let front_state: Vec<Option<TrustRecord>>;
+        {
+            let mut wb = WriteBehind::<u32>::open(&dir).unwrap();
+            let unwound = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                wb.update_batch(&items, &mut |i, _| {
+                    if i == 3 {
+                        panic!("injected fold bug");
+                    }
+                    rec(0.5)
+                });
+            }));
+            assert!(unwound.is_err());
+            front_state = items.iter().map(|&(p, t)| wb.get(p, t)).collect();
+            assert!(front_state.iter().flatten().count() >= 1, "some records folded");
+            wb.flush().unwrap();
+        }
+        let reopened = WriteBehind::<u32>::open(&dir).unwrap();
+        for (&(p, t), expected) in items.iter().zip(&front_state) {
+            assert_eq!(reopened.get(p, t), *expected, "peer {p}");
+        }
         fs::remove_dir_all(&dir).unwrap();
     }
 

@@ -1,0 +1,718 @@
+//! An async command/query facade over the trust engine: the trust
+//! *process* served to many concurrent requesters.
+//!
+//! Every API before this one drives a `&mut TrustEngine` synchronously —
+//! fine for a simulation loop, wrong for anything network-facing, where
+//! folding observations must not block request threads. The SIoT
+//! trust-management literature treats trust computation as a **shared
+//! service** queried by many autonomous objects at once; this module gives
+//! the engine that shape:
+//!
+//! ```text
+//! TrustServiceHandle ──┐                         ┌──────────────────────┐
+//! TrustServiceHandle ──┼── bounded MPSC mailbox ─▶  actor thread        │
+//! TrustServiceHandle ──┘   Command<P> / Query<P> │  owns TrustEngine<P,B>│
+//!        (Clone + Send,                          │  drains → commit_batch│
+//!         methods are async fns)                 └──────────────────────┘
+//! ```
+//!
+//! * A [`TrustService::spawn`] takes **ownership** of an engine over any
+//!   [`TrustBackend`] — including the durable
+//!   [`LogBackend`](crate::log_backend::LogBackend) /
+//!   [`WriteBehind`](crate::log_backend::WriteBehind) — and moves it onto a
+//!   dedicated actor thread.
+//! * [`TrustServiceHandle`] is `Clone + Send`; its methods are `async fn`s
+//!   whose futures are plain [`std::future::Future`]s — no runtime
+//!   required. Drive them with [`block_on`] (re-exported here from the
+//!   vendored `futures` shim) or any executor.
+//! * The **delegation session is the wire unit**: a handle
+//!   [`evaluate`](TrustServiceHandle::evaluate)s a
+//!   [`DelegationRequest`] inside the actor, the caller turns the
+//!   [`Decision`] into an
+//!   [`ActiveDelegation`](crate::delegation::ActiveDelegation) it finishes
+//!   locally, and the resulting [`CompletedDelegation`] — one-shot and
+//!   pre-validated by construction — travels back through
+//!   [`commit`](TrustServiceHandle::commit).
+//! * The actor **batches the mailbox drain**: adjacent commits in one
+//!   drain fold through a single
+//!   [`commit_batch_receipts`](TrustEngine::commit_batch_receipts) storage
+//!   pass (one shard-routed backend pass, not one lock per wakeup), and
+//!   every caller still gets its own [`DelegationReceipt`]. Queries are
+//!   answered in arrival order, so a caller that awaited its commit ack
+//!   always reads its own write.
+//! * **Graceful shutdown**: [`TrustServiceHandle::shutdown`] (or dropping
+//!   every handle) drains the mailbox, commits everything queued, flushes
+//!   the backend — on a durable engine no acked commit is lost — and only
+//!   then stops. [`TrustService::shutdown`] additionally hands the engine
+//!   back for inspection or reuse.
+//!
+//! Backpressure is by bounded mailbox: once `ServiceOptions::mailbox`
+//! messages are queued, submitting threads block in `send` until the actor
+//! drains — the service sheds load onto its callers instead of growing an
+//! unbounded queue.
+//!
+//! ```
+//! use siot_core::prelude::*;
+//! use siot_core::service::{block_on, ServiceOptions, TrustService};
+//!
+//! let mut engine: TrustStore<u32> = TrustStore::new();
+//! let task = Task::uniform(TaskId(0), [CharacteristicId(0)]).unwrap();
+//! engine.register_task(task.clone());
+//!
+//! let service = TrustService::spawn(engine, ServiceOptions::default());
+//! let handle = service.handle();
+//!
+//! block_on(async {
+//!     // the session lifecycle over the wire: evaluate in the actor,
+//!     // finish locally, commit the completion back
+//!     let request = DelegationRequest::new(7, &task, Goal::profitable(), Context::amicable(task.id()))
+//!         .with_prior(TrustRecord::with_priors(1.0, 1.0, 0.0, 0.0));
+//!     let Decision::Delegate(active) = handle.delegate(request).await.unwrap() else {
+//!         unreachable!("optimistic prior delegates")
+//!     };
+//!     let completed = active.finish(DelegationOutcome::succeeded(0.9, 0.2)).unwrap();
+//!     let receipt = handle.commit(completed).await.unwrap();
+//!     assert!(receipt.fulfilled);
+//!     assert!(handle.trustworthiness(7, task.id()).await.unwrap().unwrap().value() > 0.5);
+//! });
+//!
+//! let engine = service.shutdown().unwrap();
+//! assert_eq!(engine.record_count(), 1);
+//! ```
+
+use crate::backend::TrustBackend;
+use crate::delegation::{
+    CompletedDelegation, Decision, DelegationOutcome, DelegationReceipt, DelegationRequest,
+    EvaluatedDelegation,
+};
+use crate::error::TrustError;
+use crate::record::{ForgettingFactors, TrustRecord};
+use crate::store::TrustEngine;
+use crate::task::{Task, TaskId};
+use crate::tw::Trustworthiness;
+use futures::channel::oneshot;
+use std::future::Future;
+use std::pin::Pin;
+use std::sync::mpsc::{Receiver, SyncSender, TryRecvError};
+use std::task::{Context, Poll};
+use std::thread::JoinHandle;
+
+pub use futures::executor::block_on;
+
+/// Construction knobs for a [`TrustService`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ServiceOptions {
+    /// Forgetting factors every commit folds with — engine policy, fixed
+    /// at spawn so all requesters blend history identically.
+    pub betas: ForgettingFactors,
+    /// Mailbox capacity (minimum 1): messages queued beyond it block the
+    /// submitting thread until the actor drains.
+    pub mailbox: usize,
+}
+
+impl Default for ServiceOptions {
+    fn default() -> Self {
+        ServiceOptions { betas: ForgettingFactors::figures(), mailbox: 1024 }
+    }
+}
+
+/// State-mutating requests served by the actor.
+enum Command<P> {
+    /// Fold one finished session. Batched with adjacent commits per drain.
+    Commit { completed: CompletedDelegation<P>, reply: oneshot::Sender<DelegationReceipt<P>> },
+    /// The whole session in one message: the actor activates the request
+    /// (committed — the decision was the caller's), validates the outcome,
+    /// and folds it in the same drain batch as adjacent commits.
+    Complete {
+        request: DelegationRequest<P>,
+        outcome: DelegationOutcome,
+        reply: oneshot::Sender<Result<DelegationReceipt<P>, TrustError>>,
+    },
+    /// Register (or replace) a task definition in the actor's engine.
+    RegisterTask { task: Task, reply: oneshot::Sender<()> },
+    /// Push engine state down to stable storage.
+    Flush { reply: oneshot::Sender<Result<(), TrustError>> },
+    /// Drain the mailbox, flush the backend, stop the actor.
+    Shutdown { reply: oneshot::Sender<Result<(), TrustError>> },
+}
+
+/// Read-only requests served by the actor.
+enum Query<P> {
+    /// Run the §3.3 evaluation against the actor's engine.
+    Evaluate { request: DelegationRequest<P>, reply: oneshot::Sender<EvaluatedDelegation<P>> },
+    /// Eq. 18 trustworthiness toward `(peer, task)`.
+    Trustworthiness { peer: P, task: TaskId, reply: oneshot::Sender<Option<Trustworthiness>> },
+    /// The raw record for `(peer, task)`.
+    Record { peer: P, task: TaskId, reply: oneshot::Sender<Option<TrustRecord>> },
+    /// Every peer with at least one record.
+    KnownPeers { reply: oneshot::Sender<Vec<P>> },
+    /// Every `(peer, record)` pair held for one task — a single atomic
+    /// snapshot (one round trip, consistent against concurrent commits).
+    TaskRecords { task: TaskId, reply: oneshot::Sender<Vec<(P, TrustRecord)>> },
+}
+
+enum Message<P> {
+    Command(Command<P>),
+    Query(Query<P>),
+}
+
+/// A reply obligation for one element of the pending commit batch.
+enum Ack<P> {
+    Commit(oneshot::Sender<DelegationReceipt<P>>),
+    Complete(oneshot::Sender<Result<DelegationReceipt<P>, TrustError>>),
+}
+
+/// The future of one actor round trip: eagerly sent on creation, resolves
+/// when the actor replies. [`TrustError::ServiceStopped`] if the actor is
+/// gone — before the send or before the reply.
+pub struct Pending<R> {
+    state: PendingState<R>,
+}
+
+enum PendingState<R> {
+    Waiting(oneshot::Receiver<R>),
+    /// The send itself failed; the error is taken on the resolving poll.
+    Failed(Option<TrustError>),
+}
+
+impl<R> Pending<R> {
+    fn waiting(rx: oneshot::Receiver<R>) -> Self {
+        Pending { state: PendingState::Waiting(rx) }
+    }
+
+    fn failed(err: TrustError) -> Self {
+        Pending { state: PendingState::Failed(Some(err)) }
+    }
+}
+
+impl<R> Future for Pending<R> {
+    type Output = Result<R, TrustError>;
+
+    fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<Self::Output> {
+        match &mut self.get_mut().state {
+            PendingState::Waiting(rx) => Pin::new(rx)
+                .poll(cx)
+                .map(|r| r.map_err(|oneshot::Canceled| TrustError::ServiceStopped)),
+            PendingState::Failed(err) => {
+                Poll::Ready(Err(err.take().expect("a resolved Pending is not re-polled")))
+            }
+        }
+    }
+}
+
+/// A cloneable, `Send` handle to a running [`TrustService`] actor.
+///
+/// Every method is an `async fn` (or returns a [`Pending`] future): the
+/// message is sent when the future is first polled — except
+/// [`submit`](Self::submit), which sends eagerly so callers can pipeline —
+/// and the future resolves when the actor replies. All futures are plain
+/// `std` futures; drive them with [`block_on`] or any executor.
+#[derive(Debug)]
+pub struct TrustServiceHandle<P> {
+    tx: SyncSender<Message<P>>,
+}
+
+impl<P> Clone for TrustServiceHandle<P> {
+    fn clone(&self) -> Self {
+        TrustServiceHandle { tx: self.tx.clone() }
+    }
+}
+
+impl<P: Copy + Ord> TrustServiceHandle<P> {
+    /// Sends one message, blocking briefly if the mailbox is full.
+    fn request<R>(&self, build: impl FnOnce(oneshot::Sender<R>) -> Message<P>) -> Pending<R> {
+        let (tx, rx) = oneshot::channel();
+        match self.tx.send(build(tx)) {
+            Ok(()) => Pending::waiting(rx),
+            Err(_) => Pending::failed(TrustError::ServiceStopped),
+        }
+    }
+
+    /// Eagerly submits one finished session for committing and returns the
+    /// receipt future — the pipelining primitive: submit a window of
+    /// completions first, await the receipts after, and the actor folds
+    /// them in one batched drain. [`commit`](Self::commit) is this plus the
+    /// immediate await.
+    pub fn submit(&self, completed: CompletedDelegation<P>) -> Pending<DelegationReceipt<P>> {
+        self.request(|reply| Message::Command(Command::Commit { completed, reply }))
+    }
+
+    /// Commits one finished session and resolves to its receipt.
+    pub async fn commit(
+        &self,
+        completed: CompletedDelegation<P>,
+    ) -> Result<DelegationReceipt<P>, TrustError> {
+        self.submit(completed).await
+    }
+
+    /// Runs the §3.3 evaluation of `request` against the service's engine
+    /// (direct record → inference → gated referrals → prior) and resolves
+    /// to the evaluated session.
+    pub async fn evaluate(
+        &self,
+        request: DelegationRequest<P>,
+    ) -> Result<EvaluatedDelegation<P>, TrustError> {
+        self.request(|reply| Message::Query(Query::Evaluate { request, reply })).await
+    }
+
+    /// [`evaluate`](Self::evaluate) carried through to the §3.4 decision.
+    /// The [`Delegate`](Decision::Delegate) arm holds the one-shot
+    /// [`ActiveDelegation`](crate::delegation::ActiveDelegation) the caller
+    /// finishes locally and [`commit`](Self::commit)s back.
+    pub async fn delegate(&self, request: DelegationRequest<P>) -> Result<Decision<P>, TrustError> {
+        Ok(self.evaluate(request).await?.into_decision())
+    }
+
+    /// The whole committed session in one round trip: the actor activates
+    /// `request`, validates `outcome`, and folds it batched with adjacent
+    /// commits. For callers whose delegation decision was already made
+    /// upstream (a coordinator re-materializing reports, a feedback-only
+    /// trustor).
+    pub async fn complete(
+        &self,
+        request: DelegationRequest<P>,
+        outcome: DelegationOutcome,
+    ) -> Result<DelegationReceipt<P>, TrustError> {
+        self.request(|reply| Message::Command(Command::Complete { request, outcome, reply }))
+            .await?
+    }
+
+    /// Registers (or replaces) a task definition in the service's engine —
+    /// inference needs the characteristic weights.
+    pub async fn register_task(&self, task: Task) -> Result<(), TrustError> {
+        self.request(|reply| Message::Command(Command::RegisterTask { task, reply })).await
+    }
+
+    /// Eq. 18 trustworthiness toward `(peer, task)`, `None` without direct
+    /// experience.
+    pub async fn trustworthiness(
+        &self,
+        peer: P,
+        task: TaskId,
+    ) -> Result<Option<Trustworthiness>, TrustError> {
+        self.request(|reply| Message::Query(Query::Trustworthiness { peer, task, reply })).await
+    }
+
+    /// The record for `(peer, task)`, if any interaction happened.
+    pub async fn record(&self, peer: P, task: TaskId) -> Result<Option<TrustRecord>, TrustError> {
+        self.request(|reply| Message::Query(Query::Record { peer, task, reply })).await
+    }
+
+    /// Peers with at least one record — each exactly once, ascending.
+    pub async fn known_peers(&self) -> Result<Vec<P>, TrustError> {
+        self.request(|reply| Message::Query(Query::KnownPeers { reply })).await
+    }
+
+    /// Every `(peer, record)` pair held for `task`, ascending by peer —
+    /// one round trip and one consistent snapshot, where a
+    /// [`known_peers`](Self::known_peers)-then-[`record`](Self::record)
+    /// loop would cross the mailbox once per peer and interleave with
+    /// concurrent commits. The shape ranking and fleet-survey callers
+    /// want.
+    pub async fn task_records(&self, task: TaskId) -> Result<Vec<(P, TrustRecord)>, TrustError> {
+        self.request(|reply| Message::Query(Query::TaskRecords { task, reply })).await
+    }
+
+    /// Pushes engine state down to stable storage (see
+    /// [`TrustEngine::flush`]) and resolves once it is down.
+    pub async fn flush(&self) -> Result<(), TrustError> {
+        self.request(|reply| Message::Command(Command::Flush { reply })).await?
+    }
+
+    /// Stops the service gracefully: the actor finishes draining its
+    /// mailbox (every queued commit is folded and acked), flushes the
+    /// backend, then exits — on a durable engine, no acked commit is lost.
+    /// Requests arriving after the drain fail with
+    /// [`TrustError::ServiceStopped`].
+    pub async fn shutdown(&self) -> Result<(), TrustError> {
+        self.request(|reply| Message::Command(Command::Shutdown { reply })).await?
+    }
+}
+
+/// A running trust service: the actor thread owning the engine, plus the
+/// first [`TrustServiceHandle`]. See the [module docs](self).
+#[derive(Debug)]
+pub struct TrustService<P, B = crate::backend::BTreeBackend<P>> {
+    handle: TrustServiceHandle<P>,
+    thread: JoinHandle<TrustEngine<P, B>>,
+}
+
+impl<P, B> TrustService<P, B>
+where
+    P: Copy + Ord + Send + 'static,
+    B: TrustBackend<P> + Send + 'static,
+{
+    /// Takes ownership of `engine` and moves it onto a dedicated actor
+    /// thread. Register task definitions before spawning (or via
+    /// [`TrustServiceHandle::register_task`]).
+    pub fn spawn(engine: TrustEngine<P, B>, options: ServiceOptions) -> Self {
+        let (tx, rx) = std::sync::mpsc::sync_channel(options.mailbox.max(1));
+        let betas = options.betas;
+        let thread = std::thread::Builder::new()
+            .name("siot-trust-service".into())
+            .spawn(move || actor(engine, rx, betas))
+            .expect("actor thread spawns");
+        TrustService { handle: TrustServiceHandle { tx }, thread }
+    }
+
+    /// A new handle to the running actor.
+    pub fn handle(&self) -> TrustServiceHandle<P> {
+        self.handle.clone()
+    }
+
+    /// Gracefully stops the actor ([`TrustServiceHandle::shutdown`]) and
+    /// hands the engine back. If the final durable flush failed, its error
+    /// is returned instead and the engine is dropped — the journal retries
+    /// the flush on drop, and callers that must keep the engine on flush
+    /// failure can `flush().await` through the handle first.
+    pub fn shutdown(self) -> Result<TrustEngine<P, B>, TrustError> {
+        let flushed = block_on(self.handle.shutdown());
+        let engine = self.thread.join().map_err(|_| TrustError::WorkerPanicked)?;
+        match flushed {
+            // a concurrent handle already shut the actor down: the drain
+            // and flush still happened, just acked to someone else
+            Ok(()) | Err(TrustError::ServiceStopped) => Ok(engine),
+            Err(e) => Err(e),
+        }
+    }
+}
+
+/// The actor loop: block on the first message, drain greedily, batch
+/// adjacent commits through one `commit_batch_receipts` pass, answer
+/// queries in arrival order. Exits — flushing first — on shutdown or once
+/// every handle is gone; either way the engine is returned to
+/// [`TrustService::shutdown`]'s `join`.
+fn actor<P: Copy + Ord, B: TrustBackend<P>>(
+    mut engine: TrustEngine<P, B>,
+    rx: Receiver<Message<P>>,
+    betas: ForgettingFactors,
+) -> TrustEngine<P, B> {
+    let mut pending: Vec<CompletedDelegation<P>> = Vec::new();
+    let mut acks: Vec<Ack<P>> = Vec::new();
+    'serve: loop {
+        let Ok(first) = rx.recv() else {
+            // every handle dropped: nothing is queued (recv only errs on
+            // empty + disconnected) — flush best-effort and stop
+            let _ = engine.flush();
+            break 'serve;
+        };
+        let mut next = Some(first);
+        let mut stop: Vec<oneshot::Sender<Result<(), TrustError>>> = Vec::new();
+        // one drain: the blocking message plus everything already queued
+        loop {
+            match next.take() {
+                Some(Message::Command(cmd)) => match cmd {
+                    Command::Commit { completed, reply } => {
+                        pending.push(completed);
+                        acks.push(Ack::Commit(reply));
+                    }
+                    Command::Complete { request, outcome, reply } => {
+                        // activation against current state: for a committed
+                        // session the evaluation gates nothing and the fold
+                        // depends only on outcome + context, so joining the
+                        // batch is exactly sequential semantics
+                        match request.activate(&engine).finish(outcome) {
+                            Ok(completed) => {
+                                pending.push(completed);
+                                acks.push(Ack::Complete(reply));
+                            }
+                            Err(e) => {
+                                let _ = reply.send(Err(e));
+                            }
+                        }
+                    }
+                    Command::RegisterTask { task, reply } => {
+                        engine.register_task(task);
+                        let _ = reply.send(());
+                    }
+                    Command::Flush { reply } => {
+                        flush_batch(&mut engine, &mut pending, &mut acks, &betas);
+                        let _ = reply.send(engine.flush());
+                    }
+                    Command::Shutdown { reply } => stop.push(reply),
+                },
+                Some(Message::Query(query)) => {
+                    // strict arrival order: queued commits fold before the
+                    // query is answered, so awaited writes are always read
+                    flush_batch(&mut engine, &mut pending, &mut acks, &betas);
+                    match query {
+                        Query::Evaluate { request, reply } => {
+                            let _ = reply.send(request.evaluate(&engine));
+                        }
+                        Query::Trustworthiness { peer, task, reply } => {
+                            let _ = reply.send(engine.trustworthiness(peer, task));
+                        }
+                        Query::Record { peer, task, reply } => {
+                            let _ = reply.send(engine.record(peer, task));
+                        }
+                        Query::KnownPeers { reply } => {
+                            let _ = reply.send(engine.known_peers());
+                        }
+                        Query::TaskRecords { task, reply } => {
+                            let records = engine
+                                .known_peers()
+                                .into_iter()
+                                .filter_map(|peer| engine.record(peer, task).map(|rec| (peer, rec)))
+                                .collect();
+                            let _ = reply.send(records);
+                        }
+                    }
+                }
+                None => {}
+            }
+            match rx.try_recv() {
+                Ok(msg) => next = Some(msg),
+                Err(TryRecvError::Empty) | Err(TryRecvError::Disconnected) => break,
+            }
+        }
+        // the drain's accumulated commit batch: one storage pass, receipts
+        // fanned back out per caller
+        flush_batch(&mut engine, &mut pending, &mut acks, &betas);
+        if !stop.is_empty() {
+            let flushed = engine.flush();
+            for reply in stop {
+                let _ = reply.send(flushed.clone());
+            }
+            break 'serve;
+        }
+    }
+    engine
+}
+
+/// Folds the pending commit batch in one storage pass and acks every
+/// submitter with its receipt.
+fn flush_batch<P: Copy + Ord, B: TrustBackend<P>>(
+    engine: &mut TrustEngine<P, B>,
+    pending: &mut Vec<CompletedDelegation<P>>,
+    acks: &mut Vec<Ack<P>>,
+    betas: &ForgettingFactors,
+) {
+    if pending.is_empty() {
+        return;
+    }
+    let receipts = engine.commit_batch_receipts(std::mem::take(pending), betas);
+    for (ack, receipt) in acks.drain(..).zip(receipts) {
+        match ack {
+            Ack::Commit(reply) => {
+                let _ = reply.send(receipt);
+            }
+            Ack::Complete(reply) => {
+                let _ = reply.send(Ok(receipt));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::backend::ShardedBackend;
+    use crate::context::Context;
+    use crate::goal::Goal;
+    use crate::record::Observation;
+    use crate::store::TrustStore;
+    use crate::task::CharacteristicId;
+
+    fn task(id: u32) -> Task {
+        Task::uniform(TaskId(id), [CharacteristicId(0)]).unwrap()
+    }
+
+    fn committed_request(peer: u32, t: &Task) -> DelegationRequest<u32> {
+        DelegationRequest::new(peer, t, Goal::ANY, Context::amicable(t.id())).committed()
+    }
+
+    #[test]
+    fn session_lifecycle_over_the_wire() {
+        let mut engine: TrustStore<u32> = TrustStore::new();
+        let t = task(0);
+        engine.register_task(t.clone());
+        let service = TrustService::spawn(engine, ServiceOptions::default());
+        let handle = service.handle();
+
+        block_on(async {
+            let request =
+                DelegationRequest::new(7, &t, Goal::profitable(), Context::amicable(t.id()))
+                    .with_prior(TrustRecord::with_priors(1.0, 1.0, 0.0, 0.0));
+            let Decision::Delegate(active) = handle.delegate(request).await.unwrap() else {
+                panic!("optimistic prior delegates")
+            };
+            let completed = active.finish(DelegationOutcome::succeeded(0.9, 0.2)).unwrap();
+            let receipt = handle.commit(completed).await.unwrap();
+            assert!(receipt.fulfilled);
+            assert_eq!(receipt.record.interactions, 1);
+
+            // read-your-write: the awaited commit is visible to queries
+            let tw = handle.trustworthiness(7, t.id()).await.unwrap().unwrap();
+            assert!(tw.value() > 0.5);
+            assert_eq!(handle.known_peers().await.unwrap(), vec![7]);
+            assert!(handle.record(9, t.id()).await.unwrap().is_none());
+            let snapshot = handle.task_records(t.id()).await.unwrap();
+            assert_eq!(snapshot.len(), 1);
+            assert_eq!(snapshot[0].0, 7);
+            assert_eq!(snapshot[0].1, receipt.record);
+        });
+
+        let engine = service.shutdown().unwrap();
+        assert_eq!(engine.record_count(), 1);
+        assert_eq!(engine.usage_log(7).responsive, 1);
+    }
+
+    #[test]
+    fn complete_is_one_round_trip_and_validates() {
+        let service = TrustService::spawn(TrustStore::<u32>::new(), ServiceOptions::default());
+        let handle = service.handle();
+        let t = task(0);
+        block_on(async {
+            let receipt = handle
+                .complete(committed_request(3, &t), DelegationOutcome::failed(0.8, 0.3).abusive())
+                .await
+                .unwrap();
+            assert!(!receipt.fulfilled);
+
+            let bad = DelegationOutcome::observed(Observation {
+                success_rate: f64::NAN,
+                gain: 0.0,
+                damage: 0.0,
+                cost: 0.0,
+            });
+            let err = handle.complete(committed_request(3, &t), bad).await.unwrap_err();
+            assert!(matches!(err, TrustError::OutOfUnitRange { .. }));
+        });
+        let engine = service.shutdown().unwrap();
+        assert_eq!(engine.record(3, t.id()).unwrap().interactions, 1, "invalid outcome not folded");
+        assert_eq!(engine.usage_log(3).abusive, 1);
+    }
+
+    #[test]
+    fn pipelined_submissions_match_sequential_commits() {
+        let t = task(0);
+        let betas = ServiceOptions::default().betas;
+        let outcomes: Vec<(u32, f64)> =
+            (0..200u32).map(|i| (i % 9, (i % 7) as f64 / 6.0)).collect();
+
+        // reference: the same stream folded synchronously
+        let mut reference: TrustStore<u32> = TrustStore::new();
+        for &(peer, q) in &outcomes {
+            let scratch: TrustStore<u32> = TrustStore::new();
+            let completed = committed_request(peer, &t)
+                .activate(&scratch)
+                .finish(DelegationOutcome::succeeded(q, 0.1))
+                .unwrap();
+            reference.commit(completed, &betas);
+        }
+
+        let service = TrustService::spawn(TrustStore::<u32>::new(), ServiceOptions::default());
+        let handle = service.handle();
+        let scratch: TrustStore<u32> = TrustStore::new();
+        let pending: Vec<_> = outcomes
+            .iter()
+            .map(|&(peer, q)| {
+                let completed = committed_request(peer, &t)
+                    .activate(&scratch)
+                    .finish(DelegationOutcome::succeeded(q, 0.1))
+                    .unwrap();
+                handle.submit(completed)
+            })
+            .collect();
+        for p in pending {
+            block_on(p).unwrap();
+        }
+        let engine = service.shutdown().unwrap();
+        assert_eq!(engine.record_count(), reference.record_count());
+        for peer in reference.known_peers() {
+            assert_eq!(engine.record(peer, t.id()), reference.record(peer, t.id()));
+            assert_eq!(engine.usage_log(peer), reference.usage_log(peer));
+        }
+    }
+
+    #[test]
+    fn concurrent_handles_commit_through_a_sharded_backend() {
+        let engine: TrustEngine<u32, ShardedBackend<u32>> = TrustEngine::new();
+        let service = TrustService::spawn(engine, ServiceOptions::default());
+        let t = task(0);
+        std::thread::scope(|scope| {
+            for worker in 0..4u32 {
+                let handle = service.handle();
+                let t = t.clone();
+                scope.spawn(move || {
+                    for i in 0..50u32 {
+                        let peer = worker * 1000 + i;
+                        block_on(handle.complete(
+                            committed_request(peer, &t),
+                            DelegationOutcome::succeeded(0.8, 0.1),
+                        ))
+                        .unwrap();
+                    }
+                });
+            }
+        });
+        let engine = service.shutdown().unwrap();
+        assert_eq!(engine.record_count(), 200);
+        assert_eq!(engine.known_peers().len(), 200);
+    }
+
+    #[test]
+    fn requests_after_shutdown_fail_typed() {
+        let service = TrustService::spawn(TrustStore::<u32>::new(), ServiceOptions::default());
+        let handle = service.handle();
+        let spare = handle.clone();
+        let engine = service.shutdown().unwrap();
+        assert_eq!(engine.record_count(), 0);
+        block_on(async {
+            assert_eq!(spare.known_peers().await.unwrap_err(), TrustError::ServiceStopped);
+            assert_eq!(handle.flush().await.unwrap_err(), TrustError::ServiceStopped);
+            let t = task(0);
+            let scratch: TrustStore<u32> = TrustStore::new();
+            let completed = committed_request(1, &t)
+                .activate(&scratch)
+                .finish(DelegationOutcome::succeeded(0.5, 0.1))
+                .unwrap();
+            assert_eq!(spare.commit(completed).await.unwrap_err(), TrustError::ServiceStopped);
+        });
+    }
+
+    #[test]
+    fn dropping_every_handle_stops_the_actor() {
+        let service = TrustService::spawn(TrustStore::<u32>::new(), ServiceOptions::default());
+        let t = task(0);
+        let handle = service.handle();
+        block_on(handle.complete(committed_request(2, &t), DelegationOutcome::succeeded(0.9, 0.1)))
+            .unwrap();
+        drop(handle);
+        // TrustService::shutdown still works: its own handle is the last one
+        let engine = service.shutdown().unwrap();
+        assert_eq!(engine.record(2, t.id()).unwrap().interactions, 1);
+    }
+
+    #[test]
+    fn register_task_enables_inference_queries() {
+        let service = TrustService::spawn(TrustStore::<u32>::new(), ServiceOptions::default());
+        let handle = service.handle();
+        let gps = task(0);
+        let image = Task::uniform(TaskId(1), [CharacteristicId(1)]).unwrap();
+        let combined =
+            Task::uniform(TaskId(2), [CharacteristicId(0), CharacteristicId(1)]).unwrap();
+        block_on(async {
+            handle.register_task(gps.clone()).await.unwrap();
+            handle.register_task(image.clone()).await.unwrap();
+            for t in [&gps, &image] {
+                handle
+                    .complete(committed_request(5, t), DelegationOutcome::succeeded(1.0, 0.0))
+                    .await
+                    .unwrap();
+            }
+            let evaluated = handle
+                .evaluate(DelegationRequest::new(
+                    5,
+                    &combined,
+                    Goal::profitable(),
+                    Context::amicable(combined.id()),
+                ))
+                .await
+                .unwrap();
+            assert_eq!(evaluated.basis(), crate::delegation::EvaluationBasis::Inferred);
+            assert!(evaluated.would_delegate());
+        });
+        service.shutdown().unwrap();
+    }
+}

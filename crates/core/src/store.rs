@@ -180,14 +180,45 @@ impl<P: Copy + Ord, B: TrustBackend<P>> TrustEngine<P, B> {
     /// finished sessions (the shape a coordinator collecting a round's
     /// outcomes uses). Equivalent to committing each element in order.
     pub fn commit_batch(&mut self, batch: Vec<CompletedDelegation<P>>, betas: &ForgettingFactors) {
+        // one fold implementation for both batch-commit shapes; the
+        // discarded receipts are an allocation, not a second storage pass
+        let _ = self.commit_batch_receipts(batch, betas);
+    }
+
+    /// [`Self::commit_batch`] that also returns one [`DelegationReceipt`]
+    /// per committed session, in batch order — the shape a
+    /// [`TrustService`](crate::service::TrustService) actor needs to ack
+    /// every caller of a drained mailbox from a single storage pass.
+    /// State-wise identical to `commit_batch` (and to committing each
+    /// element in order).
+    pub fn commit_batch_receipts(
+        &mut self,
+        batch: Vec<CompletedDelegation<P>>,
+        betas: &ForgettingFactors,
+    ) -> Vec<DelegationReceipt<P>> {
         let keys: Vec<(P, TaskId)> = batch.iter().map(|c| (c.trustee, c.task)).collect();
+        let mut folded: Vec<Option<TrustRecord>> = vec![None; batch.len()];
         self.backend.update_batch(&keys, &mut |i, prior| {
             let c = &batch[i];
-            folded_env(prior, &c.observation, &[c.context.environment], betas)
+            let rec = folded_env(prior, &c.observation, &[c.context.environment], betas);
+            folded[i] = Some(rec);
+            rec
         });
-        for c in batch {
-            self.log_resource_use(c.trustee, c.resource_use);
-        }
+        batch
+            .into_iter()
+            .zip(folded)
+            .map(|(c, rec)| {
+                self.log_resource_use(c.trustee, c.resource_use);
+                let record = rec.expect("update_batch folds every element exactly once");
+                DelegationReceipt {
+                    trustee: c.trustee,
+                    task: c.task,
+                    record,
+                    trustworthiness: record.trustworthiness(self.normalizer),
+                    fulfilled: c.fulfilled(),
+                }
+            })
+            .collect()
     }
 
     fn log_resource_use(&mut self, peer: P, resource_use: ResourceUse) {
@@ -334,6 +365,7 @@ impl<P: Copy + Ord, B: TrustBackend<P>> TrustEngine<P, B> {
     /// the next [`Self::flush`] (which re-journals every usage log) or the
     /// next session commit touching the same peer. Sessions and the seeding
     /// APIs have no such gap.
+    #[must_use = "journal-bypassing until flush: mutate the returned log or use seed_usage_log"]
     pub fn usage_log_mut(&mut self, peer: P) -> &mut UsageLog {
         self.logs.entry(peer).or_default()
     }
@@ -344,6 +376,7 @@ impl<P: Copy + Ord, B: TrustBackend<P>> TrustEngine<P, B> {
     /// read-only log so live entries can only come from sessions. The seed
     /// itself is journaled by durable backends; later mutations through the
     /// returned reference carry the same caveat as [`Self::usage_log_mut`].
+    #[must_use = "journal-bypassing until flush: mutate the returned log or use seed_usage_log"]
     pub fn usage_log_mut_or_seed(
         &mut self,
         peer: P,

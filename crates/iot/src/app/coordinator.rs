@@ -31,12 +31,16 @@ use crate::frame::{Frame, Payload};
 use crate::network::{Application, Ctx};
 use crate::time::SimTime;
 use siot_core::backend::{ConcurrentTrustBackend, ShardedBackend};
+use siot_core::context::Context;
+use siot_core::delegation::{DelegationOutcome, DelegationReceipt, DelegationRequest};
 use siot_core::error::TrustError;
+use siot_core::goal::Goal;
 use siot_core::log_backend::{LogOptions, WriteBehind};
 use siot_core::pool::ObserverPool;
 use siot_core::record::{ForgettingFactors, Observation};
+use siot_core::service::{block_on, Pending, TrustServiceHandle};
 use siot_core::store::TrustEngine;
-use siot_core::task::TaskId;
+use siot_core::task::{CharacteristicId, Task, TaskId};
 use std::any::Any;
 use std::cell::RefCell;
 use std::path::Path;
@@ -55,6 +59,22 @@ const LEDGER_FLUSH: usize = 1024;
 /// Lane-owning workers folding ledger flushes; the ledger's backend is
 /// sized to match via [`ShardedBackend::with_shards_for_writers`].
 const LEDGER_WRITERS: usize = 2;
+
+/// A reported net profit in `[-1, 1]` as a unit-range ledger observation:
+/// pure gain when positive, pure damage when negative. `None` for
+/// non-finite reports (a buggy or malicious device) — NaN must never
+/// enter a ledger whose ranking comparator assumes finite profits.
+fn report_observation(net_profit: f64) -> Option<Observation> {
+    if !net_profit.is_finite() {
+        return None;
+    }
+    Some(Observation {
+        success_rate: if net_profit > 0.0 { 1.0 } else { 0.0 },
+        gain: net_profit.clamp(0.0, 1.0),
+        damage: (-net_profit).clamp(0.0, 1.0),
+        cost: 0.0,
+    })
+}
 
 /// One collected report.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -166,14 +186,8 @@ impl<B: ConcurrentTrustBackend<DeviceId> + Send + 'static> CoordinatorApp<B> {
     /// plus the `observe_batch` validation guarantee NaN never enters the
     /// ledger, whose ranking comparator assumes finite profits.
     fn fold_report(&mut self, selected: DeviceId, net_profit: f64) {
-        if !net_profit.is_finite() {
+        let Some(obs) = report_observation(net_profit) else {
             return;
-        }
-        let obs = Observation {
-            success_rate: if net_profit > 0.0 { 1.0 } else { 0.0 },
-            gain: net_profit.clamp(0.0, 1.0),
-            damage: (-net_profit).clamp(0.0, 1.0),
-            cost: 0.0,
         };
         let pending = self.pending.get_mut();
         pending.push((selected, LEDGER_TASK, obs));
@@ -238,6 +252,183 @@ impl<B: ConcurrentTrustBackend<DeviceId>> Drop for CoordinatorApp<B> {
 }
 
 impl<B: ConcurrentTrustBackend<DeviceId> + Send + 'static> Application for CoordinatorApp<B> {
+    fn on_frame(&mut self, ctx: &mut Ctx<'_>, frame: &Frame) {
+        match frame.payload {
+            Payload::AssocRequest => {
+                self.joined.push(frame.src);
+                ctx.send(frame.src, Payload::AssocResponse);
+            }
+            Payload::Report { selected, net_profit } => {
+                self.reports.push(CollectedReport {
+                    at: ctx.now,
+                    reporter: frame.src,
+                    selected,
+                    net_profit,
+                });
+                self.fold_report(selected, net_profit);
+            }
+            _ => {}
+        }
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Service-backed mode
+// ---------------------------------------------------------------------------
+
+/// The coordinator's **service-backed mode**: instead of owning a ledger
+/// engine (plus a worker pool to fold into it), the coordinator holds a
+/// [`TrustServiceHandle`] and forwards every trustor report through it as
+/// a completed delegation session — the trustors' feedback literally goes
+/// through the handle, and the
+/// [`TrustService`](siot_core::service::TrustService) actor owns the
+/// engine on its own thread.
+///
+/// What that buys over [`CoordinatorApp`]:
+///
+/// * the ledger can be **shared**: other processes' handles (an operator
+///   console, a ranking endpoint, more coordinators) query and commit to
+///   the same engine concurrently, and the actor serializes them;
+/// * the coordinator's event loop never folds — and never *waits*:
+///   reports are built into completed sessions locally and **submitted
+///   without awaiting** ([`TrustServiceHandle::submit`]), so the actor's
+///   drain finds real batches and each `Report` frame costs one channel
+///   send, not a cross-thread round trip;
+/// * durability is the service's problem: spawn it over a
+///   [`LogBackend`](siot_core::log_backend::LogBackend) or
+///   [`WriteBehind`] engine and the service's graceful shutdown drains +
+///   flushes, so every acked report survives a restart.
+///
+/// Receipts are settled lazily — on [`Self::settle`],
+/// [`Self::sync_ledger`], [`Self::trustee_ranking`], or drop. Reads are
+/// still consistent without settling first: the ranking queries travel
+/// the same FIFO mailbox as the submitted commits, so they observe every
+/// prior report. Reports the service refused (it was shut down underneath
+/// the coordinator) are counted by [`Self::rejected`] instead of silently
+/// vanishing.
+pub struct ServedCoordinatorApp {
+    /// Devices that completed association.
+    pub joined: Vec<DeviceId>,
+    /// Reports collected from trustors.
+    pub reports: Vec<CollectedReport>,
+    /// Reports the trust service refused so far (see [`Self::rejected`]).
+    rejected: std::cell::Cell<usize>,
+    /// Receipt futures of submitted-but-unsettled reports.
+    pending: RefCell<Vec<Pending<DelegationReceipt<DeviceId>>>>,
+    handle: TrustServiceHandle<DeviceId>,
+    /// Empty engine the pre-committed requests activate against (the
+    /// decision was the reporting trustor's; nothing is read from it).
+    scratch: TrustEngine<DeviceId>,
+    ledger_task: Task,
+}
+
+impl ServedCoordinatorApp {
+    /// A coordinator forwarding its fleet ledger through `handle`.
+    pub fn new(handle: TrustServiceHandle<DeviceId>) -> Self {
+        ServedCoordinatorApp {
+            joined: Vec::new(),
+            reports: Vec::new(),
+            rejected: std::cell::Cell::new(0),
+            pending: RefCell::new(Vec::new()),
+            handle,
+            scratch: TrustEngine::new(),
+            ledger_task: Task::uniform(LEDGER_TASK, [CharacteristicId(0)])
+                .expect("one characteristic"),
+        }
+    }
+
+    /// The handle this coordinator reports through.
+    pub fn handle(&self) -> TrustServiceHandle<DeviceId> {
+        self.handle.clone()
+    }
+
+    /// One report as a committed session over the wire: the decision was
+    /// the reporting trustor's, so the session is completed locally and
+    /// submitted without awaiting — the actor folds it batched with
+    /// whatever else its next drain finds.
+    fn fold_report(&mut self, selected: DeviceId, net_profit: f64) {
+        let Some(obs) = report_observation(net_profit) else {
+            return;
+        };
+        let completed = DelegationRequest::new(
+            selected,
+            &self.ledger_task,
+            Goal::ANY,
+            Context::amicable(LEDGER_TASK),
+        )
+        .committed()
+        .activate(&self.scratch)
+        .finish(DelegationOutcome::observed(obs))
+        .expect("report observations are clamped to the unit range");
+        self.pending.get_mut().push(self.handle.submit(completed));
+        // bound the receipt backlog like CoordinatorApp bounds its pending
+        // slate: by the time a full slate has been submitted, the actor
+        // has long drained the oldest, so settling is resolution, not a
+        // stall
+        if self.pending.get_mut().len() >= LEDGER_FLUSH {
+            self.settle();
+        }
+    }
+
+    /// Resolves every outstanding receipt, counting refusals (the service
+    /// stopped before folding them) into [`Self::rejected`]. Cheap when
+    /// the actor has already processed the backlog.
+    pub fn settle(&self) {
+        for receipt in self.pending.borrow_mut().drain(..) {
+            if block_on(receipt).is_err() {
+                self.rejected.set(self.rejected.get() + 1);
+            }
+        }
+    }
+
+    /// Reports the trust service refused (it was shut down underneath the
+    /// coordinator), settled so the count is current.
+    pub fn rejected(&self) -> usize {
+        self.settle();
+        self.rejected.get()
+    }
+
+    /// Trustees ranked by fleet-wide expected net profit, best first (ties
+    /// broken by id) — computed from the service's ledger, so the ranking
+    /// reflects every report the actor has acked, from this coordinator
+    /// and any other handle holder.
+    pub fn trustee_ranking(&self) -> Result<Vec<(DeviceId, f64)>, TrustError> {
+        self.settle();
+        // one atomic snapshot query — not a known_peers + per-peer record
+        // loop, which would cross the mailbox once per trustee
+        let mut ranked: Vec<(DeviceId, f64)> = block_on(self.handle.task_records(LEDGER_TASK))?
+            .into_iter()
+            .map(|(peer, rec)| (peer, rec.expected_net_profit()))
+            .collect();
+        ranked.sort_by(|a, b| {
+            b.1.partial_cmp(&a.1).expect("profits are never NaN").then(a.0.cmp(&b.0))
+        });
+        Ok(ranked)
+    }
+
+    /// Forces the service's ledger down to stable storage — the durable
+    /// parallel of [`CoordinatorApp::sync_ledger`], through the handle.
+    /// Settles first, so "flushed" covers every report submitted so far.
+    pub fn sync_ledger(&self) -> Result<(), TrustError> {
+        self.settle();
+        block_on(self.handle.flush())
+    }
+}
+
+impl Drop for ServedCoordinatorApp {
+    /// Outstanding receipts are settled so refusals are counted; the
+    /// reports themselves already sit in the actor's mailbox (submission
+    /// is the send), so nothing is lost either way.
+    fn drop(&mut self) {
+        self.settle();
+    }
+}
+
+impl Application for ServedCoordinatorApp {
     fn on_frame(&mut self, ctx: &mut Ctx<'_>, frame: &Frame) {
         match frame.payload {
             Payload::AssocRequest => {
@@ -395,6 +586,77 @@ mod tests {
         );
         drop(app);
         std::fs::remove_dir_all(&dir).expect("scratch removable");
+    }
+
+    #[test]
+    fn served_coordinator_reports_through_the_handle() {
+        use siot_core::service::{ServiceOptions, TrustService};
+
+        let service = TrustService::spawn(
+            TrustEngine::<DeviceId, ShardedBackend<DeviceId>>::new(),
+            ServiceOptions::default(),
+        );
+        let mut net = IotNetwork::new(3);
+        net.set_radio(RadioModel { loss: 0.0, ..RadioModel::default() });
+        let coord = net.add_device(
+            DeviceKind::Coordinator,
+            (0.0, 0.0),
+            Box::new(ServedCoordinatorApp::new(service.handle())),
+        );
+        for i in 0..3 {
+            net.add_device(DeviceKind::Trustor, (5.0 * i as f64, 5.0), Box::new(Reporter));
+        }
+        net.start();
+        net.run_to_idle();
+        let app: &ServedCoordinatorApp = net.app_as(coord).unwrap();
+        assert_eq!(app.joined.len(), 3);
+        assert_eq!(app.reports.len(), 3);
+        assert_eq!(app.rejected(), 0);
+
+        // every report was acked into the service's ledger…
+        let ranking = app.trustee_ranking().unwrap();
+        assert_eq!(ranking.len(), 1);
+        assert_eq!(ranking[0].0, DeviceId(9));
+        assert!(ranking[0].1 > 0.0);
+
+        // …and the engine handed back on shutdown holds all three folds
+        let engine = service.shutdown().unwrap();
+        assert_eq!(engine.record(DeviceId(9), super::LEDGER_TASK).unwrap().interactions, 3);
+    }
+
+    #[test]
+    fn served_coordinator_durable_ledger_survives_service_restart() {
+        use siot_core::log_backend::LogBackend;
+        use siot_core::service::{ServiceOptions, TrustService};
+
+        let dir = std::env::temp_dir().join(format!("siot-served-ledger-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        {
+            let engine = TrustEngine::<DeviceId, LogBackend<DeviceId>>::open(&dir).unwrap();
+            let service = TrustService::spawn(engine, ServiceOptions::default());
+            let mut app = ServedCoordinatorApp::new(service.handle());
+            for _ in 0..5 {
+                app.fold_report(DeviceId(3), 0.8);
+                app.fold_report(DeviceId(5), -0.4);
+                app.fold_report(DeviceId(4), 0.2);
+            }
+            // hostile reports never reach the service
+            app.fold_report(DeviceId(7), f64::NAN);
+            assert_eq!(app.rejected(), 0);
+            // graceful shutdown drains and flushes: every acked report is
+            // on disk before the actor exits
+            service.shutdown().unwrap();
+            // the service is gone: further reports are counted, not lost
+            // silently
+            app.fold_report(DeviceId(3), 0.6);
+            assert_eq!(app.rejected(), 1);
+        }
+        let engine = TrustEngine::<DeviceId, LogBackend<DeviceId>>::open(&dir).unwrap();
+        assert_eq!(engine.record(DeviceId(3), super::LEDGER_TASK).unwrap().interactions, 5);
+        assert!(engine.record(DeviceId(7), super::LEDGER_TASK).is_none());
+        assert_eq!(engine.known_peers(), vec![DeviceId(3), DeviceId(4), DeviceId(5)]);
+        drop(engine);
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]

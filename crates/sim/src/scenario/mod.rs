@@ -3,4 +3,5 @@
 pub mod environment;
 pub mod mutuality;
 pub mod profit;
+pub mod service;
 pub mod transitivity;

@@ -1,0 +1,254 @@
+//! The §5.6 profit experiment ported onto the service facade: many
+//! autonomous requesters sharing **one** trust service concurrently.
+//!
+//! The original profit scenario (`scenario::profit`, Fig. 13) gives every
+//! trustor its own `&mut TrustEngine` and drives it synchronously. Here
+//! the same shape — hidden trustee qualities, repeated delegation,
+//! selection by Eq. 23 expected net profit, post-evaluation feedback —
+//! runs against a single [`TrustService`]: each requester owns a cloned
+//! [`TrustServiceHandle`] on its own thread, evaluates and commits
+//! delegation sessions over the actor's mailbox, and the actor batches
+//! whatever the concurrent requesters race in per drain.
+//!
+//! Records are scoped per requester (the trust a requester learns is its
+//! own, exactly like the per-trustor engines of the original scenario) by
+//! widening the peer key to `requester << 32 | trustee`. Because every
+//! requester awaits its own acks, its view of the shared engine is
+//! deterministic no matter how the actor interleaves requesters — pinned
+//! by [`run`] (threads racing) and [`run_sequential`] (same drives, one
+//! after another) producing bit-identical final state.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use siot_core::backend::ShardedBackend;
+use siot_core::context::Context;
+use siot_core::delegation::{Decision, DelegationOutcome, DelegationRequest};
+use siot_core::goal::Goal;
+use siot_core::record::TrustRecord;
+use siot_core::service::{block_on, ServiceOptions, TrustService, TrustServiceHandle};
+use siot_core::store::TrustEngine;
+use siot_core::task::{CharacteristicId, Task, TaskId};
+
+/// The single task type of the experiment.
+const SERVICE_TASK: TaskId = TaskId(0);
+
+/// Parameters of the concurrent-requesters experiment.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ServiceScenarioConfig {
+    /// Requester threads sharing the service.
+    pub requesters: usize,
+    /// Candidate trustees every requester chooses among.
+    pub trustees: usize,
+    /// Delegation iterations per requester.
+    pub iterations: usize,
+    /// RNG seed (hidden qualities and outcome sampling).
+    pub seed: u64,
+    /// Service mailbox capacity.
+    pub mailbox: usize,
+}
+
+impl Default for ServiceScenarioConfig {
+    fn default() -> Self {
+        ServiceScenarioConfig {
+            requesters: 4,
+            trustees: 8,
+            iterations: 150,
+            seed: 42,
+            mailbox: 256,
+        }
+    }
+}
+
+/// What the experiment measured.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServiceScenarioOutcome {
+    /// Mean realized net profit across every requester's iterations.
+    pub mean_profit: f64,
+    /// Mean realized profit per requester.
+    pub per_requester: Vec<f64>,
+    /// Iterations the goal gate declined (no action, no feedback).
+    pub declined: usize,
+    /// The service engine's final records, ascending by key — the state
+    /// the equivalence tests compare bit-wise.
+    pub final_records: Vec<(u64, TrustRecord)>,
+}
+
+/// `requester`-scoped peer key for `trustee`.
+fn scoped(requester: usize, trustee: usize) -> u64 {
+    ((requester as u64) << 32) | trustee as u64
+}
+
+/// Hidden ground truth: each trustee's actual competence, shared by every
+/// requester (they are delegating to the same objects).
+fn qualities(cfg: &ServiceScenarioConfig) -> Vec<f64> {
+    let mut rng = SmallRng::seed_from_u64(cfg.seed);
+    (0..cfg.trustees).map(|_| rng.gen_range(0.2..1.0)).collect()
+}
+
+/// One requester's full run through its handle: score candidates from its
+/// own records (Eq. 23 expected net profit, optimistic prior for
+/// strangers), evaluate-decide over the wire, feed the sampled outcome
+/// back as a committed session. Returns `(mean profit, declines)`.
+///
+/// Deterministic per requester: its keys are private to it and every
+/// commit is awaited before the next read, so the interleaving with other
+/// requesters cannot change what it observes.
+fn drive_requester(
+    handle: &TrustServiceHandle<u64>,
+    requester: usize,
+    task: &Task,
+    qualities: &[f64],
+    cfg: &ServiceScenarioConfig,
+) -> (f64, usize) {
+    let mut rng = SmallRng::seed_from_u64(cfg.seed ^ (0x5107 + requester as u64));
+    let optimistic = TrustRecord::with_priors(1.0, 1.0, 0.0, 0.0);
+    let mut total = 0.0;
+    let mut declined = 0;
+    block_on(async {
+        for _ in 0..cfg.iterations {
+            // pre-evaluation across candidates, from this requester's own
+            // records held by the shared service
+            let mut best = 0;
+            let mut best_score = f64::NEG_INFINITY;
+            for t in 0..cfg.trustees {
+                let score = match handle
+                    .record(scoped(requester, t), SERVICE_TASK)
+                    .await
+                    .expect("service alive for the scenario's duration")
+                {
+                    Some(rec) => rec.expected_net_profit(),
+                    None => 0.99, // explore strangers (§5.7 optimism)
+                };
+                if score > best_score {
+                    best_score = score;
+                    best = t;
+                }
+            }
+
+            // the session over the wire: evaluate in the actor, decide,
+            // act, commit the completion back
+            let request = DelegationRequest::new(
+                scoped(requester, best),
+                task,
+                Goal::profitable(),
+                Context::amicable(SERVICE_TASK),
+            )
+            .with_prior(optimistic);
+            match handle.delegate(request).await.expect("service alive") {
+                Decision::Delegate(active) => {
+                    let q = qualities[best];
+                    let outcome = if rng.gen_bool(q) {
+                        DelegationOutcome::succeeded(q, 0.15)
+                    } else {
+                        DelegationOutcome::failed(0.6, 0.15)
+                    };
+                    let completed =
+                        active.finish(outcome).expect("sampled outcomes are unit-range");
+                    let receipt = handle.commit(completed).await.expect("service alive");
+                    total += if receipt.fulfilled { q - 0.15 } else { -0.6 - 0.15 };
+                }
+                Decision::Decline { .. } => declined += 1,
+            }
+        }
+    });
+    (total / cfg.iterations as f64, declined)
+}
+
+/// Runs the scenario with every requester on its own thread, racing into
+/// the shared service.
+pub fn run(cfg: &ServiceScenarioConfig) -> ServiceScenarioOutcome {
+    run_inner(cfg, true)
+}
+
+/// The same requester drives, executed one requester after another — the
+/// sequential reference [`run`] must match bit-for-bit.
+pub fn run_sequential(cfg: &ServiceScenarioConfig) -> ServiceScenarioOutcome {
+    run_inner(cfg, false)
+}
+
+fn run_inner(cfg: &ServiceScenarioConfig, concurrent: bool) -> ServiceScenarioOutcome {
+    let task = Task::uniform(SERVICE_TASK, [CharacteristicId(0)]).expect("non-empty task");
+    let mut engine: TrustEngine<u64, ShardedBackend<u64>> = TrustEngine::new();
+    engine.register_task(task.clone());
+    let service = TrustService::spawn(
+        engine,
+        ServiceOptions { mailbox: cfg.mailbox, ..ServiceOptions::default() },
+    );
+    let qualities = qualities(cfg);
+
+    let mut per_requester = vec![0.0; cfg.requesters];
+    let mut declined = 0;
+    if concurrent {
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..cfg.requesters)
+                .map(|r| {
+                    let handle = service.handle();
+                    let task = &task;
+                    let qualities = &qualities;
+                    scope.spawn(move || drive_requester(&handle, r, task, qualities, cfg))
+                })
+                .collect();
+            for (r, h) in handles.into_iter().enumerate() {
+                let (profit, decl) = h.join().expect("requester thread completes");
+                per_requester[r] = profit;
+                declined += decl;
+            }
+        });
+    } else {
+        let handle = service.handle();
+        for (r, slot) in per_requester.iter_mut().enumerate() {
+            let (profit, decl) = drive_requester(&handle, r, &task, &qualities, cfg);
+            *slot = profit;
+            declined += decl;
+        }
+    }
+
+    let engine = service.shutdown().expect("scenario service shuts down cleanly");
+    let mut final_records: Vec<(u64, TrustRecord)> = Vec::with_capacity(engine.record_count());
+    for peer in engine.known_peers() {
+        if let Some(rec) = engine.record(peer, SERVICE_TASK) {
+            final_records.push((peer, rec));
+        }
+    }
+    let mean_profit = per_requester.iter().sum::<f64>() / cfg.requesters.max(1) as f64;
+    ServiceScenarioOutcome { mean_profit, per_requester, declined, final_records }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn concurrent_requesters_match_sequential_bitwise() {
+        let cfg = ServiceScenarioConfig { iterations: 60, ..Default::default() };
+        let racing = run(&cfg);
+        let ordered = run_sequential(&cfg);
+        assert_eq!(racing.final_records.len(), ordered.final_records.len());
+        for ((pa, ra), (pb, rb)) in racing.final_records.iter().zip(&ordered.final_records) {
+            assert_eq!(pa, pb);
+            assert_eq!(ra.s_hat.to_bits(), rb.s_hat.to_bits());
+            assert_eq!(ra.g_hat.to_bits(), rb.g_hat.to_bits());
+            assert_eq!(ra.d_hat.to_bits(), rb.d_hat.to_bits());
+            assert_eq!(ra.c_hat.to_bits(), rb.c_hat.to_bits());
+            assert_eq!(ra.interactions, rb.interactions);
+        }
+        assert_eq!(racing.per_requester, ordered.per_requester);
+        assert_eq!(racing.declined, ordered.declined);
+    }
+
+    #[test]
+    fn requesters_learn_profitable_trustees() {
+        let cfg = ServiceScenarioConfig::default();
+        let outcome = run(&cfg);
+        // Eq. 23 selection converges onto good trustees: positive realized
+        // profit on average, and every requester interacted
+        assert!(outcome.mean_profit > 0.0, "mean profit {}", outcome.mean_profit);
+        assert_eq!(outcome.per_requester.len(), cfg.requesters);
+        assert!(!outcome.final_records.is_empty());
+        // keys stay scoped: no requester's records leak into another's
+        for &(key, _) in &outcome.final_records {
+            assert!(((key >> 32) as usize) < cfg.requesters);
+            assert!(((key & u32::MAX as u64) as usize) < cfg.trustees);
+        }
+    }
+}

@@ -5,7 +5,9 @@
 //! `delegate` (trustor, trustee, goal, context) → `evaluate` (Eq. 18) →
 //! `Decision` (Eq. 23 / §3.4) → `execute` (action, result, and the
 //! post-evaluation updates of Eqs. 19–22, folded exactly once) — then
-//! finishes with a **durable** engine that survives a restart.
+//! finishes with a **durable** engine that survives a restart and with the
+//! engine **served**: moved onto a `TrustService` actor thread whose
+//! cloneable async handles let concurrent requesters share it.
 //!
 //! Run with: `cargo run --example quickstart`
 
@@ -13,6 +15,7 @@ use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use siot::core::log_backend::{FsyncPolicy, LogOptions};
 use siot::core::prelude::*;
+use siot::core::service::block_on;
 use siot::graph::generate::watts_strogatz;
 use siot::sim::Roles;
 
@@ -140,4 +143,50 @@ fn main() {
     );
     drop(recovered);
     let _ = std::fs::remove_dir_all(&dir);
+
+    // 8. serving trust: the same process as a shared async service. A
+    //    `TrustService` actor owns the engine on its own thread; cloneable
+    //    `Send` handles evaluate, commit and query through `async fn`s
+    //    (driven here by the bundled `block_on` — no runtime needed), and
+    //    adjacent commits racing in from many requesters fold in one
+    //    batched storage pass per mailbox drain. See
+    //    `examples/serving_trust.rs` for the durable, restart-surviving
+    //    variant.
+    let mut shared: TrustStore<u32> = TrustStore::new();
+    shared.register_task(task.clone());
+    let service = TrustService::spawn(shared, ServiceOptions::default());
+    std::thread::scope(|scope| {
+        for requester in 0..3u32 {
+            let handle = service.handle();
+            let task = task.clone();
+            scope.spawn(move || {
+                block_on(async {
+                    // each requester explores its own trustee concurrently
+                    let trustee = 100 + requester;
+                    for _ in 0..4 {
+                        let request = DelegationRequest::new(
+                            trustee,
+                            &task,
+                            goal,
+                            Context::amicable(task.id()),
+                        )
+                        .with_prior(optimistic);
+                        let decision = handle.delegate(request).await.expect("service alive");
+                        let Decision::Delegate(active) = decision else { continue };
+                        let completed = active
+                            .finish(DelegationOutcome::succeeded(0.8, 0.2))
+                            .expect("outcome is unit-range");
+                        handle.commit(completed).await.expect("service alive");
+                    }
+                })
+            });
+        }
+    });
+    // graceful shutdown drains the mailbox and hands the engine back
+    let served = service.shutdown().expect("service drains and stops");
+    println!(
+        "\nserved trust: {} trustees learned through concurrent handles, e.g. toward 100: {}",
+        served.known_peers().len(),
+        served.trustworthiness(100, task.id()).expect("committed"),
+    );
 }
