@@ -30,7 +30,18 @@
 //!   drains adjacent commits into `commit_batch` passes. The row carries
 //!   the full wire cost — session construction, channel hops, oneshot
 //!   receipts, usage-log folds — on top of the storage fold, so comparing
-//!   it against `sharded/batched_observe_*` prices the facade itself.
+//!   it against `sharded/batched_observe_*` prices the facade itself;
+//! * `service/sharded_commit_*_s{S}` — the sharded service tier swept over
+//!   shard counts: the same four clients, but each pipeline window travels
+//!   as **one** vectored `submit_batch` per shard (receipts re-stitched in
+//!   caller order), so the per-session channel + oneshot overhead of
+//!   `service/commit_*` collapses into one message per shard per window.
+//!   `s1` prices the vectored wire shape itself against the single-actor
+//!   row; `s2`/`s4` add the partitioned actors;
+//! * `service/sharded_query_mix_*` — a serving-shaped mix (90% awaited
+//!   `record` reads, 10% commits) through the routing handle: the
+//!   query-latency row, since every read is a full round trip to the
+//!   owning shard.
 //!
 //! A read-side case (`known_peers` + per-peer iteration) rides along since
 //! trustee search hammers exactly that path. The 1M-record configuration
@@ -47,7 +58,7 @@ use siot_core::goal::Goal;
 use siot_core::log_backend::{FsyncPolicy, LogBackend, LogOptions, WriteBehind};
 use siot_core::pool::{Dispatch, ObserverPool};
 use siot_core::record::{ForgettingFactors, Observation};
-use siot_core::service::{block_on, ServiceOptions, TrustService};
+use siot_core::service::{block_on, ServiceOptions, ShardedTrustService, TrustService};
 use siot_core::store::{TrustEngine, TrustStore};
 use siot_core::task::{CharacteristicId, Task, TaskId};
 use std::path::PathBuf;
@@ -234,6 +245,63 @@ fn bench_workload(c: &mut Criterion, label: &str, n_obs: usize, n_peers: u32) {
         })
     });
 
+    // the sharded tier: the same four clients, but every pipeline window
+    // travels as one vectored submit_batch (per-shard sub-batches, receipts
+    // re-stitched in caller order) instead of a per-session oneshot each
+    for shards in [1usize, 2, 4] {
+        c.bench_function(
+            &format!("store_backends/service/sharded_commit_{label}_s{shards}"),
+            |b| {
+                let tasks: Vec<Task> = (0..N_TASKS)
+                    .map(|t| Task::uniform(TaskId(t), [CharacteristicId(0)]).expect("non-empty"))
+                    .collect();
+                b.iter(|| {
+                    let service = ShardedTrustService::spawn_sharded(
+                        shards,
+                        ServiceOptions {
+                            mailbox: 4 * SERVICE_PIPELINE,
+                            ..ServiceOptions::default()
+                        },
+                        |_| TrustEngine::with_backend(ShardedBackend::<u32>::default()),
+                    );
+                    std::thread::scope(|scope| {
+                        for slice in workload.chunks(n_obs / WRITERS) {
+                            let handle = service.handle();
+                            let tasks = &tasks;
+                            scope.spawn(move || {
+                                let scratch: TrustStore<u32> = TrustStore::new();
+                                for window in slice.chunks(SERVICE_PIPELINE) {
+                                    let batch: Vec<_> = window
+                                        .iter()
+                                        .map(|&(peer, tid, obs)| {
+                                            DelegationRequest::new(
+                                                peer,
+                                                &tasks[tid.0 as usize],
+                                                Goal::ANY,
+                                                Context::amicable(tid),
+                                            )
+                                            .committed()
+                                            .activate(&scratch)
+                                            .finish(DelegationOutcome::observed(obs))
+                                            .expect("workload observations are unit-range")
+                                        })
+                                        .collect();
+                                    let receipts = block_on(handle.submit_batch(batch))
+                                        .expect("fleet alive for the whole batch");
+                                    assert_eq!(receipts.len(), window.len());
+                                }
+                            });
+                        }
+                    });
+                    let engines = service.shutdown().expect("clean shutdown");
+                    let total: usize = engines.iter().map(|e| e.record_count()).sum();
+                    assert_eq!(total, n_obs);
+                    black_box(total)
+                })
+            },
+        );
+    }
+
     // forced worker-thread dispatch, recorded so the trajectory shows what
     // Auto saves (or costs) on this host's core count
     let pool: ObserverPool<u32> = ObserverPool::with_dispatch(WRITERS, Dispatch::Workers);
@@ -267,6 +335,53 @@ fn bench_store_backends(c: &mut Criterion) {
     c.bench_function("store_backends/sharded/scan_known_peers_25k", |b| {
         b.iter(|| black_box(warm_sharded.known_peers().len()))
     });
+
+    // serving-shaped mix through the routing handle: 90% awaited point
+    // reads, 10% commits, against a pre-warmed two-shard fleet — the
+    // query-latency row, since every read is a full round trip to the
+    // owning shard
+    {
+        let tasks: Vec<Task> = (0..N_TASKS)
+            .map(|t| Task::uniform(TaskId(t), [CharacteristicId(0)]).expect("non-empty"))
+            .collect();
+        let service = ShardedTrustService::spawn_sharded(
+            2,
+            ServiceOptions { mailbox: 4 * SERVICE_PIPELINE, ..ServiceOptions::default() },
+            |_| TrustEngine::with_backend(ShardedBackend::<u32>::default()),
+        );
+        let handle = service.handle();
+        let scratch: TrustStore<u32> = TrustStore::new();
+        let session = |&(peer, tid, obs): &(u32, TaskId, Observation)| {
+            DelegationRequest::new(peer, &tasks[tid.0 as usize], Goal::ANY, Context::amicable(tid))
+                .committed()
+                .activate(&scratch)
+                .finish(DelegationOutcome::observed(obs))
+                .expect("workload observations are unit-range")
+        };
+        // warm every key so the reads hit real records
+        for window in workload.chunks(SERVICE_PIPELINE) {
+            let batch: Vec<_> = window.iter().map(&session).collect();
+            block_on(handle.submit_batch(batch)).expect("fleet alive while warming");
+        }
+        c.bench_function("store_backends/service/sharded_query_mix_100k_s2", |b| {
+            b.iter(|| {
+                let mut hits = 0usize;
+                for (i, entry) in workload.iter().enumerate() {
+                    if i % 10 == 0 {
+                        block_on(handle.submit(session(entry))).expect("fleet alive");
+                    } else {
+                        let record =
+                            block_on(handle.record(entry.0, entry.1)).expect("fleet alive");
+                        hits += usize::from(record.is_some());
+                    }
+                }
+                assert_eq!(hits, workload.len() - workload.len() / 10);
+                black_box(hits)
+            })
+        });
+        drop(handle);
+        service.shutdown().expect("clean shutdown");
+    }
 
     // recovery cost: replay a 100k-record log back into memory on open
     let reopen_dir = bench_dir("reopen");

@@ -163,6 +163,12 @@ impl<P: Copy + Ord> DelegationRequest<P> {
         }
     }
 
+    /// The peer this request would delegate to — the routing key: the
+    /// sharded service tier hashes it to pick the owning shard.
+    pub fn trustee(&self) -> P {
+        self.trustee
+    }
+
     /// Adds one transitivity-fallback referral path.
     pub fn with_referral(mut self, referral: Referral) -> Self {
         self.referrals.push(referral);

@@ -35,7 +35,11 @@
 //! engine onto an actor thread behind a cloneable async
 //! [`service::TrustServiceHandle`], so many concurrent requesters share one
 //! engine without blocking each other — commits batched per mailbox drain,
-//! shutdown draining and flushing so no acked commit is lost.
+//! shutdown draining and flushing so no acked commit is lost. When one
+//! actor becomes the bottleneck, [`service::ShardedTrustService`] partitions
+//! the engine across N actors by a stable hash of the trustee, behind one
+//! routing [`service::ShardedTrustServiceHandle`] with fan-out/merge
+//! broadcast queries.
 //!
 //! The model is deliberately **pure**: no RNG, no I/O, no graph — those live
 //! in `siot-sim` and `siot-iot`. Everything here is deterministic arithmetic
@@ -107,7 +111,10 @@ pub mod prelude {
     pub use crate::policy::{GainOnly, HighestSuccessRate, MaxNetProfit, SelectionPolicy};
     pub use crate::pool::{Dispatch, ObserverPool};
     pub use crate::record::{ForgettingFactors, Observation, TrustRecord};
-    pub use crate::service::{ServiceOptions, TrustService, TrustServiceHandle};
+    pub use crate::service::{
+        Freshness, ServiceOptions, ShardStats, ShardedTrustService, ShardedTrustServiceHandle,
+        TrustService, TrustServiceHandle,
+    };
     pub use crate::store::{DurableTrustStore, TrustEngine, TrustStore};
     pub use crate::task::{CharacteristicId, Task, TaskId};
     pub use crate::transitivity::{chain, traditional_chain, two_hop, TransitivityGates};

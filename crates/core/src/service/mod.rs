@@ -49,7 +49,16 @@
 //! Backpressure is by bounded mailbox: once `ServiceOptions::mailbox`
 //! messages are queued, submitting threads block in `send` until the actor
 //! drains — the service sheds load onto its callers instead of growing an
-//! unbounded queue.
+//! unbounded queue. Saturation is observable: [`TrustServiceHandle::stats`]
+//! reports the live mailbox depth and the drained-commit-batch sizes
+//! ([`ShardStats`]), so callers can see when they are the bottleneck.
+//!
+//! One actor is still one thread. When a single mailbox becomes the serial
+//! bottleneck, the [`sharded`] tier partitions the engine across N
+//! independent actors by a stable hash of the trustee peer —
+//! [`ShardedTrustService::spawn_sharded`] — behind one routing
+//! [`ShardedTrustServiceHandle`] with the same per-peer API plus
+//! fan-out/merge broadcast queries.
 //!
 //! ```
 //! use siot_core::prelude::*;
@@ -93,11 +102,16 @@ use crate::tw::Trustworthiness;
 use futures::channel::oneshot;
 use std::future::Future;
 use std::pin::Pin;
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::mpsc::{Receiver, SyncSender, TryRecvError};
+use std::sync::{Arc, Condvar, Mutex};
 use std::task::{Context, Poll};
 use std::thread::JoinHandle;
 
+pub mod sharded;
+
 pub use futures::executor::block_on;
+pub use sharded::{Freshness, ShardedTrustService, ShardedTrustServiceHandle};
 
 /// Construction knobs for a [`TrustService`].
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -116,10 +130,101 @@ impl Default for ServiceOptions {
     }
 }
 
+/// Saturation counters for one service actor ("shard" because the sharded
+/// tier reports one of these per shard — a plain [`TrustService`] is the
+/// one-shard case).
+///
+/// Returned by [`TrustServiceHandle::stats`] and, fleet-wide, by
+/// [`ShardedTrustServiceHandle::shard_stats`]. The commit counters are the
+/// actor's own bookkeeping (consistent with the mailbox order at the moment
+/// the stats query was served); `mailbox_depth` is sampled from the live
+/// send counter, so it reflects messages enqueued *after* the query too.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ShardStats {
+    /// Messages sent into the mailbox and not yet picked up by the actor —
+    /// the backpressure signal: pinned near the mailbox capacity means
+    /// submitters are blocking.
+    pub mailbox_depth: usize,
+    /// Mailbox drain cycles the actor has completed.
+    pub drains: u64,
+    /// Commit storage passes (`commit_batch_receipts` calls) the actor ran.
+    pub commit_batches: u64,
+    /// Sessions folded in total.
+    pub committed: u64,
+    /// Largest single commit batch folded in one storage pass — how much
+    /// batching the drain actually achieved under load.
+    pub largest_commit_batch: usize,
+    /// Size of the most recent commit batch.
+    pub last_commit_batch: usize,
+}
+
+/// A cross-shard rendezvous: every party blocks in [`arrive`](Self::arrive)
+/// until all `parties` have arrived (or the rendezvous is aborted), then
+/// all proceed. The [`Freshness::Aligned`] broadcast primitive — while all
+/// shard actors stand inside the rendezvous simultaneously, none is
+/// mutating, so the answers they compute immediately after form one
+/// consistent global cut.
+#[derive(Debug)]
+struct Rendezvous {
+    parties: usize,
+    state: Mutex<RendezvousState>,
+    cv: Condvar,
+}
+
+#[derive(Debug)]
+struct RendezvousState {
+    arrived: usize,
+    aborted: bool,
+}
+
+impl Rendezvous {
+    fn new(parties: usize) -> Arc<Self> {
+        Arc::new(Rendezvous {
+            parties,
+            state: Mutex::new(RendezvousState { arrived: 0, aborted: false }),
+            cv: Condvar::new(),
+        })
+    }
+
+    /// Blocks until every party arrived or [`abort`](Self::abort) ran.
+    fn arrive(&self) {
+        let mut st = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        st.arrived += 1;
+        if st.arrived >= self.parties || st.aborted {
+            self.cv.notify_all();
+            return;
+        }
+        while st.arrived < self.parties && !st.aborted {
+            st = self.cv.wait(st).unwrap_or_else(|e| e.into_inner());
+        }
+    }
+
+    /// Releases every blocked party without waiting for the stragglers —
+    /// called when a shard can no longer arrive (stopped before its query),
+    /// so the live shards degrade to answering unaligned instead of
+    /// deadlocking. The merge that requested alignment discards their
+    /// answers and surfaces the typed error.
+    fn abort(&self) {
+        let mut st = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        st.aborted = true;
+        self.cv.notify_all();
+    }
+}
+
 /// State-mutating requests served by the actor.
 enum Command<P> {
     /// Fold one finished session. Batched with adjacent commits per drain.
     Commit { completed: CompletedDelegation<P>, reply: oneshot::Sender<DelegationReceipt<P>> },
+    /// Fold a whole pre-built batch of finished sessions in one message:
+    /// the vectored wire unit of [`TrustServiceHandle::submit_batch`] (and
+    /// of the sharded tier's per-shard sub-batches). Joins the drain's
+    /// pending batch, so the shard still runs one
+    /// `commit_batch_receipts` storage pass; the receipts come back as one
+    /// vector in batch order.
+    CommitMany {
+        batch: Vec<CompletedDelegation<P>>,
+        reply: oneshot::Sender<Vec<DelegationReceipt<P>>>,
+    },
     /// The whole session in one message: the actor activates the request
     /// (committed — the decision was the caller's), validates the outcome,
     /// and folds it in the same drain batch as adjacent commits.
@@ -144,11 +249,21 @@ enum Query<P> {
     Trustworthiness { peer: P, task: TaskId, reply: oneshot::Sender<Option<Trustworthiness>> },
     /// The raw record for `(peer, task)`.
     Record { peer: P, task: TaskId, reply: oneshot::Sender<Option<TrustRecord>> },
-    /// Every peer with at least one record.
-    KnownPeers { reply: oneshot::Sender<Vec<P>> },
+    /// Every peer with at least one record. `align` is the sharded tier's
+    /// [`Freshness::Aligned`] rendezvous: when set, the actor folds its
+    /// pending commits, arrives, and answers only once every shard stands
+    /// at the same cut.
+    KnownPeers { align: Option<Arc<Rendezvous>>, reply: oneshot::Sender<Vec<P>> },
     /// Every `(peer, record)` pair held for one task — a single atomic
     /// snapshot (one round trip, consistent against concurrent commits).
-    TaskRecords { task: TaskId, reply: oneshot::Sender<Vec<(P, TrustRecord)>> },
+    /// `align` as in [`Query::KnownPeers`].
+    TaskRecords {
+        task: TaskId,
+        align: Option<Arc<Rendezvous>>,
+        reply: oneshot::Sender<Vec<(P, TrustRecord)>>,
+    },
+    /// The actor's saturation counters ([`ShardStats`]).
+    Stats { reply: oneshot::Sender<ShardStats> },
 }
 
 enum Message<P> {
@@ -156,10 +271,16 @@ enum Message<P> {
     Query(Query<P>),
 }
 
-/// A reply obligation for one element of the pending commit batch.
+/// A reply obligation for one or more elements of the pending commit batch.
 enum Ack<P> {
     Commit(oneshot::Sender<DelegationReceipt<P>>),
     Complete(oneshot::Sender<Result<DelegationReceipt<P>, TrustError>>),
+    /// A vectored submission: the next `len` receipts belong to this
+    /// caller, in its batch order.
+    Many {
+        reply: oneshot::Sender<Vec<DelegationReceipt<P>>>,
+        len: usize,
+    },
 }
 
 /// The future of one actor round trip: eagerly sent on creation, resolves
@@ -173,6 +294,8 @@ enum PendingState<R> {
     Waiting(oneshot::Receiver<R>),
     /// The send itself failed; the error is taken on the resolving poll.
     Failed(Option<TrustError>),
+    /// Resolved without an actor round trip (e.g. an empty batch).
+    Ready(Option<R>),
 }
 
 impl<R> Pending<R> {
@@ -183,7 +306,15 @@ impl<R> Pending<R> {
     fn failed(err: TrustError) -> Self {
         Pending { state: PendingState::Failed(Some(err)) }
     }
+
+    fn ready(value: R) -> Self {
+        Pending { state: PendingState::Ready(Some(value)) }
+    }
 }
+
+// No self-references: the state is a oneshot receiver or an owned value,
+// both freely movable, so the future is `Unpin` for every `R`.
+impl<R> Unpin for Pending<R> {}
 
 impl<R> Future for Pending<R> {
     type Output = Result<R, TrustError>;
@@ -195,6 +326,9 @@ impl<R> Future for Pending<R> {
                 .map(|r| r.map_err(|oneshot::Canceled| TrustError::ServiceStopped)),
             PendingState::Failed(err) => {
                 Poll::Ready(Err(err.take().expect("a resolved Pending is not re-polled")))
+            }
+            PendingState::Ready(value) => {
+                Poll::Ready(Ok(value.take().expect("a resolved Pending is not re-polled")))
             }
         }
     }
@@ -210,11 +344,15 @@ impl<R> Future for Pending<R> {
 #[derive(Debug)]
 pub struct TrustServiceHandle<P> {
     tx: SyncSender<Message<P>>,
+    /// Messages enqueued and not yet picked up by the actor — incremented
+    /// before every send, decremented by the actor per message received.
+    /// The live half of [`ShardStats::mailbox_depth`].
+    depth: Arc<AtomicUsize>,
 }
 
 impl<P> Clone for TrustServiceHandle<P> {
     fn clone(&self) -> Self {
-        TrustServiceHandle { tx: self.tx.clone() }
+        TrustServiceHandle { tx: self.tx.clone(), depth: Arc::clone(&self.depth) }
     }
 }
 
@@ -222,9 +360,15 @@ impl<P: Copy + Ord> TrustServiceHandle<P> {
     /// Sends one message, blocking briefly if the mailbox is full.
     fn request<R>(&self, build: impl FnOnce(oneshot::Sender<R>) -> Message<P>) -> Pending<R> {
         let (tx, rx) = oneshot::channel();
+        // increment before the send so the counter never under-reports: the
+        // actor only decrements messages it actually received
+        self.depth.fetch_add(1, Ordering::Relaxed);
         match self.tx.send(build(tx)) {
             Ok(()) => Pending::waiting(rx),
-            Err(_) => Pending::failed(TrustError::ServiceStopped),
+            Err(_) => {
+                self.depth.fetch_sub(1, Ordering::Relaxed);
+                Pending::failed(TrustError::ServiceStopped)
+            }
         }
     }
 
@@ -235,6 +379,27 @@ impl<P: Copy + Ord> TrustServiceHandle<P> {
     /// immediate await.
     pub fn submit(&self, completed: CompletedDelegation<P>) -> Pending<DelegationReceipt<P>> {
         self.request(|reply| Message::Command(Command::Commit { completed, reply }))
+    }
+
+    /// Eagerly submits a whole batch of finished sessions as **one**
+    /// message and returns the future of their receipts, in batch order.
+    /// The actor folds the batch through a single
+    /// `commit_batch_receipts` storage pass (merged with whatever else its
+    /// drain finds), so a vectored submission costs one channel hop and one
+    /// oneshot instead of one per session — the wire shape the sharded
+    /// tier's per-shard sub-batches use.
+    ///
+    /// An empty batch resolves immediately with an empty receipt vector —
+    /// no mailbox round trip, and (having nothing to commit) it succeeds
+    /// even after the service stopped.
+    pub fn submit_batch(
+        &self,
+        batch: Vec<CompletedDelegation<P>>,
+    ) -> Pending<Vec<DelegationReceipt<P>>> {
+        if batch.is_empty() {
+            return Pending::ready(Vec::new());
+        }
+        self.request(|reply| Message::Command(Command::CommitMany { batch, reply }))
     }
 
     /// Commits one finished session and resolves to its receipt.
@@ -300,7 +465,13 @@ impl<P: Copy + Ord> TrustServiceHandle<P> {
 
     /// Peers with at least one record — each exactly once, ascending.
     pub async fn known_peers(&self) -> Result<Vec<P>, TrustError> {
-        self.request(|reply| Message::Query(Query::KnownPeers { reply })).await
+        self.known_peers_in(None).await
+    }
+
+    /// [`Self::known_peers`] with an optional rendezvous — the sharded
+    /// tier's aligned fan-out seam.
+    fn known_peers_in(&self, align: Option<Arc<Rendezvous>>) -> Pending<Vec<P>> {
+        self.request(|reply| Message::Query(Query::KnownPeers { align, reply }))
     }
 
     /// Every `(peer, record)` pair held for `task`, ascending by peer —
@@ -310,7 +481,28 @@ impl<P: Copy + Ord> TrustServiceHandle<P> {
     /// concurrent commits. The shape ranking and fleet-survey callers
     /// want.
     pub async fn task_records(&self, task: TaskId) -> Result<Vec<(P, TrustRecord)>, TrustError> {
-        self.request(|reply| Message::Query(Query::TaskRecords { task, reply })).await
+        self.task_records_in(task, None).await
+    }
+
+    /// [`Self::task_records`] with an optional rendezvous — the sharded
+    /// tier's aligned fan-out seam.
+    fn task_records_in(
+        &self,
+        task: TaskId,
+        align: Option<Arc<Rendezvous>>,
+    ) -> Pending<Vec<(P, TrustRecord)>> {
+        self.request(|reply| Message::Query(Query::TaskRecords { task, align, reply }))
+    }
+
+    /// The actor's saturation counters: live mailbox depth plus the
+    /// drained-commit-batch bookkeeping. See [`ShardStats`].
+    pub async fn stats(&self) -> Result<ShardStats, TrustError> {
+        self.stats_in().await
+    }
+
+    /// The eager [`Self::stats`] — the sharded tier's fan-out seam.
+    fn stats_in(&self) -> Pending<ShardStats> {
+        self.request(|reply| Message::Query(Query::Stats { reply }))
     }
 
     /// Pushes engine state down to stable storage (see
@@ -346,13 +538,21 @@ where
     /// thread. Register task definitions before spawning (or via
     /// [`TrustServiceHandle::register_task`]).
     pub fn spawn(engine: TrustEngine<P, B>, options: ServiceOptions) -> Self {
+        Self::spawn_named(engine, options, "siot-trust-service".into())
+    }
+
+    /// [`Self::spawn`] with an explicit actor-thread name — the sharded
+    /// tier names each shard's thread after its index.
+    fn spawn_named(engine: TrustEngine<P, B>, options: ServiceOptions, name: String) -> Self {
         let (tx, rx) = std::sync::mpsc::sync_channel(options.mailbox.max(1));
         let betas = options.betas;
+        let depth = Arc::new(AtomicUsize::new(0));
+        let actor_depth = Arc::clone(&depth);
         let thread = std::thread::Builder::new()
-            .name("siot-trust-service".into())
-            .spawn(move || actor(engine, rx, betas))
+            .name(name)
+            .spawn(move || actor(engine, rx, betas, actor_depth))
             .expect("actor thread spawns");
-        TrustService { handle: TrustServiceHandle { tx }, thread }
+        TrustService { handle: TrustServiceHandle { tx, depth }, thread }
     }
 
     /// A new handle to the running actor.
@@ -386,9 +586,11 @@ fn actor<P: Copy + Ord, B: TrustBackend<P>>(
     mut engine: TrustEngine<P, B>,
     rx: Receiver<Message<P>>,
     betas: ForgettingFactors,
+    depth: Arc<AtomicUsize>,
 ) -> TrustEngine<P, B> {
     let mut pending: Vec<CompletedDelegation<P>> = Vec::new();
     let mut acks: Vec<Ack<P>> = Vec::new();
+    let mut stats = ShardStats::default();
     'serve: loop {
         let Ok(first) = rx.recv() else {
             // every handle dropped: nothing is queued (recv only errs on
@@ -400,11 +602,17 @@ fn actor<P: Copy + Ord, B: TrustBackend<P>>(
         let mut stop: Vec<oneshot::Sender<Result<(), TrustError>>> = Vec::new();
         // one drain: the blocking message plus everything already queued
         loop {
+            depth.fetch_sub(1, Ordering::Relaxed);
             match next.take() {
                 Some(Message::Command(cmd)) => match cmd {
                     Command::Commit { completed, reply } => {
                         pending.push(completed);
                         acks.push(Ack::Commit(reply));
+                    }
+                    Command::CommitMany { batch, reply } => {
+                        let len = batch.len();
+                        pending.extend(batch);
+                        acks.push(Ack::Many { reply, len });
                     }
                     Command::Complete { request, outcome, reply } => {
                         // activation against current state: for a committed
@@ -426,7 +634,7 @@ fn actor<P: Copy + Ord, B: TrustBackend<P>>(
                         let _ = reply.send(());
                     }
                     Command::Flush { reply } => {
-                        flush_batch(&mut engine, &mut pending, &mut acks, &betas);
+                        flush_batch(&mut engine, &mut pending, &mut acks, &betas, &mut stats);
                         let _ = reply.send(engine.flush());
                     }
                     Command::Shutdown { reply } => stop.push(reply),
@@ -434,7 +642,7 @@ fn actor<P: Copy + Ord, B: TrustBackend<P>>(
                 Some(Message::Query(query)) => {
                     // strict arrival order: queued commits fold before the
                     // query is answered, so awaited writes are always read
-                    flush_batch(&mut engine, &mut pending, &mut acks, &betas);
+                    flush_batch(&mut engine, &mut pending, &mut acks, &betas, &mut stats);
                     match query {
                         Query::Evaluate { request, reply } => {
                             let _ = reply.send(request.evaluate(&engine));
@@ -445,16 +653,31 @@ fn actor<P: Copy + Ord, B: TrustBackend<P>>(
                         Query::Record { peer, task, reply } => {
                             let _ = reply.send(engine.record(peer, task));
                         }
-                        Query::KnownPeers { reply } => {
+                        Query::KnownPeers { align, reply } => {
+                            // aligned: stand in the rendezvous until every
+                            // shard has folded its queue and stopped
+                            // mutating, then answer from that global cut
+                            if let Some(rv) = align {
+                                rv.arrive();
+                            }
                             let _ = reply.send(engine.known_peers());
                         }
-                        Query::TaskRecords { task, reply } => {
+                        Query::TaskRecords { task, align, reply } => {
+                            if let Some(rv) = align {
+                                rv.arrive();
+                            }
                             let records = engine
                                 .known_peers()
                                 .into_iter()
                                 .filter_map(|peer| engine.record(peer, task).map(|rec| (peer, rec)))
                                 .collect();
                             let _ = reply.send(records);
+                        }
+                        Query::Stats { reply } => {
+                            let _ = reply.send(ShardStats {
+                                mailbox_depth: depth.load(Ordering::Relaxed),
+                                ..stats
+                            });
                         }
                     }
                 }
@@ -467,7 +690,8 @@ fn actor<P: Copy + Ord, B: TrustBackend<P>>(
         }
         // the drain's accumulated commit batch: one storage pass, receipts
         // fanned back out per caller
-        flush_batch(&mut engine, &mut pending, &mut acks, &betas);
+        flush_batch(&mut engine, &mut pending, &mut acks, &betas, &mut stats);
+        stats.drains += 1;
         if !stop.is_empty() {
             let flushed = engine.flush();
             for reply in stop {
@@ -480,24 +704,33 @@ fn actor<P: Copy + Ord, B: TrustBackend<P>>(
 }
 
 /// Folds the pending commit batch in one storage pass and acks every
-/// submitter with its receipt.
+/// submitter with its receipt(s).
 fn flush_batch<P: Copy + Ord, B: TrustBackend<P>>(
     engine: &mut TrustEngine<P, B>,
     pending: &mut Vec<CompletedDelegation<P>>,
     acks: &mut Vec<Ack<P>>,
     betas: &ForgettingFactors,
+    stats: &mut ShardStats,
 ) {
     if pending.is_empty() {
         return;
     }
-    let receipts = engine.commit_batch_receipts(std::mem::take(pending), betas);
-    for (ack, receipt) in acks.drain(..).zip(receipts) {
+    let folded = pending.len();
+    stats.committed += folded as u64;
+    stats.commit_batches += 1;
+    stats.largest_commit_batch = stats.largest_commit_batch.max(folded);
+    stats.last_commit_batch = folded;
+    let mut receipts = engine.commit_batch_receipts(std::mem::take(pending), betas).into_iter();
+    for ack in acks.drain(..) {
         match ack {
             Ack::Commit(reply) => {
-                let _ = reply.send(receipt);
+                let _ = reply.send(receipts.next().expect("one receipt per commit"));
             }
             Ack::Complete(reply) => {
-                let _ = reply.send(Ok(receipt));
+                let _ = reply.send(Ok(receipts.next().expect("one receipt per commit")));
+            }
+            Ack::Many { reply, len } => {
+                let _ = reply.send(receipts.by_ref().take(len).collect());
             }
         }
     }

@@ -516,6 +516,33 @@ impl<P: LogKey + fmt::Debug> TrustEngine<P, LogBackend<P>> {
         Ok(Self::with_backend(LogBackend::open_with(dir, options)?))
     }
 
+    /// The on-disk directory of shard `shard` under a sharded-service
+    /// `root`: `root/shard-NNN`. One name for both halves of the durable
+    /// sharded story — [`Self::open_shard`] at spawn and at recovery.
+    pub fn shard_dir(root: impl AsRef<Path>, shard: usize) -> std::path::PathBuf {
+        root.as_ref().join(format!("shard-{shard:03}"))
+    }
+
+    /// Opens (or creates) the durable engine of one service shard: per-shard
+    /// construction seam for
+    /// [`ShardedTrustService::spawn_sharded`](crate::service::ShardedTrustService::spawn_sharded),
+    /// giving every shard its own journal directory
+    /// ([`Self::shard_dir`]). Reopen with the **same shard count**: records
+    /// do not migrate between shard directories, so a different count would
+    /// route peers to shards that never held their history.
+    pub fn open_shard(root: impl AsRef<Path>, shard: usize) -> Result<Self, TrustError> {
+        Self::open(Self::shard_dir(root, shard))
+    }
+
+    /// [`Self::open_shard`] with explicit [`LogOptions`].
+    pub fn open_shard_with(
+        root: impl AsRef<Path>,
+        shard: usize,
+        options: LogOptions,
+    ) -> Result<Self, TrustError> {
+        Self::open_with(Self::shard_dir(root, shard), options)
+    }
+
     /// Compacts the backing log into a fresh snapshot (see
     /// [`LogBackend::compact`]). Usage logs raw-mutated since the last
     /// [`Self::flush`] are re-journaled first so the snapshot is complete.

@@ -32,13 +32,17 @@ use crate::network::{Application, Ctx};
 use crate::time::SimTime;
 use siot_core::backend::{ConcurrentTrustBackend, ShardedBackend};
 use siot_core::context::Context;
-use siot_core::delegation::{DelegationOutcome, DelegationReceipt, DelegationRequest};
+use siot_core::delegation::{
+    CompletedDelegation, DelegationOutcome, DelegationReceipt, DelegationRequest,
+};
 use siot_core::error::TrustError;
 use siot_core::goal::Goal;
 use siot_core::log_backend::{LogOptions, WriteBehind};
 use siot_core::pool::ObserverPool;
-use siot_core::record::{ForgettingFactors, Observation};
-use siot_core::service::{block_on, Pending, TrustServiceHandle};
+use siot_core::record::{ForgettingFactors, Observation, TrustRecord};
+use siot_core::service::{
+    block_on, Freshness, Pending, ShardedTrustServiceHandle, TrustServiceHandle,
+};
 use siot_core::store::TrustEngine;
 use siot_core::task::{CharacteristicId, Task, TaskId};
 use std::any::Any;
@@ -310,6 +314,12 @@ impl<B: ConcurrentTrustBackend<DeviceId> + Send + 'static> Application for Coord
 /// prior report. Reports the service refused (it was shut down underneath
 /// the coordinator) are counted by [`Self::rejected`] instead of silently
 /// vanishing.
+///
+/// The ledger can also be a **sharded** fleet: [`Self::sharded`] takes a
+/// [`ShardedTrustServiceHandle`], so the shard count is the coordinator's
+/// scaling knob — each report routes straight to the shard owning the
+/// selected trustee, and the ranking merges all shards in one aligned
+/// global cut.
 pub struct ServedCoordinatorApp {
     /// Devices that completed association.
     pub joined: Vec<DeviceId>,
@@ -319,16 +329,62 @@ pub struct ServedCoordinatorApp {
     rejected: std::cell::Cell<usize>,
     /// Receipt futures of submitted-but-unsettled reports.
     pending: RefCell<Vec<Pending<DelegationReceipt<DeviceId>>>>,
-    handle: TrustServiceHandle<DeviceId>,
+    handle: LedgerHandle,
     /// Empty engine the pre-committed requests activate against (the
     /// decision was the reporting trustor's; nothing is read from it).
     scratch: TrustEngine<DeviceId>,
     ledger_task: Task,
 }
 
+/// The service the coordinator reports through: one actor, or a sharded
+/// fleet routed by selected trustee.
+enum LedgerHandle {
+    Single(TrustServiceHandle<DeviceId>),
+    Sharded(ShardedTrustServiceHandle<DeviceId>),
+}
+
+impl LedgerHandle {
+    fn submit(
+        &self,
+        completed: CompletedDelegation<DeviceId>,
+    ) -> Pending<DelegationReceipt<DeviceId>> {
+        match self {
+            LedgerHandle::Single(h) => h.submit(completed),
+            LedgerHandle::Sharded(h) => h.submit(completed),
+        }
+    }
+
+    fn task_records(&self, task: TaskId) -> Result<Vec<(DeviceId, TrustRecord)>, TrustError> {
+        match self {
+            LedgerHandle::Single(h) => block_on(h.task_records(task)),
+            // a ranking spanning shards should rank a state that actually
+            // existed: one aligned global cut
+            LedgerHandle::Sharded(h) => block_on(h.task_records_with(task, Freshness::Aligned)),
+        }
+    }
+
+    fn flush(&self) -> Result<(), TrustError> {
+        match self {
+            LedgerHandle::Single(h) => block_on(h.flush()),
+            LedgerHandle::Sharded(h) => block_on(h.flush()),
+        }
+    }
+}
+
 impl ServedCoordinatorApp {
     /// A coordinator forwarding its fleet ledger through `handle`.
     pub fn new(handle: TrustServiceHandle<DeviceId>) -> Self {
+        Self::with_ledger_handle(LedgerHandle::Single(handle))
+    }
+
+    /// A coordinator whose fleet ledger is a **sharded** service: reports
+    /// route by selected trustee to the owning shard, so the shard count
+    /// behind `handle` is the coordinator's write-throughput knob.
+    pub fn sharded(handle: ShardedTrustServiceHandle<DeviceId>) -> Self {
+        Self::with_ledger_handle(LedgerHandle::Sharded(handle))
+    }
+
+    fn with_ledger_handle(handle: LedgerHandle) -> Self {
         ServedCoordinatorApp {
             joined: Vec::new(),
             reports: Vec::new(),
@@ -341,15 +397,20 @@ impl ServedCoordinatorApp {
         }
     }
 
-    /// The handle this coordinator reports through.
-    pub fn handle(&self) -> TrustServiceHandle<DeviceId> {
-        self.handle.clone()
+    /// How many shards the ledger folds across: 1 in single-service mode,
+    /// the fleet's shard count in [`Self::sharded`] mode.
+    pub fn shard_count(&self) -> usize {
+        match &self.handle {
+            LedgerHandle::Single(_) => 1,
+            LedgerHandle::Sharded(h) => h.shard_count(),
+        }
     }
 
     /// One report as a committed session over the wire: the decision was
     /// the reporting trustor's, so the session is completed locally and
     /// submitted without awaiting — the actor folds it batched with
-    /// whatever else its next drain finds.
+    /// whatever else its next drain finds. In sharded mode the submission
+    /// routes straight to the shard owning `selected`.
     fn fold_report(&mut self, selected: DeviceId, net_profit: f64) {
         let Some(obs) = report_observation(net_profit) else {
             return;
@@ -395,12 +456,15 @@ impl ServedCoordinatorApp {
     /// Trustees ranked by fleet-wide expected net profit, best first (ties
     /// broken by id) — computed from the service's ledger, so the ranking
     /// reflects every report the actor has acked, from this coordinator
-    /// and any other handle holder.
+    /// and any other handle holder. In sharded mode the snapshot is one
+    /// [`Freshness::Aligned`] global cut across every shard.
     pub fn trustee_ranking(&self) -> Result<Vec<(DeviceId, f64)>, TrustError> {
         self.settle();
         // one atomic snapshot query — not a known_peers + per-peer record
         // loop, which would cross the mailbox once per trustee
-        let mut ranked: Vec<(DeviceId, f64)> = block_on(self.handle.task_records(LEDGER_TASK))?
+        let mut ranked: Vec<(DeviceId, f64)> = self
+            .handle
+            .task_records(LEDGER_TASK)?
             .into_iter()
             .map(|(peer, rec)| (peer, rec.expected_net_profit()))
             .collect();
@@ -411,11 +475,12 @@ impl ServedCoordinatorApp {
     }
 
     /// Forces the service's ledger down to stable storage — the durable
-    /// parallel of [`CoordinatorApp::sync_ledger`], through the handle.
-    /// Settles first, so "flushed" covers every report submitted so far.
+    /// parallel of [`CoordinatorApp::sync_ledger`], through the handle
+    /// (every shard's engine, in sharded mode). Settles first, so
+    /// "flushed" covers every report submitted so far.
     pub fn sync_ledger(&self) -> Result<(), TrustError> {
         self.settle();
-        block_on(self.handle.flush())
+        self.handle.flush()
     }
 }
 
@@ -657,6 +722,91 @@ mod tests {
         assert_eq!(engine.known_peers(), vec![DeviceId(3), DeviceId(4), DeviceId(5)]);
         drop(engine);
         std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn served_coordinator_reports_through_sharded_handles() {
+        use siot_core::service::{ServiceOptions, ShardedTrustService};
+
+        let service = ShardedTrustService::spawn_sharded(3, ServiceOptions::default(), |_| {
+            TrustEngine::<DeviceId, ShardedBackend<DeviceId>>::new()
+        });
+        let mut net = IotNetwork::new(3);
+        net.set_radio(RadioModel { loss: 0.0, ..RadioModel::default() });
+        let coord = net.add_device(
+            DeviceKind::Coordinator,
+            (0.0, 0.0),
+            Box::new(ServedCoordinatorApp::sharded(service.handle())),
+        );
+        for i in 0..3 {
+            net.add_device(DeviceKind::Trustor, (5.0 * i as f64, 5.0), Box::new(Reporter));
+        }
+        net.start();
+        net.run_to_idle();
+        let app: &ServedCoordinatorApp = net.app_as(coord).unwrap();
+        assert_eq!(app.joined.len(), 3);
+        assert_eq!(app.reports.len(), 3);
+        assert_eq!(app.rejected(), 0);
+        assert_eq!(app.shard_count(), 3);
+
+        // the aligned cross-shard ranking sees every acked report
+        let ranking = app.trustee_ranking().unwrap();
+        assert_eq!(ranking.len(), 1);
+        assert_eq!(ranking[0].0, DeviceId(9));
+        assert!(ranking[0].1 > 0.0);
+
+        // all three folds live on the one shard that owns DeviceId(9)
+        let engines = service.shutdown().unwrap();
+        let total: u64 = engines
+            .iter()
+            .filter_map(|e| e.record(DeviceId(9), super::LEDGER_TASK))
+            .map(|r| r.interactions)
+            .sum();
+        assert_eq!(total, 3);
+    }
+
+    #[test]
+    fn served_coordinator_sharded_durable_ledger_survives_restart() {
+        use siot_core::log_backend::LogBackend;
+        use siot_core::service::{ServiceOptions, ShardedTrustService};
+
+        let root = std::env::temp_dir().join(format!("siot-served-sharded-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&root);
+        let shards = 2usize;
+        let spawn =
+            |root: &std::path::Path| -> ShardedTrustService<DeviceId, LogBackend<DeviceId>> {
+                ShardedTrustService::try_spawn_sharded(shards, ServiceOptions::default(), |shard| {
+                    TrustEngine::open_shard(root, shard)
+                })
+                .expect("shard dirs open")
+            };
+        {
+            let service = spawn(&root);
+            let mut app = ServedCoordinatorApp::sharded(service.handle());
+            for _ in 0..5 {
+                app.fold_report(DeviceId(3), 0.8);
+                app.fold_report(DeviceId(5), -0.4);
+                app.fold_report(DeviceId(4), 0.2);
+            }
+            assert_eq!(app.rejected(), 0);
+            // graceful fleet shutdown: every shard drains and flushes
+            service.shutdown().unwrap();
+        }
+        // "restart": the same root, the same shard count — the recovered
+        // fleet ranks from remembered trust
+        let service = spawn(&root);
+        let app = ServedCoordinatorApp::sharded(service.handle());
+        let ranking = app.trustee_ranking().unwrap();
+        assert_eq!(
+            ranking.iter().map(|&(d, _)| d).collect::<Vec<_>>(),
+            vec![DeviceId(3), DeviceId(4), DeviceId(5)]
+        );
+        let engines = service.shutdown().unwrap();
+        let total: usize = engines.iter().map(|e| e.record_count()).sum();
+        assert_eq!(total, 3);
+        drop(engines);
+        drop(app);
+        std::fs::remove_dir_all(&root).unwrap();
     }
 
     #[test]

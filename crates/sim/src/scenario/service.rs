@@ -17,15 +17,28 @@
 //! deterministic no matter how the actor interleaves requesters — pinned
 //! by [`run`] (threads racing) and [`run_sequential`] (same drives, one
 //! after another) producing bit-identical final state.
+//!
+//! [`run_sharded`] is the same experiment against a
+//! [`ShardedTrustService`]: every operation a requester performs is
+//! peer-targeted, so the whole scenario routes shard-locally — and because
+//! one peer's history lives entirely inside one shard, the sharded run is
+//! bit-identical to the sequential single-actor reference too (the merged
+//! per-shard records ARE the unsharded records).
 
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use siot_core::backend::ShardedBackend;
 use siot_core::context::Context;
-use siot_core::delegation::{Decision, DelegationOutcome, DelegationRequest};
+use siot_core::delegation::{
+    CompletedDelegation, Decision, DelegationOutcome, DelegationReceipt, DelegationRequest,
+};
+use siot_core::error::TrustError;
 use siot_core::goal::Goal;
 use siot_core::record::TrustRecord;
-use siot_core::service::{block_on, ServiceOptions, TrustService, TrustServiceHandle};
+use siot_core::service::{
+    block_on, ServiceOptions, ShardedTrustService, ShardedTrustServiceHandle, TrustService,
+    TrustServiceHandle,
+};
 use siot_core::store::TrustEngine;
 use siot_core::task::{CharacteristicId, Task, TaskId};
 
@@ -85,6 +98,41 @@ fn qualities(cfg: &ServiceScenarioConfig) -> Vec<f64> {
     (0..cfg.trustees).map(|_| rng.gen_range(0.2..1.0)).collect()
 }
 
+/// The service a requester drives: one actor or a sharded fleet. Every
+/// operation the scenario performs is peer-targeted, so both route
+/// identically from the requester's point of view.
+#[derive(Clone)]
+enum ScenarioHandle {
+    Single(TrustServiceHandle<u64>),
+    Sharded(ShardedTrustServiceHandle<u64>),
+}
+
+impl ScenarioHandle {
+    async fn record(&self, peer: u64, task: TaskId) -> Result<Option<TrustRecord>, TrustError> {
+        match self {
+            ScenarioHandle::Single(h) => h.record(peer, task).await,
+            ScenarioHandle::Sharded(h) => h.record(peer, task).await,
+        }
+    }
+
+    async fn delegate(&self, request: DelegationRequest<u64>) -> Result<Decision<u64>, TrustError> {
+        match self {
+            ScenarioHandle::Single(h) => h.delegate(request).await,
+            ScenarioHandle::Sharded(h) => h.delegate(request).await,
+        }
+    }
+
+    async fn commit(
+        &self,
+        completed: CompletedDelegation<u64>,
+    ) -> Result<DelegationReceipt<u64>, TrustError> {
+        match self {
+            ScenarioHandle::Single(h) => h.commit(completed).await,
+            ScenarioHandle::Sharded(h) => h.commit(completed).await,
+        }
+    }
+}
+
 /// One requester's full run through its handle: score candidates from its
 /// own records (Eq. 23 expected net profit, optimistic prior for
 /// strangers), evaluate-decide over the wire, feed the sampled outcome
@@ -94,7 +142,7 @@ fn qualities(cfg: &ServiceScenarioConfig) -> Vec<f64> {
 /// commit is awaited before the next read, so the interleaving with other
 /// requesters cannot change what it observes.
 fn drive_requester(
-    handle: &TrustServiceHandle<u64>,
+    handle: &ScenarioHandle,
     requester: usize,
     task: &Task,
     qualities: &[f64],
@@ -166,6 +214,38 @@ pub fn run_sequential(cfg: &ServiceScenarioConfig) -> ServiceScenarioOutcome {
     run_inner(cfg, false)
 }
 
+/// [`run`], but against a [`ShardedTrustService`] of `shards` actors:
+/// requesters race through routing-handle clones, every operation lands
+/// shard-locally, and the merged per-shard records must match the
+/// sequential single-actor reference bit-for-bit.
+pub fn run_sharded(cfg: &ServiceScenarioConfig, shards: usize) -> ServiceScenarioOutcome {
+    let task = Task::uniform(SERVICE_TASK, [CharacteristicId(0)]).expect("non-empty task");
+    let service = ShardedTrustService::spawn_sharded(
+        shards,
+        ServiceOptions { mailbox: cfg.mailbox, ..ServiceOptions::default() },
+        |_| {
+            let mut engine: TrustEngine<u64, ShardedBackend<u64>> = TrustEngine::new();
+            engine.register_task(task.clone());
+            engine
+        },
+    );
+    let (per_requester, declined) =
+        drive_fleet(cfg, &task, &ScenarioHandle::Sharded(service.handle()), true);
+    let engines = service.shutdown().expect("scenario shards shut down cleanly");
+    let mut final_records: Vec<(u64, TrustRecord)> = engines
+        .iter()
+        .flat_map(|engine| {
+            engine
+                .known_peers()
+                .into_iter()
+                .filter_map(|peer| engine.record(peer, SERVICE_TASK).map(|rec| (peer, rec)))
+        })
+        .collect();
+    // shards are disjoint: the merge is a sort, not a fold
+    final_records.sort_unstable_by_key(|&(peer, _)| peer);
+    outcome(per_requester, declined, final_records)
+}
+
 fn run_inner(cfg: &ServiceScenarioConfig, concurrent: bool) -> ServiceScenarioOutcome {
     let task = Task::uniform(SERVICE_TASK, [CharacteristicId(0)]).expect("non-empty task");
     let mut engine: TrustEngine<u64, ShardedBackend<u64>> = TrustEngine::new();
@@ -174,16 +254,35 @@ fn run_inner(cfg: &ServiceScenarioConfig, concurrent: bool) -> ServiceScenarioOu
         engine,
         ServiceOptions { mailbox: cfg.mailbox, ..ServiceOptions::default() },
     );
-    let qualities = qualities(cfg);
+    let (per_requester, declined) =
+        drive_fleet(cfg, &task, &ScenarioHandle::Single(service.handle()), concurrent);
+    let engine = service.shutdown().expect("scenario service shuts down cleanly");
+    let mut final_records: Vec<(u64, TrustRecord)> = Vec::with_capacity(engine.record_count());
+    for peer in engine.known_peers() {
+        if let Some(rec) = engine.record(peer, SERVICE_TASK) {
+            final_records.push((peer, rec));
+        }
+    }
+    outcome(per_requester, declined, final_records)
+}
 
+/// Every requester's drive — racing threads or one after another — with
+/// per-requester profits and the decline total collected.
+fn drive_fleet(
+    cfg: &ServiceScenarioConfig,
+    task: &Task,
+    handle: &ScenarioHandle,
+    concurrent: bool,
+) -> (Vec<f64>, usize) {
+    let qualities = qualities(cfg);
     let mut per_requester = vec![0.0; cfg.requesters];
     let mut declined = 0;
     if concurrent {
         std::thread::scope(|scope| {
             let handles: Vec<_> = (0..cfg.requesters)
                 .map(|r| {
-                    let handle = service.handle();
-                    let task = &task;
+                    let handle = handle.clone();
+                    let task = &*task;
                     let qualities = &qualities;
                     scope.spawn(move || drive_requester(&handle, r, task, qualities, cfg))
                 })
@@ -195,22 +294,21 @@ fn run_inner(cfg: &ServiceScenarioConfig, concurrent: bool) -> ServiceScenarioOu
             }
         });
     } else {
-        let handle = service.handle();
         for (r, slot) in per_requester.iter_mut().enumerate() {
-            let (profit, decl) = drive_requester(&handle, r, &task, &qualities, cfg);
+            let (profit, decl) = drive_requester(handle, r, task, &qualities, cfg);
             *slot = profit;
             declined += decl;
         }
     }
+    (per_requester, declined)
+}
 
-    let engine = service.shutdown().expect("scenario service shuts down cleanly");
-    let mut final_records: Vec<(u64, TrustRecord)> = Vec::with_capacity(engine.record_count());
-    for peer in engine.known_peers() {
-        if let Some(rec) = engine.record(peer, SERVICE_TASK) {
-            final_records.push((peer, rec));
-        }
-    }
-    let mean_profit = per_requester.iter().sum::<f64>() / cfg.requesters.max(1) as f64;
+fn outcome(
+    per_requester: Vec<f64>,
+    declined: usize,
+    final_records: Vec<(u64, TrustRecord)>,
+) -> ServiceScenarioOutcome {
+    let mean_profit = per_requester.iter().sum::<f64>() / per_requester.len().max(1) as f64;
     ServiceScenarioOutcome { mean_profit, per_requester, declined, final_records }
 }
 
@@ -234,6 +332,26 @@ mod tests {
         }
         assert_eq!(racing.per_requester, ordered.per_requester);
         assert_eq!(racing.declined, ordered.declined);
+    }
+
+    #[test]
+    fn sharded_requesters_match_sequential_bitwise() {
+        let cfg = ServiceScenarioConfig { iterations: 60, ..Default::default() };
+        let ordered = run_sequential(&cfg);
+        for shards in [2usize, 3] {
+            let sharded = run_sharded(&cfg, shards);
+            assert_eq!(sharded.final_records.len(), ordered.final_records.len());
+            for ((pa, ra), (pb, rb)) in sharded.final_records.iter().zip(&ordered.final_records) {
+                assert_eq!(pa, pb);
+                assert_eq!(ra.s_hat.to_bits(), rb.s_hat.to_bits());
+                assert_eq!(ra.g_hat.to_bits(), rb.g_hat.to_bits());
+                assert_eq!(ra.d_hat.to_bits(), rb.d_hat.to_bits());
+                assert_eq!(ra.c_hat.to_bits(), rb.c_hat.to_bits());
+                assert_eq!(ra.interactions, rb.interactions);
+            }
+            assert_eq!(sharded.per_requester, ordered.per_requester);
+            assert_eq!(sharded.declined, ordered.declined);
+        }
     }
 
     #[test]

@@ -5,9 +5,11 @@
 //! `delegate` (trustor, trustee, goal, context) → `evaluate` (Eq. 18) →
 //! `Decision` (Eq. 23 / §3.4) → `execute` (action, result, and the
 //! post-evaluation updates of Eqs. 19–22, folded exactly once) — then
-//! finishes with a **durable** engine that survives a restart and with the
-//! engine **served**: moved onto a `TrustService` actor thread whose
-//! cloneable async handles let concurrent requesters share it.
+//! finishes with a **durable** engine that survives a restart, with the
+//! engine **served** — moved onto a `TrustService` actor thread whose
+//! cloneable async handles let concurrent requesters share it — and with
+//! the service **sharded**: partitioned shard actors behind one routing
+//! handle.
 //!
 //! Run with: `cargo run --example quickstart`
 
@@ -189,4 +191,41 @@ fn main() {
         served.known_peers().len(),
         served.trustworthiness(100, task.id()).expect("committed"),
     );
+
+    // 9. scaling out: the same facade partitioned over shard actors. Each
+    //    shard thread owns an independent engine; the one routing handle
+    //    hashes the trustee to its owning shard, splits a batch into one
+    //    vectored message per shard (receipts re-stitched in caller
+    //    order), and fans broadcasts out — `Freshness::Aligned` rendezvous
+    //    every shard at one barrier for a true global cut. See
+    //    `examples/sharded_service.rs` for the durable per-shard fleet.
+    let fleet = ShardedTrustService::spawn_sharded(3, ServiceOptions::default(), |_shard| {
+        TrustEngine::with_backend(siot::core::backend::ShardedBackend::<u32>::default())
+    });
+    let routing = fleet.handle();
+    block_on(async {
+        routing.register_task(task.clone()).await.expect("fleet alive");
+        let scratch: TrustStore<u32> = TrustStore::new();
+        let batch: Vec<_> = (0..30u32)
+            .map(|peer| {
+                DelegationRequest::new(peer, &task, goal, Context::amicable(task.id()))
+                    .committed()
+                    .activate(&scratch)
+                    .finish(DelegationOutcome::succeeded(0.8, 0.2))
+                    .expect("outcome is unit-range")
+            })
+            .collect();
+        let receipts = routing.submit_batch(batch).await.expect("fleet alive");
+        let cut = routing.known_peers_with(Freshness::Aligned).await.expect("fleet alive");
+        let stats = routing.shard_stats().await.expect("fleet alive");
+        println!(
+            "\nsharded service: {} receipts over {} shards, {} peers in an aligned cut, \
+             per-shard commits {:?}",
+            receipts.len(),
+            routing.shard_count(),
+            cut.len(),
+            stats.iter().map(|s| s.committed).collect::<Vec<_>>(),
+        );
+    });
+    fleet.shutdown().expect("every shard drains and stops");
 }
