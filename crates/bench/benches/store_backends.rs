@@ -41,7 +41,16 @@
 //! * `service/sharded_query_mix_*` — a serving-shaped mix (90% awaited
 //!   `record` reads, 10% commits) through the routing handle: the
 //!   query-latency row, since every read is a full round trip to the
-//!   owning shard.
+//!   owning shard;
+//! * `service/remote_commit_*` — the **federated** tier: the same four
+//!   clients, but each drives its own loopback TCP connection into a
+//!   [`RemoteTrustServer`] fronting a two-shard fleet. Every vectored
+//!   window is CRC-framed, socket-crossed, decoded, folded, and its
+//!   receipts framed back — so comparing against
+//!   `service/sharded_commit_*_s2` prices the wire itself;
+//! * `service/remote_query_mix_100k` — the serving-shaped 90/10 mix over
+//!   the wire: every point read is a full TCP round trip to the server's
+//!   owning shard, the latency row a federated deployment actually feels.
 //!
 //! A read-side case (`known_peers` + per-peer iteration) rides along since
 //! trustee search hammers exactly that path. The 1M-record configuration
@@ -58,7 +67,10 @@ use siot_core::goal::Goal;
 use siot_core::log_backend::{FsyncPolicy, LogBackend, LogOptions, WriteBehind};
 use siot_core::pool::{Dispatch, ObserverPool};
 use siot_core::record::{ForgettingFactors, Observation};
-use siot_core::service::{block_on, ServiceOptions, ShardedTrustService, TrustService};
+use siot_core::service::{
+    block_on, RemoteTrustServer, RemoteTrustServiceHandle, ServiceOptions, ShardedTrustService,
+    TrustService,
+};
 use siot_core::store::{TrustEngine, TrustStore};
 use siot_core::task::{CharacteristicId, Task, TaskId};
 use std::path::PathBuf;
@@ -302,6 +314,75 @@ fn bench_workload(c: &mut Criterion, label: &str, n_obs: usize, n_peers: u32) {
         );
     }
 
+    // the federated tier: the same four clients, each over its own
+    // loopback TCP connection into a RemoteTrustServer fronting a
+    // two-shard fleet — the sharded_commit_*_s2 shape plus the wire
+    c.bench_function(&format!("store_backends/service/remote_commit_{label}"), |b| {
+        let tasks: Vec<Task> = (0..N_TASKS)
+            .map(|t| Task::uniform(TaskId(t), [CharacteristicId(0)]).expect("non-empty"))
+            .collect();
+        b.iter(|| {
+            let service = ShardedTrustService::spawn_sharded(
+                2,
+                ServiceOptions { mailbox: 4 * SERVICE_PIPELINE, ..ServiceOptions::default() },
+                |_| TrustEngine::with_backend(ShardedBackend::<u32>::default()),
+            );
+            let server =
+                RemoteTrustServer::bind("127.0.0.1:0", service.handle()).expect("loopback bind");
+            let addr = server.local_addr();
+            std::thread::scope(|scope| {
+                for slice in workload.chunks(n_obs / WRITERS) {
+                    let tasks = &tasks;
+                    scope.spawn(move || {
+                        let remote = RemoteTrustServiceHandle::<u32>::connect(addr)
+                            .expect("loopback connect");
+                        let scratch: TrustStore<u32> = TrustStore::new();
+                        // two windows in flight: submits are eager (the
+                        // frame is on the socket before the future is
+                        // polled), so building window N overlaps the
+                        // server folding window N-1 — the pipelining the
+                        // wire exists for
+                        let mut inflight = std::collections::VecDeque::new();
+                        for window in slice.chunks(SERVICE_PIPELINE) {
+                            let batch: Vec<_> = window
+                                .iter()
+                                .map(|&(peer, tid, obs)| {
+                                    DelegationRequest::new(
+                                        peer,
+                                        &tasks[tid.0 as usize],
+                                        Goal::ANY,
+                                        Context::amicable(tid),
+                                    )
+                                    .committed()
+                                    .activate(&scratch)
+                                    .finish(DelegationOutcome::observed(obs))
+                                    .expect("workload observations are unit-range")
+                                })
+                                .collect();
+                            inflight.push_back((window.len(), remote.submit_batch(batch)));
+                            if inflight.len() > 2 {
+                                let (len, pending) = inflight.pop_front().expect("non-empty");
+                                let receipts =
+                                    block_on(pending).expect("server alive for the whole batch");
+                                assert_eq!(receipts.len(), len);
+                            }
+                        }
+                        for (len, pending) in inflight {
+                            let receipts =
+                                block_on(pending).expect("server alive for the whole batch");
+                            assert_eq!(receipts.len(), len);
+                        }
+                    });
+                }
+            });
+            server.shutdown();
+            let engines = service.shutdown().expect("clean shutdown");
+            let total: usize = engines.iter().map(|e| e.record_count()).sum();
+            assert_eq!(total, n_obs);
+            black_box(total)
+        })
+    });
+
     // forced worker-thread dispatch, recorded so the trajectory shows what
     // Auto saves (or costs) on this host's core count
     let pool: ObserverPool<u32> = ObserverPool::with_dispatch(WRITERS, Dispatch::Workers);
@@ -379,6 +460,31 @@ fn bench_store_backends(c: &mut Criterion) {
                 black_box(hits)
             })
         });
+
+        // the same 90/10 mix over the wire: a loopback server fronting the
+        // warmed fleet, every point read a full TCP round trip
+        let server =
+            RemoteTrustServer::bind("127.0.0.1:0", service.handle()).expect("loopback bind");
+        let remote = RemoteTrustServiceHandle::<u32>::connect(server.local_addr())
+            .expect("loopback connect");
+        c.bench_function("store_backends/service/remote_query_mix_100k", |b| {
+            b.iter(|| {
+                let mut hits = 0usize;
+                for (i, entry) in workload.iter().enumerate() {
+                    if i % 10 == 0 {
+                        block_on(remote.submit(session(entry))).expect("server alive");
+                    } else {
+                        let record =
+                            block_on(remote.record(entry.0, entry.1)).expect("server alive");
+                        hits += usize::from(record.is_some());
+                    }
+                }
+                assert_eq!(hits, workload.len() - workload.len() / 10);
+                black_box(hits)
+            })
+        });
+        drop(remote);
+        server.shutdown();
         drop(handle);
         service.shutdown().expect("clean shutdown");
     }

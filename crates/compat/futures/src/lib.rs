@@ -8,9 +8,15 @@
 //! * [`channel::oneshot`] — a single-value completion channel whose
 //!   [`Receiver`](channel::oneshot::Receiver) is a `Future`. The reply
 //!   path of every actor round trip.
+//! * [`executor::Parker`] — a reusable park/wake primitive plus a [`Waker`]
+//!   minted from it, for threads that multiplex *many* futures and need to
+//!   sleep until any of them (or an external producer) signals progress.
+//!   The wire server's response-multiplexer loop runs on it.
 //!
 //! Everything is built on `std` only — `std::task::Wake` provides the
 //! waker plumbing without a line of unsafe code.
+//!
+//! [`Waker`]: std::task::Waker
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
@@ -48,6 +54,73 @@ pub mod executor {
                 Poll::Ready(value) => return value,
                 Poll::Pending => thread::park(),
             }
+        }
+    }
+
+    use std::sync::{Condvar, Mutex};
+
+    /// A reusable park/wake primitive for a thread multiplexing many
+    /// futures: [`park`](Parker::park) blocks until *any* prior
+    /// [`unpark`](Parker::unpark) — from a [`waker`](Parker::waker) one of
+    /// the polled futures fired, or from another thread handing the parked
+    /// one new work. A wake that lands between the last poll and the park
+    /// is never lost (the token is level-triggered, not edge-triggered),
+    /// which `std::thread::park` alone cannot promise a *shared* waker.
+    #[derive(Debug, Clone)]
+    pub struct Parker {
+        state: Arc<ParkState>,
+    }
+
+    #[derive(Debug)]
+    struct ParkState {
+        woken: Mutex<bool>,
+        cv: Condvar,
+    }
+
+    impl Wake for ParkState {
+        fn wake(self: Arc<Self>) {
+            self.wake_by_ref();
+        }
+
+        fn wake_by_ref(self: &Arc<Self>) {
+            *self.woken.lock().unwrap_or_else(|e| e.into_inner()) = true;
+            self.cv.notify_all();
+        }
+    }
+
+    impl Parker {
+        /// A fresh parker with no pending wake token.
+        pub fn new() -> Self {
+            Parker { state: Arc::new(ParkState { woken: Mutex::new(false), cv: Condvar::new() }) }
+        }
+
+        /// A waker that [`unpark`](Self::unpark)s this parker — hand it to
+        /// every future the multiplexing thread polls; any of them waking
+        /// releases the next park.
+        pub fn waker(&self) -> Waker {
+            Waker::from(Arc::clone(&self.state))
+        }
+
+        /// Deposits a wake token and releases a parked thread (or the next
+        /// [`park`](Self::park) call, if none is parked yet).
+        pub fn unpark(&self) {
+            self.state.wake_by_ref();
+        }
+
+        /// Blocks until a wake token is available, then consumes it.
+        /// Returns immediately if one was deposited since the last park.
+        pub fn park(&self) {
+            let mut woken = self.state.woken.lock().unwrap_or_else(|e| e.into_inner());
+            while !*woken {
+                woken = self.state.cv.wait(woken).unwrap_or_else(|e| e.into_inner());
+            }
+            *woken = false;
+        }
+    }
+
+    impl Default for Parker {
+        fn default() -> Self {
+            Parker::new()
         }
     }
 }
@@ -257,5 +330,24 @@ mod tests {
     #[test]
     fn block_on_survives_self_waking_pending() {
         assert_eq!(block_on(YieldOnce(false)), 42);
+    }
+
+    #[test]
+    fn parker_token_deposited_before_park_is_not_lost() {
+        let parker = super::executor::Parker::new();
+        parker.unpark();
+        parker.park(); // returns immediately: the token was level-triggered
+    }
+
+    #[test]
+    fn parker_waker_releases_a_parked_thread() {
+        let parker = super::executor::Parker::new();
+        let waker = parker.waker();
+        let handle = std::thread::spawn(move || {
+            std::thread::sleep(std::time::Duration::from_millis(20));
+            waker.wake();
+        });
+        parker.park();
+        handle.join().unwrap();
     }
 }

@@ -130,14 +130,14 @@ pub enum DeclineReason {
 /// [`DelegationRequest::evaluate`].
 #[derive(Debug, Clone)]
 pub struct DelegationRequest<P> {
-    trustee: P,
-    task: Task,
-    goal: Goal,
-    context: Context,
-    gates: TransitivityGates,
-    referrals: Vec<Referral>,
-    prior: Option<TrustRecord>,
-    committed: bool,
+    pub(crate) trustee: P,
+    pub(crate) task: Task,
+    pub(crate) goal: Goal,
+    pub(crate) context: Context,
+    pub(crate) gates: TransitivityGates,
+    pub(crate) referrals: Vec<Referral>,
+    pub(crate) prior: Option<TrustRecord>,
+    pub(crate) committed: bool,
 }
 
 impl<P: Copy + Ord> DelegationRequest<P> {
@@ -288,14 +288,14 @@ fn scalar_expectation(tw: f64) -> TrustRecord {
 /// still locked behind [`EvaluatedDelegation::into_decision`].
 #[derive(Debug)]
 pub struct EvaluatedDelegation<P> {
-    trustee: P,
-    task: TaskId,
-    goal: Goal,
-    context: Context,
-    expectation: TrustRecord,
-    trustworthiness: Trustworthiness,
-    basis: EvaluationBasis,
-    verdict: Result<(), DeclineReason>,
+    pub(crate) trustee: P,
+    pub(crate) task: TaskId,
+    pub(crate) goal: Goal,
+    pub(crate) context: Context,
+    pub(crate) expectation: TrustRecord,
+    pub(crate) trustworthiness: Trustworthiness,
+    pub(crate) basis: EvaluationBasis,
+    pub(crate) verdict: Result<(), DeclineReason>,
 }
 
 impl<P: Copy + Ord> EvaluatedDelegation<P> {

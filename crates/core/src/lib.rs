@@ -17,6 +17,7 @@
 //! | §4.4 trustworthiness updated with delegation results (Eqs. 18–24) | [`record`], [`evaluate`], [`policy`] |
 //! | §4.5 trustworthiness in dynamic environments (Eqs. 25–29) | [`environment`] |
 //! | the process served to concurrent requesters (async facade) | [`service`] |
+//! | the service federated across processes (TCP wire protocol) | [`service::remote`], [`framing`] |
 //!
 //! Trust *state* lives behind the [`store::TrustEngine`] facade, whose
 //! storage is pluggable via [`backend::TrustBackend`]: the deterministic
@@ -39,7 +40,13 @@
 //! actor becomes the bottleneck, [`service::ShardedTrustService`] partitions
 //! the engine across N actors by a stable hash of the trustee, behind one
 //! routing [`service::ShardedTrustServiceHandle`] with fan-out/merge
-//! broadcast queries.
+//! broadcast queries. Either tier can then be **federated**:
+//! [`service::RemoteTrustServer`] exposes a running service over TCP (CRC-32
+//! framed via the shared [`framing`] codec, every real as its IEEE-754 bits)
+//! and [`service::RemoteTrustServiceHandle`] mirrors the whole handle API
+//! from another process, pipelined, with epoch-stamped
+//! [`service::Cut`] replies carrying aligned-freshness consistency across
+//! the wire.
 //!
 //! The model is deliberately **pure**: no RNG, no I/O, no graph — those live
 //! in `siot-sim` and `siot-iot`. Everything here is deterministic arithmetic
@@ -79,6 +86,7 @@ pub mod delegation;
 pub mod environment;
 pub mod error;
 pub mod evaluate;
+pub mod framing;
 pub mod goal;
 pub mod infer;
 pub mod log_backend;
@@ -112,8 +120,9 @@ pub mod prelude {
     pub use crate::pool::{Dispatch, ObserverPool};
     pub use crate::record::{ForgettingFactors, Observation, TrustRecord};
     pub use crate::service::{
-        Freshness, ServiceOptions, ShardStats, ShardedTrustService, ShardedTrustServiceHandle,
-        TrustService, TrustServiceHandle,
+        Cut, Freshness, RemoteTrustServer, RemoteTrustServiceHandle, ServiceEndpoint,
+        ServiceOptions, ShardStats, ShardedTrustService, ShardedTrustServiceHandle, TrustService,
+        TrustServiceHandle,
     };
     pub use crate::store::{DurableTrustStore, TrustEngine, TrustStore};
     pub use crate::task::{CharacteristicId, Task, TaskId};

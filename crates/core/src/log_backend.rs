@@ -34,7 +34,9 @@
 //! test, so readers never silently misparse old state.
 //!
 //! Frame: `len: u32 LE | crc32: u32 LE | payload`, CRC-32 (IEEE) over the
-//! payload. Payloads carry **absolute** state — the post-fold record, the
+//! payload — the shared [`framing`] codec, the same frame
+//! shape [`service::remote`](crate::service::remote) speaks over TCP.
+//! Payloads carry **absolute** state — the post-fold record, the
 //! post-append usage log — never deltas, so replaying a frame twice is
 //! harmless and double-counting on recovery is unrepresentable.
 //!
@@ -66,6 +68,7 @@
 
 use crate::backend::{ConcurrentTrustBackend, ShardedBackend, TrustBackend};
 use crate::error::TrustError;
+use crate::framing::{self, RawFrame};
 use crate::mutuality::UsageLog;
 use crate::record::TrustRecord;
 use crate::task::TaskId;
@@ -98,34 +101,6 @@ const MAX_FRAME_LEN: u32 = 1 << 16;
 /// explicit flush, bounding the window a crash can lose under
 /// [`FsyncPolicy::OnFlush`].
 const BUFFER_SPILL: usize = 256 * 1024;
-
-// ---------------------------------------------------------------------------
-// CRC-32 (IEEE 802.3), table-driven — no external crates in this build
-// ---------------------------------------------------------------------------
-
-const CRC_TABLE: [u32; 256] = {
-    let mut table = [0u32; 256];
-    let mut i = 0;
-    while i < 256 {
-        let mut c = i as u32;
-        let mut k = 0;
-        while k < 8 {
-            c = if c & 1 != 0 { 0xEDB8_8320 ^ (c >> 1) } else { c >> 1 };
-            k += 1;
-        }
-        table[i] = c;
-        i += 1;
-    }
-    table
-};
-
-fn crc32(data: &[u8]) -> u32 {
-    let mut c = 0xFFFF_FFFFu32;
-    for &b in data {
-        c = CRC_TABLE[((c ^ b as u32) & 0xFF) as usize] ^ (c >> 8);
-    }
-    c ^ 0xFFFF_FFFF
-}
 
 // ---------------------------------------------------------------------------
 // Key serialization
@@ -204,8 +179,7 @@ const KIND_PUT_USAGE: u8 = 2;
 const KIND_CLEAR: u8 = 3;
 
 fn encode_frame<P: LogKey>(out: &mut Vec<u8>, frame: &Frame<P>) {
-    let start = out.len();
-    out.extend_from_slice(&[0u8; 8]); // len + crc placeholders
+    let start = framing::begin_frame(out);
     match *frame {
         Frame::PutRecord { peer, task, rec } => {
             out.push(KIND_PUT_RECORD);
@@ -224,10 +198,7 @@ fn encode_frame<P: LogKey>(out: &mut Vec<u8>, frame: &Frame<P>) {
         }
         Frame::ClearRecords => out.push(KIND_CLEAR),
     }
-    let payload_len = (out.len() - start - 8) as u32;
-    let crc = crc32(&out[start + 8..]);
-    out[start..start + 4].copy_from_slice(&payload_len.to_le_bytes());
-    out[start + 4..start + 8].copy_from_slice(&crc.to_le_bytes());
+    framing::end_frame(out, start);
 }
 
 fn read_u64(b: &[u8], at: usize) -> u64 {
@@ -266,43 +237,24 @@ enum FrameRead<P> {
 }
 
 fn read_frame<P: LogKey>(data: &[u8], off: usize) -> FrameRead<P> {
-    if off == data.len() {
-        return FrameRead::End;
-    }
-    if data.len() - off < 8 {
-        return FrameRead::Invalid;
-    }
-    let len = u32::from_le_bytes(data[off..off + 4].try_into().expect("8 bytes checked"));
-    if len > MAX_FRAME_LEN || data.len() - off - 8 < len as usize {
-        return FrameRead::Invalid;
-    }
-    let crc = u32::from_le_bytes(data[off + 4..off + 8].try_into().expect("8 bytes checked"));
-    let payload = &data[off + 8..off + 8 + len as usize];
-    if crc32(payload) != crc {
-        return FrameRead::Invalid;
-    }
-    match decode_frame(payload) {
-        Some(frame) => FrameRead::Frame(frame, off + 8 + len as usize),
-        None => FrameRead::Invalid,
+    match framing::read_frame(data, off, MAX_FRAME_LEN) {
+        RawFrame::End => FrameRead::End,
+        RawFrame::Invalid => FrameRead::Invalid,
+        RawFrame::Frame { payload, next } => match decode_frame(payload) {
+            Some(frame) => FrameRead::Frame(frame, next),
+            None => FrameRead::Invalid,
+        },
     }
 }
 
-/// Whether a well-formed frame exists anywhere after the invalid bytes at
-/// `off` — the test that separates a torn tail (recoverable) from mid-log
-/// corruption (not). A torn append can only lose a *suffix* of the file,
-/// so any valid frame past the damage means corruption. The scan tries
-/// every alignment rather than trusting the damaged frame's length prefix:
-/// a bit flip in the length field itself must not hide the valid frames
-/// behind it (they would be silently truncated otherwise).
+/// Whether a well-formed **log** frame (checksum-valid and decodable)
+/// exists anywhere after the invalid bytes at `off` — the torn-tail vs.
+/// mid-log-corruption test, with the payload decoder as the validity
+/// check on top of the shared framing scan.
 fn followed_by_valid_frame<P: LogKey>(data: &[u8], off: usize) -> bool {
-    // a tear is at most one in-flight frame; more trailing data than the
-    // largest legal frame cannot be a crash artifact (bounds the scan too)
-    if data.len() - off > MAX_FRAME_LEN as usize + 8 {
-        return true;
-    }
-    // a frame needs 8 header bytes + a non-empty payload
-    (off + 1..data.len().saturating_sub(8))
-        .any(|cand| matches!(read_frame::<P>(data, cand), FrameRead::Frame(..)))
+    framing::followed_by_valid_frame(data, off, MAX_FRAME_LEN, |payload| {
+        decode_frame::<P>(payload).is_some()
+    })
 }
 
 /// Header bytes 6–7 carry the **compaction generation** (`u16` LE,
@@ -1304,13 +1256,6 @@ mod tests {
         ));
         let _ = fs::remove_dir_all(&dir);
         dir
-    }
-
-    #[test]
-    fn crc32_known_vector() {
-        // the canonical IEEE 802.3 check value
-        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
-        assert_eq!(crc32(b""), 0);
     }
 
     #[test]

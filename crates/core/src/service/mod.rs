@@ -108,10 +108,33 @@ use std::sync::{Arc, Condvar, Mutex};
 use std::task::{Context, Poll};
 use std::thread::JoinHandle;
 
+pub mod remote;
 pub mod sharded;
 
 pub use futures::executor::block_on;
+pub use remote::{RemotePending, RemoteTrustServer, RemoteTrustServiceHandle, ServiceEndpoint};
 pub use sharded::{Freshness, ShardedTrustService, ShardedTrustServiceHandle};
+
+/// A consistent answer to a broadcast query, named by the **epoch vector**
+/// at which it was taken: one drain-cycle counter per shard (see
+/// [`ShardStats::drains`]), sampled at the instant each shard answered.
+///
+/// Epochs are per-shard monotone, so two cuts from the same handle are
+/// comparable shard-wise: if every epoch of cut B is ≥ the matching epoch
+/// of cut A, B observed at least everything A did. Under
+/// [`Freshness::Aligned`] the vector names one global instant — all shards
+/// stood in the rendezvous together when these epochs were sampled — which
+/// is what lets a *remote* client reason about alignment without sharing
+/// the server's clock: the epoch scheme is the wire form of the
+/// consistency story.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Cut<T> {
+    /// Per-shard drain-cycle counters at the instant each shard answered,
+    /// in shard order. A single-actor service reports one epoch.
+    pub epochs: Vec<u64>,
+    /// The merged answer.
+    pub value: T,
+}
 
 /// Construction knobs for a [`TrustService`].
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -145,6 +168,11 @@ pub struct ShardStats {
     /// the backpressure signal: pinned near the mailbox capacity means
     /// submitters are blocking.
     pub mailbox_depth: usize,
+    /// The mailbox's capacity ([`ServiceOptions::mailbox`], clamped to at
+    /// least 1) — reported alongside the depth so *remote* callers can
+    /// compute the saturation ratio `mailbox_depth / mailbox_capacity`
+    /// without knowing the server's configuration.
+    pub mailbox_capacity: usize,
     /// Mailbox drain cycles the actor has completed.
     pub drains: u64,
     /// Commit storage passes (`commit_batch_receipts` calls) the actor ran.
@@ -252,15 +280,17 @@ enum Query<P> {
     /// Every peer with at least one record. `align` is the sharded tier's
     /// [`Freshness::Aligned`] rendezvous: when set, the actor folds its
     /// pending commits, arrives, and answers only once every shard stands
-    /// at the same cut.
-    KnownPeers { align: Option<Arc<Rendezvous>>, reply: oneshot::Sender<Vec<P>> },
+    /// at the same cut. The reply is stamped with the actor's drain-cycle
+    /// **epoch** ([`ShardStats::drains`] at answer time) — the wire tier's
+    /// cross-process consistency token (see [`Cut`]).
+    KnownPeers { align: Option<Arc<Rendezvous>>, reply: oneshot::Sender<(u64, Vec<P>)> },
     /// Every `(peer, record)` pair held for one task — a single atomic
     /// snapshot (one round trip, consistent against concurrent commits).
-    /// `align` as in [`Query::KnownPeers`].
+    /// `align` and the epoch stamp as in [`Query::KnownPeers`].
     TaskRecords {
         task: TaskId,
         align: Option<Arc<Rendezvous>>,
-        reply: oneshot::Sender<Vec<(P, TrustRecord)>>,
+        reply: oneshot::Sender<(u64, Vec<(P, TrustRecord)>)>,
     },
     /// The actor's saturation counters ([`ShardStats`]).
     Stats { reply: oneshot::Sender<ShardStats> },
@@ -465,12 +495,13 @@ impl<P: Copy + Ord> TrustServiceHandle<P> {
 
     /// Peers with at least one record — each exactly once, ascending.
     pub async fn known_peers(&self) -> Result<Vec<P>, TrustError> {
-        self.known_peers_in(None).await
+        Ok(self.known_peers_in(None).await?.1)
     }
 
-    /// [`Self::known_peers`] with an optional rendezvous — the sharded
-    /// tier's aligned fan-out seam.
-    fn known_peers_in(&self, align: Option<Arc<Rendezvous>>) -> Pending<Vec<P>> {
+    /// [`Self::known_peers`] with an optional rendezvous, epoch-stamped —
+    /// the sharded tier's aligned fan-out seam and the wire tier's
+    /// epoch source.
+    fn known_peers_in(&self, align: Option<Arc<Rendezvous>>) -> Pending<(u64, Vec<P>)> {
         self.request(|reply| Message::Query(Query::KnownPeers { align, reply }))
     }
 
@@ -481,16 +512,17 @@ impl<P: Copy + Ord> TrustServiceHandle<P> {
     /// concurrent commits. The shape ranking and fleet-survey callers
     /// want.
     pub async fn task_records(&self, task: TaskId) -> Result<Vec<(P, TrustRecord)>, TrustError> {
-        self.task_records_in(task, None).await
+        Ok(self.task_records_in(task, None).await?.1)
     }
 
-    /// [`Self::task_records`] with an optional rendezvous — the sharded
-    /// tier's aligned fan-out seam.
+    /// [`Self::task_records`] with an optional rendezvous, epoch-stamped —
+    /// the sharded tier's aligned fan-out seam and the wire tier's
+    /// epoch source.
     fn task_records_in(
         &self,
         task: TaskId,
         align: Option<Arc<Rendezvous>>,
-    ) -> Pending<Vec<(P, TrustRecord)>> {
+    ) -> Pending<(u64, Vec<(P, TrustRecord)>)> {
         self.request(|reply| Message::Query(Query::TaskRecords { task, align, reply }))
     }
 
@@ -544,13 +576,14 @@ where
     /// [`Self::spawn`] with an explicit actor-thread name — the sharded
     /// tier names each shard's thread after its index.
     fn spawn_named(engine: TrustEngine<P, B>, options: ServiceOptions, name: String) -> Self {
-        let (tx, rx) = std::sync::mpsc::sync_channel(options.mailbox.max(1));
+        let capacity = options.mailbox.max(1);
+        let (tx, rx) = std::sync::mpsc::sync_channel(capacity);
         let betas = options.betas;
         let depth = Arc::new(AtomicUsize::new(0));
         let actor_depth = Arc::clone(&depth);
         let thread = std::thread::Builder::new()
             .name(name)
-            .spawn(move || actor(engine, rx, betas, actor_depth))
+            .spawn(move || actor(engine, rx, betas, actor_depth, capacity))
             .expect("actor thread spawns");
         TrustService { handle: TrustServiceHandle { tx, depth }, thread }
     }
@@ -587,10 +620,11 @@ fn actor<P: Copy + Ord, B: TrustBackend<P>>(
     rx: Receiver<Message<P>>,
     betas: ForgettingFactors,
     depth: Arc<AtomicUsize>,
+    mailbox_capacity: usize,
 ) -> TrustEngine<P, B> {
     let mut pending: Vec<CompletedDelegation<P>> = Vec::new();
     let mut acks: Vec<Ack<P>> = Vec::new();
-    let mut stats = ShardStats::default();
+    let mut stats = ShardStats { mailbox_capacity, ..ShardStats::default() };
     'serve: loop {
         let Ok(first) = rx.recv() else {
             // every handle dropped: nothing is queued (recv only errs on
@@ -660,7 +694,7 @@ fn actor<P: Copy + Ord, B: TrustBackend<P>>(
                             if let Some(rv) = align {
                                 rv.arrive();
                             }
-                            let _ = reply.send(engine.known_peers());
+                            let _ = reply.send((stats.drains, engine.known_peers()));
                         }
                         Query::TaskRecords { task, align, reply } => {
                             if let Some(rv) = align {
@@ -671,7 +705,7 @@ fn actor<P: Copy + Ord, B: TrustBackend<P>>(
                                 .into_iter()
                                 .filter_map(|peer| engine.record(peer, task).map(|rec| (peer, rec)))
                                 .collect();
-                            let _ = reply.send(records);
+                            let _ = reply.send((stats.drains, records));
                         }
                         Query::Stats { reply } => {
                             let _ = reply.send(ShardStats {

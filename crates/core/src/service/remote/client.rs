@@ -1,0 +1,425 @@
+//! The calling side: [`RemoteTrustServiceHandle`] mirrors the local
+//! service handle API over one TCP connection.
+//!
+//! Every method sends its request frame **eagerly** (on the method call,
+//! not the first poll) tagged with a fresh request id, registers a oneshot
+//! for the response, and returns a plain `std` future — so callers
+//! pipeline exactly like they do against a local handle: submit a window
+//! of completions first, await the receipts after. One background reader
+//! thread pairs response frames back to their oneshots by id; responses
+//! may arrive in any order, which is what makes the pipelining free of
+//! head-of-line blocking.
+//!
+//! # Failure model
+//!
+//! Everything is a typed [`TrustError`], never a hang:
+//!
+//! - a *request-level* failure reported by the server (validation,
+//!   stopped service) resolves just that future to the decoded error;
+//! - a **corrupt response stream** fails every in-flight future with the
+//!   decode error, then closes the connection;
+//! - a **dead connection** (server gone, sockets closed) resolves every
+//!   in-flight future — and every later call — to
+//!   [`TrustError::ServiceStopped`].
+//!
+//! Dropping the last clone of a handle closes the connection.
+
+use std::collections::HashMap;
+use std::future::Future;
+use std::io::{Read, Write};
+use std::net::{Shutdown, TcpStream, ToSocketAddrs};
+use std::pin::Pin;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, Weak};
+use std::task::{Context, Poll};
+use std::thread;
+
+use futures::channel::oneshot;
+
+use super::wire::{self, Request};
+use crate::delegation::{
+    CompletedDelegation, Decision, DelegationOutcome, DelegationReceipt, DelegationRequest,
+    EvaluatedDelegation,
+};
+use crate::error::TrustError;
+use crate::framing;
+use crate::log_backend::LogKey;
+use crate::record::TrustRecord;
+use crate::service::sharded::Freshness;
+use crate::service::{Cut, ShardStats};
+use crate::task::{Task, TaskId};
+use crate::tw::Trustworthiness;
+
+/// Sessions per `CommitMany` frame: large enough that framing overhead
+/// vanishes, small enough that one frame stays far under
+/// [`MAX_WIRE_FRAME`](wire::MAX_WIRE_FRAME) and the server can interleave
+/// other clients between chunks.
+const BATCH_CHUNK: usize = 65_536;
+
+struct WriteHalf {
+    stream: TcpStream,
+    /// Once set, no request will ever be written again; checked *after*
+    /// registering in the pending map so a concurrent close can never
+    /// strand a future (see [`ClientInner::send`]).
+    closed: bool,
+}
+
+struct ClientInner {
+    next_id: AtomicU64,
+    writer: Mutex<WriteHalf>,
+    pending: Mutex<HashMap<u64, oneshot::Sender<Vec<u8>>>>,
+}
+
+impl Drop for ClientInner {
+    fn drop(&mut self) {
+        // unblocks the reader thread (which holds only a Weak to us)
+        let writer = self.writer.get_mut().expect("writer half");
+        let _ = writer.stream.shutdown(Shutdown::Both);
+    }
+}
+
+/// A connected client handle to a [`RemoteTrustServer`]. Mirrors the
+/// local [`TrustServiceHandle`]/[`ShardedTrustServiceHandle`] API; see
+/// the [module docs](crate::service::remote) for pipelining and failure semantics.
+///
+/// Cloning is cheap and clones share the connection (and its request-id
+/// space) — hand clones to as many threads as you like.
+///
+/// [`RemoteTrustServer`]: super::RemoteTrustServer
+/// [`TrustServiceHandle`]: crate::service::TrustServiceHandle
+/// [`ShardedTrustServiceHandle`]: crate::service::ShardedTrustServiceHandle
+#[derive(Debug)]
+pub struct RemoteTrustServiceHandle<P> {
+    inner: Arc<ClientInner>,
+    _peer: std::marker::PhantomData<fn(P) -> P>,
+}
+
+impl<P> Clone for RemoteTrustServiceHandle<P> {
+    fn clone(&self) -> Self {
+        RemoteTrustServiceHandle { inner: Arc::clone(&self.inner), _peer: std::marker::PhantomData }
+    }
+}
+
+impl std::fmt::Debug for ClientInner {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ClientInner").finish_non_exhaustive()
+    }
+}
+
+impl<P: LogKey + Send + 'static> RemoteTrustServiceHandle<P> {
+    /// Connects to a [`RemoteTrustServer`](super::RemoteTrustServer) and
+    /// performs the banner handshake. Fails typed on a version mismatch
+    /// ([`TrustError::UnsupportedFormat`]) or a non-SIOT peer
+    /// ([`TrustError::Corrupt`]).
+    pub fn connect(addr: impl ToSocketAddrs) -> Result<Self, TrustError> {
+        let mut stream = TcpStream::connect(addr)?;
+        let _ = stream.set_nodelay(true);
+        stream.write_all(&wire::banner())?;
+        let mut banner = [0u8; wire::BANNER_LEN];
+        stream.read_exact(&mut banner)?;
+        wire::check_banner(&banner)?;
+        let reader_stream = stream.try_clone()?;
+        let inner = Arc::new(ClientInner {
+            next_id: AtomicU64::new(0),
+            writer: Mutex::new(WriteHalf { stream, closed: false }),
+            pending: Mutex::new(HashMap::new()),
+        });
+        let weak = Arc::downgrade(&inner);
+        thread::Builder::new()
+            .name("siot-remote-client-rx".into())
+            .spawn(move || reader_loop(reader_stream, weak))
+            .map_err(|e| TrustError::Io(e.to_string()))?;
+        Ok(RemoteTrustServiceHandle { inner, _peer: std::marker::PhantomData })
+    }
+
+    /// Encodes and writes one request frame, returning the future of its
+    /// decoded response.
+    fn send<T>(&self, request: Request<P>, decode: DecodeFn<T>) -> RemotePending<T> {
+        let req_id = self.inner.next_id.fetch_add(1, Ordering::Relaxed);
+        let mut frame = Vec::new();
+        let start = framing::begin_frame(&mut frame);
+        wire::encode_request(&mut frame, req_id, &request);
+        framing::end_frame(&mut frame, start);
+
+        let (tx, rx) = oneshot::channel();
+        self.inner.pending.lock().expect("pending map").insert(req_id, tx);
+        let mut writer = self.inner.writer.lock().expect("writer half");
+        if writer.closed {
+            // the reader already drained (or is draining) the pending map
+            // under this same closed flag; our entry may or may not have
+            // been caught — remove it ourselves and fail locally
+            drop(writer);
+            self.inner.pending.lock().expect("pending map").remove(&req_id);
+            return RemotePending::failed(TrustError::ServiceStopped);
+        }
+        if let Err(e) = writer.stream.write_all(&frame) {
+            writer.closed = true;
+            let _ = writer.stream.shutdown(Shutdown::Both);
+            drop(writer);
+            self.inner.pending.lock().expect("pending map").remove(&req_id);
+            return RemotePending::failed(e.into());
+        }
+        drop(writer);
+        RemotePending::waiting(rx, decode)
+    }
+
+    /// Eagerly submits one finished session; mirrors
+    /// [`TrustServiceHandle::submit`](crate::service::TrustServiceHandle::submit).
+    pub fn submit(&self, completed: CompletedDelegation<P>) -> RemotePending<DelegationReceipt<P>> {
+        self.send(Request::Commit(completed), wire::decode_receipt::<P>)
+    }
+
+    /// Eagerly submits a batch of finished sessions and returns the future
+    /// of their receipts in batch order. Large batches are split into
+    /// frames of `BATCH_CHUNK` sessions, all written before this
+    /// returns, so the server folds them as one pipelined stream. An empty
+    /// batch resolves immediately without a round trip.
+    pub fn submit_batch(
+        &self,
+        mut batch: Vec<CompletedDelegation<P>>,
+    ) -> impl Future<Output = Result<Vec<DelegationReceipt<P>>, TrustError>> {
+        let mut parts = Vec::new();
+        while !batch.is_empty() {
+            let rest = batch.split_off(batch.len().min(BATCH_CHUNK));
+            parts.push(self.send(Request::CommitMany(batch), wire::decode_receipts::<P>));
+            batch = rest;
+        }
+        async move {
+            let mut receipts = Vec::new();
+            for part in parts {
+                receipts.extend(part.await?);
+            }
+            Ok(receipts)
+        }
+    }
+
+    /// Commits one finished session and resolves to its receipt.
+    pub async fn commit(
+        &self,
+        completed: CompletedDelegation<P>,
+    ) -> Result<DelegationReceipt<P>, TrustError> {
+        self.submit(completed).await
+    }
+
+    /// Runs the §3.3 evaluation server-side and resolves to the evaluated
+    /// session — the same `EvaluatedDelegation` a local handle returns, so
+    /// `into_decision` works identically.
+    pub async fn evaluate(
+        &self,
+        request: DelegationRequest<P>,
+    ) -> Result<EvaluatedDelegation<P>, TrustError> {
+        self.send(Request::Evaluate(request), wire::decode_evaluated::<P>).await
+    }
+
+    /// [`evaluate`](Self::evaluate) carried through to the §3.4 decision,
+    /// made locally from the wire evaluation.
+    pub async fn delegate(&self, request: DelegationRequest<P>) -> Result<Decision<P>, TrustError> {
+        Ok(self.evaluate(request).await?.into_decision())
+    }
+
+    /// The whole committed session in one round trip: activation,
+    /// validation, and the batched fold all happen server-side.
+    pub async fn complete(
+        &self,
+        request: DelegationRequest<P>,
+        outcome: DelegationOutcome,
+    ) -> Result<DelegationReceipt<P>, TrustError> {
+        self.send(Request::Complete(request, outcome), wire::decode_receipt::<P>).await
+    }
+
+    /// Registers (or replaces) a task definition in the served engine.
+    pub async fn register_task(&self, task: Task) -> Result<(), TrustError> {
+        self.send(Request::RegisterTask(task), wire::decode_unit).await
+    }
+
+    /// Eq. 18 trustworthiness toward `(peer, task)`.
+    pub async fn trustworthiness(
+        &self,
+        peer: P,
+        task: TaskId,
+    ) -> Result<Option<Trustworthiness>, TrustError> {
+        self.send(Request::Trustworthiness(peer, task), wire::decode_opt_tw).await
+    }
+
+    /// The record for `(peer, task)`, if any interaction happened.
+    pub async fn record(&self, peer: P, task: TaskId) -> Result<Option<TrustRecord>, TrustError> {
+        self.send(Request::Record(peer, task), wire::decode_opt_record).await
+    }
+
+    /// Peers with at least one record, ascending —
+    /// [`Freshness::Relaxed`], value only.
+    pub async fn known_peers(&self) -> Result<Vec<P>, TrustError> {
+        Ok(self.known_peers_cut(Freshness::Relaxed).await?.value)
+    }
+
+    /// [`known_peers`](Self::known_peers) at an explicit freshness.
+    pub async fn known_peers_with(&self, freshness: Freshness) -> Result<Vec<P>, TrustError> {
+        Ok(self.known_peers_cut(freshness).await?.value)
+    }
+
+    /// The epoch-stamped cut behind [`known_peers`](Self::known_peers).
+    /// Under [`Freshness::Aligned`] the server runs its rendezvous
+    /// barrier, so the epoch vector names one global instant of the fleet
+    /// — the cross-process consistency token.
+    pub async fn known_peers_cut(&self, freshness: Freshness) -> Result<Cut<Vec<P>>, TrustError> {
+        self.send(Request::KnownPeers(freshness), wire::decode_peers_cut::<P>).await
+    }
+
+    /// Every `(peer, record)` pair held for `task`, ascending by peer.
+    pub async fn task_records(&self, task: TaskId) -> Result<Vec<(P, TrustRecord)>, TrustError> {
+        Ok(self.task_records_cut(task, Freshness::Relaxed).await?.value)
+    }
+
+    /// [`task_records`](Self::task_records) at an explicit freshness.
+    pub async fn task_records_with(
+        &self,
+        task: TaskId,
+        freshness: Freshness,
+    ) -> Result<Vec<(P, TrustRecord)>, TrustError> {
+        Ok(self.task_records_cut(task, freshness).await?.value)
+    }
+
+    /// The epoch-stamped cut behind [`task_records`](Self::task_records).
+    pub async fn task_records_cut(
+        &self,
+        task: TaskId,
+        freshness: Freshness,
+    ) -> Result<Cut<Vec<(P, TrustRecord)>>, TrustError> {
+        self.send(Request::TaskRecords(task, freshness), wire::decode_records_cut::<P>).await
+    }
+
+    /// Saturation counters, one entry per served shard (a single-actor
+    /// endpoint reports one).
+    pub async fn shard_stats(&self) -> Result<Vec<ShardStats>, TrustError> {
+        self.send(Request::ShardStats, wire::decode_stats).await
+    }
+
+    /// Pushes served engine state down to stable storage.
+    pub async fn flush(&self) -> Result<(), TrustError> {
+        self.send(Request::Flush, wire::decode_unit).await
+    }
+
+    /// Stops the **served trust service** (drain, flush, exit — same
+    /// guarantees as a local shutdown). The transport stays up: later
+    /// requests are answered with typed [`TrustError::ServiceStopped`]
+    /// errors. Idempotent across clients.
+    pub async fn shutdown(&self) -> Result<(), TrustError> {
+        self.send(Request::Shutdown, wire::decode_unit).await
+    }
+}
+
+fn reader_loop(mut stream: TcpStream, client: Weak<ClientInner>) {
+    let mut decoder = framing::StreamDecoder::new(wire::MAX_WIRE_FRAME);
+    let mut buf = vec![0u8; 64 * 1024];
+    // None: clean EOF (server closed) → pending futures fail ServiceStopped.
+    // Some(err): the response stream itself is sick → pending futures get
+    // the typed decode error.
+    let failure: Option<TrustError> = 'read: loop {
+        let n = match stream.read(&mut buf) {
+            Ok(0) => break None,
+            Ok(n) => n,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+            Err(_) => break None,
+        };
+        decoder.extend(&buf[..n]);
+        loop {
+            // split id and body straight out of the stream buffer — the
+            // single copy made is the owned body handed to the waiter
+            let split = decoder.next_payload_with(|payload| {
+                if payload.len() < 9 {
+                    return None;
+                }
+                let req_id = u64::from_le_bytes(payload[..8].try_into().expect("length checked"));
+                Some((req_id, payload[8..].to_vec()))
+            });
+            match split {
+                Ok(Some(Some((req_id, body)))) => {
+                    let Some(client) = client.upgrade() else { return };
+                    let sender = client.pending.lock().expect("pending map").remove(&req_id);
+                    if let Some(sender) = sender {
+                        let _ = sender.send(body);
+                    }
+                }
+                Ok(Some(None)) => {
+                    break 'read Some(TrustError::Corrupt { what: "wire response", offset: 0 });
+                }
+                Ok(None) => break,
+                Err(err) => break 'read Some(err),
+            }
+        }
+    };
+    let Some(client) = client.upgrade() else { return };
+    // order matters: set closed under the writer lock *first*, so any
+    // send() that slips its entry into the pending map afterwards will see
+    // the flag and fail itself — nothing can be stranded un-resolved
+    {
+        let mut writer = client.writer.lock().expect("writer half");
+        writer.closed = true;
+        let _ = writer.stream.shutdown(Shutdown::Both);
+    }
+    let drained: Vec<oneshot::Sender<Vec<u8>>> = {
+        let mut pending = client.pending.lock().expect("pending map");
+        pending.drain().map(|(_, tx)| tx).collect()
+    };
+    match failure {
+        // synthesize an error response for every in-flight future: they
+        // resolve to the typed error, not a mystery hang
+        Some(err) => {
+            let body = wire::err_body(&err);
+            for tx in drained {
+                let _ = tx.send(body.clone());
+            }
+        }
+        // dropping the senders cancels the oneshots; RemotePending maps
+        // cancellation to ServiceStopped
+        None => drop(drained),
+    }
+}
+
+type DecodeFn<T> = fn(&[u8]) -> Result<T, TrustError>;
+
+enum RemoteState<T> {
+    Waiting(oneshot::Receiver<Vec<u8>>, DecodeFn<T>),
+    Failed(Option<TrustError>),
+}
+
+/// The future of one remote response. Plain `std`, `Unpin`; drive it with
+/// [`block_on`](crate::service::block_on) or any executor. Dropping it
+/// abandons the response (the reader discards unclaimed ids).
+pub struct RemotePending<T> {
+    state: RemoteState<T>,
+}
+
+impl<T> RemotePending<T> {
+    fn waiting(rx: oneshot::Receiver<Vec<u8>>, decode: DecodeFn<T>) -> Self {
+        RemotePending { state: RemoteState::Waiting(rx, decode) }
+    }
+
+    fn failed(err: TrustError) -> Self {
+        RemotePending { state: RemoteState::Failed(Some(err)) }
+    }
+}
+
+impl<T> std::fmt::Debug for RemotePending<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RemotePending").finish_non_exhaustive()
+    }
+}
+
+impl<T> Unpin for RemotePending<T> {}
+
+impl<T> Future for RemotePending<T> {
+    type Output = Result<T, TrustError>;
+
+    fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<Self::Output> {
+        match &mut self.get_mut().state {
+            RemoteState::Waiting(rx, decode) => Pin::new(rx).poll(cx).map(|r| match r {
+                Ok(tail) => decode(wire::split_status(&tail)?),
+                Err(oneshot::Canceled) => Err(TrustError::ServiceStopped),
+            }),
+            RemoteState::Failed(err) => {
+                Poll::Ready(Err(err.take().expect("a resolved RemotePending is not re-polled")))
+            }
+        }
+    }
+}

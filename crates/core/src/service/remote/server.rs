@@ -1,0 +1,505 @@
+//! The serving side: a TCP listener that exposes a running trust service
+//! — single-actor or sharded — to remote [`RemoteTrustServiceHandle`]s.
+//!
+//! # Threading model
+//!
+//! One **accept** thread owns the listener. Each accepted connection gets
+//! two threads:
+//!
+//! - a **reader** that performs the banner handshake, then feeds bytes
+//!   through a [`StreamDecoder`], decodes each request, and dispatches it
+//!   *immediately* through the service's eager send seams — so requests
+//!   enter the actor mailboxes in the exact order this connection sent
+//!   them, and a full mailbox blocks the reader, which stops reading the
+//!   socket, which is TCP backpressure all the way to the client;
+//! - a **writer** that multiplexes the in-flight reply futures of its
+//!   connection with a shared [`Parker`] waker and writes each response
+//!   frame as its future completes — *completion* order, not request
+//!   order, which is what lets a cheap query overtake a slow flush on the
+//!   same connection. Request ids pair responses back up client-side.
+//!
+//! # Failure containment
+//!
+//! A connection is a failure domain: a client that disconnects mid-batch
+//! (or sends garbage) tears down its two threads and nothing else —
+//! commits already in the mailboxes fold normally, their receipts resolve
+//! into futures the dying writer simply drops, and every other connection
+//! keeps being served. Framing-level violations (bad banner, corrupt
+//! frame) close the connection; *request-level* decode errors (unknown
+//! opcode, malformed body) are answered with the typed error on the id
+//! they arrived under and the connection keeps serving.
+//!
+//! Stopping the **served trust service** does not stop the transport: a
+//! stopped service answers every subsequent request with a typed
+//! [`TrustError::ServiceStopped`] response. Stopping the **server**
+//! closes the sockets, which clients surface as `ServiceStopped` on all
+//! their in-flight futures.
+
+use std::collections::VecDeque;
+use std::future::Future;
+use std::hash::Hash;
+use std::io::{Read, Write};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::pin::Pin;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::task::{Context, Poll};
+use std::thread::{self, JoinHandle};
+
+use futures::executor::Parker;
+
+use super::wire::{self, Request, RequestError};
+use crate::error::TrustError;
+use crate::framing::{self, StreamDecoder};
+use crate::log_backend::LogKey;
+use crate::service::sharded::ShardedTrustServiceHandle;
+use crate::service::{Command, Cut, Message, Query, TrustServiceHandle};
+
+/// The service a [`RemoteTrustServer`] fronts: one actor or a sharded
+/// fleet, behind one uniform wire surface. Both handle types convert
+/// [`Into`] this, so `RemoteTrustServer::bind(addr, handle)` works with
+/// either.
+#[derive(Debug)]
+pub enum ServiceEndpoint<P> {
+    /// A single [`TrustService`](crate::service::TrustService) actor.
+    Single(TrustServiceHandle<P>),
+    /// A [`ShardedTrustService`](crate::service::ShardedTrustService)
+    /// fleet — commits route by trustee, broadcasts fan out, and the
+    /// epoch vectors in cut replies carry one entry per shard.
+    Sharded(ShardedTrustServiceHandle<P>),
+}
+
+impl<P> Clone for ServiceEndpoint<P> {
+    fn clone(&self) -> Self {
+        match self {
+            ServiceEndpoint::Single(h) => ServiceEndpoint::Single(h.clone()),
+            ServiceEndpoint::Sharded(h) => ServiceEndpoint::Sharded(h.clone()),
+        }
+    }
+}
+
+impl<P> From<TrustServiceHandle<P>> for ServiceEndpoint<P> {
+    fn from(handle: TrustServiceHandle<P>) -> Self {
+        ServiceEndpoint::Single(handle)
+    }
+}
+
+impl<P> From<ShardedTrustServiceHandle<P>> for ServiceEndpoint<P> {
+    fn from(handle: ShardedTrustServiceHandle<P>) -> Self {
+        ServiceEndpoint::Sharded(handle)
+    }
+}
+
+/// A reply future being driven by a connection's writer thread; resolves
+/// to the fully-encoded response payload.
+type RespFuture = Pin<Box<dyn Future<Output = Vec<u8>> + Send>>;
+
+/// State shared between a connection's reader and writer threads.
+struct Conn {
+    /// Dispatched reply futures the writer has not yet adopted.
+    queue: Mutex<VecDeque<RespFuture>>,
+    /// Wakes the writer: new work queued, an in-flight future ready, or
+    /// the reader announcing the connection is closing.
+    parker: Parker,
+    /// Set by the reader on EOF/error: the writer flushes what it has and
+    /// exits.
+    closing: AtomicBool,
+}
+
+#[derive(Debug)]
+struct ConnHandle {
+    stream: TcpStream,
+    reader: JoinHandle<()>,
+    writer: JoinHandle<()>,
+}
+
+/// A TCP server exposing a trust service to remote clients. See the
+/// [module docs](crate::service::remote) for the threading and failure model.
+#[derive(Debug)]
+pub struct RemoteTrustServer {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    accept: Option<JoinHandle<()>>,
+    conns: Arc<Mutex<Vec<ConnHandle>>>,
+}
+
+impl RemoteTrustServer {
+    /// Binds `addr` (use port 0 for an ephemeral port — read it back with
+    /// [`local_addr`](Self::local_addr)) and starts serving `endpoint`.
+    /// Accepts any number of concurrent connections until
+    /// [`shutdown`](Self::shutdown) or drop.
+    pub fn bind<P, A>(addr: A, endpoint: impl Into<ServiceEndpoint<P>>) -> Result<Self, TrustError>
+    where
+        P: LogKey + Hash + Send + 'static,
+        A: ToSocketAddrs,
+    {
+        let listener = TcpListener::bind(addr)?;
+        let addr = listener.local_addr()?;
+        let endpoint = endpoint.into();
+        let stop = Arc::new(AtomicBool::new(false));
+        let conns = Arc::new(Mutex::new(Vec::new()));
+        let accept = thread::Builder::new()
+            .name("siot-remote-accept".into())
+            .spawn({
+                let stop = Arc::clone(&stop);
+                let conns = Arc::clone(&conns);
+                move || accept_loop(listener, endpoint, stop, conns)
+            })
+            .map_err(|e| TrustError::Io(e.to_string()))?;
+        Ok(RemoteTrustServer { addr, stop, accept: Some(accept), conns })
+    }
+
+    /// The address the server is actually listening on.
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stops accepting, closes every live connection, and joins all
+    /// transport threads. The served trust service itself is untouched —
+    /// it keeps running for local handles (stop it through its own
+    /// `shutdown`). Clients see their in-flight futures resolve to
+    /// [`TrustError::ServiceStopped`].
+    pub fn shutdown(mut self) {
+        self.stop_transport();
+    }
+
+    fn stop_transport(&mut self) {
+        let Some(accept) = self.accept.take() else { return };
+        self.stop.store(true, Ordering::SeqCst);
+        // the accept thread is parked in accept(2); a throwaway connection
+        // is the portable way to run it through its stop check
+        let _ = TcpStream::connect(self.addr);
+        let _ = accept.join();
+        let conns = std::mem::take(&mut *self.conns.lock().expect("connection registry"));
+        for conn in conns {
+            let _ = conn.stream.shutdown(Shutdown::Both);
+            let _ = conn.reader.join();
+            let _ = conn.writer.join();
+        }
+    }
+}
+
+impl Drop for RemoteTrustServer {
+    fn drop(&mut self) {
+        self.stop_transport();
+    }
+}
+
+fn accept_loop<P: LogKey + Hash + Send + 'static>(
+    listener: TcpListener,
+    endpoint: ServiceEndpoint<P>,
+    stop: Arc<AtomicBool>,
+    conns: Arc<Mutex<Vec<ConnHandle>>>,
+) {
+    for incoming in listener.incoming() {
+        if stop.load(Ordering::SeqCst) {
+            break;
+        }
+        let Ok(stream) = incoming else { continue };
+        if let Ok(handle) = spawn_connection(stream, endpoint.clone()) {
+            conns.lock().expect("connection registry").push(handle);
+        }
+    }
+}
+
+fn spawn_connection<P: LogKey + Hash + Send + 'static>(
+    stream: TcpStream,
+    endpoint: ServiceEndpoint<P>,
+) -> std::io::Result<ConnHandle> {
+    let _ = stream.set_nodelay(true);
+    let conn = Arc::new(Conn {
+        queue: Mutex::new(VecDeque::new()),
+        parker: Parker::new(),
+        closing: AtomicBool::new(false),
+    });
+    let reader_stream = stream.try_clone()?;
+    let writer_stream = stream.try_clone()?;
+    let reader = thread::Builder::new().name("siot-remote-rx".into()).spawn({
+        let conn = Arc::clone(&conn);
+        move || reader_loop(reader_stream, endpoint, conn)
+    })?;
+    let writer = thread::Builder::new()
+        .name("siot-remote-tx".into())
+        .spawn(move || writer_loop(writer_stream, conn))?;
+    Ok(ConnHandle { stream, reader, writer })
+}
+
+fn reader_loop<P: LogKey + Hash + Send + 'static>(
+    mut stream: TcpStream,
+    endpoint: ServiceEndpoint<P>,
+    conn: Arc<Conn>,
+) {
+    let handshake = (|| -> Result<(), TrustError> {
+        stream.write_all(&wire::banner())?;
+        let mut banner = [0u8; wire::BANNER_LEN];
+        stream.read_exact(&mut banner)?;
+        wire::check_banner(&banner)
+    })();
+    if handshake.is_ok() {
+        serve(&mut stream, &endpoint, &conn);
+    }
+    // hand the connection to the writer for its final flush; stop reading
+    // but leave the write half open until the writer is done with it
+    conn.closing.store(true, Ordering::SeqCst);
+    conn.parker.unpark();
+    let _ = stream.shutdown(Shutdown::Read);
+}
+
+fn serve<P: LogKey + Hash + Send + 'static>(
+    stream: &mut TcpStream,
+    endpoint: &ServiceEndpoint<P>,
+    conn: &Conn,
+) {
+    let mut decoder = StreamDecoder::new(wire::MAX_WIRE_FRAME);
+    let mut buf = vec![0u8; 64 * 1024];
+    loop {
+        let n = match stream.read(&mut buf) {
+            Ok(0) => return,
+            Ok(n) => n,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+            Err(_) => return,
+        };
+        decoder.extend(&buf[..n]);
+        loop {
+            // decode straight out of the stream buffer — no payload copy
+            match decoder.next_payload_with(wire::decode_request::<P>) {
+                Ok(Some(Ok((req_id, request)))) => {
+                    enqueue(conn, dispatch(endpoint, req_id, request));
+                }
+                Ok(Some(Err(RequestError::Addressed(req_id, err)))) => {
+                    // the request was garbage but its id was readable:
+                    // answer it with the typed error and keep serving
+                    let payload = wire::err_payload(req_id, &err);
+                    enqueue(conn, Box::pin(std::future::ready(payload)));
+                }
+                Ok(Some(Err(RequestError::Unaddressable))) => return,
+                Ok(None) => break,
+                // framing violation (oversized length, bad checksum):
+                // nothing downstream of this byte can be trusted
+                Err(_) => return,
+            }
+        }
+    }
+}
+
+fn enqueue(conn: &Conn, fut: RespFuture) {
+    conn.queue.lock().expect("conn queue").push_back(fut);
+    conn.parker.unpark();
+}
+
+fn writer_loop(mut stream: TcpStream, conn: Arc<Conn>) {
+    let waker = conn.parker.waker();
+    let mut cx = Context::from_waker(&waker);
+    let mut inflight: Vec<RespFuture> = Vec::new();
+    let mut out = Vec::new();
+    loop {
+        inflight.extend(conn.queue.lock().expect("conn queue").drain(..));
+        let mut i = 0;
+        while i < inflight.len() {
+            match inflight[i].as_mut().poll(&mut cx) {
+                Poll::Ready(payload) => {
+                    let start = framing::begin_frame(&mut out);
+                    out.extend_from_slice(&payload);
+                    framing::end_frame(&mut out, start);
+                    drop(inflight.swap_remove(i));
+                }
+                Poll::Pending => i += 1,
+            }
+        }
+        if !out.is_empty() {
+            if stream.write_all(&out).is_err() {
+                break;
+            }
+            out.clear();
+        }
+        if conn.closing.load(Ordering::SeqCst)
+            && inflight.is_empty()
+            && conn.queue.lock().expect("conn queue").is_empty()
+        {
+            break;
+        }
+        // level-triggered: anything that happened since the last poll pass
+        // (enqueue, future completion, closing) left the token deposited,
+        // so this returns immediately rather than losing the wakeup
+        conn.parker.park();
+    }
+    let _ = stream.shutdown(Shutdown::Both);
+}
+
+/// Sends `request` into the endpoint **now** (the eager seams — ordering
+/// into the mailboxes matches wire arrival order) and returns the future
+/// of its encoded response.
+fn dispatch<P: LogKey + Hash + Send + 'static>(
+    endpoint: &ServiceEndpoint<P>,
+    req_id: u64,
+    request: Request<P>,
+) -> RespFuture {
+    match endpoint {
+        ServiceEndpoint::Single(h) => match request {
+            Request::Commit(completed) => {
+                respond(req_id, h.submit(completed), |out, r| wire::put_receipt(out, r))
+            }
+            Request::CommitMany(batch) => {
+                respond(req_id, h.submit_batch(batch), |out, r| wire::put_receipts(out, r))
+            }
+            Request::Complete(request, outcome) => {
+                let p = h.request(|reply| {
+                    Message::Command(Command::Complete { request, outcome, reply })
+                });
+                respond(req_id, async move { p.await? }, |out, r| wire::put_receipt(out, r))
+            }
+            Request::RegisterTask(task) => {
+                let p = h.request(|reply| Message::Command(Command::RegisterTask { task, reply }));
+                respond(req_id, p, |_, ()| {})
+            }
+            Request::Flush => {
+                let p = h.request(|reply| Message::Command(Command::Flush { reply }));
+                respond(req_id, async move { p.await? }, |_, ()| {})
+            }
+            Request::Shutdown => {
+                let p = h.request(|reply| Message::Command(Command::Shutdown { reply }));
+                respond(req_id, tolerate_stopped(p), |_, ()| {})
+            }
+            Request::Evaluate(request) => {
+                let p = h.request(|reply| Message::Query(Query::Evaluate { request, reply }));
+                respond(req_id, p, |out, ev| wire::put_evaluated(out, ev))
+            }
+            Request::Trustworthiness(peer, task) => {
+                let p =
+                    h.request(|reply| Message::Query(Query::Trustworthiness { peer, task, reply }));
+                respond(req_id, p, wire::put_opt_tw)
+            }
+            Request::Record(peer, task) => {
+                let p = h.request(|reply| Message::Query(Query::Record { peer, task, reply }));
+                respond(req_id, p, wire::put_opt_record)
+            }
+            // a single actor is one shard: every reply is trivially a
+            // consistent cut, so freshness needs no barrier here
+            Request::KnownPeers(_) => {
+                let p = h.known_peers_in(None);
+                respond(
+                    req_id,
+                    async move {
+                        let (epoch, peers) = p.await?;
+                        Ok(Cut { epochs: vec![epoch], value: peers })
+                    },
+                    |out, cut| wire::put_peers_cut(out, cut),
+                )
+            }
+            Request::TaskRecords(task, _) => {
+                let p = h.task_records_in(task, None);
+                respond(
+                    req_id,
+                    async move {
+                        let (epoch, records) = p.await?;
+                        Ok(Cut { epochs: vec![epoch], value: records })
+                    },
+                    |out, cut| wire::put_records_cut(out, cut),
+                )
+            }
+            Request::ShardStats => {
+                let p = h.stats_in();
+                respond(req_id, async move { Ok(vec![p.await?]) }, |out, s| wire::put_stats(out, s))
+            }
+        },
+        ServiceEndpoint::Sharded(h) => match request {
+            Request::Commit(completed) => {
+                respond(req_id, h.submit(completed), |out, r| wire::put_receipt(out, r))
+            }
+            Request::CommitMany(batch) => {
+                respond(req_id, h.submit_batch(batch), |out, r| wire::put_receipts(out, r))
+            }
+            Request::Complete(request, outcome) => {
+                let p = h.complete_round(request, outcome);
+                respond(req_id, async move { p.await? }, |out, r| wire::put_receipt(out, r))
+            }
+            Request::RegisterTask(task) => {
+                let fan = h.register_task_round(task);
+                respond(
+                    req_id,
+                    async move {
+                        fan.await?;
+                        Ok(())
+                    },
+                    |_, ()| {},
+                )
+            }
+            Request::Flush => {
+                let fan = h.flush_round();
+                respond(
+                    req_id,
+                    async move {
+                        for result in fan.await? {
+                            result?;
+                        }
+                        Ok(())
+                    },
+                    |_, ()| {},
+                )
+            }
+            Request::Shutdown => {
+                let rounds = h.shutdown_round();
+                respond(
+                    req_id,
+                    async move {
+                        for p in rounds {
+                            tolerate_stopped(p).await?;
+                        }
+                        Ok(())
+                    },
+                    |_, ()| {},
+                )
+            }
+            Request::Evaluate(request) => {
+                respond(req_id, h.evaluate_round(request), |out, ev| wire::put_evaluated(out, ev))
+            }
+            Request::Trustworthiness(peer, task) => {
+                respond(req_id, h.trustworthiness_round(peer, task), wire::put_opt_tw)
+            }
+            Request::Record(peer, task) => {
+                respond(req_id, h.record_round(peer, task), wire::put_opt_record)
+            }
+            Request::KnownPeers(freshness) => {
+                respond(req_id, h.known_peers_round(freshness), |out, cut| {
+                    wire::put_peers_cut(out, cut)
+                })
+            }
+            Request::TaskRecords(task, freshness) => {
+                respond(req_id, h.task_records_round(task, freshness), |out, cut| {
+                    wire::put_records_cut(out, cut)
+                })
+            }
+            Request::ShardStats => {
+                respond(req_id, h.stats_round(), |out, s| wire::put_stats(out, s))
+            }
+        },
+    }
+}
+
+/// Wraps a service-call future into the response payload: the ok body on
+/// success, the typed wire error otherwise.
+fn respond<T, F, E>(req_id: u64, fut: F, enc: E) -> RespFuture
+where
+    T: Send + 'static,
+    F: Future<Output = Result<T, TrustError>> + Send + 'static,
+    E: FnOnce(&mut Vec<u8>, &T) + Send + 'static,
+{
+    Box::pin(async move {
+        match fut.await {
+            Ok(value) => wire::ok_payload(req_id, |out| enc(out, &value)),
+            Err(err) => wire::err_payload(req_id, &err),
+        }
+    })
+}
+
+/// A stop request against an already-stopped service is success, not an
+/// error — remote `shutdown` stays idempotent across many clients, like
+/// the sharded tier's own.
+async fn tolerate_stopped(
+    p: impl Future<Output = Result<Result<(), TrustError>, TrustError>>,
+) -> Result<(), TrustError> {
+    match p.await {
+        Ok(Ok(())) | Err(TrustError::ServiceStopped) => Ok(()),
+        Ok(Err(e)) | Err(e) => Err(e),
+    }
+}

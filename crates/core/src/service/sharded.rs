@@ -116,7 +116,7 @@
 //! ```
 
 use super::{
-    Command, Message, Pending, Rendezvous, ServiceOptions, ShardStats, TrustService,
+    Command, Cut, Message, Pending, Rendezvous, ServiceOptions, ShardStats, TrustService,
     TrustServiceHandle,
 };
 use crate::backend::TrustBackend;
@@ -276,6 +276,43 @@ impl<P: Copy + Ord + Hash> ShardedTrustServiceHandle<P> {
         self.shard(request.trustee()).evaluate(request).await
     }
 
+    /// The eager send of [`evaluate`](Self::evaluate) — the wire server
+    /// dispatches every decoded frame through these `_round` seams so
+    /// per-connection arrival order is fixed into the mailboxes at decode
+    /// time, not at first poll.
+    pub(crate) fn evaluate_round(
+        &self,
+        request: DelegationRequest<P>,
+    ) -> Pending<EvaluatedDelegation<P>> {
+        let shard = self.shard(request.trustee());
+        shard.request(|reply| Message::Query(super::Query::Evaluate { request, reply }))
+    }
+
+    /// The eager send of [`complete`](Self::complete).
+    pub(crate) fn complete_round(
+        &self,
+        request: DelegationRequest<P>,
+        outcome: DelegationOutcome,
+    ) -> Pending<Result<DelegationReceipt<P>, TrustError>> {
+        let shard = self.shard(request.trustee());
+        shard.request(|reply| Message::Command(Command::Complete { request, outcome, reply }))
+    }
+
+    /// The eager send of [`trustworthiness`](Self::trustworthiness).
+    pub(crate) fn trustworthiness_round(
+        &self,
+        peer: P,
+        task: TaskId,
+    ) -> Pending<Option<Trustworthiness>> {
+        self.shard(peer)
+            .request(|reply| Message::Query(super::Query::Trustworthiness { peer, task, reply }))
+    }
+
+    /// The eager send of [`record`](Self::record).
+    pub(crate) fn record_round(&self, peer: P, task: TaskId) -> Pending<Option<TrustRecord>> {
+        self.shard(peer).request(|reply| Message::Query(super::Query::Record { peer, task, reply }))
+    }
+
     /// [`evaluate`](Self::evaluate) carried through to the §3.4 decision.
     pub async fn delegate(&self, request: DelegationRequest<P>) -> Result<Decision<P>, TrustError> {
         self.shard(request.trustee()).delegate(request).await
@@ -310,6 +347,14 @@ impl<P: Copy + Ord + Hash> ShardedTrustServiceHandle<P> {
     /// task is configuration all shards must share, whatever peers they
     /// own.
     pub async fn register_task(&self, task: Task) -> Result<(), TrustError> {
+        self.register_task_round(task).await?;
+        Ok(())
+    }
+
+    /// The eager send-round of [`register_task`](Self::register_task):
+    /// every shard's message is enqueued before this returns, which is the
+    /// ordering guarantee the wire server's dispatch thread relies on.
+    pub(crate) fn register_task_round(&self, task: Task) -> FanOut<()> {
         let pending: Vec<Pending<()>> = self
             .shards
             .iter()
@@ -318,8 +363,7 @@ impl<P: Copy + Ord + Hash> ShardedTrustServiceHandle<P> {
                 shard.request(|reply| Message::Command(Command::RegisterTask { task, reply }))
             })
             .collect();
-        FanOut::new(pending, None).await?;
-        Ok(())
+        FanOut::new(pending, None)
     }
 
     /// Peers with at least one record, across all shards — each exactly
@@ -330,12 +374,32 @@ impl<P: Copy + Ord + Hash> ShardedTrustServiceHandle<P> {
 
     /// [`known_peers`](Self::known_peers) with an explicit [`Freshness`].
     pub async fn known_peers_with(&self, freshness: Freshness) -> Result<Vec<P>, TrustError> {
-        let per_shard =
-            self.broadcast(freshness, |shard, align| shard.known_peers_in(align)).await?;
-        // shards are disjoint by construction: the union is a plain merge
-        let mut peers: Vec<P> = per_shard.into_iter().flatten().collect();
-        peers.sort_unstable();
-        Ok(peers)
+        Ok(self.known_peers_round(freshness).await?.value)
+    }
+
+    /// [`known_peers_with`](Self::known_peers_with), answered as an
+    /// epoch-stamped [`Cut`]: the per-shard drain-cycle counters name the
+    /// instant(s) the answer was taken at — under [`Freshness::Aligned`],
+    /// one global instant. The wire tier ships the epochs to remote
+    /// clients verbatim.
+    pub async fn known_peers_cut(&self, freshness: Freshness) -> Result<Cut<Vec<P>>, TrustError> {
+        self.known_peers_round(freshness).await
+    }
+
+    /// The eager send-round of the epoch-stamped broadcast — the sends
+    /// happen *in this call*, the returned future only merges.
+    pub(crate) fn known_peers_round(
+        &self,
+        freshness: Freshness,
+    ) -> impl Future<Output = Result<Cut<Vec<P>>, TrustError>> {
+        let fan = self.broadcast(freshness, |shard, align| shard.known_peers_in(align));
+        async move {
+            let (epochs, per_shard) = split_epochs(fan.await?);
+            // shards are disjoint by construction: the union is a plain merge
+            let mut peers: Vec<P> = per_shard.into_iter().flatten().collect();
+            peers.sort_unstable();
+            Ok(Cut { epochs, value: peers })
+        }
     }
 
     /// Every `(peer, record)` pair held for `task` across all shards,
@@ -350,34 +414,65 @@ impl<P: Copy + Ord + Hash> ShardedTrustServiceHandle<P> {
         task: TaskId,
         freshness: Freshness,
     ) -> Result<Vec<(P, TrustRecord)>, TrustError> {
-        let per_shard =
-            self.broadcast(freshness, |shard, align| shard.task_records_in(task, align)).await?;
-        let mut records: Vec<(P, TrustRecord)> = per_shard.into_iter().flatten().collect();
-        records.sort_unstable_by_key(|&(peer, _)| peer);
-        Ok(records)
+        Ok(self.task_records_round(task, freshness).await?.value)
+    }
+
+    /// [`task_records_with`](Self::task_records_with) as an epoch-stamped
+    /// [`Cut`] — see [`known_peers_cut`](Self::known_peers_cut).
+    pub async fn task_records_cut(
+        &self,
+        task: TaskId,
+        freshness: Freshness,
+    ) -> Result<Cut<Vec<(P, TrustRecord)>>, TrustError> {
+        self.task_records_round(task, freshness).await
+    }
+
+    /// The eager send-round of the epoch-stamped broadcast.
+    pub(crate) fn task_records_round(
+        &self,
+        task: TaskId,
+        freshness: Freshness,
+    ) -> impl Future<Output = Result<Cut<Vec<(P, TrustRecord)>>, TrustError>> {
+        let fan = self.broadcast(freshness, |shard, align| shard.task_records_in(task, align));
+        async move {
+            let (epochs, per_shard) = split_epochs(fan.await?);
+            let mut records: Vec<(P, TrustRecord)> = per_shard.into_iter().flatten().collect();
+            records.sort_unstable_by_key(|&(peer, _)| peer);
+            Ok(Cut { epochs, value: records })
+        }
     }
 
     /// Per-shard saturation counters, indexed by shard: live mailbox depth
-    /// plus drained-commit-batch bookkeeping. The backpressure dashboard —
-    /// a shard whose `mailbox_depth` pins near the mailbox capacity is the
-    /// one blocking its submitters.
+    /// and capacity plus drained-commit-batch bookkeeping. The backpressure
+    /// dashboard — a shard whose `mailbox_depth` pins near its
+    /// `mailbox_capacity` is the one blocking its submitters.
     pub async fn shard_stats(&self) -> Result<Vec<ShardStats>, TrustError> {
+        self.stats_round().await
+    }
+
+    /// The eager send-round of [`shard_stats`](Self::shard_stats).
+    pub(crate) fn stats_round(&self) -> FanOut<ShardStats> {
         let pending: Vec<Pending<ShardStats>> =
             self.shards.iter().map(|shard| shard.stats_in()).collect();
-        FanOut::new(pending, None).await
+        FanOut::new(pending, None)
     }
 
     /// Pushes every shard's engine state down to stable storage.
     pub async fn flush(&self) -> Result<(), TrustError> {
+        for result in self.flush_round().await? {
+            result?;
+        }
+        Ok(())
+    }
+
+    /// The eager send-round of [`flush`](Self::flush).
+    pub(crate) fn flush_round(&self) -> FanOut<Result<(), TrustError>> {
         let pending: Vec<Pending<Result<(), TrustError>>> = self
             .shards
             .iter()
             .map(|shard| shard.request(|reply| Message::Command(Command::Flush { reply })))
             .collect();
-        for result in FanOut::new(pending, None).await? {
-            result?;
-        }
-        Ok(())
+        FanOut::new(pending, None)
     }
 
     /// Stops every shard gracefully — each drains its mailbox, folds and
@@ -386,11 +481,7 @@ impl<P: Copy + Ord + Hash> ShardedTrustServiceHandle<P> {
     /// shard another handle already stopped counts as success; the first
     /// real flush error is returned.
     pub async fn shutdown(&self) -> Result<(), TrustError> {
-        let pending: Vec<Pending<Result<(), TrustError>>> = self
-            .shards
-            .iter()
-            .map(|shard| shard.request(|reply| Message::Command(Command::Shutdown { reply })))
-            .collect();
+        let pending = self.shutdown_round();
         for pending in pending {
             match pending.await {
                 Ok(Ok(())) | Err(TrustError::ServiceStopped) => {}
@@ -399,6 +490,15 @@ impl<P: Copy + Ord + Hash> ShardedTrustServiceHandle<P> {
             }
         }
         Ok(())
+    }
+
+    /// The eager send-round of [`shutdown`](Self::shutdown): every shard's
+    /// stop message is enqueued before this returns.
+    pub(crate) fn shutdown_round(&self) -> Vec<Pending<Result<(), TrustError>>> {
+        self.shards
+            .iter()
+            .map(|shard| shard.request(|reply| Message::Command(Command::Shutdown { reply })))
+            .collect()
     }
 
     /// One broadcast round: send the query to every shard (with a shared
@@ -428,6 +528,18 @@ impl<P: Copy + Ord + Hash> ShardedTrustServiceHandle<P> {
     }
 }
 
+/// Splits a fan-out of epoch-stamped per-shard answers into the epoch
+/// vector (shard order) and the answers.
+fn split_epochs<T>(per_shard: Vec<(u64, T)>) -> (Vec<u64>, Vec<T>) {
+    let mut epochs = Vec::with_capacity(per_shard.len());
+    let mut values = Vec::with_capacity(per_shard.len());
+    for (epoch, value) in per_shard {
+        epochs.push(epoch);
+        values.push(value);
+    }
+    (epochs, values)
+}
+
 /// Joins one broadcast round: polls every shard's [`Pending`] concurrently
 /// (a dead shard must not leave the others un-polled — under an aligned
 /// round they are blocked in the rendezvous until everyone is served) and
@@ -435,7 +547,7 @@ impl<P: Copy + Ord + Hash> ShardedTrustServiceHandle<P> {
 /// the whole round to that error, aborting the rendezvous so live shards
 /// degrade to answering unaligned instead of blocking forever; dropping
 /// the future mid-round aborts likewise.
-struct FanOut<R> {
+pub(crate) struct FanOut<R> {
     slots: Vec<FanOutSlot<R>>,
     align: Option<Arc<Rendezvous>>,
 }
@@ -768,6 +880,34 @@ mod tests {
                 assert!(s.commit_batches >= 1);
                 assert!(s.largest_commit_batch >= s.last_commit_batch);
                 assert_eq!(s.mailbox_depth, 0, "drained when the stats query was served");
+                assert_eq!(
+                    s.mailbox_capacity,
+                    ServiceOptions::default().mailbox,
+                    "capacity reported so remote callers can compute saturation"
+                );
+            }
+        });
+        service.shutdown().unwrap();
+    }
+
+    #[test]
+    fn cuts_are_epoch_stamped_and_monotone() {
+        let service = spawn(3);
+        let handle = service.handle();
+        block_on(async {
+            let batch: Vec<_> = (0..12u32).map(|p| completed(p, 0.9)).collect();
+            handle.submit_batch(batch).await.unwrap();
+            let first = handle.known_peers_cut(Freshness::Aligned).await.unwrap();
+            assert_eq!(first.epochs.len(), 3, "one epoch per shard");
+            assert_eq!(first.value.len(), 12);
+            // more work, then a later cut: every shard's epoch is >= —
+            // per-shard drain counters only move forward
+            let batch: Vec<_> = (12..24u32).map(|p| completed(p, 0.9)).collect();
+            handle.submit_batch(batch).await.unwrap();
+            let second = handle.task_records_cut(TaskId(0), Freshness::Aligned).await.unwrap();
+            assert_eq!(second.value.len(), 24);
+            for (a, b) in first.epochs.iter().zip(&second.epochs) {
+                assert!(b >= a, "epochs are monotone per shard");
             }
         });
         service.shutdown().unwrap();

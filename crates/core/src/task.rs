@@ -68,6 +68,30 @@ impl Task {
         Ok(Task { id, characteristics: cs })
     }
 
+    /// Rebuilds a task from weights that are **already normalized** — the
+    /// wire-decode path. [`Task::new`] divides weights by their sum, which
+    /// would perturb the low bits of a task that round-tripped through a
+    /// remote handle; a decoded task must compare bit-identical to the one
+    /// that was encoded. Validates shape (sorted unique characteristics,
+    /// finite positive weights, non-empty) but does not renormalize.
+    pub(crate) fn from_normalized(
+        id: TaskId,
+        characteristics: Vec<(CharacteristicId, f64)>,
+    ) -> Result<Self, TrustError> {
+        if characteristics.is_empty() {
+            return Err(TrustError::EmptyTask);
+        }
+        for &(_, w) in &characteristics {
+            if !(w.is_finite() && w > 0.0) {
+                return Err(TrustError::NonPositiveWeight(w));
+            }
+        }
+        if !characteristics.windows(2).all(|w| w[0].0 < w[1].0) {
+            return Err(TrustError::Corrupt { what: "wire task characteristics", offset: 0 });
+        }
+        Ok(Task { id, characteristics })
+    }
+
     /// Builds a task whose characteristics all carry equal weight.
     pub fn uniform(
         id: TaskId,

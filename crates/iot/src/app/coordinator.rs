@@ -41,7 +41,8 @@ use siot_core::log_backend::{LogOptions, WriteBehind};
 use siot_core::pool::ObserverPool;
 use siot_core::record::{ForgettingFactors, Observation, TrustRecord};
 use siot_core::service::{
-    block_on, Freshness, Pending, ShardedTrustServiceHandle, TrustServiceHandle,
+    block_on, Freshness, Pending, RemotePending, RemoteTrustServiceHandle,
+    ShardedTrustServiceHandle, TrustServiceHandle,
 };
 use siot_core::store::TrustEngine;
 use siot_core::task::{CharacteristicId, Task, TaskId};
@@ -320,6 +321,12 @@ impl<B: ConcurrentTrustBackend<DeviceId> + Send + 'static> Application for Coord
 /// scaling knob — each report routes straight to the shard owning the
 /// selected trustee, and the ranking merges all shards in one aligned
 /// global cut.
+///
+/// And it can live in **another process**: [`Self::remote`] takes a
+/// [`RemoteTrustServiceHandle`], so the fleet ledger is whatever service a
+/// [`RemoteTrustServer`](siot_core::service::RemoteTrustServer) exposes
+/// over TCP — the report path is identical (eager pipelined submits, lazy
+/// settling), just over a socket instead of a mailbox.
 pub struct ServedCoordinatorApp {
     /// Devices that completed association.
     pub joined: Vec<DeviceId>,
@@ -328,7 +335,7 @@ pub struct ServedCoordinatorApp {
     /// Reports the trust service refused so far (see [`Self::rejected`]).
     rejected: std::cell::Cell<usize>,
     /// Receipt futures of submitted-but-unsettled reports.
-    pending: RefCell<Vec<Pending<DelegationReceipt<DeviceId>>>>,
+    pending: RefCell<Vec<ReceiptPending>>,
     handle: LedgerHandle,
     /// Empty engine the pre-committed requests activate against (the
     /// decision was the reporting trustor's; nothing is read from it).
@@ -336,21 +343,41 @@ pub struct ServedCoordinatorApp {
     ledger_task: Task,
 }
 
-/// The service the coordinator reports through: one actor, or a sharded
-/// fleet routed by selected trustee.
+/// The service the coordinator reports through: one actor, a sharded
+/// fleet routed by selected trustee, or a remote service over TCP.
 enum LedgerHandle {
     Single(TrustServiceHandle<DeviceId>),
     Sharded(ShardedTrustServiceHandle<DeviceId>),
+    Remote(RemoteTrustServiceHandle<DeviceId>),
+}
+
+/// One submitted report's receipt future: a local mailbox oneshot or a
+/// remote wire response — settled uniformly either way.
+enum ReceiptPending {
+    Local(Pending<DelegationReceipt<DeviceId>>),
+    Remote(RemotePending<DelegationReceipt<DeviceId>>),
+}
+
+impl std::future::Future for ReceiptPending {
+    type Output = Result<DelegationReceipt<DeviceId>, TrustError>;
+
+    fn poll(
+        self: std::pin::Pin<&mut Self>,
+        cx: &mut std::task::Context<'_>,
+    ) -> std::task::Poll<Self::Output> {
+        match self.get_mut() {
+            ReceiptPending::Local(p) => std::pin::Pin::new(p).poll(cx),
+            ReceiptPending::Remote(p) => std::pin::Pin::new(p).poll(cx),
+        }
+    }
 }
 
 impl LedgerHandle {
-    fn submit(
-        &self,
-        completed: CompletedDelegation<DeviceId>,
-    ) -> Pending<DelegationReceipt<DeviceId>> {
+    fn submit(&self, completed: CompletedDelegation<DeviceId>) -> ReceiptPending {
         match self {
-            LedgerHandle::Single(h) => h.submit(completed),
-            LedgerHandle::Sharded(h) => h.submit(completed),
+            LedgerHandle::Single(h) => ReceiptPending::Local(h.submit(completed)),
+            LedgerHandle::Sharded(h) => ReceiptPending::Local(h.submit(completed)),
+            LedgerHandle::Remote(h) => ReceiptPending::Remote(h.submit(completed)),
         }
     }
 
@@ -360,6 +387,8 @@ impl LedgerHandle {
             // a ranking spanning shards should rank a state that actually
             // existed: one aligned global cut
             LedgerHandle::Sharded(h) => block_on(h.task_records_with(task, Freshness::Aligned)),
+            // the server runs the same barrier when its endpoint is sharded
+            LedgerHandle::Remote(h) => block_on(h.task_records_with(task, Freshness::Aligned)),
         }
     }
 
@@ -367,6 +396,7 @@ impl LedgerHandle {
         match self {
             LedgerHandle::Single(h) => block_on(h.flush()),
             LedgerHandle::Sharded(h) => block_on(h.flush()),
+            LedgerHandle::Remote(h) => block_on(h.flush()),
         }
     }
 }
@@ -384,6 +414,16 @@ impl ServedCoordinatorApp {
         Self::with_ledger_handle(LedgerHandle::Sharded(handle))
     }
 
+    /// A coordinator whose fleet ledger lives in **another process**:
+    /// reports travel a [`RemoteTrustServiceHandle`]'s TCP connection to
+    /// whatever service (single or sharded) the far end serves. Submits
+    /// pipeline over the socket exactly as they pipeline into a local
+    /// mailbox, and the ranking still reads one aligned cut — the server
+    /// runs the rendezvous barrier on the coordinator's behalf.
+    pub fn remote(handle: RemoteTrustServiceHandle<DeviceId>) -> Self {
+        Self::with_ledger_handle(LedgerHandle::Remote(handle))
+    }
+
     fn with_ledger_handle(handle: LedgerHandle) -> Self {
         ServedCoordinatorApp {
             joined: Vec::new(),
@@ -398,11 +438,14 @@ impl ServedCoordinatorApp {
     }
 
     /// How many shards the ledger folds across: 1 in single-service mode,
-    /// the fleet's shard count in [`Self::sharded`] mode.
+    /// the fleet's shard count in [`Self::sharded`] mode. A remote ledger
+    /// is asked over the wire (its per-shard stats), falling back to 1 if
+    /// the far service is gone.
     pub fn shard_count(&self) -> usize {
         match &self.handle {
             LedgerHandle::Single(_) => 1,
             LedgerHandle::Sharded(h) => h.shard_count(),
+            LedgerHandle::Remote(h) => block_on(h.shard_stats()).map_or(1, |s| s.len().max(1)),
         }
     }
 
@@ -756,6 +799,58 @@ mod tests {
         assert!(ranking[0].1 > 0.0);
 
         // all three folds live on the one shard that owns DeviceId(9)
+        let engines = service.shutdown().unwrap();
+        let total: u64 = engines
+            .iter()
+            .filter_map(|e| e.record(DeviceId(9), super::LEDGER_TASK))
+            .map(|r| r.interactions)
+            .sum();
+        assert_eq!(total, 3);
+    }
+
+    #[test]
+    fn served_coordinator_reports_over_the_wire() {
+        use siot_core::service::{
+            RemoteTrustServer, RemoteTrustServiceHandle, ServiceOptions, ShardedTrustService,
+        };
+
+        // the "ledger process": a sharded fleet behind a TCP server
+        let service = ShardedTrustService::spawn_sharded(2, ServiceOptions::default(), |_| {
+            TrustEngine::<DeviceId, ShardedBackend<DeviceId>>::new()
+        });
+        let server =
+            RemoteTrustServer::bind("127.0.0.1:0", service.handle()).expect("loopback bind");
+        let addr = server.local_addr();
+
+        // the "coordinator process": a remote-backed coordinator
+        let remote = RemoteTrustServiceHandle::<DeviceId>::connect(addr).expect("loopback connect");
+        let mut net = IotNetwork::new(3);
+        net.set_radio(RadioModel { loss: 0.0, ..RadioModel::default() });
+        let coord = net.add_device(
+            DeviceKind::Coordinator,
+            (0.0, 0.0),
+            Box::new(ServedCoordinatorApp::remote(remote)),
+        );
+        for i in 0..3 {
+            net.add_device(DeviceKind::Trustor, (5.0 * i as f64, 5.0), Box::new(Reporter));
+        }
+        net.start();
+        net.run_to_idle();
+        let app: &ServedCoordinatorApp = net.app_as(coord).unwrap();
+        assert_eq!(app.joined.len(), 3);
+        assert_eq!(app.reports.len(), 3);
+        assert_eq!(app.rejected(), 0);
+        // the wire answers the shard-count question too
+        assert_eq!(app.shard_count(), 2);
+
+        // the aligned cross-process ranking sees every acked report
+        let ranking = app.trustee_ranking().unwrap();
+        assert_eq!(ranking.len(), 1);
+        assert_eq!(ranking[0].0, DeviceId(9));
+        assert!(ranking[0].1 > 0.0);
+
+        // the served fleet holds all three folds
+        server.shutdown();
         let engines = service.shutdown().unwrap();
         let total: u64 = engines
             .iter()

@@ -24,6 +24,14 @@
 //! one peer's history lives entirely inside one shard, the sharded run is
 //! bit-identical to the sequential single-actor reference too (the merged
 //! per-shard records ARE the unsharded records).
+//!
+//! [`run_remote`] pushes the same claim across a **process boundary**:
+//! the sharded fleet sits behind a loopback
+//! [`RemoteTrustServer`] and every
+//! requester drives a [`RemoteTrustServiceHandle`] clone over one shared
+//! TCP connection. The wire carries every real as its IEEE-754 bits, so
+//! the remote run must *still* match the sequential reference
+//! bit-for-bit — federation changes the transport, not the arithmetic.
 
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
@@ -36,8 +44,8 @@ use siot_core::error::TrustError;
 use siot_core::goal::Goal;
 use siot_core::record::TrustRecord;
 use siot_core::service::{
-    block_on, ServiceOptions, ShardedTrustService, ShardedTrustServiceHandle, TrustService,
-    TrustServiceHandle,
+    block_on, RemoteTrustServer, RemoteTrustServiceHandle, ServiceOptions, ShardedTrustService,
+    ShardedTrustServiceHandle, TrustService, TrustServiceHandle,
 };
 use siot_core::store::TrustEngine;
 use siot_core::task::{CharacteristicId, Task, TaskId};
@@ -105,6 +113,7 @@ fn qualities(cfg: &ServiceScenarioConfig) -> Vec<f64> {
 enum ScenarioHandle {
     Single(TrustServiceHandle<u64>),
     Sharded(ShardedTrustServiceHandle<u64>),
+    Remote(RemoteTrustServiceHandle<u64>),
 }
 
 impl ScenarioHandle {
@@ -112,6 +121,7 @@ impl ScenarioHandle {
         match self {
             ScenarioHandle::Single(h) => h.record(peer, task).await,
             ScenarioHandle::Sharded(h) => h.record(peer, task).await,
+            ScenarioHandle::Remote(h) => h.record(peer, task).await,
         }
     }
 
@@ -119,6 +129,7 @@ impl ScenarioHandle {
         match self {
             ScenarioHandle::Single(h) => h.delegate(request).await,
             ScenarioHandle::Sharded(h) => h.delegate(request).await,
+            ScenarioHandle::Remote(h) => h.delegate(request).await,
         }
     }
 
@@ -129,6 +140,7 @@ impl ScenarioHandle {
         match self {
             ScenarioHandle::Single(h) => h.commit(completed).await,
             ScenarioHandle::Sharded(h) => h.commit(completed).await,
+            ScenarioHandle::Remote(h) => h.commit(completed).await,
         }
     }
 }
@@ -246,6 +258,43 @@ pub fn run_sharded(cfg: &ServiceScenarioConfig, shards: usize) -> ServiceScenari
     outcome(per_requester, declined, final_records)
 }
 
+/// [`run_sharded`], but **over the wire**: the fleet of `shards` actors is
+/// exposed by a loopback [`RemoteTrustServer`] and the racing requesters
+/// drive clones of one connected [`RemoteTrustServiceHandle`] — every
+/// evaluate, record read, and commit crosses a real TCP socket. Because
+/// the wire protocol round-trips reals bit-identically, the final records
+/// must still match the sequential in-process reference bit-for-bit.
+pub fn run_remote(cfg: &ServiceScenarioConfig, shards: usize) -> ServiceScenarioOutcome {
+    let task = Task::uniform(SERVICE_TASK, [CharacteristicId(0)]).expect("non-empty task");
+    let service = ShardedTrustService::spawn_sharded(
+        shards,
+        ServiceOptions { mailbox: cfg.mailbox, ..ServiceOptions::default() },
+        |_| {
+            let mut engine: TrustEngine<u64, ShardedBackend<u64>> = TrustEngine::new();
+            engine.register_task(task.clone());
+            engine
+        },
+    );
+    let server =
+        RemoteTrustServer::bind("127.0.0.1:0", service.handle()).expect("loopback listener binds");
+    let remote = RemoteTrustServiceHandle::<u64>::connect(server.local_addr())
+        .expect("loopback connect succeeds");
+    let (per_requester, declined) = drive_fleet(cfg, &task, &ScenarioHandle::Remote(remote), true);
+    server.shutdown();
+    let engines = service.shutdown().expect("scenario shards shut down cleanly");
+    let mut final_records: Vec<(u64, TrustRecord)> = engines
+        .iter()
+        .flat_map(|engine| {
+            engine
+                .known_peers()
+                .into_iter()
+                .filter_map(|peer| engine.record(peer, SERVICE_TASK).map(|rec| (peer, rec)))
+        })
+        .collect();
+    final_records.sort_unstable_by_key(|&(peer, _)| peer);
+    outcome(per_requester, declined, final_records)
+}
+
 fn run_inner(cfg: &ServiceScenarioConfig, concurrent: bool) -> ServiceScenarioOutcome {
     let task = Task::uniform(SERVICE_TASK, [CharacteristicId(0)]).expect("non-empty task");
     let mut engine: TrustEngine<u64, ShardedBackend<u64>> = TrustEngine::new();
@@ -352,6 +401,24 @@ mod tests {
             assert_eq!(sharded.per_requester, ordered.per_requester);
             assert_eq!(sharded.declined, ordered.declined);
         }
+    }
+
+    #[test]
+    fn remote_requesters_match_sequential_bitwise() {
+        let cfg = ServiceScenarioConfig { iterations: 40, ..Default::default() };
+        let ordered = run_sequential(&cfg);
+        let remote = run_remote(&cfg, 2);
+        assert_eq!(remote.final_records.len(), ordered.final_records.len());
+        for ((pa, ra), (pb, rb)) in remote.final_records.iter().zip(&ordered.final_records) {
+            assert_eq!(pa, pb);
+            assert_eq!(ra.s_hat.to_bits(), rb.s_hat.to_bits());
+            assert_eq!(ra.g_hat.to_bits(), rb.g_hat.to_bits());
+            assert_eq!(ra.d_hat.to_bits(), rb.d_hat.to_bits());
+            assert_eq!(ra.c_hat.to_bits(), rb.c_hat.to_bits());
+            assert_eq!(ra.interactions, rb.interactions);
+        }
+        assert_eq!(remote.per_requester, ordered.per_requester);
+        assert_eq!(remote.declined, ordered.declined);
     }
 
     #[test]

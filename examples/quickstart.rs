@@ -7,9 +7,10 @@
 //! post-evaluation updates of Eqs. 19–22, folded exactly once) — then
 //! finishes with a **durable** engine that survives a restart, with the
 //! engine **served** — moved onto a `TrustService` actor thread whose
-//! cloneable async handles let concurrent requesters share it — and with
+//! cloneable async handles let concurrent requesters share it — with
 //! the service **sharded**: partitioned shard actors behind one routing
-//! handle.
+//! handle — and with the service **federated**: exposed over TCP to a
+//! remote handle that mirrors the whole API from another process.
 //!
 //! Run with: `cargo run --example quickstart`
 
@@ -227,5 +228,39 @@ fn main() {
             stats.iter().map(|s| s.committed).collect::<Vec<_>>(),
         );
     });
+    fleet.shutdown().expect("every shard drains and stops");
+
+    // 10. federating: any service tier served over TCP. A
+    //     `RemoteTrustServer` fronts the fleet; a
+    //     `RemoteTrustServiceHandle` in another process connects and
+    //     mirrors the whole handle API — pipelined submits, typed errors,
+    //     aligned cuts — over CRC-framed frames that round-trip every
+    //     real bit-identically. See `examples/federated_service.rs` for
+    //     the full federated lifecycle.
+    let fleet = ShardedTrustService::spawn_sharded(2, ServiceOptions::default(), |_shard| {
+        TrustEngine::with_backend(siot::core::backend::ShardedBackend::<u32>::default())
+    });
+    let server = RemoteTrustServer::bind("127.0.0.1:0", fleet.handle()).expect("loopback bind");
+    let remote =
+        RemoteTrustServiceHandle::<u32>::connect(server.local_addr()).expect("loopback connect");
+    block_on(async {
+        remote.register_task(task.clone()).await.expect("server alive");
+        let scratch: TrustStore<u32> = TrustStore::new();
+        let completed = DelegationRequest::new(7, &task, goal, Context::amicable(task.id()))
+            .committed()
+            .activate(&scratch)
+            .finish(DelegationOutcome::succeeded(0.8, 0.2))
+            .expect("outcome is unit-range");
+        let receipt = remote.commit(completed).await.expect("server alive");
+        let cut = remote.known_peers_cut(Freshness::Aligned).await.expect("server alive");
+        println!(
+            "\nfederated service: receipt for trustee {} over TCP, aligned cut of {} peer(s) \
+             at fleet epochs {:?}",
+            receipt.trustee,
+            cut.value.len(),
+            cut.epochs,
+        );
+    });
+    server.shutdown();
     fleet.shutdown().expect("every shard drains and stops");
 }
