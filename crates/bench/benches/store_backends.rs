@@ -50,7 +50,19 @@
 //!   `service/sharded_commit_*_s2` prices the wire itself;
 //! * `service/remote_query_mix_100k` — the serving-shaped 90/10 mix over
 //!   the wire: every point read is a full TCP round trip to the server's
-//!   owning shard, the latency row a federated deployment actually feels.
+//!   owning shard, the latency row a federated deployment actually feels;
+//! * `service/fleet_commit_*_n2` — the **fault-tolerant** tier: the same
+//!   four clients, but their vectored windows travel as
+//!   `(session, seq)`-tagged chunks through a [`FleetTrustHandle`] routing
+//!   across **two** loopback nodes (each a two-shard fleet behind its own
+//!   [`RemoteTrustServer`]), so comparing against
+//!   `service/remote_commit_*` prices the routing split plus the
+//!   idempotency tagging that makes every window safe to retry;
+//! * `service/fleet_failover_commit_100k` — the fleet row under fire: one
+//!   node is killed mid-stream and reborn on a new port sharing its dedup
+//!   window (`bind_with` + `replace_node`), so the row prices a full
+//!   recovery — reconnect backoff, tag resend, server-side receipt replay
+//!   — while still landing every commit exactly once.
 //!
 //! A read-side case (`known_peers` + per-peer iteration) rides along since
 //! trustee search hammers exactly that path. The 1M-record configuration
@@ -68,13 +80,14 @@ use siot_core::log_backend::{FsyncPolicy, LogBackend, LogOptions, WriteBehind};
 use siot_core::pool::{Dispatch, ObserverPool};
 use siot_core::record::{ForgettingFactors, Observation};
 use siot_core::service::{
-    block_on, RemoteTrustServer, RemoteTrustServiceHandle, ServiceOptions, ShardedTrustService,
-    TrustService,
+    block_on, FleetOptions, FleetTrustHandle, RemoteTrustServer, RemoteTrustServiceHandle,
+    ServiceOptions, ShardedTrustService, TrustService,
 };
 use siot_core::store::{TrustEngine, TrustStore};
 use siot_core::task::{CharacteristicId, Task, TaskId};
 use std::path::PathBuf;
 use std::sync::Arc;
+use std::time::Duration;
 
 /// 100_000 observations over 25_000 peers × 4 tasks: every observation
 /// lands on a distinct `(peer, task)` key, so the replay creates exactly
@@ -383,6 +396,88 @@ fn bench_workload(c: &mut Criterion, label: &str, n_obs: usize, n_peers: u32) {
         })
     });
 
+    // the fault-tolerant tier: the same four clients, but every vectored
+    // window travels as a (session, seq)-tagged chunk through a fleet
+    // handle routing across TWO loopback nodes — remote_commit's shape
+    // plus the routing split and the idempotency tagging
+    c.bench_function(&format!("store_backends/service/fleet_commit_{label}_n2"), |b| {
+        let tasks: Vec<Task> = (0..N_TASKS)
+            .map(|t| Task::uniform(TaskId(t), [CharacteristicId(0)]).expect("non-empty"))
+            .collect();
+        b.iter(|| {
+            let services: Vec<_> = (0..2)
+                .map(|_| {
+                    ShardedTrustService::spawn_sharded(
+                        2,
+                        ServiceOptions {
+                            mailbox: 4 * SERVICE_PIPELINE,
+                            ..ServiceOptions::default()
+                        },
+                        |_| TrustEngine::with_backend(ShardedBackend::<u32>::default()),
+                    )
+                })
+                .collect();
+            let servers: Vec<_> = services
+                .iter()
+                .map(|s| RemoteTrustServer::bind("127.0.0.1:0", s.handle()).expect("loopback bind"))
+                .collect();
+            let addrs: Vec<String> = servers.iter().map(|s| s.local_addr().to_string()).collect();
+            let fleet = FleetTrustHandle::<u32>::connect(addrs).expect("both nodes reachable");
+            std::thread::scope(|scope| {
+                for slice in workload.chunks(n_obs / WRITERS) {
+                    let fleet = fleet.clone();
+                    let tasks = &tasks;
+                    scope.spawn(move || {
+                        let scratch: TrustStore<u32> = TrustStore::new();
+                        let mut inflight = std::collections::VecDeque::new();
+                        for window in slice.chunks(SERVICE_PIPELINE) {
+                            let batch: Vec<_> = window
+                                .iter()
+                                .map(|&(peer, tid, obs)| {
+                                    DelegationRequest::new(
+                                        peer,
+                                        &tasks[tid.0 as usize],
+                                        Goal::ANY,
+                                        Context::amicable(tid),
+                                    )
+                                    .committed()
+                                    .activate(&scratch)
+                                    .finish(DelegationOutcome::observed(obs))
+                                    .expect("workload observations are unit-range")
+                                })
+                                .collect();
+                            inflight.push_back((window.len(), fleet.submit_batch(batch)));
+                            if inflight.len() > 2 {
+                                let (len, pending) = inflight.pop_front().expect("non-empty");
+                                let receipts =
+                                    block_on(pending).expect("fleet alive for the whole batch");
+                                assert_eq!(receipts.len(), len);
+                            }
+                        }
+                        for (len, pending) in inflight {
+                            let receipts =
+                                block_on(pending).expect("fleet alive for the whole batch");
+                            assert_eq!(receipts.len(), len);
+                        }
+                    });
+                }
+            });
+            drop(fleet);
+            for server in servers {
+                server.shutdown();
+            }
+            let total: usize = services
+                .into_iter()
+                .map(|s| {
+                    let engines = s.shutdown().expect("clean shutdown");
+                    engines.iter().map(|e| e.record_count()).sum::<usize>()
+                })
+                .sum();
+            assert_eq!(total, n_obs);
+            black_box(total)
+        })
+    });
+
     // forced worker-thread dispatch, recorded so the trajectory shows what
     // Auto saves (or costs) on this host's core count
     let pool: ObserverPool<u32> = ObserverPool::with_dispatch(WRITERS, Dispatch::Workers);
@@ -487,6 +582,118 @@ fn bench_store_backends(c: &mut Criterion) {
         server.shutdown();
         drop(handle);
         service.shutdown().expect("clean shutdown");
+    }
+
+    // the fleet row under fire: kill node 1 mid-stream, rebind it on a new
+    // port sharing the SAME dedup window, and point the fleet at the
+    // replacement — every tagged window retries across the restart and the
+    // server replays what it already folded, so the total still lands
+    // exactly once
+    {
+        let tasks: Vec<Task> = (0..N_TASKS)
+            .map(|t| Task::uniform(TaskId(t), [CharacteristicId(0)]).expect("non-empty"))
+            .collect();
+        c.bench_function("store_backends/service/fleet_failover_commit_100k", |b| {
+            b.iter(|| {
+                let services: Vec<_> = (0..2)
+                    .map(|_| {
+                        ShardedTrustService::spawn_sharded(
+                            2,
+                            ServiceOptions {
+                                mailbox: 4 * SERVICE_PIPELINE,
+                                ..ServiceOptions::default()
+                            },
+                            |_| TrustEngine::with_backend(ShardedBackend::<u32>::default()),
+                        )
+                    })
+                    .collect();
+                let mut servers: Vec<_> = services
+                    .iter()
+                    .map(|s| {
+                        RemoteTrustServer::bind("127.0.0.1:0", s.handle()).expect("loopback bind")
+                    })
+                    .collect();
+                let addrs: Vec<String> =
+                    servers.iter().map(|s| s.local_addr().to_string()).collect();
+                let fleet = FleetTrustHandle::<u32>::connect_opts(
+                    addrs,
+                    FleetOptions {
+                        backoff_base: Duration::from_millis(2),
+                        backoff_cap: Duration::from_millis(50),
+                        ..FleetOptions::default()
+                    },
+                )
+                .expect("both nodes reachable");
+                let victim = servers.pop().expect("two servers");
+                let endpoint = services[1].handle();
+                let killer = {
+                    let fleet = fleet.clone();
+                    std::thread::spawn(move || {
+                        std::thread::sleep(Duration::from_millis(2));
+                        let window = victim.dedup_window();
+                        victim.shutdown();
+                        let reborn = RemoteTrustServer::bind_with("127.0.0.1:0", endpoint, window)
+                            .expect("fresh loopback port");
+                        fleet.replace_node(1, reborn.local_addr().to_string());
+                        reborn
+                    })
+                };
+                std::thread::scope(|scope| {
+                    for slice in workload.chunks(N_OBS / WRITERS) {
+                        let fleet = fleet.clone();
+                        let tasks = &tasks;
+                        scope.spawn(move || {
+                            let scratch: TrustStore<u32> = TrustStore::new();
+                            let mut inflight = std::collections::VecDeque::new();
+                            for window in slice.chunks(SERVICE_PIPELINE) {
+                                let batch: Vec<_> = window
+                                    .iter()
+                                    .map(|&(peer, tid, obs)| {
+                                        DelegationRequest::new(
+                                            peer,
+                                            &tasks[tid.0 as usize],
+                                            Goal::ANY,
+                                            Context::amicable(tid),
+                                        )
+                                        .committed()
+                                        .activate(&scratch)
+                                        .finish(DelegationOutcome::observed(obs))
+                                        .expect("workload observations are unit-range")
+                                    })
+                                    .collect();
+                                inflight.push_back((window.len(), fleet.submit_batch(batch)));
+                                if inflight.len() > 2 {
+                                    let (len, pending) = inflight.pop_front().expect("non-empty");
+                                    let receipts = block_on(pending)
+                                        .expect("tagged batches retry across the restart");
+                                    assert_eq!(receipts.len(), len);
+                                }
+                            }
+                            for (len, pending) in inflight {
+                                let receipts = block_on(pending)
+                                    .expect("tagged batches retry across the restart");
+                                assert_eq!(receipts.len(), len);
+                            }
+                        });
+                    }
+                });
+                let reborn = killer.join().expect("killer thread");
+                drop(fleet);
+                reborn.shutdown();
+                for server in servers {
+                    server.shutdown();
+                }
+                let total: usize = services
+                    .into_iter()
+                    .map(|s| {
+                        let engines = s.shutdown().expect("clean shutdown");
+                        engines.iter().map(|e| e.record_count()).sum::<usize>()
+                    })
+                    .sum();
+                assert_eq!(total, N_OBS);
+                black_box(total)
+            })
+        });
     }
 
     // recovery cost: replay a 100k-record log back into memory on open

@@ -58,6 +58,20 @@ pub enum TrustError {
     /// request could be served. Work acked before the shutdown is safe;
     /// this request was not accepted.
     ServiceStopped,
+    /// A deadline elapsed before the operation completed: a remote
+    /// connect/handshake that never answered, or a fleet request whose
+    /// per-request deadline expired. The operation may or may not have
+    /// taken effect remotely — retried commits are safe only through the
+    /// fleet's idempotent (session, sequence)-tagged path.
+    TimedOut,
+    /// A fleet node could not be reached: its connection is down and
+    /// reconnection is failing (or in backoff). Only the key range routed
+    /// to this node is affected — requests routed to other nodes keep
+    /// succeeding, and broadcasts report the node as missing instead.
+    NodeUnavailable {
+        /// The unreachable node's address, as configured in the fleet.
+        addr: String,
+    },
 }
 
 impl From<std::io::Error> for TrustError {
@@ -98,6 +112,12 @@ impl fmt::Display for TrustError {
             TrustError::ServiceStopped => {
                 write!(f, "trust service stopped before the request could be served")
             }
+            TrustError::TimedOut => {
+                write!(f, "deadline elapsed before the operation completed (timed out)")
+            }
+            TrustError::NodeUnavailable { addr } => {
+                write!(f, "fleet node {addr} unavailable (connection down, reconnect failing)")
+            }
         }
     }
 }
@@ -123,6 +143,9 @@ mod tests {
         assert!(v.to_string().contains('9') && v.to_string().contains('1'));
         assert!(TrustError::Io("disk full".into()).to_string().contains("disk full"));
         assert!(TrustError::ServiceStopped.to_string().contains("service stopped"));
+        assert!(TrustError::TimedOut.to_string().contains("timed out"));
+        let n = TrustError::NodeUnavailable { addr: "10.0.0.7:4000".into() };
+        assert!(n.to_string().contains("10.0.0.7:4000") && n.to_string().contains("unavailable"));
     }
 
     #[test]

@@ -114,6 +114,67 @@ pub fn end_frame(out: &mut [u8], start: usize) {
     out[start + 4..start + 8].copy_from_slice(&crc.to_le_bytes());
 }
 
+/// Tracks frame boundaries in a pass-through byte stream **without**
+/// copying or validating payloads — the hook the fault-injection transport
+/// ([`service::fault`](crate::service::fault)) uses to drop, truncate, or
+/// close a connection at exact frame edges, so every injected failure is a
+/// well-defined wire event rather than an arbitrary byte cut. Feed it each
+/// chunk you are about to forward; it reports the offsets within the chunk
+/// at which frames complete. Callers must skip any non-framed preamble
+/// (e.g. the connection banner) before scanning.
+#[derive(Debug, Clone, Default)]
+pub struct FrameScanner {
+    /// Partially-collected length prefix of the frame being entered.
+    header: [u8; 4],
+    /// How many of the 4 length-prefix bytes have been seen.
+    header_len: usize,
+    /// Bytes (crc + payload) left in the current frame; 0 means we are at
+    /// a boundary, collecting the next length prefix.
+    remaining: usize,
+}
+
+impl FrameScanner {
+    /// A scanner positioned at a frame boundary.
+    pub fn new() -> Self {
+        FrameScanner::default()
+    }
+
+    /// Consumes `chunk` and returns the (exclusive) offsets within it at
+    /// which a frame ends — empty if no frame completes in this chunk.
+    pub fn advance(&mut self, chunk: &[u8]) -> Vec<usize> {
+        let mut ends = Vec::new();
+        let mut i = 0;
+        while i < chunk.len() {
+            if self.remaining == 0 {
+                let take = (4 - self.header_len).min(chunk.len() - i);
+                self.header[self.header_len..self.header_len + take]
+                    .copy_from_slice(&chunk[i..i + take]);
+                self.header_len += take;
+                i += take;
+                if self.header_len == 4 {
+                    // the crc word plus the payload are still to come
+                    self.remaining = u32::from_le_bytes(self.header) as usize + 4;
+                    self.header_len = 0;
+                }
+            } else {
+                let take = self.remaining.min(chunk.len() - i);
+                self.remaining -= take;
+                i += take;
+                if self.remaining == 0 {
+                    ends.push(i);
+                }
+            }
+        }
+        ends
+    }
+
+    /// Whether the scanner sits exactly at a frame boundary (no frame in
+    /// progress).
+    pub fn at_boundary(&self) -> bool {
+        self.remaining == 0 && self.header_len == 0
+    }
+}
+
 // ---------------------------------------------------------------------------
 // Random-access decoding (whole slice in memory)
 // ---------------------------------------------------------------------------
@@ -392,5 +453,34 @@ mod tests {
             TrustError::Corrupt { offset, .. } => assert_eq!(offset, good.len() as u64),
             other => panic!("unexpected {other:?}"),
         }
+    }
+
+    #[test]
+    fn frame_scanner_finds_boundaries_at_any_chunking() {
+        let mut stream = Vec::new();
+        let mut expected = Vec::new();
+        for payload in [&b"alpha"[..], b"", b"a longer third payload"] {
+            let start = begin_frame(&mut stream);
+            stream.extend_from_slice(payload);
+            end_frame(&mut stream, start);
+            expected.push(stream.len());
+        }
+        // whole stream at once
+        let mut scanner = FrameScanner::new();
+        assert_eq!(scanner.advance(&stream), expected);
+        assert!(scanner.at_boundary());
+        // byte-at-a-time: the same boundaries, independent of chunking
+        let mut scanner = FrameScanner::new();
+        let mut ends = Vec::new();
+        for (i, b) in stream.iter().enumerate() {
+            for end in scanner.advance(std::slice::from_ref(b)) {
+                ends.push(i + end);
+            }
+        }
+        assert_eq!(ends, expected);
+        // mid-frame the scanner reports not-at-boundary
+        let mut scanner = FrameScanner::new();
+        assert!(scanner.advance(&stream[..6]).is_empty());
+        assert!(!scanner.at_boundary());
     }
 }

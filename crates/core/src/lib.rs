@@ -120,7 +120,8 @@ pub mod prelude {
     pub use crate::pool::{Dispatch, ObserverPool};
     pub use crate::record::{ForgettingFactors, Observation, TrustRecord};
     pub use crate::service::{
-        Cut, Freshness, RemoteTrustServer, RemoteTrustServiceHandle, ServiceEndpoint,
+        Cut, DedupWindow, Fault, FaultPlan, FaultProxy, FleetCut, FleetOptions, FleetTrustHandle,
+        Freshness, NodeStats, RemoteTrustServer, RemoteTrustServiceHandle, ServiceEndpoint,
         ServiceOptions, ShardStats, ShardedTrustService, ShardedTrustServiceHandle, TrustService,
         TrustServiceHandle,
     };

@@ -1,0 +1,483 @@
+//! Deterministic fault injection for the wire tier — a TCP proxy that
+//! breaks connections *on purpose*, the same way every run.
+//!
+//! Robustness claims are only as good as the failures they were tested
+//! against, and real networks fail in inconvenient, unreproducible ways.
+//! This module makes the failures reproducible: a [`FaultProxy`] sits
+//! between a [`RemoteTrustServiceHandle`] (or a whole
+//! [fleet](crate::service::fleet)) and its [`RemoteTrustServer`], and
+//! applies one scripted [`Fault`] per accepted connection, drawn in order
+//! from a [`FaultPlan`]. Seed the plan (vendored xoshiro256++, fully
+//! deterministic) and the *same* connections break in the *same* ways on
+//! every run — a failing fault sweep is a failing seed you can replay.
+//!
+//! The faults are transport-shaped, matching what TCP actually does to
+//! you:
+//!
+//! - [`Fault::BlackHole`] — accepts, then never forwards a byte: the
+//!   connect succeeds but the banner never arrives (a firewalled or hung
+//!   host), exercising handshake deadlines;
+//! - [`Fault::CloseAfterFrames`] — forwards N request frames then closes
+//!   both sides at a frame boundary (a clean mid-conversation crash);
+//! - [`Fault::TruncateFrame`] — forwards N frames *plus part of the
+//!   next*, then closes: the classic torn write;
+//! - [`Fault::Delay`] — forwards everything, slowly (congestion);
+//! - [`Fault::DropResponses`] — requests flow, responses vanish after the
+//!   handshake: the server does the work but the client never hears back,
+//!   exercising per-request deadlines and idempotent retry;
+//! - [`Fault::None`] — a healthy connection, so reconnects can succeed
+//!   and recovery paths actually run. Once a plan is exhausted, further
+//!   connections are healthy too.
+//!
+//! Frame boundaries are found with the shared [`FrameScanner`] over the
+//! same CRC-framed stream the real protocol uses (the 8-byte banner
+//! preamble is passed through un-scanned), so "after 3 frames" means the
+//! same byte offset the server would have parsed.
+//!
+//! [`RemoteTrustServiceHandle`]: crate::service::remote::RemoteTrustServiceHandle
+//! [`RemoteTrustServer`]: crate::service::remote::RemoteTrustServer
+
+use std::io::{Read, Write};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::{self, JoinHandle};
+use std::time::Duration;
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use crate::framing::FrameScanner;
+use crate::service::remote::wire;
+
+/// What one proxied connection does to the traffic crossing it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Fault {
+    /// Healthy pass-through.
+    None,
+    /// Accept the client, forward nothing, ever — in either direction.
+    /// The client's connect succeeds but no banner arrives.
+    BlackHole,
+    /// Forward this many complete request frames (banner excluded), then
+    /// close both sides at the frame boundary.
+    CloseAfterFrames(usize),
+    /// Forward this many complete request frames, then *part* of the next
+    /// frame, then close — a torn write.
+    TruncateFrame(usize),
+    /// Forward everything, sleeping this long before each chunk.
+    Delay(Duration),
+    /// Forward requests normally; after the server's banner, discard
+    /// every response byte. Work happens, acknowledgements vanish.
+    DropResponses,
+}
+
+/// A scripted sequence of [`Fault`]s, one per accepted connection in
+/// accept order. Connections beyond the end of the script are healthy.
+#[derive(Debug, Clone)]
+pub struct FaultPlan {
+    faults: Vec<Fault>,
+}
+
+impl FaultPlan {
+    /// Every connection healthy — a transparent proxy.
+    pub fn pass_through() -> Self {
+        FaultPlan { faults: Vec::new() }
+    }
+
+    /// Exactly this script, in accept order.
+    pub fn script(faults: Vec<Fault>) -> Self {
+        FaultPlan { faults }
+    }
+
+    /// `len` faults drawn deterministically from `seed`, mixing every
+    /// fault kind (healthy connections included, so recovery can
+    /// eventually succeed). Same seed, same plan, same run.
+    pub fn seeded(seed: u64, len: usize) -> Self {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let faults = (0..len)
+            .map(|_| match rng.gen_range(0u32..6) {
+                0 => Fault::None,
+                1 => Fault::BlackHole,
+                2 => Fault::CloseAfterFrames(rng.gen_range(1usize..=8)),
+                3 => Fault::TruncateFrame(rng.gen_range(0usize..=4)),
+                4 => Fault::Delay(Duration::from_millis(rng.gen_range(1u64..=15))),
+                _ => Fault::DropResponses,
+            })
+            .collect();
+        FaultPlan { faults }
+    }
+
+    /// The scripted faults, in accept order.
+    pub fn faults(&self) -> &[Fault] {
+        &self.faults
+    }
+
+    fn fault_for(&self, conn_index: usize) -> Fault {
+        self.faults.get(conn_index).cloned().unwrap_or(Fault::None)
+    }
+}
+
+struct ProxyConn {
+    client: TcpStream,
+    upstream: Option<TcpStream>,
+    pumps: Vec<JoinHandle<()>>,
+}
+
+/// The fault-injecting TCP proxy. See the [module docs](self).
+#[derive(Debug)]
+pub struct FaultProxy {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    accept: Option<JoinHandle<()>>,
+    conns: Arc<Mutex<Vec<ProxyConn>>>,
+}
+
+impl std::fmt::Debug for ProxyConn {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ProxyConn").finish_non_exhaustive()
+    }
+}
+
+impl FaultProxy {
+    /// Listens on an ephemeral loopback port, forwarding connections to
+    /// `upstream` through `plan`'s faults. Read the proxied address back
+    /// with [`local_addr`](Self::local_addr) and point clients at it.
+    pub fn start(upstream: SocketAddr, plan: FaultPlan) -> std::io::Result<Self> {
+        let listener = TcpListener::bind("127.0.0.1:0")?;
+        let addr = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let conns = Arc::new(Mutex::new(Vec::new()));
+        let accept = thread::Builder::new().name("siot-fault-accept".into()).spawn({
+            let stop = Arc::clone(&stop);
+            let conns = Arc::clone(&conns);
+            move || accept_loop(listener, upstream, plan, stop, conns)
+        })?;
+        Ok(FaultProxy { addr, stop, accept: Some(accept), conns })
+    }
+
+    /// The address clients should connect to.
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Closes the listener and every proxied connection, joining all pump
+    /// threads.
+    pub fn shutdown(mut self) {
+        self.stop_all();
+    }
+
+    fn stop_all(&mut self) {
+        let Some(accept) = self.accept.take() else { return };
+        self.stop.store(true, Ordering::SeqCst);
+        let _ = TcpStream::connect(self.addr);
+        let _ = accept.join();
+        let conns = std::mem::take(&mut *self.conns.lock().expect("proxy registry"));
+        for conn in conns {
+            let _ = conn.client.shutdown(Shutdown::Both);
+            if let Some(upstream) = &conn.upstream {
+                let _ = upstream.shutdown(Shutdown::Both);
+            }
+            for pump in conn.pumps {
+                let _ = pump.join();
+            }
+        }
+    }
+}
+
+impl Drop for FaultProxy {
+    fn drop(&mut self) {
+        self.stop_all();
+    }
+}
+
+fn accept_loop(
+    listener: TcpListener,
+    upstream: SocketAddr,
+    plan: FaultPlan,
+    stop: Arc<AtomicBool>,
+    conns: Arc<Mutex<Vec<ProxyConn>>>,
+) {
+    let mut index = 0usize;
+    for incoming in listener.incoming() {
+        if stop.load(Ordering::SeqCst) {
+            break;
+        }
+        let Ok(client) = incoming else { continue };
+        let fault = plan.fault_for(index);
+        index += 1;
+        if let Ok(conn) = spawn_proxied(client, upstream, fault) {
+            conns.lock().expect("proxy registry").push(conn);
+        }
+    }
+}
+
+fn spawn_proxied(
+    client: TcpStream,
+    upstream: SocketAddr,
+    fault: Fault,
+) -> std::io::Result<ProxyConn> {
+    let _ = client.set_nodelay(true);
+    if fault == Fault::BlackHole {
+        // hold the socket open and swallow everything the client sends;
+        // the proxy's shutdown unblocks the read via Shutdown::Both
+        let rx = client.try_clone()?;
+        let pump =
+            thread::Builder::new().name("siot-fault-sink".into()).spawn(move || swallow(rx))?;
+        return Ok(ProxyConn { client, upstream: None, pumps: vec![pump] });
+    }
+    let server = TcpStream::connect(upstream)?;
+    let _ = server.set_nodelay(true);
+    let (c2s_budget, delay, drop_responses) = match &fault {
+        Fault::CloseAfterFrames(n) => (Some(FrameBudget::closing_after(*n, None)), None, false),
+        Fault::TruncateFrame(n) => {
+            // leak half a header past the boundary: enough bytes that the
+            // server starts a frame it can never finish
+            (Some(FrameBudget::closing_after(*n, Some(3))), None, false)
+        }
+        Fault::Delay(d) => (None, Some(*d), false),
+        Fault::DropResponses => (None, None, true),
+        Fault::None => (None, None, false),
+        Fault::BlackHole => unreachable!("handled above"),
+    };
+    let mut pumps = Vec::new();
+    // client -> server carries requests: frame-counting faults apply here
+    pumps.push(spawn_pump(
+        "siot-fault-c2s",
+        client.try_clone()?,
+        server.try_clone()?,
+        c2s_budget,
+        delay,
+        None,
+    )?);
+    // server -> client carries responses: DropResponses passes only the
+    // 8-byte banner preamble, then discards
+    let s2c_pass = if drop_responses { Some(wire::BANNER_LEN) } else { None };
+    pumps.push(spawn_pump(
+        "siot-fault-s2c",
+        server.try_clone()?,
+        client.try_clone()?,
+        None,
+        delay,
+        s2c_pass,
+    )?);
+    Ok(ProxyConn { client, upstream: Some(server), pumps })
+}
+
+fn swallow(mut rx: TcpStream) {
+    let mut buf = [0u8; 4096];
+    while matches!(rx.read(&mut buf), Ok(n) if n > 0) {}
+}
+
+/// Forwards bytes `rx` → `tx`, applying at most one shaping rule, and
+/// closes both directions when forwarding ends for any reason.
+fn spawn_pump(
+    name: &str,
+    rx: TcpStream,
+    tx: TcpStream,
+    mut budget: Option<FrameBudget>,
+    delay: Option<Duration>,
+    pass_only: Option<usize>,
+) -> std::io::Result<JoinHandle<()>> {
+    thread::Builder::new().name(name.into()).spawn(move || {
+        let mut rx = rx;
+        let mut tx = tx;
+        let mut buf = vec![0u8; 64 * 1024];
+        let mut passed = 0usize;
+        loop {
+            let n = match rx.read(&mut buf) {
+                Ok(0) => break,
+                Ok(n) => n,
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                Err(_) => break,
+            };
+            if let Some(d) = delay {
+                thread::sleep(d);
+            }
+            let chunk = &buf[..n];
+            let forward = match (&mut budget, pass_only) {
+                (Some(budget), _) => &chunk[..budget.admit(chunk)],
+                (None, Some(limit)) => {
+                    let take = limit.saturating_sub(passed).min(chunk.len());
+                    &chunk[..take]
+                }
+                (None, None) => chunk,
+            };
+            passed += forward.len();
+            if !forward.is_empty() && tx.write_all(forward).is_err() {
+                break;
+            }
+            if budget.as_ref().is_some_and(|b| b.exhausted) {
+                break;
+            }
+        }
+        // a pump ending is a connection-level event: tear down both sides
+        // so the peer threads unblock too
+        let _ = rx.shutdown(Shutdown::Both);
+        let _ = tx.shutdown(Shutdown::Both);
+    })
+}
+
+/// Admits the banner preamble plus a fixed number of complete frames
+/// (optionally a few torn bytes more), then reports exhaustion.
+struct FrameBudget {
+    preamble: usize,
+    frames_left: usize,
+    torn_bytes: Option<usize>,
+    scanner: FrameScanner,
+    exhausted: bool,
+}
+
+impl FrameBudget {
+    fn closing_after(frames: usize, torn_bytes: Option<usize>) -> Self {
+        FrameBudget {
+            preamble: wire::BANNER_LEN,
+            frames_left: frames,
+            torn_bytes,
+            scanner: FrameScanner::new(),
+            exhausted: false,
+        }
+    }
+
+    /// How many leading bytes of `chunk` to forward; flips `exhausted`
+    /// once the close point falls inside (or at the end of) this chunk.
+    fn admit(&mut self, chunk: &[u8]) -> usize {
+        if self.exhausted {
+            return 0;
+        }
+        let pre = self.preamble.min(chunk.len());
+        self.preamble -= pre;
+        let body = &chunk[pre..];
+        for end in self.scanner.advance(body) {
+            if self.frames_left > 0 {
+                self.frames_left -= 1;
+                if self.frames_left == 0 {
+                    self.exhausted = true;
+                    let torn = self.torn_bytes.unwrap_or(0).min(body.len() - end);
+                    return pre + end + torn;
+                }
+            }
+        }
+        // frames_left == 0 from the start: close before any frame passes
+        if self.frames_left == 0 && !body.is_empty() {
+            self.exhausted = true;
+            let torn = self.torn_bytes.unwrap_or(0).min(body.len());
+            return pre + torn;
+        }
+        pre + body.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::framing;
+
+    fn frame(payload: &[u8]) -> Vec<u8> {
+        let mut out = Vec::new();
+        let start = framing::begin_frame(&mut out);
+        out.extend_from_slice(payload);
+        framing::end_frame(&mut out, start);
+        out
+    }
+
+    #[test]
+    fn seeded_plans_are_deterministic() {
+        let a = FaultPlan::seeded(7, 32);
+        let b = FaultPlan::seeded(7, 32);
+        assert_eq!(a.faults(), b.faults());
+        let c = FaultPlan::seeded(8, 32);
+        assert_ne!(a.faults(), c.faults());
+        // a long enough seeded plan mixes several kinds
+        let kinds: std::collections::HashSet<_> =
+            a.faults().iter().map(std::mem::discriminant).collect();
+        assert!(kinds.len() >= 4, "seeded plan uses {} fault kinds", kinds.len());
+    }
+
+    #[test]
+    fn exhausted_plans_go_healthy() {
+        let plan = FaultPlan::script(vec![Fault::BlackHole]);
+        assert_eq!(plan.fault_for(0), Fault::BlackHole);
+        assert_eq!(plan.fault_for(1), Fault::None);
+        assert_eq!(plan.fault_for(99), Fault::None);
+    }
+
+    #[test]
+    fn frame_budget_admits_exactly_n_frames() {
+        let mut stream = vec![0xAAu8; wire::BANNER_LEN];
+        let f1 = frame(b"first");
+        let f2 = frame(b"second-frame");
+        let f3 = frame(b"third");
+        stream.extend_from_slice(&f1);
+        stream.extend_from_slice(&f2);
+        stream.extend_from_slice(&f3);
+
+        // clean close after 2 frames, regardless of chunking
+        for chunk_size in [1usize, 3, 7, stream.len()] {
+            let mut budget = FrameBudget::closing_after(2, None);
+            let mut admitted = 0usize;
+            for chunk in stream.chunks(chunk_size) {
+                admitted += budget.admit(chunk);
+                if budget.exhausted {
+                    break;
+                }
+            }
+            assert_eq!(admitted, wire::BANNER_LEN + f1.len() + f2.len(), "chunk size {chunk_size}");
+        }
+
+        // torn close leaks a few extra bytes of the third frame
+        let mut budget = FrameBudget::closing_after(2, Some(3));
+        let admitted = budget.admit(&stream);
+        assert_eq!(admitted, wire::BANNER_LEN + f1.len() + f2.len() + 3);
+        assert!(budget.exhausted);
+    }
+
+    #[test]
+    fn proxy_passes_bytes_through() {
+        let upstream = TcpListener::bind("127.0.0.1:0").expect("bind upstream");
+        let upstream_addr = upstream.local_addr().expect("upstream addr");
+        let echo = thread::spawn(move || {
+            let (mut conn, _) = upstream.accept().expect("accept");
+            let mut buf = [0u8; 64];
+            loop {
+                match conn.read(&mut buf) {
+                    Ok(0) | Err(_) => break,
+                    Ok(n) => {
+                        if conn.write_all(&buf[..n]).is_err() {
+                            break;
+                        }
+                    }
+                }
+            }
+        });
+        let proxy = FaultProxy::start(upstream_addr, FaultPlan::pass_through()).expect("proxy");
+        let mut client = TcpStream::connect(proxy.local_addr()).expect("connect");
+        client.write_all(b"ping-through-proxy").expect("write");
+        let mut got = [0u8; 18];
+        client.read_exact(&mut got).expect("read");
+        assert_eq!(&got, b"ping-through-proxy");
+        drop(client);
+        proxy.shutdown();
+        echo.join().expect("echo thread");
+    }
+
+    #[test]
+    fn black_hole_never_answers() {
+        let upstream = TcpListener::bind("127.0.0.1:0").expect("bind upstream");
+        let upstream_addr = upstream.local_addr().expect("upstream addr");
+        let proxy = FaultProxy::start(upstream_addr, FaultPlan::script(vec![Fault::BlackHole]))
+            .expect("proxy");
+        let mut client = TcpStream::connect(proxy.local_addr()).expect("connect");
+        client.set_read_timeout(Some(Duration::from_millis(100))).expect("read timeout");
+        client.write_all(b"anyone there?").expect("write");
+        let mut buf = [0u8; 8];
+        let err = client.read(&mut buf).expect_err("black hole must not answer");
+        assert!(matches!(
+            err.kind(),
+            std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+        ));
+        // and the upstream never saw a connection at all
+        upstream.set_nonblocking(true).expect("nonblocking");
+        assert!(upstream.accept().is_err(), "upstream must stay untouched");
+        proxy.shutdown();
+    }
+}

@@ -108,11 +108,17 @@ use std::sync::{Arc, Condvar, Mutex};
 use std::task::{Context, Poll};
 use std::thread::JoinHandle;
 
+pub mod fault;
+pub mod fleet;
 pub mod remote;
 pub mod sharded;
 
+pub use fault::{Fault, FaultPlan, FaultProxy};
+pub use fleet::{FleetCut, FleetOptions, FleetTrustHandle, NodeStats};
 pub use futures::executor::block_on;
-pub use remote::{RemotePending, RemoteTrustServer, RemoteTrustServiceHandle, ServiceEndpoint};
+pub use remote::{
+    DedupWindow, RemotePending, RemoteTrustServer, RemoteTrustServiceHandle, ServiceEndpoint,
+};
 pub use sharded::{Freshness, ShardedTrustService, ShardedTrustServiceHandle};
 
 /// A consistent answer to a broadcast query, named by the **epoch vector**
@@ -184,6 +190,17 @@ pub struct ShardStats {
     pub largest_commit_batch: usize,
     /// Size of the most recent commit batch.
     pub last_commit_batch: usize,
+}
+
+impl ShardStats {
+    /// Mailbox saturation in `[0, 1]`: `mailbox_depth / mailbox_capacity`.
+    /// The load-shedding signal a fleet dashboard actually wants — near
+    /// `1.0` this shard is the one blocking its submitters.
+    pub fn saturation(&self) -> f64 {
+        // capacity is clamped to at least 1 at spawn, but a zero from a
+        // hand-built value must not poison a dashboard with NaN
+        self.mailbox_depth as f64 / (self.mailbox_capacity.max(1)) as f64
+    }
 }
 
 /// A cross-shard rendezvous: every party blocks in [`arrive`](Self::arrive)

@@ -33,6 +33,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, Weak};
 use std::task::{Context, Poll};
 use std::thread;
+use std::time::{Duration, Instant};
 
 use futures::channel::oneshot;
 
@@ -52,9 +53,16 @@ use crate::tw::Trustworthiness;
 
 /// Sessions per `CommitMany` frame: large enough that framing overhead
 /// vanishes, small enough that one frame stays far under
-/// [`MAX_WIRE_FRAME`](wire::MAX_WIRE_FRAME) and the server can interleave
-/// other clients between chunks.
-const BATCH_CHUNK: usize = 65_536;
+/// the wire's frame-size cap and the server can interleave
+/// other clients between chunks. The fleet tier chunks its tagged commits
+/// at the same size.
+pub const BATCH_CHUNK: usize = 65_536;
+
+/// Default bound on [`RemoteTrustServiceHandle::connect`]: TCP connect
+/// plus the banner handshake must finish within it, or the attempt fails
+/// with a typed [`TrustError::TimedOut`] instead of hanging forever on a
+/// black-holed address.
+pub const DEFAULT_CONNECT_TIMEOUT: Duration = Duration::from_secs(10);
 
 struct WriteHalf {
     stream: TcpStream,
@@ -108,16 +116,64 @@ impl std::fmt::Debug for ClientInner {
 
 impl<P: LogKey + Send + 'static> RemoteTrustServiceHandle<P> {
     /// Connects to a [`RemoteTrustServer`](super::RemoteTrustServer) and
-    /// performs the banner handshake. Fails typed on a version mismatch
-    /// ([`TrustError::UnsupportedFormat`]) or a non-SIOT peer
-    /// ([`TrustError::Corrupt`]).
+    /// performs the banner handshake, both bounded by
+    /// [`DEFAULT_CONNECT_TIMEOUT`]. Fails typed on a version mismatch
+    /// ([`TrustError::UnsupportedFormat`]), a non-SIOT peer
+    /// ([`TrustError::Corrupt`]), or a peer that accepts the connection but
+    /// never answers the banner ([`TrustError::TimedOut`] — a black-holed
+    /// address can no longer hang the caller forever).
     pub fn connect(addr: impl ToSocketAddrs) -> Result<Self, TrustError> {
-        let mut stream = TcpStream::connect(addr)?;
+        Self::connect_with(addr, DEFAULT_CONNECT_TIMEOUT)
+    }
+
+    /// [`connect`](Self::connect) with an explicit bound on the whole
+    /// attempt (TCP connect + banner exchange).
+    pub fn connect_with(addr: impl ToSocketAddrs, timeout: Duration) -> Result<Self, TrustError> {
+        let deadline = Instant::now() + timeout;
+        // resolve first: connect_timeout needs concrete addresses. Try
+        // each, splitting what remains of the budget evenly across them.
+        let addrs: Vec<_> = addr.to_socket_addrs()?.collect();
+        if addrs.is_empty() {
+            return Err(TrustError::Io("address resolved to nothing".into()));
+        }
+        let mut stream = None;
+        let mut last_err = TrustError::TimedOut;
+        for (i, a) in addrs.iter().enumerate() {
+            let remaining = deadline.saturating_duration_since(Instant::now());
+            if remaining.is_zero() {
+                return Err(TrustError::TimedOut);
+            }
+            let budget = remaining / (addrs.len() - i) as u32;
+            match TcpStream::connect_timeout(a, budget.max(Duration::from_millis(1))) {
+                Ok(s) => {
+                    stream = Some(s);
+                    break;
+                }
+                Err(e) => last_err = timeout_as_typed(e),
+            }
+        }
+        let Some(mut stream) = stream else { return Err(last_err) };
         let _ = stream.set_nodelay(true);
-        stream.write_all(&wire::banner())?;
-        let mut banner = [0u8; wire::BANNER_LEN];
-        stream.read_exact(&mut banner)?;
+        // the banner exchange runs under socket deadlines so a peer that
+        // accepts but never speaks cannot wedge the caller
+        let remaining = deadline.saturating_duration_since(Instant::now());
+        if remaining.is_zero() {
+            return Err(TrustError::TimedOut);
+        }
+        stream.set_write_timeout(Some(remaining))?;
+        stream.set_read_timeout(Some(remaining))?;
+        let handshake = (|| -> std::io::Result<[u8; wire::BANNER_LEN]> {
+            stream.write_all(&wire::banner())?;
+            let mut banner = [0u8; wire::BANNER_LEN];
+            stream.read_exact(&mut banner)?;
+            Ok(banner)
+        })();
+        let banner = handshake.map_err(timeout_as_typed)?;
         wire::check_banner(&banner)?;
+        // steady state reads/writes block indefinitely again: per-request
+        // deadlines are the fleet tier's job, not the socket's
+        stream.set_read_timeout(None)?;
+        stream.set_write_timeout(None)?;
         let reader_stream = stream.try_clone()?;
         let inner = Arc::new(ClientInner {
             next_id: AtomicU64::new(0),
@@ -132,6 +188,30 @@ impl<P: LogKey + Send + 'static> RemoteTrustServiceHandle<P> {
         Ok(RemoteTrustServiceHandle { inner, _peer: std::marker::PhantomData })
     }
 
+    /// Whether this handle's connection is closed (reader saw EOF/corrupt
+    /// stream, or a write failed). Once true, every call fails with
+    /// [`TrustError::ServiceStopped`] — the signal the fleet tier uses to
+    /// distinguish a *dead transport* (reconnect and retry) from a
+    /// healthy server reporting a genuinely stopped service (final).
+    pub fn transport_closed(&self) -> bool {
+        self.inner.writer.lock().expect("writer half").closed
+    }
+
+    /// Eagerly submits one `(session, seq)`-tagged batch — the fleet
+    /// tier's idempotent commit path. A server that already folded this
+    /// tag replays the cached receipts instead of folding again, so
+    /// resending the identical call after a connection loss can never
+    /// double-count (see [`DedupWindow`](super::DedupWindow)). The batch
+    /// must fit one frame — callers chunk at [`BATCH_CHUNK`] sessions.
+    pub fn submit_batch_tagged(
+        &self,
+        session: u64,
+        seq: u64,
+        batch: Vec<CompletedDelegation<P>>,
+    ) -> RemotePending<Vec<DelegationReceipt<P>>> {
+        self.send(Request::CommitManySeq { session, seq, batch }, wire::decode_receipts::<P>)
+    }
+
     /// Encodes and writes one request frame, returning the future of its
     /// decoded response.
     fn send<T>(&self, request: Request<P>, decode: DecodeFn<T>) -> RemotePending<T> {
@@ -140,7 +220,24 @@ impl<P: LogKey + Send + 'static> RemoteTrustServiceHandle<P> {
         let start = framing::begin_frame(&mut frame);
         wire::encode_request(&mut frame, req_id, &request);
         framing::end_frame(&mut frame, start);
+        self.send_frame(req_id, frame, decode)
+    }
 
+    /// [`send`](Self::send) from a pre-encoded request tail (opcode
+    /// onward) — the fleet's resend path: the same bytes that failed go
+    /// back out verbatim under a fresh request id.
+    pub(crate) fn send_tail<T>(&self, tail: &[u8], decode: DecodeFn<T>) -> RemotePending<T> {
+        let req_id = self.inner.next_id.fetch_add(1, Ordering::Relaxed);
+        let mut frame = Vec::new();
+        let start = framing::begin_frame(&mut frame);
+        frame.extend_from_slice(&req_id.to_le_bytes());
+        frame.extend_from_slice(tail);
+        framing::end_frame(&mut frame, start);
+        self.send_frame(req_id, frame, decode)
+    }
+
+    /// Writes one fully-framed request eagerly and registers its oneshot.
+    fn send_frame<T>(&self, req_id: u64, frame: Vec<u8>, decode: DecodeFn<T>) -> RemotePending<T> {
         let (tx, rx) = oneshot::channel();
         self.inner.pending.lock().expect("pending map").insert(req_id, tx);
         let mut writer = self.inner.writer.lock().expect("writer half");
@@ -308,6 +405,16 @@ impl<P: LogKey + Send + 'static> RemoteTrustServiceHandle<P> {
     }
 }
 
+/// A connect/handshake I/O failure whose kind says "the clock ran out"
+/// becomes the typed [`TrustError::TimedOut`]; anything else stays an
+/// [`TrustError::Io`].
+fn timeout_as_typed(e: std::io::Error) -> TrustError {
+    match e.kind() {
+        std::io::ErrorKind::TimedOut | std::io::ErrorKind::WouldBlock => TrustError::TimedOut,
+        _ => e.into(),
+    }
+}
+
 fn reader_loop(mut stream: TcpStream, client: Weak<ClientInner>) {
     let mut decoder = framing::StreamDecoder::new(wire::MAX_WIRE_FRAME);
     let mut buf = vec![0u8; 64 * 1024];
@@ -376,7 +483,7 @@ fn reader_loop(mut stream: TcpStream, client: Weak<ClientInner>) {
     }
 }
 
-type DecodeFn<T> = fn(&[u8]) -> Result<T, TrustError>;
+pub(crate) type DecodeFn<T> = fn(&[u8]) -> Result<T, TrustError>;
 
 enum RemoteState<T> {
     Waiting(oneshot::Receiver<Vec<u8>>, DecodeFn<T>),

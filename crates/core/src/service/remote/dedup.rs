@@ -1,0 +1,369 @@
+//! Server-side idempotency for the fleet tier's tagged commits.
+//!
+//! A fleet client stamps every commit chunk with a `(session, seq)` tag
+//! and resends the **identical** frame after a connection loss, because it
+//! cannot know whether the lost connection died before or after the server
+//! folded the chunk. The [`DedupWindow`] is what makes that resend safe:
+//! each tag folds **at most once** per window, and retries of an
+//! already-folded tag get the cached receipt bytes *replayed* — never a
+//! second fold, so no observation is ever double-counted.
+//!
+//! Three cases per claimed tag:
+//!
+//! - **fresh** — the caller owns the fold; on completion the encoded
+//!   receipts are cached for replay and any duplicate arrivals are
+//!   notified;
+//! - **in flight** — a concurrent duplicate (the client retried while the
+//!   original still sat in a mailbox) waits for the owner's result instead
+//!   of folding again;
+//! - **done** — the cached receipts are replayed as-is.
+//!
+//! A fold that *fails* is not cached: the typed error is reported to every
+//! waiter and the tag is released, so a retry against a recovered service
+//! folds normally (a failed request was not accepted, so nothing can be
+//! double-counted).
+//!
+//! The cache is bounded by bytes, evicting oldest-completed entries first;
+//! an evicted tag still refuses to re-fold (the seq is remembered), it
+//! just can no longer replay receipts — retries of it get a typed error.
+//! The window only needs to be deeper than the client's in-flight
+//! pipeline, which is a handful of chunks.
+//!
+//! The window lives as long as the handle you hold, independent of any
+//! server: a supervisor that restarts a node's [`RemoteTrustServer`]
+//! (after a **graceful** service drain) passes the same window to
+//! [`RemoteTrustServer::bind_with`] and in-flight retries from before the
+//! restart still replay instead of re-folding. Persisting the window so
+//! exactness also survives a hard process crash is future work (see
+//! ROADMAP).
+//!
+//! [`RemoteTrustServer`]: super::RemoteTrustServer
+//! [`RemoteTrustServer::bind_with`]: super::RemoteTrustServer::bind_with
+
+use std::collections::{HashMap, VecDeque};
+use std::future::Future;
+use std::pin::Pin;
+use std::sync::{mpsc, Arc, Mutex, Weak};
+use std::task::{Context, Poll};
+use std::thread;
+
+use futures::channel::oneshot;
+use futures::executor::block_on;
+
+use super::wire;
+use crate::error::TrustError;
+
+/// Default cap on cached receipt bytes per window — deep enough for many
+/// full-size commit chunks, far deeper than any bounded client pipeline.
+pub const DEFAULT_DEDUP_BUDGET: usize = 32 << 20;
+
+/// Completed entries kept even when over the byte budget, so tiny budgets
+/// cannot evict what a normally-pipelined client might still retry.
+const MIN_KEEP: usize = 8;
+
+/// A claim on a `(session, seq)` tag — see the [module docs](self).
+pub(crate) enum Claim {
+    /// First arrival: the caller folds, then must `fulfill`.
+    Mine,
+    /// Already folded: replay these receipt bytes.
+    Replay(Vec<u8>),
+    /// Folding right now on another connection: await the owner's result.
+    Wait(oneshot::Receiver<Result<Vec<u8>, TrustError>>),
+    /// Folded, but the receipts were evicted from the cache.
+    Evicted,
+}
+
+enum Slot {
+    InFlight(Vec<oneshot::Sender<Result<Vec<u8>, TrustError>>>),
+    Done(Vec<u8>),
+}
+
+#[derive(Default)]
+struct Session {
+    slots: HashMap<u64, Slot>,
+    /// Seqs that folded but whose receipt bytes were evicted: still
+    /// refused a re-fold.
+    evicted: std::collections::BTreeSet<u64>,
+}
+
+struct Inner {
+    sessions: HashMap<u64, Session>,
+    /// Completion order of cached entries, for byte-budget eviction.
+    order: VecDeque<(u64, u64)>,
+    cached_bytes: usize,
+    budget: usize,
+    /// Lazily-started driver for folds orphaned by a dying connection.
+    orphans: Option<mpsc::Sender<Orphan>>,
+}
+
+type BodyFuture = Pin<Box<dyn Future<Output = Result<Vec<u8>, TrustError>> + Send>>;
+
+struct Orphan {
+    session: u64,
+    seq: u64,
+    fut: BodyFuture,
+}
+
+/// The per-endpoint dedup state behind a [`RemoteTrustServer`]'s tagged
+/// commits. Cloning shares the window; see the module docs above for
+/// what it guarantees and how to carry it across a node restart.
+///
+/// [`RemoteTrustServer`]: super::RemoteTrustServer
+#[derive(Clone)]
+pub struct DedupWindow {
+    inner: Arc<Mutex<Inner>>,
+}
+
+impl std::fmt::Debug for DedupWindow {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let inner = self.inner.lock().expect("dedup window");
+        f.debug_struct("DedupWindow")
+            .field("sessions", &inner.sessions.len())
+            .field("cached_bytes", &inner.cached_bytes)
+            .finish()
+    }
+}
+
+impl Default for DedupWindow {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl DedupWindow {
+    /// A fresh window with the [default byte budget](DEFAULT_DEDUP_BUDGET).
+    pub fn new() -> Self {
+        Self::with_budget(DEFAULT_DEDUP_BUDGET)
+    }
+
+    /// A fresh window capping cached receipt bytes at `budget` (the most
+    /// recent `MIN_KEEP` completions are retained regardless).
+    pub fn with_budget(budget: usize) -> Self {
+        DedupWindow {
+            inner: Arc::new(Mutex::new(Inner {
+                sessions: HashMap::new(),
+                order: VecDeque::new(),
+                cached_bytes: 0,
+                budget,
+                orphans: None,
+            })),
+        }
+    }
+
+    /// Receipt bytes currently cached for replay.
+    pub fn cached_bytes(&self) -> usize {
+        self.inner.lock().expect("dedup window").cached_bytes
+    }
+
+    pub(crate) fn claim(&self, session: u64, seq: u64) -> Claim {
+        let mut inner = self.inner.lock().expect("dedup window");
+        let entry = inner.sessions.entry(session).or_default();
+        if entry.evicted.contains(&seq) {
+            return Claim::Evicted;
+        }
+        match entry.slots.get_mut(&seq) {
+            Some(Slot::Done(body)) => Claim::Replay(body.clone()),
+            Some(Slot::InFlight(waiters)) => {
+                let (tx, rx) = oneshot::channel();
+                waiters.push(tx);
+                Claim::Wait(rx)
+            }
+            None => {
+                entry.slots.insert(seq, Slot::InFlight(Vec::new()));
+                Claim::Mine
+            }
+        }
+    }
+
+    /// Resolves a [`Claim::Mine`]: caches a success for replay (then
+    /// evicts over-budget entries), releases the tag on failure, and
+    /// notifies concurrent duplicates either way.
+    pub(crate) fn fulfill(&self, session: u64, seq: u64, result: &Result<Vec<u8>, TrustError>) {
+        fulfill_locked(&self.inner, session, seq, result);
+    }
+
+    /// Hands a claimed-but-unfinished fold to the orphan driver thread:
+    /// called when a connection dies while its tagged commit is mid-fold.
+    /// The fold was already dispatched into the service's mailboxes, so it
+    /// *will* complete — someone has to collect the receipts and fulfill
+    /// the tag, or a retry of it would wait forever.
+    pub(crate) fn orphan(&self, session: u64, seq: u64, fut: BodyFuture) {
+        let mut inner = self.inner.lock().expect("dedup window");
+        if inner.orphans.is_none() {
+            let (tx, rx) = mpsc::channel::<Orphan>();
+            let weak = Arc::downgrade(&self.inner);
+            // ignore spawn failure: the send below will error and the tag
+            // is released immediately instead
+            let spawned = thread::Builder::new()
+                .name("siot-remote-dedup".into())
+                .spawn(move || orphan_driver(rx, weak))
+                .is_ok();
+            if spawned {
+                inner.orphans = Some(tx);
+            }
+        }
+        let sent = match &inner.orphans {
+            Some(tx) => tx.send(Orphan { session, seq, fut }).is_ok(),
+            None => false,
+        };
+        if !sent {
+            // no driver: release the tag so a retry can fold again (the
+            // in-flight fold's receipts are lost, matching a plain
+            // connection-death on the untagged path)
+            drop(inner);
+            fulfill_locked(&self.inner, session, seq, &Err(TrustError::ServiceStopped));
+        }
+    }
+}
+
+fn fulfill_locked(
+    inner: &Mutex<Inner>,
+    session: u64,
+    seq: u64,
+    result: &Result<Vec<u8>, TrustError>,
+) {
+    let mut inner = inner.lock().expect("dedup window");
+    let Some(entry) = inner.sessions.get_mut(&session) else { return };
+    let waiters = match entry.slots.remove(&seq) {
+        Some(Slot::InFlight(waiters)) => waiters,
+        // a Done entry is never fulfilled twice; a missing one was evicted
+        Some(done) => {
+            entry.slots.insert(seq, done);
+            return;
+        }
+        None => return,
+    };
+    for tx in waiters {
+        let _ = tx.send(result.clone());
+    }
+    if let Ok(body) = result {
+        entry.slots.insert(seq, Slot::Done(body.clone()));
+        inner.cached_bytes += body.len();
+        inner.order.push_back((session, seq));
+        while inner.cached_bytes > inner.budget && inner.order.len() > MIN_KEEP {
+            let Some((s, q)) = inner.order.pop_front() else { break };
+            let Some(entry) = inner.sessions.get_mut(&s) else { continue };
+            if let Some(Slot::Done(body)) = entry.slots.remove(&q) {
+                inner.cached_bytes -= body.len();
+                // the seq stays refused: evicting receipts must never
+                // re-open the door to a double fold
+                inner.sessions.get_mut(&s).expect("session present").evicted.insert(q);
+            }
+        }
+    }
+    // a failed fold releases the tag: nothing was accepted, retries fold
+}
+
+fn orphan_driver(rx: mpsc::Receiver<Orphan>, inner: Weak<Mutex<Inner>>) {
+    // exits when every window clone is gone (sender disconnects)
+    while let Ok(Orphan { session, seq, fut }) = rx.recv() {
+        let result = block_on(fut);
+        let Some(inner) = inner.upgrade() else { return };
+        fulfill_locked(&inner, session, seq, &result);
+    }
+}
+
+/// The reply future of a freshly-claimed ([`Claim::Mine`]) tagged commit:
+/// drives the fold, fulfills the window on completion, and — if its
+/// connection dies first — hands the unfinished fold to the window's
+/// orphan driver so the tag still resolves for retries.
+pub(crate) struct TaggedCommit {
+    pub(crate) req_id: u64,
+    pub(crate) window: DedupWindow,
+    pub(crate) session: u64,
+    pub(crate) seq: u64,
+    pub(crate) inner: Option<BodyFuture>,
+}
+
+impl Future for TaggedCommit {
+    type Output = Vec<u8>;
+
+    fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<Self::Output> {
+        let this = self.get_mut();
+        let fut = this.inner.as_mut().expect("a resolved TaggedCommit is not re-polled");
+        let result = match fut.as_mut().poll(cx) {
+            Poll::Ready(result) => result,
+            Poll::Pending => return Poll::Pending,
+        };
+        this.inner = None;
+        this.window.fulfill(this.session, this.seq, &result);
+        Poll::Ready(match result {
+            Ok(body) => wire::ok_payload(this.req_id, |out| out.extend_from_slice(&body)),
+            Err(err) => wire::err_payload(this.req_id, &err),
+        })
+    }
+}
+
+impl Drop for TaggedCommit {
+    fn drop(&mut self) {
+        if let Some(fut) = self.inner.take() {
+            self.window.orphan(self.session, self.seq, fut);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn first_claim_owns_then_replays() {
+        let window = DedupWindow::new();
+        assert!(matches!(window.claim(1, 0), Claim::Mine));
+        window.fulfill(1, 0, &Ok(vec![1, 2, 3]));
+        match window.claim(1, 0) {
+            Claim::Replay(body) => assert_eq!(body, vec![1, 2, 3]),
+            _ => panic!("expected replay"),
+        }
+        assert_eq!(window.cached_bytes(), 3);
+    }
+
+    #[test]
+    fn concurrent_duplicate_waits_for_owner() {
+        let window = DedupWindow::new();
+        assert!(matches!(window.claim(7, 4), Claim::Mine));
+        let Claim::Wait(rx) = window.claim(7, 4) else { panic!("expected wait") };
+        window.fulfill(7, 4, &Ok(vec![9]));
+        assert_eq!(block_on(rx).expect("owner fulfilled"), Ok(vec![9]));
+    }
+
+    #[test]
+    fn failed_fold_releases_the_tag() {
+        let window = DedupWindow::new();
+        assert!(matches!(window.claim(2, 2), Claim::Mine));
+        let Claim::Wait(rx) = window.claim(2, 2) else { panic!("expected wait") };
+        window.fulfill(2, 2, &Err(TrustError::ServiceStopped));
+        assert_eq!(block_on(rx).expect("owner fulfilled"), Err(TrustError::ServiceStopped));
+        // the tag folds again on retry — nothing was accepted
+        assert!(matches!(window.claim(2, 2), Claim::Mine));
+    }
+
+    #[test]
+    fn eviction_keeps_refusing_refolds() {
+        let window = DedupWindow::with_budget(4);
+        // MIN_KEEP entries always survive; push past it
+        for seq in 0..(MIN_KEEP as u64 + 4) {
+            assert!(matches!(window.claim(1, seq), Claim::Mine));
+            window.fulfill(1, seq, &Ok(vec![0u8; 3]));
+        }
+        // the oldest entries lost their bodies but still refuse to re-fold
+        assert!(matches!(window.claim(1, 0), Claim::Evicted));
+        // the newest replays
+        let last = MIN_KEEP as u64 + 3;
+        assert!(matches!(window.claim(1, last), Claim::Replay(_)));
+        assert!(window.cached_bytes() <= 3 * (MIN_KEEP + 1));
+    }
+
+    #[test]
+    fn orphaned_folds_still_fulfill() {
+        let window = DedupWindow::new();
+        assert!(matches!(window.claim(3, 1), Claim::Mine));
+        let Claim::Wait(rx) = window.claim(3, 1) else { panic!("expected wait") };
+        window.orphan(3, 1, Box::pin(async { Ok(vec![5, 5]) }));
+        assert_eq!(block_on(rx).expect("driver fulfilled"), Ok(vec![5, 5]));
+        match window.claim(3, 1) {
+            Claim::Replay(body) => assert_eq!(body, vec![5, 5]),
+            _ => panic!("expected replay after orphan fulfill"),
+        }
+    }
+}

@@ -51,8 +51,10 @@
 //! [`ShardedTrustService`]: crate::service::ShardedTrustService
 
 mod client;
+mod dedup;
 mod server;
 pub(crate) mod wire;
 
-pub use client::{RemotePending, RemoteTrustServiceHandle};
+pub use client::{RemotePending, RemoteTrustServiceHandle, BATCH_CHUNK, DEFAULT_CONNECT_TIMEOUT};
+pub use dedup::{DedupWindow, DEFAULT_DEDUP_BUDGET};
 pub use server::{RemoteTrustServer, ServiceEndpoint};

@@ -48,6 +48,8 @@ use std::thread::{self, JoinHandle};
 
 use futures::executor::Parker;
 
+use super::client::DEFAULT_CONNECT_TIMEOUT;
+use super::dedup::{Claim, DedupWindow, TaggedCommit};
 use super::wire::{self, Request, RequestError};
 use crate::error::TrustError;
 use crate::framing::{self, StreamDecoder};
@@ -121,14 +123,34 @@ pub struct RemoteTrustServer {
     stop: Arc<AtomicBool>,
     accept: Option<JoinHandle<()>>,
     conns: Arc<Mutex<Vec<ConnHandle>>>,
+    window: DedupWindow,
 }
 
 impl RemoteTrustServer {
     /// Binds `addr` (use port 0 for an ephemeral port — read it back with
     /// [`local_addr`](Self::local_addr)) and starts serving `endpoint`.
     /// Accepts any number of concurrent connections until
-    /// [`shutdown`](Self::shutdown) or drop.
+    /// [`shutdown`](Self::shutdown) or drop. Tagged commits dedup against
+    /// a fresh [`DedupWindow`]; to carry one across a node restart, use
+    /// [`bind_with`](Self::bind_with).
     pub fn bind<P, A>(addr: A, endpoint: impl Into<ServiceEndpoint<P>>) -> Result<Self, TrustError>
+    where
+        P: LogKey + Hash + Send + 'static,
+        A: ToSocketAddrs,
+    {
+        Self::bind_with(addr, endpoint, DedupWindow::new())
+    }
+
+    /// [`bind`](Self::bind), but dedup tagged commits against a caller-
+    /// supplied [`DedupWindow`]. A supervisor that restarts a node's
+    /// server (after a graceful service drain) passes the previous
+    /// window here, so commits retried from before the restart replay
+    /// their receipts instead of folding twice.
+    pub fn bind_with<P, A>(
+        addr: A,
+        endpoint: impl Into<ServiceEndpoint<P>>,
+        window: DedupWindow,
+    ) -> Result<Self, TrustError>
     where
         P: LogKey + Hash + Send + 'static,
         A: ToSocketAddrs,
@@ -143,15 +165,23 @@ impl RemoteTrustServer {
             .spawn({
                 let stop = Arc::clone(&stop);
                 let conns = Arc::clone(&conns);
-                move || accept_loop(listener, endpoint, stop, conns)
+                let window = window.clone();
+                move || accept_loop(listener, endpoint, stop, conns, window)
             })
             .map_err(|e| TrustError::Io(e.to_string()))?;
-        Ok(RemoteTrustServer { addr, stop, accept: Some(accept), conns })
+        Ok(RemoteTrustServer { addr, stop, accept: Some(accept), conns, window })
     }
 
     /// The address the server is actually listening on.
     pub fn local_addr(&self) -> SocketAddr {
         self.addr
+    }
+
+    /// The [`DedupWindow`] tagged commits are deduplicated against. Clone
+    /// it before [`shutdown`](Self::shutdown) to hand the same window to a
+    /// replacement server via [`bind_with`](Self::bind_with).
+    pub fn dedup_window(&self) -> DedupWindow {
+        self.window.clone()
     }
 
     /// Stops accepting, closes every live connection, and joins all
@@ -190,13 +220,14 @@ fn accept_loop<P: LogKey + Hash + Send + 'static>(
     endpoint: ServiceEndpoint<P>,
     stop: Arc<AtomicBool>,
     conns: Arc<Mutex<Vec<ConnHandle>>>,
+    window: DedupWindow,
 ) {
     for incoming in listener.incoming() {
         if stop.load(Ordering::SeqCst) {
             break;
         }
         let Ok(stream) = incoming else { continue };
-        if let Ok(handle) = spawn_connection(stream, endpoint.clone()) {
+        if let Ok(handle) = spawn_connection(stream, endpoint.clone(), window.clone()) {
             conns.lock().expect("connection registry").push(handle);
         }
     }
@@ -205,6 +236,7 @@ fn accept_loop<P: LogKey + Hash + Send + 'static>(
 fn spawn_connection<P: LogKey + Hash + Send + 'static>(
     stream: TcpStream,
     endpoint: ServiceEndpoint<P>,
+    window: DedupWindow,
 ) -> std::io::Result<ConnHandle> {
     let _ = stream.set_nodelay(true);
     let conn = Arc::new(Conn {
@@ -216,7 +248,7 @@ fn spawn_connection<P: LogKey + Hash + Send + 'static>(
     let writer_stream = stream.try_clone()?;
     let reader = thread::Builder::new().name("siot-remote-rx".into()).spawn({
         let conn = Arc::clone(&conn);
-        move || reader_loop(reader_stream, endpoint, conn)
+        move || reader_loop(reader_stream, endpoint, conn, window)
     })?;
     let writer = thread::Builder::new()
         .name("siot-remote-tx".into())
@@ -228,15 +260,23 @@ fn reader_loop<P: LogKey + Hash + Send + 'static>(
     mut stream: TcpStream,
     endpoint: ServiceEndpoint<P>,
     conn: Arc<Conn>,
+    window: DedupWindow,
 ) {
+    // the handshake runs under a socket deadline: a client that connects
+    // and then black-holes (never sends its banner) must not pin this
+    // reader thread forever
     let handshake = (|| -> Result<(), TrustError> {
+        stream.set_write_timeout(Some(DEFAULT_CONNECT_TIMEOUT))?;
+        stream.set_read_timeout(Some(DEFAULT_CONNECT_TIMEOUT))?;
         stream.write_all(&wire::banner())?;
         let mut banner = [0u8; wire::BANNER_LEN];
         stream.read_exact(&mut banner)?;
+        stream.set_write_timeout(None)?;
+        stream.set_read_timeout(None)?;
         wire::check_banner(&banner)
     })();
     if handshake.is_ok() {
-        serve(&mut stream, &endpoint, &conn);
+        serve(&mut stream, &endpoint, &conn, &window);
     }
     // hand the connection to the writer for its final flush; stop reading
     // but leave the write half open until the writer is done with it
@@ -249,6 +289,7 @@ fn serve<P: LogKey + Hash + Send + 'static>(
     stream: &mut TcpStream,
     endpoint: &ServiceEndpoint<P>,
     conn: &Conn,
+    window: &DedupWindow,
 ) {
     let mut decoder = StreamDecoder::new(wire::MAX_WIRE_FRAME);
     let mut buf = vec![0u8; 64 * 1024];
@@ -264,7 +305,7 @@ fn serve<P: LogKey + Hash + Send + 'static>(
             // decode straight out of the stream buffer — no payload copy
             match decoder.next_payload_with(wire::decode_request::<P>) {
                 Ok(Some(Ok((req_id, request)))) => {
-                    enqueue(conn, dispatch(endpoint, req_id, request));
+                    enqueue(conn, dispatch(endpoint, window, req_id, request));
                 }
                 Ok(Some(Err(RequestError::Addressed(req_id, err)))) => {
                     // the request was garbage but its id was readable:
@@ -331,9 +372,18 @@ fn writer_loop(mut stream: TcpStream, conn: Arc<Conn>) {
 /// of its encoded response.
 fn dispatch<P: LogKey + Hash + Send + 'static>(
     endpoint: &ServiceEndpoint<P>,
+    window: &DedupWindow,
     req_id: u64,
     request: Request<P>,
 ) -> RespFuture {
+    // tagged commits go through the dedup window regardless of endpoint
+    // shape: a retried (session, seq) replays its receipts, never re-folds
+    let request = match request {
+        Request::CommitManySeq { session, seq, batch } => {
+            return dispatch_tagged(endpoint, window, req_id, session, seq, batch);
+        }
+        other => other,
+    };
     match endpoint {
         ServiceEndpoint::Single(h) => match request {
             Request::Commit(completed) => {
@@ -401,6 +451,7 @@ fn dispatch<P: LogKey + Hash + Send + 'static>(
                 let p = h.stats_in();
                 respond(req_id, async move { Ok(vec![p.await?]) }, |out, s| wire::put_stats(out, s))
             }
+            Request::CommitManySeq { .. } => unreachable!("routed to dispatch_tagged above"),
         },
         ServiceEndpoint::Sharded(h) => match request {
             Request::Commit(completed) => {
@@ -472,7 +523,77 @@ fn dispatch<P: LogKey + Hash + Send + 'static>(
             Request::ShardStats => {
                 respond(req_id, h.stats_round(), |out, s| wire::put_stats(out, s))
             }
+            Request::CommitManySeq { .. } => unreachable!("routed to dispatch_tagged above"),
         },
+    }
+}
+
+/// Dispatches a `(session, seq)`-tagged commit through the [`DedupWindow`]:
+/// a fresh tag folds (and caches its receipts), a duplicate of an
+/// in-flight tag waits for the owner's result, a duplicate of a completed
+/// tag replays the cached receipt bytes — the batch folds **at most once**
+/// no matter how many times the client resends it.
+fn dispatch_tagged<P: LogKey + Hash + Send + 'static>(
+    endpoint: &ServiceEndpoint<P>,
+    window: &DedupWindow,
+    req_id: u64,
+    session: u64,
+    seq: u64,
+    batch: Vec<crate::delegation::CompletedDelegation<P>>,
+) -> RespFuture {
+    match window.claim(session, seq) {
+        Claim::Mine => {
+            // the fold is dispatched NOW (eager seam, wire order): even if
+            // this connection dies before the receipts resolve, the
+            // window's orphan driver finishes collecting them, so the tag
+            // always becomes replayable
+            let fold: Pin<Box<dyn Future<Output = Result<Vec<u8>, TrustError>> + Send>> =
+                match endpoint {
+                    ServiceEndpoint::Single(h) => {
+                        let p = h.submit_batch(batch);
+                        Box::pin(async move {
+                            let receipts = p.await?;
+                            let mut body = Vec::new();
+                            wire::put_receipts(&mut body, &receipts);
+                            Ok(body)
+                        })
+                    }
+                    ServiceEndpoint::Sharded(h) => {
+                        let p = h.submit_batch(batch);
+                        Box::pin(async move {
+                            let receipts = p.await?;
+                            let mut body = Vec::new();
+                            wire::put_receipts(&mut body, &receipts);
+                            Ok(body)
+                        })
+                    }
+                };
+            Box::pin(TaggedCommit {
+                req_id,
+                window: window.clone(),
+                session,
+                seq,
+                inner: Some(fold),
+            })
+        }
+        Claim::Replay(body) => Box::pin(std::future::ready(wire::ok_payload(req_id, |out| {
+            out.extend_from_slice(&body)
+        }))),
+        Claim::Wait(rx) => Box::pin(async move {
+            match rx.await {
+                Ok(Ok(body)) => wire::ok_payload(req_id, |out| out.extend_from_slice(&body)),
+                Ok(Err(err)) => wire::err_payload(req_id, &err),
+                // the owner's window clone vanished without fulfilling —
+                // only possible if the window itself is being torn down
+                Err(_) => wire::err_payload(req_id, &TrustError::ServiceStopped),
+            }
+        }),
+        Claim::Evicted => Box::pin(std::future::ready(wire::err_payload(
+            req_id,
+            &TrustError::Io(
+                "receipts for replayed tagged commit were evicted from the dedup window".into(),
+            ),
+        ))),
     }
 }
 

@@ -75,6 +75,7 @@ const OP_RECORD: u8 = 9;
 const OP_KNOWN_PEERS: u8 = 10;
 const OP_TASK_RECORDS: u8 = 11;
 const OP_SHARD_STATS: u8 = 12;
+const OP_COMMIT_MANY_SEQ: u8 = 13;
 
 /// One decoded request — the wire form of the service API. Mirrors the
 /// actor's `Command`/`Query` split, flattened into opcodes.
@@ -103,6 +104,19 @@ pub enum Request<P> {
     TaskRecords(TaskId, Freshness),
     /// Per-shard saturation counters.
     ShardStats,
+    /// [`CommitMany`](Request::CommitMany) stamped with a client session
+    /// and sequence id, the fleet tier's idempotent-replay path: the
+    /// server folds a given `(session, seq)` at most once and replays the
+    /// cached receipts to retries (see
+    /// [`DedupWindow`](super::DedupWindow)).
+    CommitManySeq {
+        /// The committing client's session id (stable across reconnects).
+        session: u64,
+        /// The batch's sequence id within the session.
+        seq: u64,
+        /// The finished sessions to fold.
+        batch: Vec<CompletedDelegation<P>>,
+    },
 }
 
 /// Serializes `request` (prefixed by `req_id` and its opcode) into `out`.
@@ -156,7 +170,37 @@ pub fn encode_request<P: LogKey>(out: &mut Vec<u8>, req_id: u64, request: &Reque
             out.push(freshness_code(*freshness));
         }
         Request::ShardStats => out.push(OP_SHARD_STATS),
+        Request::CommitManySeq { session, seq, batch } => {
+            out.push(OP_COMMIT_MANY_SEQ);
+            out.extend_from_slice(&session.to_le_bytes());
+            out.extend_from_slice(&seq.to_le_bytes());
+            out.extend_from_slice(&(batch.len() as u32).to_le_bytes());
+            for completed in batch {
+                put_completed(out, completed);
+            }
+        }
     }
+}
+
+/// Pre-encodes the request *tail* (opcode onward — everything after the
+/// request id) of a `CommitManySeq`. The fleet tier encodes each tagged
+/// chunk exactly once, **consuming** the sessions (keeping
+/// [`CompletedDelegation`] un-clonable), and resends the identical bytes
+/// on every retry of the tag.
+pub(crate) fn commit_many_seq_tail<P: LogKey>(
+    session: u64,
+    seq: u64,
+    batch: &[CompletedDelegation<P>],
+) -> Vec<u8> {
+    let mut out = Vec::new();
+    out.push(OP_COMMIT_MANY_SEQ);
+    out.extend_from_slice(&session.to_le_bytes());
+    out.extend_from_slice(&seq.to_le_bytes());
+    out.extend_from_slice(&(batch.len() as u32).to_le_bytes());
+    for completed in batch {
+        put_completed(&mut out, completed);
+    }
+    out
 }
 
 /// How a request payload failed to decode.
@@ -212,6 +256,19 @@ fn decode_request_body<P: LogKey>(r: &mut Reader<'_>) -> Result<Request<P>, Trus
         OP_KNOWN_PEERS => Request::KnownPeers(take_freshness(r)?),
         OP_TASK_RECORDS => Request::TaskRecords(take_task_id(r)?, take_freshness(r)?),
         OP_SHARD_STATS => Request::ShardStats,
+        OP_COMMIT_MANY_SEQ => {
+            let session = r.u64()?;
+            let seq = r.u64()?;
+            let n = r.u32()? as usize;
+            if n > r.remaining() {
+                return Err(corrupt_req());
+            }
+            let mut batch = Vec::with_capacity(n);
+            for _ in 0..n {
+                batch.push(take_completed(r)?);
+            }
+            Request::CommitManySeq { session, seq, batch }
+        }
         _ => return Err(corrupt_req()),
     })
 }
@@ -586,6 +643,11 @@ fn put_error(out: &mut Vec<u8>, err: &TrustError) {
             put_str(out, msg);
         }
         TrustError::ServiceStopped => out.push(9),
+        TrustError::TimedOut => out.push(10),
+        TrustError::NodeUnavailable { addr } => {
+            out.push(11);
+            put_str(out, addr);
+        }
     }
 }
 
@@ -607,6 +669,8 @@ fn take_error(r: &mut Reader<'_>) -> Result<TrustError, TrustError> {
         7 => TrustError::UnsupportedFormat { found: r.u8()?, expected: r.u8()? },
         8 => TrustError::Io(take_str(r)?),
         9 => TrustError::ServiceStopped,
+        10 => TrustError::TimedOut,
+        11 => TrustError::NodeUnavailable { addr: take_str(r)? },
         _ => return Err(corrupt_resp()),
     })
 }
@@ -998,6 +1062,8 @@ mod tests {
             TrustError::UnsupportedFormat { found: 9, expected: 1 },
             TrustError::Io("disk on fire".into()),
             TrustError::ServiceStopped,
+            TrustError::TimedOut,
+            TrustError::NodeUnavailable { addr: "10.0.0.7:4000".into() },
         ];
         for err in cases {
             let payload = err_payload(5, &err);
@@ -1052,6 +1118,32 @@ mod tests {
             decode_request::<u32>(&ok),
             Err(RequestError::Addressed(2, TrustError::OutOfUnitRange { .. }))
         ));
+    }
+
+    #[test]
+    fn tagged_commits_round_trip() {
+        let original = Request::CommitManySeq {
+            session: 0xDEAD_BEEF_CAFE,
+            seq: 41,
+            batch: vec![sample_completed(3), sample_completed(8)],
+        };
+        let Request::CommitManySeq { session, seq, batch } = roundtrip_request(&original) else {
+            panic!("wrong variant")
+        };
+        assert_eq!(session, 0xDEAD_BEEF_CAFE);
+        assert_eq!(seq, 41);
+        assert_eq!(batch.len(), 2);
+        assert_eq!(batch[0].trustee, 3);
+        assert_eq!(batch[1].trustee, 8);
+        assert_eq!(batch[0].observation.success_rate.to_bits(), 0.375f64.to_bits());
+        // a tagged count that lies about the remaining bytes is rejected
+        // before it can size an allocation, like the untagged path
+        let mut out = Vec::new();
+        out.extend_from_slice(&4u64.to_le_bytes());
+        out.push(13); // OP_COMMIT_MANY_SEQ
+        out.extend_from_slice(&[0u8; 16]); // session | seq
+        out.extend_from_slice(&u32::MAX.to_le_bytes());
+        assert!(matches!(decode_request::<u32>(&out), Err(RequestError::Addressed(4, _))));
     }
 
     #[test]

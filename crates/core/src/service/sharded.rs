@@ -154,7 +154,9 @@ pub enum Freshness {
 
 /// The stable peer→shard assignment: std `DefaultHasher` (SipHash with
 /// fixed keys — deterministic across runs and processes) reduced mod `n`.
-fn shard_index<P: Hash>(peer: &P, n: usize) -> usize {
+/// The fleet tier reuses the same rule to route peers across *nodes*, so
+/// a peer's home is computable from the address list alone.
+pub(crate) fn shard_index<P: Hash>(peer: &P, n: usize) -> usize {
     let mut h = DefaultHasher::new();
     peer.hash(&mut h);
     (h.finish() % n as u64) as usize

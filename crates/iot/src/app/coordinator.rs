@@ -41,7 +41,7 @@ use siot_core::log_backend::{LogOptions, WriteBehind};
 use siot_core::pool::ObserverPool;
 use siot_core::record::{ForgettingFactors, Observation, TrustRecord};
 use siot_core::service::{
-    block_on, Freshness, Pending, RemotePending, RemoteTrustServiceHandle,
+    block_on, FleetTrustHandle, Freshness, Pending, RemotePending, RemoteTrustServiceHandle,
     ShardedTrustServiceHandle, TrustServiceHandle,
 };
 use siot_core::store::TrustEngine;
@@ -327,6 +327,14 @@ impl<B: ConcurrentTrustBackend<DeviceId> + Send + 'static> Application for Coord
 /// [`RemoteTrustServer`](siot_core::service::RemoteTrustServer) exposes
 /// over TCP — the report path is identical (eager pipelined submits, lazy
 /// settling), just over a socket instead of a mailbox.
+///
+/// Or across **several** processes: [`Self::fleet`] takes a
+/// [`FleetTrustHandle`], which routes each report to the node owning the
+/// selected trustee, commits through the idempotent tagged path (a
+/// report retried across a node restart replays instead of
+/// double-counting), and keeps degrading gracefully — a down node costs
+/// only its own trustees' reports, counted in [`Self::rejected`] like
+/// any other refusal.
 pub struct ServedCoordinatorApp {
     /// Devices that completed association.
     pub joined: Vec<DeviceId>,
@@ -349,13 +357,20 @@ enum LedgerHandle {
     Single(TrustServiceHandle<DeviceId>),
     Sharded(ShardedTrustServiceHandle<DeviceId>),
     Remote(RemoteTrustServiceHandle<DeviceId>),
+    Fleet(FleetTrustHandle<DeviceId>),
 }
 
-/// One submitted report's receipt future: a local mailbox oneshot or a
-/// remote wire response — settled uniformly either way.
+/// One submitted report's receipt future: a local mailbox oneshot, a
+/// remote wire response, or a fleet submission (reconnects and retries
+/// boxed inside) — settled uniformly either way.
 enum ReceiptPending {
     Local(Pending<DelegationReceipt<DeviceId>>),
     Remote(RemotePending<DelegationReceipt<DeviceId>>),
+    Fleet(
+        std::pin::Pin<
+            Box<dyn std::future::Future<Output = Result<DelegationReceipt<DeviceId>, TrustError>>>,
+        >,
+    ),
 }
 
 impl std::future::Future for ReceiptPending {
@@ -368,6 +383,7 @@ impl std::future::Future for ReceiptPending {
         match self.get_mut() {
             ReceiptPending::Local(p) => std::pin::Pin::new(p).poll(cx),
             ReceiptPending::Remote(p) => std::pin::Pin::new(p).poll(cx),
+            ReceiptPending::Fleet(p) => p.as_mut().poll(cx),
         }
     }
 }
@@ -378,6 +394,7 @@ impl LedgerHandle {
             LedgerHandle::Single(h) => ReceiptPending::Local(h.submit(completed)),
             LedgerHandle::Sharded(h) => ReceiptPending::Local(h.submit(completed)),
             LedgerHandle::Remote(h) => ReceiptPending::Remote(h.submit(completed)),
+            LedgerHandle::Fleet(h) => ReceiptPending::Fleet(Box::pin(h.submit(completed))),
         }
     }
 
@@ -389,6 +406,11 @@ impl LedgerHandle {
             LedgerHandle::Sharded(h) => block_on(h.task_records_with(task, Freshness::Aligned)),
             // the server runs the same barrier when its endpoint is sharded
             LedgerHandle::Remote(h) => block_on(h.task_records_with(task, Freshness::Aligned)),
+            // aligned per node; a down node's range is absent rather than
+            // failing the whole ranking
+            LedgerHandle::Fleet(h) => {
+                block_on(h.task_records_cut(task, Freshness::Aligned)).map(|cut| cut.value)
+            }
         }
     }
 
@@ -397,6 +419,7 @@ impl LedgerHandle {
             LedgerHandle::Single(h) => block_on(h.flush()),
             LedgerHandle::Sharded(h) => block_on(h.flush()),
             LedgerHandle::Remote(h) => block_on(h.flush()),
+            LedgerHandle::Fleet(h) => block_on(h.flush()),
         }
     }
 }
@@ -424,6 +447,16 @@ impl ServedCoordinatorApp {
         Self::with_ledger_handle(LedgerHandle::Remote(handle))
     }
 
+    /// A coordinator whose fleet ledger spans **several processes**: a
+    /// [`FleetTrustHandle`] routes each report to the node owning the
+    /// selected trustee and commits it with an idempotency tag, so
+    /// reports survive node deaths, reconnects, and restarts without
+    /// ever double-counting. Rankings merge the live nodes' aligned
+    /// cuts; a down node's trustees are simply absent until it returns.
+    pub fn fleet(handle: FleetTrustHandle<DeviceId>) -> Self {
+        Self::with_ledger_handle(LedgerHandle::Fleet(handle))
+    }
+
     fn with_ledger_handle(handle: LedgerHandle) -> Self {
         ServedCoordinatorApp {
             joined: Vec::new(),
@@ -446,6 +479,11 @@ impl ServedCoordinatorApp {
             LedgerHandle::Single(_) => 1,
             LedgerHandle::Sharded(h) => h.shard_count(),
             LedgerHandle::Remote(h) => block_on(h.shard_stats()).map_or(1, |s| s.len().max(1)),
+            // the fleet folds across the sum of every reachable node's
+            // shards
+            LedgerHandle::Fleet(h) => block_on(h.node_stats()).map_or(1, |nodes| {
+                nodes.iter().filter_map(|n| n.shards.as_ref().map(Vec::len)).sum::<usize>().max(1)
+            }),
         }
     }
 
@@ -856,6 +894,65 @@ mod tests {
             .iter()
             .filter_map(|e| e.record(DeviceId(9), super::LEDGER_TASK))
             .map(|r| r.interactions)
+            .sum();
+        assert_eq!(total, 3);
+    }
+
+    #[test]
+    fn served_coordinator_reports_through_a_fleet() {
+        use siot_core::service::{
+            FleetTrustHandle, RemoteTrustServer, ServiceOptions, ShardedTrustService,
+        };
+
+        // two "ledger processes", each a 2-shard fleet behind TCP
+        let services: Vec<_> = (0..2)
+            .map(|_| {
+                ShardedTrustService::spawn_sharded(2, ServiceOptions::default(), |_| {
+                    TrustEngine::<DeviceId, ShardedBackend<DeviceId>>::new()
+                })
+            })
+            .collect();
+        let servers: Vec<_> = services
+            .iter()
+            .map(|s| RemoteTrustServer::bind("127.0.0.1:0", s.handle()).expect("loopback bind"))
+            .collect();
+        let addrs: Vec<String> = servers.iter().map(|s| s.local_addr().to_string()).collect();
+        let fleet = FleetTrustHandle::<DeviceId>::connect(addrs).expect("fleet connects");
+
+        let mut net = IotNetwork::new(3);
+        net.set_radio(RadioModel { loss: 0.0, ..RadioModel::default() });
+        let coord = net.add_device(
+            DeviceKind::Coordinator,
+            (0.0, 0.0),
+            Box::new(ServedCoordinatorApp::fleet(fleet)),
+        );
+        for i in 0..3 {
+            net.add_device(DeviceKind::Trustor, (5.0 * i as f64, 5.0), Box::new(Reporter));
+        }
+        net.start();
+        net.run_to_idle();
+        let app: &ServedCoordinatorApp = net.app_as(coord).unwrap();
+        assert_eq!(app.joined.len(), 3);
+        assert_eq!(app.reports.len(), 3);
+        assert_eq!(app.rejected(), 0);
+        // 2 nodes × 2 shards, summed over the fleet
+        assert_eq!(app.shard_count(), 4);
+
+        // the merged cross-node ranking sees every acked report
+        let ranking = app.trustee_ranking().unwrap();
+        assert_eq!(ranking.len(), 1);
+        assert_eq!(ranking[0].0, DeviceId(9));
+        assert!(ranking[0].1 > 0.0);
+
+        // all three folds live on the one node (and shard) owning
+        // DeviceId(9) — retried tagged commits never double-counted
+        for server in servers {
+            server.shutdown();
+        }
+        let total: u64 = services
+            .into_iter()
+            .flat_map(|s| s.shutdown().unwrap())
+            .filter_map(|e| e.record(DeviceId(9), super::LEDGER_TASK).map(|r| r.interactions))
             .sum();
         assert_eq!(total, 3);
     }

@@ -32,6 +32,13 @@
 //! TCP connection. The wire carries every real as its IEEE-754 bits, so
 //! the remote run must *still* match the sequential reference
 //! bit-for-bit — federation changes the transport, not the arithmetic.
+//!
+//! [`run_fleet`] goes one step further: N loopback **nodes**, each a
+//! sharded service behind its own server, with the racing requesters
+//! driving clones of one fault-tolerant [`FleetTrustHandle`] that routes
+//! peers across nodes and commits through the idempotent tagged path.
+//! Two layers of routing (peer → node → shard) still merge to the same
+//! records bit-for-bit.
 
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
@@ -44,8 +51,8 @@ use siot_core::error::TrustError;
 use siot_core::goal::Goal;
 use siot_core::record::TrustRecord;
 use siot_core::service::{
-    block_on, RemoteTrustServer, RemoteTrustServiceHandle, ServiceOptions, ShardedTrustService,
-    ShardedTrustServiceHandle, TrustService, TrustServiceHandle,
+    block_on, FleetTrustHandle, RemoteTrustServer, RemoteTrustServiceHandle, ServiceOptions,
+    ShardedTrustService, ShardedTrustServiceHandle, TrustService, TrustServiceHandle,
 };
 use siot_core::store::TrustEngine;
 use siot_core::task::{CharacteristicId, Task, TaskId};
@@ -114,6 +121,7 @@ enum ScenarioHandle {
     Single(TrustServiceHandle<u64>),
     Sharded(ShardedTrustServiceHandle<u64>),
     Remote(RemoteTrustServiceHandle<u64>),
+    Fleet(FleetTrustHandle<u64>),
 }
 
 impl ScenarioHandle {
@@ -122,6 +130,7 @@ impl ScenarioHandle {
             ScenarioHandle::Single(h) => h.record(peer, task).await,
             ScenarioHandle::Sharded(h) => h.record(peer, task).await,
             ScenarioHandle::Remote(h) => h.record(peer, task).await,
+            ScenarioHandle::Fleet(h) => h.record(peer, task).await,
         }
     }
 
@@ -130,6 +139,7 @@ impl ScenarioHandle {
             ScenarioHandle::Single(h) => h.delegate(request).await,
             ScenarioHandle::Sharded(h) => h.delegate(request).await,
             ScenarioHandle::Remote(h) => h.delegate(request).await,
+            ScenarioHandle::Fleet(h) => h.delegate(request).await,
         }
     }
 
@@ -141,6 +151,7 @@ impl ScenarioHandle {
             ScenarioHandle::Single(h) => h.commit(completed).await,
             ScenarioHandle::Sharded(h) => h.commit(completed).await,
             ScenarioHandle::Remote(h) => h.commit(completed).await,
+            ScenarioHandle::Fleet(h) => h.submit(completed).await,
         }
     }
 }
@@ -295,6 +306,57 @@ pub fn run_remote(cfg: &ServiceScenarioConfig, shards: usize) -> ServiceScenario
     outcome(per_requester, declined, final_records)
 }
 
+/// [`run_remote`], but across a **fleet of nodes**: `nodes` independent
+/// loopback servers, each fronting its own `shards`-actor sharded
+/// service, with requesters racing through clones of one
+/// [`FleetTrustHandle`]. Commits travel the idempotent tagged path and
+/// peers route node-first, shard-second — and the merged records must
+/// still match the sequential in-process reference bit-for-bit.
+pub fn run_fleet(
+    cfg: &ServiceScenarioConfig,
+    nodes: usize,
+    shards: usize,
+) -> ServiceScenarioOutcome {
+    let task = Task::uniform(SERVICE_TASK, [CharacteristicId(0)]).expect("non-empty task");
+    let services: Vec<_> = (0..nodes)
+        .map(|_| {
+            ShardedTrustService::spawn_sharded(
+                shards,
+                ServiceOptions { mailbox: cfg.mailbox, ..ServiceOptions::default() },
+                |_| {
+                    let mut engine: TrustEngine<u64, ShardedBackend<u64>> = TrustEngine::new();
+                    engine.register_task(task.clone());
+                    engine
+                },
+            )
+        })
+        .collect();
+    let servers: Vec<_> = services
+        .iter()
+        .map(|s| RemoteTrustServer::bind("127.0.0.1:0", s.handle()).expect("loopback bind"))
+        .collect();
+    let addrs: Vec<String> = servers.iter().map(|s| s.local_addr().to_string()).collect();
+    let fleet = FleetTrustHandle::<u64>::connect(addrs).expect("loopback fleet connects");
+    let (per_requester, declined) = drive_fleet(cfg, &task, &ScenarioHandle::Fleet(fleet), true);
+    for server in servers {
+        server.shutdown();
+    }
+    let mut final_records: Vec<(u64, TrustRecord)> = services
+        .into_iter()
+        .flat_map(|s| s.shutdown().expect("scenario nodes shut down cleanly"))
+        .flat_map(|engine| {
+            engine
+                .known_peers()
+                .into_iter()
+                .filter_map(|peer| engine.record(peer, SERVICE_TASK).map(|rec| (peer, rec)))
+                .collect::<Vec<_>>()
+        })
+        .collect();
+    // nodes and shards partition the key space: the merge is a sort
+    final_records.sort_unstable_by_key(|&(peer, _)| peer);
+    outcome(per_requester, declined, final_records)
+}
+
 fn run_inner(cfg: &ServiceScenarioConfig, concurrent: bool) -> ServiceScenarioOutcome {
     let task = Task::uniform(SERVICE_TASK, [CharacteristicId(0)]).expect("non-empty task");
     let mut engine: TrustEngine<u64, ShardedBackend<u64>> = TrustEngine::new();
@@ -419,6 +481,24 @@ mod tests {
         }
         assert_eq!(remote.per_requester, ordered.per_requester);
         assert_eq!(remote.declined, ordered.declined);
+    }
+
+    #[test]
+    fn fleet_requesters_match_sequential_bitwise() {
+        let cfg = ServiceScenarioConfig { iterations: 40, ..Default::default() };
+        let ordered = run_sequential(&cfg);
+        let fleet = run_fleet(&cfg, 2, 2);
+        assert_eq!(fleet.final_records.len(), ordered.final_records.len());
+        for ((pa, ra), (pb, rb)) in fleet.final_records.iter().zip(&ordered.final_records) {
+            assert_eq!(pa, pb);
+            assert_eq!(ra.s_hat.to_bits(), rb.s_hat.to_bits());
+            assert_eq!(ra.g_hat.to_bits(), rb.g_hat.to_bits());
+            assert_eq!(ra.d_hat.to_bits(), rb.d_hat.to_bits());
+            assert_eq!(ra.c_hat.to_bits(), rb.c_hat.to_bits());
+            assert_eq!(ra.interactions, rb.interactions);
+        }
+        assert_eq!(fleet.per_requester, ordered.per_requester);
+        assert_eq!(fleet.declined, ordered.declined);
     }
 
     #[test]

@@ -9,8 +9,11 @@
 //! engine **served** — moved onto a `TrustService` actor thread whose
 //! cloneable async handles let concurrent requesters share it — with
 //! the service **sharded**: partitioned shard actors behind one routing
-//! handle — and with the service **federated**: exposed over TCP to a
-//! remote handle that mirrors the whole API from another process.
+//! handle — with the service **federated**: exposed over TCP to a
+//! remote handle that mirrors the whole API from another process — and
+//! with the federation **fault-tolerant**: a fleet handle routing
+//! across several TCP nodes, surviving a node kill with typed errors,
+//! reconnects, and idempotent commits.
 //!
 //! Run with: `cargo run --example quickstart`
 
@@ -263,4 +266,56 @@ fn main() {
     });
     server.shutdown();
     fleet.shutdown().expect("every shard drains and stops");
+
+    // 11. surviving failure: several nodes behind ONE fault-tolerant
+    //     fleet handle. Peers route to nodes by the same stable trustee
+    //     hash the shards use; commits carry (session, seq) idempotency
+    //     tags the servers deduplicate, so a commit retried across a dead
+    //     connection or node restart replays instead of double-counting;
+    //     a down node fails only its own key range, with typed errors and
+    //     capped-backoff reconnects. See `examples/fleet_failover.rs`
+    //     for the full kill-and-recover lifecycle.
+    let nodes: Vec<_> = (0..2)
+        .map(|_| {
+            ShardedTrustService::spawn_sharded(2, ServiceOptions::default(), |_shard| {
+                TrustEngine::with_backend(siot::core::backend::ShardedBackend::<u32>::default())
+            })
+        })
+        .collect();
+    let servers: Vec<_> = nodes
+        .iter()
+        .map(|n| RemoteTrustServer::bind("127.0.0.1:0", n.handle()).expect("loopback bind"))
+        .collect();
+    let addrs: Vec<String> = servers.iter().map(|s| s.local_addr().to_string()).collect();
+    let fleet_handle = FleetTrustHandle::<u32>::connect(addrs).expect("nodes reachable");
+    block_on(async {
+        fleet_handle.register_task(task.clone()).await.expect("fleet alive");
+        let scratch: TrustStore<u32> = TrustStore::new();
+        let batch: Vec<_> = (0..30u32)
+            .map(|peer| {
+                DelegationRequest::new(peer, &task, goal, Context::amicable(task.id()))
+                    .committed()
+                    .activate(&scratch)
+                    .finish(DelegationOutcome::succeeded(0.8, 0.2))
+                    .expect("outcome is unit-range")
+            })
+            .collect();
+        // the idempotent tagged path: stamped once, safe to retry forever
+        let receipts = fleet_handle.submit_batch(batch).await.expect("fleet alive");
+        let cut = fleet_handle.known_peers_cut(Freshness::Aligned).await.expect("fleet alive");
+        println!(
+            "\nfault-tolerant fleet: {} tagged receipts across {} nodes, {} peers in a \
+             fleet-wide cut (complete: {})",
+            receipts.len(),
+            fleet_handle.node_count(),
+            cut.value.len(),
+            cut.complete(),
+        );
+    });
+    for server in servers {
+        server.shutdown();
+    }
+    for node in nodes {
+        node.shutdown().expect("every node's shards drain and stop");
+    }
 }
