@@ -22,8 +22,20 @@
 //!   frame encode + buffered write, not the disk's sync latency);
 //! * `log_writebehind/batched_observe_*` — the [`WriteBehind`] combination:
 //!   sharded front absorbing the folds, journal trailing behind;
+//! * `log/segmented_commit_*` — the same durable replay across a rotating
+//!   1 MiB segment chain: the per-rotation seal + manifest-swap cost over
+//!   the single-segment append of `log/batched_observe_*`;
+//! * `log/compact_churn_1m` vs `log/compact_full_1m` — compaction on a
+//!   1M-record chain after a 10k-observation churn window: the incremental
+//!   row folds only the raw (churned) segments, the full row rewrites the
+//!   entire state — their gap is what the segmented chain buys;
 //! * `log/reopen_100k` — recovery cost: replaying a 100k-record log back
 //!   into memory on open (the restart path the persistence suite pins);
+//! * `service/group_commit_{onflush,always}_100k` — the service commit
+//!   shape of `service/commit_*` against the durable [`LogBackend`], fsync
+//!   policy swept: under `always` the actor holds each batch's receipts
+//!   until one group-commit `sync_all` covers the whole drain, so the row
+//!   must stay within ~3× of `onflush` instead of paying per-frame syncs;
 //! * `service/commit_*` — the async facade priced end to end: four client
 //!   threads build committed delegation sessions and pipeline them through
 //!   `TrustServiceHandle::submit` into the actor's bounded mailbox, which
@@ -76,7 +88,9 @@ use siot_core::backend::{BTreeBackend, ShardedBackend, TrustBackend};
 use siot_core::context::Context;
 use siot_core::delegation::{DelegationOutcome, DelegationRequest};
 use siot_core::goal::Goal;
-use siot_core::log_backend::{FsyncPolicy, LogBackend, LogOptions, WriteBehind};
+use siot_core::log_backend::{
+    FsyncPolicy, LogBackend, LogOptions, WriteBehind, DEFAULT_SEGMENT_BYTES,
+};
 use siot_core::pool::{Dispatch, ObserverPool};
 use siot_core::record::{ForgettingFactors, Observation};
 use siot_core::service::{
@@ -121,7 +135,17 @@ fn bench_dir(tag: &str) -> PathBuf {
 
 /// The persistence price without the disk's sync latency: benches measure
 /// the journaling hot path (frame encode + buffered write), not fsync.
-const NO_FSYNC: LogOptions = LogOptions { fsync: FsyncPolicy::Never, compact_every: 0 };
+const NO_FSYNC: LogOptions = LogOptions {
+    fsync: FsyncPolicy::Never,
+    compact_every: 0,
+    segment_bytes: DEFAULT_SEGMENT_BYTES,
+};
+
+/// Segmented-chain pricing: 1 MiB segments so the workload actually
+/// rotates (≈6 rotations at 100k frames, ≈60 at 1M) — the row carries the
+/// per-rotation seal/manifest-swap cost on top of `log/batched_observe_*`.
+const SEGMENTED: LogOptions =
+    LogOptions { fsync: FsyncPolicy::Never, compact_every: 0, segment_bytes: 1 << 20 };
 
 fn replay_into<B: TrustBackend<u32>>(backend: B, workload: &Workload) -> usize {
     let mut engine = TrustEngine::with_backend(backend);
@@ -209,6 +233,21 @@ fn bench_workload(c: &mut Criterion, label: &str, n_obs: usize, n_peers: u32) {
         })
     });
     let _ = std::fs::remove_dir_all(&log_dir);
+
+    // the same durable replay across a rotating segment chain: what the
+    // bounded-segment format costs over the single-file append above
+    let seg_dir = bench_dir(&format!("seg-{label}"));
+    c.bench_function(&format!("store_backends/log/segmented_commit_{label}"), |b| {
+        b.iter(|| {
+            let _ = std::fs::remove_dir_all(&seg_dir);
+            let backend =
+                LogBackend::<u32>::open_with(&seg_dir, SEGMENTED).expect("bench dir opens");
+            let count = replay_into(backend, black_box(&workload));
+            assert_eq!(count, n_obs);
+            black_box(count)
+        })
+    });
+    let _ = std::fs::remove_dir_all(&seg_dir);
 
     let wb_dir = bench_dir(&format!("wb-{label}"));
     c.bench_function(&format!("store_backends/log_writebehind/batched_observe_{label}"), |b| {
@@ -694,6 +733,109 @@ fn bench_store_backends(c: &mut Criterion) {
                 black_box(total)
             })
         });
+    }
+
+    // the group-commit seam priced end to end: the same four clients as
+    // service/commit_100k, but against the durable LogBackend with the
+    // fsync policy swept — `always` must stay within ~3× of `onflush`,
+    // since one sync_all covers each drained mailbox batch (and holds its
+    // receipts) rather than syncing every frame
+    for (tag, fsync) in [("onflush", FsyncPolicy::OnFlush), ("always", FsyncPolicy::Always)] {
+        let tasks: Vec<Task> = (0..N_TASKS)
+            .map(|t| Task::uniform(TaskId(t), [CharacteristicId(0)]).expect("non-empty"))
+            .collect();
+        let gc_dir = bench_dir(&format!("gc-{tag}"));
+        c.bench_function(&format!("store_backends/service/group_commit_{tag}_100k"), |b| {
+            b.iter(|| {
+                let _ = std::fs::remove_dir_all(&gc_dir);
+                let engine: TrustEngine<u32, LogBackend<u32>> = TrustEngine::open_with(
+                    &gc_dir,
+                    LogOptions { fsync, compact_every: 0, ..LogOptions::default() },
+                )
+                .expect("bench dir opens");
+                let service = TrustService::spawn(
+                    engine,
+                    ServiceOptions { mailbox: 4 * SERVICE_PIPELINE, ..ServiceOptions::default() },
+                );
+                std::thread::scope(|scope| {
+                    for slice in workload.chunks(N_OBS / WRITERS) {
+                        let handle = service.handle();
+                        let tasks = &tasks;
+                        scope.spawn(move || {
+                            let scratch: TrustStore<u32> = TrustStore::new();
+                            let mut acks = Vec::with_capacity(SERVICE_PIPELINE);
+                            for window in slice.chunks(SERVICE_PIPELINE) {
+                                for &(peer, tid, obs) in window {
+                                    let request = DelegationRequest::new(
+                                        peer,
+                                        &tasks[tid.0 as usize],
+                                        Goal::ANY,
+                                        Context::amicable(tid),
+                                    )
+                                    .committed();
+                                    let completed = request
+                                        .activate(&scratch)
+                                        .finish(DelegationOutcome::observed(obs))
+                                        .expect("workload observations are unit-range");
+                                    acks.push(handle.submit(completed));
+                                }
+                                for ack in acks.drain(..) {
+                                    block_on(ack).expect("service alive for the whole batch");
+                                }
+                            }
+                        });
+                    }
+                });
+                let engine = service.shutdown().expect("clean shutdown");
+                assert_eq!(engine.record_count(), N_OBS);
+                black_box(engine.record_count())
+            })
+        });
+        let _ = std::fs::remove_dir_all(&gc_dir);
+    }
+
+    // churn-proportional compaction on a big store: a 1M-record chain is
+    // folded once into its compacted prefix; each iteration then
+    // re-observes a 10k hot set and compacts. The incremental row's cost
+    // tracks the churn window, the full row's the 1M records — their gap
+    // is what the segmented chain buys
+    {
+        let workload_1m = backend_workload(N_OBS_1M, N_PEERS_1M, N_TASKS, 42);
+        let churn_dir = bench_dir("churn");
+        let _ = std::fs::remove_dir_all(&churn_dir);
+        let backend = LogBackend::<u32>::open_with(&churn_dir, NO_FSYNC).expect("bench dir opens");
+        let mut engine = TrustEngine::with_backend(backend);
+        let betas = ForgettingFactors::figures();
+        for batch in workload_1m.chunks(BATCH) {
+            engine.observe_batch(batch, &betas).expect("workload observations are unit-range");
+        }
+        engine.compact().expect("initial full fold");
+        assert_eq!(engine.record_count(), N_OBS_1M);
+        let hot = &workload_1m[..10_000];
+        c.bench_function("store_backends/log/compact_churn_1m", |b| {
+            b.iter(|| {
+                for batch in hot.chunks(BATCH) {
+                    engine
+                        .observe_batch(batch, &betas)
+                        .expect("workload observations are unit-range");
+                }
+                engine.compact_churned().expect("incremental compaction succeeds");
+                black_box(engine.compacted_segments())
+            })
+        });
+        c.bench_function("store_backends/log/compact_full_1m", |b| {
+            b.iter(|| {
+                for batch in hot.chunks(BATCH) {
+                    engine
+                        .observe_batch(batch, &betas)
+                        .expect("workload observations are unit-range");
+                }
+                engine.compact().expect("full compaction succeeds");
+                black_box(engine.segments())
+            })
+        });
+        drop(engine);
+        let _ = std::fs::remove_dir_all(&churn_dir);
     }
 
     // recovery cost: replay a 100k-record log back into memory on open

@@ -122,6 +122,21 @@ pub trait TrustBackend<P: Copy + Ord>: Default + Clone + fmt::Debug {
     fn flush(&mut self) -> Result<(), TrustError> {
         Ok(())
     }
+
+    /// Durability hook: the **group-commit barrier**. The engine calls it
+    /// once per write operation — after *all* of a batch's records and
+    /// usage logs are appended — and a durable backend whose policy
+    /// demands per-operation durability (the log backends under
+    /// [`FsyncPolicy::Always`](crate::log::FsyncPolicy::Always)) issues
+    /// one fsync covering everything appended since the last barrier.
+    /// Everything acknowledged past a returned `Ok` is on disk; a batch of
+    /// any size pays one syscall, not one per record. Reports (but does
+    /// not consume) a sticky append failure — [`flush`](Self::flush) stays
+    /// the surface-once point. A no-op `Ok(())` for in-memory backends
+    /// and under the other fsync policies.
+    fn commit_barrier(&mut self) -> Result<(), TrustError> {
+        Ok(())
+    }
 }
 
 /// A backend whose shared (`&self`) handle supports concurrent writers.
@@ -199,6 +214,14 @@ pub trait ConcurrentTrustBackend<P: Copy + Ord>: TrustBackend<P> + Sync {
             let (peer, task) = key_of(i);
             self.update_shared(peer, task, &mut |prior| f(i, prior));
         }
+    }
+
+    /// Shared-handle [`commit_barrier`](TrustBackend::commit_barrier):
+    /// the fsync covers every append that completed before the call,
+    /// across all lanes and threads. A no-op `Ok(())` for in-memory
+    /// backends.
+    fn commit_barrier_shared(&self) -> Result<(), TrustError> {
+        Ok(())
     }
 }
 

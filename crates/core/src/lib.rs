@@ -89,6 +89,7 @@ pub mod evaluate;
 pub mod framing;
 pub mod goal;
 pub mod infer;
+pub mod log;
 pub mod log_backend;
 pub mod mutuality;
 pub mod policy;

@@ -1,0 +1,107 @@
+//! Segment files: header validation, creation, and the two replay modes
+//! (strict for sealed/compacted segments, tail-tolerant for the active
+//! one), plus the directory-entry durability helper every chain mutation
+//! relies on.
+
+use super::frames::{followed_by_valid_frame, read_frame, FrameRead, Replayed};
+use super::{LogKey, FORMAT_VERSION, HEADER_LEN};
+use crate::error::TrustError;
+use std::fs::{File, OpenOptions};
+use std::io::Write;
+use std::path::Path;
+
+/// An 8-byte v2 header: magic, kind, version, two reserved zero bytes.
+pub(crate) fn header(kind: u8) -> [u8; HEADER_LEN] {
+    [b'S', b'I', b'O', b'T', kind, FORMAT_VERSION, 0, 0]
+}
+
+/// Validates magic/kind/version of a v2 file.
+pub(crate) fn check_header(data: &[u8], kind: u8, what: &'static str) -> Result<(), TrustError> {
+    if data.len() < HEADER_LEN || &data[..4] != b"SIOT" || data[4] != kind {
+        return Err(TrustError::Corrupt { what, offset: 0 });
+    }
+    if data[5] != FORMAT_VERSION {
+        return Err(TrustError::UnsupportedFormat { found: data[5], expected: FORMAT_VERSION });
+    }
+    Ok(())
+}
+
+/// Fsyncs the directory itself so renames/creates/deletes of chain files
+/// are durable — a crash right after a rename must not resurface the old
+/// directory entry. Errors propagate: a failed directory sync means the
+/// chain mutation is *not* durably committed, and callers record it sticky
+/// instead of swallowing it.
+pub(crate) fn sync_dir(dir: &Path) -> std::io::Result<()> {
+    File::open(dir)?.sync_all()
+}
+
+/// Creates (or re-initializes, after a crashed earlier attempt with the
+/// same sequence number) a segment file holding `body` after the header,
+/// fsynced. The caller syncs the directory once per chain mutation.
+pub(crate) fn create_segment(path: &Path, kind: u8, body: &[u8]) -> std::io::Result<File> {
+    let mut file =
+        OpenOptions::new().read(true).write(true).create(true).truncate(false).open(path)?;
+    file.set_len(0)?;
+    file.write_all(&header(kind))?;
+    if !body.is_empty() {
+        file.write_all(body)?;
+    }
+    file.sync_all()?;
+    Ok(file)
+}
+
+/// Strict replay for sealed and compacted segments: every byte after the
+/// (already validated) header must belong to a valid frame — rotation and
+/// compaction fsynced these files before the manifest listed them, so any
+/// damage is real corruption, never a torn append. Returns the frame count.
+pub(crate) fn replay_strict<P: LogKey>(
+    data: &[u8],
+    state: &mut Replayed<P>,
+) -> Result<u64, TrustError> {
+    let mut off = HEADER_LEN;
+    let mut frames = 0u64;
+    loop {
+        match read_frame(data, off) {
+            FrameRead::End => return Ok(frames),
+            FrameRead::Frame(frame, next) => {
+                state.apply(frame);
+                off = next;
+                frames += 1;
+            }
+            FrameRead::Invalid => {
+                return Err(TrustError::Corrupt { what: "segment frame", offset: off as u64 })
+            }
+        }
+    }
+}
+
+/// Tail-tolerant replay for the active segment: returns `(valid_len,
+/// frames)` of the longest checksum-valid prefix, or
+/// [`TrustError::Corrupt`] when an invalid frame is *not* the tail (a
+/// crash tears at most the frame being appended).
+pub(crate) fn replay_tail<P: LogKey>(
+    data: &[u8],
+    state: &mut Replayed<P>,
+) -> Result<(usize, u64), TrustError> {
+    let mut off = HEADER_LEN;
+    let mut frames = 0u64;
+    loop {
+        match read_frame(data, off) {
+            FrameRead::End => return Ok((off, frames)),
+            FrameRead::Frame(frame, next) => {
+                state.apply(frame);
+                off = next;
+                frames += 1;
+            }
+            FrameRead::Invalid => {
+                if followed_by_valid_frame::<P>(data, off) {
+                    return Err(TrustError::Corrupt {
+                        what: "log frame checksum",
+                        offset: off as u64,
+                    });
+                }
+                return Ok((off, frames)); // torn tail: recover the prefix
+            }
+        }
+    }
+}

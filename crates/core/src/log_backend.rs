@@ -1,1613 +1,9 @@
-//! Durable trust state: an append-only record log with snapshot compaction
-//! and replay-on-open recovery.
+//! Compatibility alias for the durable backends' old module path.
 //!
-//! Every backend before this one was in-memory, so a process restart erased
-//! exactly the history the paper's trust process depends on: the
-//! direct-experience records Eq. 4 inference draws from, the §4.1 mutuality
-//! usage logs, and the environment-corrected expectations of §4.5. This
-//! module makes that state survive:
-//!
-//! * [`LogBackend`] — a [`TrustBackend`] whose in-memory ordered map (the
-//!   same layout as [`BTreeBackend`](crate::backend::BTreeBackend), so it is
-//!   bit-identical to it by construction) is mirrored into an append-only
-//!   **frame log**. Reopening replays the snapshot plus the log tail and
-//!   recovers the exact pre-crash state.
-//! * [`WriteBehind`] — a [`ShardedBackend`] fronting the same journal as a
-//!   cache: reads and folds hit the sharded map (including the concurrent
-//!   shared-handle paths the [`ObserverPool`](crate::pool::ObserverPool)
-//!   drives), while every folded record is journaled behind the front.
-//!   [`WriteBehind::flush`]/[`WriteBehind::sync`] work through a shared
-//!   handle, so an `Arc`-shared engine can still be made durable on demand.
-//!
-//! ## On-disk format (version 1)
-//!
-//! Two files live in the backend's directory:
-//!
-//! ```text
-//! trust.log    8-byte header, then length-prefixed checksummed frames
-//! trust.snap   same frame format; the compacted full state (atomic rename)
-//! ```
-//!
-//! Header: `"SIOT"`, a kind byte (`'L'` log / `'S'` snapshot), the format
-//! version byte, two zero bytes. A version mismatch fails open with
-//! [`TrustError::UnsupportedFormat`] — the format is pinned by a golden-file
-//! test, so readers never silently misparse old state.
-//!
-//! Frame: `len: u32 LE | crc32: u32 LE | payload`, CRC-32 (IEEE) over the
-//! payload — the shared [`framing`] codec, the same frame
-//! shape [`service::remote`](crate::service::remote) speaks over TCP.
-//! Payloads carry **absolute** state — the post-fold record, the
-//! post-append usage log — never deltas, so replaying a frame twice is
-//! harmless and double-counting on recovery is unrepresentable.
-//!
-//! | kind byte | payload |
-//! |---|---|
-//! | `1` record | peer `u64`, task `u32`, `Ŝ Ĝ D̂ Ĉ` as `f64` bits, interactions `u64` |
-//! | `2` usage log | peer `u64`, responsive `u64`, abusive `u64` |
-//! | `3` clear | (records dropped, usage logs kept — mirrors [`TrustBackend::clear`]) |
-//!
-//! ## Crash recovery
-//!
-//! A crash can tear at most the frame being appended, so recovery accepts
-//! the **longest checksum-valid prefix**: an incomplete or checksum-failing
-//! frame at the tail is truncated away silently. A checksum failure on a
-//! frame *followed by a valid frame* cannot be a torn append — that is real
-//! corruption and surfaces as [`TrustError::Corrupt`]. Snapshots are
-//! written to a temp file, fsynced and renamed into place, so any damage
-//! inside a snapshot is also [`TrustError::Corrupt`].
-//!
-//! ## Durability knobs
-//!
-//! [`LogOptions`] controls the [`FsyncPolicy`] (when `fsync` runs) and
-//! `compact_every` (auto-compaction after that many frames; `0` = manual
-//! [`LogBackend::compact`] only). Appends buffer in memory and spill to the
-//! OS at a fixed threshold, on [`flush`](TrustBackend::flush), on
-//! compaction, and on drop — dropping an engine without an explicit flush
-//! still persists every committed session. I/O failures on the append path
-//! are sticky and surface at the next `flush`/`sync`/`compact`.
-
-use crate::backend::{ConcurrentTrustBackend, ShardedBackend, TrustBackend};
-use crate::error::TrustError;
-use crate::framing::{self, RawFrame};
-use crate::mutuality::UsageLog;
-use crate::record::TrustRecord;
-use crate::task::TaskId;
-use std::collections::BTreeMap;
-use std::fmt;
-use std::fs::{self, File, OpenOptions};
-use std::hash::Hash;
-use std::io::{Seek, SeekFrom, Write};
-use std::path::{Path, PathBuf};
-use std::sync::Mutex;
-
-/// The on-disk format version this build reads and writes.
-pub const FORMAT_VERSION: u8 = 1;
-
-/// Log file name inside the backend directory.
-pub const LOG_FILE: &str = "trust.log";
-/// Snapshot file name inside the backend directory.
-pub const SNAP_FILE: &str = "trust.snap";
-const SNAP_TMP: &str = "trust.snap.tmp";
-
-const HEADER_LEN: usize = 8;
-const KIND_LOG: u8 = b'L';
-const KIND_SNAP: u8 = b'S';
-
-/// Frames are tens of bytes; anything claiming more than this is garbage,
-/// rejected before the length can drive a huge allocation.
-const MAX_FRAME_LEN: u32 = 1 << 16;
-
-/// Buffered frame bytes spill to the OS past this size even without an
-/// explicit flush, bounding the window a crash can lose under
-/// [`FsyncPolicy::OnFlush`].
-const BUFFER_SPILL: usize = 256 * 1024;
-
-// ---------------------------------------------------------------------------
-// Key serialization
-// ---------------------------------------------------------------------------
-
-/// Peer keys a durable backend can serialize: a lossless round trip through
-/// `u64`. Implemented for the unsigned integers here; newtype ids (e.g. the
-/// IoT crate's `DeviceId`) implement it over their inner integer.
-pub trait LogKey: Copy + Ord {
-    /// The key as its on-disk `u64` representation.
-    fn to_log_u64(self) -> u64;
-    /// Rebuilds the key from its on-disk representation. Only ever called
-    /// with values a [`Self::to_log_u64`] of the same type produced (frames
-    /// are checksummed), so truncating conversions are unreachable in
-    /// practice.
-    fn from_log_u64(raw: u64) -> Self;
-}
-
-macro_rules! impl_log_key {
-    ($($t:ty),*) => {$(
-        impl LogKey for $t {
-            fn to_log_u64(self) -> u64 {
-                self as u64
-            }
-            fn from_log_u64(raw: u64) -> Self {
-                raw as $t
-            }
-        }
-    )*};
-}
-impl_log_key!(u8, u16, u32, u64);
-
-// ---------------------------------------------------------------------------
-// Options
-// ---------------------------------------------------------------------------
-
-/// When the journal calls `fsync` on the log file.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
-pub enum FsyncPolicy {
-    /// Never fsync — buffered writes still reach the OS, but a host crash
-    /// may lose the tail. Fastest; right for benches and recomputable state.
-    Never,
-    /// Fsync whenever buffered frames are pushed down: explicit
-    /// [`flush`](TrustBackend::flush)/[`sync`](LogBackend::sync) calls,
-    /// buffer spills, compaction, and drop. The default.
-    #[default]
-    OnFlush,
-    /// Fsync after every appended frame. Maximum durability, one syscall
-    /// pair per write — for small agents whose every interaction matters.
-    Always,
-}
-
-/// Construction knobs for a durable backend.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
-pub struct LogOptions {
-    /// When `fsync` runs (default [`FsyncPolicy::OnFlush`]).
-    pub fsync: FsyncPolicy,
-    /// Auto-compact once this many frames accumulate since the last
-    /// snapshot; `0` (the default) means compaction only happens through
-    /// an explicit [`LogBackend::compact`] call.
-    pub compact_every: u64,
-}
-
-// ---------------------------------------------------------------------------
-// Frames
-// ---------------------------------------------------------------------------
-
-enum Frame<P> {
-    PutRecord { peer: P, task: TaskId, rec: TrustRecord },
-    PutUsage { peer: P, log: UsageLog },
-    ClearRecords,
-}
-
-const KIND_PUT_RECORD: u8 = 1;
-const KIND_PUT_USAGE: u8 = 2;
-const KIND_CLEAR: u8 = 3;
-
-fn encode_frame<P: LogKey>(out: &mut Vec<u8>, frame: &Frame<P>) {
-    let start = framing::begin_frame(out);
-    match *frame {
-        Frame::PutRecord { peer, task, rec } => {
-            out.push(KIND_PUT_RECORD);
-            out.extend_from_slice(&peer.to_log_u64().to_le_bytes());
-            out.extend_from_slice(&task.0.to_le_bytes());
-            for v in [rec.s_hat, rec.g_hat, rec.d_hat, rec.c_hat] {
-                out.extend_from_slice(&v.to_bits().to_le_bytes());
-            }
-            out.extend_from_slice(&rec.interactions.to_le_bytes());
-        }
-        Frame::PutUsage { peer, log } => {
-            out.push(KIND_PUT_USAGE);
-            out.extend_from_slice(&peer.to_log_u64().to_le_bytes());
-            out.extend_from_slice(&log.responsive.to_le_bytes());
-            out.extend_from_slice(&log.abusive.to_le_bytes());
-        }
-        Frame::ClearRecords => out.push(KIND_CLEAR),
-    }
-    framing::end_frame(out, start);
-}
-
-fn read_u64(b: &[u8], at: usize) -> u64 {
-    u64::from_le_bytes(b[at..at + 8].try_into().expect("bounds checked by caller"))
-}
-
-fn decode_frame<P: LogKey>(payload: &[u8]) -> Option<Frame<P>> {
-    match *payload.first()? {
-        KIND_PUT_RECORD if payload.len() == 53 => Some(Frame::PutRecord {
-            peer: P::from_log_u64(read_u64(payload, 1)),
-            task: TaskId(u32::from_le_bytes(payload[9..13].try_into().ok()?)),
-            rec: TrustRecord {
-                s_hat: f64::from_bits(read_u64(payload, 13)),
-                g_hat: f64::from_bits(read_u64(payload, 21)),
-                d_hat: f64::from_bits(read_u64(payload, 29)),
-                c_hat: f64::from_bits(read_u64(payload, 37)),
-                interactions: read_u64(payload, 45),
-            },
-        }),
-        KIND_PUT_USAGE if payload.len() == 25 => Some(Frame::PutUsage {
-            peer: P::from_log_u64(read_u64(payload, 1)),
-            log: UsageLog { responsive: read_u64(payload, 9), abusive: read_u64(payload, 17) },
-        }),
-        KIND_CLEAR if payload.len() == 1 => Some(Frame::ClearRecords),
-        _ => None,
-    }
-}
-
-enum FrameRead<P> {
-    /// A valid frame and the offset of the next one.
-    Frame(Frame<P>, usize),
-    /// Clean end of data (exactly at a frame boundary).
-    End,
-    /// Torn, checksum-failing, or unparseable bytes at this offset.
-    Invalid,
-}
-
-fn read_frame<P: LogKey>(data: &[u8], off: usize) -> FrameRead<P> {
-    match framing::read_frame(data, off, MAX_FRAME_LEN) {
-        RawFrame::End => FrameRead::End,
-        RawFrame::Invalid => FrameRead::Invalid,
-        RawFrame::Frame { payload, next } => match decode_frame(payload) {
-            Some(frame) => FrameRead::Frame(frame, next),
-            None => FrameRead::Invalid,
-        },
-    }
-}
-
-/// Whether a well-formed **log** frame (checksum-valid and decodable)
-/// exists anywhere after the invalid bytes at `off` — the torn-tail vs.
-/// mid-log-corruption test, with the payload decoder as the validity
-/// check on top of the shared framing scan.
-fn followed_by_valid_frame<P: LogKey>(data: &[u8], off: usize) -> bool {
-    framing::followed_by_valid_frame(data, off, MAX_FRAME_LEN, |payload| {
-        decode_frame::<P>(payload).is_some()
-    })
-}
-
-/// Header bytes 6–7 carry the **compaction generation** (`u16` LE,
-/// wrapping): each compaction writes the snapshot with generation `g + 1`
-/// and then rewrites the truncated log's header to match. On open, a log
-/// whose generation differs from the snapshot's predates it — the crash
-/// fell between the snapshot rename and the log truncation — and replaying
-/// its stale absolute frames over the newer snapshot would regress state,
-/// so such a log is discarded instead of replayed.
-fn header(kind: u8, generation: u16) -> [u8; HEADER_LEN] {
-    let g = generation.to_le_bytes();
-    [b'S', b'I', b'O', b'T', kind, FORMAT_VERSION, g[0], g[1]]
-}
-
-/// Validates magic/kind/version and returns the header's generation.
-fn check_header(data: &[u8], kind: u8, what: &'static str) -> Result<u16, TrustError> {
-    if data.len() < HEADER_LEN || &data[..4] != b"SIOT" || data[4] != kind {
-        return Err(TrustError::Corrupt { what, offset: 0 });
-    }
-    if data[5] != FORMAT_VERSION {
-        return Err(TrustError::UnsupportedFormat { found: data[5], expected: FORMAT_VERSION });
-    }
-    Ok(u16::from_le_bytes([data[6], data[7]]))
-}
-
-// ---------------------------------------------------------------------------
-// Recovery
-// ---------------------------------------------------------------------------
-
-/// The recovered record map, keyed like the ordered backends.
-type RecordMap<P> = BTreeMap<(P, TaskId), TrustRecord>;
-
-struct Replayed<P> {
-    records: RecordMap<P>,
-    usage: BTreeMap<P, UsageLog>,
-}
-
-impl<P> Default for Replayed<P> {
-    fn default() -> Self {
-        Replayed { records: BTreeMap::new(), usage: BTreeMap::new() }
-    }
-}
-
-impl<P: LogKey> Replayed<P> {
-    fn apply(&mut self, frame: Frame<P>) {
-        match frame {
-            Frame::PutRecord { peer, task, rec } => {
-                self.records.insert((peer, task), rec);
-            }
-            Frame::PutUsage { peer, log } => {
-                self.usage.insert(peer, log);
-            }
-            Frame::ClearRecords => self.records.clear(),
-        }
-    }
-}
-
-/// Strict replay for snapshots: every byte must belong to a valid frame.
-/// Returns the snapshot's generation.
-fn load_snapshot<P: LogKey>(data: &[u8], state: &mut Replayed<P>) -> Result<u16, TrustError> {
-    let generation = check_header(data, KIND_SNAP, "snapshot header")?;
-    let mut off = HEADER_LEN;
-    loop {
-        match read_frame(data, off) {
-            FrameRead::End => return Ok(generation),
-            FrameRead::Frame(frame, next) => {
-                state.apply(frame);
-                off = next;
-            }
-            FrameRead::Invalid => {
-                return Err(TrustError::Corrupt { what: "snapshot frame", offset: off as u64 })
-            }
-        }
-    }
-}
-
-/// Tail-tolerant replay for logs: returns `(valid_len, frames_replayed)` of
-/// the longest checksum-valid prefix, or [`TrustError::Corrupt`] when an
-/// invalid frame is *not* the tail.
-fn replay_log<P: LogKey>(data: &[u8], state: &mut Replayed<P>) -> Result<(usize, u64), TrustError> {
-    let mut off = HEADER_LEN;
-    let mut frames = 0u64;
-    loop {
-        match read_frame(data, off) {
-            FrameRead::End => return Ok((off, frames)),
-            FrameRead::Frame(frame, next) => {
-                state.apply(frame);
-                off = next;
-                frames += 1;
-            }
-            FrameRead::Invalid => {
-                if followed_by_valid_frame::<P>(data, off) {
-                    return Err(TrustError::Corrupt {
-                        what: "log frame checksum",
-                        offset: off as u64,
-                    });
-                }
-                return Ok((off, frames)); // torn tail: recover the prefix
-            }
-        }
-    }
-}
-
-// ---------------------------------------------------------------------------
-// Journal: the shared durable sink under LogBackend and WriteBehind
-// ---------------------------------------------------------------------------
-
-enum Sink {
-    /// Ephemeral: frames are dropped as they are appended. The mode of
-    /// [`Default`] construction and of clones detached from their file.
-    Null,
-    /// File-backed: frames buffer in `buf` and spill to `file`.
-    File { file: File, dir: PathBuf, buf: Vec<u8> },
-}
-
-struct Journal<P: LogKey> {
-    sink: Sink,
-    /// Authoritative post-append usage logs (what the engine recovers).
-    usage: BTreeMap<P, UsageLog>,
-    options: LogOptions,
-    frames_since_compact: u64,
-    /// The current compaction generation (log header bytes 6–7).
-    generation: u16,
-    /// Set when a compaction renamed the snapshot but failed to restamp
-    /// the log to the new generation: appending to the still-stale log
-    /// would be silently discarded on the next open, so spills pause and
-    /// the next flush retries the restamp before draining the buffer.
-    pending_restamp: Option<u16>,
-    /// Last I/O failure on the spill path, surfaced (exactly once) at the
-    /// next flush/sync. Frames keep buffering after a failure — the buffer
-    /// drains incrementally on the next successful flush, so nothing is
-    /// lost or written twice.
-    failed: Option<String>,
-}
-
-impl<P: LogKey> Journal<P> {
-    fn ephemeral(options: LogOptions) -> Self {
-        Journal {
-            sink: Sink::Null,
-            usage: BTreeMap::new(),
-            options,
-            frames_since_compact: 0,
-            generation: 0,
-            pending_restamp: None,
-            failed: None,
-        }
-    }
-
-    /// Opens (or creates) the journal in `dir`, replaying snapshot + log.
-    fn open(dir: &Path, options: LogOptions) -> Result<(Self, RecordMap<P>), TrustError> {
-        fs::create_dir_all(dir)?;
-        let mut state = Replayed::default();
-        let snap_path = dir.join(SNAP_FILE);
-        let snap_generation = if snap_path.exists() {
-            Some(load_snapshot(&fs::read(&snap_path)?, &mut state)?)
-        } else {
-            None
-        };
-        let log_path = dir.join(LOG_FILE);
-        let mut valid_len = HEADER_LEN as u64;
-        let mut frames = 0u64;
-        let mut fresh = true;
-        let mut generation = snap_generation.unwrap_or(0);
-        if log_path.exists() {
-            let data = fs::read(&log_path)?;
-            // a crash can tear even the 8-byte header of a just-created
-            // log; an empty/torn-header file is re-initialized, anything
-            // with a full header must validate
-            if data.len() >= HEADER_LEN {
-                let log_generation = check_header(&data, KIND_LOG, "log header")?;
-                match snap_generation {
-                    // generation mismatch: the crash fell between the
-                    // snapshot rename and the log truncation, so the log's
-                    // absolute frames are *older* than the snapshot —
-                    // replaying them would regress state. Discard the log.
-                    Some(snap_gen) if snap_gen != log_generation => {}
-                    _ => {
-                        let (len, n) = replay_log(&data, &mut state)?;
-                        valid_len = len as u64;
-                        frames = n;
-                        generation = log_generation;
-                        fresh = false;
-                    }
-                }
-            }
-        }
-        // truncation is explicit (`set_len` below): fresh files are reset
-        // to a bare header, recovered files keep their valid prefix
-        let mut file = OpenOptions::new()
-            .read(true)
-            .write(true)
-            .create(true)
-            .truncate(false)
-            .open(&log_path)?;
-        if fresh {
-            file.set_len(0)?;
-            file.write_all(&header(KIND_LOG, generation))?;
-            if options.fsync != FsyncPolicy::Never {
-                file.sync_all()?;
-            }
-        } else {
-            // drop the torn tail so appends continue from a valid frame
-            file.set_len(valid_len)?;
-        }
-        file.seek(SeekFrom::End(0))?;
-        let journal = Journal {
-            sink: Sink::File { file, dir: dir.to_path_buf(), buf: Vec::new() },
-            usage: state.usage,
-            options,
-            frames_since_compact: frames,
-            generation,
-            pending_restamp: None,
-            failed: None,
-        };
-        Ok((journal, state.records))
-    }
-
-    fn is_durable(&self) -> bool {
-        matches!(self.sink, Sink::File { .. })
-    }
-
-    fn dir(&self) -> Option<&Path> {
-        match &self.sink {
-            Sink::File { dir, .. } => Some(dir),
-            Sink::Null => None,
-        }
-    }
-
-    fn fail(&mut self, msg: String) {
-        self.failed = Some(msg);
-    }
-
-    /// Appends pre-encoded frame bytes (used by the concurrent paths that
-    /// encode under the front's lane lock). Frames buffer even after a
-    /// spill failure — the buffer drains incrementally once the disk
-    /// recovers, so a transient error loses and duplicates nothing.
-    fn append_encoded(&mut self, bytes: &[u8], frames: u64) {
-        self.frames_since_compact += frames;
-        let spill = match &mut self.sink {
-            Sink::Null => false,
-            Sink::File { buf, .. } => {
-                buf.extend_from_slice(bytes);
-                self.failed.is_none()
-                    && self.pending_restamp.is_none()
-                    && (buf.len() >= BUFFER_SPILL || self.options.fsync == FsyncPolicy::Always)
-            }
-        };
-        if spill {
-            if let Err(e) = write_out(&mut self.sink, self.options.fsync) {
-                self.fail(e.to_string());
-            }
-        }
-    }
-
-    fn append(&mut self, frame: &Frame<P>) {
-        match &mut self.sink {
-            Sink::Null => self.frames_since_compact += 1,
-            Sink::File { .. } => {
-                let mut bytes = Vec::with_capacity(64);
-                encode_frame(&mut bytes, frame);
-                self.append_encoded(&bytes, 1);
-            }
-        }
-    }
-
-    fn append_record(&mut self, peer: P, task: TaskId, rec: TrustRecord) {
-        self.append(&Frame::PutRecord { peer, task, rec });
-    }
-
-    /// Journals `peer`'s post-append usage log, skipping the frame when the
-    /// state is already journaled (makes re-journaling sweeps cheap).
-    fn note_usage(&mut self, peer: P, log: UsageLog) {
-        if self.usage.get(&peer) == Some(&log) {
-            return;
-        }
-        self.usage.insert(peer, log);
-        self.append(&Frame::PutUsage { peer, log });
-    }
-
-    /// Pushes buffered frames to the OS (fsync per policy). A success
-    /// clears any earlier spill failure (the buffer has fully drained); a
-    /// failure is recorded and returned — retrying after the disk recovers
-    /// resumes exactly where the write stopped.
-    fn flush(&mut self) -> Result<(), TrustError> {
-        self.flush_with(self.options.fsync)
-    }
-
-    /// [`Self::flush`] with the fsync forced regardless of policy.
-    fn sync(&mut self) -> Result<(), TrustError> {
-        self.flush_with(FsyncPolicy::Always)
-    }
-
-    fn flush_with(&mut self, policy: FsyncPolicy) -> Result<(), TrustError> {
-        // a half-finished compaction first: the log must carry the
-        // snapshot's generation before any buffered frame may reach it
-        // (frames under a stale generation would be discarded on open)
-        if let Some(generation) = self.pending_restamp {
-            if let Sink::File { file, .. } = &mut self.sink {
-                if let Err(e) = restamp_log(file, generation) {
-                    let msg = e.to_string();
-                    self.failed = Some(msg.clone());
-                    return Err(TrustError::Io(msg));
-                }
-            }
-            self.pending_restamp = None;
-        }
-        match write_out(&mut self.sink, policy) {
-            // surface a recorded append/compaction failure exactly once,
-            // even though the buffer has since drained cleanly
-            Ok(()) => match self.failed.take() {
-                Some(msg) => Err(TrustError::Io(msg)),
-                None => Ok(()),
-            },
-            Err(e) => {
-                let msg = e.to_string();
-                self.fail(msg.clone());
-                Err(TrustError::Io(msg))
-            }
-        }
-    }
-
-    /// Writes the full state (`records` + the journal's usage logs) as an
-    /// atomically-renamed snapshot under generation `g + 1`, then truncates
-    /// the log and restamps its header to match. Buffered frames are
-    /// superseded by the snapshot and dropped. A crash anywhere in the
-    /// sequence recovers cleanly: before the rename the old snapshot + log
-    /// win; after it, the log's stale generation makes open discard it.
-    fn compact_from(
-        &mut self,
-        records: impl Iterator<Item = (P, TaskId, TrustRecord)>,
-    ) -> Result<(), TrustError> {
-        let usage = &self.usage;
-        let next_generation = self.generation.wrapping_add(1);
-        match &mut self.sink {
-            Sink::Null => {}
-            Sink::File { file, dir, buf } => {
-                let mut out = header(KIND_SNAP, next_generation).to_vec();
-                for (peer, task, rec) in records {
-                    encode_frame(&mut out, &Frame::PutRecord { peer, task, rec });
-                }
-                for (&peer, &log) in usage {
-                    encode_frame(&mut out, &Frame::PutUsage { peer, log });
-                }
-                let tmp = dir.join(SNAP_TMP);
-                {
-                    let mut f = File::create(&tmp)?;
-                    f.write_all(&out)?;
-                    f.sync_all()?;
-                }
-                fs::rename(&tmp, dir.join(SNAP_FILE))?;
-                if let Ok(d) = File::open(&dir) {
-                    let _ = d.sync_all(); // directory entry durability: best effort
-                }
-                buf.clear();
-                // from here on the renamed snapshot is the durable truth;
-                // a restamp failure must not abandon the generation
-                // bookkeeping, or later appends would land in a log the
-                // next open discards — record it and let flush retry
-                if let Err(e) = restamp_log(file, next_generation) {
-                    let msg = e.to_string();
-                    self.pending_restamp = Some(next_generation);
-                    self.generation = next_generation;
-                    self.frames_since_compact = 0;
-                    self.failed = Some(msg.clone());
-                    return Err(TrustError::Io(msg));
-                }
-                if self.options.fsync != FsyncPolicy::Never {
-                    file.sync_all()?;
-                }
-            }
-        }
-        self.generation = next_generation;
-        self.frames_since_compact = 0;
-        self.pending_restamp = None;
-        self.failed = None; // the snapshot superseded any unflushed bytes
-        Ok(())
-    }
-}
-
-/// Truncates the log to a bare header stamped with `generation`. Truncate
-/// happens before the header rewrite, so a torn rewrite leaves an empty
-/// frame-less log — never stale frames under a matching generation.
-fn restamp_log(file: &mut File, generation: u16) -> std::io::Result<()> {
-    file.set_len(HEADER_LEN as u64)?;
-    file.seek(SeekFrom::Start(0))?;
-    file.write_all(&header(KIND_LOG, generation))?;
-    file.seek(SeekFrom::End(0))?;
-    Ok(())
-}
-
-/// Drains the file sink's buffer and fsyncs per `policy`. Written bytes
-/// are consumed from the buffer incrementally, so a mid-write failure
-/// leaves exactly the unwritten suffix buffered — a retry resumes without
-/// duplicating or dropping anything.
-fn write_out(sink: &mut Sink, policy: FsyncPolicy) -> std::io::Result<()> {
-    if let Sink::File { file, buf, .. } = sink {
-        while !buf.is_empty() {
-            match file.write(buf) {
-                Ok(0) => {
-                    return Err(std::io::Error::new(
-                        std::io::ErrorKind::WriteZero,
-                        "log append wrote zero bytes",
-                    ))
-                }
-                Ok(n) => {
-                    buf.drain(..n);
-                }
-                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
-                Err(e) => return Err(e),
-            }
-        }
-        if policy != FsyncPolicy::Never {
-            file.sync_data()?;
-        }
-    }
-    Ok(())
-}
-
-impl<P: LogKey> Drop for Journal<P> {
-    fn drop(&mut self) {
-        // best effort: committed sessions survive a plain drop without an
-        // explicit flush; errors here have nowhere to go. flush_with also
-        // retries a pending post-compaction restamp first, so buffered
-        // frames never land in a log the next open would discard.
-        let _ = self.flush_with(self.options.fsync);
-    }
-}
-
-impl<P: LogKey> Clone for Journal<P> {
-    /// Clones detach from the file: the clone keeps the recovered usage
-    /// state but journals into a [`Sink::Null`], so it never competes for
-    /// the original's log file.
-    fn clone(&self) -> Self {
-        Journal {
-            sink: Sink::Null,
-            usage: self.usage.clone(),
-            options: self.options,
-            frames_since_compact: 0,
-            generation: 0,
-            pending_restamp: None,
-            // a detached clone journals nowhere: the original's pending
-            // I/O failure is not its problem
-            failed: None,
-        }
-    }
-}
-
-impl<P: LogKey> fmt::Debug for Journal<P> {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.debug_struct("Journal")
-            .field("dir", &self.dir())
-            .field("usage_logs", &self.usage.len())
-            .field("frames_since_compact", &self.frames_since_compact)
-            .field("failed", &self.failed)
-            .finish()
-    }
-}
-
-// ---------------------------------------------------------------------------
-// LogBackend
-// ---------------------------------------------------------------------------
-
-/// The durable ordered-map backend: a [`BTreeBackend`]-layout in-memory map
-/// mirrored into the append-only journal described in the [module
-/// docs](self).
-///
-/// Reads are pure memory; every write appends one absolute-state frame.
-/// Construction without a directory ([`Default`]/[`LogBackend::new`]) is
-/// ephemeral — same semantics, nothing journaled — which is what the
-/// backend-equivalence property tests exercise. [`LogBackend::open`] makes
-/// it durable.
-///
-/// Cloning a file-backed `LogBackend` keeps the full in-memory state but
-/// **detaches from the file**: the clone journals nowhere (two handles
-/// appending to one log would interleave corruptly). Clone is for
-/// forking experiments, not for sharing a durable store.
-///
-/// [`BTreeBackend`]: crate::backend::BTreeBackend
-#[derive(Clone)]
-pub struct LogBackend<P: LogKey> {
-    mem: BTreeMap<(P, TaskId), TrustRecord>,
-    journal: Journal<P>,
-}
-
-impl<P: LogKey> Default for LogBackend<P> {
-    fn default() -> Self {
-        LogBackend { mem: BTreeMap::new(), journal: Journal::ephemeral(LogOptions::default()) }
-    }
-}
-
-impl<P: LogKey> LogBackend<P> {
-    /// Opens (or creates) a durable backend in `dir` with default options:
-    /// replays `trust.snap` plus the checksum-valid prefix of `trust.log`,
-    /// truncating a torn tail frame.
-    pub fn open(dir: impl AsRef<Path>) -> Result<Self, TrustError> {
-        Self::open_with(dir, LogOptions::default())
-    }
-
-    /// [`Self::open`] with explicit [`LogOptions`].
-    pub fn open_with(dir: impl AsRef<Path>, options: LogOptions) -> Result<Self, TrustError> {
-        let (journal, mem) = Journal::open(dir.as_ref(), options)?;
-        Ok(LogBackend { mem, journal })
-    }
-
-    /// Whether this backend persists to disk (`false` for ephemeral
-    /// construction and detached clones).
-    pub fn is_durable(&self) -> bool {
-        self.journal.is_durable()
-    }
-
-    /// The backing directory, if durable.
-    pub fn dir(&self) -> Option<&Path> {
-        self.journal.dir()
-    }
-
-    /// Frames appended since the last compaction (replayed log frames
-    /// count, so a freshly opened backend reports its replay backlog).
-    pub fn frames_since_compaction(&self) -> u64 {
-        self.journal.frames_since_compact
-    }
-
-    /// Rewrites the full state as an atomic snapshot and truncates the
-    /// log — the explicit form of the `compact_every` knob. No-op (beyond
-    /// resetting the frame counter) for ephemeral backends.
-    pub fn compact(&mut self) -> Result<(), TrustError> {
-        self.journal.compact_from(self.mem.iter().map(|(&(p, t), &r)| (p, t, r)))
-    }
-
-    /// Forces buffered frames down **and** fsyncs regardless of the
-    /// configured [`FsyncPolicy`] — the "I need this on disk now" call.
-    pub fn sync(&mut self) -> Result<(), TrustError> {
-        self.journal.sync()
-    }
-
-    fn after_write(&mut self) {
-        let every = self.journal.options.compact_every;
-        if every > 0 && self.journal.frames_since_compact >= every {
-            // auto-compaction failure is sticky; the next flush surfaces it
-            if let Err(e) = self.compact() {
-                self.journal.fail(e.to_string());
-            }
-        }
-    }
-}
-
-impl<P: LogKey> fmt::Debug for LogBackend<P> {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.debug_struct("LogBackend")
-            .field("records", &self.mem.len())
-            .field("journal", &self.journal)
-            .finish()
-    }
-}
-
-impl<P: LogKey + fmt::Debug> TrustBackend<P> for LogBackend<P> {
-    fn get(&self, peer: P, task: TaskId) -> Option<TrustRecord> {
-        self.mem.get(&(peer, task)).copied()
-    }
-
-    fn insert(&mut self, peer: P, task: TaskId, rec: TrustRecord) {
-        self.mem.insert((peer, task), rec);
-        self.journal.append_record(peer, task, rec);
-        self.after_write();
-    }
-
-    fn update(
-        &mut self,
-        peer: P,
-        task: TaskId,
-        f: &mut dyn FnMut(Option<TrustRecord>) -> TrustRecord,
-    ) {
-        let rec = match self.mem.get_mut(&(peer, task)) {
-            Some(slot) => {
-                *slot = f(Some(*slot));
-                *slot
-            }
-            None => {
-                let rec = f(None);
-                self.mem.insert((peer, task), rec);
-                rec
-            }
-        };
-        self.journal.append_record(peer, task, rec);
-        self.after_write();
-    }
-
-    fn for_each_experience(&self, peer: P, f: &mut dyn FnMut(TaskId, TrustRecord)) {
-        for (&(_, tid), &rec) in self.mem.range((peer, TaskId(0))..=(peer, TaskId(u32::MAX))) {
-            f(tid, rec);
-        }
-    }
-
-    fn known_peers(&self) -> Vec<P> {
-        let mut peers: Vec<P> = self.mem.keys().map(|&(p, _)| p).collect();
-        peers.dedup(); // key order keeps a peer's records adjacent
-        peers
-    }
-
-    fn len(&self) -> usize {
-        self.mem.len()
-    }
-
-    fn clear(&mut self) {
-        self.mem.clear();
-        self.journal.append(&Frame::ClearRecords);
-        self.after_write();
-    }
-
-    fn note_usage_log(&mut self, peer: P, log: UsageLog) {
-        self.journal.note_usage(peer, log);
-        self.after_write();
-    }
-
-    fn recovered_usage_logs(&self) -> Vec<(P, UsageLog)> {
-        self.journal.usage.iter().map(|(&p, &l)| (p, l)).collect()
-    }
-
-    fn flush(&mut self) -> Result<(), TrustError> {
-        self.journal.flush()
-    }
-}
-
-// ---------------------------------------------------------------------------
-// WriteBehind
-// ---------------------------------------------------------------------------
-
-/// A [`ShardedBackend`] fronting the durable journal as a cache.
-///
-/// All reads and folds hit the sharded in-memory front — including the
-/// concurrent shared-handle paths ([`ConcurrentTrustBackend`]), so an
-/// [`ObserverPool`](crate::pool::ObserverPool) can drive it exactly like a
-/// plain `ShardedBackend` — while every folded record is also journaled.
-/// Frame appends happen under the front's per-lane lock (lane → journal
-/// lock order everywhere), so the journal's per-key frame order always
-/// matches fold order and replay lands on the exact final state.
-///
-/// Durability is **write-behind**: frames buffer until
-/// [`flush`](Self::flush)/[`sync`](Self::sync) (both usable through a
-/// shared `&self`, e.g. via [`TrustEngine::backend`]), a buffer spill,
-/// or drop. A consistent snapshot needs exclusive access, so compaction
-/// runs via [`Self::compact`] or the `compact_every` auto-trigger on the
-/// `&mut` write paths — purely shared writers compact whenever the owner
-/// regains `&mut` (the IoT coordinator's `compact_ledger` is the model).
-///
-/// Journal appends are **batched per lane run**: the shared batch paths
-/// ([`update_batch_shared`](ConcurrentTrustBackend::update_batch_shared),
-/// [`update_lane_run_shared`](ConcurrentTrustBackend::update_lane_run_shared)
-/// — the [`ObserverPool`](crate::pool::ObserverPool) dispatch seam) encode
-/// a run's frames into a local buffer while folding and take the journal
-/// mutex **once per run**, not once per record. The buffered append still
-/// happens on the run's last fold, *under the front's lane lock*, so the
-/// journal's per-key frame order always equals fold order even with
-/// concurrent writers on overlapping keys. Only the single-record
-/// [`update_shared`](ConcurrentTrustBackend::update_shared) pays the
-/// per-record mutex.
-///
-/// [`TrustEngine::backend`]: crate::store::TrustEngine::backend
-pub struct WriteBehind<P: LogKey + Hash> {
-    front: ShardedBackend<P>,
-    journal: Mutex<Journal<P>>,
-}
-
-impl<P: LogKey + Hash> Default for WriteBehind<P> {
-    fn default() -> Self {
-        WriteBehind {
-            front: ShardedBackend::default(),
-            journal: Mutex::new(Journal::ephemeral(LogOptions::default())),
-        }
-    }
-}
-
-impl<P: LogKey + Hash> WriteBehind<P> {
-    fn lock(&self) -> std::sync::MutexGuard<'_, Journal<P>> {
-        self.journal.lock().unwrap_or_else(|e| e.into_inner())
-    }
-}
-
-/// Run-scoped frame buffer for [`WriteBehind`]'s batched write paths. On
-/// the normal path the run's frames are appended in one shot — from the
-/// last fold on the shared paths (under the front's lane lock), on drop
-/// at the end of the exclusive batch. If a fold closure panics mid-run,
-/// `Drop` appends whatever already folded during unwinding — the front
-/// holds those records, so losing their frames would make a later reopen
-/// silently revert them (the replay-matches-front invariant). The
-/// unwind-path append on the shared paths happens after the lane lock is
-/// gone, so its ordering guarantee is only best-effort — acceptable for
-/// what is by definition a bug in the fold path
-/// (`TrustError::WorkerPanicked`), where the batch is already documented
-/// as partially folded.
-///
-/// Holds the journal mutex (not the whole backend) so the exclusive
-/// paths can borrow it alongside `&mut front`.
-struct RunFrames<'a, P: LogKey> {
-    journal: &'a Mutex<Journal<P>>,
-    buf: Vec<u8>,
-    frames: u64,
-}
-
-impl<'a, P: LogKey> RunFrames<'a, P> {
-    fn new(journal: &'a Mutex<Journal<P>>, run_len: usize) -> Self {
-        RunFrames { journal, buf: Vec::with_capacity((run_len * 64).min(BUFFER_SPILL)), frames: 0 }
-    }
-
-    fn push(&mut self, peer: P, task: TaskId, rec: TrustRecord) {
-        encode_frame(&mut self.buf, &Frame::PutRecord { peer, task, rec });
-        self.frames += 1;
-    }
-
-    fn append_now(&mut self) {
-        if !self.buf.is_empty() {
-            self.journal
-                .lock()
-                .unwrap_or_else(|e| e.into_inner())
-                .append_encoded(&self.buf, self.frames);
-            self.buf.clear();
-            self.frames = 0;
-        }
-    }
-}
-
-impl<P: LogKey> Drop for RunFrames<'_, P> {
-    fn drop(&mut self) {
-        self.append_now();
-    }
-}
-
-impl<P: LogKey + Hash + Send + Sync + fmt::Debug> WriteBehind<P> {
-    /// Folds one pre-routed lane run, journaling the whole run with **one**
-    /// journal-mutex acquisition: frames are encoded into a run-local
-    /// buffer as records fold, and the buffered append happens on the
-    /// run's last fold — still inside the front's lane lock, so a later
-    /// writer to this lane (and therefore to any of its keys) can only
-    /// append *after* this run. Per-key journal order = fold order, at a
-    /// per-run instead of per-record mutex cost. A panicking fold closure
-    /// still journals the records that folded before it (see
-    /// [`RunFrames`]).
-    fn journaled_lane_run(
-        &self,
-        lane: usize,
-        indices: &[usize],
-        key_of: &dyn Fn(usize) -> (P, TaskId),
-        f: &mut dyn FnMut(usize, Option<TrustRecord>) -> TrustRecord,
-    ) {
-        let mut run = RunFrames::new(&self.journal, indices.len());
-        let mut left = indices.len();
-        self.front.update_lane_run_shared(lane, indices, key_of, &mut |i, prior| {
-            let rec = f(i, prior);
-            let (peer, task) = key_of(i);
-            run.push(peer, task, rec);
-            left -= 1;
-            if left == 0 {
-                run.append_now();
-            }
-            rec
-        });
-    }
-}
-
-impl<P: LogKey + Hash + fmt::Debug> WriteBehind<P> {
-    /// Opens (or creates) a durable write-behind backend in `dir` with the
-    /// default sharded front and options.
-    pub fn open(dir: impl AsRef<Path>) -> Result<Self, TrustError> {
-        Self::open_with(dir, LogOptions::default(), ShardedBackend::default())
-    }
-
-    /// [`Self::open`] with explicit options and a pre-sized front (e.g.
-    /// [`ShardedBackend::with_shards_for_writers`] when pairing with a
-    /// pool). Recovered records are loaded into the front.
-    pub fn open_with(
-        dir: impl AsRef<Path>,
-        options: LogOptions,
-        mut front: ShardedBackend<P>,
-    ) -> Result<Self, TrustError> {
-        let (journal, recovered) = Journal::open(dir.as_ref(), options)?;
-        for ((peer, task), rec) in recovered {
-            front.insert(peer, task, rec);
-        }
-        Ok(WriteBehind { front, journal: Mutex::new(journal) })
-    }
-
-    /// Whether this backend persists to disk.
-    pub fn is_durable(&self) -> bool {
-        self.lock().is_durable()
-    }
-
-    /// Pushes buffered frames down (fsync per policy) through a shared
-    /// handle and surfaces any sticky append failure.
-    pub fn flush(&self) -> Result<(), TrustError> {
-        self.lock().flush()
-    }
-
-    /// [`Self::flush`] with the fsync forced regardless of policy.
-    pub fn sync(&self) -> Result<(), TrustError> {
-        self.lock().sync()
-    }
-
-    /// Frames appended since the last compaction.
-    pub fn frames_since_compaction(&self) -> u64 {
-        self.lock().frames_since_compact
-    }
-
-    /// Rewrites the full front state as an atomic snapshot and truncates
-    /// the log. Exclusive access guarantees the snapshot is consistent.
-    pub fn compact(&mut self) -> Result<(), TrustError> {
-        let mut records: Vec<(P, TaskId, TrustRecord)> = Vec::with_capacity(self.front.len());
-        for peer in self.front.known_peers() {
-            self.front.for_each_experience(peer, &mut |task, rec| records.push((peer, task, rec)));
-        }
-        self.journal.get_mut().unwrap_or_else(|e| e.into_inner()).compact_from(records.into_iter())
-    }
-
-    /// `compact_every` auto-trigger for the exclusive (`&mut`) write paths.
-    /// The shared-handle paths cannot compact (a consistent snapshot needs
-    /// exclusive access), so a purely shared writer checks the threshold
-    /// whenever it regains `&mut` — or compacts explicitly.
-    fn after_write_mut(&mut self) {
-        let journal = self.journal.get_mut().unwrap_or_else(|e| e.into_inner());
-        let every = journal.options.compact_every;
-        if every > 0 && journal.frames_since_compact >= every {
-            if let Err(e) = self.compact() {
-                // sticky; the next flush/sync surfaces it
-                self.journal.get_mut().unwrap_or_else(|p| p.into_inner()).fail(e.to_string());
-            }
-        }
-    }
-}
-
-impl<P: LogKey + Hash> Clone for WriteBehind<P> {
-    /// Like [`LogBackend`]: the clone keeps the front's state but detaches
-    /// from the file.
-    fn clone(&self) -> Self {
-        WriteBehind { front: self.front.clone(), journal: Mutex::new(self.lock().clone()) }
-    }
-}
-
-impl<P: LogKey + Hash + fmt::Debug> fmt::Debug for WriteBehind<P> {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.debug_struct("WriteBehind")
-            .field("front", &self.front)
-            .field("journal", &*self.lock())
-            .finish()
-    }
-}
-
-impl<P: LogKey + Hash + fmt::Debug> TrustBackend<P> for WriteBehind<P> {
-    fn get(&self, peer: P, task: TaskId) -> Option<TrustRecord> {
-        self.front.get(peer, task)
-    }
-
-    fn insert(&mut self, peer: P, task: TaskId, rec: TrustRecord) {
-        self.front.insert(peer, task, rec);
-        self.journal.get_mut().unwrap_or_else(|e| e.into_inner()).append_record(peer, task, rec);
-        self.after_write_mut();
-    }
-
-    fn update(
-        &mut self,
-        peer: P,
-        task: TaskId,
-        f: &mut dyn FnMut(Option<TrustRecord>) -> TrustRecord,
-    ) {
-        let journal = self.journal.get_mut().unwrap_or_else(|e| e.into_inner());
-        self.front.update(peer, task, &mut |prior| {
-            let rec = f(prior);
-            journal.append_record(peer, task, rec);
-            rec
-        });
-        self.after_write_mut();
-    }
-
-    fn update_batch(
-        &mut self,
-        items: &[(P, TaskId)],
-        f: &mut dyn FnMut(usize, Option<TrustRecord>) -> TrustRecord,
-    ) {
-        if items.is_empty() {
-            return;
-        }
-        // encode the whole batch locally, append once (on the guard's
-        // drop): exclusive access means no concurrent writer can
-        // interleave frames, so appending after the folds preserves
-        // per-key journal order — and the drop-guard keeps a panicking
-        // fold from losing the frames of records already in the front
-        let mut run = RunFrames::new(&self.journal, items.len());
-        self.front.update_batch(items, &mut |i, prior| {
-            let rec = f(i, prior);
-            let (peer, task) = items[i];
-            run.push(peer, task, rec);
-            rec
-        });
-        drop(run);
-        self.after_write_mut();
-    }
-
-    fn for_each_experience(&self, peer: P, f: &mut dyn FnMut(TaskId, TrustRecord)) {
-        self.front.for_each_experience(peer, f);
-    }
-
-    fn known_peers(&self) -> Vec<P> {
-        self.front.known_peers()
-    }
-
-    fn len(&self) -> usize {
-        self.front.len()
-    }
-
-    fn clear(&mut self) {
-        self.front.clear();
-        self.journal.get_mut().unwrap_or_else(|e| e.into_inner()).append(&Frame::ClearRecords);
-        self.after_write_mut();
-    }
-
-    fn note_usage_log(&mut self, peer: P, log: UsageLog) {
-        self.journal.get_mut().unwrap_or_else(|e| e.into_inner()).note_usage(peer, log);
-        self.after_write_mut();
-    }
-
-    fn recovered_usage_logs(&self) -> Vec<(P, UsageLog)> {
-        self.lock().usage.iter().map(|(&p, &l)| (p, l)).collect()
-    }
-
-    fn flush(&mut self) -> Result<(), TrustError> {
-        WriteBehind::flush(self)
-    }
-}
-
-impl<P: LogKey + Hash + Send + Sync + fmt::Debug> ConcurrentTrustBackend<P> for WriteBehind<P> {
-    fn get_shared(&self, peer: P, task: TaskId) -> Option<TrustRecord> {
-        self.front.get_shared(peer, task)
-    }
-
-    fn update_shared(
-        &self,
-        peer: P,
-        task: TaskId,
-        f: &mut dyn FnMut(Option<TrustRecord>) -> TrustRecord,
-    ) {
-        // journal locked *inside* the fold (under the front's lane lock):
-        // lane → journal everywhere, and per-key frame order = fold order
-        self.front.update_shared(peer, task, &mut |prior| {
-            let rec = f(prior);
-            self.lock().append_record(peer, task, rec);
-            rec
-        });
-    }
-
-    fn update_batch_shared(
-        &self,
-        items: &[(P, TaskId)],
-        f: &mut dyn FnMut(usize, Option<TrustRecord>) -> TrustRecord,
-    ) {
-        // route by lane here (one hash per element, like the front would)
-        // so each lane's slice journals as one buffered append
-        let mut runs: Vec<Vec<usize>> = vec![Vec::new(); self.front.write_lanes()];
-        for (i, &(peer, _)) in items.iter().enumerate() {
-            runs[self.front.lane_of(peer)].push(i);
-        }
-        for (lane, indices) in runs.iter().enumerate() {
-            if !indices.is_empty() {
-                self.journaled_lane_run(lane, indices, &|i| items[i], f);
-            }
-        }
-    }
-
-    fn write_lanes(&self) -> usize {
-        self.front.write_lanes()
-    }
-
-    fn lane_of(&self, peer: P) -> usize {
-        self.front.lane_of(peer)
-    }
-
-    fn update_lane_run_shared(
-        &self,
-        lane: usize,
-        indices: &[usize],
-        key_of: &dyn Fn(usize) -> (P, TaskId),
-        f: &mut dyn FnMut(usize, Option<TrustRecord>) -> TrustRecord,
-    ) {
-        self.journaled_lane_run(lane, indices, key_of, f);
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    fn rec(s: f64) -> TrustRecord {
-        TrustRecord::with_priors(s, 0.5, 0.25, 0.125)
-    }
-
-    fn tmpdir(tag: &str) -> PathBuf {
-        use std::sync::atomic::{AtomicU64, Ordering};
-        static NEXT: AtomicU64 = AtomicU64::new(0);
-        let dir = std::env::temp_dir().join(format!(
-            "siot-log-{tag}-{}-{}",
-            std::process::id(),
-            NEXT.fetch_add(1, Ordering::Relaxed)
-        ));
-        let _ = fs::remove_dir_all(&dir);
-        dir
-    }
-
-    #[test]
-    fn frames_round_trip() {
-        let mut buf = Vec::new();
-        let frames: Vec<Frame<u32>> = vec![
-            Frame::PutRecord { peer: 7, task: TaskId(3), rec: rec(0.75) },
-            Frame::PutUsage { peer: 9, log: UsageLog { responsive: 4, abusive: 1 } },
-            Frame::ClearRecords,
-        ];
-        for f in &frames {
-            encode_frame(&mut buf, f);
-        }
-        let mut off = 0;
-        let mut seen = 0;
-        loop {
-            match read_frame::<u32>(&buf, off) {
-                FrameRead::End => break,
-                FrameRead::Frame(frame, next) => {
-                    match (seen, frame) {
-                        (0, Frame::PutRecord { peer, task, rec: r }) => {
-                            assert_eq!((peer, task), (7, TaskId(3)));
-                            assert_eq!(r, rec(0.75));
-                        }
-                        (1, Frame::PutUsage { peer, log }) => {
-                            assert_eq!(peer, 9);
-                            assert_eq!(log, UsageLog { responsive: 4, abusive: 1 });
-                        }
-                        (2, Frame::ClearRecords) => {}
-                        _ => panic!("unexpected frame #{seen}"),
-                    }
-                    seen += 1;
-                    off = next;
-                }
-                FrameRead::Invalid => panic!("clean buffer must replay"),
-            }
-        }
-        assert_eq!(seen, 3);
-    }
-
-    #[test]
-    fn ephemeral_backend_matches_contract() {
-        // same exercise the other backends run in backend.rs
-        let mut b = LogBackend::<u32>::default();
-        assert!(b.is_empty());
-        assert!(!b.is_durable());
-        b.insert(7, TaskId(1), rec(0.5));
-        b.insert(3, TaskId(0), rec(0.25));
-        b.insert(7, TaskId(0), rec(0.75));
-        assert_eq!(b.len(), 3);
-        b.update(7, TaskId(1), &mut |prior| {
-            let mut r = prior.expect("existing");
-            r.s_hat = 0.9;
-            r
-        });
-        assert_eq!(b.get(7, TaskId(1)).unwrap().s_hat, 0.9);
-        let mut seen = Vec::new();
-        b.for_each_experience(7, &mut |tid, r| seen.push((tid, r.s_hat)));
-        assert_eq!(seen, vec![(TaskId(0), 0.75), (TaskId(1), 0.9)]);
-        assert_eq!(b.known_peers(), vec![3, 7]);
-        b.clear();
-        assert!(b.is_empty());
-        assert!(b.flush().is_ok());
-    }
-
-    #[test]
-    fn reopen_recovers_records_and_usage() {
-        let dir = tmpdir("reopen");
-        {
-            let mut b = LogBackend::<u32>::open(&dir).unwrap();
-            assert!(b.is_durable());
-            assert_eq!(b.dir(), Some(dir.as_path()));
-            b.insert(1, TaskId(0), rec(0.5));
-            b.update(1, TaskId(0), &mut |p| {
-                let mut r = p.unwrap();
-                r.interactions += 1;
-                r
-            });
-            b.insert(2, TaskId(3), rec(1.0));
-            b.note_usage_log(2, UsageLog { responsive: 5, abusive: 2 });
-            // dropped without flush: the journal flushes on drop
-        }
-        let b = LogBackend::<u32>::open(&dir).unwrap();
-        assert_eq!(b.len(), 2);
-        assert_eq!(b.get(1, TaskId(0)).unwrap().interactions, 1);
-        assert_eq!(b.get(2, TaskId(3)).unwrap(), rec(1.0));
-        assert_eq!(b.recovered_usage_logs(), vec![(2, UsageLog { responsive: 5, abusive: 2 })]);
-        fs::remove_dir_all(&dir).unwrap();
-    }
-
-    #[test]
-    fn compaction_truncates_log_and_survives_reopen() {
-        let dir = tmpdir("compact");
-        {
-            let mut b = LogBackend::<u32>::open(&dir).unwrap();
-            for i in 0..50u32 {
-                b.insert(i, TaskId(0), rec(0.5));
-            }
-            b.note_usage_log(3, UsageLog { responsive: 1, abusive: 0 });
-            assert!(b.frames_since_compaction() >= 51);
-            b.compact().unwrap();
-            assert_eq!(b.frames_since_compaction(), 0);
-            b.insert(99, TaskId(1), rec(0.25)); // post-snapshot tail frame
-        }
-        // the log holds only the tail; the snapshot holds the rest
-        let log_len = fs::metadata(dir.join(LOG_FILE)).unwrap().len();
-        assert!(log_len < 100, "compacted log holds one frame, got {log_len} bytes");
-        assert!(dir.join(SNAP_FILE).exists());
-        let b = LogBackend::<u32>::open(&dir).unwrap();
-        assert_eq!(b.len(), 51);
-        assert_eq!(b.get(99, TaskId(1)).unwrap(), rec(0.25));
-        assert_eq!(b.recovered_usage_logs().len(), 1);
-        fs::remove_dir_all(&dir).unwrap();
-    }
-
-    #[test]
-    fn auto_compaction_fires_on_threshold() {
-        let dir = tmpdir("autocompact");
-        let opts = LogOptions { compact_every: 16, ..LogOptions::default() };
-        let mut b = LogBackend::<u32>::open_with(&dir, opts).unwrap();
-        for i in 0..40u32 {
-            b.insert(i, TaskId(0), rec(0.5));
-        }
-        assert!(b.frames_since_compaction() < 16, "threshold keeps the log short");
-        assert!(dir.join(SNAP_FILE).exists());
-        drop(b);
-        let b = LogBackend::<u32>::open(&dir).unwrap();
-        assert_eq!(b.len(), 40);
-        fs::remove_dir_all(&dir).unwrap();
-    }
-
-    #[test]
-    fn clone_detaches_from_the_file() {
-        let dir = tmpdir("clone");
-        let mut a = LogBackend::<u32>::open(&dir).unwrap();
-        a.insert(1, TaskId(0), rec(0.5));
-        let mut c = a.clone();
-        assert!(!c.is_durable());
-        c.insert(2, TaskId(0), rec(0.75)); // journals nowhere
-        assert_eq!(c.len(), 2);
-        drop(a);
-        let reopened = LogBackend::<u32>::open(&dir).unwrap();
-        assert_eq!(reopened.len(), 1, "the clone's writes never reach the file");
-        fs::remove_dir_all(&dir).unwrap();
-    }
-
-    #[test]
-    fn fsync_policies_all_reach_disk() {
-        for policy in [FsyncPolicy::Never, FsyncPolicy::OnFlush, FsyncPolicy::Always] {
-            let dir = tmpdir("fsync");
-            let opts = LogOptions { fsync: policy, ..LogOptions::default() };
-            let mut b = LogBackend::<u32>::open_with(&dir, opts).unwrap();
-            b.insert(1, TaskId(0), rec(0.5));
-            b.flush().unwrap();
-            drop(b);
-            let b = LogBackend::<u32>::open(&dir).unwrap();
-            assert_eq!(b.len(), 1, "policy {policy:?}");
-            fs::remove_dir_all(&dir).unwrap();
-        }
-    }
-
-    #[test]
-    fn write_behind_journals_all_write_paths() {
-        let dir = tmpdir("wb");
-        {
-            let mut wb = WriteBehind::<u32>::open(&dir).unwrap();
-            wb.insert(1, TaskId(0), rec(0.5));
-            wb.update(1, TaskId(0), &mut |p| {
-                let mut r = p.unwrap();
-                r.interactions += 1;
-                r
-            });
-            wb.update_batch(&[(2, TaskId(0)), (3, TaskId(1))], &mut |_, _| rec(0.25));
-            wb.update_shared(4, TaskId(2), &mut |_| rec(0.75));
-            wb.update_batch_shared(&[(5, TaskId(0))], &mut |_, _| rec(1.0));
-            let indices = [0usize];
-            let items = [(6u32, TaskId(1))];
-            let lane = wb.lane_of(6);
-            wb.update_lane_run_shared(lane, &indices, &|i| items[i], &mut |_, _| rec(0.0));
-            wb.note_usage_log(1, UsageLog { responsive: 2, abusive: 0 });
-            wb.flush().unwrap();
-        }
-        let wb = WriteBehind::<u32>::open(&dir).unwrap();
-        assert_eq!(wb.len(), 6);
-        assert_eq!(wb.get(1, TaskId(0)).unwrap().interactions, 1);
-        assert_eq!(wb.get(4, TaskId(2)).unwrap(), rec(0.75));
-        assert_eq!(wb.get(6, TaskId(1)).unwrap(), rec(0.0));
-        assert_eq!(wb.recovered_usage_logs(), vec![(1, UsageLog { responsive: 2, abusive: 0 })]);
-        fs::remove_dir_all(&dir).unwrap();
-    }
-
-    #[test]
-    fn write_behind_concurrent_writers_recover_exactly() {
-        let dir = tmpdir("wb-threads");
-        {
-            let wb = WriteBehind::<u32>::open(&dir).unwrap();
-            std::thread::scope(|scope| {
-                for t in 0..4u32 {
-                    let b = &wb;
-                    scope.spawn(move || {
-                        for i in 0..250u32 {
-                            b.update_shared(t * 1000 + i, TaskId(0), &mut |_| rec(0.5));
-                        }
-                    });
-                }
-            });
-            assert_eq!(wb.len(), 1000);
-            wb.sync().unwrap();
-        }
-        let wb = WriteBehind::<u32>::open(&dir).unwrap();
-        assert_eq!(wb.len(), 1000);
-        assert_eq!(wb.known_peers().len(), 1000);
-        fs::remove_dir_all(&dir).unwrap();
-    }
-
-    #[test]
-    fn write_behind_batched_shared_folds_recover_final_state() {
-        // Overlapping keys hammered by concurrent *batched* folds: the
-        // per-lane-run buffered journal appends must still produce a log
-        // whose per-key frame order matches fold order, so replay lands on
-        // exactly the front's final state (a regression here would show up
-        // as a reopened record older than the in-memory one).
-        let dir = tmpdir("wb-lane-batch");
-        let expected: Vec<(u32, TrustRecord)>;
-        {
-            let wb = WriteBehind::<u32>::open(&dir).unwrap();
-            std::thread::scope(|scope| {
-                for t in 0..4u64 {
-                    let b = &wb;
-                    scope.spawn(move || {
-                        let items: Vec<(u32, TaskId)> =
-                            (0..32u32).map(|p| (p, TaskId(0))).collect();
-                        for round in 0..50u64 {
-                            b.update_batch_shared(&items, &mut |i, prior| match prior {
-                                Some(mut r) => {
-                                    r.interactions += 1;
-                                    // thread- and round-dependent payload so
-                                    // a stale frame is detectable bit-wise
-                                    r.s_hat = ((t * 50 + round) as f64 + i as f64 / 32.0) / 256.0;
-                                    r
-                                }
-                                None => rec(0.5),
-                            });
-                        }
-                    });
-                }
-            });
-            expected = (0..32u32).map(|p| (p, wb.get(p, TaskId(0)).expect("folded"))).collect();
-            wb.flush().unwrap();
-        }
-        let reopened = WriteBehind::<u32>::open(&dir).unwrap();
-        assert_eq!(reopened.len(), 32);
-        for &(p, rec) in &expected {
-            assert_eq!(reopened.get(p, TaskId(0)), Some(rec), "peer {p}");
-        }
-        fs::remove_dir_all(&dir).unwrap();
-    }
-
-    #[test]
-    fn panicking_fold_mid_run_still_journals_earlier_folds() {
-        // A fold closure that panics mid-run (TrustError::WorkerPanicked
-        // territory) must not leave records that *did* fold — and are in
-        // the front — without journal frames, or reopen would silently
-        // revert them.
-        let dir = tmpdir("wb-panic");
-        {
-            let wb = WriteBehind::<u32>::open(&dir).unwrap();
-            // three peers sharing one lane, so they form a single run
-            let lane = wb.lane_of(0);
-            let peers: Vec<u32> = (0..1000u32).filter(|&p| wb.lane_of(p) == lane).take(3).collect();
-            assert_eq!(peers.len(), 3);
-            let items: Vec<(u32, TaskId)> = peers.iter().map(|&p| (p, TaskId(0))).collect();
-            let unwound = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                wb.update_lane_run_shared(lane, &[0, 1, 2], &|i| items[i], &mut |i, _| {
-                    if i == 2 {
-                        panic!("injected fold bug");
-                    }
-                    rec(0.25)
-                });
-            }));
-            assert!(unwound.is_err());
-            // the front holds exactly the two completed folds…
-            assert_eq!(wb.len(), 2);
-            wb.flush().unwrap();
-        }
-        // …and so does the reopened journal: replay matches the front
-        let reopened = WriteBehind::<u32>::open(&dir).unwrap();
-        assert_eq!(reopened.len(), 2);
-        let lane = reopened.lane_of(0);
-        let peers: Vec<u32> =
-            (0..1000u32).filter(|&p| reopened.lane_of(p) == lane).take(3).collect();
-        assert_eq!(reopened.get(peers[0], TaskId(0)), Some(rec(0.25)));
-        assert_eq!(reopened.get(peers[1], TaskId(0)), Some(rec(0.25)));
-        assert_eq!(reopened.get(peers[2], TaskId(0)), None, "the panicking fold stored nothing");
-        fs::remove_dir_all(&dir).unwrap();
-    }
-
-    #[test]
-    fn panicking_fold_mid_exclusive_batch_still_journals_earlier_folds() {
-        // same invariant as the shared-path test, for `&mut update_batch`:
-        // whatever the front holds after the unwind must replay on reopen
-        let dir = tmpdir("wb-panic-mut");
-        let items: Vec<(u32, TaskId)> = (0..4u32).map(|p| (p, TaskId(0))).collect();
-        let front_state: Vec<Option<TrustRecord>>;
-        {
-            let mut wb = WriteBehind::<u32>::open(&dir).unwrap();
-            let unwound = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                wb.update_batch(&items, &mut |i, _| {
-                    if i == 3 {
-                        panic!("injected fold bug");
-                    }
-                    rec(0.5)
-                });
-            }));
-            assert!(unwound.is_err());
-            front_state = items.iter().map(|&(p, t)| wb.get(p, t)).collect();
-            assert!(front_state.iter().flatten().count() >= 1, "some records folded");
-            wb.flush().unwrap();
-        }
-        let reopened = WriteBehind::<u32>::open(&dir).unwrap();
-        for (&(p, t), expected) in items.iter().zip(&front_state) {
-            assert_eq!(reopened.get(p, t), *expected, "peer {p}");
-        }
-        fs::remove_dir_all(&dir).unwrap();
-    }
-
-    #[test]
-    fn write_behind_compaction_consistent() {
-        let dir = tmpdir("wb-compact");
-        {
-            let mut wb = WriteBehind::<u32>::open(&dir).unwrap();
-            for i in 0..100u32 {
-                wb.update(i, TaskId(0), &mut |_| rec(0.5));
-            }
-            wb.compact().unwrap();
-            wb.update(200, TaskId(0), &mut |_| rec(0.25));
-        }
-        let wb = WriteBehind::<u32>::open(&dir).unwrap();
-        assert_eq!(wb.len(), 101);
-        assert_eq!(wb.get(200, TaskId(0)).unwrap(), rec(0.25));
-        fs::remove_dir_all(&dir).unwrap();
-    }
-
-    #[test]
-    fn wrong_magic_is_corrupt_not_clobbered() {
-        let dir = tmpdir("magic");
-        fs::create_dir_all(&dir).unwrap();
-        fs::write(dir.join(LOG_FILE), b"NOTSIOTFILE!").unwrap();
-        let err = LogBackend::<u32>::open(&dir).unwrap_err();
-        assert!(matches!(err, TrustError::Corrupt { what: "log header", .. }));
-        // the foreign file is untouched
-        assert_eq!(fs::read(dir.join(LOG_FILE)).unwrap(), b"NOTSIOTFILE!");
-        fs::remove_dir_all(&dir).unwrap();
-    }
-}
+//! The single-file journal grew into the segmented store in [`crate::log`]
+//! — manifest-tracked chains, incremental compaction, group-commit fsync —
+//! and the implementation lives there now. This module re-exports the
+//! whole public surface so `siot_core::log_backend::{LogBackend, …}` paths
+//! keep compiling.
+
+pub use crate::log::*;

@@ -354,7 +354,9 @@ where
                 None => break,
             }
         }
-        Ok(())
+        // one covering fsync for everything the workers appended — the
+        // group-commit barrier, issued before this batch is acknowledged
+        engine.commit_barrier_shared()
     }
 
     /// [`Dispatch::Inline`] execution: identical routing and fold order,
@@ -392,7 +394,8 @@ where
         if result.is_err() {
             return Err(TrustError::WorkerPanicked);
         }
-        Ok(())
+        // same barrier as the worker path: acked batch = durable batch
+        engine.commit_barrier_shared()
     }
 }
 

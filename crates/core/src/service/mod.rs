@@ -772,6 +772,13 @@ fn flush_batch<P: Copy + Ord, B: TrustBackend<P>>(
     stats.largest_commit_batch = stats.largest_commit_batch.max(folded);
     stats.last_commit_batch = folded;
     let mut receipts = engine.commit_batch_receipts(std::mem::take(pending), betas).into_iter();
+    // ack-after-sync: `commit_batch_receipts` ends with the group-commit
+    // barrier, so by this line every frame of the drained batch is covered
+    // by one fsync (under FsyncPolicy::Always). The explicit barrier
+    // restates the seam — it is free when already clean — and only then do
+    // the held receipts go back to their callers: an acked receipt is a
+    // durable receipt.
+    let _ = engine.commit_barrier();
     for ack in acks.drain(..) {
         match ack {
             Ack::Commit(reply) => {

@@ -166,6 +166,10 @@ impl<P: Copy + Ord, B: TrustBackend<P>> TrustEngine<P, B> {
             rec
         });
         self.log_resource_use(completed.trustee, completed.resource_use);
+        // the receipt below is the ack: everything this commit appended
+        // must be covered by a fsync first (one barrier, not one per
+        // frame). A failure stays sticky for flush to surface.
+        let _ = self.backend.commit_barrier();
         let record = folded.expect("update invokes the fold exactly once");
         DelegationReceipt {
             trustee: completed.trustee,
@@ -204,7 +208,7 @@ impl<P: Copy + Ord, B: TrustBackend<P>> TrustEngine<P, B> {
             folded[i] = Some(rec);
             rec
         });
-        batch
+        let receipts = batch
             .into_iter()
             .zip(folded)
             .map(|(c, rec)| {
@@ -218,7 +222,12 @@ impl<P: Copy + Ord, B: TrustBackend<P>> TrustEngine<P, B> {
                     fulfilled: c.fulfilled(),
                 }
             })
-            .collect()
+            .collect();
+        // one barrier for the whole slate — the group-commit heart: every
+        // record and usage-log frame the batch appended rides one fsync,
+        // issued before the receipts (the acks) are handed back
+        let _ = self.backend.commit_barrier();
+        receipts
     }
 
     fn log_resource_use(&mut self, peer: P, resource_use: ResourceUse) {
@@ -240,12 +249,14 @@ impl<P: Copy + Ord, B: TrustBackend<P>> TrustEngine<P, B> {
     /// interaction count stays meaningful.
     pub fn seed_record(&mut self, peer: P, task: TaskId, rec: TrustRecord) {
         self.backend.insert(peer, task, rec);
+        let _ = self.backend.commit_barrier();
     }
 
     /// Raw record insert — the escape hatch under [`Self::seed_record`]
     /// (identical semantics, kept for benches and storage plumbing).
     pub fn insert_record(&mut self, peer: P, task: TaskId, rec: TrustRecord) {
         self.backend.insert(peer, task, rec);
+        let _ = self.backend.commit_barrier();
     }
 
     /// Folds a delegation outcome into the `(peer, task)` record
@@ -256,6 +267,7 @@ impl<P: Copy + Ord, B: TrustBackend<P>> TrustEngine<P, B> {
     /// should go through a [session](Self::delegate).
     pub fn observe(&mut self, peer: P, task: TaskId, obs: &Observation, betas: &ForgettingFactors) {
         self.backend.update(peer, task, &mut |prior| folded(prior, obs, betas));
+        let _ = self.backend.commit_barrier();
     }
 
     /// Environment-aware variant (Eqs. 25–28): the observation is passed
@@ -270,6 +282,7 @@ impl<P: Copy + Ord, B: TrustBackend<P>> TrustEngine<P, B> {
         betas: &ForgettingFactors,
     ) {
         self.backend.update(peer, task, &mut |prior| folded_env(prior, obs, envs, betas));
+        let _ = self.backend.commit_barrier();
     }
 
     /// Batched [`Self::observe`]: one backend pass for a whole slate of
@@ -291,7 +304,9 @@ impl<P: Copy + Ord, B: TrustBackend<P>> TrustEngine<P, B> {
         }
         let keys: Vec<(P, TaskId)> = batch.iter().map(|&(p, t, _)| (p, t)).collect();
         self.backend.update_batch(&keys, &mut |i, prior| folded(prior, &batch[i].2, betas));
-        Ok(())
+        // one fsync for the whole batch; a barrier failure is worth the
+        // caller's attention here since this path already returns Result
+        self.backend.commit_barrier()
     }
 
     /// Eq. 18 trustworthiness toward `peer` on `task`, `None` without
@@ -351,6 +366,7 @@ impl<P: Copy + Ord, B: TrustBackend<P>> TrustEngine<P, B> {
             let log = seed();
             slot.insert(log);
             self.backend.note_usage_log(peer, log);
+            let _ = self.backend.commit_barrier();
         }
         self.logs.get(&peer).expect("present: inserted above on first contact")
     }
@@ -386,6 +402,7 @@ impl<P: Copy + Ord, B: TrustBackend<P>> TrustEngine<P, B> {
             let log = seed();
             slot.insert(log);
             self.backend.note_usage_log(peer, log);
+            let _ = self.backend.commit_barrier();
         }
         self.logs.get_mut(&peer).expect("present: inserted above on first contact")
     }
@@ -429,6 +446,19 @@ impl<P: Copy + Ord, B: TrustBackend<P>> TrustEngine<P, B> {
     /// Drops all records, keeping registered tasks and usage logs.
     pub fn clear_records(&mut self) {
         self.backend.clear();
+        let _ = self.backend.commit_barrier();
+    }
+
+    /// The group-commit barrier (see
+    /// [`TrustBackend::commit_barrier`]):
+    /// on a durable backend under
+    /// [`FsyncPolicy::Always`](crate::log::FsyncPolicy::Always), one fsync
+    /// covering every frame appended since the last barrier. Every engine
+    /// write API already runs one before returning; call it directly when
+    /// batching through raw backend access or to re-check a sticky append
+    /// failure without consuming it.
+    pub fn commit_barrier(&mut self) -> Result<(), TrustError> {
+        self.backend.commit_barrier()
     }
 }
 
@@ -444,6 +474,7 @@ impl<P: Copy + Ord, B: ConcurrentTrustBackend<P>> TrustEngine<P, B> {
         betas: &ForgettingFactors,
     ) {
         self.backend.update_shared(peer, task, &mut |prior| folded(prior, obs, betas));
+        let _ = self.backend.commit_barrier_shared();
     }
 
     /// Shared-handle [`Self::observe_batch`]: locks each shard once per
@@ -459,7 +490,8 @@ impl<P: Copy + Ord, B: ConcurrentTrustBackend<P>> TrustEngine<P, B> {
         }
         let keys: Vec<(P, TaskId)> = batch.iter().map(|&(p, t, _)| (p, t)).collect();
         self.backend.update_batch_shared(&keys, &mut |i, prior| folded(prior, &batch[i].2, betas));
-        Ok(())
+        // one covering fsync for the whole shared batch
+        self.backend.commit_barrier_shared()
     }
 
     /// Shared-handle record snapshot.
@@ -471,6 +503,14 @@ impl<P: Copy + Ord, B: ConcurrentTrustBackend<P>> TrustEngine<P, B> {
     /// [`ConcurrentTrustBackend::write_lanes`]).
     pub fn write_lanes(&self) -> usize {
         self.backend.write_lanes()
+    }
+
+    /// Shared-handle [`Self::commit_barrier`]: the fsync covers every
+    /// append that completed before the call, across all threads. The
+    /// [`ObserverPool`](crate::pool::ObserverPool) runs one per dispatched
+    /// batch.
+    pub fn commit_barrier_shared(&self) -> Result<(), TrustError> {
+        self.backend.commit_barrier_shared()
     }
 
     /// The backend lane `peer`'s records live in (see
@@ -543,12 +583,33 @@ impl<P: LogKey + fmt::Debug> TrustEngine<P, LogBackend<P>> {
         Self::open_with(Self::shard_dir(root, shard), options)
     }
 
-    /// Compacts the backing log into a fresh snapshot (see
-    /// [`LogBackend::compact`]). Usage logs raw-mutated since the last
-    /// [`Self::flush`] are re-journaled first so the snapshot is complete.
+    /// Full compaction of the backing chain (see [`LogBackend::compact`]).
+    /// Usage logs raw-mutated since the last [`Self::flush`] are
+    /// re-journaled first so the snapshot is complete.
     pub fn compact(&mut self) -> Result<(), TrustError> {
         self.rejournal_usage_logs();
         self.backend.compact()
+    }
+
+    /// Incremental, churn-proportional compaction (see
+    /// [`LogBackend::compact_churned`]) — folds only the frames appended
+    /// since the last compaction, falling back to the full form when the
+    /// chain needs it. Same usage-log re-journaling as [`Self::compact`].
+    pub fn compact_churned(&mut self) -> Result<(), TrustError> {
+        self.rejournal_usage_logs();
+        self.backend.compact_churned()
+    }
+
+    /// Number of segments in the committed chain (see
+    /// [`LogBackend::segments`]).
+    pub fn segments(&self) -> usize {
+        self.backend.segments()
+    }
+
+    /// How many compacted (snapshot) segments lead the chain (see
+    /// [`LogBackend::compacted_segments`]).
+    pub fn compacted_segments(&self) -> usize {
+        self.backend.compacted_segments()
     }
 }
 

@@ -1,9 +1,14 @@
-//! Durability test suite for the append-only [`LogBackend`]: crash
-//! recovery at every truncation point, corruption detection, the pinned
-//! golden on-disk format, and delegation-lifecycle durability.
+//! Durability test suite for the segmented [`LogBackend`] chain: crash
+//! recovery at every truncation point of the active segment *and* the
+//! manifest, corruption detection across sealed segments, group-commit
+//! durability under [`FsyncPolicy::Always`], legacy (version-1) migration,
+//! the pinned golden on-disk format, and delegation-lifecycle durability.
 
 use siot_core::error::TrustError;
-use siot_core::log_backend::{FsyncPolicy, LogOptions, FORMAT_VERSION, LOG_FILE, SNAP_FILE};
+use siot_core::log_backend::{
+    segment_file_name, FsyncPolicy, LogOptions, FORMAT_VERSION, LEGACY_FORMAT_VERSION, LOG_FILE,
+    MANIFEST_FILE, SNAP_FILE,
+};
 use siot_core::prelude::*;
 use std::fs;
 use std::path::{Path, PathBuf};
@@ -19,47 +24,88 @@ fn rec(i: u32) -> TrustRecord {
     TrustRecord::with_priors(i as f64 / 8.0, 0.5, 0.25, 0.125)
 }
 
-/// A log of `n` single-record frames with no snapshot, plus the log bytes.
-fn seeded_log(n: u32) -> (PathBuf, Vec<u8>) {
-    let dir = tmpdir("seed");
-    {
-        let mut engine: DurableTrustStore<u32> = TrustEngine::open(&dir).expect("fresh dir");
-        for i in 0..n {
-            engine.seed_record(i, TaskId(0), rec(i));
-        }
-        engine.flush().expect("flush succeeds");
+/// `seg-*.log` files in `dir`, sorted by name (= by sequence number; the
+/// last one is the active segment).
+fn segment_files(dir: &Path) -> Vec<PathBuf> {
+    let mut v: Vec<PathBuf> = fs::read_dir(dir)
+        .expect("dir readable")
+        .map(|e| e.expect("entry readable").path())
+        .filter(|p| {
+            p.file_name()
+                .and_then(|n| n.to_str())
+                .is_some_and(|n| n.starts_with("seg-") && n.ends_with(".log"))
+        })
+        .collect();
+    v.sort();
+    v
+}
+
+fn active_segment(dir: &Path) -> PathBuf {
+    segment_files(dir).pop().expect("chain has an active segment")
+}
+
+/// Copies every file of a template chain directory into a fresh scratch
+/// dir, so each sweep iteration opens an untouched copy.
+fn copy_chain(src: &Path, dst: &Path) {
+    fs::create_dir_all(dst).expect("dir creatable");
+    for entry in fs::read_dir(src).expect("template readable") {
+        let entry = entry.expect("entry readable");
+        fs::copy(entry.path(), dst.join(entry.file_name())).expect("file copies");
     }
-    let bytes = fs::read(dir.join(LOG_FILE)).expect("log exists");
-    (dir, bytes)
 }
 
-fn write_log(dir: &Path, bytes: &[u8]) {
-    fs::create_dir_all(dir).expect("dir creatable");
-    fs::write(dir.join(LOG_FILE), bytes).expect("log writable");
+/// A template chain of `n` single-record frames, written with `options`.
+fn seeded_chain(n: u32, options: LogOptions) -> PathBuf {
+    let dir = tmpdir("seed");
+    let mut engine: DurableTrustStore<u32> = TrustEngine::open_with(&dir, options).expect("fresh");
+    for i in 0..n {
+        engine.seed_record(i, TaskId(0), rec(i));
+    }
+    engine.flush().expect("flush succeeds");
+    drop(engine);
+    dir
+}
+
+fn no_compaction() -> LogOptions {
+    LogOptions { compact_every: 0, ..LogOptions::default() }
 }
 
 // ---------------------------------------------------------------------------
-// Crash recovery: the truncation sweep
+// Crash recovery: the truncation sweeps
 // ---------------------------------------------------------------------------
 
-/// Simulates a crash at *every byte boundary* of the log — covering every
-/// byte of the final frame and mid-log positions alike. Reopen must never
-/// panic, never error, and recover exactly the frames wholly contained in
-/// the surviving prefix (the longest checksum-valid prefix).
+/// Simulates a crash at *every byte boundary* of the active segment.
+/// Reopen must never panic and recover exactly the frames wholly contained
+/// in the surviving prefix (the longest checksum-valid prefix). Cuts inside
+/// the 8-byte header are real corruption: segment files are fsynced before
+/// the manifest ever lists them, so a listed segment cannot lack one.
 #[test]
 fn truncation_sweep_recovers_longest_valid_prefix() {
     const N: u32 = 6;
-    let (dir, bytes) = seeded_log(N);
-    fs::remove_dir_all(&dir).expect("seed dir removable");
+    let template = seeded_chain(N, no_compaction());
+    let seg = active_segment(&template);
+    let seg_name = seg.file_name().expect("file name").to_owned();
+    let bytes = fs::read(&seg).expect("active segment readable");
     let frame = (bytes.len() - HEADER) / N as usize;
     assert_eq!(HEADER + frame * N as usize, bytes.len(), "fixed-width record frames");
 
     for cut in 0..=bytes.len() {
         let dir = tmpdir("cut");
-        write_log(&dir, &bytes[..cut]);
+        copy_chain(&template, &dir);
+        fs::write(dir.join(&seg_name), &bytes[..cut]).expect("truncated segment writable");
+        if cut < HEADER {
+            let err = DurableTrustStore::<u32>::open(&dir)
+                .expect_err("a listed segment without its header is corruption");
+            assert!(
+                matches!(err, TrustError::Corrupt { what: "segment header", .. }),
+                "cut at byte {cut}: got {err:?}"
+            );
+            fs::remove_dir_all(&dir).expect("scratch removable");
+            continue;
+        }
         let engine: DurableTrustStore<u32> = TrustEngine::open(&dir)
             .unwrap_or_else(|e| panic!("cut at byte {cut} must recover, got {e}"));
-        let complete = cut.saturating_sub(HEADER) / frame;
+        let complete = (cut - HEADER) / frame;
         assert_eq!(engine.record_count(), complete, "cut at byte {cut}");
         for i in 0..complete as u32 {
             assert_eq!(engine.record(i, TaskId(0)), Some(rec(i)), "cut at byte {cut}, record {i}");
@@ -76,18 +122,115 @@ fn truncation_sweep_recovers_longest_valid_prefix() {
         drop(engine);
         fs::remove_dir_all(&dir).expect("scratch removable");
     }
+    fs::remove_dir_all(&template).expect("template removable");
 }
 
-/// A complete final frame whose checksum fails (crash garbage at the tail)
-/// is recovered from silently — only the tail frame is dropped.
+/// The same sweep against a *multi-segment* chain (tiny `segment_bytes`
+/// forces rotations): sealed segments replay in full no matter where the
+/// active segment was cut — a crash tears at most the chain's tail.
+#[test]
+fn truncation_sweep_across_segment_boundaries() {
+    const N: u32 = 23;
+    let options = LogOptions { segment_bytes: 256, compact_every: 0, ..LogOptions::default() };
+    let template = seeded_chain(N, options);
+    assert!(segment_files(&template).len() >= 3, "tiny segment_bytes forces rotations");
+
+    // frame width, derived rather than assumed
+    let single = seeded_chain(1, no_compaction());
+    let frame = fs::read(active_segment(&single)).expect("readable").len() - HEADER;
+    fs::remove_dir_all(&single).expect("scratch removable");
+
+    let seg = active_segment(&template);
+    let seg_name = seg.file_name().expect("file name").to_owned();
+    let bytes = fs::read(&seg).expect("active segment readable");
+    let active_frames = (bytes.len() - HEADER) / frame;
+    assert_eq!(HEADER + active_frames * frame, bytes.len(), "whole frames in the active segment");
+    assert!(active_frames >= 2, "the sweep needs a multi-frame active segment");
+    let sealed = N as usize - active_frames;
+
+    for cut in 0..=bytes.len() {
+        let dir = tmpdir("segcut");
+        copy_chain(&template, &dir);
+        fs::write(dir.join(&seg_name), &bytes[..cut]).expect("truncated segment writable");
+        if cut < HEADER {
+            assert!(
+                DurableTrustStore::<u32>::open(&dir).is_err(),
+                "cut at byte {cut}: headerless active segment is corruption"
+            );
+            fs::remove_dir_all(&dir).expect("scratch removable");
+            continue;
+        }
+        let engine: DurableTrustStore<u32> = TrustEngine::open(&dir)
+            .unwrap_or_else(|e| panic!("cut at byte {cut} must recover, got {e}"));
+        let recovered = sealed + (cut - HEADER) / frame;
+        assert_eq!(engine.record_count(), recovered, "cut at byte {cut}");
+        for i in 0..recovered as u32 {
+            assert_eq!(engine.record(i, TaskId(0)), Some(rec(i)), "cut at byte {cut}, record {i}");
+        }
+        drop(engine);
+        fs::remove_dir_all(&dir).expect("scratch removable");
+    }
+    fs::remove_dir_all(&template).expect("template removable");
+}
+
+/// The manifest is swapped atomically (temp file + fsync + rename), so a
+/// truncated manifest is real corruption at *every* cut — recovery must
+/// report it as such rather than guess at a chain.
+#[test]
+fn manifest_truncation_sweep_reports_corrupt() {
+    let options = LogOptions { segment_bytes: 256, compact_every: 0, ..LogOptions::default() };
+    let template = seeded_chain(23, options);
+    let bytes = fs::read(template.join(MANIFEST_FILE)).expect("manifest readable");
+    for cut in 0..bytes.len() {
+        let dir = tmpdir("mancut");
+        copy_chain(&template, &dir);
+        fs::write(dir.join(MANIFEST_FILE), &bytes[..cut]).expect("truncated manifest writable");
+        let err = DurableTrustStore::<u32>::open(&dir)
+            .expect_err("a truncated manifest must never parse");
+        assert!(matches!(err, TrustError::Corrupt { .. }), "cut at byte {cut}: got {err:?}");
+        fs::remove_dir_all(&dir).expect("scratch removable");
+    }
+    fs::remove_dir_all(&template).expect("template removable");
+}
+
+/// Flipping any single manifest byte (outside the two reserved header
+/// bytes, which carry no meaning) must fail the header check or the chain
+/// frame's checksum — never parse into a different chain.
+#[test]
+fn manifest_byte_flips_never_parse() {
+    let options = LogOptions { segment_bytes: 256, compact_every: 0, ..LogOptions::default() };
+    let template = seeded_chain(23, options);
+    let bytes = fs::read(template.join(MANIFEST_FILE)).expect("manifest readable");
+    for at in (0..bytes.len()).filter(|&at| at != 6 && at != 7) {
+        let dir = tmpdir("manflip");
+        copy_chain(&template, &dir);
+        let mut damaged = bytes.clone();
+        damaged[at] ^= 0xFF;
+        fs::write(dir.join(MANIFEST_FILE), &damaged).expect("damaged manifest writable");
+        let err =
+            DurableTrustStore::<u32>::open(&dir).expect_err("a damaged manifest must never parse");
+        assert!(
+            matches!(err, TrustError::Corrupt { .. } | TrustError::UnsupportedFormat { .. }),
+            "flip at byte {at}: got {err:?}"
+        );
+        fs::remove_dir_all(&dir).expect("scratch removable");
+    }
+    fs::remove_dir_all(&template).expect("template removable");
+}
+
+/// A complete final frame whose checksum fails (crash garbage at the tail
+/// of the active segment) is recovered from silently — only the tail frame
+/// is dropped.
 #[test]
 fn corrupt_tail_frame_is_recovered() {
     const N: u32 = 6;
-    let (dir, mut bytes) = seeded_log(N);
+    let dir = seeded_chain(N, no_compaction());
+    let seg = active_segment(&dir);
+    let mut bytes = fs::read(&seg).expect("active segment readable");
     let frame = (bytes.len() - HEADER) / N as usize;
     let last_payload = bytes.len() - frame + 8 + 2; // inside the last frame's payload
     bytes[last_payload] ^= 0xFF;
-    write_log(&dir, &bytes);
+    fs::write(&seg, &bytes).expect("segment writable");
     let engine: DurableTrustStore<u32> = TrustEngine::open(&dir).expect("tail damage recovers");
     assert_eq!(engine.record_count(), (N - 1) as usize);
     drop(engine);
@@ -100,11 +243,13 @@ fn corrupt_tail_frame_is_recovered() {
 #[test]
 fn corrupt_mid_log_frame_reports_corrupt() {
     const N: u32 = 6;
-    let (dir, mut bytes) = seeded_log(N);
+    let dir = seeded_chain(N, no_compaction());
+    let seg = active_segment(&dir);
+    let mut bytes = fs::read(&seg).expect("active segment readable");
     let frame = (bytes.len() - HEADER) / N as usize;
     let second_frame_start = HEADER + frame;
     bytes[second_frame_start + 8 + 3] ^= 0x55; // payload of frame #1 (non-tail)
-    write_log(&dir, &bytes);
+    fs::write(&seg, &bytes).expect("segment writable");
     let err = DurableTrustStore::<u32>::open(&dir).expect_err("mid-log corruption is fatal");
     match err {
         TrustError::Corrupt { what, offset } => {
@@ -123,13 +268,15 @@ fn corrupt_mid_log_frame_reports_corrupt() {
 #[test]
 fn corrupt_mid_log_length_field_reports_corrupt() {
     const N: u32 = 6;
-    let (dir, bytes) = seeded_log(N);
+    let dir = seeded_chain(N, no_compaction());
+    let seg = active_segment(&dir);
+    let bytes = fs::read(&seg).expect("active segment readable");
     let frame = (bytes.len() - HEADER) / N as usize;
     let second_frame_start = HEADER + frame;
     for flip in [0x01u8, 0x40, 0xFF] {
         let mut damaged = bytes.clone();
         damaged[second_frame_start] ^= flip; // low byte of the len field
-        write_log(&dir, &damaged);
+        fs::write(&seg, &damaged).expect("segment writable");
         let err = DurableTrustStore::<u32>::open(&dir)
             .expect_err("len-field damage before valid frames is corruption, not a tear");
         assert!(matches!(err, TrustError::Corrupt { .. }), "flip {flip:#x}: got {err:?}");
@@ -137,53 +284,54 @@ fn corrupt_mid_log_length_field_reports_corrupt() {
     fs::remove_dir_all(&dir).expect("scratch removable");
 }
 
-/// A log that predates the snapshot (crash between the snapshot rename and
-/// the log truncation) is discarded on open: its stale absolute frames
-/// must never replay over — and regress — the newer snapshot.
+/// Sealed (non-active) segments were fsynced before the manifest listed
+/// them, so they get no tail tolerance: any damage inside one is fatal.
 #[test]
-fn stale_pre_snapshot_log_is_discarded() {
-    let dir = tmpdir("stale-log");
-    let stale_log = {
-        let mut engine: DurableTrustStore<u32> = TrustEngine::open(&dir).expect("fresh dir");
-        engine.seed_record(1, TaskId(0), rec(1)); // old state: s_hat = 1/8
-        engine.flush().expect("flush succeeds");
-        let stale = fs::read(dir.join(LOG_FILE)).expect("log exists");
-        engine.seed_record(1, TaskId(0), rec(4)); // new state: s_hat = 4/8
-        engine.compact().expect("compaction succeeds");
-        stale
-    };
-    // simulate the crash window: snapshot renamed (new state), log never
-    // truncated (still generation 0 with the stale frame)
-    fs::write(dir.join(LOG_FILE), &stale_log).expect("log writable");
-    let engine: DurableTrustStore<u32> = TrustEngine::open(&dir).expect("recovers");
-    assert_eq!(
-        engine.record(1, TaskId(0)),
-        Some(rec(4)),
-        "the snapshot wins; the stale log must not regress state"
-    );
-    drop(engine);
+fn corrupt_sealed_segment_reports_corrupt() {
+    let options = LogOptions { segment_bytes: 256, compact_every: 0, ..LogOptions::default() };
+    let dir = seeded_chain(23, options);
+    let sealed = &segment_files(&dir)[0];
+    let mut bytes = fs::read(sealed).expect("sealed segment readable");
+    let mid = HEADER + 10;
+    bytes[mid] ^= 0xFF;
+    fs::write(sealed, &bytes).expect("segment writable");
+    let err = DurableTrustStore::<u32>::open(&dir).expect_err("sealed-segment damage is fatal");
+    assert!(matches!(err, TrustError::Corrupt { what: "segment frame", .. }), "got {err:?}");
     fs::remove_dir_all(&dir).expect("scratch removable");
 }
 
-/// Snapshots are written atomically, so *any* damage inside one is real
-/// corruption — no tail tolerance there.
+/// A manifest-listed segment cannot vanish by crash — deletions happen
+/// only after the superseding manifest is durable — so its absence is
+/// corruption, never a fresh store.
 #[test]
-fn corrupt_snapshot_reports_corrupt() {
-    let dir = tmpdir("snapcorrupt");
-    {
-        let mut engine: DurableTrustStore<u32> = TrustEngine::open(&dir).expect("fresh dir");
-        for i in 0..5u32 {
-            engine.seed_record(i, TaskId(0), rec(i));
-        }
-        engine.compact().expect("compaction succeeds");
-    }
-    let snap = dir.join(SNAP_FILE);
-    let mut bytes = fs::read(&snap).expect("snapshot exists");
-    let mid = HEADER + 12;
-    bytes[mid] ^= 0xFF;
-    fs::write(&snap, &bytes).expect("snapshot writable");
-    let err = DurableTrustStore::<u32>::open(&dir).expect_err("snapshot damage is fatal");
-    assert!(matches!(err, TrustError::Corrupt { what: "snapshot frame", .. }), "got {err:?}");
+fn missing_listed_segment_reports_corrupt() {
+    let options = LogOptions { segment_bytes: 256, compact_every: 0, ..LogOptions::default() };
+    let dir = seeded_chain(23, options);
+    fs::remove_file(&segment_files(&dir)[0]).expect("sealed segment removable");
+    let err = DurableTrustStore::<u32>::open(&dir).expect_err("a missing listed segment is fatal");
+    assert!(
+        matches!(err, TrustError::Corrupt { what: "segment listed in manifest", .. }),
+        "got {err:?}"
+    );
+    fs::remove_dir_all(&dir).expect("scratch removable");
+}
+
+/// Files a crashed chain mutation leaves behind — an unlisted segment from
+/// an interrupted rotation, a manifest temp file — are swept on open and
+/// never replayed.
+#[test]
+fn orphan_files_are_swept_on_open() {
+    const N: u32 = 23;
+    let options = LogOptions { segment_bytes: 256, compact_every: 0, ..LogOptions::default() };
+    let dir = seeded_chain(N, options);
+    let orphan = dir.join(segment_file_name(42));
+    fs::write(&orphan, b"half-written rotation garbage").expect("orphan writable");
+    fs::write(dir.join("trust.manifest.tmp"), b"torn manifest swap").expect("tmp writable");
+    let engine: DurableTrustStore<u32> = TrustEngine::open(&dir).expect("orphans never block open");
+    assert_eq!(engine.record_count(), N as usize, "orphan contents are not state");
+    drop(engine);
+    assert!(!orphan.exists(), "unlisted segment swept");
+    assert!(!dir.join("trust.manifest.tmp").exists(), "manifest temp file swept");
     fs::remove_dir_all(&dir).expect("scratch removable");
 }
 
@@ -193,31 +341,65 @@ fn corrupt_snapshot_reports_corrupt() {
 
 #[test]
 fn version_mismatch_is_a_typed_error() {
-    // a log written by a hypothetical future format version
+    // a manifest written by a hypothetical future format version
     let dir = tmpdir("version");
-    write_log(&dir, &[b'S', b'I', b'O', b'T', b'L', FORMAT_VERSION + 1, 0, 0]);
-    let err = DurableTrustStore::<u32>::open(&dir).expect_err("future version must not parse");
+    fs::create_dir_all(&dir).expect("dir creatable");
+    fs::write(dir.join(MANIFEST_FILE), [b'S', b'I', b'O', b'T', b'M', FORMAT_VERSION + 1, 0, 0])
+        .expect("writable");
+    let err = DurableTrustStore::<u32>::open(&dir).expect_err("future manifest must not parse");
     assert_eq!(
         err,
         TrustError::UnsupportedFormat { found: FORMAT_VERSION + 1, expected: FORMAT_VERSION }
     );
     fs::remove_dir_all(&dir).expect("scratch removable");
 
-    // same for the snapshot
-    let dir = tmpdir("snapversion");
+    // same for a listed segment
+    let dir = seeded_chain(3, no_compaction());
+    let seg = active_segment(&dir);
+    let mut bytes = fs::read(&seg).expect("segment readable");
+    bytes[5] = FORMAT_VERSION + 1;
+    fs::write(&seg, &bytes).expect("segment writable");
+    let err = DurableTrustStore::<u32>::open(&dir).expect_err("future segment must not parse");
+    assert_eq!(
+        err,
+        TrustError::UnsupportedFormat { found: FORMAT_VERSION + 1, expected: FORMAT_VERSION }
+    );
+    fs::remove_dir_all(&dir).expect("scratch removable");
+
+    // legacy (version-1) files declaring any other version are refused
+    // against the *legacy* expectation, not the current one
+    let dir = tmpdir("legacy-version");
+    fs::create_dir_all(&dir).expect("dir creatable");
+    fs::write(dir.join(LOG_FILE), [b'S', b'I', b'O', b'T', b'L', LEGACY_FORMAT_VERSION + 1, 0, 0])
+        .expect("writable");
+    let err = DurableTrustStore::<u32>::open(&dir).expect_err("not a v1 log");
+    assert_eq!(
+        err,
+        TrustError::UnsupportedFormat {
+            found: LEGACY_FORMAT_VERSION + 1,
+            expected: LEGACY_FORMAT_VERSION
+        }
+    );
+    fs::remove_dir_all(&dir).expect("scratch removable");
+
+    let dir = tmpdir("legacy-snapversion");
     fs::create_dir_all(&dir).expect("dir creatable");
     fs::write(dir.join(SNAP_FILE), [b'S', b'I', b'O', b'T', b'S', 9, 0, 0]).expect("writable");
-    let err = DurableTrustStore::<u32>::open(&dir).expect_err("future snapshot must not parse");
-    assert_eq!(err, TrustError::UnsupportedFormat { found: 9, expected: FORMAT_VERSION });
+    let err = DurableTrustStore::<u32>::open(&dir).expect_err("not a v1 snapshot");
+    assert_eq!(err, TrustError::UnsupportedFormat { found: 9, expected: LEGACY_FORMAT_VERSION });
     fs::remove_dir_all(&dir).expect("scratch removable");
 }
 
 // ---------------------------------------------------------------------------
-// Golden file: the on-disk format is pinned
+// Golden files: the on-disk formats are pinned
 // ---------------------------------------------------------------------------
 
 fn fixture_dir() -> PathBuf {
     Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures/golden")
+}
+
+fn legacy_fixture_dir() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures/golden-v1")
 }
 
 /// Builds the golden state. Dyadic values throughout, so the pinned
@@ -237,9 +419,9 @@ fn write_golden_state(dir: &Path) {
         )
         .expect("in-range");
     engine.seed_usage_log(3, || UsageLog { responsive: 6, abusive: 2 });
-    // the snapshot holds everything above…
+    // the compacted segment holds everything above…
     engine.compact().expect("compaction succeeds");
-    // …and the log tail holds what follows
+    // …and the active segment holds what follows
     engine.observe(
         2,
         TaskId(1),
@@ -265,20 +447,22 @@ fn assert_golden_state(engine: &DurableTrustStore<u32>) {
 }
 
 /// Replays the *committed* fixture bytes and asserts the pinned state: a
-/// format change either keeps reading version-1 files exactly like this, or
-/// bumps [`FORMAT_VERSION`] (and regenerates the fixture via the ignored
-/// test below).
+/// format change either keeps reading version-2 chains exactly like this,
+/// or bumps [`FORMAT_VERSION`] (and regenerates the fixture via the
+/// ignored test below).
 #[test]
 fn golden_fixture_replays_to_pinned_state() {
     let fixtures = fixture_dir();
     // fixtures are committed; work on a copy so opening never touches them
     let dir = tmpdir("golden");
     fs::create_dir_all(&dir).expect("dir creatable");
-    for name in [LOG_FILE, SNAP_FILE] {
-        fs::copy(fixtures.join(name), dir.join(name)).unwrap_or_else(|e| {
-            panic!("fixture {name} must exist (see generate_golden_fixture): {e}")
-        });
+    let entries = fs::read_dir(&fixtures)
+        .unwrap_or_else(|e| panic!("fixture dir must exist (see generate_golden_fixture): {e}"));
+    for entry in entries {
+        let entry = entry.expect("entry readable");
+        fs::copy(entry.path(), dir.join(entry.file_name())).expect("fixture copies");
     }
+    assert!(dir.join(MANIFEST_FILE).exists(), "a v2 fixture pins a manifest");
     let engine: DurableTrustStore<u32> = TrustEngine::open(&dir).expect("fixture opens");
     assert_golden_state(&engine);
     drop(engine);
@@ -308,6 +492,216 @@ fn golden_state_round_trips_today() {
     write_golden_state(&dir);
     let engine: DurableTrustStore<u32> = TrustEngine::open(&dir).expect("reopens");
     assert_golden_state(&engine);
+    drop(engine);
+    fs::remove_dir_all(&dir).expect("scratch removable");
+}
+
+// ---------------------------------------------------------------------------
+// Legacy (version 1) directories: replay and migration
+// ---------------------------------------------------------------------------
+
+/// Copies the committed v1 fixture (`trust.log` + `trust.snap`) into a
+/// scratch dir.
+fn legacy_scratch(tag: &str) -> PathBuf {
+    let fixtures = legacy_fixture_dir();
+    let dir = tmpdir(tag);
+    fs::create_dir_all(&dir).expect("dir creatable");
+    for name in [LOG_FILE, SNAP_FILE] {
+        fs::copy(fixtures.join(name), dir.join(name))
+            .unwrap_or_else(|e| panic!("committed v1 fixture {name} must exist: {e}"));
+    }
+    dir
+}
+
+/// Opening a version-1 directory replays it under the v1 rules *and*
+/// migrates it to a segment chain: the legacy pair is gone, the manifest
+/// is in place, and the state survives further reopens through the new
+/// format.
+#[test]
+fn legacy_v1_fixture_migrates_to_segment_chain() {
+    let dir = legacy_scratch("legacy-migrate");
+    let engine: DurableTrustStore<u32> = TrustEngine::open(&dir).expect("v1 dir opens");
+    assert_golden_state(&engine);
+    drop(engine);
+    assert!(dir.join(MANIFEST_FILE).exists(), "migration committed a manifest");
+    assert!(!dir.join(LOG_FILE).exists(), "legacy log removed after migration");
+    assert!(!dir.join(SNAP_FILE).exists(), "legacy snapshot removed after migration");
+    let engine: DurableTrustStore<u32> = TrustEngine::open(&dir).expect("chain reopens");
+    assert_golden_state(&engine);
+    drop(engine);
+    fs::remove_dir_all(&dir).expect("scratch removable");
+}
+
+/// A v1 log that predates the v1 snapshot (crash between the snapshot
+/// rename and the log truncation; the generations disagree) is discarded
+/// on open: its stale absolute frames must never replay over — and
+/// regress — the newer snapshot.
+#[test]
+fn legacy_stale_pre_snapshot_log_is_discarded() {
+    let dir = legacy_scratch("legacy-stale");
+    // forge the crash window: rewrite the log's generation stamp (header
+    // bytes 6–7) so it no longer matches the snapshot's
+    let log = dir.join(LOG_FILE);
+    let mut bytes = fs::read(&log).expect("log readable");
+    bytes[6] ^= 0xFF;
+    fs::write(&log, &bytes).expect("log writable");
+    let engine: DurableTrustStore<u32> = TrustEngine::open(&dir).expect("recovers");
+    // snapshot-only state: record 2 has seen exactly one fold, and the
+    // post-snapshot usage log never existed
+    assert_eq!(engine.record_count(), 2);
+    let r2 = engine.record(2, TaskId(1)).expect("snapshot record");
+    assert_eq!((r2.s_hat, r2.g_hat, r2.d_hat, r2.c_hat), (0.75, 0.5, 0.25, 0.0));
+    assert_eq!(r2.interactions, 1, "the stale log's second fold must not replay");
+    assert_eq!(engine.usage_log(3), UsageLog { responsive: 6, abusive: 2 });
+    assert_eq!(engine.usage_log(4), UsageLog::default(), "post-snapshot frame discarded");
+    drop(engine);
+    fs::remove_dir_all(&dir).expect("scratch removable");
+}
+
+/// v1 snapshots were written atomically, so *any* damage inside one is
+/// real corruption — no tail tolerance there.
+#[test]
+fn legacy_corrupt_snapshot_reports_corrupt() {
+    let dir = legacy_scratch("legacy-snapcorrupt");
+    let snap = dir.join(SNAP_FILE);
+    let mut bytes = fs::read(&snap).expect("snapshot readable");
+    bytes[HEADER + 12] ^= 0xFF;
+    fs::write(&snap, &bytes).expect("snapshot writable");
+    let err = DurableTrustStore::<u32>::open(&dir).expect_err("snapshot damage is fatal");
+    assert!(matches!(err, TrustError::Corrupt { what: "snapshot frame", .. }), "got {err:?}");
+    fs::remove_dir_all(&dir).expect("scratch removable");
+}
+
+/// A v1 crash could tear even the 8-byte header of a just-created log; a
+/// torn-header legacy log carries no state and migrates to an empty chain.
+#[test]
+fn legacy_torn_header_log_carries_no_state() {
+    let dir = tmpdir("legacy-torn");
+    fs::create_dir_all(&dir).expect("dir creatable");
+    fs::write(dir.join(LOG_FILE), b"SIO").expect("torn log writable");
+    let engine: DurableTrustStore<u32> = TrustEngine::open(&dir).expect("torn v1 header recovers");
+    assert_eq!(engine.record_count(), 0);
+    drop(engine);
+    let engine: DurableTrustStore<u32> = TrustEngine::open(&dir).expect("migrated chain reopens");
+    assert_eq!(engine.record_count(), 0);
+    drop(engine);
+    fs::remove_dir_all(&dir).expect("scratch removable");
+}
+
+// ---------------------------------------------------------------------------
+// Group commit: acked means durable
+// ---------------------------------------------------------------------------
+
+/// Under [`FsyncPolicy::Always`] every write API returns only after its
+/// group-commit barrier's fsync, so a hard crash — simulated by leaking
+/// the engine, skipping `Drop`'s flush entirely — loses nothing that was
+/// acked. (Also pins the `sync_all` fix: `sync_data` once let the file's
+/// size metadata lag, turning acked frames into a torn tail.)
+#[test]
+fn always_acked_writes_survive_crash_without_flush() {
+    let dir = tmpdir("always-crash");
+    let task = Task::uniform(TaskId(0), [CharacteristicId(0)]).expect("non-empty");
+    let betas = ForgettingFactors::figures();
+    let options =
+        LogOptions { fsync: FsyncPolicy::Always, compact_every: 0, ..LogOptions::default() };
+    {
+        let mut engine: DurableTrustStore<u32> =
+            TrustEngine::open_with(&dir, options).expect("fresh dir");
+        engine.register_task(task.clone());
+        for i in 0..40u32 {
+            let active = engine
+                .delegate(i % 5, &task, Goal::ANY, Context::amicable(task.id()))
+                .activate(&engine);
+            active
+                .execute(&mut engine, DelegationOutcome::succeeded(0.75, 0.125), &betas)
+                .expect("in-range outcome");
+        }
+        std::mem::forget(engine); // crash: no flush, no Drop
+    }
+    let engine: DurableTrustStore<u32> = TrustEngine::open(&dir).expect("reopen");
+    let total: u64 =
+        (0..5u32).filter_map(|p| engine.record(p, TaskId(0))).map(|r| r.interactions).sum();
+    assert_eq!(total, 40, "every acked session is on disk");
+    let logged: u64 = (0..5u32).map(|p| engine.usage_log(p).total()).sum();
+    assert_eq!(logged, 40);
+    drop(engine);
+    fs::remove_dir_all(&dir).expect("scratch removable");
+}
+
+/// `commit_batch` returns its receipts only after the one fsync covering
+/// the whole drained batch — so returned receipts survive the same
+/// no-flush crash.
+#[test]
+fn batch_receipts_are_durable_once_returned_under_always() {
+    let dir = tmpdir("batch-always");
+    let task = Task::uniform(TaskId(0), [CharacteristicId(0)]).expect("non-empty");
+    let betas = ForgettingFactors::figures();
+    let options =
+        LogOptions { fsync: FsyncPolicy::Always, compact_every: 0, ..LogOptions::default() };
+    {
+        let mut engine: DurableTrustStore<u32> =
+            TrustEngine::open_with(&dir, options).expect("fresh dir");
+        let mut pending = Vec::new();
+        for i in 0..12u32 {
+            let active = engine
+                .delegate(i % 4, &task, Goal::ANY, Context::amicable(task.id()))
+                .activate(&engine);
+            pending.push(active.finish(DelegationOutcome::succeeded(0.5, 0.25)).expect("in-range"));
+        }
+        engine.commit_batch(pending, &betas); // one barrier for the slate
+        std::mem::forget(engine); // crash: no flush, no Drop
+    }
+    let engine: DurableTrustStore<u32> = TrustEngine::open(&dir).expect("reopen");
+    for p in 0..4u32 {
+        assert_eq!(engine.record(p, task.id()).expect("committed").interactions, 3);
+        assert_eq!(engine.usage_log(p).responsive, 3);
+    }
+    drop(engine);
+    fs::remove_dir_all(&dir).expect("scratch removable");
+}
+
+// ---------------------------------------------------------------------------
+// Churn-proportional compaction, end to end
+// ---------------------------------------------------------------------------
+
+/// Incremental compaction folds the raw segments into one compacted
+/// segment appended to the chain, the folded state survives reopen, and
+/// repeated rounds keep the chain bounded.
+#[test]
+fn churn_compaction_preserves_state_across_reopen() {
+    let dir = tmpdir("churn");
+    let options = LogOptions { segment_bytes: 256, compact_every: 0, ..LogOptions::default() };
+    let mut engine: DurableTrustStore<u32> =
+        TrustEngine::open_with(&dir, options).expect("fresh dir");
+    for i in 0..30u32 {
+        engine.seed_record(i, TaskId(0), rec(i % 8));
+    }
+    engine.flush().expect("flush succeeds");
+    assert!(engine.segments() >= 3, "tiny segment_bytes forced rotations");
+    // churn a small hot set, then fold it
+    for _ in 0..4 {
+        for k in 0..3u32 {
+            engine.seed_record(k, TaskId(0), rec(7));
+        }
+    }
+    engine.compact_churned().expect("incremental compaction succeeds");
+    assert_eq!(engine.compacted_segments(), 1, "one compacted segment leads the chain");
+    assert_eq!(engine.segments(), 2, "raw segments folded away: [compacted, active]");
+    drop(engine);
+    let mut engine: DurableTrustStore<u32> = TrustEngine::open(&dir).expect("reopen");
+    assert_eq!(engine.record_count(), 30);
+    for i in 0..30u32 {
+        let want = if i < 3 { rec(7) } else { rec(i % 8) };
+        assert_eq!(engine.record(i, TaskId(0)), Some(want), "record {i}");
+    }
+    // a second round on the already-compacted chain appends one more
+    // compacted segment and still round-trips
+    engine.seed_record(31, TaskId(0), rec(1));
+    engine.compact_churned().expect("second incremental compaction succeeds");
+    drop(engine);
+    let engine: DurableTrustStore<u32> = TrustEngine::open(&dir).expect("second reopen");
+    assert_eq!(engine.record_count(), 31);
+    assert_eq!(engine.record(31, TaskId(0)), Some(rec(1)));
     drop(engine);
     fs::remove_dir_all(&dir).expect("scratch removable");
 }
@@ -456,7 +850,7 @@ fn reopen_smoke_tmpdir() {
     {
         let mut engine: DurableTrustStore<u32> = TrustEngine::open_with(
             &dir,
-            LogOptions { fsync: FsyncPolicy::Always, compact_every: 64 },
+            LogOptions { fsync: FsyncPolicy::Always, compact_every: 64, ..LogOptions::default() },
         )
         .expect("fresh dir");
         for i in 0..200u32 {

@@ -5,7 +5,7 @@
 use proptest::prelude::*;
 use siot_core::backend::TrustBackend;
 use siot_core::environment::EnvIndicator;
-use siot_core::log_backend::WriteBehind;
+use siot_core::log_backend::{FsyncPolicy, LogOptions, WriteBehind};
 use siot_core::prelude::*;
 use siot_core::service::{block_on, ServiceOptions, TrustService};
 
@@ -195,6 +195,83 @@ fn shutdown_drains_queued_commits_and_flushes_durably() {
     std::fs::remove_dir_all(&dir).expect("scratch removable");
 }
 
+/// The group-commit ordering guarantee, pinned at the service seam: under
+/// [`FsyncPolicy::Always`] the actor releases receipts only *after* the
+/// commit barrier's fsync covers the drained batch — so the instant a
+/// receipt resolves, its commit is on disk. Snapshotting the chain files
+/// at that instant and replaying the copy must show every acked commit;
+/// a snapshot raced against still-unacked commits must replay cleanly
+/// too — in-flight work is absent or present, never corruption.
+#[test]
+fn receipts_resolve_only_after_the_covering_fsync() {
+    let dir = tmpdir("service-group-commit");
+    // no compaction and a huge segment threshold: the manifest is written
+    // once at creation, so a live file-by-file snapshot of the directory
+    // is equivalent to a crash cut of the active segment
+    let options =
+        LogOptions { fsync: FsyncPolicy::Always, compact_every: 0, ..LogOptions::default() };
+    let engine: DurableTrustStore<u32> =
+        TrustEngine::open_with(&dir, options).expect("fresh dir opens");
+    let service =
+        TrustService::spawn(engine, ServiceOptions { mailbox: 64, ..ServiceOptions::default() });
+    let handle = service.handle();
+
+    let snapshot = |tag: &str| {
+        let copy = tmpdir(tag);
+        std::fs::create_dir_all(&copy).expect("snapshot dir creatable");
+        for entry in std::fs::read_dir(&dir).expect("chain dir readable") {
+            let entry = entry.expect("entry readable");
+            std::fs::copy(entry.path(), copy.join(entry.file_name())).expect("file copies");
+        }
+        copy
+    };
+    let interactions = |engine: &DurableTrustStore<u32>| -> u64 {
+        (0..6u32).filter_map(|p| engine.record(p, TaskId(0))).map(|r| r.interactions).sum()
+    };
+
+    // acked ⇒ durable: every resolved receipt is already covered by a sync
+    let pending: Vec<_> = (0..120)
+        .map(|i| {
+            handle
+                .submit(completed(0, &((i % 6) as u32, Observation::success(0.75, 0.125), 0, 1.0)))
+        })
+        .collect();
+    for p in pending {
+        block_on(p).expect("service alive for the whole batch");
+    }
+    let acked = snapshot("service-gc-acked");
+    let replayed: DurableTrustStore<u32> =
+        TrustEngine::open(&acked).expect("acked snapshot replays");
+    assert_eq!(interactions(&replayed), 120, "every resolved receipt was fsynced first");
+    drop(replayed);
+    std::fs::remove_dir_all(&acked).expect("scratch removable");
+
+    // unacked ⇒ absent or present, never corrupt: race a snapshot against
+    // commits whose receipts have not resolved yet
+    let pending: Vec<_> = (0..120)
+        .map(|i| {
+            handle
+                .submit(completed(0, &((i % 6) as u32, Observation::success(0.75, 0.125), 0, 1.0)))
+        })
+        .collect();
+    let raced = snapshot("service-gc-raced");
+    let replayed: DurableTrustStore<u32> =
+        TrustEngine::open(&raced).expect("a raced snapshot replays cleanly, never corrupt");
+    let seen = interactions(&replayed);
+    assert!((120..=240).contains(&seen), "acked floor, in-flight ceiling: {seen}");
+    drop(replayed);
+    std::fs::remove_dir_all(&raced).expect("scratch removable");
+    for p in pending {
+        block_on(p).expect("service alive for the whole batch");
+    }
+
+    drop(handle);
+    let engine = service.shutdown().expect("clean shutdown");
+    assert_eq!(interactions(&engine), 240);
+    drop(engine);
+    std::fs::remove_dir_all(&dir).expect("scratch removable");
+}
+
 /// The drain guarantee also holds when handles simply go away: dropping
 /// every handle (no explicit shutdown) still flushes the journal before
 /// the detached actor exits.
@@ -212,8 +289,9 @@ fn dropping_handles_without_shutdown_still_flushes() {
     // the actor thread is detached, so synchronize on its flush reaching
     // the file (metadata only — opening the dir while the actor still
     // writes would make this test a second writer): the journal's exit
-    // flush is the only thing that ever grows the log past its header
-    let log = dir.join(siot_core::log_backend::LOG_FILE);
+    // flush is the only thing that ever grows the active segment past its
+    // header
+    let log = dir.join(siot_core::log_backend::segment_file_name(1));
     let header = 8u64;
     let mut last = 0;
     for _ in 0..500 {

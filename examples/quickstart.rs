@@ -116,17 +116,23 @@ fn main() {
     }
 
     // 7. durability: the same process over a restart-surviving engine.
-    //    `TrustEngine::open` is open-or-create — it replays `trust.snap`
-    //    plus the checksum-valid prefix of `trust.log`; the fsync policy
-    //    (Never / OnFlush / Always) and the compaction cadence are the two
-    //    `LogOptions` knobs.
+    //    `TrustEngine::open` is open-or-create — it replays the manifest's
+    //    segment chain (truncating a torn tail frame on the active
+    //    segment); the fsync policy (Never / OnFlush / Always, where
+    //    Always group-commits: one fsync per batch, issued before the
+    //    receipts come back), the compaction cadence and the segment
+    //    rotation size are the `LogOptions` knobs.
     // pid-unique scratch dir so concurrent runs never clobber each other
     let dir = std::env::temp_dir().join(format!("siot-quickstart-trust-{}", std::process::id()));
     let _ = std::fs::remove_dir_all(&dir);
     {
         let mut durable: DurableTrustStore<u32> = TrustEngine::open_with(
             &dir,
-            LogOptions { fsync: FsyncPolicy::OnFlush, compact_every: 1 << 16 },
+            LogOptions {
+                fsync: FsyncPolicy::OnFlush,
+                compact_every: 1 << 16,
+                ..LogOptions::default()
+            },
         )
         .expect("durable store opens");
         durable.register_task(task.clone());
