@@ -63,6 +63,14 @@
 //! * `service/remote_query_mix_100k` — the serving-shaped 90/10 mix over
 //!   the wire: every point read is a full TCP round trip to the server's
 //!   owning shard, the latency row a federated deployment actually feels;
+//! * `service/snapshot_query_mix_100k` — the same mix with
+//!   `Freshness::Snapshot` reads served off each shard's published
+//!   [`ReadSnapshot`](siot_core::service::ReadSnapshot) instead of a
+//!   mailbox round trip — what the read-replica tier saves in-process;
+//! * `service/snapshot_query_mix_100k_remote` — the replica tier over the
+//!   wire: snapshot reads batched into `QueryMany` frames and answered on
+//!   the server's reader thread without actor dispatch, closing the gap
+//!   between `remote_query_mix_100k` and `sharded_query_mix_100k_s2`;
 //! * `service/fleet_commit_*_n2` — the **fault-tolerant** tier: the same
 //!   four clients, but their vectored windows travel as
 //!   `(session, seq)`-tagged chunks through a [`FleetTrustHandle`] routing
@@ -94,8 +102,8 @@ use siot_core::log_backend::{
 use siot_core::pool::{Dispatch, ObserverPool};
 use siot_core::record::{ForgettingFactors, Observation};
 use siot_core::service::{
-    block_on, FleetOptions, FleetTrustHandle, RemoteTrustServer, RemoteTrustServiceHandle,
-    ServiceOptions, ShardedTrustService, TrustService,
+    block_on, FleetOptions, FleetTrustHandle, Freshness, RemoteTrustServer,
+    RemoteTrustServiceHandle, ServiceOptions, ShardedTrustService, TrustService,
 };
 use siot_core::store::{TrustEngine, TrustStore};
 use siot_core::task::{CharacteristicId, Task, TaskId};
@@ -595,6 +603,28 @@ fn bench_store_backends(c: &mut Criterion) {
             })
         });
 
+        // the same mix with snapshot-freshness reads: each point read is
+        // answered off the owning shard's published `ReadSnapshot` without
+        // a mailbox round trip (awaited commits publish before acking, so
+        // the snapshots are never stale here even at bound 0)
+        c.bench_function("store_backends/service/snapshot_query_mix_100k", |b| {
+            b.iter(|| {
+                let mut hits = 0usize;
+                for (i, entry) in workload.iter().enumerate() {
+                    if i % 10 == 0 {
+                        block_on(handle.submit(session(entry))).expect("fleet alive");
+                    } else {
+                        let record =
+                            block_on(handle.record_with(entry.0, entry.1, Freshness::snapshot(0)))
+                                .expect("fleet alive");
+                        hits += usize::from(record.is_some());
+                    }
+                }
+                assert_eq!(hits, workload.len() - workload.len() / 10);
+                black_box(hits)
+            })
+        });
+
         // the same 90/10 mix over the wire: a loopback server fronting the
         // warmed fleet, every point read a full TCP round trip
         let server =
@@ -613,6 +643,38 @@ fn bench_store_backends(c: &mut Criterion) {
                         hits += usize::from(record.is_some());
                     }
                 }
+                assert_eq!(hits, workload.len() - workload.len() / 10);
+                black_box(hits)
+            })
+        });
+        // the remote mix on the replica tier: snapshot-freshness reads
+        // batched into `QueryMany` frames (one frame per pipeline window,
+        // answered off published snapshots on the server's reader thread)
+        // while commits stay awaited round trips — this is the row the
+        // read tier exists for, closing the remote/in-process read gap
+        c.bench_function("store_backends/service/snapshot_query_mix_100k_remote", |b| {
+            b.iter(|| {
+                let mut hits = 0usize;
+                let mut reads: Vec<(u32, TaskId)> = Vec::with_capacity(SERVICE_PIPELINE);
+                for (i, entry) in workload.iter().enumerate() {
+                    if i % 10 == 0 {
+                        block_on(remote.submit(session(entry))).expect("server alive");
+                    } else {
+                        reads.push((entry.0, entry.1));
+                        if reads.len() == SERVICE_PIPELINE {
+                            let got =
+                                block_on(remote.record_many(
+                                    std::mem::take(&mut reads),
+                                    Freshness::snapshot(0),
+                                ))
+                                .expect("server alive");
+                            hits += got.iter().filter(|r| r.is_some()).count();
+                        }
+                    }
+                }
+                let got = block_on(remote.record_many(reads, Freshness::snapshot(0)))
+                    .expect("server alive");
+                hits += got.iter().filter(|r| r.is_some()).count();
                 assert_eq!(hits, workload.len() - workload.len() / 10);
                 black_box(hits)
             })

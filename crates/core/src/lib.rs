@@ -122,9 +122,9 @@ pub mod prelude {
     pub use crate::record::{ForgettingFactors, Observation, TrustRecord};
     pub use crate::service::{
         Cut, DedupWindow, Fault, FaultPlan, FaultProxy, FleetCut, FleetOptions, FleetTrustHandle,
-        Freshness, NodeStats, RemoteTrustServer, RemoteTrustServiceHandle, ServiceEndpoint,
-        ServiceOptions, ShardStats, ShardedTrustService, ShardedTrustServiceHandle, TrustService,
-        TrustServiceHandle,
+        Freshness, NodeStats, ReadSnapshot, RemoteTrustServer, RemoteTrustServiceHandle,
+        ReplicaHandle, ServiceEndpoint, ServiceOptions, ShardStats, ShardedTrustService,
+        ShardedTrustServiceHandle, TrustService, TrustServiceHandle,
     };
     pub use crate::store::{DurableTrustStore, TrustEngine, TrustStore};
     pub use crate::task::{CharacteristicId, Task, TaskId};

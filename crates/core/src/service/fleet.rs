@@ -42,6 +42,7 @@
 //! |---|---|
 //! | tagged commits (`submit`, `submit_batch`, `submit_prepared`) | reconnect + resend same tag, waiting through backoff, until the deadline — exactly-once via the dedup window |
 //! | reads (`evaluate`, `trustworthiness`, `record`, cuts) | reconnect once if possible, else fail fast `NodeUnavailable` — reads are safe to retry but not worth waiting for |
+//! | snapshot-freshness cuts ([`Freshness::Snapshot`]) | as reads, but an unreachable node's range is served from the handle's **stale cache** (its last snapshot answer) and stamped in [`FleetCut::stale`] — degraded reads stay typed and total instead of dropping key ranges |
 //! | `register_task`, `flush` | retried like commits (idempotent) |
 //! | `complete` | **never retried** — it folds server-side without a tag; an ambiguous transport death surfaces as `NodeUnavailable`. Use the tagged commit path when exactness matters. |
 //!
@@ -63,6 +64,7 @@
 //! [`DedupWindow`]: crate::service::remote::DedupWindow
 //! [`shard_index`]: crate::service::sharded::ShardedTrustServiceHandle::shard_of
 
+use std::collections::HashMap;
 use std::future::Future;
 use std::hash::Hash;
 use std::pin::Pin;
@@ -131,17 +133,36 @@ pub struct FleetCut<T> {
     pub value: T,
     /// One epoch vector per node, indexed by node position — the same
     /// vectors a [`Cut`](crate::service::Cut) from that node would carry.
-    /// Empty for nodes listed in [`missing`](Self::missing).
+    /// Empty for nodes listed in [`missing`](Self::missing); for nodes in
+    /// [`stale`](Self::stale) these are the epochs the cached answer was
+    /// taken at, so the caller can see exactly how old its data is.
     pub epochs: Vec<Vec<u64>>,
     /// `(node index, address)` of every node that failed to answer — its
     /// key range is absent from [`value`](Self::value).
     pub missing: Vec<(usize, String)>,
+    /// `(node index, address)` of every node whose key range was served
+    /// from the fleet handle's **stale cache** — the node was unreachable
+    /// (reconnecting, saturated, mid-restart) under
+    /// [`Freshness::Snapshot`], so the last snapshot answer it gave was
+    /// used instead of failing the range. The staleness is typed, never
+    /// silent: the node is listed here and its cached epochs stay in
+    /// [`epochs`](Self::epochs). Always empty under
+    /// [`Freshness::Relaxed`]/[`Freshness::Aligned`].
+    pub stale: Vec<(usize, String)>,
 }
 
 impl<T> FleetCut<T> {
-    /// Whether every node answered — the cut covers the whole key space.
+    /// Whether every node's key range is covered — live or stale. A stale
+    /// range still holds real (older) data; only
+    /// [`missing`](Self::missing) ranges are absent from the value.
     pub fn complete(&self) -> bool {
         self.missing.is_empty()
+    }
+
+    /// Whether every node answered **live** — no range is missing and
+    /// none was served from the stale cache.
+    pub fn fully_fresh(&self) -> bool {
+        self.missing.is_empty() && self.stale.is_empty()
     }
 }
 
@@ -218,6 +239,27 @@ struct NodeSlot<P> {
     /// No reconnect before this instant (backoff).
     retry_at: Instant,
     rng: SmallRng,
+    /// The node's last successful broadcast answers — what
+    /// [`Freshness::Snapshot`] cut reads fall back to while the node is
+    /// unreachable (see [`FleetCut::stale`]).
+    stale: StaleCache<P>,
+}
+
+/// A cached broadcast answer paired with the epoch vector it was taken at.
+type Stamped<T> = (Vec<u64>, T);
+
+/// Per-node cache of the last successfully observed broadcast answers,
+/// each paired with the epoch vector it was taken at. Bounded: one peer
+/// list plus one record table per distinct task ever queried.
+struct StaleCache<P> {
+    known_peers: Option<Stamped<Vec<P>>>,
+    task_records: HashMap<TaskId, Stamped<Vec<(P, TrustRecord)>>>,
+}
+
+impl<P> StaleCache<P> {
+    fn new() -> Self {
+        StaleCache { known_peers: None, task_records: HashMap::new() }
+    }
 }
 
 /// The fault-tolerant routing handle over a fleet of
@@ -318,7 +360,15 @@ impl<P: LogKey + Hash + Send + 'static> FleetTrustHandle<P> {
                 } else {
                     now + jittered(options.backoff_base, options.backoff_cap, 0, &mut rng)
                 };
-                Mutex::new(NodeSlot { addr, conn, connecting: false, attempt, retry_at, rng })
+                Mutex::new(NodeSlot {
+                    addr,
+                    conn,
+                    connecting: false,
+                    attempt,
+                    retry_at,
+                    rng,
+                    stale: StaleCache::new(),
+                })
             })
             .collect();
         if live == 0 {
@@ -544,33 +594,60 @@ impl<P: LogKey + Hash + Send + 'static> FleetTrustHandle<P> {
     }
 
     /// Eq. 18 trustworthiness toward `(peer, task)`, from `peer`'s home
-    /// node.
+    /// node ([`Freshness::Relaxed`]).
     pub fn trustworthiness(
         &self,
         peer: P,
         task: TaskId,
     ) -> impl Future<Output = Result<Option<Trustworthiness>, TrustError>> {
+        self.trustworthiness_with(peer, task, Freshness::Relaxed)
+    }
+
+    /// [`trustworthiness`](Self::trustworthiness) at an explicit
+    /// freshness. Under [`Freshness::Snapshot`] the home node answers off
+    /// its published replica snapshot without touching the write path —
+    /// the read stays fast even when the node's mailboxes are saturated
+    /// with commits.
+    pub fn trustworthiness_with(
+        &self,
+        peer: P,
+        task: TaskId,
+        freshness: Freshness,
+    ) -> impl Future<Output = Result<Option<Trustworthiness>, TrustError>> {
         let node = self.node_of(peer);
         let this = self.clone();
         async move {
             this.read_op(node, move |conn| {
-                Box::pin(async move { conn.trustworthiness(peer, task).await })
+                Box::pin(async move { conn.trustworthiness_with(peer, task, freshness).await })
             })
             .await
         }
     }
 
-    /// The record for `(peer, task)`, from `peer`'s home node.
+    /// The record for `(peer, task)`, from `peer`'s home node
+    /// ([`Freshness::Relaxed`]).
     pub fn record(
         &self,
         peer: P,
         task: TaskId,
     ) -> impl Future<Output = Result<Option<TrustRecord>, TrustError>> {
+        self.record_with(peer, task, Freshness::Relaxed)
+    }
+
+    /// [`record`](Self::record) at an explicit freshness.
+    pub fn record_with(
+        &self,
+        peer: P,
+        task: TaskId,
+        freshness: Freshness,
+    ) -> impl Future<Output = Result<Option<TrustRecord>, TrustError>> {
         let node = self.node_of(peer);
         let this = self.clone();
         async move {
-            this.read_op(node, move |conn| Box::pin(async move { conn.record(peer, task).await }))
-                .await
+            this.read_op(node, move |conn| {
+                Box::pin(async move { conn.record_with(peer, task, freshness).await })
+            })
+            .await
         }
     }
 
@@ -686,25 +763,41 @@ impl<P: LogKey + Hash + Send + 'static> FleetTrustHandle<P> {
 
     /// The fleet-wide peer list as a [`FleetCut`]: merged live values,
     /// per-node epoch vectors, and the missing nodes. Fails only when
-    /// **no** node answered.
+    /// **no** node answered. Under [`Freshness::Snapshot`] a node that is
+    /// unreachable (reconnecting, saturated) is served from the handle's
+    /// stale cache when possible and stamped in [`FleetCut::stale`].
     pub fn known_peers_cut(
         &self,
         freshness: Freshness,
     ) -> impl Future<Output = Result<FleetCut<Vec<P>>, TrustError>> {
         let this = self.clone();
+        let snapshot = matches!(freshness, Freshness::Snapshot { .. });
         async move {
             let cut = this
-                .fleet_cut(move |conn| {
-                    Box::pin(async move {
-                        let cut = conn.known_peers_cut(freshness).await?;
-                        Ok((cut.epochs, cut.value))
-                    })
-                })
+                .fleet_cut(
+                    move |conn| {
+                        Box::pin(async move {
+                            let cut = conn.known_peers_cut(freshness).await?;
+                            Ok((cut.epochs, cut.value))
+                        })
+                    },
+                    |fleet, node, epochs, peers: &Vec<P>| {
+                        let mut slot = fleet.nodes[node].lock().expect("fleet node slot");
+                        slot.stale.known_peers = Some((epochs.to_vec(), peers.clone()));
+                    },
+                    |fleet, node| {
+                        if !snapshot {
+                            return None;
+                        }
+                        fleet.nodes[node].lock().expect("fleet node slot").stale.known_peers.clone()
+                    },
+                )
                 .await?;
             let mut cut = FleetCut {
                 value: cut.value.into_iter().flatten().collect::<Vec<P>>(),
                 epochs: cut.epochs,
                 missing: cut.missing,
+                stale: cut.stale,
             };
             cut.value.sort_unstable();
             Ok(cut)
@@ -721,26 +814,43 @@ impl<P: LogKey + Hash + Send + 'static> FleetTrustHandle<P> {
         async move { Ok(fut.await?.value) }
     }
 
-    /// The fleet-wide record table for `task` as a [`FleetCut`].
+    /// The fleet-wide record table for `task` as a [`FleetCut`]. Under
+    /// [`Freshness::Snapshot`], unreachable nodes fall back to the stale
+    /// cache like [`known_peers_cut`](Self::known_peers_cut).
     pub fn task_records_cut(
         &self,
         task: TaskId,
         freshness: Freshness,
     ) -> impl Future<Output = Result<FleetCut<Vec<(P, TrustRecord)>>, TrustError>> {
         let this = self.clone();
+        let snapshot = matches!(freshness, Freshness::Snapshot { .. });
         async move {
             let cut = this
-                .fleet_cut(move |conn| {
-                    Box::pin(async move {
-                        let cut = conn.task_records_cut(task, freshness).await?;
-                        Ok((cut.epochs, cut.value))
-                    })
-                })
+                .fleet_cut(
+                    move |conn| {
+                        Box::pin(async move {
+                            let cut = conn.task_records_cut(task, freshness).await?;
+                            Ok((cut.epochs, cut.value))
+                        })
+                    },
+                    |fleet, node, epochs, records: &Vec<(P, TrustRecord)>| {
+                        let mut slot = fleet.nodes[node].lock().expect("fleet node slot");
+                        slot.stale.task_records.insert(task, (epochs.to_vec(), records.clone()));
+                    },
+                    |fleet, node| {
+                        if !snapshot {
+                            return None;
+                        }
+                        let slot = fleet.nodes[node].lock().expect("fleet node slot");
+                        slot.stale.task_records.get(&task).cloned()
+                    },
+                )
                 .await?;
             let mut cut = FleetCut {
                 value: cut.value.into_iter().flatten().collect::<Vec<(P, TrustRecord)>>(),
                 epochs: cut.epochs,
                 missing: cut.missing,
+                stale: cut.stale,
             };
             cut.value.sort_unstable_by_key(|(peer, _)| *peer);
             Ok(cut)
@@ -750,15 +860,25 @@ impl<P: LogKey + Hash + Send + 'static> FleetTrustHandle<P> {
     /// One broadcast read over all nodes: live answers collected
     /// per-node, failures recorded as missing. Errors out only when every
     /// node failed (with the first node's error).
+    ///
+    /// `remember` stores each live answer in the node's stale cache;
+    /// `recall` is consulted when a node fails — a hit serves the node's
+    /// range stale-but-typed ([`FleetCut::stale`]) instead of dropping it.
+    /// Relaxed/Aligned cuts pass a no-op `recall`, so only
+    /// [`Freshness::Snapshot`] — the mode whose contract already admits
+    /// bounded staleness — ever answers from the cache.
     async fn fleet_cut<T>(
         &self,
         op: impl Fn(RemoteTrustServiceHandle<P>) -> BoxFut<(Vec<u64>, T)>,
+        remember: impl Fn(&self::FleetTrustHandle<P>, usize, &[u64], &T),
+        recall: impl Fn(&self::FleetTrustHandle<P>, usize) -> Option<(Vec<u64>, T)>,
     ) -> Result<FleetCut<Vec<T>>, TrustError> {
         let n = self.nodes.len();
         let deadline = Instant::now() + self.options.request_deadline;
         let mut epochs = vec![Vec::new(); n];
         let mut value = Vec::new();
         let mut missing = Vec::new();
+        let mut stale = Vec::new();
         let mut first_err = None;
         for (node, epoch_slot) in epochs.iter_mut().enumerate() {
             let result = loop {
@@ -776,19 +896,27 @@ impl<P: LogKey + Hash + Send + 'static> FleetTrustHandle<P> {
             };
             match result {
                 Ok((node_epochs, node_value)) => {
+                    remember(self, node, &node_epochs, &node_value);
                     *epoch_slot = node_epochs;
                     value.push(node_value);
                 }
-                Err(e) => {
-                    first_err.get_or_insert(e);
-                    missing.push((node, self.node_addr(node)));
-                }
+                Err(e) => match recall(self, node) {
+                    Some((cached_epochs, cached_value)) => {
+                        *epoch_slot = cached_epochs;
+                        value.push(cached_value);
+                        stale.push((node, self.node_addr(node)));
+                    }
+                    None => {
+                        first_err.get_or_insert(e);
+                        missing.push((node, self.node_addr(node)));
+                    }
+                },
             }
         }
         if missing.len() == n {
             return Err(first_err.expect("every node failed"));
         }
-        Ok(FleetCut { value, epochs, missing })
+        Ok(FleetCut { value, epochs, missing, stale })
     }
 
     /// Health and saturation per node: reachable nodes report their
@@ -1119,15 +1247,31 @@ mod tests {
 
     #[test]
     fn fleet_cut_completeness() {
-        let full: FleetCut<Vec<u64>> =
-            FleetCut { value: vec![1, 2], epochs: vec![vec![3], vec![4]], missing: Vec::new() };
+        let full: FleetCut<Vec<u64>> = FleetCut {
+            value: vec![1, 2],
+            epochs: vec![vec![3], vec![4]],
+            missing: Vec::new(),
+            stale: Vec::new(),
+        };
         assert!(full.complete());
+        assert!(full.fully_fresh());
         let partial: FleetCut<Vec<u64>> = FleetCut {
             value: vec![1],
             epochs: vec![vec![3], Vec::new()],
             missing: vec![(1, "127.0.0.1:1".into())],
+            stale: Vec::new(),
         };
         assert!(!partial.complete());
+        // a stale-served range still covers the key space, but the cut is
+        // no longer fully fresh
+        let cached: FleetCut<Vec<u64>> = FleetCut {
+            value: vec![1, 2],
+            epochs: vec![vec![3], vec![2]],
+            missing: Vec::new(),
+            stale: vec![(1, "127.0.0.1:1".into())],
+        };
+        assert!(cached.complete());
+        assert!(!cached.fully_fresh());
     }
 
     #[test]
@@ -1140,6 +1284,7 @@ mod tests {
             committed: 0,
             largest_commit_batch: 0,
             last_commit_batch: 0,
+            published_epoch: 0,
         };
         let stats = NodeStats {
             addr: "127.0.0.1:7477".into(),

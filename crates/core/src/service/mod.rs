@@ -111,6 +111,7 @@ use std::thread::JoinHandle;
 pub mod fault;
 pub mod fleet;
 pub mod remote;
+pub mod replica;
 pub mod sharded;
 
 pub use fault::{Fault, FaultPlan, FaultProxy};
@@ -119,7 +120,10 @@ pub use futures::executor::block_on;
 pub use remote::{
     DedupWindow, RemotePending, RemoteTrustServer, RemoteTrustServiceHandle, ServiceEndpoint,
 };
+pub use replica::{ReadSnapshot, ReplicaHandle};
 pub use sharded::{Freshness, ShardedTrustService, ShardedTrustServiceHandle};
+
+use replica::{Publisher, ReplicaSlot};
 
 /// A consistent answer to a broadcast query, named by the **epoch vector**
 /// at which it was taken: one drain-cycle counter per shard (see
@@ -151,11 +155,20 @@ pub struct ServiceOptions {
     /// Mailbox capacity (minimum 1): messages queued beyond it block the
     /// submitting thread until the actor drains.
     pub mailbox: usize,
+    /// Publish a [`ReadSnapshot`] after every `publish_every`-th drain
+    /// cycle that folded commits (minimum 1; the default `1` publishes at
+    /// the end of every mutating drain, *before* the drain's receipts are
+    /// acked, so an awaited commit is already visible to snapshot reads).
+    /// Larger values amortize publication on write-hot shards at the cost
+    /// of replica staleness — the lag [`Freshness::Snapshot`] bounds. See
+    /// the [`replica`] module docs. Drains that fold nothing never
+    /// publish.
+    pub publish_every: u64,
 }
 
 impl Default for ServiceOptions {
     fn default() -> Self {
-        ServiceOptions { betas: ForgettingFactors::figures(), mailbox: 1024 }
+        ServiceOptions { betas: ForgettingFactors::figures(), mailbox: 1024, publish_every: 1 }
     }
 }
 
@@ -190,6 +203,12 @@ pub struct ShardStats {
     pub largest_commit_batch: usize,
     /// Size of the most recent commit batch.
     pub last_commit_batch: usize,
+    /// The drain epoch of the last published [`ReadSnapshot`] (`0` until
+    /// the first publication) — staleness observable next to
+    /// `mailbox_depth`: compare against [`drains`](Self::drains) to see
+    /// how far snapshot readers trail this shard's write path. Reported
+    /// to remote clients like every other counter.
+    pub published_epoch: u64,
 }
 
 impl ShardStats {
@@ -210,7 +229,7 @@ impl ShardStats {
 /// mutating, so the answers they compute immediately after form one
 /// consistent global cut.
 #[derive(Debug)]
-struct Rendezvous {
+pub(crate) struct Rendezvous {
     parties: usize,
     state: Mutex<RendezvousState>,
     cv: Condvar,
@@ -395,11 +414,18 @@ pub struct TrustServiceHandle<P> {
     /// before every send, decremented by the actor per message received.
     /// The live half of [`ShardStats::mailbox_depth`].
     depth: Arc<AtomicUsize>,
+    /// The actor's snapshot publication point — the read-replica tier's
+    /// zero-mailbox seam (see [`replica`]).
+    slot: Arc<ReplicaSlot<P>>,
 }
 
 impl<P> Clone for TrustServiceHandle<P> {
     fn clone(&self) -> Self {
-        TrustServiceHandle { tx: self.tx.clone(), depth: Arc::clone(&self.depth) }
+        TrustServiceHandle {
+            tx: self.tx.clone(),
+            depth: Arc::clone(&self.depth),
+            slot: Arc::clone(&self.slot),
+        }
     }
 }
 
@@ -510,6 +536,125 @@ impl<P: Copy + Ord> TrustServiceHandle<P> {
         self.request(|reply| Message::Query(Query::Record { peer, task, reply })).await
     }
 
+    // ---- the read-replica seam: snapshot reads, bounded staleness ------
+
+    /// The latest published [`ReadSnapshot`] — zero mailbox traffic,
+    /// infallible (the last published state keeps answering after the
+    /// service stopped). See the [`replica`] module docs.
+    pub fn read_snapshot(&self) -> Arc<ReadSnapshot<P>> {
+        self.slot.load()
+    }
+
+    /// A zero-mailbox [`ReplicaHandle`] over this service's snapshots.
+    pub fn replica(&self) -> ReplicaHandle<P> {
+        ReplicaHandle::over(vec![Arc::clone(&self.slot)].into())
+    }
+
+    /// The publication slot — the sharded/remote tiers' access to this
+    /// shard's snapshots.
+    pub(crate) fn slot(&self) -> &Arc<ReplicaSlot<P>> {
+        &self.slot
+    }
+
+    /// [`record`](Self::record) with an explicit [`Freshness`]. Under
+    /// [`Freshness::Snapshot`] the read is served from the latest
+    /// published snapshot while within its staleness bound and falls
+    /// through to a fresh mailbox read otherwise; `Relaxed` and `Aligned`
+    /// are both the ordinary mailbox read on a single actor.
+    pub async fn record_with(
+        &self,
+        peer: P,
+        task: TaskId,
+        freshness: Freshness,
+    ) -> Result<Option<TrustRecord>, TrustError> {
+        self.record_round_with(peer, task, freshness).await
+    }
+
+    /// The eager send of [`record_with`](Self::record_with) — a snapshot
+    /// hit resolves without any actor round trip.
+    pub(crate) fn record_round_with(
+        &self,
+        peer: P,
+        task: TaskId,
+        freshness: Freshness,
+    ) -> Pending<Option<TrustRecord>> {
+        if let Freshness::Snapshot { max_epoch_lag } = freshness {
+            if let Some(snap) = self.slot.fresh_within(max_epoch_lag) {
+                return Pending::ready(snap.record(peer, task));
+            }
+        }
+        self.request(|reply| Message::Query(Query::Record { peer, task, reply }))
+    }
+
+    /// [`trustworthiness`](Self::trustworthiness) with an explicit
+    /// [`Freshness`] — see [`record_with`](Self::record_with).
+    pub async fn trustworthiness_with(
+        &self,
+        peer: P,
+        task: TaskId,
+        freshness: Freshness,
+    ) -> Result<Option<Trustworthiness>, TrustError> {
+        self.trustworthiness_round_with(peer, task, freshness).await
+    }
+
+    /// The eager send of
+    /// [`trustworthiness_with`](Self::trustworthiness_with).
+    pub(crate) fn trustworthiness_round_with(
+        &self,
+        peer: P,
+        task: TaskId,
+        freshness: Freshness,
+    ) -> Pending<Option<Trustworthiness>> {
+        if let Freshness::Snapshot { max_epoch_lag } = freshness {
+            if let Some(snap) = self.slot.fresh_within(max_epoch_lag) {
+                return Pending::ready(snap.trustworthiness(peer, task));
+            }
+        }
+        self.request(|reply| Message::Query(Query::Trustworthiness { peer, task, reply }))
+    }
+
+    /// [`known_peers`](Self::known_peers) with an explicit [`Freshness`]
+    /// — see [`record_with`](Self::record_with).
+    pub async fn known_peers_with(&self, freshness: Freshness) -> Result<Vec<P>, TrustError> {
+        Ok(self.known_peers_round_with(freshness).await?.1)
+    }
+
+    /// The eager epoch-stamped send of
+    /// [`known_peers_with`](Self::known_peers_with).
+    pub(crate) fn known_peers_round_with(&self, freshness: Freshness) -> Pending<(u64, Vec<P>)> {
+        if let Freshness::Snapshot { max_epoch_lag } = freshness {
+            if let Some(snap) = self.slot.fresh_within(max_epoch_lag) {
+                return Pending::ready((snap.epoch(), snap.known_peers()));
+            }
+        }
+        self.known_peers_in(None)
+    }
+
+    /// [`task_records`](Self::task_records) with an explicit
+    /// [`Freshness`] — see [`record_with`](Self::record_with).
+    pub async fn task_records_with(
+        &self,
+        task: TaskId,
+        freshness: Freshness,
+    ) -> Result<Vec<(P, TrustRecord)>, TrustError> {
+        Ok(self.task_records_round_with(task, freshness).await?.1)
+    }
+
+    /// The eager epoch-stamped send of
+    /// [`task_records_with`](Self::task_records_with).
+    pub(crate) fn task_records_round_with(
+        &self,
+        task: TaskId,
+        freshness: Freshness,
+    ) -> Pending<(u64, Vec<(P, TrustRecord)>)> {
+        if let Freshness::Snapshot { max_epoch_lag } = freshness {
+            if let Some(snap) = self.slot.fresh_within(max_epoch_lag) {
+                return Pending::ready((snap.epoch(), snap.task_records(task)));
+            }
+        }
+        self.task_records_in(task, None)
+    }
+
     /// Peers with at least one record — each exactly once, ascending.
     pub async fn known_peers(&self) -> Result<Vec<P>, TrustError> {
         Ok(self.known_peers_in(None).await?.1)
@@ -580,7 +725,7 @@ pub struct TrustService<P, B = crate::backend::BTreeBackend<P>> {
 
 impl<P, B> TrustService<P, B>
 where
-    P: Copy + Ord + Send + 'static,
+    P: Copy + Ord + Send + Sync + 'static,
     B: TrustBackend<P> + Send + 'static,
 {
     /// Takes ownership of `engine` and moves it onto a dedicated actor
@@ -598,11 +743,24 @@ where
         let betas = options.betas;
         let depth = Arc::new(AtomicUsize::new(0));
         let actor_depth = Arc::clone(&depth);
+        // the replica seam: seed the publisher with the engine's recovered
+        // records (a reopened durable engine serves its state from epoch 0)
+        // and hand the shared slot to both the actor and every handle
+        let slot = ReplicaSlot::new(engine.normalizer());
+        let publisher = Publisher::new(Arc::clone(&slot), options.publish_every, |sink| {
+            engine.for_each_stored_record(sink)
+        });
         let thread = std::thread::Builder::new()
             .name(name)
-            .spawn(move || actor(engine, rx, betas, actor_depth, capacity))
+            .spawn(move || actor(engine, rx, betas, actor_depth, capacity, publisher))
             .expect("actor thread spawns");
-        TrustService { handle: TrustServiceHandle { tx, depth }, thread }
+        TrustService { handle: TrustServiceHandle { tx, depth, slot }, thread }
+    }
+
+    /// A zero-mailbox [`ReplicaHandle`] over this service's published
+    /// snapshots — see the [`replica`] module docs.
+    pub fn read_replica(&self) -> ReplicaHandle<P> {
+        self.handle.replica()
     }
 
     /// A new handle to the running actor.
@@ -638,6 +796,7 @@ fn actor<P: Copy + Ord, B: TrustBackend<P>>(
     betas: ForgettingFactors,
     depth: Arc<AtomicUsize>,
     mailbox_capacity: usize,
+    mut publisher: Publisher<P>,
 ) -> TrustEngine<P, B> {
     let mut pending: Vec<CompletedDelegation<P>> = Vec::new();
     let mut acks: Vec<Ack<P>> = Vec::new();
@@ -645,7 +804,9 @@ fn actor<P: Copy + Ord, B: TrustBackend<P>>(
     'serve: loop {
         let Ok(first) = rx.recv() else {
             // every handle dropped: nothing is queued (recv only errs on
-            // empty + disconnected) — flush best-effort and stop
+            // empty + disconnected) — flush best-effort, leave the last
+            // state published for surviving replicas, and stop
+            publisher.force_publish(&mut stats);
             let _ = engine.flush();
             break 'serve;
         };
@@ -685,7 +846,14 @@ fn actor<P: Copy + Ord, B: TrustBackend<P>>(
                         let _ = reply.send(());
                     }
                     Command::Flush { reply } => {
-                        flush_batch(&mut engine, &mut pending, &mut acks, &betas, &mut stats);
+                        flush_batch(
+                            &mut engine,
+                            &mut pending,
+                            &mut acks,
+                            &betas,
+                            &mut stats,
+                            &mut publisher,
+                        );
                         let _ = reply.send(engine.flush());
                     }
                     Command::Shutdown { reply } => stop.push(reply),
@@ -693,7 +861,14 @@ fn actor<P: Copy + Ord, B: TrustBackend<P>>(
                 Some(Message::Query(query)) => {
                     // strict arrival order: queued commits fold before the
                     // query is answered, so awaited writes are always read
-                    flush_batch(&mut engine, &mut pending, &mut acks, &betas, &mut stats);
+                    flush_batch(
+                        &mut engine,
+                        &mut pending,
+                        &mut acks,
+                        &betas,
+                        &mut stats,
+                        &mut publisher,
+                    );
                     match query {
                         Query::Evaluate { request, reply } => {
                             let _ = reply.send(request.evaluate(&engine));
@@ -741,9 +916,12 @@ fn actor<P: Copy + Ord, B: TrustBackend<P>>(
         }
         // the drain's accumulated commit batch: one storage pass, receipts
         // fanned back out per caller
-        flush_batch(&mut engine, &mut pending, &mut acks, &betas, &mut stats);
+        flush_batch(&mut engine, &mut pending, &mut acks, &betas, &mut stats, &mut publisher);
         stats.drains += 1;
         if !stop.is_empty() {
+            // publish whatever the policy still held back: the last
+            // published state keeps serving replicas after the actor exits
+            publisher.force_publish(&mut stats);
             let flushed = engine.flush();
             for reply in stop {
                 let _ = reply.send(flushed.clone());
@@ -762,6 +940,7 @@ fn flush_batch<P: Copy + Ord, B: TrustBackend<P>>(
     acks: &mut Vec<Ack<P>>,
     betas: &ForgettingFactors,
     stats: &mut ShardStats,
+    publisher: &mut Publisher<P>,
 ) {
     if pending.is_empty() {
         return;
@@ -771,7 +950,7 @@ fn flush_batch<P: Copy + Ord, B: TrustBackend<P>>(
     stats.commit_batches += 1;
     stats.largest_commit_batch = stats.largest_commit_batch.max(folded);
     stats.last_commit_batch = folded;
-    let mut receipts = engine.commit_batch_receipts(std::mem::take(pending), betas).into_iter();
+    let receipts = engine.commit_batch_receipts(std::mem::take(pending), betas);
     // ack-after-sync: `commit_batch_receipts` ends with the group-commit
     // barrier, so by this line every frame of the drained batch is covered
     // by one fsync (under FsyncPolicy::Always). The explicit barrier
@@ -779,6 +958,15 @@ fn flush_batch<P: Copy + Ord, B: TrustBackend<P>>(
     // the held receipts go back to their callers: an acked receipt is a
     // durable receipt.
     let _ = engine.commit_barrier();
+    // publish-before-ack: each receipt carries the absolute post-fold
+    // record, so the replica mirror folds from the receipts alone; with
+    // the default policy the snapshot is published here, so an awaited
+    // commit is already visible to snapshot reads when its ack lands
+    for receipt in &receipts {
+        publisher.apply(receipt);
+    }
+    publisher.folded(stats.drains + 1, stats);
+    let mut receipts = receipts.into_iter();
     for ack in acks.drain(..) {
         match ack {
             Ack::Commit(reply) => {

@@ -37,7 +37,7 @@ use std::time::{Duration, Instant};
 
 use futures::channel::oneshot;
 
-use super::wire::{self, Request};
+use super::wire::{self, QueryKind, Request};
 use crate::delegation::{
     CompletedDelegation, Decision, DelegationOutcome, DelegationReceipt, DelegationRequest,
     EvaluatedDelegation,
@@ -329,18 +329,98 @@ impl<P: LogKey + Send + 'static> RemoteTrustServiceHandle<P> {
         self.send(Request::RegisterTask(task), wire::decode_unit).await
     }
 
-    /// Eq. 18 trustworthiness toward `(peer, task)`.
+    /// Eq. 18 trustworthiness toward `(peer, task)` —
+    /// [`Freshness::Relaxed`].
     pub async fn trustworthiness(
         &self,
         peer: P,
         task: TaskId,
     ) -> Result<Option<Trustworthiness>, TrustError> {
-        self.send(Request::Trustworthiness(peer, task), wire::decode_opt_tw).await
+        self.trustworthiness_with(peer, task, Freshness::Relaxed).await
     }
 
-    /// The record for `(peer, task)`, if any interaction happened.
+    /// [`trustworthiness`](Self::trustworthiness) at an explicit
+    /// freshness. Under [`Freshness::Snapshot`] a fresh-enough server
+    /// answers straight off the published replica snapshot — the reply
+    /// never waits behind the write path at all.
+    pub async fn trustworthiness_with(
+        &self,
+        peer: P,
+        task: TaskId,
+        freshness: Freshness,
+    ) -> Result<Option<Trustworthiness>, TrustError> {
+        self.send(Request::Trustworthiness(peer, task, freshness), wire::decode_opt_tw).await
+    }
+
+    /// The record for `(peer, task)`, if any interaction happened —
+    /// [`Freshness::Relaxed`].
     pub async fn record(&self, peer: P, task: TaskId) -> Result<Option<TrustRecord>, TrustError> {
-        self.send(Request::Record(peer, task), wire::decode_opt_record).await
+        self.record_with(peer, task, Freshness::Relaxed).await
+    }
+
+    /// [`record`](Self::record) at an explicit freshness.
+    pub async fn record_with(
+        &self,
+        peer: P,
+        task: TaskId,
+        freshness: Freshness,
+    ) -> Result<Option<TrustRecord>, TrustError> {
+        self.send(Request::Record(peer, task, freshness), wire::decode_opt_record).await
+    }
+
+    /// Many trustworthiness lookups in bulk: the whole batch rides
+    /// `QueryMany` frames of up to [`BATCH_CHUNK`] items (all written
+    /// before this returns, like [`submit_batch`](Self::submit_batch)),
+    /// and resolves to one answer per item in batch order. The
+    /// homogeneous-read mirror of `CommitMany` — one frame instead of
+    /// thousands of per-item round trips. An empty batch resolves
+    /// immediately without a round trip.
+    pub fn trustworthiness_many(
+        &self,
+        mut items: Vec<(P, TaskId)>,
+        freshness: Freshness,
+    ) -> impl Future<Output = Result<Vec<Option<Trustworthiness>>, TrustError>> {
+        let mut parts = Vec::new();
+        while !items.is_empty() {
+            let rest = items.split_off(items.len().min(BATCH_CHUNK));
+            parts.push(self.send(
+                Request::QueryMany { kind: QueryKind::Trustworthiness, freshness, items },
+                wire::decode_opt_tws,
+            ));
+            items = rest;
+        }
+        async move {
+            let mut answers = Vec::new();
+            for part in parts {
+                answers.extend(part.await?);
+            }
+            Ok(answers)
+        }
+    }
+
+    /// Many record lookups in bulk; see
+    /// [`trustworthiness_many`](Self::trustworthiness_many).
+    pub fn record_many(
+        &self,
+        mut items: Vec<(P, TaskId)>,
+        freshness: Freshness,
+    ) -> impl Future<Output = Result<Vec<Option<TrustRecord>>, TrustError>> {
+        let mut parts = Vec::new();
+        while !items.is_empty() {
+            let rest = items.split_off(items.len().min(BATCH_CHUNK));
+            parts.push(self.send(
+                Request::QueryMany { kind: QueryKind::Record, freshness, items },
+                wire::decode_opt_records,
+            ));
+            items = rest;
+        }
+        async move {
+            let mut answers = Vec::new();
+            for part in parts {
+                answers.extend(part.await?);
+            }
+            Ok(answers)
+        }
     }
 
     /// Peers with at least one record, ascending —

@@ -50,12 +50,13 @@ use futures::executor::Parker;
 
 use super::client::DEFAULT_CONNECT_TIMEOUT;
 use super::dedup::{Claim, DedupWindow, TaggedCommit};
-use super::wire::{self, Request, RequestError};
+use super::wire::{self, QueryKind, Request, RequestError};
 use crate::error::TrustError;
 use crate::framing::{self, StreamDecoder};
 use crate::log_backend::LogKey;
-use crate::service::sharded::ShardedTrustServiceHandle;
-use crate::service::{Command, Cut, Message, Query, TrustServiceHandle};
+use crate::service::sharded::{FanOut, ShardedTrustServiceHandle};
+use crate::service::{Command, Cut, Freshness, Message, Pending, Query, TrustServiceHandle};
+use crate::task::TaskId;
 
 /// The service a [`RemoteTrustServer`] fronts: one actor or a sharded
 /// fleet, behind one uniform wire surface. Both handle types convert
@@ -135,7 +136,7 @@ impl RemoteTrustServer {
     /// [`bind_with`](Self::bind_with).
     pub fn bind<P, A>(addr: A, endpoint: impl Into<ServiceEndpoint<P>>) -> Result<Self, TrustError>
     where
-        P: LogKey + Hash + Send + 'static,
+        P: LogKey + Hash + Send + Sync + 'static,
         A: ToSocketAddrs,
     {
         Self::bind_with(addr, endpoint, DedupWindow::new())
@@ -152,7 +153,7 @@ impl RemoteTrustServer {
         window: DedupWindow,
     ) -> Result<Self, TrustError>
     where
-        P: LogKey + Hash + Send + 'static,
+        P: LogKey + Hash + Send + Sync + 'static,
         A: ToSocketAddrs,
     {
         let listener = TcpListener::bind(addr)?;
@@ -215,7 +216,7 @@ impl Drop for RemoteTrustServer {
     }
 }
 
-fn accept_loop<P: LogKey + Hash + Send + 'static>(
+fn accept_loop<P: LogKey + Hash + Send + Sync + 'static>(
     listener: TcpListener,
     endpoint: ServiceEndpoint<P>,
     stop: Arc<AtomicBool>,
@@ -233,7 +234,7 @@ fn accept_loop<P: LogKey + Hash + Send + 'static>(
     }
 }
 
-fn spawn_connection<P: LogKey + Hash + Send + 'static>(
+fn spawn_connection<P: LogKey + Hash + Send + Sync + 'static>(
     stream: TcpStream,
     endpoint: ServiceEndpoint<P>,
     window: DedupWindow,
@@ -256,7 +257,7 @@ fn spawn_connection<P: LogKey + Hash + Send + 'static>(
     Ok(ConnHandle { stream, reader, writer })
 }
 
-fn reader_loop<P: LogKey + Hash + Send + 'static>(
+fn reader_loop<P: LogKey + Hash + Send + Sync + 'static>(
     mut stream: TcpStream,
     endpoint: ServiceEndpoint<P>,
     conn: Arc<Conn>,
@@ -285,7 +286,7 @@ fn reader_loop<P: LogKey + Hash + Send + 'static>(
     let _ = stream.shutdown(Shutdown::Read);
 }
 
-fn serve<P: LogKey + Hash + Send + 'static>(
+fn serve<P: LogKey + Hash + Send + Sync + 'static>(
     stream: &mut TcpStream,
     endpoint: &ServiceEndpoint<P>,
     conn: &Conn,
@@ -370,7 +371,7 @@ fn writer_loop(mut stream: TcpStream, conn: Arc<Conn>) {
 /// Sends `request` into the endpoint **now** (the eager seams — ordering
 /// into the mailboxes matches wire arrival order) and returns the future
 /// of its encoded response.
-fn dispatch<P: LogKey + Hash + Send + 'static>(
+fn dispatch<P: LogKey + Hash + Send + Sync + 'static>(
     endpoint: &ServiceEndpoint<P>,
     window: &DedupWindow,
     req_id: u64,
@@ -414,19 +415,21 @@ fn dispatch<P: LogKey + Hash + Send + 'static>(
                 let p = h.request(|reply| Message::Query(Query::Evaluate { request, reply }));
                 respond(req_id, p, |out, ev| wire::put_evaluated(out, ev))
             }
-            Request::Trustworthiness(peer, task) => {
-                let p =
-                    h.request(|reply| Message::Query(Query::Trustworthiness { peer, task, reply }));
-                respond(req_id, p, wire::put_opt_tw)
+            // `_round_with` answers `Freshness::Snapshot` hits right here on
+            // the reader thread — a ready future, no actor dispatch at all
+            Request::Trustworthiness(peer, task, freshness) => respond(
+                req_id,
+                h.trustworthiness_round_with(peer, task, freshness),
+                wire::put_opt_tw,
+            ),
+            Request::Record(peer, task, freshness) => {
+                respond(req_id, h.record_round_with(peer, task, freshness), wire::put_opt_record)
             }
-            Request::Record(peer, task) => {
-                let p = h.request(|reply| Message::Query(Query::Record { peer, task, reply }));
-                respond(req_id, p, wire::put_opt_record)
-            }
-            // a single actor is one shard: every reply is trivially a
-            // consistent cut, so freshness needs no barrier here
-            Request::KnownPeers(_) => {
-                let p = h.known_peers_in(None);
+            // a single actor is one shard: every mailbox reply is trivially a
+            // consistent cut, so Aligned needs no barrier here; Snapshot is
+            // served straight off the published replica
+            Request::KnownPeers(freshness) => {
+                let p = h.known_peers_round_with(freshness);
                 respond(
                     req_id,
                     async move {
@@ -436,8 +439,8 @@ fn dispatch<P: LogKey + Hash + Send + 'static>(
                     |out, cut| wire::put_peers_cut(out, cut),
                 )
             }
-            Request::TaskRecords(task, _) => {
-                let p = h.task_records_in(task, None);
+            Request::TaskRecords(task, freshness) => {
+                let p = h.task_records_round_with(task, freshness);
                 respond(
                     req_id,
                     async move {
@@ -446,6 +449,9 @@ fn dispatch<P: LogKey + Hash + Send + 'static>(
                     },
                     |out, cut| wire::put_records_cut(out, cut),
                 )
+            }
+            Request::QueryMany { kind, freshness, items } => {
+                query_many_single(h, req_id, kind, freshness, items)
             }
             Request::ShardStats => {
                 let p = h.stats_in();
@@ -504,11 +510,16 @@ fn dispatch<P: LogKey + Hash + Send + 'static>(
             Request::Evaluate(request) => {
                 respond(req_id, h.evaluate_round(request), |out, ev| wire::put_evaluated(out, ev))
             }
-            Request::Trustworthiness(peer, task) => {
-                respond(req_id, h.trustworthiness_round(peer, task), wire::put_opt_tw)
+            Request::Trustworthiness(peer, task, freshness) => respond(
+                req_id,
+                h.trustworthiness_round_with(peer, task, freshness),
+                wire::put_opt_tw,
+            ),
+            Request::Record(peer, task, freshness) => {
+                respond(req_id, h.record_round_with(peer, task, freshness), wire::put_opt_record)
             }
-            Request::Record(peer, task) => {
-                respond(req_id, h.record_round(peer, task), wire::put_opt_record)
+            Request::QueryMany { kind, freshness, items } => {
+                query_many_sharded(h, req_id, kind, freshness, items)
             }
             Request::KnownPeers(freshness) => {
                 respond(req_id, h.known_peers_round(freshness), |out, cut| {
@@ -533,7 +544,7 @@ fn dispatch<P: LogKey + Hash + Send + 'static>(
 /// in-flight tag waits for the owner's result, a duplicate of a completed
 /// tag replays the cached receipt bytes — the batch folds **at most once**
 /// no matter how many times the client resends it.
-fn dispatch_tagged<P: LogKey + Hash + Send + 'static>(
+fn dispatch_tagged<P: LogKey + Hash + Send + Sync + 'static>(
     endpoint: &ServiceEndpoint<P>,
     window: &DedupWindow,
     req_id: u64,
@@ -599,6 +610,67 @@ fn dispatch_tagged<P: LogKey + Hash + Send + 'static>(
 
 /// Wraps a service-call future into the response payload: the ok body on
 /// success, the typed wire error otherwise.
+/// Dispatches a [`Request::QueryMany`] batch against a single-actor
+/// endpoint: every item is routed through the eager `_round_with` seam on
+/// this (reader) thread, so snapshot-fresh reads resolve without touching
+/// the actor mailbox, and the rest land in wire arrival order.
+fn query_many_single<P: LogKey + Hash + Send + Sync + 'static>(
+    h: &TrustServiceHandle<P>,
+    req_id: u64,
+    kind: QueryKind,
+    freshness: Freshness,
+    items: Vec<(P, TaskId)>,
+) -> RespFuture {
+    match kind {
+        QueryKind::Trustworthiness => {
+            let pending: Vec<Pending<_>> = items
+                .into_iter()
+                .map(|(peer, task)| h.trustworthiness_round_with(peer, task, freshness))
+                .collect();
+            respond(req_id, FanOut::new(pending, None), |out, tws| wire::put_opt_tws(out, tws))
+        }
+        QueryKind::Record => {
+            let pending: Vec<Pending<_>> = items
+                .into_iter()
+                .map(|(peer, task)| h.record_round_with(peer, task, freshness))
+                .collect();
+            respond(req_id, FanOut::new(pending, None), |out, recs| {
+                wire::put_opt_records(out, recs)
+            })
+        }
+    }
+}
+
+/// Sharded twin of [`query_many_single`]: each item routes to its owning
+/// shard's seam, so one frame can mix snapshot hits (ready immediately)
+/// with mailbox fall-throughs across different shards.
+fn query_many_sharded<P: LogKey + Hash + Send + Sync + 'static>(
+    h: &ShardedTrustServiceHandle<P>,
+    req_id: u64,
+    kind: QueryKind,
+    freshness: Freshness,
+    items: Vec<(P, TaskId)>,
+) -> RespFuture {
+    match kind {
+        QueryKind::Trustworthiness => {
+            let pending: Vec<Pending<_>> = items
+                .into_iter()
+                .map(|(peer, task)| h.trustworthiness_round_with(peer, task, freshness))
+                .collect();
+            respond(req_id, FanOut::new(pending, None), |out, tws| wire::put_opt_tws(out, tws))
+        }
+        QueryKind::Record => {
+            let pending: Vec<Pending<_>> = items
+                .into_iter()
+                .map(|(peer, task)| h.record_round_with(peer, task, freshness))
+                .collect();
+            respond(req_id, FanOut::new(pending, None), |out, recs| {
+                wire::put_opt_records(out, recs)
+            })
+        }
+    }
+}
+
 fn respond<T, F, E>(req_id: u64, fut: F, enc: E) -> RespFuture
 where
     T: Send + 'static,

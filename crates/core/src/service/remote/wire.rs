@@ -32,7 +32,12 @@ use crate::tw::Trustworthiness;
 /// Wire protocol version this build speaks. Bumped on any frame-layout
 /// change; mismatched ends fail the handshake with
 /// [`TrustError::UnsupportedFormat`].
-pub const WIRE_VERSION: u8 = 1;
+///
+/// v2: peer-targeted reads carry a [`Freshness`], `Freshness::Snapshot`
+/// travels with its staleness bound, `ShardStats` gained
+/// `published_epoch`, and the vectored [`Request::QueryMany`] opcode
+/// batches homogeneous reads into one frame.
+pub const WIRE_VERSION: u8 = 2;
 
 /// Bytes of the connection banner each end sends first.
 pub const BANNER_LEN: usize = 8;
@@ -76,6 +81,7 @@ const OP_KNOWN_PEERS: u8 = 10;
 const OP_TASK_RECORDS: u8 = 11;
 const OP_SHARD_STATS: u8 = 12;
 const OP_COMMIT_MANY_SEQ: u8 = 13;
+const OP_QUERY_MANY: u8 = 14;
 
 /// One decoded request — the wire form of the service API. Mirrors the
 /// actor's `Command`/`Query` split, flattened into opcodes.
@@ -94,10 +100,12 @@ pub enum Request<P> {
     Shutdown,
     /// Run the §3.3 evaluation server-side.
     Evaluate(DelegationRequest<P>),
-    /// Eq. 18 trustworthiness toward `(peer, task)`.
-    Trustworthiness(P, TaskId),
-    /// The raw record for `(peer, task)`.
-    Record(P, TaskId),
+    /// Eq. 18 trustworthiness toward `(peer, task)`, at the requested
+    /// freshness ([`Freshness::Snapshot`] is answered on the connection's
+    /// reader thread, without dispatching into the actor).
+    Trustworthiness(P, TaskId, Freshness),
+    /// The raw record for `(peer, task)`, at the requested freshness.
+    Record(P, TaskId, Freshness),
     /// Epoch-stamped peers broadcast, at the requested freshness.
     KnownPeers(Freshness),
     /// Epoch-stamped per-task records broadcast.
@@ -117,6 +125,26 @@ pub enum Request<P> {
         /// The finished sessions to fold.
         batch: Vec<CompletedDelegation<P>>,
     },
+    /// A vectored batch of homogeneous peer-targeted reads in one frame —
+    /// the read mirror of [`CommitMany`](Request::CommitMany). The
+    /// response is one vector of per-item answers in request order.
+    QueryMany {
+        /// What every item asks for.
+        kind: QueryKind,
+        /// The freshness every item is answered at.
+        freshness: Freshness,
+        /// The `(peer, task)` pairs to read.
+        items: Vec<(P, TaskId)>,
+    },
+}
+
+/// The homogeneous read a [`Request::QueryMany`] batch performs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum QueryKind {
+    /// Eq. 18 trustworthiness per item.
+    Trustworthiness,
+    /// The raw record per item.
+    Record,
 }
 
 /// Serializes `request` (prefixed by `req_id` and its opcode) into `out`.
@@ -150,24 +178,26 @@ pub fn encode_request<P: LogKey>(out: &mut Vec<u8>, req_id: u64, request: &Reque
             out.push(OP_EVALUATE);
             put_request(out, request);
         }
-        Request::Trustworthiness(peer, task) => {
+        Request::Trustworthiness(peer, task, freshness) => {
             out.push(OP_TRUSTWORTHINESS);
             out.extend_from_slice(&peer.to_log_u64().to_le_bytes());
             out.extend_from_slice(&task.0.to_le_bytes());
+            put_freshness(out, *freshness);
         }
-        Request::Record(peer, task) => {
+        Request::Record(peer, task, freshness) => {
             out.push(OP_RECORD);
             out.extend_from_slice(&peer.to_log_u64().to_le_bytes());
             out.extend_from_slice(&task.0.to_le_bytes());
+            put_freshness(out, *freshness);
         }
         Request::KnownPeers(freshness) => {
             out.push(OP_KNOWN_PEERS);
-            out.push(freshness_code(*freshness));
+            put_freshness(out, *freshness);
         }
         Request::TaskRecords(task, freshness) => {
             out.push(OP_TASK_RECORDS);
             out.extend_from_slice(&task.0.to_le_bytes());
-            out.push(freshness_code(*freshness));
+            put_freshness(out, *freshness);
         }
         Request::ShardStats => out.push(OP_SHARD_STATS),
         Request::CommitManySeq { session, seq, batch } => {
@@ -177,6 +207,16 @@ pub fn encode_request<P: LogKey>(out: &mut Vec<u8>, req_id: u64, request: &Reque
             out.extend_from_slice(&(batch.len() as u32).to_le_bytes());
             for completed in batch {
                 put_completed(out, completed);
+            }
+        }
+        Request::QueryMany { kind, freshness, items } => {
+            out.push(OP_QUERY_MANY);
+            out.push(query_kind_code(*kind));
+            put_freshness(out, *freshness);
+            out.extend_from_slice(&(items.len() as u32).to_le_bytes());
+            for (peer, task) in items {
+                out.extend_from_slice(&peer.to_log_u64().to_le_bytes());
+                out.extend_from_slice(&task.0.to_le_bytes());
             }
         }
     }
@@ -251,8 +291,10 @@ fn decode_request_body<P: LogKey>(r: &mut Reader<'_>) -> Result<Request<P>, Trus
         OP_FLUSH => Request::Flush,
         OP_SHUTDOWN => Request::Shutdown,
         OP_EVALUATE => Request::Evaluate(take_request(r)?),
-        OP_TRUSTWORTHINESS => Request::Trustworthiness(take_peer(r)?, take_task_id(r)?),
-        OP_RECORD => Request::Record(take_peer(r)?, take_task_id(r)?),
+        OP_TRUSTWORTHINESS => {
+            Request::Trustworthiness(take_peer(r)?, take_task_id(r)?, take_freshness(r)?)
+        }
+        OP_RECORD => Request::Record(take_peer(r)?, take_task_id(r)?, take_freshness(r)?),
         OP_KNOWN_PEERS => Request::KnownPeers(take_freshness(r)?),
         OP_TASK_RECORDS => Request::TaskRecords(take_task_id(r)?, take_freshness(r)?),
         OP_SHARD_STATS => Request::ShardStats,
@@ -268,6 +310,21 @@ fn decode_request_body<P: LogKey>(r: &mut Reader<'_>) -> Result<Request<P>, Trus
                 batch.push(take_completed(r)?);
             }
             Request::CommitManySeq { session, seq, batch }
+        }
+        OP_QUERY_MANY => {
+            let kind = take_query_kind(r)?;
+            let freshness = take_freshness(r)?;
+            let n = r.u32()? as usize;
+            // each item is 12 bytes: a count the remaining bytes cannot
+            // possibly hold is rejected before it sizes a Vec
+            if n > r.remaining() {
+                return Err(corrupt_req());
+            }
+            let mut items = Vec::with_capacity(n);
+            for _ in 0..n {
+                items.push((take_peer(r)?, take_task_id(r)?));
+            }
+            Request::QueryMany { kind, freshness, items }
         }
         _ => return Err(corrupt_req()),
     })
@@ -469,6 +526,62 @@ pub fn decode_opt_record(body: &[u8]) -> Result<Option<TrustRecord>, TrustError>
     Ok(rec)
 }
 
+/// Encodes a [`Request::QueryMany`] answer vector of optional
+/// trustworthiness values, in request order.
+pub fn put_opt_tws(out: &mut Vec<u8>, tws: &[Option<Trustworthiness>]) {
+    out.extend_from_slice(&(tws.len() as u32).to_le_bytes());
+    for tw in tws {
+        put_opt_tw(out, tw);
+    }
+}
+
+/// Decodes a vectored optional-trustworthiness body.
+pub fn decode_opt_tws(body: &[u8]) -> Result<Vec<Option<Trustworthiness>>, TrustError> {
+    let mut r = Reader::new(body, "wire response");
+    let n = r.u32()? as usize;
+    if n > r.remaining() {
+        return Err(corrupt_resp());
+    }
+    let mut tws = Vec::with_capacity(n);
+    for _ in 0..n {
+        tws.push(match r.u8()? {
+            0 => None,
+            1 => Some(Trustworthiness::new(r.f64()?)),
+            _ => return Err(corrupt_resp()),
+        });
+    }
+    r.finish()?;
+    Ok(tws)
+}
+
+/// Encodes a [`Request::QueryMany`] answer vector of optional records, in
+/// request order.
+pub fn put_opt_records(out: &mut Vec<u8>, recs: &[Option<TrustRecord>]) {
+    out.extend_from_slice(&(recs.len() as u32).to_le_bytes());
+    for rec in recs {
+        put_opt_record(out, rec);
+    }
+}
+
+/// Decodes a vectored optional-record body.
+pub fn decode_opt_records(body: &[u8]) -> Result<Vec<Option<TrustRecord>>, TrustError> {
+    let mut r = Reader::new(body, "wire response");
+    let n = r.u32()? as usize;
+    if n > r.remaining() {
+        return Err(corrupt_resp());
+    }
+    let mut recs = Vec::with_capacity(n);
+    for _ in 0..n {
+        recs.push(match r.u8()? {
+            0 => None,
+            1 => Some(take_record(&mut r)?),
+            _ => return Err(corrupt_resp()),
+        });
+    }
+    r.finish()?;
+    Ok(recs)
+}
+
 /// Encodes an epoch-stamped peers cut.
 pub fn put_peers_cut<P: LogKey>(out: &mut Vec<u8>, cut: &Cut<Vec<P>>) {
     put_epochs(out, &cut.epochs);
@@ -534,6 +647,7 @@ pub fn put_stats(out: &mut Vec<u8>, stats: &[ShardStats]) {
             s.committed,
             s.largest_commit_batch as u64,
             s.last_commit_batch as u64,
+            s.published_epoch,
         ] {
             out.extend_from_slice(&v.to_le_bytes());
         }
@@ -557,6 +671,7 @@ pub fn decode_stats(body: &[u8]) -> Result<Vec<ShardStats>, TrustError> {
             committed: r.u64()?,
             largest_commit_batch: r.u64()? as usize,
             last_commit_batch: r.u64()? as usize,
+            published_epoch: r.u64()?,
         });
     }
     r.finish()?;
@@ -865,10 +980,14 @@ fn take_task_id(r: &mut Reader<'_>) -> Result<TaskId, TrustError> {
     Ok(TaskId(r.u32()?))
 }
 
-fn freshness_code(freshness: Freshness) -> u8 {
+fn put_freshness(out: &mut Vec<u8>, freshness: Freshness) {
     match freshness {
-        Freshness::Relaxed => 0,
-        Freshness::Aligned => 1,
+        Freshness::Relaxed => out.push(0),
+        Freshness::Aligned => out.push(1),
+        Freshness::Snapshot { max_epoch_lag } => {
+            out.push(2);
+            out.extend_from_slice(&max_epoch_lag.to_le_bytes());
+        }
     }
 }
 
@@ -876,6 +995,22 @@ fn take_freshness(r: &mut Reader<'_>) -> Result<Freshness, TrustError> {
     match r.u8()? {
         0 => Ok(Freshness::Relaxed),
         1 => Ok(Freshness::Aligned),
+        2 => Ok(Freshness::Snapshot { max_epoch_lag: r.u64()? }),
+        _ => Err(r.corrupt()),
+    }
+}
+
+fn query_kind_code(kind: QueryKind) -> u8 {
+    match kind {
+        QueryKind::Trustworthiness => 0,
+        QueryKind::Record => 1,
+    }
+}
+
+fn take_query_kind(r: &mut Reader<'_>) -> Result<QueryKind, TrustError> {
+    match r.u8()? {
+        0 => Ok(QueryKind::Trustworthiness),
+        1 => Ok(QueryKind::Record),
         _ => Err(r.corrupt()),
     }
 }
@@ -1175,6 +1310,7 @@ mod tests {
             committed: 40,
             largest_commit_batch: 16,
             last_commit_batch: 4,
+            published_epoch: 6,
         }];
         let mut body = Vec::new();
         put_stats(&mut body, &stats);

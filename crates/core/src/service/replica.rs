@@ -1,0 +1,695 @@
+//! Epoch-snapshotted read replicas: the read-optimized query tier.
+//!
+//! Every query API before this one serializes through an actor mailbox —
+//! correct (read-your-awaited-writes) but wrong for the read-dominated
+//! traffic a production SIoT deployment actually sees, where millions of
+//! `trustworthiness`/`known_peers`/`task_records` lookups ride a thin
+//! write stream. This module lets reads leave the write path entirely:
+//!
+//! * Each shard actor **publishes** an immutable, epoch-stamped
+//!   [`ReadSnapshot`] of its read state at the end of every drain cycle
+//!   that folded commits. Publication is cheap — the snapshot is a
+//!   persistent (structurally shared) tree, so publishing clones an `Arc`,
+//!   not the records — and it never blocks the write path: the shared
+//!   slot is swapped under a pointer-sized critical section.
+//! * A [`ReplicaHandle`] serves `trustworthiness` / `record` /
+//!   `known_peers` / `task_records` directly off the latest snapshots with
+//!   **zero mailbox traffic** — reads scale independently of the actors
+//!   and keep answering (from the last published state) even while a shard
+//!   is saturated or after the service stopped.
+//! * Callers that want staleness *bounds* rather than raw snapshots use
+//!   [`Freshness::Snapshot`] on the ordinary service handles: the read is
+//!   served from the snapshot only while it is missing at most
+//!   `max_epoch_lag` of the shard's folds, and falls through to the mailbox
+//!   (a fresh read) otherwise. See [`Freshness`] for the full consistency
+//!   menu — those docs are the single normative statement of the
+//!   guarantees.
+//!
+//! ## Epochs and staleness
+//!
+//! Snapshots are stamped with the **drain epoch** they were published at —
+//! the same per-shard counter that stamps [`Cut`] replies and shows up in
+//! [`ShardStats::drains`] — using the number the publishing drain cycle
+//! *completes* as. Staleness, though, is counted in **mutating folds**,
+//! not drain cycles: the slot carries a fold counter the actor advances
+//! once per non-empty commit fold, each snapshot remembers the count it
+//! was built at, and their difference — *how many commit folds the
+//! snapshot is missing* — is the lag that [`Freshness::Snapshot`] bounds.
+//! (Drain cycles would be the wrong unit: read-only traffic spins the
+//! drain counter without changing any record, and whether consecutive
+//! queries share a drain cycle is a scheduling accident.) Under
+//! [`ServiceOptions::publish_every`] ` = K` the lag never exceeds `K - 1`.
+//! Drain cycles that folded nothing do **not** publish and do not advance
+//! the fold counter, so a read-only or freshly spawned service never
+//! looks stale and broadcasts never force a publication round.
+//!
+//! With the default [`ServiceOptions::publish_every`] ` = 1` every
+//! mutating drain publishes before it acks, so an awaited commit is
+//! already visible to snapshot reads when the ack arrives; larger values
+//! amortize publication on write-hot shards and widen the lag the
+//! bounded-staleness check can observe.
+//!
+//! ```
+//! use siot_core::prelude::*;
+//! use siot_core::service::{block_on, Freshness, ServiceOptions, TrustService};
+//!
+//! let task = Task::uniform(TaskId(0), [CharacteristicId(0)]).unwrap();
+//! let service = TrustService::spawn(TrustStore::<u32>::new(), ServiceOptions::default());
+//! let handle = service.handle();
+//! let replica = handle.replica();
+//!
+//! block_on(async {
+//!     let request = DelegationRequest::new(7, &task, Goal::ANY, Context::amicable(task.id()))
+//!         .committed();
+//!     handle.complete(request, DelegationOutcome::succeeded(0.9, 0.1)).await.unwrap();
+//! });
+//! // the awaited commit was published before its ack: zero-mailbox reads
+//! // see it without touching the actor
+//! assert_eq!(replica.known_peers().value, vec![7]);
+//! assert!(replica.record(7, task.id()).is_some());
+//! service.shutdown().unwrap();
+//! // the last published state keeps answering after shutdown
+//! assert_eq!(replica.known_peers().value, vec![7]);
+//! ```
+//!
+//! [`Cut`]: super::Cut
+//! [`Freshness`]: super::Freshness
+//! [`Freshness::Snapshot`]: super::Freshness::Snapshot
+//! [`ShardStats::drains`]: super::ShardStats::drains
+//! [`ShardStats::published_epoch`]: super::ShardStats::published_epoch
+//! [`ServiceOptions::publish_every`]: super::ServiceOptions::publish_every
+
+use super::{Cut, ShardStats};
+use crate::delegation::DelegationReceipt;
+use crate::record::TrustRecord;
+use crate::task::TaskId;
+use crate::tw::{Normalizer, Trustworthiness};
+use std::cmp::Ordering as CmpOrdering;
+use std::hash::Hash;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+// ---------------------------------------------------------------------------
+// A persistent (structurally shared) AVL map from peer to its task records.
+//
+// The actor applies every receipt to its working copy via O(log n)
+// path-copying, and "publishing" the whole read state is then one `Arc`
+// clone of the root — no deep copy per drain, which is what makes
+// publish-per-drain affordable at 100k+ records. Nodes the update path
+// does not touch are shared between the working copy and every published
+// snapshot (SymanticWeft ADR-0005's frame: immutable units, convergence
+// without coordination).
+// ---------------------------------------------------------------------------
+
+type Recs = Arc<Vec<(TaskId, TrustRecord)>>;
+type Link<P> = Option<Arc<Node<P>>>;
+
+#[derive(Debug)]
+struct Node<P> {
+    peer: P,
+    /// This peer's records, ascending by task — small (one entry per task
+    /// the peer was ever delegated), shared with published snapshots until
+    /// the next fold touches this peer.
+    recs: Recs,
+    height: u8,
+    left: Link<P>,
+    right: Link<P>,
+}
+
+fn height<P>(link: &Link<P>) -> u8 {
+    link.as_ref().map_or(0, |n| n.height)
+}
+
+fn mk<P: Copy>(peer: P, recs: Recs, left: Link<P>, right: Link<P>) -> Arc<Node<P>> {
+    let height = 1 + height(&left).max(height(&right));
+    Arc::new(Node { peer, recs, height, left, right })
+}
+
+/// Rebuilds a node after one child changed, restoring the AVL invariant.
+/// Inserts add at most one level, so the single/double rotations of
+/// textbook AVL insertion are exhaustive (records are never deleted
+/// through the service, so no deletion rebalancing exists).
+fn balance<P: Copy>(peer: P, recs: Recs, left: Link<P>, right: Link<P>) -> Arc<Node<P>> {
+    let (hl, hr) = (height(&left), height(&right));
+    if hl > hr + 1 {
+        let l = left.expect("left height >= 2 implies a left child");
+        if height(&l.left) >= height(&l.right) {
+            // single right rotation
+            let lifted = mk(peer, recs, l.right.clone(), right);
+            mk(l.peer, Arc::clone(&l.recs), l.left.clone(), Some(lifted))
+        } else {
+            // left-right double rotation
+            let lr = l.right.as_ref().expect("left-right case has a left-right child");
+            let new_left = mk(l.peer, Arc::clone(&l.recs), l.left.clone(), lr.left.clone());
+            let new_right = mk(peer, recs, lr.right.clone(), right);
+            mk(lr.peer, Arc::clone(&lr.recs), Some(new_left), Some(new_right))
+        }
+    } else if hr > hl + 1 {
+        let r = right.expect("right height >= 2 implies a right child");
+        if height(&r.right) >= height(&r.left) {
+            // single left rotation
+            let lifted = mk(peer, recs, left, r.left.clone());
+            mk(r.peer, Arc::clone(&r.recs), Some(lifted), r.right.clone())
+        } else {
+            // right-left double rotation
+            let rl = r.left.as_ref().expect("right-left case has a right-left child");
+            let new_left = mk(peer, recs, left, rl.left.clone());
+            let new_right = mk(r.peer, Arc::clone(&r.recs), rl.right.clone(), r.right.clone());
+            mk(rl.peer, Arc::clone(&rl.recs), Some(new_left), Some(new_right))
+        }
+    } else {
+        mk(peer, recs, left, right)
+    }
+}
+
+/// Path-copying upsert: returns the new subtree root and whether a new
+/// `(peer, task)` entry was created (as opposed to replaced).
+fn upsert<P: Copy + Ord>(
+    link: &Link<P>,
+    peer: P,
+    task: TaskId,
+    rec: TrustRecord,
+) -> (Arc<Node<P>>, bool) {
+    match link {
+        None => (
+            Arc::new(Node {
+                peer,
+                recs: Arc::new(vec![(task, rec)]),
+                height: 1,
+                left: None,
+                right: None,
+            }),
+            true,
+        ),
+        Some(n) => match peer.cmp(&n.peer) {
+            CmpOrdering::Equal => {
+                let mut recs = (*n.recs).clone();
+                let added = match recs.binary_search_by_key(&task, |&(t, _)| t) {
+                    Ok(i) => {
+                        recs[i].1 = rec;
+                        false
+                    }
+                    Err(i) => {
+                        recs.insert(i, (task, rec));
+                        true
+                    }
+                };
+                (
+                    Arc::new(Node {
+                        peer: n.peer,
+                        recs: Arc::new(recs),
+                        height: n.height,
+                        left: n.left.clone(),
+                        right: n.right.clone(),
+                    }),
+                    added,
+                )
+            }
+            CmpOrdering::Less => {
+                let (new_left, added) = upsert(&n.left, peer, task, rec);
+                (balance(n.peer, Arc::clone(&n.recs), Some(new_left), n.right.clone()), added)
+            }
+            CmpOrdering::Greater => {
+                let (new_right, added) = upsert(&n.right, peer, task, rec);
+                (balance(n.peer, Arc::clone(&n.recs), n.left.clone(), Some(new_right)), added)
+            }
+        },
+    }
+}
+
+/// The snapshot's record store: cloning is O(1) (the root `Arc`), an
+/// upsert path-copies O(log n) nodes.
+#[derive(Debug, Clone)]
+struct PeerMap<P> {
+    root: Link<P>,
+    records: usize,
+}
+
+impl<P> Default for PeerMap<P> {
+    fn default() -> Self {
+        PeerMap { root: None, records: 0 }
+    }
+}
+
+impl<P: Copy + Ord> PeerMap<P> {
+    fn upsert(&mut self, peer: P, task: TaskId, rec: TrustRecord) {
+        let (root, added) = upsert(&self.root, peer, task, rec);
+        self.root = Some(root);
+        self.records += usize::from(added);
+    }
+
+    fn get(&self, peer: P) -> Option<&Recs> {
+        let mut cur = &self.root;
+        while let Some(n) = cur {
+            match peer.cmp(&n.peer) {
+                CmpOrdering::Equal => return Some(&n.recs),
+                CmpOrdering::Less => cur = &n.left,
+                CmpOrdering::Greater => cur = &n.right,
+            }
+        }
+        None
+    }
+
+    /// In-order (ascending-peer) visit.
+    fn for_each(&self, f: &mut impl FnMut(P, &[(TaskId, TrustRecord)])) {
+        fn walk<P: Copy>(link: &Link<P>, f: &mut impl FnMut(P, &[(TaskId, TrustRecord)])) {
+            if let Some(n) = link {
+                walk(&n.left, f);
+                f(n.peer, &n.recs);
+                walk(&n.right, f);
+            }
+        }
+        walk(&self.root, f);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// ReadSnapshot: the immutable unit the actor publishes.
+// ---------------------------------------------------------------------------
+
+/// One shard's immutable, epoch-stamped read state: every `(peer, task)`
+/// record the shard had folded when the stamping drain cycle completed,
+/// plus the normalizer to derive Eq. 18 trustworthiness. Published by the
+/// shard actor (see the [module docs](self)), shared by `Arc` — reading
+/// never copies records and never touches the actor.
+#[derive(Debug, Clone)]
+pub struct ReadSnapshot<P> {
+    epoch: u64,
+    /// The slot's mutating-fold count when this snapshot was built — the
+    /// baseline the bounded-staleness check measures lag from.
+    folds: u64,
+    normalizer: Normalizer,
+    map: PeerMap<P>,
+}
+
+impl<P: Copy + Ord> ReadSnapshot<P> {
+    /// The drain epoch this snapshot was published at — comparable with
+    /// [`Cut`] epochs and [`ShardStats::drains`]: if this
+    /// epoch is ≥ a cut's epoch for the same shard, the snapshot observed
+    /// at least everything that cut did.
+    ///
+    /// [`ShardStats::drains`]: super::ShardStats::drains
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// The normalization operator the owning engine derives Eq. 18
+    /// trustworthiness with.
+    pub fn normalizer(&self) -> Normalizer {
+        self.normalizer
+    }
+
+    /// The record for `(peer, task)` as of [`epoch`](Self::epoch), if any
+    /// interaction had happened.
+    pub fn record(&self, peer: P, task: TaskId) -> Option<TrustRecord> {
+        let recs = self.map.get(peer)?;
+        recs.binary_search_by_key(&task, |&(t, _)| t).ok().map(|i| recs[i].1)
+    }
+
+    /// Eq. 18 trustworthiness toward `(peer, task)` as of
+    /// [`epoch`](Self::epoch).
+    pub fn trustworthiness(&self, peer: P, task: TaskId) -> Option<Trustworthiness> {
+        self.record(peer, task).map(|r| r.trustworthiness(self.normalizer))
+    }
+
+    /// Peers with at least one record — each exactly once, ascending.
+    pub fn known_peers(&self) -> Vec<P> {
+        let mut out = Vec::new();
+        self.map.for_each(&mut |peer, _| out.push(peer));
+        out
+    }
+
+    /// Every `(peer, record)` pair held for `task`, ascending by peer.
+    pub fn task_records(&self, task: TaskId) -> Vec<(P, TrustRecord)> {
+        let mut out = Vec::new();
+        self.map.for_each(&mut |peer, recs| {
+            if let Ok(i) = recs.binary_search_by_key(&task, |&(t, _)| t) {
+                out.push((peer, recs[i].1));
+            }
+        });
+        out
+    }
+
+    /// How many `(peer, task)` records the snapshot holds.
+    pub fn record_count(&self) -> usize {
+        self.map.records
+    }
+}
+
+// ---------------------------------------------------------------------------
+// ReplicaSlot: the publication point shared between actor and readers.
+// ---------------------------------------------------------------------------
+
+/// The `Arc`-swap slot one shard publishes through. Readers
+/// [`load`](Self::load) the current snapshot; the actor
+/// [`publish`](Self::publish)es a new one. The mutex guards only the
+/// pointer swap itself — a pointer-sized critical section on either side,
+/// never held across record access or publication building — so the write
+/// path is never meaningfully blocked by readers. (A raw `AtomicPtr` of
+/// `Arc`s cannot be loaded safely without hazard-pointer machinery; the
+/// swap-only mutex is the safe std-only spelling of the same shape.)
+#[derive(Debug)]
+pub(crate) struct ReplicaSlot<P> {
+    current: Mutex<Arc<ReadSnapshot<P>>>,
+    /// Epoch of the newest fold the actor applied (advanced before the
+    /// fold's receipts are acked) — what a forced publication stamps its
+    /// snapshot with.
+    last_fold: AtomicU64,
+    /// Count of mutating folds the actor has applied. The lag that
+    /// [`Freshness::Snapshot`](super::Freshness::Snapshot) bounds is
+    /// `folds - snapshot.folds`: how many commit folds the published
+    /// snapshot is missing. Fold *counts* rather than drain epochs so
+    /// read-only traffic — which spins the drain counter without changing
+    /// a record — never makes a caught-up snapshot look stale.
+    folds: AtomicU64,
+}
+
+impl<P: Copy + Ord> ReplicaSlot<P> {
+    pub(crate) fn new(normalizer: Normalizer) -> Arc<Self> {
+        let initial = ReadSnapshot { epoch: 0, folds: 0, normalizer, map: PeerMap::default() };
+        Arc::new(ReplicaSlot {
+            current: Mutex::new(Arc::new(initial)),
+            last_fold: AtomicU64::new(0),
+            folds: AtomicU64::new(0),
+        })
+    }
+
+    /// The latest published snapshot.
+    pub(crate) fn load(&self) -> Arc<ReadSnapshot<P>> {
+        Arc::clone(&self.current.lock().unwrap_or_else(|e| e.into_inner()))
+    }
+
+    /// The latest snapshot, only while it is missing at most
+    /// `max_epoch_lag` of the actor's mutating folds — `None` means "too
+    /// stale, fall through to the mailbox".
+    pub(crate) fn fresh_within(&self, max_epoch_lag: u64) -> Option<Arc<ReadSnapshot<P>>> {
+        let snap = self.load();
+        // the fold counter is read after loading: folds landing in between
+        // only make this check stricter than the loaded snapshot deserves
+        if self.folds.load(Ordering::Acquire).saturating_sub(snap.folds) <= max_epoch_lag {
+            Some(snap)
+        } else {
+            None
+        }
+    }
+
+    /// Mutating folds the published snapshot is missing — the lag
+    /// [`Freshness::Snapshot`](super::Freshness::Snapshot) bounds.
+    pub(crate) fn lag(&self) -> u64 {
+        let snap_folds = self.load().folds;
+        self.folds.load(Ordering::Acquire).saturating_sub(snap_folds)
+    }
+
+    fn note_fold(&self, epoch: u64) {
+        self.last_fold.store(epoch, Ordering::Release);
+        self.folds.fetch_add(1, Ordering::AcqRel);
+    }
+
+    fn publish(&self, snapshot: ReadSnapshot<P>) {
+        let next = Arc::new(snapshot);
+        *self.current.lock().unwrap_or_else(|e| e.into_inner()) = next;
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Publisher: the actor-side half.
+// ---------------------------------------------------------------------------
+
+/// The actor's working copy of its read state plus the publication policy.
+/// Owned by the actor thread; `apply` mirrors each fold receipt (the
+/// receipt carries the absolute post-fold record, so no engine re-read),
+/// `folded` advances the fold epoch and publishes per
+/// [`ServiceOptions::publish_every`](super::ServiceOptions::publish_every).
+#[derive(Debug)]
+pub(crate) struct Publisher<P> {
+    slot: Arc<ReplicaSlot<P>>,
+    map: PeerMap<P>,
+    normalizer: Normalizer,
+    publish_every: u64,
+    /// Folds applied since the last publication.
+    dirty: u64,
+}
+
+impl<P: Copy + Ord> Publisher<P> {
+    /// A publisher over `slot`, seeded with the engine's pre-existing
+    /// records (`seed` visits every `(peer, task, record)` triple — the
+    /// engine/backend read seam) so a reopened durable engine serves its
+    /// recovered state from epoch 0.
+    pub(crate) fn new(
+        slot: Arc<ReplicaSlot<P>>,
+        publish_every: u64,
+        seed: impl FnOnce(&mut dyn FnMut(P, TaskId, TrustRecord)),
+    ) -> Self {
+        let normalizer = slot.load().normalizer;
+        let mut map = PeerMap::default();
+        seed(&mut |peer, task, rec| map.upsert(peer, task, rec));
+        if map.records > 0 {
+            slot.publish(ReadSnapshot { epoch: 0, folds: 0, normalizer, map: map.clone() });
+        }
+        Publisher { slot, map, normalizer, publish_every: publish_every.max(1), dirty: 0 }
+    }
+
+    /// Mirrors one fold receipt into the working copy.
+    pub(crate) fn apply(&mut self, receipt: &DelegationReceipt<P>) {
+        self.map.upsert(receipt.trustee, receipt.task, receipt.record);
+    }
+
+    /// Called once per non-empty fold, with the epoch the folding drain
+    /// cycle completes as: advances the fold epoch (so staleness checks
+    /// see the pending state), publishes if the policy says so, and
+    /// mirrors the published epoch into `stats`.
+    pub(crate) fn folded(&mut self, epoch: u64, stats: &mut ShardStats) {
+        self.slot.note_fold(epoch);
+        self.dirty += 1;
+        if self.dirty >= self.publish_every {
+            self.publish(epoch, stats);
+        }
+    }
+
+    /// Publishes the working copy regardless of policy, at the epoch of
+    /// the newest applied fold (the shutdown path: the last published
+    /// state outlives the actor).
+    pub(crate) fn force_publish(&mut self, stats: &mut ShardStats) {
+        if self.dirty > 0 {
+            let epoch = self.slot.last_fold.load(Ordering::Acquire);
+            self.publish(epoch, stats);
+        }
+    }
+
+    fn publish(&mut self, epoch: u64, stats: &mut ShardStats) {
+        self.slot.publish(ReadSnapshot {
+            epoch,
+            // actor thread: every note_fold happened-before this publish,
+            // so the counter names exactly the folds the map contains
+            folds: self.slot.folds.load(Ordering::Acquire),
+            normalizer: self.normalizer,
+            map: self.map.clone(),
+        });
+        stats.published_epoch = epoch;
+        self.dirty = 0;
+    }
+}
+
+// ---------------------------------------------------------------------------
+// ReplicaHandle: the zero-mailbox reader.
+// ---------------------------------------------------------------------------
+
+/// A read replica over a service's shards: serves `trustworthiness` /
+/// `record` / `known_peers` / `task_records` directly off the latest
+/// published [`ReadSnapshot`]s — zero mailbox traffic, so reads cost the
+/// actors nothing and keep answering (from the last published state) even
+/// while shards are saturated, reconnecting, or stopped.
+///
+/// Obtained from [`TrustServiceHandle::replica`] (one shard) or
+/// [`ShardedTrustServiceHandle::replica`] (one slot per shard). All
+/// methods are synchronous — there is nothing to await. For reads with an
+/// explicit staleness *bound* (fall through to a fresh mailbox read when
+/// too stale), use [`Freshness::Snapshot`] on the ordinary handles
+/// instead.
+///
+/// [`TrustServiceHandle::replica`]: super::TrustServiceHandle::replica
+/// [`ShardedTrustServiceHandle::replica`]: super::ShardedTrustServiceHandle::replica
+/// [`Freshness::Snapshot`]: super::Freshness::Snapshot
+#[derive(Debug)]
+pub struct ReplicaHandle<P> {
+    slots: Arc<[Arc<ReplicaSlot<P>>]>,
+}
+
+impl<P> Clone for ReplicaHandle<P> {
+    fn clone(&self) -> Self {
+        ReplicaHandle { slots: Arc::clone(&self.slots) }
+    }
+}
+
+impl<P: Copy + Ord> ReplicaHandle<P> {
+    pub(crate) fn over(slots: Arc<[Arc<ReplicaSlot<P>>]>) -> Self {
+        ReplicaHandle { slots }
+    }
+
+    /// How many shard snapshots this replica reads over.
+    pub fn shard_count(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// The latest published snapshot of every shard, in shard order.
+    pub fn snapshots(&self) -> Vec<Arc<ReadSnapshot<P>>> {
+        self.slots.iter().map(|s| s.load()).collect()
+    }
+
+    /// The worst per-shard lag (mutating folds the published snapshot is
+    /// missing) across the replica — `0` means every shard's snapshot
+    /// reflects its last fold.
+    pub fn max_lag(&self) -> u64 {
+        self.slots.iter().map(|s| s.lag()).max().unwrap_or(0)
+    }
+
+    /// Peers with at least one record across all shards — each exactly
+    /// once, ascending — merged from the latest snapshots and stamped
+    /// with their epochs (shard order).
+    pub fn known_peers(&self) -> Cut<Vec<P>> {
+        let snaps = self.snapshots();
+        let epochs = snaps.iter().map(|s| s.epoch()).collect();
+        let mut peers: Vec<P> = snaps.iter().flat_map(|s| s.known_peers()).collect();
+        peers.sort_unstable();
+        Cut { epochs, value: peers }
+    }
+
+    /// Every `(peer, record)` pair held for `task` across all shards,
+    /// ascending by peer, merged from the latest snapshots and
+    /// epoch-stamped.
+    pub fn task_records(&self, task: TaskId) -> Cut<Vec<(P, TrustRecord)>> {
+        let snaps = self.snapshots();
+        let epochs = snaps.iter().map(|s| s.epoch()).collect();
+        let mut records: Vec<(P, TrustRecord)> =
+            snaps.iter().flat_map(|s| s.task_records(task)).collect();
+        records.sort_unstable_by_key(|&(peer, _)| peer);
+        Cut { epochs, value: records }
+    }
+}
+
+impl<P: Copy + Ord + Hash> ReplicaHandle<P> {
+    /// The slot owning `peer` under the stable shard routing (single-slot
+    /// replicas route everything to their one slot).
+    fn slot_of(&self, peer: P) -> &ReplicaSlot<P> {
+        if self.slots.len() == 1 {
+            &self.slots[0]
+        } else {
+            &self.slots[super::sharded::shard_index(&peer, self.slots.len())]
+        }
+    }
+
+    /// The record for `(peer, task)` from the owning shard's latest
+    /// snapshot.
+    pub fn record(&self, peer: P, task: TaskId) -> Option<TrustRecord> {
+        self.slot_of(peer).load().record(peer, task)
+    }
+
+    /// Eq. 18 trustworthiness toward `(peer, task)` from the owning
+    /// shard's latest snapshot.
+    pub fn trustworthiness(&self, peer: P, task: TaskId) -> Option<Trustworthiness> {
+        self.slot_of(peer).load().trustworthiness(peer, task)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(interactions: u64) -> TrustRecord {
+        TrustRecord { interactions, ..TrustRecord::default() }
+    }
+
+    #[test]
+    fn peer_map_upserts_and_iterates_sorted() {
+        let mut map: PeerMap<u32> = PeerMap::default();
+        // adversarial order: ascending inserts are the AVL worst case
+        for peer in 0..256u32 {
+            map.upsert(peer, TaskId(0), rec(1));
+        }
+        for peer in (0..256u32).rev() {
+            map.upsert(peer, TaskId(1), rec(2));
+        }
+        assert_eq!(map.records, 512);
+        let mut seen = Vec::new();
+        map.for_each(&mut |peer, recs| {
+            assert_eq!(recs.len(), 2);
+            seen.push(peer);
+        });
+        assert_eq!(seen, (0..256u32).collect::<Vec<_>>());
+        // replacement does not grow the map
+        map.upsert(7, TaskId(0), rec(9));
+        assert_eq!(map.records, 512);
+        assert_eq!(map.get(7).unwrap()[0].1.interactions, 9);
+    }
+
+    #[test]
+    fn peer_map_stays_balanced() {
+        let mut map: PeerMap<u32> = PeerMap::default();
+        for peer in 0..4096u32 {
+            map.upsert(peer, TaskId(0), rec(1));
+        }
+        fn check<P: Copy>(link: &Link<P>) -> u8 {
+            match link {
+                None => 0,
+                Some(n) => {
+                    let (hl, hr) = (check(&n.left), check(&n.right));
+                    assert!(hl.abs_diff(hr) <= 1, "AVL invariant");
+                    assert_eq!(n.height, 1 + hl.max(hr));
+                    n.height
+                }
+            }
+        }
+        let h = check(&map.root);
+        // 1.44 * log2(4096) ≈ 18
+        assert!(h <= 18, "height {h} for 4096 keys");
+    }
+
+    #[test]
+    fn published_clones_share_structure_with_the_working_copy() {
+        let mut map: PeerMap<u32> = PeerMap::default();
+        for peer in 0..1024u32 {
+            map.upsert(peer, TaskId(0), rec(1));
+        }
+        let published = map.clone();
+        map.upsert(0, TaskId(0), rec(2));
+        // the published snapshot still sees the old value...
+        assert_eq!(published.get(0).unwrap()[0].1.interactions, 1);
+        assert_eq!(map.get(0).unwrap()[0].1.interactions, 2);
+        // ...and untouched subtrees are the same allocation
+        let (a, b) = (published.root.as_ref().unwrap(), map.root.as_ref().unwrap());
+        assert!(
+            Arc::ptr_eq(&a.right.clone().unwrap(), &b.right.clone().unwrap())
+                || Arc::ptr_eq(&a.left.clone().unwrap(), &b.left.clone().unwrap()),
+            "one side of the root must be shared after a single-key update"
+        );
+    }
+
+    #[test]
+    fn slot_staleness_accounting() {
+        let slot: Arc<ReplicaSlot<u32>> = ReplicaSlot::new(Normalizer::UNIT);
+        let mut stats = ShardStats::default();
+        let mut publisher = Publisher::new(Arc::clone(&slot), 3, |_| {});
+        assert_eq!(slot.lag(), 0);
+        assert!(slot.fresh_within(0).is_some(), "fresh spawn is never stale");
+
+        publisher.apply(&DelegationReceipt {
+            trustee: 5u32,
+            task: TaskId(0),
+            record: rec(1),
+            trustworthiness: Trustworthiness::new(0.5),
+            fulfilled: true,
+        });
+        publisher.folded(1, &mut stats);
+        // publish_every = 3: fold noted, nothing published yet
+        assert_eq!(slot.lag(), 1);
+        assert!(slot.fresh_within(0).is_none(), "lag 1 > bound 0");
+        assert!(slot.fresh_within(1).is_some());
+        assert_eq!(slot.load().record_count(), 0, "still the empty epoch-0 snapshot");
+
+        publisher.folded(2, &mut stats);
+        publisher.folded(3, &mut stats);
+        assert_eq!(slot.lag(), 0, "third fold published");
+        assert_eq!(stats.published_epoch, 3);
+        assert_eq!(slot.load().record(5, TaskId(0)).unwrap().interactions, 1);
+    }
+}

@@ -41,24 +41,15 @@
 //! are disjoint by construction the merge is a plain union (sorted by
 //! peer) — but the shards answer from N mailboxes that drain
 //! independently, so the caller chooses what "one answer" means via
-//! [`Freshness`]:
+//! [`Freshness`] — parallel-but-independent instants ([`Relaxed`]), one
+//! linearizable global cut ([`Aligned`]), or bounded-staleness snapshot
+//! reads that skip the mailboxes entirely ([`Snapshot`]). The [`Freshness`]
+//! variant docs are the normative statement of each guarantee; the
+//! [`replica`](super::replica) module covers how snapshots are published.
 //!
-//! * [`Freshness::Relaxed`] (the default) is one parallel fan-out round.
-//!   Each shard folds its queued commits and answers in its own arrival
-//!   order, so the merge includes every commit the caller awaited and, per
-//!   shard, everything enqueued before the query — but the N snapshots are
-//!   taken at slightly different instants. A batch still in flight across
-//!   two shards may appear in one and not (yet) the other.
-//! * [`Freshness::Aligned`] is a linearizable global cut. The handle
-//!   serializes the round and every shard actor, after folding its queue,
-//!   blocks in a rendezvous until **all** shards stand there together — an
-//!   instant at which no shard is mutating — then each answers from
-//!   exactly that state. The merge is a snapshot that actually existed.
-//!   Cost: the round holds all N actors for a barrier, so reserve it for
-//!   audits and rankings that need cross-shard exactness. (A cross-shard
-//!   batch whose sub-batches are still queued *behind* the aligned round
-//!   on some shards is genuinely partial at that instant and shows up as
-//!   such — alignment reports truth, it does not wait for stragglers.)
+//! [`Relaxed`]: Freshness::Relaxed
+//! [`Aligned`]: Freshness::Aligned
+//! [`Snapshot`]: Freshness::Snapshot
 //!
 //! If any shard stopped, a broadcast fails with the typed
 //! [`TrustError::ServiceStopped`] instead of silently merging the
@@ -136,20 +127,56 @@ use std::pin::Pin;
 use std::sync::{Arc, Mutex};
 use std::task::{Context, Poll};
 
-/// How fresh a broadcast query's merged answer must be — the explicit
-/// per-query consistency choice of the sharded tier (see the
-/// [module docs](self)).
+/// The explicit per-query consistency choice, for broadcast *and*
+/// peer-targeted reads across every serving tier (in-process, sharded,
+/// remote, fleet). **These variant docs are the normative statement of
+/// the guarantees** — the tier docs reference them rather than restating.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum Freshness {
-    /// One parallel fan-out round: per-shard read-your-awaited-writes, but
-    /// the N shard snapshots are taken at independent instants. Cheap; the
-    /// default.
+    /// One mailbox round per shard involved, fanned out in parallel for
+    /// broadcasts: per-shard **read-your-awaited-writes** (queued commits
+    /// fold before the answer), but the N shard answers are taken at
+    /// independent instants — a batch still in flight across two shards
+    /// may appear in one and not (yet) the other. Cheap; the default.
     #[default]
     Relaxed,
     /// A linearizable global cut: all shards rendezvous — queues folded,
-    /// nothing mutating — and answer from the same instant. Holds every
-    /// shard for a barrier; use for cross-shard exactness.
+    /// nothing mutating — and answer from the same instant, so the merge
+    /// is a state that actually existed. Holds every shard for a barrier;
+    /// reserve it for audits and rankings that need cross-shard
+    /// exactness. On a single actor (or a peer-targeted read) it is the
+    /// same mailbox round as `Relaxed`.
     Aligned,
+    /// A **bounded-staleness snapshot read**: answered from the shard's
+    /// latest published [`ReadSnapshot`](super::ReadSnapshot) — zero
+    /// mailbox traffic, zero actor work — provided the snapshot is
+    /// missing at most `max_epoch_lag` of the shard's mutating folds; a
+    /// staler shard **falls through** to the `Relaxed` mailbox read
+    /// (fresh, read-your-awaited-writes) for its part of the answer. With
+    /// the default [`publish_every = 1`] the snapshot is published before
+    /// each fold's acks, so `Snapshot { max_epoch_lag: 0 }` still reads
+    /// your own awaited writes while the actor keeps up, and degrades to
+    /// the mailbox — never to a silently stale answer — when it does not.
+    /// See the [`replica`](super::replica) module docs for the epoch and
+    /// lag scheme.
+    ///
+    /// [`publish_every = 1`]: super::ServiceOptions::publish_every
+    Snapshot {
+        /// The largest acceptable number of the shard's mutating folds
+        /// the snapshot may be missing (read-only drains never count).
+        /// `0` = only a snapshot covering every applied fold;
+        /// `u64::MAX` = always take the snapshot. Under
+        /// [`publish_every`](super::ServiceOptions::publish_every)` = K`
+        /// the lag never exceeds `K - 1`.
+        max_epoch_lag: u64,
+    },
+}
+
+impl Freshness {
+    /// Shorthand for [`Freshness::Snapshot`] with the given bound.
+    pub fn snapshot(max_epoch_lag: u64) -> Self {
+        Freshness::Snapshot { max_epoch_lag }
+    }
 }
 
 /// The stable peer→shard assignment: std `DefaultHasher` (SipHash with
@@ -300,19 +327,58 @@ impl<P: Copy + Ord + Hash> ShardedTrustServiceHandle<P> {
         shard.request(|reply| Message::Command(Command::Complete { request, outcome, reply }))
     }
 
-    /// The eager send of [`trustworthiness`](Self::trustworthiness).
-    pub(crate) fn trustworthiness_round(
+    /// [`record`](Self::record) with an explicit [`Freshness`]: under
+    /// [`Freshness::Snapshot`] the owning shard's latest published
+    /// snapshot answers (zero mailbox traffic) while within the staleness
+    /// bound, falling through to the fresh mailbox read otherwise.
+    pub async fn record_with(
         &self,
         peer: P,
         task: TaskId,
-    ) -> Pending<Option<Trustworthiness>> {
-        self.shard(peer)
-            .request(|reply| Message::Query(super::Query::Trustworthiness { peer, task, reply }))
+        freshness: Freshness,
+    ) -> Result<Option<TrustRecord>, TrustError> {
+        self.record_round_with(peer, task, freshness).await
     }
 
-    /// The eager send of [`record`](Self::record).
-    pub(crate) fn record_round(&self, peer: P, task: TaskId) -> Pending<Option<TrustRecord>> {
-        self.shard(peer).request(|reply| Message::Query(super::Query::Record { peer, task, reply }))
+    /// The eager send of [`record_with`](Self::record_with).
+    pub(crate) fn record_round_with(
+        &self,
+        peer: P,
+        task: TaskId,
+        freshness: Freshness,
+    ) -> Pending<Option<TrustRecord>> {
+        self.shard(peer).record_round_with(peer, task, freshness)
+    }
+
+    /// [`trustworthiness`](Self::trustworthiness) with an explicit
+    /// [`Freshness`] — see [`record_with`](Self::record_with).
+    pub async fn trustworthiness_with(
+        &self,
+        peer: P,
+        task: TaskId,
+        freshness: Freshness,
+    ) -> Result<Option<Trustworthiness>, TrustError> {
+        self.trustworthiness_round_with(peer, task, freshness).await
+    }
+
+    /// The eager send of
+    /// [`trustworthiness_with`](Self::trustworthiness_with).
+    pub(crate) fn trustworthiness_round_with(
+        &self,
+        peer: P,
+        task: TaskId,
+        freshness: Freshness,
+    ) -> Pending<Option<Trustworthiness>> {
+        self.shard(peer).trustworthiness_round_with(peer, task, freshness)
+    }
+
+    /// A zero-mailbox [`ReplicaHandle`](super::ReplicaHandle) over every
+    /// shard's published snapshots — the read-replica tier (see the
+    /// [`replica`](super::replica) module docs).
+    pub fn replica(&self) -> super::ReplicaHandle<P> {
+        super::ReplicaHandle::over(
+            self.shards.iter().map(|shard| std::sync::Arc::clone(shard.slot())).collect(),
+        )
     }
 
     /// [`evaluate`](Self::evaluate) carried through to the §3.4 decision.
@@ -394,7 +460,11 @@ impl<P: Copy + Ord + Hash> ShardedTrustServiceHandle<P> {
         &self,
         freshness: Freshness,
     ) -> impl Future<Output = Result<Cut<Vec<P>>, TrustError>> {
-        let fan = self.broadcast(freshness, |shard, align| shard.known_peers_in(align));
+        let fan = self.broadcast(
+            freshness,
+            |shard, align| shard.known_peers_in(align),
+            |snapshot| (snapshot.epoch(), snapshot.known_peers()),
+        );
         async move {
             let (epochs, per_shard) = split_epochs(fan.await?);
             // shards are disjoint by construction: the union is a plain merge
@@ -435,7 +505,11 @@ impl<P: Copy + Ord + Hash> ShardedTrustServiceHandle<P> {
         task: TaskId,
         freshness: Freshness,
     ) -> impl Future<Output = Result<Cut<Vec<(P, TrustRecord)>>, TrustError>> {
-        let fan = self.broadcast(freshness, |shard, align| shard.task_records_in(task, align));
+        let fan = self.broadcast(
+            freshness,
+            |shard, align| shard.task_records_in(task, align),
+            |snapshot| (snapshot.epoch(), snapshot.task_records(task)),
+        );
         async move {
             let (epochs, per_shard) = split_epochs(fan.await?);
             let mut records: Vec<(P, TrustRecord)> = per_shard.into_iter().flatten().collect();
@@ -504,15 +578,31 @@ impl<P: Copy + Ord + Hash> ShardedTrustServiceHandle<P> {
     }
 
     /// One broadcast round: send the query to every shard (with a shared
-    /// rendezvous when aligned), await all replies concurrently.
+    /// rendezvous when aligned), await all replies concurrently. Under
+    /// [`Freshness::Snapshot`] each shard within the staleness bound is
+    /// answered from its published snapshot via `snap` — already resolved,
+    /// zero mailbox traffic — and only the too-stale shards get a (relaxed)
+    /// mailbox round via `send`.
     fn broadcast<R>(
         &self,
         freshness: Freshness,
         mut send: impl FnMut(&TrustServiceHandle<P>, Option<Arc<Rendezvous>>) -> Pending<R>,
+        mut snap: impl FnMut(&super::ReadSnapshot<P>) -> R,
     ) -> FanOut<R> {
         match freshness {
             Freshness::Relaxed => {
                 FanOut::new(self.shards.iter().map(|shard| send(shard, None)).collect(), None)
+            }
+            Freshness::Snapshot { max_epoch_lag } => {
+                let pending = self
+                    .shards
+                    .iter()
+                    .map(|shard| match shard.slot().fresh_within(max_epoch_lag) {
+                        Some(snapshot) => Pending::ready(snap(&snapshot)),
+                        None => send(shard, None),
+                    })
+                    .collect();
+                FanOut::new(pending, None)
             }
             Freshness::Aligned => {
                 let rv = Rendezvous::new(self.shards.len());
@@ -560,7 +650,7 @@ enum FanOutSlot<R> {
 }
 
 impl<R> FanOut<R> {
-    fn new(pending: Vec<Pending<R>>, align: Option<Arc<Rendezvous>>) -> Self {
+    pub(crate) fn new(pending: Vec<Pending<R>>, align: Option<Arc<Rendezvous>>) -> Self {
         FanOut { slots: pending.into_iter().map(FanOutSlot::Waiting).collect(), align }
     }
 }
@@ -626,7 +716,7 @@ pub struct ShardedTrustService<P, B = crate::backend::BTreeBackend<P>> {
 
 impl<P, B> ShardedTrustService<P, B>
 where
-    P: Copy + Ord + Hash + Send + 'static,
+    P: Copy + Ord + Hash + Send + Sync + 'static,
     B: TrustBackend<P> + Send + 'static,
 {
     /// Spawns `shards.max(1)` independent actors, each owning the engine

@@ -127,6 +127,17 @@ impl<P: Copy + Ord, B: TrustBackend<P>> TrustEngine<P, B> {
         self.backend.get(peer, task)
     }
 
+    /// Visits every `(peer, task, record)` triple the backend holds, in
+    /// ascending peer order — the bulk read seam the replica tier seeds
+    /// its snapshots from (see
+    /// [`service::replica`](crate::service::replica)). The per-peer
+    /// variant is [`for_each_record`](Self::for_each_record).
+    pub fn for_each_stored_record(&self, mut f: impl FnMut(P, TaskId, TrustRecord)) {
+        for peer in self.backend.known_peers() {
+            self.backend.for_each_experience(peer, &mut |task, rec| f(peer, task, rec));
+        }
+    }
+
     /// Opens a delegation session toward `trustee` for `task`: the
     /// six-ingredient trust process of §3 as a typed-state lifecycle. The
     /// trustor is this engine's owner; the returned request is configured

@@ -587,3 +587,89 @@ fn seeded_fault_sweeps_resolve_typed_and_converge() {
             .unwrap_or_else(|e| panic!("seed {seed}: lost or doubled commits: {e}"));
     }
 }
+
+/// Snapshot-freshness cuts degrade gracefully, not partially: once a
+/// node's ranges have been observed, killing the node leaves snapshot
+/// cuts **complete** — its key range is served from the fleet handle's
+/// stale cache, stamped in `FleetCut::stale` with the epochs the cached
+/// answer was taken at — while aligned cuts on the same fleet report the
+/// range missing.
+#[test]
+fn snapshot_cuts_serve_stale_ranges_while_a_node_is_down() {
+    let mk_node = || {
+        let service = ShardedTrustService::spawn_sharded(1, ServiceOptions::default(), |_| {
+            TrustStore::<u32>::new()
+        });
+        let server =
+            RemoteTrustServer::bind(("127.0.0.1", 0), service.handle()).expect("loopback bind");
+        (service, server)
+    };
+    let (svc0, srv0) = mk_node();
+    let (svc1, srv1) = mk_node();
+    let addr0 = srv0.local_addr().to_string();
+    let addr1 = srv1.local_addr().to_string();
+    let fleet = FleetTrustHandle::<u32>::connect_opts([addr0, addr1.clone()], snappy(400))
+        .expect("connect");
+
+    let on0 = (0..).find(|&p| fleet.node_of(p) == 0).expect("some peer routes to node 0");
+    let on1 = (0..).find(|&p| fleet.node_of(p) == 1).expect("some peer routes to node 1");
+    let step = sample_step();
+    let mk = |peer: u32| {
+        let t = task();
+        let scratch: TrustStore<u32> = TrustStore::new();
+        DelegationRequest::new(peer, &t, Goal::ANY, Context::amicable(t.id()))
+            .committed()
+            .activate(&scratch)
+            .finish(DelegationOutcome::observed(step.1))
+            .expect("in-range")
+    };
+    block_on(fleet.submit(mk(on0))).expect("node 0 commits");
+    block_on(fleet.submit(mk(on1))).expect("node 1 commits");
+
+    // both nodes live: the snapshot cuts are fully fresh, and observing
+    // them warms the per-node stale cache
+    let mut expect = vec![on0, on1];
+    expect.sort_unstable();
+    let cut = block_on(fleet.known_peers_cut(Freshness::snapshot(64))).expect("live cut");
+    assert!(cut.fully_fresh());
+    assert_eq!(cut.value, expect);
+    let rcut = block_on(fleet.task_records_cut(TaskId(0), Freshness::snapshot(64)))
+        .expect("live record cut");
+    assert!(rcut.fully_fresh());
+    assert_eq!(rcut.value.len(), 2);
+
+    // point snapshot reads forward the freshness over the wire
+    let tw = block_on(fleet.trustworthiness_with(on1, TaskId(0), Freshness::snapshot(64)))
+        .expect("live snapshot read");
+    assert!(tw.is_some());
+
+    // kill node 1
+    srv1.shutdown();
+    svc1.shutdown().expect("clean node shutdown");
+
+    // an aligned cut degrades: node 1's range is missing
+    let aligned = block_on(fleet.known_peers_cut(Freshness::Aligned)).expect("live node answers");
+    assert!(!aligned.complete());
+    assert_eq!(aligned.value, vec![on0]);
+
+    // the snapshot cut stays complete: node 1's range comes from the
+    // stale cache, typed and stamped
+    let cut = block_on(fleet.known_peers_cut(Freshness::snapshot(64))).expect("stale-served cut");
+    assert!(cut.complete(), "no key range is dropped");
+    assert!(!cut.fully_fresh());
+    assert_eq!(cut.stale, vec![(1usize, addr1.clone())]);
+    assert!(cut.missing.is_empty());
+    assert_eq!(cut.value, expect);
+    assert!(!cut.epochs[1].is_empty(), "the cached answer keeps its epoch stamp");
+    let rcut = block_on(fleet.task_records_cut(TaskId(0), Freshness::snapshot(64)))
+        .expect("stale-served record cut");
+    assert!(rcut.complete() && !rcut.fully_fresh());
+    assert_eq!(rcut.value.len(), 2);
+
+    // relaxed cuts never consult the cache: same failure, range missing
+    let relaxed = block_on(fleet.known_peers_cut(Freshness::Relaxed)).expect("live node answers");
+    assert!(!relaxed.complete());
+
+    srv0.shutdown();
+    svc0.shutdown().expect("clean shutdown");
+}
